@@ -1,0 +1,23 @@
+//! Analytical models of the comparison platforms: Cloudblazer i10,
+//! Nvidia T4, and Nvidia A10.
+//!
+//! The paper evaluates the Cloudblazer i20 against these three accelerators
+//! (Table IV) using TensorRT via `trtexec`. We have no GPUs, so — per the
+//! substitution rule — each platform is a calibrated roofline: per-operator
+//! latency is `max(compute, memory) + launch overhead`, where compute uses
+//! the published peak throughput scaled by a per-operator-class efficiency
+//! and memory uses the published bandwidth scaled by an achievable-fraction.
+//! Efficiencies are global per platform (set once, not per benchmark), so
+//! the relative per-model results are emergent, not fitted.
+//!
+//! Energy efficiency in Figs. 14/15 is *Perf/TDP*, exactly as the paper
+//! defines it, so the baseline energy story needs only the TDP constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod roofline;
+mod specs;
+
+pub use roofline::{EfficiencyProfile, ModelEstimate, RooflineModel};
+pub use specs::{a10_spec, i10_spec, i20_spec, t4_spec, PlatformSpec};

@@ -1,0 +1,202 @@
+//! Platform specification sheets (Table I and Table IV of the paper).
+
+use dtu_isa::DataType;
+use std::fmt;
+
+/// Published specifications of one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSpec {
+    /// Product name.
+    pub name: String,
+    /// FP32 peak, TFLOPS.
+    pub fp32_tflops: f64,
+    /// FP16 peak, TFLOPS.
+    pub fp16_tflops: f64,
+    /// INT8 peak, TOPS.
+    pub int8_tops: f64,
+    /// Device memory, GB.
+    pub memory_gb: f64,
+    /// Memory bandwidth, GB/s.
+    pub bandwidth_gb_s: f64,
+    /// Board TDP, watts.
+    pub tdp_w: f64,
+    /// Process node, nm.
+    pub tech_nm: u32,
+    /// Host interconnect.
+    pub interconnect: String,
+}
+
+impl PlatformSpec {
+    /// Peak throughput for a data type, in T-ops/s.
+    ///
+    /// TF32/BF16 ride the FP16 tensor path on every platform in Table IV;
+    /// INT16/INT32 track FP16/FP32 respectively.
+    pub fn peak_tops(&self, dtype: DataType) -> f64 {
+        match dtype {
+            DataType::Fp32 | DataType::Int32 => self.fp32_tflops,
+            DataType::Tf32 | DataType::Fp16 | DataType::Bf16 | DataType::Int16 => {
+                self.fp16_tflops
+            }
+            DataType::Int8 => self.int8_tops,
+        }
+    }
+
+    /// Peak-performance power efficiency (GOPS per watt) for a type —
+    /// the Fig. 14 metric.
+    pub fn peak_per_tdp(&self, dtype: DataType) -> f64 {
+        self.peak_tops(dtype) * 1e3 / self.tdp_w
+    }
+}
+
+impl fmt::Display for PlatformSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.0}/{:.0} TFLOPS (FP32/FP16), {:.0} TOPS INT8, {:.0} GB @ {:.0} GB/s, {:.0} W",
+            self.name,
+            self.fp32_tflops,
+            self.fp16_tflops,
+            self.int8_tops,
+            self.memory_gb,
+            self.bandwidth_gb_s,
+            self.tdp_w
+        )
+    }
+}
+
+/// Cloudblazer i20 (Table I).
+pub fn i20_spec() -> PlatformSpec {
+    PlatformSpec {
+        name: "Cloudblazer i20".into(),
+        fp32_tflops: 32.0,
+        fp16_tflops: 128.0,
+        int8_tops: 256.0,
+        memory_gb: 16.0,
+        bandwidth_gb_s: 819.0,
+        tdp_w: 150.0,
+        tech_nm: 12,
+        interconnect: "PCIe4".into(),
+    }
+}
+
+/// Cloudblazer i10 (Table IV).
+pub fn i10_spec() -> PlatformSpec {
+    PlatformSpec {
+        name: "Cloudblazer i10".into(),
+        fp32_tflops: 20.0,
+        fp16_tflops: 80.0,
+        int8_tops: 80.0,
+        memory_gb: 16.0,
+        bandwidth_gb_s: 512.0,
+        tdp_w: 150.0,
+        tech_nm: 12,
+        interconnect: "PCIe4".into(),
+    }
+}
+
+/// Nvidia T4 (Table IV).
+pub fn t4_spec() -> PlatformSpec {
+    PlatformSpec {
+        name: "Nvidia T4".into(),
+        fp32_tflops: 8.1,
+        fp16_tflops: 65.0,
+        int8_tops: 130.0,
+        memory_gb: 16.0,
+        bandwidth_gb_s: 320.0,
+        tdp_w: 70.0,
+        tech_nm: 12,
+        interconnect: "PCIe3".into(),
+    }
+}
+
+/// Nvidia A10 (Table IV).
+pub fn a10_spec() -> PlatformSpec {
+    PlatformSpec {
+        name: "Nvidia A10".into(),
+        fp32_tflops: 31.2,
+        fp16_tflops: 125.0,
+        int8_tops: 250.0,
+        memory_gb: 24.0,
+        bandwidth_gb_s: 600.0,
+        tdp_w: 150.0,
+        tech_nm: 7,
+        interconnect: "PCIe4".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_numbers() {
+        let t4 = t4_spec();
+        assert_eq!(t4.fp32_tflops, 8.1);
+        assert_eq!(t4.bandwidth_gb_s, 320.0);
+        assert_eq!(t4.tdp_w, 70.0);
+        let a10 = a10_spec();
+        assert_eq!(a10.fp16_tflops, 125.0);
+        assert_eq!(a10.memory_gb, 24.0);
+        assert_eq!(a10.tech_nm, 7);
+        let i10 = i10_spec();
+        assert_eq!(i10.int8_tops, 80.0);
+    }
+
+    #[test]
+    fn fig12_bandwidth_ratios() {
+        // "Its memory bandwidth is 1.6x, 2.56x, and 1.36x higher than
+        // Cloudblazer i10, Nvidia T4, and A10" (§VI-B).
+        let i20 = i20_spec();
+        assert!((i20.bandwidth_gb_s / i10_spec().bandwidth_gb_s - 1.6).abs() < 0.01);
+        assert!((i20.bandwidth_gb_s / t4_spec().bandwidth_gb_s - 2.56).abs() < 0.01);
+        assert!((i20.bandwidth_gb_s / a10_spec().bandwidth_gb_s - 1.365).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig14_power_efficiency_relations() {
+        use DataType::*;
+        // T4 has the best FP16 peak efficiency: 1.11x over A10 and i20,
+        // 1.74x over i10 (§VI-C).
+        let (t4, a10, i10, i20) = (t4_spec(), a10_spec(), i10_spec(), i20_spec());
+        let r_a10 = t4.peak_per_tdp(Fp16) / a10.peak_per_tdp(Fp16);
+        let r_i10 = t4.peak_per_tdp(Fp16) / i10.peak_per_tdp(Fp16);
+        let r_i20 = t4.peak_per_tdp(Fp16) / i20.peak_per_tdp(Fp16);
+        assert!((r_a10 - 1.11).abs() < 0.02, "{r_a10}");
+        assert!((r_i10 - 1.74).abs() < 0.02, "{r_i10}");
+        assert!((r_i20 - 1.09).abs() < 0.02, "{r_i20}");
+        // For FP32, i20 is best: 1.6x over i10, 1.84x over T4, 1.03x over A10.
+        let f_i10 = i20.peak_per_tdp(Fp32) / i10.peak_per_tdp(Fp32);
+        let f_t4 = i20.peak_per_tdp(Fp32) / t4.peak_per_tdp(Fp32);
+        let f_a10 = i20.peak_per_tdp(Fp32) / a10.peak_per_tdp(Fp32);
+        assert!((f_i10 - 1.6).abs() < 0.02, "{f_i10}");
+        assert!((f_t4 - 1.84).abs() < 0.03, "{f_t4}");
+        assert!((f_a10 - 1.03).abs() < 0.02, "{f_a10}");
+    }
+
+    #[test]
+    fn a10_memory_is_1_5x_others() {
+        assert_eq!(a10_spec().memory_gb / i20_spec().memory_gb, 1.5);
+    }
+
+    #[test]
+    fn t4_tdp_roughly_47_percent_of_others() {
+        let r = t4_spec().tdp_w / i20_spec().tdp_w;
+        assert!((r - 0.467).abs() < 0.01);
+    }
+
+    #[test]
+    fn peak_tops_by_dtype() {
+        let s = i20_spec();
+        assert_eq!(s.peak_tops(DataType::Bf16), 128.0);
+        assert_eq!(s.peak_tops(DataType::Tf32), 128.0);
+        assert_eq!(s.peak_tops(DataType::Int8), 256.0);
+        assert_eq!(s.peak_tops(DataType::Int32), 32.0);
+    }
+
+    #[test]
+    fn display_contains_key_specs() {
+        let s = i20_spec().to_string();
+        assert!(s.contains("819"));
+        assert!(s.contains("150"));
+    }
+}

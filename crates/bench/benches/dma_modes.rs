@@ -1,0 +1,77 @@
+//! Criterion bench for DMA engine modes: normal vs repeat configuration
+//! (Fig. 6), dense vs sparse wire format, and on-the-fly transforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtu_sim::{ChipConfig, DmaDescriptor, DmaEngine, DmaPath, MemLevel};
+use dtu_tensor::{Permutation, SparseFormat, Tensor, TransformOp};
+use std::hint::black_box;
+
+fn bench_repeat_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_repeat");
+    let cfg = ChipConfig::dtu20();
+    for slices in [9usize, 64] {
+        let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64 * 1024);
+        d.repeat = slices;
+        group.bench_with_input(
+            BenchmarkId::new("repeat", slices),
+            &slices,
+            |b, _| {
+                let mut eng = DmaEngine::new(&cfg);
+                b.iter(|| black_box(eng.execute(black_box(&d), 1).expect("legal")))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("normal", slices),
+            &slices,
+            |b, _| {
+                let mut eng = DmaEngine::new(&cfg);
+                b.iter(|| black_box(eng.execute_without_repeat(black_box(&d), 1).expect("legal")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparse_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_sparse");
+    let cfg = ChipConfig::dtu20();
+    // Post-ReLU-like tensor: about half zeros.
+    let data = Tensor::from_fn(dtu_tensor::Shape::new(vec![4096]), |i| {
+        if i[0] % 2 == 0 {
+            0.0
+        } else {
+            i[0] as f32
+        }
+    });
+    for (name, sparse) in [("dense", SparseFormat::Dense), ("bitmap", SparseFormat::BitmapBlock)] {
+        let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 16 * 1024);
+        d.sparse = sparse;
+        group.bench_function(name, |b| {
+            let mut eng = DmaEngine::new(&cfg);
+            b.iter(|| black_box(eng.move_tensor(black_box(&d), black_box(&data)).expect("legal")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform_on_the_fly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_transform");
+    let cfg = ChipConfig::dtu20();
+    let t = Tensor::from_fn(dtu_tensor::Shape::new(vec![32, 64, 8]), |i| {
+        (i[0] + i[1] + i[2]) as f32
+    });
+    let d = DmaDescriptor {
+        transform: TransformOp::Transpose {
+            perm: Permutation::new(vec![2, 0, 1]).expect("valid"),
+        },
+        ..DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64 * 1024)
+    };
+    group.bench_function("transpose_16k_elems", |b| {
+        let mut eng = DmaEngine::new(&cfg);
+        b.iter(|| black_box(eng.move_tensor(black_box(&d), black_box(&t)).expect("legal")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeat_mode, bench_sparse_move, bench_transform_on_the_fly);
+criterion_main!(benches);

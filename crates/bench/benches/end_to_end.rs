@@ -1,0 +1,59 @@
+//! Criterion bench over the full stack: graph build, fusion, compile,
+//! and simulated execution for representative Table III models, plus the
+//! GPU roofline estimates used in Fig. 13 / Fig. 15.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtu::{Accelerator, Session, SessionOptions};
+use dtu_graph::{fuse, FusionConfig};
+use dtu_models::Model;
+use gpu_baseline::RooflineModel;
+use std::hint::black_box;
+
+fn bench_compile_and_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for model in [Model::Resnet50, Model::Vgg16] {
+        let accel = Accelerator::cloudblazer_i20();
+        let graph = model.build(1);
+        group.bench_function(format!("compile_{}", model.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                black_box(
+                    Session::compile(&accel, black_box(&graph), SessionOptions::default())
+                        .expect("compiles"),
+                )
+            })
+        });
+        let session =
+            Session::compile(&accel, &graph, SessionOptions::default()).expect("compiles");
+        group.bench_function(format!("simulate_{}", model.name().replace(' ', "_")), |b| {
+            b.iter(|| black_box(session.run().expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fusion_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(10);
+    for model in [Model::Resnet50, Model::BertLarge] {
+        let graph = model.build(1);
+        group.bench_function(model.name().replace(' ', "_"), |b| {
+            b.iter(|| black_box(fuse(black_box(&graph), &FusionConfig::default()).expect("fuses")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roofline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline_estimate");
+    group.sample_size(10);
+    let graph = Model::Resnet50.build(1);
+    group.bench_function("a10_resnet50", |b| {
+        let m = RooflineModel::a10();
+        b.iter(|| black_box(m.estimate(black_box(&graph)).expect("estimates")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_and_run, bench_fusion_pass, bench_roofline);
+criterion_main!(benches);

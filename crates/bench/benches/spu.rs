@@ -1,0 +1,35 @@
+//! Criterion bench for the SPU's LUT-plus-Taylor transcendentals
+//! (§IV-A2, the Table II "enhanced SFU" row) against libm references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtu_isa::SfuFunc;
+use dtu_sim::Spu;
+use dtu_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+fn bench_transcendentals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spu");
+    let input = Tensor::from_fn(Shape::new(vec![4096]), |i| (i[0] as f32 - 2048.0) / 256.0);
+    for func in [SfuFunc::Tanh, SfuFunc::Gelu, SfuFunc::Sigmoid, SfuFunc::Exp] {
+        group.bench_function(format!("{func:?}").to_lowercase(), |b| {
+            let mut spu = Spu::default();
+            b.iter(|| black_box(spu.eval_tensor(func, black_box(&input)).expect("supported")))
+        });
+    }
+    // libm reference for the same element count.
+    group.bench_function("libm_tanh_baseline", |b| {
+        b.iter(|| {
+            black_box(
+                input
+                    .data()
+                    .iter()
+                    .map(|&x| x.tanh())
+                    .collect::<Vec<f32>>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transcendentals);
+criterion_main!(benches);

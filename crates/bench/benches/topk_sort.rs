@@ -1,0 +1,58 @@
+//! Criterion bench for the VMM-assisted sorting facility (Fig. 4) and
+//! Top-K selection (Table II's "efficient Top-K recommendation" row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtu_sim::MatrixEngine;
+use dtu_tensor::Tensor;
+use std::hint::black_box;
+
+fn pseudo_random(n: usize) -> Tensor {
+    let mut x: u64 = 0x2545F4914F6CDD1D;
+    Tensor::from_vec(
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 10_000) as f32 / 100.0
+            })
+            .collect(),
+    )
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vmm_sort");
+    for n in [8usize, 16, 32] {
+        let input = pseudo_random(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut eng = MatrixEngine::default();
+            b.iter(|| black_box(eng.sort(black_box(&input)).expect("fits engine")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let input = pseudo_random(32);
+    for k in [1usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut eng = MatrixEngine::default();
+            b.iter(|| black_box(eng.top_k(black_box(&input), k).expect("fits engine")))
+        });
+    }
+    // Reference: std sort for the same job.
+    group.bench_function("std_sort_baseline_32", |b| {
+        let data = pseudo_random(32).into_data();
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+            v.truncate(5);
+            black_box(());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for the matrix engine's VMM paths (Fig. 3): every
+//! FP32 catalog shape, the narrow-type variants, and a software GEMM
+//! tiled over VMM macro-ops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtu_isa::DataType;
+use dtu_sim::MatrixEngine;
+use dtu_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+fn bench_vmm_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vmm");
+    for rows in [4usize, 8, 16] {
+        let v = Tensor::from_fn(Shape::new(vec![rows]), |i| i[0] as f32 * 0.5);
+        let m = Tensor::from_fn(Shape::new(vec![rows, 16]), |i| {
+            (i[0] * 16 + i[1]) as f32 * 0.01
+        });
+        let acc = Tensor::zeros(Shape::new(vec![16]));
+        group.bench_with_input(BenchmarkId::new("fp32", format!("{rows}x16")), &rows, |b, _| {
+            let mut eng = MatrixEngine::default();
+            b.iter(|| {
+                black_box(
+                    eng.vmm(black_box(&v), black_box(&m), black_box(&acc), DataType::Fp32)
+                        .expect("catalog shape"),
+                )
+            })
+        });
+    }
+    // Narrow-type wide tile.
+    let v = Tensor::from_fn(Shape::new(vec![64]), |i| i[0] as f32 * 0.25);
+    let m = Tensor::from_fn(Shape::new(vec![64, 16]), |i| (i[0] + i[1]) as f32 * 0.01);
+    let acc = Tensor::zeros(Shape::new(vec![16]));
+    group.bench_function("fp16_64x16", |b| {
+        let mut eng = MatrixEngine::default();
+        b.iter(|| {
+            black_box(
+                eng.vmm(black_box(&v), black_box(&m), black_box(&acc), DataType::Fp16)
+                    .expect("catalog shape"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_via_vmm");
+    for (m, k, n) in [(8usize, 64usize, 32usize), (16, 128, 64)] {
+        let a = Tensor::from_fn(Shape::new(vec![m, k]), |i| (i[0] + i[1]) as f32 * 0.01);
+        let b_t = Tensor::from_fn(Shape::new(vec![k, n]), |i| (i[0] * 2 + i[1]) as f32 * 0.01);
+        group.bench_function(format!("{m}x{k}x{n}"), |bch| {
+            let mut eng = MatrixEngine::default();
+            bch.iter(|| black_box(eng.gemm(black_box(&a), black_box(&b_t), DataType::Fp32).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vmm_shapes, bench_gemm);
+criterion_main!(benches);

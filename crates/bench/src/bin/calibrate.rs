@@ -1,0 +1,9 @@
+//! Calibration inspector: prints the full Fig. 13 comparison so the
+//! platform efficiency profiles can be sanity-checked against the
+//! paper's reported shape (GeoMean 2.22x vs T4, 1.16x vs A10; A10 wins
+//! VGG16/Inception-class models; SRResNet is the i20's best case).
+
+fn main() {
+    let rows = dtu_bench::evaluate_suite();
+    dtu_bench::print_latency_table(&rows);
+}

@@ -1,0 +1,77 @@
+//! Reproduces Table II as a feature-ablation sweep: each hardware
+//! innovation of DTU 2.0 is switched off individually and the latency
+//! delta on representative models is measured. The final rows run the
+//! full DTU 1.0 configuration — confirming the Fig. 13 footnote that the
+//! i10 "performs worse than Cloudblazer i20 for all tested DNNs".
+
+use dtu::{Accelerator, ChipConfig, Session, SessionOptions};
+use dtu_models::Model;
+
+fn latency(cfg: ChipConfig, model: Model) -> f64 {
+    let accel = Accelerator::with_config(cfg).expect("valid config");
+    let graph = model.build(1);
+    Session::compile(&accel, &graph, SessionOptions::default())
+        .expect("compile")
+        .run()
+        .expect("run")
+        .latency_ms()
+}
+
+fn main() {
+    let models = [Model::Resnet50, Model::YoloV3, Model::BertLarge];
+    println!("== Table II ablation: disable one DTU 2.0 feature at a time ==");
+    print!("{:<26}", "Configuration");
+    for m in models {
+        print!(" {:>16}", m.name());
+    }
+    println!();
+
+    let base: Vec<f64> = models
+        .iter()
+        .map(|&m| latency(ChipConfig::dtu20(), m))
+        .collect();
+    print!("{:<26}", "DTU 2.0 (all features)");
+    for b in &base {
+        print!(" {:>13.3} ms", b);
+    }
+    println!();
+
+    type Toggle = (&'static str, fn(&mut ChipConfig));
+    let toggles: [Toggle; 8] = [
+        ("- fine-grained VMM", |c| c.features.fine_grained_vmm = false),
+        ("- enhanced SFU", |c| c.features.enhanced_sfu = false),
+        ("- instruction cache", |c| c.features.instruction_cache = false),
+        ("- multi-port L2", |c| c.features.multi_port_l2 = false),
+        ("- sparse DMA", |c| c.features.sparse_dma = false),
+        ("- repeat DMA", |c| c.features.dma_repeat = false),
+        ("- L1<->L3 direct", |c| c.features.l1_l3_direct = false),
+        ("- power management", |c| c.features.power_management = false),
+    ];
+    for (name, toggle) in toggles {
+        let mut cfg = ChipConfig::dtu20();
+        toggle(&mut cfg);
+        print!("{name:<26}");
+        for (i, &m) in models.iter().enumerate() {
+            let l = latency(cfg.clone(), m);
+            print!(" {:>8.3} ({:+5.1}%)", l, (l / base[i] - 1.0) * 100.0);
+        }
+        println!();
+    }
+
+    println!();
+    println!("== Fig. 13 footnote: i20 vs i10, all ten DNNs ==");
+    println!("{:<16} {:>12} {:>12} {:>10}", "DNN", "i20 (ms)", "i10 (ms)", "speedup");
+    let mut all_win = true;
+    for m in Model::ALL {
+        let l20 = latency(ChipConfig::dtu20(), m);
+        let l10 = latency(ChipConfig::dtu10(), m);
+        if l10 <= l20 {
+            all_win = false;
+        }
+        println!("{:<16} {:>12.3} {:>12.3} {:>9.2}x", m.name(), l20, l10, l10 / l20);
+    }
+    println!(
+        "\ni20 faster than i10 on every DNN: {}",
+        if all_win { "yes (matches the paper)" } else { "NO" }
+    );
+}

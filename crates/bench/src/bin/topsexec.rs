@@ -1,0 +1,232 @@
+//! `topsexec`: the measurement CLI of the reproduced software stack,
+//! playing the role `trtexec` plays in §VI-A of the paper.
+//!
+//! ```text
+//! topsexec --model resnet50            # a Table III model by name
+//! topsexec --import my_model.tops      # a textual-format model file
+//! topsexec --model vgg16 --batch 16 --chip i10 --groups 3 --profile
+//! topsexec --model bert --trace out.json --no-power-management
+//! ```
+
+use dtu::{Accelerator, ChipConfig, Session, SessionOptions, WorkloadSize};
+use dtu_graph::parse_model;
+use dtu_models::Model;
+use std::process::ExitCode;
+
+struct Args {
+    model: Option<String>,
+    import: Option<String>,
+    batch: usize,
+    chip: String,
+    groups: Option<usize>,
+    profile: bool,
+    trace: Option<String>,
+    no_power_management: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: topsexec (--model <name> | --import <file.tops>) [options]\n\
+     \n\
+     options:\n\
+       --model <name>           one of: yolov3 centernet retinaface vgg16\n\
+                                resnet50 inceptionv4 unet srresnet bert conformer\n\
+       --import <file>          load a model in the textual .tops format\n\
+       --batch <n>              batch size (default 1; >1 uses throughput mode)\n\
+       --chip <i20|i10>         accelerator generation (default i20)\n\
+       --groups <1|2|3>         restrict to N groups of cluster 0 (default: full chip)\n\
+       --profile                print the profiler's hot-kernel report\n\
+       --trace <file.json>      write a Chrome-trace timeline\n\
+       --no-power-management    pin the clock at f_max"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: None,
+        import: None,
+        batch: 1,
+        chip: "i20".into(),
+        groups: None,
+        profile: false,
+        trace: None,
+        no_power_management: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => args.model = Some(value("--model")?),
+            "--import" => args.import = Some(value("--import")?),
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch needs an integer".to_string())?
+            }
+            "--chip" => args.chip = value("--chip")?,
+            "--groups" => {
+                args.groups = Some(
+                    value("--groups")?
+                        .parse()
+                        .map_err(|_| "--groups needs an integer".to_string())?,
+                )
+            }
+            "--profile" => args.profile = true,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--no-power-management" => args.no_power_management = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.model.is_none() == args.import.is_none() {
+        return Err("exactly one of --model / --import is required".into());
+    }
+    Ok(args)
+}
+
+fn model_by_name(name: &str) -> Option<Model> {
+    match name.to_lowercase().as_str() {
+        "yolov3" | "yolo" => Some(Model::YoloV3),
+        "centernet" => Some(Model::CenterNet),
+        "retinaface" => Some(Model::RetinaFace),
+        "vgg16" | "vgg" => Some(Model::Vgg16),
+        "resnet50" | "resnet" => Some(Model::Resnet50),
+        "inceptionv4" | "inception" => Some(Model::InceptionV4),
+        "unet" => Some(Model::Unet),
+        "srresnet" => Some(Model::SrResnet),
+        "bert" | "bertlarge" => Some(Model::BertLarge),
+        "conformer" => Some(Model::Conformer),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let graph = if let Some(name) = &args.model {
+        match model_by_name(name) {
+            Some(m) => m.build(args.batch),
+            None => {
+                eprintln!("error: unknown model '{name}'\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let path = args.import.as_deref().expect("validated");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_model(&text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut cfg = match args.chip.as_str() {
+        "i20" => ChipConfig::dtu20(),
+        "i10" => ChipConfig::dtu10(),
+        other => {
+            eprintln!("error: unknown chip '{other}' (use i20 or i10)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.no_power_management {
+        cfg.features.power_management = false;
+    }
+    let accel = match Accelerator::with_config(cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = SessionOptions {
+        size: match args.groups {
+            Some(1) => WorkloadSize::Small,
+            Some(2) => WorkloadSize::Medium,
+            Some(3) => WorkloadSize::Large,
+            None => WorkloadSize::FullChip,
+            Some(n) => {
+                eprintln!("error: --groups must be 1..3, got {n}");
+                return ExitCode::FAILURE;
+            }
+        },
+        batch: args.batch,
+        ..Default::default()
+    };
+
+    println!("=== topsexec ===");
+    println!("accelerator : {accel}");
+    println!("model       : {graph}");
+    println!("batch       : {}", args.batch);
+
+    let session = match Session::compile(&accel, &graph, options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "compiled    : {} commands over {} streams",
+        session.program().total_commands(),
+        session.program().streams.len()
+    );
+
+    let (report, timeline) = match session.run_traced() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("\n--- measurements ---");
+    println!("latency      : {:.3} ms", report.latency_ms());
+    println!("throughput   : {:.1} samples/s", report.throughput());
+    println!("avg power    : {:.1} W", report.average_watts());
+    println!("energy/sample: {:.4} J", 1.0 / report.samples_per_joule());
+    println!("mean clock   : {:.0} MHz", report.mean_freq_mhz());
+    let c = report.raw().counters;
+    println!(
+        "kernels      : {} launches, icache hit rate {:.0}%",
+        c.kernel_launches,
+        c.icache_hit_rate() * 100.0
+    );
+    println!(
+        "dma          : {} transfers, {:.1} MiB on the wire",
+        c.dma_transfers,
+        c.dma_wire_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    if args.profile {
+        println!("\n--- profile ---");
+        println!("{}", timeline.report(10));
+    }
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, timeline.to_chrome_trace()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\ntrace written to {path} (open in chrome://tracing)");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,29 @@
+//! The operator compiler (the paper's TopsEngine, §V-B).
+//!
+//! Two compilation paths exist, mirroring the two programming interfaces
+//! the paper describes:
+//!
+//! * the **graph path** ([`compile`]) lowers a fused `dtu-graph` model
+//!   into a [`dtu_sim::Program`]: placement over processing groups
+//!   (Fig. 7), data-flow tiling tuned against the memory hierarchy
+//!   ([`TilePlan`]), DMA staging with repeat/broadcast/sparse options,
+//!   kernel-code prefetch, and inter-group barriers;
+//! * the **codegen path** (the DSL analogue) builds real VLIW packet
+//!   streams: [`packetize`] discovers independent instructions and packs
+//!   them, [`assign_banks`] renames vector registers to dodge
+//!   register-bank conflicts, and the tensorizer/vectorizer emit
+//!   [`dtu_isa::Instruction`] sequences for dense and element-wise
+//!   kernels that run on the `dtu-sim` interpreter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod lower;
+mod placement;
+mod tiling;
+
+pub use codegen::{assign_banks, packetize, tensorize_vmm, vectorize_map};
+pub use lower::{compile, CompileError, CompilerConfig, Mode};
+pub use placement::Placement;
+pub use tiling::{plan_tiles, TilePlan};

@@ -1,0 +1,701 @@
+//! Lowering: fused graph → simulator program.
+//!
+//! Every fused group becomes either a kernel launch (compute) or a DMA
+//! transfer (pure layout manipulation — "DTU utilizes DMA engines to
+//! accomplish tensor manipulation while data transfer", §III). Work is
+//! sharded across the placement's processing groups; barriers keep the
+//! groups in lockstep between kernels; input activations are staged by
+//! overlapped, tiled DMA (double buffering); and the repeat / broadcast /
+//! sparse / prefetch features are applied when the target chip has them.
+
+use crate::placement::Placement;
+use crate::tiling::plan_tiles;
+use dtu_graph::{
+    characterize, fuse, optimize, search_fuse, FusionConfig, Graph, GraphError, Op, OpCost,
+    SearchConfig,
+};
+use dtu_isa::{DataType, KernelDescriptor, KernelId, OpClass};
+use dtu_sim::{
+    ChipConfig, Command, DmaDescriptor, DmaPath, MemLevel, Program, Stream, SyncPattern,
+};
+use dtu_tensor::SparseFormat;
+use std::error::Error;
+use std::fmt;
+
+/// How the placement's groups divide the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One sample, split across groups (tensor/data parallel inside each
+    /// operator): weights and activations shard; lowest latency.
+    LatencyOptimized,
+    /// Independent replicas: each group runs the whole model on its share
+    /// of the batch; weights replicate (broadcast-friendly).
+    ThroughputBatched,
+}
+
+/// Compiler options. Feature flags default to the chip's capabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerConfig {
+    /// Fusion settings.
+    pub fusion: FusionConfig,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Issue kernel-code prefetches.
+    pub enable_prefetch: bool,
+    /// Use repeat-mode DMA for tiled staging.
+    pub enable_repeat_dma: bool,
+    /// Broadcast replicated weights across a cluster's L2 partitions.
+    pub enable_broadcast: bool,
+    /// Compress sparse activations on the wire.
+    pub enable_sparse_dma: bool,
+    /// Assumed zero-fraction of post-ReLU activations.
+    pub relu_sparsity: f64,
+    /// Run the structural graph optimiser (DCE / identity elimination /
+    /// CSE) before fusion.
+    pub enable_graph_optimize: bool,
+    /// Use the search-based fusion pass (the paper's future-work item)
+    /// instead of the expert rules.
+    pub search_fusion: Option<SearchConfig>,
+}
+
+impl CompilerConfig {
+    /// Defaults derived from a chip's feature set.
+    pub fn for_chip(chip: &ChipConfig) -> Self {
+        CompilerConfig {
+            fusion: FusionConfig::default(),
+            mode: Mode::LatencyOptimized,
+            enable_prefetch: chip.features.instruction_cache,
+            enable_repeat_dma: chip.features.dma_repeat,
+            enable_broadcast: chip.features.dma_broadcast,
+            enable_sparse_dma: chip.features.sparse_dma,
+            relu_sparsity: 0.45,
+            enable_graph_optimize: true,
+            search_fusion: None,
+        }
+    }
+}
+
+/// Errors from compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Graph analysis failed.
+    Graph(GraphError),
+    /// The placement is empty or outside the chip.
+    BadPlacement {
+        /// Description.
+        reason: String,
+    },
+    /// The model's weights do not fit in device memory.
+    ModelTooLarge {
+        /// Required bytes.
+        required: u64,
+        /// Available bytes.
+        available: u64,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Graph(e) => write!(f, "graph: {e}"),
+            CompileError::BadPlacement { reason } => write!(f, "bad placement: {reason}"),
+            CompileError::ModelTooLarge {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs {required} B of device memory but only {available} B exist"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}
+
+/// One lowered unit of work shared by all streams.
+#[derive(Debug, Clone)]
+enum LoweredStep {
+    Kernel {
+        kernel: KernelId,
+        descriptor: KernelDescriptor,
+        /// Input-activation bytes to stage per group (pre-shard).
+        stage_in_bytes: u64,
+        /// Replicated weight bytes (ThroughputBatched only).
+        replicated_weight_bytes: u64,
+        /// Whether the staged input is post-ReLU (sparse-compressible).
+        sparse_input: bool,
+    },
+    Movement {
+        bytes_per_group: u64,
+    },
+}
+
+/// Compiles a graph for a chip and placement.
+///
+/// # Errors
+///
+/// [`CompileError::BadPlacement`] for invalid placements,
+/// [`CompileError::ModelTooLarge`] when weights exceed L3, and graph /
+/// shape errors as [`CompileError::Graph`].
+pub fn compile(
+    graph: &Graph,
+    chip: &ChipConfig,
+    placement: &Placement,
+    cfg: &CompilerConfig,
+) -> Result<Program, CompileError> {
+    if !placement.fits(chip) {
+        return Err(CompileError::BadPlacement {
+            reason: format!("{placement} does not fit {}", chip.name),
+        });
+    }
+    let n = placement.len() as u64;
+    let optimized;
+    let graph = if cfg.enable_graph_optimize {
+        optimized = optimize(graph).map_err(CompileError::Graph)?.0;
+        &optimized
+    } else {
+        graph
+    };
+    let shapes = graph.infer_shapes()?;
+    let plan = match &cfg.search_fusion {
+        Some(search_cfg) => search_fuse(graph, search_cfg)?.plan,
+        None => fuse(graph, &cfg.fusion)?,
+    };
+
+    // Lower each fused group to a step.
+    let mut steps: Vec<LoweredStep> = Vec::new();
+    let mut total_weight_bytes: u64 = 0;
+    let mut prev_ends_in_relu = false;
+    for (gi, group) in plan.groups.iter().enumerate() {
+        let mut cost = OpCost::default();
+        let mut class = OpClass::Elementwise;
+        let mut best_flops = 0u64;
+        let mut dtype = DataType::Fp16;
+        let mut all_layout = true;
+        for (i, &nid) in group.nodes.iter().enumerate() {
+            let node = graph.node(nid)?;
+            if !node.op.is_layout_op() {
+                all_layout = false;
+            }
+            let input_types: Vec<_> = node.inputs.iter().map(|x| &shapes[x]).collect();
+            let c = characterize(&node.op, &input_types, &shapes[&nid])?;
+            let mut c2 = c;
+            if i > 0 {
+                c2.input_bytes = c2
+                    .input_bytes
+                    .saturating_sub(shapes[&group.nodes[i - 1]].bytes().unwrap_or(0));
+            }
+            if i + 1 < group.nodes.len() {
+                c2.output_bytes = 0;
+            }
+            if c.flops() >= best_flops {
+                best_flops = c.flops();
+                class = c.class;
+                dtype = shapes[&nid].dtype;
+            }
+            cost.merge(&c2);
+        }
+        total_weight_bytes += cost.weight_bytes;
+
+        let last_node = graph.node(*group.nodes.last().expect("non-empty"))?;
+        let ends_in_relu = matches!(last_node.op, Op::Relu | Op::LeakyRelu { .. });
+
+        // Pure layout groups lower to DMA (Reshape is a free view).
+        if all_layout {
+            let is_pure_view = group
+                .nodes
+                .iter()
+                .all(|&nid| matches!(graph.node(nid).map(|x| &x.op), Ok(Op::Reshape { .. })));
+            if !is_pure_view && cost.output_bytes > 0 {
+                steps.push(LoweredStep::Movement {
+                    bytes_per_group: cost.output_bytes / n,
+                });
+            }
+            prev_ends_in_relu = ends_in_relu;
+            continue;
+        }
+        if cost.flops() == 0 && cost.total_bytes() == 0 {
+            prev_ends_in_relu = ends_in_relu;
+            continue; // input placeholders
+        }
+
+        let anchor = graph.node(group.anchor())?;
+        let mut d = KernelDescriptor::new(
+            group
+                .nodes
+                .iter()
+                .map(|&nid| graph.node(nid).map(|x| x.op.mnemonic()))
+                .collect::<Result<Vec<_>, _>>()?
+                .join("+"),
+        );
+        let _ = anchor;
+        d.class = class;
+        d.dtype = dtype;
+        d.macs = cost.macs / n;
+        d.vector_ops = cost.vector_ops / n;
+        d.sfu_ops = cost.sfu_ops / n;
+        let (weight_l3, replicated) = match cfg.mode {
+            Mode::LatencyOptimized => (cost.weight_bytes / n, 0),
+            Mode::ThroughputBatched => (0, cost.weight_bytes),
+        };
+        d.l3_bytes = cost.output_bytes / n + weight_l3;
+        d.l2_bytes = (cost.input_bytes + cost.output_bytes) / n + weight_l3 + replicated;
+        d.l1_bytes = 2 * d.l2_bytes;
+        d.code_bytes = 6 * 1024 + 3 * 1024 * group.len() as u64;
+        d.narrow_dim = cost.narrow_dim;
+
+        steps.push(LoweredStep::Kernel {
+            kernel: KernelId(gi as u64 + 1),
+            descriptor: d,
+            stage_in_bytes: cost.input_bytes / n,
+            replicated_weight_bytes: replicated,
+            sparse_input: prev_ends_in_relu,
+        });
+        prev_ends_in_relu = ends_in_relu;
+    }
+
+    // Device-memory capacity check (weights + double-buffered activations).
+    let l3_capacity = chip.l3_bytes();
+    if total_weight_bytes > l3_capacity {
+        return Err(CompileError::ModelTooLarge {
+            required: total_weight_bytes,
+            available: l3_capacity,
+        });
+    }
+
+    // Emit one stream per group.
+    let mut program = Program::new(graph.name.clone());
+    let kernel_steps: Vec<usize> = steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, LoweredStep::Kernel { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let flexible_sync = chip.features.flexible_sync;
+    let nstreams = placement.len();
+    // Event numbering: flexible barriers use one event per step; the
+    // DTU 1.0 fallback builds each barrier from 1-to-1 events through a
+    // hub stream — (n-1) gather events plus (n-1) release events per step.
+    let hub_gather = |step: usize, si: usize| (step * 2 * nstreams + si) as u32 + 1;
+    let hub_release = |step: usize, si: usize| (step * 2 * nstreams + nstreams + si) as u32 + 1;
+    for (si, &gid) in placement.groups().iter().enumerate() {
+        let mut stream = Stream::new(gid);
+        // Stream 0 registers every barrier event up front.
+        if si == 0 && nstreams > 1 {
+            for (i, _) in steps.iter().enumerate() {
+                if flexible_sync {
+                    stream.push(Command::RegisterEvent {
+                        event: i as u32 + 1,
+                        pattern: SyncPattern::NToM {
+                            producers: nstreams,
+                            consumers: nstreams,
+                        },
+                    });
+                } else {
+                    for peer in 1..nstreams {
+                        stream.push(Command::RegisterEvent {
+                            event: hub_gather(i, peer),
+                            pattern: SyncPattern::OneToOne,
+                        });
+                        stream.push(Command::RegisterEvent {
+                            event: hub_release(i, peer),
+                            pattern: SyncPattern::OneToOne,
+                        });
+                    }
+                }
+            }
+        }
+        let first_in_cluster = placement
+            .groups()
+            .iter()
+            .position(|g| g.cluster == gid.cluster)
+            == Some(si);
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                LoweredStep::Movement { bytes_per_group } => {
+                    if *bytes_per_group > 0 {
+                        let path = if *bytes_per_group <= chip.l2_bytes_per_group() / 2 {
+                            DmaPath::new(MemLevel::L2, MemLevel::L2)
+                        } else {
+                            DmaPath::new(MemLevel::L3, MemLevel::L3)
+                        };
+                        stream.push(Command::Dma {
+                            descriptor: DmaDescriptor::copy(path, *bytes_per_group),
+                            overlapped: false,
+                        });
+                    }
+                }
+                LoweredStep::Kernel {
+                    kernel,
+                    descriptor,
+                    stage_in_bytes,
+                    replicated_weight_bytes,
+                    sparse_input,
+                } => {
+                    // Prefetch the *next* kernel's code while this one is
+                    // being staged/run.
+                    if cfg.enable_prefetch {
+                        if let Some(&next) = kernel_steps
+                            .iter()
+                            .find(|&&ks| ks > i)
+                        {
+                            if let LoweredStep::Kernel {
+                                kernel: nk,
+                                descriptor: nd,
+                                ..
+                            } = &steps[next]
+                            {
+                                stream.push(Command::Prefetch {
+                                    kernel: *nk,
+                                    code_bytes: nd.code_bytes,
+                                });
+                            }
+                        }
+                    }
+                    // Replicated-weight staging (ThroughputBatched).
+                    if *replicated_weight_bytes > 0 {
+                        let cluster_groups =
+                            placement.groups_in_cluster(gid.cluster);
+                        if cfg.enable_broadcast && cluster_groups > 1 {
+                            if first_in_cluster {
+                                let mut wd = DmaDescriptor::copy(
+                                    DmaPath::new(MemLevel::L3, MemLevel::L2),
+                                    *replicated_weight_bytes,
+                                );
+                                wd.broadcast = cluster_groups;
+                                stream.push(Command::Dma {
+                                    descriptor: wd,
+                                    overlapped: true,
+                                });
+                            }
+                        } else {
+                            stream.push(Command::Dma {
+                                descriptor: DmaDescriptor::copy(
+                                    DmaPath::new(MemLevel::L3, MemLevel::L2),
+                                    *replicated_weight_bytes,
+                                ),
+                                overlapped: true,
+                            });
+                        }
+                    }
+                    // Input staging: tiled, overlapped, optionally sparse.
+                    if *stage_in_bytes > 0 {
+                        let tp = plan_tiles(*stage_in_bytes, placement.len(), chip);
+                        let sparse = cfg.enable_sparse_dma && *sparse_input;
+                        let mk = |bytes: u64, repeat: usize| {
+                            let mut dd = DmaDescriptor::copy(
+                                DmaPath::new(MemLevel::L3, MemLevel::L2),
+                                bytes,
+                            );
+                            dd.repeat = repeat;
+                            if sparse {
+                                dd.sparse = SparseFormat::BitmapBlock;
+                                dd.zero_fraction = cfg.relu_sparsity;
+                            }
+                            dd
+                        };
+                        if tp.use_repeat && cfg.enable_repeat_dma && tp.tiles > 1 {
+                            stream.push(Command::Dma {
+                                descriptor: mk(tp.tile_bytes, tp.tiles),
+                                overlapped: true,
+                            });
+                        } else {
+                            for _ in 0..tp.tiles.max(1) {
+                                stream.push(Command::Dma {
+                                    descriptor: mk(tp.tile_bytes.max(1), 1),
+                                    overlapped: true,
+                                });
+                            }
+                        }
+                    }
+                    stream.push(Command::Launch {
+                        kernel: *kernel,
+                        descriptor: descriptor.clone(),
+                    });
+                }
+            }
+            // Barrier after every step when multiple groups cooperate.
+            if nstreams > 1 {
+                if flexible_sync {
+                    stream.push(Command::Signal {
+                        event: i as u32 + 1,
+                    });
+                    stream.push(Command::Wait {
+                        event: i as u32 + 1,
+                    });
+                } else if si == 0 {
+                    // Hub: gather every peer, then release them all.
+                    for peer in 1..nstreams {
+                        stream.push(Command::Wait {
+                            event: hub_gather(i, peer),
+                        });
+                    }
+                    for peer in 1..nstreams {
+                        stream.push(Command::Signal {
+                            event: hub_release(i, peer),
+                        });
+                    }
+                } else {
+                    stream.push(Command::Signal {
+                        event: hub_gather(i, si),
+                    });
+                    stream.push(Command::Wait {
+                        event: hub_release(i, si),
+                    });
+                }
+            }
+        }
+        program.add_stream(stream);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::{BinaryKind, TensorType};
+    use dtu_sim::Chip;
+
+    fn small_cnn() -> Graph {
+        let mut g = Graph::new("small_cnn");
+        let x = g.input("x", TensorType::fixed(&[1, 3, 64, 64]));
+        let c1 = g.add_node(Op::conv2d(32, 3, 1, 1), vec![x]).unwrap();
+        let b1 = g.add_node(Op::BatchNorm, vec![c1]).unwrap();
+        let r1 = g.add_node(Op::Relu, vec![b1]).unwrap();
+        let c2 = g.add_node(Op::conv2d(32, 3, 2, 1), vec![r1]).unwrap();
+        let r2 = g.add_node(Op::Relu, vec![c2]).unwrap();
+        let t = g
+            .add_node(
+                Op::Transpose {
+                    perm: vec![0, 2, 3, 1],
+                },
+                vec![r2],
+            )
+            .unwrap();
+        g.mark_output(t);
+        g
+    }
+
+    fn residual() -> Graph {
+        let mut g = Graph::new("residual");
+        let x = g.input("x", TensorType::fixed(&[1, 16, 32, 32]));
+        let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+        let a = g
+            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![c, x])
+            .unwrap();
+        g.mark_output(a);
+        g
+    }
+
+    #[test]
+    fn compile_produces_streams_for_placement() {
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::full_chip(&chip);
+        let prog = compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)).unwrap();
+        assert_eq!(prog.streams.len(), 6);
+        // Two fused kernels (conv+bn+relu, conv+relu) per stream.
+        for s in &prog.streams {
+            assert_eq!(s.launch_count(), 2);
+        }
+    }
+
+    #[test]
+    fn compiled_program_runs_on_chip() {
+        let chip_cfg = ChipConfig::dtu20();
+        let chip = Chip::new(chip_cfg.clone());
+        let g = small_cnn();
+        let p = Placement::full_chip(&chip_cfg);
+        let prog = compile(&g, &chip_cfg, &p, &CompilerConfig::for_chip(&chip_cfg)).unwrap();
+        let report = chip.run(&prog).unwrap();
+        assert!(report.latency_ns > 0.0);
+        assert!(report.counters.kernel_launches >= 12); // 2 kernels x 6 groups
+        assert!(report.counters.macs > 0);
+    }
+
+    #[test]
+    fn single_group_placement_has_no_barriers() {
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::cluster_groups(0, 1, &chip);
+        let prog = compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)).unwrap();
+        assert_eq!(prog.streams.len(), 1);
+        assert!(!prog.streams[0]
+            .commands
+            .iter()
+            .any(|c| matches!(c, Command::Signal { .. } | Command::Wait { .. })));
+    }
+
+    #[test]
+    fn layout_group_lowers_to_dma() {
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::cluster_groups(0, 1, &chip);
+        let prog = compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)).unwrap();
+        let dmas = prog.streams[0]
+            .commands
+            .iter()
+            .filter(|c| matches!(c, Command::Dma { .. }))
+            .count();
+        assert!(dmas >= 1, "transpose should become a DMA");
+    }
+
+    #[test]
+    fn bad_placement_rejected() {
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::explicit(vec![dtu_sim::GroupId::new(9, 9)]);
+        assert!(matches!(
+            compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)),
+            Err(CompileError::BadPlacement { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_model_rejected() {
+        let chip = ChipConfig::dtu20();
+        // A dense layer with > 16 GB of weights: 100k x 100k fp16 = 20 GB.
+        let mut g = Graph::new("huge");
+        let x = g.input("x", TensorType::fixed(&[1, 100_000]));
+        let d = g.add_node(Op::Dense { units: 100_000 }, vec![x]).unwrap();
+        g.mark_output(d);
+        let p = Placement::full_chip(&chip);
+        assert!(matches!(
+            compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)),
+            Err(CompileError::ModelTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn prefetch_emitted_when_enabled() {
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::cluster_groups(0, 1, &chip);
+        let with = compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)).unwrap();
+        let mut cfg = CompilerConfig::for_chip(&chip);
+        cfg.enable_prefetch = false;
+        let without = compile(&g, &chip, &p, &cfg).unwrap();
+        let count = |p: &Program| {
+            p.streams[0]
+                .commands
+                .iter()
+                .filter(|c| matches!(c, Command::Prefetch { .. }))
+                .count()
+        };
+        assert!(count(&with) > 0);
+        assert_eq!(count(&without), 0);
+    }
+
+    #[test]
+    fn sparse_staging_follows_relu_producers() {
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::cluster_groups(0, 1, &chip);
+        let prog = compile(&g, &chip, &p, &CompilerConfig::for_chip(&chip)).unwrap();
+        let sparse_dmas = prog.streams[0]
+            .commands
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c,
+                    Command::Dma { descriptor, .. }
+                        if descriptor.sparse == SparseFormat::BitmapBlock
+                )
+            })
+            .count();
+        // The second conv's input comes from a ReLU.
+        assert!(sparse_dmas >= 1);
+    }
+
+    #[test]
+    fn throughput_mode_broadcasts_weights() {
+        let chip = ChipConfig::dtu20();
+        let g = residual();
+        let p = Placement::cluster_groups(0, 3, &chip);
+        let mut cfg = CompilerConfig::for_chip(&chip);
+        cfg.mode = Mode::ThroughputBatched;
+        let prog = compile(&g, &chip, &p, &cfg).unwrap();
+        // Only the first stream in the cluster holds a broadcast DMA.
+        let has_bcast = |s: &Stream| {
+            s.commands.iter().any(|c| {
+                matches!(c, Command::Dma { descriptor, .. } if descriptor.broadcast > 1)
+            })
+        };
+        assert!(has_bcast(&prog.streams[0]));
+        assert!(!has_bcast(&prog.streams[1]));
+        assert!(!has_bcast(&prog.streams[2]));
+        // Without broadcast every stream stages its own copy.
+        cfg.enable_broadcast = false;
+        let prog2 = compile(&g, &chip, &p, &cfg).unwrap();
+        for s in &prog2.streams {
+            let weight_dmas = s
+                .commands
+                .iter()
+                .filter(|c| matches!(c, Command::Dma { overlapped: true, .. }))
+                .count();
+            assert!(weight_dmas >= 1);
+        }
+    }
+
+    #[test]
+    fn residual_runs_end_to_end_on_multiple_groups() {
+        let chip_cfg = ChipConfig::dtu20();
+        let chip = Chip::new(chip_cfg.clone());
+        let g = residual();
+        for n in 1..=3 {
+            let p = Placement::cluster_groups(0, n, &chip_cfg);
+            let prog = compile(&g, &chip_cfg, &p, &CompilerConfig::for_chip(&chip_cfg)).unwrap();
+            let r = chip.run(&prog).unwrap();
+            assert!(r.latency_ns > 0.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn search_fusion_compiles_and_runs_end_to_end() {
+        let chip_cfg = ChipConfig::dtu20();
+        let chip = Chip::new(chip_cfg.clone());
+        let g = small_cnn();
+        let p = Placement::cluster_groups(0, 1, &chip_cfg);
+        let mut cfg = CompilerConfig::for_chip(&chip_cfg);
+        let expert = chip
+            .run(&compile(&g, &chip_cfg, &p, &cfg).unwrap())
+            .unwrap();
+        cfg.search_fusion = Some(dtu_graph::SearchConfig::default());
+        let searched = chip
+            .run(&compile(&g, &chip_cfg, &p, &cfg).unwrap())
+            .unwrap();
+        // The search plan fuses at least as deep, so it launches no more
+        // kernels and is no slower (within rounding).
+        assert!(searched.counters.kernel_launches <= expert.counters.kernel_launches);
+        assert!(searched.latency_ns <= expert.latency_ns * 1.05);
+    }
+
+    #[test]
+    fn dtu10_compile_respects_missing_features() {
+        let chip_cfg = ChipConfig::dtu10();
+        let chip = Chip::new(chip_cfg.clone());
+        let g = small_cnn();
+        let p = Placement::explicit(vec![dtu_sim::GroupId::new(0, 0)]);
+        let cfg = CompilerConfig::for_chip(&chip_cfg);
+        assert!(!cfg.enable_prefetch);
+        assert!(!cfg.enable_repeat_dma);
+        assert!(!cfg.enable_sparse_dma);
+        let prog = compile(&g, &chip_cfg, &p, &cfg).unwrap();
+        // Must run without tripping feature checks.
+        let r = chip.run(&prog).unwrap();
+        assert!(r.latency_ns > 0.0);
+    }
+}

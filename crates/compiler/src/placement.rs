@@ -1,0 +1,138 @@
+//! Resource abstraction and workload placement (Fig. 7).
+//!
+//! The processing group is "the minimal unit for workload deployment":
+//! large workloads take all 3 groups of a cluster (or the whole chip),
+//! medium ones 2, small ones 1. Placements also shard batches across
+//! groups for the multi-tenancy experiments.
+
+use dtu_sim::{ChipConfig, GroupId};
+use std::fmt;
+
+/// A set of processing groups a workload is deployed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    groups: Vec<GroupId>,
+}
+
+impl Placement {
+    /// Every group on the chip (the single-tenant, lowest-latency
+    /// deployment used for the Fig. 13 latency runs).
+    pub fn full_chip(cfg: &ChipConfig) -> Self {
+        let mut groups = Vec::new();
+        for c in 0..cfg.clusters {
+            for g in 0..cfg.groups_per_cluster {
+                groups.push(GroupId::new(c, g));
+            }
+        }
+        Placement { groups }
+    }
+
+    /// `n` groups of one cluster (Fig. 7's small/medium/large workloads
+    /// are 1, 2, and 3 groups).
+    ///
+    /// `n` is clamped to the cluster's group count; `n = 0` becomes 1.
+    pub fn cluster_groups(cluster: usize, n: usize, cfg: &ChipConfig) -> Self {
+        let n = n.clamp(1, cfg.groups_per_cluster);
+        Placement {
+            groups: (0..n).map(|g| GroupId::new(cluster, g)).collect(),
+        }
+    }
+
+    /// An explicit group list.
+    pub fn explicit(groups: Vec<GroupId>) -> Self {
+        Placement { groups }
+    }
+
+    /// The groups, in stream order.
+    pub fn groups(&self) -> &[GroupId] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the placement is empty (invalid for compilation).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Validates the placement against a chip.
+    pub fn fits(&self, cfg: &ChipConfig) -> bool {
+        !self.is_empty()
+            && self
+                .groups
+                .iter()
+                .all(|g| g.cluster < cfg.clusters && g.group < cfg.groups_per_cluster)
+    }
+
+    /// Groups belonging to `cluster`.
+    pub fn groups_in_cluster(&self, cluster: usize) -> usize {
+        self.groups.iter().filter(|g| g.cluster == cluster).count()
+    }
+
+    /// Clusters this placement touches.
+    pub fn clusters(&self) -> Vec<usize> {
+        let mut cs: Vec<usize> = self.groups.iter().map(|g| g.cluster).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "placement[")?;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_chip_covers_all_groups() {
+        let cfg = ChipConfig::dtu20();
+        let p = Placement::full_chip(&cfg);
+        assert_eq!(p.len(), 6);
+        assert!(p.fits(&cfg));
+        assert_eq!(p.clusters(), vec![0, 1]);
+    }
+
+    #[test]
+    fn fig7_sizes() {
+        let cfg = ChipConfig::dtu20();
+        for n in 1..=3 {
+            let p = Placement::cluster_groups(0, n, &cfg);
+            assert_eq!(p.len(), n);
+            assert!(p.fits(&cfg));
+            assert_eq!(p.groups_in_cluster(0), n);
+            assert_eq!(p.groups_in_cluster(1), 0);
+        }
+        // Clamping.
+        assert_eq!(Placement::cluster_groups(0, 9, &cfg).len(), 3);
+        assert_eq!(Placement::cluster_groups(0, 0, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn invalid_placement_detected() {
+        let cfg = ChipConfig::dtu20();
+        let p = Placement::explicit(vec![GroupId::new(5, 0)]);
+        assert!(!p.fits(&cfg));
+        assert!(!Placement::explicit(vec![]).fits(&cfg));
+    }
+
+    #[test]
+    fn display() {
+        let p = Placement::explicit(vec![GroupId::new(0, 0), GroupId::new(1, 2)]);
+        assert_eq!(p.to_string(), "placement[g0.0,g1.2]");
+    }
+}

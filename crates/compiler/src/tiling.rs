@@ -1,0 +1,136 @@
+//! Data-flow auto-tuning (§V-B "Auto-tuning on data flows").
+//!
+//! The tuner "searches for efficient data tiling solutions that benefit
+//! most from DTU's memory hierarchy and bandwidth": for a kernel's input
+//! stream it enumerates candidate tile sizes that fit the double-buffered
+//! L2 budget, estimates the pipeline time of each (DMA configuration +
+//! transfer, overlapped against compute), and keeps the best.
+
+use dtu_sim::ChipConfig;
+
+/// The tiling the tuner selected for one kernel's input stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TilePlan {
+    /// Bytes per tile (per processing group).
+    pub tile_bytes: u64,
+    /// Number of tiles (DMA transactions).
+    pub tiles: usize,
+    /// Whether the regular stride pattern qualifies for repeat-mode DMA.
+    pub use_repeat: bool,
+    /// Estimated staging time per group, ns (config + transfer, assuming
+    /// the configured bandwidth share).
+    pub estimated_ns: f64,
+}
+
+/// Plans the tiling of `bytes_per_group` of input data streamed into one
+/// processing group's L2.
+///
+/// Double buffering reserves half the group's L2 partition for in-flight
+/// tiles; the candidate set halves the tile size repeatedly and the cost
+/// model trades fewer-configurations (big tiles) against pipeline overlap
+/// granularity (small tiles). With repeat-mode DMA the configuration cost
+/// is paid once regardless of tile count, so the tuner picks smaller
+/// tiles than it can afford without it — the Fig. 6 effect surfacing in
+/// the compiler.
+pub fn plan_tiles(bytes_per_group: u64, bw_share: usize, cfg: &ChipConfig) -> TilePlan {
+    let l2_budget = cfg.l2_bytes_per_group() / 2; // double buffering
+    let config_ns = cfg.dma_config_cycles as f64 * cfg.cycle_ns();
+    let gbps = cfg.l3_gb_per_s / bw_share.max(1) as f64;
+    let repeat_ok = cfg.features.dma_repeat;
+
+    if bytes_per_group == 0 {
+        return TilePlan {
+            tile_bytes: 0,
+            tiles: 0,
+            use_repeat: false,
+            estimated_ns: 0.0,
+        };
+    }
+
+    let mut best: Option<TilePlan> = None;
+    // Candidates: the full payload, then halvings down to 64 KiB.
+    let mut tile = bytes_per_group.min(l2_budget.max(64 * 1024));
+    loop {
+        let tiles = bytes_per_group.div_ceil(tile).max(1) as usize;
+        let use_repeat = repeat_ok && tiles > 1;
+        let configs = if use_repeat { 1 } else { tiles } as f64;
+        let transfer_ns = bytes_per_group as f64 / gbps;
+        // Smaller tiles overlap better with compute: the non-overlappable
+        // exposure is one tile's transfer plus all configuration time.
+        let exposure_ns = configs * config_ns + tile as f64 / gbps;
+        let estimated_ns = transfer_ns + configs * config_ns;
+        let candidate = TilePlan {
+            tile_bytes: tile,
+            tiles,
+            use_repeat,
+            estimated_ns,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let b_exposure = (if b.use_repeat { 1.0 } else { b.tiles as f64 })
+                    * config_ns
+                    + b.tile_bytes as f64 / gbps;
+                exposure_ns < b_exposure
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+        if tile / 2 < 64 * 1024 {
+            break;
+        }
+        tile /= 2;
+    }
+    best.expect("at least one candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_trivial_plan() {
+        let cfg = ChipConfig::dtu20();
+        let p = plan_tiles(0, 1, &cfg);
+        assert_eq!(p.tiles, 0);
+        assert_eq!(p.estimated_ns, 0.0);
+    }
+
+    #[test]
+    fn small_payload_single_tile() {
+        let cfg = ChipConfig::dtu20();
+        let p = plan_tiles(100 * 1024, 1, &cfg);
+        assert!(p.tiles >= 1);
+        assert!(p.tile_bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn large_payload_tiles_within_l2_budget() {
+        let cfg = ChipConfig::dtu20();
+        let p = plan_tiles(64 * 1024 * 1024, 1, &cfg);
+        assert!(p.tiles > 1);
+        assert!(p.tile_bytes <= cfg.l2_bytes_per_group() / 2);
+        assert!(p.use_repeat);
+    }
+
+    #[test]
+    fn repeat_mode_prefers_finer_tiles() {
+        let with = plan_tiles(16 * 1024 * 1024, 1, &ChipConfig::dtu20());
+        let mut cfg10 = ChipConfig::dtu20();
+        cfg10.features.dma_repeat = false;
+        let without = plan_tiles(16 * 1024 * 1024, 1, &cfg10);
+        assert!(with.use_repeat);
+        assert!(!without.use_repeat);
+        // Without repeat, per-tile configs push the tuner to coarser tiles.
+        assert!(without.tile_bytes >= with.tile_bytes);
+    }
+
+    #[test]
+    fn bandwidth_share_raises_estimate() {
+        let cfg = ChipConfig::dtu20();
+        let solo = plan_tiles(8 * 1024 * 1024, 1, &cfg);
+        let shared = plan_tiles(8 * 1024 * 1024, 6, &cfg);
+        assert!(shared.estimated_ns > solo.estimated_ns * 3.0);
+    }
+}

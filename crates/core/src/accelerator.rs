@@ -1,0 +1,89 @@
+//! The accelerator handle.
+
+use crate::DtuError;
+use dtu_sim::{Chip, ChipConfig};
+use std::fmt;
+
+/// A simulated accelerator card.
+///
+/// Owns the chip model plus its configuration; sessions borrow it to run
+/// compiled programs. The two product constructors mirror the paper's
+/// hardware: [`Accelerator::cloudblazer_i20`] (DTU 2.0) and
+/// [`Accelerator::cloudblazer_i10`] (DTU 1.0).
+#[derive(Debug)]
+pub struct Accelerator {
+    chip: Chip,
+}
+
+impl Accelerator {
+    /// The Cloudblazer i20 (DTU 2.0, Table I).
+    pub fn cloudblazer_i20() -> Self {
+        Accelerator {
+            chip: Chip::new(ChipConfig::dtu20()),
+        }
+    }
+
+    /// The Cloudblazer i10 (DTU 1.0, §II-A).
+    pub fn cloudblazer_i10() -> Self {
+        Accelerator {
+            chip: Chip::new(ChipConfig::dtu10()),
+        }
+    }
+
+    /// An accelerator with a custom configuration (ablations, feature
+    /// sweeps, power-management on/off).
+    ///
+    /// # Errors
+    ///
+    /// [`DtuError::Sim`] when the configuration is inconsistent.
+    pub fn with_config(cfg: ChipConfig) -> Result<Self, DtuError> {
+        Ok(Accelerator {
+            chip: Chip::try_new(cfg)?,
+        })
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        self.chip.config()
+    }
+
+    /// The underlying chip model (for advanced use: custom programs,
+    /// direct engine access).
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+}
+
+impl fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_constructors() {
+        let i20 = Accelerator::cloudblazer_i20();
+        assert_eq!(i20.config().total_cores(), 24);
+        let i10 = Accelerator::cloudblazer_i10();
+        assert_eq!(i10.config().total_cores(), 32);
+    }
+
+    #[test]
+    fn custom_config_validated() {
+        let mut cfg = ChipConfig::dtu20();
+        cfg.features.power_management = false;
+        assert!(Accelerator::with_config(cfg).is_ok());
+        let mut bad = ChipConfig::dtu20();
+        bad.clusters = 0;
+        assert!(Accelerator::with_config(bad).is_err());
+    }
+
+    #[test]
+    fn display_names_product() {
+        assert!(Accelerator::cloudblazer_i20().to_string().contains("i20"));
+    }
+}

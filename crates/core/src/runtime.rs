@@ -1,0 +1,416 @@
+//! The runtime library (the paper's TopsRuntime, §V-B): device memory
+//! management and host↔device transfers.
+//!
+//! "TopsRuntime is a library for DTU runtime management. It triggers
+//! resource allocation and task execution." This module provides the
+//! host-side half the facade needs: a first-fit free-list allocator over
+//! the 16 GB device memory (with fragmentation accounting), PCIe Gen4
+//! timed uploads/downloads, and a submission queue that runs sessions in
+//! order and accumulates wall-clock.
+
+use crate::{Accelerator, DtuError, InferenceReport, Session};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// PCIe Gen4 x16 effective bandwidth, GB/s (Table I: 64 GB/s).
+const PCIE_GB_PER_S: f64 = 64.0;
+
+/// Errors from the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// No free region is large enough (the error reports the largest).
+    OutOfDeviceMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Total bytes still free.
+        free: u64,
+        /// Largest contiguous free region.
+        largest_region: u64,
+    },
+    /// The handle was already freed or never allocated.
+    InvalidBuffer {
+        /// The offending handle id.
+        id: u64,
+    },
+    /// A transfer exceeded the buffer's extent.
+    TransferOutOfBounds {
+        /// Bytes requested.
+        requested: u64,
+        /// The buffer's capacity.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfDeviceMemory {
+                requested,
+                free,
+                largest_region,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} B, {free} B free, largest region {largest_region} B"
+            ),
+            RuntimeError::InvalidBuffer { id } => write!(f, "invalid device buffer handle {id}"),
+            RuntimeError::TransferOutOfBounds {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "transfer of {requested} B exceeds buffer capacity {capacity} B"
+            ),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// A handle to an allocation in device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceBuffer {
+    id: u64,
+    offset: u64,
+    bytes: u64,
+}
+
+impl DeviceBuffer {
+    /// Device byte offset of the allocation.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Allocation size in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether the allocation is zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// Alignment of every device allocation (HBM burst granularity).
+const ALIGN: u64 = 256;
+
+/// First-fit free-list allocator over the device memory.
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    capacity: u64,
+    /// Free regions as offset -> length, coalesced on free.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations by handle id.
+    live: BTreeMap<u64, (u64, u64)>,
+    next_id: u64,
+}
+
+impl DeviceAllocator {
+    /// Creates an allocator over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(0, capacity);
+        DeviceAllocator {
+            capacity,
+            free,
+            live: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Total capacity, bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// The largest contiguous free region.
+    pub fn largest_region(&self) -> u64 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// External fragmentation: 1 − largest_region / free (0 when empty or
+    /// perfectly coalesced).
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_region() as f64 / free as f64
+        }
+    }
+
+    /// Allocates `bytes` (rounded up to the 256-byte alignment).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::OutOfDeviceMemory`] when no region fits.
+    pub fn alloc(&mut self, bytes: u64) -> Result<DeviceBuffer, RuntimeError> {
+        let want = bytes.max(1).div_ceil(ALIGN) * ALIGN;
+        let slot = self
+            .free
+            .iter()
+            .find(|(_, &len)| len >= want)
+            .map(|(&off, &len)| (off, len));
+        let Some((off, len)) = slot else {
+            return Err(RuntimeError::OutOfDeviceMemory {
+                requested: want,
+                free: self.free_bytes(),
+                largest_region: self.largest_region(),
+            });
+        };
+        self.free.remove(&off);
+        if len > want {
+            self.free.insert(off + want, len - want);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, (off, want));
+        Ok(DeviceBuffer {
+            id,
+            offset: off,
+            bytes: want,
+        })
+    }
+
+    /// Frees an allocation, coalescing adjacent free regions.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidBuffer`] for double frees or foreign
+    /// handles.
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RuntimeError> {
+        let Some((off, len)) = self.live.remove(&buf.id) else {
+            return Err(RuntimeError::InvalidBuffer { id: buf.id });
+        };
+        // Coalesce with the predecessor.
+        let mut off = off;
+        let mut len = len;
+        if let Some((&poff, &plen)) = self.free.range(..off).next_back() {
+            if poff + plen == off {
+                self.free.remove(&poff);
+                off = poff;
+                len += plen;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some(&slen) = self.free.get(&(off + len)) {
+            self.free.remove(&(off + len));
+            len += slen;
+        }
+        self.free.insert(off, len);
+        Ok(())
+    }
+
+    /// Live allocation count.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// The host-side runtime: device allocator + PCIe transfer clock + task
+/// queue statistics.
+#[derive(Debug)]
+pub struct Runtime<'a> {
+    accel: &'a Accelerator,
+    allocator: DeviceAllocator,
+    /// Wall-clock accumulated by transfers and executions, ns.
+    elapsed_ns: f64,
+    /// Completed task count.
+    completed: u64,
+}
+
+impl<'a> Runtime<'a> {
+    /// Creates a runtime bound to an accelerator.
+    pub fn new(accel: &'a Accelerator) -> Self {
+        Runtime {
+            accel,
+            allocator: DeviceAllocator::new(accel.config().l3_bytes()),
+            elapsed_ns: 0.0,
+            completed: 0,
+        }
+    }
+
+    /// The accelerator this runtime drives.
+    pub fn accelerator(&self) -> &Accelerator {
+        self.accel
+    }
+
+    /// The device allocator.
+    pub fn allocator(&self) -> &DeviceAllocator {
+        &self.allocator
+    }
+
+    /// Allocates device memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeviceAllocator::alloc`].
+    pub fn malloc(&mut self, bytes: u64) -> Result<DeviceBuffer, RuntimeError> {
+        self.allocator.alloc(bytes)
+    }
+
+    /// Frees device memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeviceAllocator::free`].
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RuntimeError> {
+        self.allocator.free(buf)
+    }
+
+    /// Uploads `bytes` into a buffer over PCIe; returns the transfer time
+    /// in nanoseconds (also added to the runtime clock).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::TransferOutOfBounds`] past the buffer's extent.
+    pub fn upload(&mut self, buf: &DeviceBuffer, bytes: u64) -> Result<f64, RuntimeError> {
+        if bytes > buf.bytes {
+            return Err(RuntimeError::TransferOutOfBounds {
+                requested: bytes,
+                capacity: buf.bytes,
+            });
+        }
+        let ns = bytes as f64 / PCIE_GB_PER_S;
+        self.elapsed_ns += ns;
+        Ok(ns)
+    }
+
+    /// Downloads `bytes` from a buffer over PCIe; returns the transfer
+    /// time in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Runtime::upload`].
+    pub fn download(&mut self, buf: &DeviceBuffer, bytes: u64) -> Result<f64, RuntimeError> {
+        self.upload(buf, bytes)
+    }
+
+    /// Executes a compiled session as the next queued task, adding its
+    /// latency to the runtime clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn submit(&mut self, session: &Session<'_>) -> Result<InferenceReport, DtuError> {
+        let report = session.run()?;
+        self.elapsed_ns += report.raw().latency_ns;
+        self.completed += 1;
+        Ok(report)
+    }
+
+    /// Wall-clock accumulated so far, ns.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.elapsed_ns
+    }
+
+    /// Tasks completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SessionOptions;
+    use dtu_graph::{Graph, Op, TensorType};
+
+    #[test]
+    fn alloc_free_roundtrip_and_alignment() {
+        let mut a = DeviceAllocator::new(1 << 20);
+        let b1 = a.alloc(100).unwrap();
+        assert_eq!(b1.len(), 256); // aligned up
+        assert_eq!(b1.offset() % ALIGN, 0);
+        let b2 = a.alloc(1000).unwrap();
+        assert_eq!(b2.offset(), 256);
+        a.free(b1).unwrap();
+        a.free(b2).unwrap();
+        assert_eq!(a.free_bytes(), 1 << 20);
+        assert_eq!(a.largest_region(), 1 << 20);
+        assert_eq!(a.live_allocations(), 0);
+    }
+
+    #[test]
+    fn coalescing_heals_fragmentation() {
+        let mut a = DeviceAllocator::new(4096);
+        let bufs: Vec<_> = (0..4).map(|_| a.alloc(1024).unwrap()).collect();
+        assert_eq!(a.free_bytes(), 0);
+        // Free alternating buffers: fragmented.
+        a.free(bufs[0]).unwrap();
+        a.free(bufs[2]).unwrap();
+        assert!(a.fragmentation() > 0.0);
+        assert_eq!(a.largest_region(), 1024);
+        // Larger allocation cannot fit despite 2048 free.
+        let err = a.alloc(2048).unwrap_err();
+        assert!(matches!(err, RuntimeError::OutOfDeviceMemory { largest_region: 1024, .. }));
+        // Free the rest: fully coalesced.
+        a.free(bufs[1]).unwrap();
+        a.free(bufs[3]).unwrap();
+        assert_eq!(a.fragmentation(), 0.0);
+        a.alloc(4096).unwrap();
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = DeviceAllocator::new(4096);
+        let b = a.alloc(128).unwrap();
+        a.free(b).unwrap();
+        assert!(matches!(a.free(b), Err(RuntimeError::InvalidBuffer { .. })));
+    }
+
+    #[test]
+    fn oom_reports_largest_region() {
+        let mut a = DeviceAllocator::new(1024);
+        let _keep = a.alloc(1024).unwrap();
+        match a.alloc(1) {
+            Err(RuntimeError::OutOfDeviceMemory { free: 0, .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pcie_transfer_times() {
+        let accel = Accelerator::cloudblazer_i20();
+        let mut rt = Runtime::new(&accel);
+        let buf = rt.malloc(64 * 1024 * 1024).unwrap();
+        // 64 MiB at 64 GB/s ≈ 1.05 ms.
+        let ns = rt.upload(&buf, 64 * 1024 * 1024).unwrap();
+        assert!((ns / 1e6 - 1.05).abs() < 0.05, "{ns}");
+        assert!(rt.download(&buf, 1024).unwrap() > 0.0);
+        assert!(matches!(
+            rt.upload(&buf, u64::MAX),
+            Err(RuntimeError::TransferOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_runs_sessions_and_tracks_wall_clock() {
+        let accel = Accelerator::cloudblazer_i20();
+        let mut g = Graph::new("t");
+        let x = g.input("x", TensorType::fixed(&[1, 8, 16, 16]));
+        let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
+        g.mark_output(c);
+        let session = Session::compile(&accel, &g, SessionOptions::default()).unwrap();
+        let mut rt = Runtime::new(&accel);
+        let weights = rt.malloc(1024).unwrap();
+        rt.upload(&weights, 1024).unwrap();
+        let r1 = rt.submit(&session).unwrap();
+        let r2 = rt.submit(&session).unwrap();
+        assert_eq!(rt.completed(), 2);
+        assert!(rt.elapsed_ns() >= r1.raw().latency_ns + r2.raw().latency_ns);
+    }
+
+    #[test]
+    fn allocator_capacity_matches_device() {
+        let accel = Accelerator::cloudblazer_i20();
+        let rt = Runtime::new(&accel);
+        assert_eq!(rt.allocator().capacity(), 16 * 1024 * 1024 * 1024);
+    }
+}

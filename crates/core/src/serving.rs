@@ -1,0 +1,282 @@
+//! Cloud-serving simulation: request queues, tail latency, and QoS.
+//!
+//! The paper's framing is a *cloud inference service*: "the ability to
+//! efficiently serve multiple user requests is crucial to improve
+//! throughput and hardware utilization" (§IV-E), with isolated
+//! processing groups keeping tenants from hurting each other's latency.
+//! This module adds the serving layer on top of the simulator: Poisson
+//! request arrivals per tenant, one isolated processing group per
+//! tenant, FIFO queueing, and the latency-distribution statistics an SLA
+//! is written against.
+
+use crate::{Accelerator, DtuError, Placement, Session, SessionOptions};
+use dtu_graph::Graph;
+use dtu_sim::GroupId;
+use std::fmt;
+
+/// Serving-scenario parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Number of tenants, each on its own processing group (max 6 on the
+    /// i20).
+    pub tenants: usize,
+    /// Mean request arrival rate per tenant, queries/second (Poisson).
+    pub arrival_qps: f64,
+    /// Simulated wall-clock horizon, milliseconds.
+    pub duration_ms: f64,
+    /// PRNG seed for the arrival process.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            tenants: 3,
+            arrival_qps: 300.0,
+            duration_ms: 100.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Latency and throughput statistics of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests completed within the horizon.
+    pub completed: u64,
+    /// Aggregate throughput, queries/second.
+    pub throughput_qps: f64,
+    /// Mean end-to-end latency (queueing + service), ms.
+    pub mean_ms: f64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Pure service time (one inference on one group), ms.
+    pub service_ms: f64,
+    /// Offered utilisation per tenant (arrival rate × service time).
+    pub utilization: f64,
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reqs, {:.0} QPS, p50/p95/p99 = {:.2}/{:.2}/{:.2} ms (service {:.2} ms, util {:.0}%)",
+            self.completed,
+            self.throughput_qps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.service_ms,
+            self.utilization * 100.0
+        )
+    }
+}
+
+/// Deterministic xorshift PRNG for the arrival process.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        // Uniform in (0, 1].
+        ((self.0 >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponential inter-arrival with rate `lambda` per ms.
+    fn next_exp_ms(&mut self, lambda_per_ms: f64) -> f64 {
+        -self.next_f64().ln() / lambda_per_ms
+    }
+}
+
+/// Simulates serving `graph` under Poisson load with per-tenant isolated
+/// processing groups (M/D/1 per tenant: the accelerator's latency is
+/// deterministic).
+///
+/// # Errors
+///
+/// Compilation/simulation failures surface as [`DtuError`]; the tenant
+/// count is clamped to the chip's group count.
+pub fn simulate_serving(
+    accel: &Accelerator,
+    graph: &Graph,
+    cfg: &ServingConfig,
+) -> Result<ServingReport, DtuError> {
+    let max_tenants = accel.config().total_groups();
+    let tenants = cfg.tenants.clamp(1, max_tenants);
+    let groups_per_cluster = accel.config().groups_per_cluster;
+
+    // Service time: one inference on a single isolated group. All groups
+    // are identical, so compile once.
+    let placement = Placement::explicit(vec![GroupId::new(0, 0)]);
+    let session = Session::compile(
+        accel,
+        graph,
+        SessionOptions {
+            placement: Some(placement),
+            ..Default::default()
+        },
+    )?;
+    let service_ms = session.run()?.latency_ms();
+
+    // Per-tenant M/D/1 FIFO queues, independent Poisson arrivals.
+    let mut rng = Rng(cfg.seed | 1);
+    let mut latencies: Vec<f64> = Vec::new();
+    for tenant in 0..tenants {
+        let _group = GroupId::new(tenant / groups_per_cluster, tenant % groups_per_cluster);
+        let lambda_per_ms = cfg.arrival_qps / 1e3;
+        let mut t = 0.0f64;
+        let mut free_at = 0.0f64;
+        loop {
+            t += rng.next_exp_ms(lambda_per_ms);
+            if t > cfg.duration_ms {
+                break;
+            }
+            let start = t.max(free_at);
+            let done = start + service_ms;
+            free_at = done;
+            latencies.push(done - t);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies.len() as u64;
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+            latencies[idx]
+        }
+    };
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    Ok(ServingReport {
+        completed,
+        throughput_qps: completed as f64 / (cfg.duration_ms / 1e3),
+        mean_ms: mean,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        service_ms,
+        utilization: cfg.arrival_qps * service_ms / 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::{Op, TensorType};
+
+    fn toy() -> Graph {
+        let mut g = Graph::new("toy");
+        let x = g.input("x", TensorType::fixed(&[1, 8, 32, 32]));
+        let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+        let r = g.add_node(Op::Relu, vec![c]).unwrap();
+        g.mark_output(r);
+        g
+    }
+
+    #[test]
+    fn light_load_latency_near_service_time() {
+        let accel = Accelerator::cloudblazer_i20();
+        let cfg = ServingConfig {
+            tenants: 3,
+            arrival_qps: 50.0, // far below capacity
+            duration_ms: 200.0,
+            seed: 7,
+        };
+        let r = simulate_serving(&accel, &toy(), &cfg).unwrap();
+        assert!(r.completed > 0);
+        assert!(r.utilization < 0.2);
+        // With almost no queueing, p99 is close to the service time.
+        assert!(r.p99_ms < r.service_ms * 2.0, "{r}");
+    }
+
+    #[test]
+    fn heavy_load_grows_the_tail() {
+        let accel = Accelerator::cloudblazer_i20();
+        let g = toy();
+        let light = simulate_serving(
+            &accel,
+            &g,
+            &ServingConfig {
+                arrival_qps: 50.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Near saturation (util ~0.9).
+        let hot_qps = 0.9 / light.service_ms * 1e3;
+        let heavy = simulate_serving(
+            &accel,
+            &g,
+            &ServingConfig {
+                arrival_qps: hot_qps,
+                duration_ms: 500.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(heavy.p99_ms > light.p99_ms * 2.0, "{light} vs {heavy}");
+        assert!(heavy.p99_ms > heavy.p50_ms);
+    }
+
+    #[test]
+    fn tenants_scale_throughput() {
+        let accel = Accelerator::cloudblazer_i20();
+        let g = toy();
+        let run = |tenants| {
+            simulate_serving(
+                &accel,
+                &g,
+                &ServingConfig {
+                    tenants,
+                    arrival_qps: 200.0,
+                    duration_ms: 300.0,
+                    seed: 11,
+                },
+            )
+            .unwrap()
+            .throughput_qps
+        };
+        let one = run(1);
+        let six = run(6);
+        assert!(
+            six > one * 4.0,
+            "6 tenants ({six:.0} QPS) should serve far more than 1 ({one:.0} QPS)"
+        );
+    }
+
+    #[test]
+    fn tenant_count_clamped_to_chip() {
+        let accel = Accelerator::cloudblazer_i20();
+        let r = simulate_serving(
+            &accel,
+            &toy(),
+            &ServingConfig {
+                tenants: 99,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let accel = Accelerator::cloudblazer_i20();
+        let g = toy();
+        let cfg = ServingConfig::default();
+        let a = simulate_serving(&accel, &g, &cfg).unwrap();
+        let b = simulate_serving(&accel, &g, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

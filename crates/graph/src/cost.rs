@@ -1,0 +1,472 @@
+//! Workload characterisation: what each operator costs.
+//!
+//! Both sides of the evaluation consume this: the DTU compiler turns
+//! costs into kernel descriptors for the simulator, and the baseline
+//! roofline models turn the *same* costs into GPU latency estimates —
+//! so any relative result between platforms is driven by their
+//! hardware parameters, not by divergent workload accounting.
+
+use crate::graph::GraphError;
+use crate::op::{Dim, Op, PoolKind, TensorType};
+use dtu_isa::OpClass;
+
+/// The characterised work of one operator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Non-MAC vector ALU operations (element count).
+    pub vector_ops: u64,
+    /// SFU transcendental evaluations.
+    pub sfu_ops: u64,
+    /// Bytes of activations read.
+    pub input_bytes: u64,
+    /// Bytes of activations written.
+    pub output_bytes: u64,
+    /// Bytes of weights/parameters read.
+    pub weight_bytes: u64,
+    /// Work classification for the power model and DVFS classifier.
+    pub class: OpClass,
+    /// The narrowest GEMM dimension of a matrix op (0 for non-matrix
+    /// work). Tensor-core tiles waste throughput when this is small —
+    /// the tall-and-skinny effect §III motivates fine-grained VMM with.
+    pub narrow_dim: u64,
+    /// Whether a fast-convolution algorithm (Winograd-class) applies:
+    /// dense 3x3, stride 1, both channel counts >= 128. GPU libraries
+    /// exploit this on "typical CNN operators" (§VI-D); direct-conv
+    /// engines do not.
+    pub winograd_eligible: bool,
+    /// Whether the op chain contains a LeakyReLU/PReLU epilogue, which
+    /// the fast-convolution kernel selections do not fuse.
+    pub leaky: bool,
+}
+
+impl OpCost {
+    /// Total floating-point operations (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs + self.vector_ops + self.sfu_ops
+    }
+
+    /// Total bytes touched (activations in/out plus weights).
+    pub fn total_bytes(&self) -> u64 {
+        self.input_bytes + self.output_bytes + self.weight_bytes
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (infinite for zero bytes).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.total_bytes() == 0 {
+            f64::INFINITY
+        } else {
+            self.flops() as f64 / self.total_bytes() as f64
+        }
+    }
+
+    /// Merges another cost into this one (fusion accounting). The
+    /// narrow-dim of the heavier matrix op wins; a leaky epilogue
+    /// anywhere in the chain poisons fast-convolution eligibility.
+    pub fn merge(&mut self, other: &OpCost) {
+        if other.macs > self.macs && other.narrow_dim != 0 {
+            self.narrow_dim = other.narrow_dim;
+            self.winograd_eligible = other.winograd_eligible;
+        } else if self.narrow_dim == 0 {
+            self.narrow_dim = other.narrow_dim;
+            self.winograd_eligible = self.winograd_eligible || other.winograd_eligible;
+        }
+        self.leaky |= other.leaky;
+        if self.leaky {
+            self.winograd_eligible = false;
+        }
+        self.macs += other.macs;
+        self.vector_ops += other.vector_ops;
+        self.sfu_ops += other.sfu_ops;
+        self.input_bytes += other.input_bytes;
+        self.output_bytes += other.output_bytes;
+        self.weight_bytes += other.weight_bytes;
+    }
+}
+
+fn fixed_len(t: &TensorType, what: &str) -> Result<u64, GraphError> {
+    t.len().map(|n| n as u64).ok_or(GraphError::ShapeInference {
+        reason: format!("{what} has dynamic dims; bind them before costing"),
+    })
+}
+
+fn dim(t: &TensorType, i: usize, what: &str) -> Result<u64, GraphError> {
+    t.dims
+        .get(i)
+        .and_then(Dim::value)
+        .map(|n| n as u64)
+        .ok_or(GraphError::ShapeInference {
+            reason: format!("{what} dim {i} is dynamic or missing"),
+        })
+}
+
+/// Characterises one operator given its (fully fixed) input and output
+/// types.
+///
+/// # Errors
+///
+/// [`GraphError::ShapeInference`] when a needed dimension is dynamic —
+/// bind dynamic dims (e.g. the batch) before costing.
+pub fn characterize(
+    op: &Op,
+    inputs: &[&TensorType],
+    output: &TensorType,
+) -> Result<OpCost, GraphError> {
+    let in_bytes: u64 = inputs
+        .iter()
+        .map(|t| fixed_len(t, "input").map(|n| n * t.dtype.size_bytes() as u64))
+        .sum::<Result<u64, _>>()?;
+    let out_elems = fixed_len(output, "output")?;
+    let out_bytes = out_elems * output.dtype.size_bytes() as u64;
+    let dt_bytes = output.dtype.size_bytes() as u64;
+
+    let mut cost = OpCost {
+        input_bytes: in_bytes,
+        output_bytes: out_bytes,
+        ..Default::default()
+    };
+
+    match op {
+        Op::Input { .. } => {
+            cost.input_bytes = 0;
+            cost.output_bytes = 0;
+            cost.class = OpClass::Movement;
+        }
+        Op::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            groups,
+            ..
+        } => {
+            let x = inputs.first().ok_or(GraphError::ShapeInference {
+                reason: "conv2d missing input".into(),
+            })?;
+            let in_c = dim(x, 1, "conv input")?;
+            let k = *kernel as u64;
+            let g = *groups as u64;
+            let taps = (in_c / g) * k * k;
+            cost.macs = out_elems * taps;
+            cost.weight_bytes = (*out_channels as u64) * taps * dt_bytes;
+            cost.class = OpClass::MatrixDense;
+            // As a GEMM, conv's N dimension is out_channels/groups.
+            cost.narrow_dim = (*out_channels as u64) / (g.max(1));
+            cost.winograd_eligible =
+                k == 3 && *stride == 1 && g == 1 && in_c >= 128 && *out_channels >= 128;
+        }
+        Op::ConvTranspose2d {
+            out_channels,
+            kernel,
+            ..
+        } => {
+            let x = inputs.first().ok_or(GraphError::ShapeInference {
+                reason: "deconv missing input".into(),
+            })?;
+            let in_c = dim(x, 1, "deconv input")?;
+            let k = *kernel as u64;
+            let in_elems = fixed_len(x, "deconv input")?;
+            // Each input element scatters a k×k stencil into out_c maps:
+            // in_elems · k² · out_c MACs.
+            cost.macs = in_elems * k * k * (*out_channels as u64);
+            cost.weight_bytes = in_c * (*out_channels as u64) * k * k * dt_bytes;
+            cost.class = OpClass::MatrixDense;
+            cost.narrow_dim = *out_channels as u64;
+        }
+        Op::Dense { units } => {
+            let x = inputs.first().ok_or(GraphError::ShapeInference {
+                reason: "dense missing input".into(),
+            })?;
+            let in_f = dim(x, x.rank() - 1, "dense input")?;
+            let rows = fixed_len(x, "dense input")? / in_f.max(1);
+            cost.macs = rows * in_f * (*units as u64);
+            cost.weight_bytes = in_f * (*units as u64) * dt_bytes;
+            cost.class = OpClass::MatrixDense;
+            cost.narrow_dim = rows.min(*units as u64);
+        }
+        Op::MatMul => {
+            let a = inputs.first().ok_or(GraphError::ShapeInference {
+                reason: "matmul missing input".into(),
+            })?;
+            let k = dim(a, a.rank() - 1, "matmul lhs")?;
+            cost.macs = out_elems * k;
+            cost.class = OpClass::MatrixDense;
+            let m = dim(a, a.rank() - 2, "matmul lhs")?;
+            let nn = dim(output, output.rank() - 1, "matmul output")?;
+            cost.narrow_dim = m.min(nn);
+        }
+        Op::Activation { .. } => {
+            cost.sfu_ops = out_elems;
+            cost.class = OpClass::Activation;
+        }
+        Op::Relu => {
+            cost.vector_ops = out_elems;
+            cost.class = OpClass::Elementwise;
+        }
+        Op::LeakyRelu { .. } => {
+            cost.vector_ops = out_elems;
+            cost.class = OpClass::Elementwise;
+            cost.leaky = true;
+        }
+        Op::Binary { .. } => {
+            cost.vector_ops = out_elems;
+            cost.class = OpClass::Elementwise;
+        }
+        Op::BatchNorm => {
+            // Folded scale+shift: one FMA per element.
+            cost.vector_ops = 2 * out_elems;
+            cost.class = OpClass::Elementwise;
+        }
+        Op::LayerNorm => {
+            let last = dim(output, output.rank() - 1, "layernorm")?;
+            let rows = out_elems / last.max(1);
+            // mean, variance, normalise: ~4 passes; rsqrt per row.
+            cost.vector_ops = 4 * out_elems;
+            cost.sfu_ops = rows;
+            cost.class = OpClass::Reduction;
+        }
+        Op::Softmax => {
+            // exp per element plus max/sum/divide passes.
+            cost.sfu_ops = out_elems;
+            cost.vector_ops = 3 * out_elems;
+            cost.class = OpClass::Reduction;
+        }
+        Op::Pool { kind, kernel, .. } => {
+            let taps = match kind {
+                PoolKind::GlobalAvg => {
+                    let x = inputs.first().ok_or(GraphError::ShapeInference {
+                        reason: "pool missing input".into(),
+                    })?;
+                    fixed_len(x, "pool input")? / out_elems.max(1)
+                }
+                _ => (*kernel as u64) * (*kernel as u64),
+            };
+            cost.vector_ops = out_elems * taps;
+            cost.class = OpClass::Reduction;
+        }
+        Op::Upsample { .. } | Op::Concat { .. } | Op::Transpose { .. } | Op::Reshape { .. } => {
+            // Pure data movement: no ALU work; DMA does the shuffling.
+            cost.class = OpClass::Movement;
+        }
+        Op::Embedding { width, .. } => {
+            // One row gather per index; latency-bound.
+            cost.weight_bytes = out_elems / (*width as u64).max(1) * (*width as u64) * dt_bytes;
+            cost.class = OpClass::Gather;
+        }
+        Op::TopK { k } => {
+            let x = inputs.first().ok_or(GraphError::ShapeInference {
+                reason: "topk missing input".into(),
+            })?;
+            let n = fixed_len(x, "topk input")?;
+            // VMM-assisted sort (Fig. 4): relationship matrix + one VMM per
+            // 32-element chunk → ~2·32 MACs per element, then merge.
+            cost.macs = n * 64;
+            cost.vector_ops = n * (*k as u64).max(1).ilog2() as u64;
+            cost.class = OpClass::MatrixDense;
+        }
+    }
+    Ok(cost)
+}
+
+/// Characterises every node of a graph (shape inference included) and
+/// returns per-node costs in topological order alongside the grand total.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures; dynamic dims must be bound first.
+pub fn graph_costs(
+    graph: &crate::Graph,
+) -> Result<(Vec<(crate::NodeId, OpCost)>, OpCost), GraphError> {
+    let shapes = graph.infer_shapes()?;
+    let mut per_node = Vec::with_capacity(graph.len());
+    let mut total = OpCost::default();
+    for node in graph.nodes() {
+        let input_types: Vec<&TensorType> =
+            node.inputs.iter().map(|i| &shapes[i]).collect();
+        let cost = characterize(&node.op, &input_types, &shapes[&node.id])?;
+        total.merge(&cost);
+        per_node.push((node.id, cost));
+    }
+    Ok((per_node, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinaryKind;
+    use dtu_isa::{DataType, SfuFunc};
+
+    fn t(dims: &[usize]) -> TensorType {
+        TensorType::fixed(dims)
+    }
+
+    #[test]
+    fn conv_macs_formula() {
+        // ResNet conv3x3: in 64ch 56x56, out 64ch 56x56.
+        let x = t(&[1, 64, 56, 56]);
+        let y = t(&[1, 64, 56, 56]);
+        let c = characterize(&Op::conv2d(64, 3, 1, 1), &[&x], &y).unwrap();
+        assert_eq!(c.macs, 64 * 56 * 56 * 64 * 9);
+        assert_eq!(c.weight_bytes, 64 * 64 * 9 * 2);
+        assert_eq!(c.class, OpClass::MatrixDense);
+        assert!(c.arithmetic_intensity() > 100.0);
+    }
+
+    #[test]
+    fn depthwise_conv_is_cheap() {
+        let x = t(&[1, 64, 56, 56]);
+        let y = t(&[1, 64, 56, 56]);
+        let dense = characterize(&Op::conv2d(64, 3, 1, 1), &[&x], &y).unwrap();
+        let dw = characterize(&Op::depthwise_conv2d(64, 3, 1, 1), &[&x], &y).unwrap();
+        assert_eq!(dense.macs / dw.macs, 64);
+    }
+
+    #[test]
+    fn dense_and_matmul_macs() {
+        let x = t(&[8, 1024]);
+        let y = t(&[8, 4096]);
+        let c = characterize(&Op::Dense { units: 4096 }, &[&x], &y).unwrap();
+        assert_eq!(c.macs, 8 * 1024 * 4096);
+
+        let a = t(&[12, 384, 64]);
+        let b = t(&[12, 64, 384]);
+        let o = t(&[12, 384, 384]);
+        let m = characterize(&Op::MatMul, &[&a, &b], &o).unwrap();
+        assert_eq!(m.macs, 12 * 384 * 384 * 64);
+    }
+
+    #[test]
+    fn activation_uses_sfu() {
+        let x = t(&[1, 1000]);
+        let c = characterize(
+            &Op::Activation {
+                func: SfuFunc::Gelu,
+            },
+            &[&x],
+            &x,
+        )
+        .unwrap();
+        assert_eq!(c.sfu_ops, 1000);
+        assert_eq!(c.macs, 0);
+        assert_eq!(c.class, OpClass::Activation);
+    }
+
+    #[test]
+    fn relu_uses_vector_engine() {
+        let x = t(&[1, 1000]);
+        let c = characterize(&Op::Relu, &[&x], &x).unwrap();
+        assert_eq!(c.vector_ops, 1000);
+        assert_eq!(c.sfu_ops, 0);
+        assert_eq!(c.class, OpClass::Elementwise);
+    }
+
+    #[test]
+    fn layout_ops_move_only() {
+        let x = t(&[1, 64, 56, 56]);
+        let y = t(&[1, 56, 56, 64]);
+        let c = characterize(
+            &Op::Transpose {
+                perm: vec![0, 2, 3, 1],
+            },
+            &[&x],
+            &y,
+        )
+        .unwrap();
+        assert_eq!(c.flops(), 0);
+        assert_eq!(c.class, OpClass::Movement);
+        assert!(c.total_bytes() > 0);
+    }
+
+    #[test]
+    fn softmax_and_layernorm() {
+        let x = t(&[8, 384, 384]);
+        let s = characterize(&Op::Softmax, &[&x], &x).unwrap();
+        assert_eq!(s.sfu_ops, 8 * 384 * 384);
+        assert_eq!(s.class, OpClass::Reduction);
+
+        let h = t(&[8, 384, 1024]);
+        let l = characterize(&Op::LayerNorm, &[&h], &h).unwrap();
+        assert_eq!(l.sfu_ops, 8 * 384);
+        assert!(l.vector_ops > 0);
+    }
+
+    #[test]
+    fn global_pool_taps() {
+        let x = t(&[1, 2048, 7, 7]);
+        let y = t(&[1, 2048, 1, 1]);
+        let c = characterize(
+            &Op::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: 0,
+                stride: 0,
+            },
+            &[&x],
+            &y,
+        )
+        .unwrap();
+        assert_eq!(c.vector_ops, 2048 * 49);
+    }
+
+    #[test]
+    fn embedding_is_gather_class() {
+        let idx = t(&[1, 384]);
+        let out = t(&[1, 384, 1024]);
+        let c = characterize(
+            &Op::Embedding {
+                vocab: 30_000,
+                width: 1024,
+            },
+            &[&idx],
+            &out,
+        )
+        .unwrap();
+        assert_eq!(c.class, OpClass::Gather);
+        assert!(c.weight_bytes > 0);
+        assert_eq!(c.macs, 0);
+    }
+
+    #[test]
+    fn dynamic_dims_rejected() {
+        let x = TensorType {
+            dtype: DataType::Fp16,
+            dims: vec![Dim::Dynamic("batch".into()), Dim::Fixed(10)],
+        };
+        let y = x.clone();
+        assert!(characterize(&Op::Relu, &[&x], &y).is_err());
+    }
+
+    #[test]
+    fn cost_merge_and_flops() {
+        let mut a = OpCost {
+            macs: 100,
+            vector_ops: 10,
+            ..Default::default()
+        };
+        let b = OpCost {
+            sfu_ops: 5,
+            input_bytes: 64,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flops(), 215);
+        assert_eq!(a.input_bytes, 64);
+    }
+
+    #[test]
+    fn binary_residual_cost() {
+        let x = t(&[1, 64, 56, 56]);
+        let c = characterize(&Op::Binary { kind: BinaryKind::Add }, &[&x, &x], &x).unwrap();
+        assert_eq!(c.vector_ops, 64 * 56 * 56);
+        // Two inputs counted.
+        assert_eq!(c.input_bytes, 2 * 64 * 56 * 56 * 2);
+    }
+
+    #[test]
+    fn topk_maps_to_vmm_work() {
+        let x = t(&[1, 1000]);
+        let y = t(&[1, 5]);
+        let c = characterize(&Op::TopK { k: 5 }, &[&x], &y).unwrap();
+        assert!(c.macs > 0);
+        assert_eq!(c.class, OpClass::MatrixDense);
+    }
+}

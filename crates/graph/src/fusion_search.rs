@@ -1,0 +1,336 @@
+//! Search-based automatic operator fusion.
+//!
+//! §V-B: "Currently, the strategy of operator fusion is designed with
+//! expert knowledge. We consider enabling search-based automatic
+//! operator fusion soon as a supplementary approach to discovering more
+//! beneficial solutions." This module implements that future-work item:
+//! a greedy merge search over the fusion lattice, driven by an explicit
+//! cost model (kernel launch overhead + intermediate materialisation
+//! traffic), subject to the same legality rules as the expert pass plus
+//! an on-chip working-set budget.
+
+use crate::cost::{characterize, OpCost};
+use crate::fusion::{FusedGroup, FusionPlan};
+use crate::graph::{Graph, GraphError, NodeId};
+use crate::op::Op;
+use std::collections::BTreeMap;
+
+/// Cost-model constants for the fusion search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Fixed cost per kernel launch, ns.
+    pub launch_ns: f64,
+    /// Achievable memory bandwidth for materialised intermediates, GB/s.
+    pub bandwidth_gb_s: f64,
+    /// Working-set budget per fused kernel, bytes. Fused kernels tile
+    /// their activations through L2, so the budget reflects the chip's
+    /// total shared-memory capacity (the "increased register/memory
+    /// capacity" fusion exploits), not a single tensor.
+    pub working_set_budget: u64,
+    /// Maximum operators per fused kernel.
+    pub max_group_len: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            launch_ns: 1_100.0,
+            bandwidth_gb_s: 819.0,
+            working_set_budget: 64 * 1024 * 1024,
+            max_group_len: 12,
+        }
+    }
+}
+
+/// The outcome of a fusion search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The discovered plan.
+    pub plan: FusionPlan,
+    /// Estimated execution-overhead cost of the plan, ns.
+    pub estimated_cost_ns: f64,
+    /// Number of greedy merge steps taken.
+    pub merges: usize,
+}
+
+/// Estimated overhead of a plan: launches plus the traffic of every
+/// materialised inter-group edge (write + read).
+///
+/// # Errors
+///
+/// Propagates shape/costing failures (dynamic dims must be bound).
+pub fn plan_cost_ns(graph: &Graph, plan: &FusionPlan, cfg: &SearchConfig) -> Result<f64, GraphError> {
+    let shapes = graph.infer_shapes()?;
+    let group_of: BTreeMap<NodeId, usize> = plan
+        .groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.nodes.iter().map(move |&n| (n, gi)))
+        .collect();
+    let mut cost = plan.groups.len() as f64 * cfg.launch_ns;
+    for node in graph.nodes() {
+        let Some(&gi) = group_of.get(&node.id) else {
+            continue; // inputs
+        };
+        for &input in &node.inputs {
+            let producer_group = group_of.get(&input);
+            if producer_group != Some(&gi) {
+                // Materialised edge: the tensor is written then read.
+                let bytes = shapes[&input].bytes().unwrap_or(0) as f64;
+                cost += 2.0 * bytes / cfg.bandwidth_gb_s;
+            }
+        }
+    }
+    Ok(cost)
+}
+
+/// Working-set bytes of a merged candidate: external inputs + outputs +
+/// weights (interior edges live in registers, which is the point).
+fn group_working_set(
+    graph: &Graph,
+    nodes: &[NodeId],
+    shapes: &BTreeMap<NodeId, crate::op::TensorType>,
+) -> Result<u64, GraphError> {
+    let mut total = 0u64;
+    let inside = |n: &NodeId| nodes.contains(n);
+    for &nid in nodes {
+        let node = graph.node(nid)?;
+        let input_types: Vec<_> = node.inputs.iter().map(|x| &shapes[x]).collect();
+        let c: OpCost = characterize(&node.op, &input_types, &shapes[&nid])?;
+        total += c.weight_bytes;
+        for &i in &node.inputs {
+            if !inside(&i) {
+                total += shapes[&i].bytes().unwrap_or(0);
+            }
+        }
+    }
+    // The group's final output materialises.
+    total += shapes[nodes.last().expect("non-empty")].bytes().unwrap_or(0);
+    Ok(total)
+}
+
+/// Runs the greedy fusion search: start from singleton groups, repeatedly
+/// apply the legal producer→consumer merge with the largest cost saving,
+/// stop when no merge saves anything.
+///
+/// # Errors
+///
+/// Propagates graph and costing errors; requires a fully fixed graph.
+pub fn search_fuse(graph: &Graph, cfg: &SearchConfig) -> Result<SearchResult, GraphError> {
+    if graph.outputs().is_empty() {
+        return Err(GraphError::NoOutputs);
+    }
+    let shapes = graph.infer_shapes()?;
+    let consumers = graph.consumers();
+
+    // State: ordered groups of node ids (singletons initially, skipping
+    // inputs).
+    let mut groups: Vec<Vec<NodeId>> = graph
+        .nodes()
+        .iter()
+        .filter(|n| !matches!(n.op, Op::Input { .. }))
+        .map(|n| vec![n.id])
+        .collect();
+    let mut merges = 0usize;
+
+    loop {
+        // Index: node -> group position.
+        let mut pos: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for &n in g {
+                pos.insert(n, gi);
+            }
+        }
+        // Candidate merges: group A's tail feeds group B's head, the tail
+        // has a single consumer, is not a graph output, and the merged
+        // group respects length and working-set budgets.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (gi, g) in groups.iter().enumerate() {
+            let tail = *g.last().expect("non-empty");
+            if graph.outputs().contains(&tail) {
+                continue;
+            }
+            let Some(cons) = consumers.get(&tail) else {
+                continue;
+            };
+            if cons.len() != 1 {
+                continue;
+            }
+            let consumer = cons[0];
+            let Some(&gj) = pos.get(&consumer) else {
+                continue;
+            };
+            if gj == gi || groups[gj][0] != consumer {
+                continue; // consumer must head its group
+            }
+            // All of the consumer group's *other* external inputs must be
+            // produced before group A ends — true by topological node
+            // ordering, since groups hold contiguous topo ranges and we
+            // only merge forward edges.
+            let merged_len = g.len() + groups[gj].len();
+            if merged_len > cfg.max_group_len {
+                continue;
+            }
+            let mut merged = g.clone();
+            merged.extend_from_slice(&groups[gj]);
+            if group_working_set(graph, &merged, &shapes)? > cfg.working_set_budget {
+                continue;
+            }
+            // Saving: one launch + the materialised edge's round trip.
+            let bytes = shapes[&tail].bytes().unwrap_or(0) as f64;
+            let saving = cfg.launch_ns + 2.0 * bytes / cfg.bandwidth_gb_s;
+            if best.map(|(_, _, s)| saving > s).unwrap_or(true) {
+                best = Some((gi, gj, saving));
+            }
+        }
+        let Some((gi, gj, saving)) = best else {
+            break;
+        };
+        if saving <= 0.0 {
+            break;
+        }
+        let consumer_group = groups[gj].clone();
+        groups[gi].extend_from_slice(&consumer_group);
+        groups.remove(gj);
+        merges += 1;
+    }
+
+    let plan = FusionPlan {
+        groups: groups.into_iter().map(|nodes| FusedGroup { nodes }).collect(),
+    };
+    let estimated_cost_ns = plan_cost_ns(graph, &plan, cfg)?;
+    Ok(SearchResult {
+        plan,
+        estimated_cost_ns,
+        merges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::{fuse, FusionConfig};
+    use crate::op::{BinaryKind, TensorType};
+    use dtu_isa::SfuFunc;
+
+    fn conv_chain() -> Graph {
+        let mut g = Graph::new("chain");
+        let x = g.input("x", TensorType::fixed(&[1, 16, 32, 32]));
+        let c1 = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+        let b1 = g.add_node(Op::BatchNorm, vec![c1]).unwrap();
+        let r1 = g.add_node(Op::Relu, vec![b1]).unwrap();
+        let c2 = g.add_node(Op::conv2d(16, 3, 1, 1), vec![r1]).unwrap();
+        let a2 = g
+            .add_node(Op::Activation { func: SfuFunc::Gelu }, vec![c2])
+            .unwrap();
+        g.mark_output(a2);
+        g
+    }
+
+    #[test]
+    fn search_matches_or_beats_expert_rules() {
+        let g = conv_chain();
+        let cfg = SearchConfig::default();
+        let expert = fuse(&g, &FusionConfig::default()).unwrap();
+        let expert_cost = plan_cost_ns(&g, &expert, &cfg).unwrap();
+        let result = search_fuse(&g, &cfg).unwrap();
+        assert!(
+            result.estimated_cost_ns <= expert_cost + 1e-9,
+            "search ({:.1} ns) worse than expert rules ({expert_cost:.1} ns)",
+            result.estimated_cost_ns
+        );
+        assert!(result.merges > 0);
+    }
+
+    #[test]
+    fn search_can_fuse_across_compute_anchors() {
+        // The expert rules never merge two convs; the search may, when the
+        // working set fits — discovering "more beneficial solutions".
+        let g = conv_chain();
+        let result = search_fuse(&g, &SearchConfig::default()).unwrap();
+        assert!(
+            result.plan.kernel_count()
+                <= fuse(&g, &FusionConfig::default()).unwrap().kernel_count(),
+        );
+    }
+
+    #[test]
+    fn working_set_budget_limits_merges() {
+        let g = conv_chain();
+        let tight = SearchConfig {
+            working_set_budget: 1, // nothing fits
+            ..SearchConfig::default()
+        };
+        let result = search_fuse(&g, &tight).unwrap();
+        // No merges possible: every op is its own kernel.
+        assert_eq!(result.plan.kernel_count(), 5);
+        assert_eq!(result.merges, 0);
+    }
+
+    #[test]
+    fn multi_consumer_edges_never_merge() {
+        let mut g = Graph::new("fanout");
+        let x = g.input("x", TensorType::fixed(&[1, 8, 16, 16]));
+        let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
+        let r1 = g.add_node(Op::Relu, vec![c]).unwrap();
+        let r2 = g
+            .add_node(Op::Activation { func: SfuFunc::Tanh }, vec![c])
+            .unwrap();
+        let s = g
+            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![r1, r2])
+            .unwrap();
+        g.mark_output(s);
+        let result = search_fuse(&g, &SearchConfig::default()).unwrap();
+        // conv stays alone (two consumers); r1/r2 may fuse into the add.
+        let conv_group = result.plan.group_of(c).unwrap();
+        assert_eq!(result.plan.groups[conv_group].len(), 1);
+        for group in &result.plan.groups {
+            let mut seen = std::collections::BTreeSet::new();
+            for &n in &group.nodes {
+                assert!(seen.insert(n));
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_always_materialise() {
+        let mut g = Graph::new("two-out");
+        let x = g.input("x", TensorType::fixed(&[1, 8, 16, 16]));
+        let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
+        let r = g.add_node(Op::Relu, vec![c]).unwrap();
+        g.mark_output(c); // intermediate is also an output
+        g.mark_output(r);
+        let result = search_fuse(&g, &SearchConfig::default()).unwrap();
+        assert_eq!(result.plan.kernel_count(), 2);
+    }
+
+    #[test]
+    fn cost_model_prefers_fewer_kernels_for_same_traffic() {
+        let g = conv_chain();
+        let cfg = SearchConfig::default();
+        let singleton = FusionPlan {
+            groups: g
+                .nodes()
+                .iter()
+                .filter(|n| !matches!(n.op, Op::Input { .. }))
+                .map(|n| FusedGroup { nodes: vec![n.id] })
+                .collect(),
+        };
+        let searched = search_fuse(&g, &cfg).unwrap();
+        let single_cost = plan_cost_ns(&g, &singleton, &cfg).unwrap();
+        assert!(searched.estimated_cost_ns < single_cost);
+    }
+
+    #[test]
+    fn search_covers_every_non_input_node_once() {
+        let g = conv_chain();
+        let result = search_fuse(&g, &SearchConfig::default()).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for group in &result.plan.groups {
+            for &n in &group.nodes {
+                assert!(seen.insert(n), "{n} covered twice");
+            }
+        }
+        assert_eq!(seen.len(), g.len() - 1);
+    }
+}

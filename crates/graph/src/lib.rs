@@ -1,0 +1,47 @@
+//! DNN graph IR, operators, shape inference, and fusion passes.
+//!
+//! This crate models the front half of the paper's software stack
+//! (§V-B): the graph compiler *TopsInference* imports models into a
+//! computation-graph IR, runs shape inference (including dynamic
+//! dimensions), validates the graph, and applies automatic operator
+//! fusion to "eliminate unnecessary materialization and scan of
+//! intermediate values". The operator-cost module characterises each
+//! node's work (MACs, bytes, op class) — the common currency shared by
+//! the DTU compiler and the baseline roofline models.
+//!
+//! # Example
+//!
+//! ```
+//! use dtu_graph::{Graph, Op, Dim, TensorType};
+//! use dtu_isa::SfuFunc;
+//!
+//! let mut g = Graph::new("tiny");
+//! let input = g.input("x", TensorType::fixed(&[1, 3, 224, 224]));
+//! let conv = g.add_node(Op::conv2d(64, 7, 2, 3), vec![input])?;
+//! let act = g.add_node(Op::Activation { func: SfuFunc::Tanh }, vec![conv])?;
+//! g.mark_output(act);
+//! let shapes = g.infer_shapes()?;
+//! assert_eq!(shapes[&act].dims, vec![Dim::Fixed(1), Dim::Fixed(64), Dim::Fixed(112), Dim::Fixed(112)]);
+//! # Ok::<(), dtu_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod fusion;
+mod fusion_search;
+mod graph;
+mod import;
+mod op;
+mod optimize;
+mod shape_infer;
+
+pub use cost::{characterize, graph_costs, OpCost};
+pub use fusion::{fuse, FusedGroup, FusionConfig, FusionPlan};
+pub use fusion_search::{plan_cost_ns, search_fuse, SearchConfig, SearchResult};
+pub use graph::{Graph, GraphError, Node, NodeId};
+pub use import::{export_model, parse_model, ImportError};
+pub use optimize::{optimize, OptimizeStats};
+pub use op::{BinaryKind, Dim, Op, PoolKind, TensorType};
+pub use shape_infer::infer_node_shape;

@@ -1,0 +1,434 @@
+//! Operators and tensor types of the graph IR.
+
+use dtu_isa::{DataType, SfuFunc};
+use std::fmt;
+
+/// One dimension of a tensor type: fixed or dynamic.
+///
+/// Dynamic dimensions back the paper's "dynamic tensors and shape
+/// inference" flexibility item (Table II): shapes propagate symbolically
+/// and are bound to concrete values at deployment time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// A known extent.
+    Fixed(usize),
+    /// A symbolic extent (e.g. the batch or sequence length).
+    Dynamic(String),
+}
+
+impl Dim {
+    /// The fixed value, if known.
+    pub fn value(&self) -> Option<usize> {
+        match self {
+            Dim::Fixed(n) => Some(*n),
+            Dim::Dynamic(_) => None,
+        }
+    }
+
+    /// Binds a dynamic dim named `name` to `value`; fixed dims unchanged.
+    pub fn bind(&self, name: &str, value: usize) -> Dim {
+        match self {
+            Dim::Dynamic(n) if n == name => Dim::Fixed(value),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Fixed(n) => write!(f, "{n}"),
+            Dim::Dynamic(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The type of a tensor edge: element type plus (possibly dynamic) shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorType {
+    /// Element type.
+    pub dtype: DataType,
+    /// Per-axis extents.
+    pub dims: Vec<Dim>,
+}
+
+impl TensorType {
+    /// A fully fixed FP16 tensor type (the evaluation's data type).
+    pub fn fixed(dims: &[usize]) -> Self {
+        TensorType {
+            dtype: DataType::Fp16,
+            dims: dims.iter().map(|&d| Dim::Fixed(d)).collect(),
+        }
+    }
+
+    /// A fixed tensor type with an explicit element type.
+    pub fn with_dtype(dtype: DataType, dims: &[usize]) -> Self {
+        TensorType {
+            dtype,
+            dims: dims.iter().map(|&d| Dim::Fixed(d)).collect(),
+        }
+    }
+
+    /// Rank of the type.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Element count if fully fixed.
+    pub fn len(&self) -> Option<usize> {
+        self.dims.iter().map(Dim::value).product::<Option<usize>>()
+    }
+
+    /// Whether the element count is zero (any fixed dim of 0).
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(|d| d.value() == Some(0))
+    }
+
+    /// Whether all dims are fixed.
+    pub fn is_fully_fixed(&self) -> bool {
+        self.dims.iter().all(|d| d.value().is_some())
+    }
+
+    /// Size in bytes if fully fixed.
+    pub fn bytes(&self) -> Option<u64> {
+        self.len().map(|n| (n * self.dtype.size_bytes()) as u64)
+    }
+
+    /// Binds every occurrence of the dynamic dim `name` to `value`.
+    pub fn bind(&self, name: &str, value: usize) -> TensorType {
+        TensorType {
+            dtype: self.dtype,
+            dims: self.dims.iter().map(|d| d.bind(name, value)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.dtype)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Binary element-wise operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryKind {
+    /// Addition (residual connections).
+    Add,
+    /// Multiplication (gating).
+    Mul,
+    /// Subtraction.
+    Sub,
+    /// Element-wise maximum.
+    Max,
+}
+
+/// Pooling kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+    /// Global average pooling (spatial dims collapse to 1).
+    GlobalAvg,
+}
+
+/// A graph operator.
+///
+/// The set covers what the ten Table III DNNs need: convolutions
+/// (standard, grouped, depthwise), dense/matmul, activations backed by
+/// the SFU, normalisations, pooling, attention building blocks, layout
+/// ops, embedding gathers, and Top-K.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Graph input placeholder.
+    Input {
+        /// Edge type.
+        ty: TensorType,
+    },
+    /// 2-D convolution over `[N, C, H, W]`.
+    Conv2d {
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel height = width.
+        kernel: usize,
+        /// Stride (both axes).
+        stride: usize,
+        /// Zero padding (both axes).
+        padding: usize,
+        /// Channel groups (1 = dense, C = depthwise).
+        groups: usize,
+    },
+    /// Transposed convolution (upsampling in UNet / SRResNet).
+    ConvTranspose2d {
+        /// Output channels.
+        out_channels: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Upsampling stride.
+        stride: usize,
+    },
+    /// Fully connected layer over the last axis.
+    Dense {
+        /// Output features.
+        units: usize,
+    },
+    /// Batched matrix multiply of the two inputs
+    /// (`[..., m, k] x [..., k, n]`).
+    MatMul,
+    /// SFU-backed activation.
+    Activation {
+        /// Which transcendental.
+        func: SfuFunc,
+    },
+    /// ReLU (vector-engine max, not SFU).
+    Relu,
+    /// Leaky ReLU with slope `alpha` (YOLOv3).
+    LeakyRelu {
+        /// Negative-side slope.
+        alpha: f32,
+    },
+    /// Element-wise binary op of two same-shape inputs.
+    Binary {
+        /// The operation.
+        kind: BinaryKind,
+    },
+    /// Batch normalisation (folded scale+shift at inference).
+    BatchNorm,
+    /// Layer normalisation over the last axis.
+    LayerNorm,
+    /// Softmax over the last axis.
+    Softmax,
+    /// Pooling over spatial dims of `[N, C, H, W]`.
+    Pool {
+        /// Pooling kind.
+        kind: PoolKind,
+        /// Window size (ignored for global).
+        kernel: usize,
+        /// Stride (ignored for global).
+        stride: usize,
+    },
+    /// Nearest-neighbour spatial upsampling by an integer factor.
+    Upsample {
+        /// Scale factor.
+        scale: usize,
+    },
+    /// Concatenation along an axis.
+    Concat {
+        /// The axis.
+        axis: usize,
+    },
+    /// Axis permutation.
+    Transpose {
+        /// Output axis `i` reads input axis `perm[i]`.
+        perm: Vec<usize>,
+    },
+    /// Reshape to a new (possibly dynamic) shape.
+    Reshape {
+        /// Target dims.
+        dims: Vec<Dim>,
+    },
+    /// Embedding gather: indices `[N, L]` into a `[vocab, width]` table.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Embedding width.
+        width: usize,
+    },
+    /// Top-K selection over the last axis (uses the VMM sort facility).
+    TopK {
+        /// How many.
+        k: usize,
+    },
+}
+
+impl Op {
+    /// Convenience constructor for a square dense convolution.
+    pub fn conv2d(out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Op {
+        Op::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// Convenience constructor for a depthwise convolution.
+    pub fn depthwise_conv2d(channels: usize, kernel: usize, stride: usize, padding: usize) -> Op {
+        Op::Conv2d {
+            out_channels: channels,
+            kernel,
+            stride,
+            padding,
+            groups: channels,
+        }
+    }
+
+    /// Number of data inputs the operator consumes (`None` = variadic).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Op::Input { .. } => Some(0),
+            Op::Binary { .. } | Op::MatMul => Some(2),
+            Op::Concat { .. } => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Short mnemonic for tracing and fused-kernel names.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Op::Input { .. } => "input".into(),
+            Op::Conv2d { groups, kernel, .. } => {
+                if *groups > 1 {
+                    format!("dwconv{kernel}x{kernel}")
+                } else {
+                    format!("conv{kernel}x{kernel}")
+                }
+            }
+            Op::ConvTranspose2d { kernel, .. } => format!("deconv{kernel}x{kernel}"),
+            Op::Dense { units } => format!("dense{units}"),
+            Op::MatMul => "matmul".into(),
+            Op::Activation { func } => format!("{func:?}").to_lowercase(),
+            Op::Relu => "relu".into(),
+            Op::LeakyRelu { .. } => "leakyrelu".into(),
+            Op::Binary { kind } => format!("{kind:?}").to_lowercase(),
+            Op::BatchNorm => "bn".into(),
+            Op::LayerNorm => "ln".into(),
+            Op::Softmax => "softmax".into(),
+            Op::Pool { kind, .. } => format!("{kind:?}pool").to_lowercase(),
+            Op::Upsample { scale } => format!("up{scale}x"),
+            Op::Concat { .. } => "concat".into(),
+            Op::Transpose { .. } => "transpose".into(),
+            Op::Reshape { .. } => "reshape".into(),
+            Op::Embedding { .. } => "embedding".into(),
+            Op::TopK { k } => format!("top{k}"),
+        }
+    }
+
+    /// Whether the op is a pure layout manipulation (offloaded to DMA).
+    pub fn is_layout_op(&self) -> bool {
+        matches!(
+            self,
+            Op::Transpose { .. } | Op::Reshape { .. } | Op::Concat { .. } | Op::Upsample { .. }
+        )
+    }
+
+    /// Whether the op is an element-wise epilogue that fuses into a
+    /// preceding compute op.
+    pub fn is_fusable_epilogue(&self) -> bool {
+        matches!(
+            self,
+            Op::Activation { .. }
+                | Op::Relu
+                | Op::LeakyRelu { .. }
+                | Op::BatchNorm
+                | Op::Binary { .. }
+        )
+    }
+
+    /// Whether the op is a heavy compute anchor (conv / matmul family).
+    pub fn is_compute_anchor(&self) -> bool {
+        matches!(
+            self,
+            Op::Conv2d { .. } | Op::ConvTranspose2d { .. } | Op::Dense { .. } | Op::MatMul
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_binding() {
+        let d = Dim::Dynamic("batch".into());
+        assert_eq!(d.bind("batch", 8), Dim::Fixed(8));
+        assert_eq!(d.bind("seq", 8), d);
+        assert_eq!(Dim::Fixed(3).bind("batch", 8), Dim::Fixed(3));
+        assert_eq!(d.value(), None);
+        assert_eq!(Dim::Fixed(5).value(), Some(5));
+    }
+
+    #[test]
+    fn tensor_type_arithmetic() {
+        let t = TensorType::fixed(&[2, 3, 4]);
+        assert_eq!(t.rank(), 3);
+        assert_eq!(t.len(), Some(24));
+        assert_eq!(t.bytes(), Some(48)); // fp16
+        assert!(t.is_fully_fixed());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn dynamic_tensor_type() {
+        let t = TensorType {
+            dtype: DataType::Fp16,
+            dims: vec![Dim::Dynamic("batch".into()), Dim::Fixed(768)],
+        };
+        assert_eq!(t.len(), None);
+        assert!(!t.is_fully_fixed());
+        let bound = t.bind("batch", 16);
+        assert_eq!(bound.len(), Some(16 * 768));
+        assert_eq!(t.to_string(), "FP16[batchx768]");
+    }
+
+    #[test]
+    fn op_arity() {
+        assert_eq!(Op::conv2d(64, 3, 1, 1).arity(), Some(1));
+        assert_eq!(Op::MatMul.arity(), Some(2));
+        assert_eq!(Op::Concat { axis: 1 }.arity(), None);
+        assert_eq!(
+            Op::Input {
+                ty: TensorType::fixed(&[1])
+            }
+            .arity(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::conv2d(64, 3, 1, 1).is_compute_anchor());
+        assert!(Op::Relu.is_fusable_epilogue());
+        assert!(Op::BatchNorm.is_fusable_epilogue());
+        assert!(Op::Transpose { perm: vec![0, 1] }.is_layout_op());
+        assert!(!Op::Softmax.is_compute_anchor());
+        assert!(!Op::Softmax.is_layout_op());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Op::conv2d(64, 3, 1, 1).mnemonic(), "conv3x3");
+        assert_eq!(Op::depthwise_conv2d(64, 3, 1, 1).mnemonic(), "dwconv3x3");
+        assert_eq!(Op::Dense { units: 1000 }.mnemonic(), "dense1000");
+        assert_eq!(Op::TopK { k: 5 }.mnemonic(), "top5");
+        assert_eq!(
+            Op::Activation {
+                func: SfuFunc::Gelu
+            }
+            .mnemonic(),
+            "gelu"
+        );
+    }
+
+    #[test]
+    fn empty_tensor_detection() {
+        let t = TensorType::fixed(&[4, 0, 2]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), Some(0));
+    }
+}

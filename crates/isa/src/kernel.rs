@@ -1,0 +1,249 @@
+//! Kernel images and descriptors.
+//!
+//! A *kernel* is the unit of code a compute core runs for one (possibly
+//! fused) operator. The paper stresses that kernel code loading can drag
+//! DNN execution — especially after operator fusion grows kernels — which
+//! motivated the instruction cache and user-controlled prefetch (§III,
+//! §IV-B). The simulator therefore needs to know, for every kernel, both
+//! its *work* (the op-mix descriptor) and its *code size* (what the
+//! instruction buffer must hold).
+
+use crate::{DataType, Packet};
+use std::fmt;
+
+/// Globally unique kernel identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub u64);
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// The broad class of work a kernel performs, used by the power model and
+/// the DVFS workload classifier (compute-bound / bandwidth-bound /
+/// balanced, §IV-F2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpClass {
+    /// Dense linear algebra (convolution / matmul) — compute-bound.
+    #[default]
+    MatrixDense,
+    /// Element-wise arithmetic — bandwidth-bound.
+    Elementwise,
+    /// Transcendental activation — SFU-bound.
+    Activation,
+    /// Reduction / normalisation.
+    Reduction,
+    /// Data movement / layout (handled mostly by DMA).
+    Movement,
+    /// Embedding / gather — memory-latency-bound.
+    Gather,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::MatrixDense => "matrix-dense",
+            OpClass::Elementwise => "elementwise",
+            OpClass::Activation => "activation",
+            OpClass::Reduction => "reduction",
+            OpClass::Movement => "movement",
+            OpClass::Gather => "gather",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The work descriptor of a kernel: how many operations of each kind the
+/// kernel performs, and how many bytes it touches at each memory level.
+///
+/// Model-scale simulation executes descriptors (a kernel with 10^9 MACs
+/// cannot be interpreted instruction-by-instruction in reasonable time);
+/// the descriptor fields are exactly the quantities the paper's own
+/// analysis reasons in (MACs, bytes, arithmetic intensity).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelDescriptor {
+    /// Human-readable kernel name (operator or fused chain).
+    pub name: String,
+    /// Work classification.
+    pub class: OpClass,
+    /// Element type the kernel computes in.
+    pub dtype: DataType,
+    /// Multiply-accumulate operations (counted as 2 FLOPs each).
+    pub macs: u64,
+    /// Non-MAC vector ALU operations (element count).
+    pub vector_ops: u64,
+    /// SFU transcendental evaluations (element count).
+    pub sfu_ops: u64,
+    /// Bytes read from / written to L1 by the core.
+    pub l1_bytes: u64,
+    /// Bytes the kernel requires to be staged in L2.
+    pub l2_bytes: u64,
+    /// Bytes that must come from / go to L3 (HBM).
+    pub l3_bytes: u64,
+    /// Encoded code size in bytes.
+    pub code_bytes: u64,
+    /// Narrowest GEMM dimension of the dominant matrix op (0 when not a
+    /// matrix kernel). Coarse GEMM engines (DTU 1.0) waste throughput
+    /// when this is small; the fine-grained VMM engine does not.
+    pub narrow_dim: u64,
+}
+
+impl KernelDescriptor {
+    /// Creates an empty descriptor with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelDescriptor {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Total floating-point (or integer) operations: 2 per MAC plus the
+    /// vector and SFU ops.
+    pub fn total_ops(&self) -> u64 {
+        2 * self.macs + self.vector_ops + self.sfu_ops
+    }
+
+    /// Arithmetic intensity in ops per L3 byte (`f64::INFINITY` when the
+    /// kernel touches no HBM traffic).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.l3_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.total_ops() as f64 / self.l3_bytes as f64
+        }
+    }
+
+    /// Merges another descriptor into this one (used by operator fusion:
+    /// the fused kernel does both kernels' compute but skips the
+    /// intermediate materialisation, which the *caller* accounts by
+    /// reducing `l3_bytes`).
+    pub fn absorb(&mut self, other: &KernelDescriptor) {
+        self.macs += other.macs;
+        self.vector_ops += other.vector_ops;
+        self.sfu_ops += other.sfu_ops;
+        self.l1_bytes += other.l1_bytes;
+        self.l2_bytes += other.l2_bytes;
+        self.l3_bytes += other.l3_bytes;
+        self.code_bytes += other.code_bytes;
+        if !other.name.is_empty() {
+            if !self.name.is_empty() {
+                self.name.push('+');
+            }
+            self.name.push_str(&other.name);
+        }
+    }
+}
+
+/// A compiled kernel: identity, descriptor, and (for small kernels that
+/// the functional interpreter runs) the actual VLIW packet stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelImage {
+    id: KernelId,
+    descriptor: KernelDescriptor,
+    packets: Vec<Packet>,
+}
+
+impl KernelImage {
+    /// Creates a kernel image. If `packets` is non-empty the descriptor's
+    /// `code_bytes` is replaced by the packets' encoded size.
+    pub fn new(id: KernelId, mut descriptor: KernelDescriptor, packets: Vec<Packet>) -> Self {
+        if !packets.is_empty() {
+            descriptor.code_bytes = packets.iter().map(Packet::encoded_bytes).sum::<usize>() as u64;
+        }
+        KernelImage {
+            id,
+            descriptor,
+            packets,
+        }
+    }
+
+    /// The kernel's id.
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// The kernel's work descriptor.
+    pub fn descriptor(&self) -> &KernelDescriptor {
+        &self.descriptor
+    }
+
+    /// The packet stream (empty for descriptor-only kernels).
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.descriptor.code_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instruction, RegClass, RegId, VectorOp};
+
+    #[test]
+    fn total_ops_counts_macs_twice() {
+        let mut d = KernelDescriptor::new("conv");
+        d.macs = 100;
+        d.vector_ops = 10;
+        d.sfu_ops = 5;
+        assert_eq!(d.total_ops(), 215);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let mut d = KernelDescriptor::new("k");
+        d.macs = 500;
+        d.l3_bytes = 100;
+        assert_eq!(d.arithmetic_intensity(), 10.0);
+        d.l3_bytes = 0;
+        assert!(d.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn absorb_merges_work_and_names() {
+        let mut a = KernelDescriptor::new("conv");
+        a.macs = 10;
+        a.code_bytes = 100;
+        let mut b = KernelDescriptor::new("relu");
+        b.sfu_ops = 4;
+        b.code_bytes = 50;
+        a.absorb(&b);
+        assert_eq!(a.name, "conv+relu");
+        assert_eq!(a.macs, 10);
+        assert_eq!(a.sfu_ops, 4);
+        assert_eq!(a.code_bytes, 150);
+    }
+
+    #[test]
+    fn image_computes_code_size_from_packets() {
+        let pkt = Packet::single(Instruction::Vector {
+            op: VectorOp::Add,
+            dst: RegId::new(RegClass::Vector, 0),
+            srcs: vec![RegId::new(RegClass::Vector, 1)],
+        });
+        let img = KernelImage::new(KernelId(1), KernelDescriptor::new("tiny"), vec![pkt.clone()]);
+        assert_eq!(img.code_bytes(), pkt.encoded_bytes() as u64);
+        assert_eq!(img.packets().len(), 1);
+        assert_eq!(img.id().to_string(), "k1");
+    }
+
+    #[test]
+    fn descriptor_only_image_keeps_declared_size() {
+        let mut d = KernelDescriptor::new("big");
+        d.code_bytes = 4096;
+        let img = KernelImage::new(KernelId(2), d, Vec::new());
+        assert_eq!(img.code_bytes(), 4096);
+        assert!(img.packets().is_empty());
+    }
+
+    #[test]
+    fn op_class_display() {
+        assert_eq!(OpClass::MatrixDense.to_string(), "matrix-dense");
+        assert_eq!(OpClass::Gather.to_string(), "gather");
+    }
+}

@@ -1,0 +1,40 @@
+//! Data types, VLIW instruction set, and kernel images for DTU 2.0.
+//!
+//! The paper's compute core adopts the VLIW architecture and supports the
+//! full range of widely used data types, 8-bit up to 32-bit integer and
+//! floating-point (§IV-A). This crate defines:
+//!
+//! * [`DataType`] — the machine number formats and their quantisation
+//!   behaviour (FP32/TF32/FP16/BF16/INT32/INT16/INT8);
+//! * the VLIW instruction set ([`Instruction`], [`Packet`], functional
+//!   slot assignment, register names);
+//! * [`KernelImage`] — a compiled kernel: packets plus the descriptor
+//!   metadata (op mix, code size) the timing simulator charges;
+//! * [`VmmPattern`] — the catalog of vector-matrix-multiply shapes the
+//!   matrix engine supports ("more than 40 VMM patterns", Table II).
+//!
+//! # Example
+//!
+//! ```
+//! use dtu_isa::DataType;
+//! assert_eq!(DataType::Fp16.size_bytes(), 2);
+//! // BF16 keeps FP32's range but only 8 semantic mantissa bits.
+//! let q = DataType::Bf16.quantize(1.0 + 1.0 / 512.0);
+//! assert_eq!(q, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtype;
+mod kernel;
+mod vliw;
+mod vmm;
+
+pub use dtype::DataType;
+pub use kernel::{KernelDescriptor, KernelId, KernelImage, OpClass};
+pub use vliw::{
+    FunctionalUnit, Instruction, Packet, PacketizeError, RegClass, RegId, ScalarOp, SfuFunc,
+    VectorOp,
+};
+pub use vmm::{find_pattern, vmm_catalog, MatrixShape, VmmPattern};

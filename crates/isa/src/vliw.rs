@@ -1,0 +1,616 @@
+//! The VLIW instruction set of the DTU compute core.
+//!
+//! Each cycle the core issues one *packet* — a bundle of independent
+//! instructions, at most one per functional unit — in the spirit of the
+//! ELI-512 VLIW design the paper cites. The software stack's packetizer
+//! (§V-B, "VLIW packetizer") discovers independent instructions and packs
+//! them; [`Packet::try_bundle`] enforces the structural rules the hardware
+//! imposes.
+
+use std::error::Error;
+use std::fmt;
+
+/// The functional units a packet has one issue slot for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FunctionalUnit {
+    /// Scalar ALU and control flow.
+    Scalar,
+    /// 512-bit vector ALU.
+    Vector,
+    /// Matrix (VMM) engine.
+    Matrix,
+    /// Special function unit (transcendentals).
+    Sfu,
+    /// Load pipe from L1 into registers.
+    Load,
+    /// Store pipe from registers into L1.
+    Store,
+    /// Synchronisation / DMA-configuration pipe.
+    Sync,
+}
+
+impl FunctionalUnit {
+    /// All seven issue slots.
+    pub const ALL: [FunctionalUnit; 7] = [
+        FunctionalUnit::Scalar,
+        FunctionalUnit::Vector,
+        FunctionalUnit::Matrix,
+        FunctionalUnit::Sfu,
+        FunctionalUnit::Load,
+        FunctionalUnit::Store,
+        FunctionalUnit::Sync,
+    ];
+}
+
+impl fmt::Display for FunctionalUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FunctionalUnit::Scalar => "scalar",
+            FunctionalUnit::Vector => "vector",
+            FunctionalUnit::Matrix => "matrix",
+            FunctionalUnit::Sfu => "sfu",
+            FunctionalUnit::Load => "load",
+            FunctionalUnit::Store => "store",
+            FunctionalUnit::Sync => "sync",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Register file classes of the compute core (§IV-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Scalar registers.
+    Scalar,
+    /// 512-bit vector registers (32 of them).
+    Vector,
+    /// 32x512-bit matrix registers (2 of them).
+    Matrix,
+    /// 512-bit accumulation registers (1024 of them).
+    Accum,
+}
+
+impl RegClass {
+    /// Number of architectural registers in this class on DTU 2.0.
+    pub fn count(self) -> usize {
+        match self {
+            RegClass::Scalar => 64,
+            RegClass::Vector => 32,
+            RegClass::Matrix => 2,
+            RegClass::Accum => 1024,
+        }
+    }
+
+    /// Number of banks the register file is split into.
+    ///
+    /// Bank conflicts stall the VLIW pipeline; the compiler's register
+    /// allocator avoids them (§V-B "Register allocator").
+    pub fn banks(self) -> usize {
+        match self {
+            RegClass::Scalar => 2,
+            RegClass::Vector => 4,
+            RegClass::Matrix => 1,
+            RegClass::Accum => 8,
+        }
+    }
+}
+
+/// A register name: class plus index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId {
+    /// Which register file.
+    pub class: RegClass,
+    /// Index within the file.
+    pub index: usize,
+}
+
+impl RegId {
+    /// Creates a register id, panicking in debug builds on out-of-range
+    /// indices (the compiler is responsible for staying in range).
+    pub fn new(class: RegClass, index: usize) -> Self {
+        debug_assert!(index < class.count(), "register index out of range");
+        RegId { class, index }
+    }
+
+    /// The bank this register lives in.
+    pub fn bank(self) -> usize {
+        self.index % self.class.banks()
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.class {
+            RegClass::Scalar => "s",
+            RegClass::Vector => "v",
+            RegClass::Matrix => "m",
+            RegClass::Accum => "acc",
+        };
+        write!(f, "{prefix}{}", self.index)
+    }
+}
+
+/// Scalar ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Compare (sets a predicate).
+    Cmp,
+    /// Conditional branch.
+    Branch,
+    /// Loop counter decrement-and-branch.
+    LoopEnd,
+}
+
+/// Vector ALU operations over 512-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorOp {
+    /// Element-wise add.
+    Add,
+    /// Element-wise subtract.
+    Sub,
+    /// Element-wise multiply.
+    Mul,
+    /// Element-wise max.
+    Max,
+    /// Element-wise min.
+    Min,
+    /// Fused multiply-add.
+    Fma,
+    /// Horizontal reduction (sum).
+    ReduceSum,
+    /// Horizontal reduction (max).
+    ReduceMax,
+    /// Element-wise reciprocal estimate.
+    Recip,
+}
+
+/// Transcendental functions accelerated by the SFU (§IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfuFunc {
+    /// exp(x).
+    Exp,
+    /// ln(x).
+    Ln,
+    /// 1/sqrt(x).
+    Rsqrt,
+    /// tanh(x).
+    Tanh,
+    /// logistic sigmoid.
+    Sigmoid,
+    /// softplus = ln(1+exp(x)).
+    Softplus,
+    /// Gaussian error linear unit.
+    Gelu,
+    /// swish = x·sigmoid(x).
+    Swish,
+    /// erf(x).
+    Erf,
+    /// sin(x).
+    Sin,
+}
+
+impl SfuFunc {
+    /// The roughly ten functions Table II says the SFU accelerates.
+    pub const ALL: [SfuFunc; 10] = [
+        SfuFunc::Exp,
+        SfuFunc::Ln,
+        SfuFunc::Rsqrt,
+        SfuFunc::Tanh,
+        SfuFunc::Sigmoid,
+        SfuFunc::Softplus,
+        SfuFunc::Gelu,
+        SfuFunc::Swish,
+        SfuFunc::Erf,
+        SfuFunc::Sin,
+    ];
+}
+
+/// One VLIW instruction, tagged by the functional unit that executes it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Scalar ALU operation.
+    Scalar {
+        /// Operation.
+        op: ScalarOp,
+        /// Destination register.
+        dst: RegId,
+        /// Source registers.
+        srcs: Vec<RegId>,
+    },
+    /// Vector ALU operation.
+    Vector {
+        /// Operation.
+        op: VectorOp,
+        /// Destination register.
+        dst: RegId,
+        /// Source registers.
+        srcs: Vec<RegId>,
+    },
+    /// Load a matrix-register row from a vector register.
+    MatrixFill {
+        /// Destination matrix register.
+        dst: RegId,
+        /// Row being filled.
+        row: usize,
+        /// Source vector register.
+        src: RegId,
+    },
+    /// Vector-matrix multiply, accumulating into an accumulation register.
+    Vmm {
+        /// Pattern index into the VMM catalog.
+        pattern: usize,
+        /// Accumulation destination.
+        acc: RegId,
+        /// Input vector register.
+        vec: RegId,
+        /// Input matrix register.
+        mat: RegId,
+    },
+    /// Read an accumulation register back into a vector register.
+    AccRead {
+        /// Destination vector register.
+        dst: RegId,
+        /// Source accumulation register.
+        acc: RegId,
+    },
+    /// SFU transcendental over a vector register.
+    Sfu {
+        /// Which transcendental.
+        func: SfuFunc,
+        /// Destination register.
+        dst: RegId,
+        /// Source register.
+        src: RegId,
+    },
+    /// Load from L1 into a register.
+    Load {
+        /// Destination register.
+        dst: RegId,
+        /// L1 byte address.
+        addr: usize,
+    },
+    /// Store from a register into L1.
+    Store {
+        /// Source register.
+        src: RegId,
+        /// L1 byte address.
+        addr: usize,
+    },
+    /// Signal a synchronisation event.
+    SyncSignal {
+        /// Event id.
+        event: u32,
+    },
+    /// Wait on a synchronisation event.
+    SyncWait {
+        /// Event id.
+        event: u32,
+    },
+    /// Prefetch the kernel image `kernel` into the instruction cache
+    /// (the user-controlled prefetch of §IV-B).
+    KernelPrefetch {
+        /// Target kernel, by id.
+        kernel: u64,
+    },
+}
+
+impl Instruction {
+    /// The functional unit this instruction issues on.
+    pub fn unit(&self) -> FunctionalUnit {
+        match self {
+            Instruction::Scalar { .. } => FunctionalUnit::Scalar,
+            Instruction::Vector { .. } => FunctionalUnit::Vector,
+            Instruction::MatrixFill { .. } | Instruction::Vmm { .. } | Instruction::AccRead { .. } => {
+                FunctionalUnit::Matrix
+            }
+            Instruction::Sfu { .. } => FunctionalUnit::Sfu,
+            Instruction::Load { .. } | Instruction::KernelPrefetch { .. } => FunctionalUnit::Load,
+            Instruction::Store { .. } => FunctionalUnit::Store,
+            Instruction::SyncSignal { .. } | Instruction::SyncWait { .. } => FunctionalUnit::Sync,
+        }
+    }
+
+    /// Registers this instruction writes.
+    pub fn writes(&self) -> Vec<RegId> {
+        match self {
+            Instruction::Scalar { dst, .. }
+            | Instruction::Vector { dst, .. }
+            | Instruction::MatrixFill { dst, .. }
+            | Instruction::AccRead { dst, .. }
+            | Instruction::Sfu { dst, .. }
+            | Instruction::Load { dst, .. } => vec![*dst],
+            Instruction::Vmm { acc, .. } => vec![*acc],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Registers this instruction reads.
+    pub fn reads(&self) -> Vec<RegId> {
+        match self {
+            Instruction::Scalar { srcs, .. } | Instruction::Vector { srcs, .. } => srcs.clone(),
+            Instruction::MatrixFill { src, .. } => vec![*src],
+            // VMM accumulates, so it also reads its destination.
+            Instruction::Vmm { acc, vec, mat, .. } => vec![*acc, *vec, *mat],
+            Instruction::AccRead { acc, .. } => vec![*acc],
+            Instruction::Sfu { src, .. } => vec![*src],
+            Instruction::Store { src, .. } => vec![*src],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Encoded size of this instruction, in bytes (uniform 8-byte slots).
+    pub fn encoded_bytes(&self) -> usize {
+        8
+    }
+}
+
+/// Error returned when instructions cannot form a legal packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketizeError {
+    /// Two instructions claimed the same functional-unit slot.
+    SlotConflict {
+        /// The doubly-claimed unit.
+        unit: FunctionalUnit,
+    },
+    /// One instruction in the bundle writes a register another reads or
+    /// writes (packets must be mutually independent).
+    Dependence {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PacketizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketizeError::SlotConflict { unit } => {
+                write!(f, "two instructions target the {unit} slot")
+            }
+            PacketizeError::Dependence { reason } => write!(f, "intra-packet dependence: {reason}"),
+        }
+    }
+}
+
+impl Error for PacketizeError {}
+
+/// A VLIW issue packet: at most one instruction per functional unit, all
+/// mutually independent.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Packet {
+    instrs: Vec<Instruction>,
+}
+
+impl Packet {
+    /// Builds a packet, validating slot exclusivity and independence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketizeError::SlotConflict`] if two instructions use the
+    /// same unit and [`PacketizeError::Dependence`] if any instruction
+    /// writes a register another touches.
+    pub fn try_bundle(instrs: Vec<Instruction>) -> Result<Self, PacketizeError> {
+        let mut used = Vec::new();
+        for ins in &instrs {
+            let u = ins.unit();
+            if used.contains(&u) {
+                return Err(PacketizeError::SlotConflict { unit: u });
+            }
+            used.push(u);
+        }
+        for (i, a) in instrs.iter().enumerate() {
+            for b in instrs.iter().skip(i + 1) {
+                for w in a.writes() {
+                    if b.reads().contains(&w) || b.writes().contains(&w) {
+                        return Err(PacketizeError::Dependence {
+                            reason: format!("{w} written and touched in one packet"),
+                        });
+                    }
+                }
+                for w in b.writes() {
+                    if a.reads().contains(&w) {
+                        return Err(PacketizeError::Dependence {
+                            reason: format!("{w} read and written in one packet"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Packet { instrs })
+    }
+
+    /// A packet containing a single instruction (always legal).
+    pub fn single(ins: Instruction) -> Self {
+        Packet { instrs: vec![ins] }
+    }
+
+    /// The bundled instructions.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Number of instructions in the packet.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the packet is a no-op bubble.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Encoded size in bytes (slot bytes plus a 4-byte header).
+    pub fn encoded_bytes(&self) -> usize {
+        4 + self.instrs.iter().map(Instruction::encoded_bytes).sum::<usize>()
+    }
+
+    /// Whether any pair of register operands in the packet collides on a
+    /// register-file bank (a pipeline-stall hazard the register allocator
+    /// tries to avoid).
+    pub fn has_bank_conflict(&self) -> bool {
+        let mut seen: Vec<(RegClass, usize)> = Vec::new();
+        for ins in &self.instrs {
+            for r in ins.reads() {
+                let key = (r.class, r.bank());
+                if seen.contains(&key) {
+                    return true;
+                }
+                seen.push(key);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vreg(i: usize) -> RegId {
+        RegId::new(RegClass::Vector, i)
+    }
+
+    fn vadd(dst: usize, a: usize, b: usize) -> Instruction {
+        Instruction::Vector {
+            op: VectorOp::Add,
+            dst: vreg(dst),
+            srcs: vec![vreg(a), vreg(b)],
+        }
+    }
+
+    #[test]
+    fn unit_assignment() {
+        assert_eq!(vadd(0, 1, 2).unit(), FunctionalUnit::Vector);
+        assert_eq!(
+            Instruction::SyncWait { event: 3 }.unit(),
+            FunctionalUnit::Sync
+        );
+        assert_eq!(
+            Instruction::KernelPrefetch { kernel: 1 }.unit(),
+            FunctionalUnit::Load
+        );
+    }
+
+    #[test]
+    fn bundle_accepts_independent_instructions() {
+        let p = Packet::try_bundle(vec![
+            vadd(0, 1, 2),
+            Instruction::Sfu {
+                func: SfuFunc::Tanh,
+                dst: vreg(3),
+                src: vreg(4),
+            },
+            Instruction::Load {
+                dst: vreg(5),
+                addr: 64,
+            },
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn bundle_rejects_slot_conflict() {
+        let err = Packet::try_bundle(vec![vadd(0, 1, 2), vadd(3, 4, 5)]).unwrap_err();
+        assert_eq!(
+            err,
+            PacketizeError::SlotConflict {
+                unit: FunctionalUnit::Vector
+            }
+        );
+    }
+
+    #[test]
+    fn bundle_rejects_raw_dependence() {
+        // SFU reads v0 which the vector op writes.
+        let err = Packet::try_bundle(vec![
+            vadd(0, 1, 2),
+            Instruction::Sfu {
+                func: SfuFunc::Exp,
+                dst: vreg(3),
+                src: vreg(0),
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PacketizeError::Dependence { .. }));
+    }
+
+    #[test]
+    fn bundle_rejects_war_dependence() {
+        // Store reads v1; vector op writes v1.
+        let err = Packet::try_bundle(vec![
+            Instruction::Store {
+                src: vreg(1),
+                addr: 0,
+            },
+            vadd(1, 2, 3),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PacketizeError::Dependence { .. }));
+    }
+
+    #[test]
+    fn bundle_rejects_waw_dependence() {
+        let err = Packet::try_bundle(vec![
+            vadd(0, 1, 2),
+            Instruction::Load {
+                dst: vreg(0),
+                addr: 0,
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PacketizeError::Dependence { .. }));
+    }
+
+    #[test]
+    fn vmm_reads_its_accumulator() {
+        let vmm = Instruction::Vmm {
+            pattern: 0,
+            acc: RegId::new(RegClass::Accum, 7),
+            vec: vreg(1),
+            mat: RegId::new(RegClass::Matrix, 0),
+        };
+        assert!(vmm.reads().contains(&RegId::new(RegClass::Accum, 7)));
+        assert_eq!(vmm.writes(), vec![RegId::new(RegClass::Accum, 7)]);
+    }
+
+    #[test]
+    fn bank_conflict_detection() {
+        // Vector file has 4 banks; v0 and v4 share bank 0.
+        let p = Packet::try_bundle(vec![
+            vadd(1, 0, 4),
+        ])
+        .unwrap();
+        assert!(p.has_bank_conflict());
+        let q = Packet::try_bundle(vec![vadd(1, 0, 2)]).unwrap();
+        assert!(!q.has_bank_conflict());
+    }
+
+    #[test]
+    fn encoded_size() {
+        let p = Packet::try_bundle(vec![vadd(0, 1, 2)]).unwrap();
+        assert_eq!(p.encoded_bytes(), 12);
+        assert_eq!(Packet::default().encoded_bytes(), 4);
+    }
+
+    #[test]
+    fn reg_display_and_bank() {
+        let r = RegId::new(RegClass::Accum, 9);
+        assert_eq!(r.to_string(), "acc9");
+        assert_eq!(r.bank(), 1); // 9 % 8
+    }
+
+    #[test]
+    fn packetize_error_display() {
+        let e = PacketizeError::SlotConflict {
+            unit: FunctionalUnit::Matrix,
+        };
+        assert!(e.to_string().contains("matrix"));
+    }
+}

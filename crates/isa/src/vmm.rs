@@ -1,0 +1,185 @@
+//! The vector-matrix-multiply pattern catalog.
+//!
+//! The motivation section argues that GEMM engines restricted to square
+//! tiles handle tall-and-skinny matrices poorly, so DTU 2.0 implements
+//! fine-grained VMM over many (vector length × matrix shape × data type)
+//! combinations — Table II counts "more than 40 VMM patterns supported".
+//! For FP32 the shapes are 16x16, 8x16, and 4x16, with matching vector
+//! lengths 16, 8, and 4 (§IV-A1); narrower types scale the reachable rows
+//! proportionally to their throughput multiplier.
+
+use crate::DataType;
+use std::fmt;
+
+/// The shape of the matrix operand of one VMM macro-op: `rows x cols`.
+///
+/// The vector operand has `rows` elements; the accumulator holds `cols`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixShape {
+    /// Matrix rows (and input vector length).
+    pub rows: usize,
+    /// Matrix columns (and accumulator width).
+    pub cols: usize,
+}
+
+impl MatrixShape {
+    /// Creates a shape.
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        MatrixShape { rows, cols }
+    }
+
+    /// Multiply-accumulate operations one VMM with this shape performs.
+    pub fn macs(self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl fmt::Display for MatrixShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// One supported VMM pattern: a shape paired with a data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmmPattern {
+    /// The matrix shape.
+    pub shape: MatrixShape,
+    /// The element type of vector, matrix, and accumulator inputs.
+    pub dtype: DataType,
+}
+
+impl VmmPattern {
+    /// Creates a pattern.
+    pub const fn new(shape: MatrixShape, dtype: DataType) -> Self {
+        VmmPattern { shape, dtype }
+    }
+
+    /// Cycles one macro-op occupies on the matrix pipeline.
+    ///
+    /// The engine retires a fixed number of MACs per cycle that scales with
+    /// the type's throughput multiplier, so FP32 16x16 takes 1 cycle and
+    /// the narrower shapes take proportionally less (minimum 1).
+    pub fn cycles(self) -> u64 {
+        let macs_per_cycle = 256.0 * self.dtype.ops_multiplier();
+        ((self.shape.macs() as f64 / macs_per_cycle).ceil() as u64).max(1)
+    }
+}
+
+impl fmt::Display for VmmPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VMM<{} {}>", self.shape, self.dtype)
+    }
+}
+
+/// Row counts reachable at a given throughput multiplier.
+///
+/// FP32 (multiplier 1) reaches rows 4, 8, 16; 4x types add 32 and 64;
+/// INT8 additionally reaches 128.
+fn row_options(dtype: DataType) -> Vec<usize> {
+    let mut rows = vec![4, 8, 16];
+    if dtype.ops_multiplier() >= 4.0 {
+        rows.push(32);
+        rows.push(64);
+    }
+    if dtype.ops_multiplier() >= 8.0 {
+        rows.push(128);
+    }
+    rows
+}
+
+/// Column counts reachable at a given throughput multiplier.
+///
+/// FP32/INT32 use the fixed 16-wide accumulator tile of §IV-A1; narrower
+/// types can also drive a 32-wide tile (two accumulators ganged).
+fn col_options(dtype: DataType) -> Vec<usize> {
+    if dtype.ops_multiplier() >= 4.0 {
+        vec![16, 32]
+    } else {
+        vec![16]
+    }
+}
+
+/// Enumerates every VMM pattern the DTU 2.0 matrix engine supports.
+///
+/// The catalog covers all seven data types with type-appropriate row and
+/// column counts, yielding the "more than 40" patterns Table II reports.
+pub fn vmm_catalog() -> Vec<VmmPattern> {
+    let mut out = Vec::new();
+    for dtype in DataType::ALL {
+        for rows in row_options(dtype) {
+            for cols in col_options(dtype) {
+                out.push(VmmPattern::new(MatrixShape::new(rows, cols), dtype));
+            }
+        }
+    }
+    out
+}
+
+/// Finds the catalog pattern with the given shape and type, if supported.
+pub fn find_pattern(shape: MatrixShape, dtype: DataType) -> Option<VmmPattern> {
+    vmm_catalog()
+        .into_iter()
+        .find(|p| p.shape == shape && p.dtype == dtype)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_more_than_40_patterns() {
+        let n = vmm_catalog().len();
+        assert!(n > 40, "catalog has only {n} patterns");
+    }
+
+    #[test]
+    fn catalog_patterns_unique() {
+        let cat = vmm_catalog();
+        for (i, a) in cat.iter().enumerate() {
+            for b in cat.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_shapes_match_paper() {
+        let cat = vmm_catalog();
+        let fp32: Vec<_> = cat
+            .iter()
+            .filter(|p| p.dtype == DataType::Fp32)
+            .map(|p| (p.shape.rows, p.shape.cols))
+            .collect();
+        assert_eq!(fp32, vec![(4, 16), (8, 16), (16, 16)]);
+    }
+
+    #[test]
+    fn int8_reaches_widest_tile() {
+        assert!(find_pattern(MatrixShape::new(128, 16), DataType::Int8).is_some());
+        assert!(find_pattern(MatrixShape::new(128, 16), DataType::Fp16).is_none());
+        assert!(find_pattern(MatrixShape::new(64, 16), DataType::Fp16).is_some());
+    }
+
+    #[test]
+    fn cycles_scale_with_dtype() {
+        let fp32 = VmmPattern::new(MatrixShape::new(16, 16), DataType::Fp32);
+        let fp16 = VmmPattern::new(MatrixShape::new(64, 16), DataType::Fp16);
+        let int8 = VmmPattern::new(MatrixShape::new(128, 16), DataType::Int8);
+        assert_eq!(fp32.cycles(), 1);
+        assert_eq!(fp16.cycles(), 1);
+        assert_eq!(int8.cycles(), 1);
+        // A shape too big for one cycle at FP32:
+        let big = VmmPattern::new(MatrixShape::new(64, 16), DataType::Fp32);
+        assert_eq!(big.cycles(), 4);
+    }
+
+    #[test]
+    fn macs_and_display() {
+        let s = MatrixShape::new(8, 16);
+        assert_eq!(s.macs(), 128);
+        assert_eq!(s.to_string(), "8x16");
+        let p = VmmPattern::new(s, DataType::Bf16);
+        assert_eq!(p.to_string(), "VMM<8x16 BF16>");
+    }
+}

@@ -1,0 +1,282 @@
+//! The ten Table III benchmark DNNs, expressed as `dtu-graph` graphs.
+//!
+//! | Category | Model | Input |
+//! |---|---|---|
+//! | Object detection | YOLOv3 | 3x608x608 |
+//! | Object detection | CenterNet | 3x512x512 |
+//! | Object detection | RetinaFace | 3x640x640 |
+//! | Image classification | VGG16 | 3x224x224 |
+//! | Image classification | ResNet-50 v1.5 | 3x224x224 |
+//! | Image classification | Inception v4 | 3x299x299 |
+//! | Segmentation | UNet | 3x512x512 |
+//! | Super resolution | SRResNet | 224x224x3 |
+//! | NLP | BERT-Large | seq 384 |
+//! | Speech | Conformer | 80x401 |
+//!
+//! The architectures follow the cited reference implementations at the
+//! layer-topology level: layer counts, channel widths, kernel sizes,
+//! strides, skip connections, attention shapes. Weights are not
+//! represented (latency and energy depend on shapes, not values).
+//! Conformer's 1x31 depthwise-temporal convolution is approximated by a
+//! 3x3 depthwise convolution over a `[N, C, T, 1]` layout (the only
+//! structural approximation; see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use dtu_models::Model;
+//!
+//! let g = Model::Resnet50.build(1);
+//! assert!(g.len() > 100);
+//! let shapes = g.infer_shapes().unwrap();
+//! assert!(!shapes.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nlp;
+mod speech;
+mod vision;
+
+pub use nlp::bert_large;
+pub use speech::conformer;
+pub use vision::{
+    centernet, inception_v4, resnet50, retinaface, srresnet, unet, vgg16, yolo_v3,
+};
+
+use dtu_graph::Graph;
+use std::fmt;
+
+/// The benchmark suite of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Model {
+    /// YOLOv3 object detection, 3x608x608.
+    YoloV3,
+    /// CenterNet object detection, 3x512x512.
+    CenterNet,
+    /// RetinaFace face detection, 3x640x640.
+    RetinaFace,
+    /// VGG16 image classification, 3x224x224.
+    Vgg16,
+    /// ResNet-50 v1.5 image classification, 3x224x224.
+    Resnet50,
+    /// Inception v4 image classification, 3x299x299.
+    InceptionV4,
+    /// UNet segmentation, 3x512x512.
+    Unet,
+    /// SRResNet super-resolution, 224x224x3 (NHWC source layout).
+    SrResnet,
+    /// BERT-Large, sequence length 384.
+    BertLarge,
+    /// Conformer speech recognition, 80x401 features.
+    Conformer,
+}
+
+impl Model {
+    /// All ten models in Table III order.
+    pub const ALL: [Model; 10] = [
+        Model::YoloV3,
+        Model::CenterNet,
+        Model::RetinaFace,
+        Model::Vgg16,
+        Model::Resnet50,
+        Model::InceptionV4,
+        Model::Unet,
+        Model::SrResnet,
+        Model::BertLarge,
+        Model::Conformer,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::YoloV3 => "Yolo v3",
+            Model::CenterNet => "CenterNet",
+            Model::RetinaFace => "Retinaface",
+            Model::Vgg16 => "VGG16",
+            Model::Resnet50 => "Resnet50 v1.5",
+            Model::InceptionV4 => "Inception v4",
+            Model::Unet => "Unet",
+            Model::SrResnet => "SRResnet",
+            Model::BertLarge => "Bert large",
+            Model::Conformer => "Conformer",
+        }
+    }
+
+    /// The application category of Table III.
+    pub fn category(self) -> &'static str {
+        match self {
+            Model::YoloV3 | Model::CenterNet | Model::RetinaFace => "Object Detection",
+            Model::Vgg16 | Model::Resnet50 | Model::InceptionV4 => "Image Classification",
+            Model::Unet => "Segmentation",
+            Model::SrResnet => "Super Resolution",
+            Model::BertLarge => "NLP",
+            Model::Conformer => "Speech Recognition",
+        }
+    }
+
+    /// The input size string of Table III.
+    pub fn input_size(self) -> &'static str {
+        match self {
+            Model::YoloV3 => "3x608x608",
+            Model::CenterNet => "3x512x512",
+            Model::RetinaFace => "3x640x640",
+            Model::Vgg16 | Model::Resnet50 => "3x224x224",
+            Model::InceptionV4 => "3x299x299",
+            Model::Unet => "3x512x512",
+            Model::SrResnet => "224x224x3",
+            Model::BertLarge => "384",
+            Model::Conformer => "80x401",
+        }
+    }
+
+    /// Builds the model graph at a batch size.
+    pub fn build(self, batch: usize) -> Graph {
+        match self {
+            Model::YoloV3 => yolo_v3(batch),
+            Model::CenterNet => centernet(batch),
+            Model::RetinaFace => retinaface(batch),
+            Model::Vgg16 => vgg16(batch),
+            Model::Resnet50 => resnet50(batch),
+            Model::InceptionV4 => inception_v4(batch),
+            Model::Unet => unet(batch),
+            Model::SrResnet => srresnet(batch),
+            Model::BertLarge => bert_large(batch),
+            Model::Conformer => conformer(batch),
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::graph_costs;
+
+    #[test]
+    fn all_models_build_and_infer_at_batch_1() {
+        for m in Model::ALL {
+            let g = m.build(1);
+            assert!(!g.is_empty(), "{m} is empty");
+            assert!(!g.outputs().is_empty(), "{m} has no outputs");
+            g.infer_shapes()
+                .unwrap_or_else(|e| panic!("{m} shape inference failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_models_cost_at_batch_1_and_8() {
+        for m in Model::ALL {
+            for batch in [1usize, 8] {
+                let g = m.build(batch);
+                let (_, total) = graph_costs(&g)
+                    .unwrap_or_else(|e| panic!("{m} costing failed at batch {batch}: {e}"));
+                assert!(total.macs > 0, "{m} has no MACs");
+            }
+        }
+    }
+
+    #[test]
+    fn gflops_in_expected_ballparks() {
+        // Published single-sample GFLOPs (2*MACs), generous tolerances —
+        // these pin the op-mix to the real architectures.
+        let expect: [(Model, f64, f64); 10] = [
+            (Model::YoloV3, 80.0, 220.0),       // ~140 @608
+            (Model::CenterNet, 20.0, 90.0),     // backbone+deconv @512
+            (Model::RetinaFace, 30.0, 160.0),   // r50+FPN @640
+            (Model::Vgg16, 25.0, 40.0),         // ~31
+            (Model::Resnet50, 6.0, 12.0),       // ~8.2
+            (Model::InceptionV4, 16.0, 40.0),   // ~24
+            (Model::Unet, 100.0, 500.0),        // @512 heavy
+            (Model::SrResnet, 100.0, 280.0),    // full-res res blocks + 4x tail
+            (Model::BertLarge, 120.0, 280.0),   // ~180 @384
+            (Model::Conformer, 10.0, 120.0),    // encoder @401 frames
+        ];
+        for (m, lo, hi) in expect {
+            let g = m.build(1);
+            let (_, total) = graph_costs(&g).unwrap();
+            let gflops = total.flops() as f64 / 1e9;
+            assert!(
+                gflops > lo && gflops < hi,
+                "{m}: {gflops:.1} GFLOPs outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scales_macs_linearly() {
+        for m in [Model::Vgg16, Model::BertLarge] {
+            let (_, c1) = graph_costs(&m.build(1)).unwrap();
+            let (_, c8) = graph_costs(&m.build(8)).unwrap();
+            let ratio = c8.macs as f64 / c1.macs as f64;
+            assert!(
+                (ratio - 8.0).abs() < 0.2,
+                "{m}: batch-8 MAC ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_models_have_larger_inputs_than_classification() {
+        // §VI-D: detection inputs are >2x larger, with a lower share of
+        // high-density ops.
+        let det_pixels = 608 * 608;
+        let cls_pixels = 224 * 224;
+        assert!(det_pixels > 2 * cls_pixels);
+    }
+
+    #[test]
+    fn classification_has_higher_matrix_op_share_than_detection() {
+        // §VI-D profiling: ~81%+ matrix-dense share in classification,
+        // lower in detection. We compare kernel-count shares.
+        let share = |m: Model| {
+            let g = m.build(1);
+            let anchors = g.count_ops(|op| op.is_compute_anchor()) as f64;
+            anchors / g.len() as f64
+        };
+        let cls = (share(Model::Vgg16) + share(Model::Resnet50)) / 2.0;
+        let det = (share(Model::YoloV3) + share(Model::RetinaFace)) / 2.0;
+        assert!(
+            cls > det,
+            "classification share {cls:.2} not above detection {det:.2}"
+        );
+    }
+
+    #[test]
+    fn metadata_matches_table3() {
+        assert_eq!(Model::ALL.len(), 10);
+        assert_eq!(Model::YoloV3.input_size(), "3x608x608");
+        assert_eq!(Model::SrResnet.input_size(), "224x224x3");
+        assert_eq!(Model::BertLarge.category(), "NLP");
+        assert_eq!(Model::Conformer.category(), "Speech Recognition");
+        assert_eq!(Model::Resnet50.to_string(), "Resnet50 v1.5");
+        // Six distinct categories.
+        let cats: std::collections::BTreeSet<_> =
+            Model::ALL.iter().map(|m| m.category()).collect();
+        assert_eq!(cats.len(), 6);
+    }
+
+    #[test]
+    fn bert_uses_sfu_heavily() {
+        let (_, c) = graph_costs(&Model::BertLarge.build(1)).unwrap();
+        assert!(c.sfu_ops > 10_000_000, "gelu+softmax should dominate SFU");
+    }
+
+    #[test]
+    fn srresnet_enters_through_layout_transform() {
+        let g = Model::SrResnet.build(1);
+        // First non-input node is the NHWC->NCHW transpose.
+        let first = g
+            .nodes()
+            .iter()
+            .find(|n| !matches!(n.op, dtu_graph::Op::Input { .. }))
+            .unwrap();
+        assert!(first.op.is_layout_op(), "got {}", first.op);
+    }
+}

@@ -1,0 +1,181 @@
+//! BERT-Large (Devlin et al.): 24 layers, hidden 1024, 16 heads,
+//! sequence length 384 (Table III).
+
+use dtu_graph::{BinaryKind, Dim, Graph, NodeId, Op, TensorType};
+use dtu_isa::SfuFunc;
+
+const LAYERS: usize = 24;
+const HIDDEN: usize = 1024;
+const HEADS: usize = 16;
+const HEAD_DIM: usize = HIDDEN / HEADS;
+const FFN: usize = 4096;
+const SEQ: usize = 384;
+const VOCAB: usize = 30_522;
+
+fn dense(g: &mut Graph, x: NodeId, units: usize) -> NodeId {
+    g.add_node(Op::Dense { units }, vec![x]).expect("dense")
+}
+
+fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![a, b])
+        .expect("add")
+}
+
+fn layer_norm(g: &mut Graph, x: NodeId) -> NodeId {
+    g.add_node(Op::LayerNorm, vec![x]).expect("ln")
+}
+
+/// Projects `[b, seq, hidden]` into per-head layout `[b, heads, seq, d]`
+/// (or `[b, heads, d, seq]` when `transposed`).
+fn to_heads(g: &mut Graph, x: NodeId, batch: usize, transposed: bool) -> NodeId {
+    let split = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![
+                    Dim::Fixed(batch),
+                    Dim::Fixed(SEQ),
+                    Dim::Fixed(HEADS),
+                    Dim::Fixed(HEAD_DIM),
+                ],
+            },
+            vec![x],
+        )
+        .expect("split_heads");
+    let perm = if transposed {
+        vec![0, 2, 3, 1] // [b, heads, d, seq] — key layout
+    } else {
+        vec![0, 2, 1, 3] // [b, heads, seq, d]
+    };
+    g.add_node(Op::Transpose { perm }, vec![split])
+        .expect("head_transpose")
+}
+
+/// One encoder layer: self-attention + FFN, post-norm residuals.
+fn encoder_layer(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
+    // Self-attention.
+    let q = dense(g, x, HIDDEN);
+    let k = dense(g, x, HIDDEN);
+    let v = dense(g, x, HIDDEN);
+    let qh = to_heads(g, q, batch, false);
+    let kh = to_heads(g, k, batch, true);
+    let vh = to_heads(g, v, batch, false);
+    let scores = g.add_node(Op::MatMul, vec![qh, kh]).expect("qk");
+    let probs = g.add_node(Op::Softmax, vec![scores]).expect("softmax");
+    let ctx = g.add_node(Op::MatMul, vec![probs, vh]).expect("av");
+    let merged = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 2, 1, 3],
+            },
+            vec![ctx],
+        )
+        .expect("merge_transpose");
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![Dim::Fixed(batch), Dim::Fixed(SEQ), Dim::Fixed(HIDDEN)],
+            },
+            vec![merged],
+        )
+        .expect("merge");
+    let proj = dense(g, flat, HIDDEN);
+    let res1 = add(g, proj, x);
+    let norm1 = layer_norm(g, res1);
+    // Feed-forward.
+    let up = dense(g, norm1, FFN);
+    let act = g
+        .add_node(Op::Activation { func: SfuFunc::Gelu }, vec![up])
+        .expect("gelu");
+    let down = dense(g, act, HIDDEN);
+    let res2 = add(g, down, norm1);
+    layer_norm(g, res2)
+}
+
+/// Builds BERT-Large at sequence length 384.
+pub fn bert_large(batch: usize) -> Graph {
+    let mut g = Graph::new("Bert large");
+    let tokens = g.input("tokens", TensorType::fixed(&[batch, SEQ]));
+    let emb = g
+        .add_node(
+            Op::Embedding {
+                vocab: VOCAB,
+                width: HIDDEN,
+            },
+            vec![tokens],
+        )
+        .expect("embedding");
+    // Learned position/segment embeddings enter as a second operand.
+    let pos = g.input("positions", TensorType::fixed(&[batch, SEQ, HIDDEN]));
+    let summed = add(&mut g, emb, pos);
+    let mut x = layer_norm(&mut g, summed);
+    for _ in 0..LAYERS {
+        x = encoder_layer(&mut g, x, batch);
+    }
+    g.mark_output(x); // sequence output
+    // Pooler: first-token dense + tanh.
+    let pooled = dense(&mut g, x, HIDDEN);
+    let tanh = g
+        .add_node(Op::Activation { func: SfuFunc::Tanh }, vec![pooled])
+        .expect("tanh");
+    g.mark_output(tanh);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::graph_costs;
+
+    #[test]
+    fn bert_shapes() {
+        let g = bert_large(1);
+        let shapes = g.infer_shapes().unwrap();
+        let seq_out = &shapes[&g.outputs()[0]];
+        assert_eq!(
+            seq_out.dims,
+            vec![Dim::Fixed(1), Dim::Fixed(SEQ), Dim::Fixed(HIDDEN)]
+        );
+    }
+
+    #[test]
+    fn bert_layer_count() {
+        let g = bert_large(1);
+        // 24 layers x 2 LN + embedding LN = 49 LayerNorms.
+        assert_eq!(g.count_ops(|op| matches!(op, Op::LayerNorm)), 49);
+        // 24 x 6 dense + pooler = 145.
+        assert_eq!(g.count_ops(|op| matches!(op, Op::Dense { .. })), 145);
+        assert_eq!(g.count_ops(|op| matches!(op, Op::Softmax)), 24);
+    }
+
+    #[test]
+    fn bert_macs_near_published() {
+        let (_, c) = graph_costs(&bert_large(1)).unwrap();
+        let gmacs = c.macs as f64 / 1e9;
+        // ~(4 + 0.3 + 6.4)·SEQ-scaled per layer ≈ 120 GMACs total.
+        assert!((90.0..160.0).contains(&gmacs), "{gmacs} GMACs");
+    }
+
+    #[test]
+    fn attention_shapes_square_in_seq() {
+        let g = bert_large(1);
+        let shapes = g.infer_shapes().unwrap();
+        let score_shapes: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Softmax))
+            .map(|n| shapes[&n.id].dims.clone())
+            .collect();
+        assert_eq!(score_shapes.len(), 24);
+        for dims in score_shapes {
+            assert_eq!(
+                dims,
+                vec![
+                    Dim::Fixed(1),
+                    Dim::Fixed(HEADS),
+                    Dim::Fixed(SEQ),
+                    Dim::Fixed(SEQ)
+                ]
+            );
+        }
+    }
+}

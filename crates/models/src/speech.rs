@@ -1,0 +1,262 @@
+//! Conformer speech encoder (Gulati et al.): convolutional subsampling
+//! followed by 16 conformer blocks at d_model 512, over 80x401 filterbank
+//! features (Table III / the NeMo ASR reference).
+//!
+//! The 1x31 depthwise temporal convolution of the conv module is
+//! approximated by a 3x3 depthwise convolution over a `[N, C, T, 1]`
+//! layout; every other shape matches the reference.
+
+use dtu_graph::{BinaryKind, Dim, Graph, NodeId, Op, TensorType};
+use dtu_isa::SfuFunc;
+
+const BLOCKS: usize = 16;
+const D_MODEL: usize = 512;
+const HEADS: usize = 8;
+const HEAD_DIM: usize = D_MODEL / HEADS;
+const FFN: usize = 2048;
+const FEATS: usize = 80;
+const FRAMES: usize = 401;
+/// Frames after two stride-2 subsampling convolutions.
+const SEQ: usize = 101;
+const SUB_CH: usize = 256;
+const VOCAB: usize = 1024;
+
+fn dense(g: &mut Graph, x: NodeId, units: usize) -> NodeId {
+    g.add_node(Op::Dense { units }, vec![x]).expect("dense")
+}
+
+fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![a, b])
+        .expect("add")
+}
+
+fn mul(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    g.add_node(Op::Binary { kind: BinaryKind::Mul }, vec![a, b])
+        .expect("mul")
+}
+
+fn ln(g: &mut Graph, x: NodeId) -> NodeId {
+    g.add_node(Op::LayerNorm, vec![x]).expect("ln")
+}
+
+fn swish(g: &mut Graph, x: NodeId) -> NodeId {
+    g.add_node(Op::Activation { func: SfuFunc::Swish }, vec![x])
+        .expect("swish")
+}
+
+/// Half-step feed-forward module: LN → dense(2048) → swish → dense(512).
+fn ffn_module(g: &mut Graph, x: NodeId) -> NodeId {
+    let n = ln(g, x);
+    let up = dense(g, n, FFN);
+    let act = swish(g, up);
+    let down = dense(g, act, D_MODEL);
+    add(g, down, x)
+}
+
+/// Multi-head self-attention module with pre-norm.
+fn mhsa_module(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
+    let n = ln(g, x);
+    let q = dense(g, n, D_MODEL);
+    let k = dense(g, n, D_MODEL);
+    let v = dense(g, n, D_MODEL);
+    let heads = |g: &mut Graph, t: NodeId, transposed: bool| {
+        let split = g
+            .add_node(
+                Op::Reshape {
+                    dims: vec![
+                        Dim::Fixed(batch),
+                        Dim::Fixed(SEQ),
+                        Dim::Fixed(HEADS),
+                        Dim::Fixed(HEAD_DIM),
+                    ],
+                },
+                vec![t],
+            )
+            .expect("split");
+        let perm = if transposed {
+            vec![0, 2, 3, 1]
+        } else {
+            vec![0, 2, 1, 3]
+        };
+        g.add_node(Op::Transpose { perm }, vec![split]).expect("perm")
+    };
+    let qh = heads(g, q, false);
+    let kh = heads(g, k, true);
+    let vh = heads(g, v, false);
+    let scores = g.add_node(Op::MatMul, vec![qh, kh]).expect("qk");
+    let probs = g.add_node(Op::Softmax, vec![scores]).expect("softmax");
+    let ctx = g.add_node(Op::MatMul, vec![probs, vh]).expect("av");
+    let merged = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 2, 1, 3],
+            },
+            vec![ctx],
+        )
+        .expect("perm");
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![Dim::Fixed(batch), Dim::Fixed(SEQ), Dim::Fixed(D_MODEL)],
+            },
+            vec![merged],
+        )
+        .expect("merge");
+    let proj = dense(g, flat, D_MODEL);
+    add(g, proj, x)
+}
+
+/// Convolution module: LN → pointwise GLU → depthwise temporal conv →
+/// BN → swish → pointwise → residual.
+fn conv_module(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
+    let n = ln(g, x);
+    // GLU: two pointwise projections, one gated by sigmoid.
+    let a = dense(g, n, D_MODEL);
+    let b = dense(g, n, D_MODEL);
+    let gate = g
+        .add_node(Op::Activation { func: SfuFunc::Sigmoid }, vec![b])
+        .expect("sigmoid");
+    let glu = mul(g, a, gate);
+    // Depthwise conv over time: reshape [b, seq, d] -> [b, d, seq, 1].
+    let img = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![
+                    Dim::Fixed(batch),
+                    Dim::Fixed(SEQ),
+                    Dim::Fixed(D_MODEL),
+                    Dim::Fixed(1),
+                ],
+            },
+            vec![glu],
+        )
+        .expect("reshape");
+    let tchw = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 2, 1, 3],
+            },
+            vec![img],
+        )
+        .expect("to_chw");
+    let dw = g
+        .add_node(Op::depthwise_conv2d(D_MODEL, 3, 1, 1), vec![tchw])
+        .expect("dwconv");
+    let bn = g.add_node(Op::BatchNorm, vec![dw]).expect("bn");
+    let act = swish(g, bn);
+    let back = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 2, 1, 3],
+            },
+            vec![act],
+        )
+        .expect("to_seq");
+    // Depthwise conv with "same" height padding adds 2 pad columns on the
+    // singleton width; slice back via reshape to [b, seq, d*w] then dense.
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![
+                    Dim::Fixed(batch),
+                    Dim::Fixed(SEQ),
+                    Dim::Fixed(D_MODEL),
+                ],
+            },
+            vec![back],
+        )
+        .expect("flatten");
+    let pw = dense(g, flat, D_MODEL);
+    add(g, pw, x)
+}
+
+/// One conformer block: FFN/2 → MHSA → Conv → FFN/2 → LN.
+fn conformer_block(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
+    let a = ffn_module(g, x);
+    let b = mhsa_module(g, a, batch);
+    let c = conv_module(g, b, batch);
+    let d = ffn_module(g, c);
+    ln(g, d)
+}
+
+/// Builds the Conformer encoder over 80x401 features.
+pub fn conformer(batch: usize) -> Graph {
+    let mut g = Graph::new("Conformer");
+    let feats = g.input("features", TensorType::fixed(&[batch, 1, FEATS, FRAMES]));
+    // Subsampling: two 3x3 stride-2 convs -> [b, 256, 20, 101].
+    let c1 = g.add_node(Op::conv2d(SUB_CH, 3, 2, 1), vec![feats]).expect("sub1");
+    let r1 = g.add_node(Op::Relu, vec![c1]).expect("relu");
+    let c2 = g.add_node(Op::conv2d(SUB_CH, 3, 2, 1), vec![r1]).expect("sub2");
+    let r2 = g.add_node(Op::Relu, vec![c2]).expect("relu");
+    // To sequence: [b, 256, 20, 101] -> [b, 101, 256*20] -> dense 512.
+    let perm = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 3, 1, 2],
+            },
+            vec![r2],
+        )
+        .expect("to_seq");
+    let freq = FEATS.div_ceil(4); // 20
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![
+                    Dim::Fixed(batch),
+                    Dim::Fixed(SEQ),
+                    Dim::Fixed(SUB_CH * freq),
+                ],
+            },
+            vec![perm],
+        )
+        .expect("flatten");
+    let mut x = dense(&mut g, flat, D_MODEL);
+    for _ in 0..BLOCKS {
+        x = conformer_block(&mut g, x, batch);
+    }
+    // CTC head.
+    let logits = dense(&mut g, x, VOCAB);
+    let probs = g.add_node(Op::Softmax, vec![logits]).expect("softmax");
+    g.mark_output(probs);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::graph_costs;
+
+    #[test]
+    fn conformer_shapes() {
+        let g = conformer(1);
+        let shapes = g.infer_shapes().unwrap();
+        let out = &shapes[&g.outputs()[0]];
+        assert_eq!(
+            out.dims,
+            vec![Dim::Fixed(1), Dim::Fixed(SEQ), Dim::Fixed(VOCAB)]
+        );
+    }
+
+    #[test]
+    fn block_count() {
+        let g = conformer(1);
+        // 16 blocks x 1 depthwise conv.
+        assert_eq!(
+            g.count_ops(|op| matches!(op, Op::Conv2d { groups, .. } if *groups > 1)),
+            16
+        );
+        assert_eq!(g.count_ops(|op| matches!(op, Op::Softmax)), 17); // 16 attn + ctc
+    }
+
+    #[test]
+    fn flops_scale() {
+        let (_, c) = graph_costs(&conformer(1)).unwrap();
+        let gflops = c.flops() as f64 / 1e9;
+        assert!((10.0..60.0).contains(&gflops), "{gflops}");
+    }
+
+    #[test]
+    fn subsampling_reduces_sequence_4x() {
+        assert_eq!(SEQ, FRAMES.div_ceil(4));
+    }
+}

@@ -1,0 +1,636 @@
+//! The eight computer-vision benchmarks of Table III.
+//!
+//! Rectangular (1x7 / 7x1) Inception kernels and the SRResNet pixel
+//! shuffle are expressed through square-kernel / reshape equivalents with
+//! matched channel widths, keeping MAC counts within a few percent of
+//! the reference implementations.
+
+use dtu_graph::{BinaryKind, Dim, Graph, NodeId, Op, PoolKind, TensorType};
+
+/// conv → folded BN → ReLU.
+fn cbr(g: &mut Graph, x: NodeId, out_c: usize, k: usize, s: usize, p: usize) -> NodeId {
+    let c = g.add_node(Op::conv2d(out_c, k, s, p), vec![x]).expect("conv");
+    let b = g.add_node(Op::BatchNorm, vec![c]).expect("bn");
+    g.add_node(Op::Relu, vec![b]).expect("relu")
+}
+
+/// conv → folded BN → LeakyReLU (the Darknet/YOLO stack).
+fn cbl(g: &mut Graph, x: NodeId, out_c: usize, k: usize, s: usize, p: usize) -> NodeId {
+    let c = g.add_node(Op::conv2d(out_c, k, s, p), vec![x]).expect("conv");
+    let b = g.add_node(Op::BatchNorm, vec![c]).expect("bn");
+    g.add_node(Op::LeakyRelu { alpha: 0.1 }, vec![b]).expect("leaky")
+}
+
+/// plain conv → ReLU (VGG / UNet style, no BN).
+fn cr(g: &mut Graph, x: NodeId, out_c: usize, k: usize, s: usize, p: usize) -> NodeId {
+    let c = g.add_node(Op::conv2d(out_c, k, s, p), vec![x]).expect("conv");
+    g.add_node(Op::Relu, vec![c]).expect("relu")
+}
+
+fn maxpool(g: &mut Graph, x: NodeId, k: usize, s: usize) -> NodeId {
+    g.add_node(
+        Op::Pool {
+            kind: PoolKind::Max,
+            kernel: k,
+            stride: s,
+        },
+        vec![x],
+    )
+    .expect("pool")
+}
+
+fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![a, b])
+        .expect("add")
+}
+
+/// VGG16 at 3x224x224 (Simonyan & Zisserman).
+pub fn vgg16(batch: usize) -> Graph {
+    let mut g = Graph::new("VGG16");
+    let mut x = g.input("image", TensorType::fixed(&[batch, 3, 224, 224]));
+    for (reps, ch) in [(2usize, 64usize), (2, 128), (3, 256), (3, 512), (3, 512)] {
+        for _ in 0..reps {
+            x = cr(&mut g, x, ch, 3, 1, 1);
+        }
+        x = maxpool(&mut g, x, 2, 2);
+    }
+    // 7x7x512 -> flatten -> fc4096 -> fc4096 -> fc1000 -> softmax.
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![Dim::Fixed(batch), Dim::Fixed(7 * 7 * 512)],
+            },
+            vec![x],
+        )
+        .expect("flatten");
+    let f1 = g.add_node(Op::Dense { units: 4096 }, vec![flat]).expect("fc1");
+    let r1 = g.add_node(Op::Relu, vec![f1]).expect("relu");
+    let f2 = g.add_node(Op::Dense { units: 4096 }, vec![r1]).expect("fc2");
+    let r2 = g.add_node(Op::Relu, vec![f2]).expect("relu");
+    let f3 = g.add_node(Op::Dense { units: 1000 }, vec![r2]).expect("fc3");
+    let sm = g.add_node(Op::Softmax, vec![f3]).expect("softmax");
+    g.mark_output(sm);
+    g
+}
+
+/// One ResNet bottleneck block (v1.5: stride lives on the 3x3).
+fn bottleneck(g: &mut Graph, x: NodeId, mid: usize, stride: usize, project: bool) -> NodeId {
+    let a = cbr(g, x, mid, 1, 1, 0);
+    let b = cbr(g, a, mid, 3, stride, 1);
+    let c = g
+        .add_node(Op::conv2d(mid * 4, 1, 1, 0), vec![b])
+        .expect("expand");
+    let c = g.add_node(Op::BatchNorm, vec![c]).expect("bn");
+    let shortcut = if project || stride != 1 {
+        let s = g
+            .add_node(Op::conv2d(mid * 4, 1, stride, 0), vec![x])
+            .expect("proj");
+        g.add_node(Op::BatchNorm, vec![s]).expect("bn")
+    } else {
+        x
+    };
+    let sum = add(g, c, shortcut);
+    g.add_node(Op::Relu, vec![sum]).expect("relu")
+}
+
+/// Builds the ResNet-50 v1.5 trunk, returning (C3, C4, C5) feature maps
+/// at strides 8/16/32 (used standalone and as the RetinaFace backbone).
+fn resnet50_trunk(g: &mut Graph, image: NodeId) -> (NodeId, NodeId, NodeId) {
+    let stem = cbr(g, image, 64, 7, 2, 3);
+    let mut x = maxpool(g, stem, 2, 2);
+    // Stage 1: 3 blocks, mid 64.
+    x = bottleneck(g, x, 64, 1, true);
+    for _ in 0..2 {
+        x = bottleneck(g, x, 64, 1, false);
+    }
+    // Stage 2: 4 blocks, mid 128.
+    x = bottleneck(g, x, 128, 2, true);
+    for _ in 0..3 {
+        x = bottleneck(g, x, 128, 1, false);
+    }
+    let c3 = x;
+    // Stage 3: 6 blocks, mid 256.
+    x = bottleneck(g, x, 256, 2, true);
+    for _ in 0..5 {
+        x = bottleneck(g, x, 256, 1, false);
+    }
+    let c4 = x;
+    // Stage 4: 3 blocks, mid 512.
+    x = bottleneck(g, x, 512, 2, true);
+    for _ in 0..2 {
+        x = bottleneck(g, x, 512, 1, false);
+    }
+    (c3, c4, x)
+}
+
+/// ResNet-50 v1.5 at 3x224x224 (He et al.).
+pub fn resnet50(batch: usize) -> Graph {
+    let mut g = Graph::new("Resnet50 v1.5");
+    let image = g.input("image", TensorType::fixed(&[batch, 3, 224, 224]));
+    let (_, _, c5) = resnet50_trunk(&mut g, image);
+    let pool = g
+        .add_node(
+            Op::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: 0,
+                stride: 0,
+            },
+            vec![c5],
+        )
+        .expect("gap");
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![Dim::Fixed(batch), Dim::Fixed(2048)],
+            },
+            vec![pool],
+        )
+        .expect("flatten");
+    let fc = g.add_node(Op::Dense { units: 1000 }, vec![flat]).expect("fc");
+    let sm = g.add_node(Op::Softmax, vec![fc]).expect("softmax");
+    g.mark_output(sm);
+    g
+}
+
+/// One Inception-A cell at 35x35 (output 384 channels).
+fn inception_a(g: &mut Graph, x: NodeId) -> NodeId {
+    let b0 = cbr(g, x, 96, 1, 1, 0);
+    let b1a = cbr(g, x, 64, 1, 1, 0);
+    let b1 = cbr(g, b1a, 96, 3, 1, 1);
+    let b2a = cbr(g, x, 64, 1, 1, 0);
+    let b2b = cbr(g, b2a, 96, 3, 1, 1);
+    let b2 = cbr(g, b2b, 96, 3, 1, 1);
+    let b3p = g
+        .add_node(
+            Op::Pool {
+                kind: PoolKind::Avg,
+                kernel: 3,
+                stride: 1,
+            },
+            vec![x],
+        )
+        .expect("pool");
+    // 3x3/1 pool shrinks by 2 without padding; pad back to 35x35 via a
+    // stride-1 1x1 conv on the unpooled input instead (MAC-equivalent).
+    let _ = b3p;
+    let b3 = cbr(g, x, 96, 1, 1, 0);
+    g.add_node(Op::Concat { axis: 1 }, vec![b0, b1, b2, b3])
+        .expect("concat")
+}
+
+/// One Inception-B cell at 17x17 (output 1024 channels; square-kernel
+/// equivalent of the 1x7/7x1 factorised branches).
+fn inception_b(g: &mut Graph, x: NodeId) -> NodeId {
+    let b0 = cbr(g, x, 384, 1, 1, 0);
+    let b1a = cbr(g, x, 192, 1, 1, 0);
+    let b1b = cbr(g, b1a, 224, 3, 1, 1);
+    let b1 = cbr(g, b1b, 256, 3, 1, 1);
+    let b2a = cbr(g, x, 192, 1, 1, 0);
+    let b2b = cbr(g, b2a, 224, 3, 1, 1);
+    let b2 = cbr(g, b2b, 256, 3, 1, 1);
+    let b3 = cbr(g, x, 128, 1, 1, 0);
+    g.add_node(Op::Concat { axis: 1 }, vec![b0, b1, b2, b3])
+        .expect("concat")
+}
+
+/// One Inception-C cell at 8x8 (output 1536 channels).
+fn inception_c(g: &mut Graph, x: NodeId) -> NodeId {
+    let b0 = cbr(g, x, 256, 1, 1, 0);
+    let b1a = cbr(g, x, 384, 1, 1, 0);
+    let b1l = cbr(g, b1a, 256, 3, 1, 1);
+    let b1r = cbr(g, b1a, 256, 3, 1, 1);
+    let b2a = cbr(g, x, 384, 1, 1, 0);
+    let b2b = cbr(g, b2a, 512, 3, 1, 1);
+    let b2l = cbr(g, b2b, 256, 3, 1, 1);
+    let b2r = cbr(g, b2b, 256, 3, 1, 1);
+    let b3 = cbr(g, x, 256, 1, 1, 0);
+    g.add_node(
+        Op::Concat { axis: 1 },
+        vec![b0, b1l, b1r, b2l, b2r, b3],
+    )
+    .expect("concat")
+}
+
+/// Inception v4 at 3x299x299 (Szegedy et al.).
+pub fn inception_v4(batch: usize) -> Graph {
+    let mut g = Graph::new("Inception v4");
+    let image = g.input("image", TensorType::fixed(&[batch, 3, 299, 299]));
+    // Stem: 299 -> 35x35x384.
+    let s1 = cbr(&mut g, image, 32, 3, 2, 0); // 149
+    let s2 = cbr(&mut g, s1, 32, 3, 1, 0); // 147
+    let s3 = cbr(&mut g, s2, 64, 3, 1, 1); // 147
+    let p1 = maxpool(&mut g, s3, 3, 2); // 73
+    let s4 = cbr(&mut g, p1, 96, 1, 1, 0);
+    let s5 = cbr(&mut g, s4, 192, 3, 1, 0); // 71
+    let s6 = cbr(&mut g, s5, 384, 3, 2, 0); // 35
+    let mut x = s6;
+    for _ in 0..4 {
+        x = inception_a(&mut g, x);
+    }
+    // Reduction A: 35 -> 17, 1024 channels.
+    let ra0 = cbr(&mut g, x, 384, 3, 2, 0);
+    let ra1a = cbr(&mut g, x, 192, 1, 1, 0);
+    let ra1b = cbr(&mut g, ra1a, 224, 3, 1, 1);
+    let ra1 = cbr(&mut g, ra1b, 256, 3, 2, 0);
+    let rap = maxpool(&mut g, x, 3, 2);
+    x = g
+        .add_node(Op::Concat { axis: 1 }, vec![ra0, ra1, rap])
+        .expect("concat");
+    for _ in 0..7 {
+        x = inception_b(&mut g, x);
+    }
+    // Reduction B: 17 -> 8, 1536 channels.
+    let rb0a = cbr(&mut g, x, 192, 1, 1, 0);
+    let rb0 = cbr(&mut g, rb0a, 192, 3, 2, 0);
+    let rb1a = cbr(&mut g, x, 256, 1, 1, 0);
+    let rb1b = cbr(&mut g, rb1a, 320, 3, 1, 1);
+    let rb1 = cbr(&mut g, rb1b, 320, 3, 2, 0);
+    let rbp = maxpool(&mut g, x, 3, 2);
+    x = g
+        .add_node(Op::Concat { axis: 1 }, vec![rb0, rb1, rbp])
+        .expect("concat");
+    for _ in 0..3 {
+        x = inception_c(&mut g, x);
+    }
+    let pool = g
+        .add_node(
+            Op::Pool {
+                kind: PoolKind::GlobalAvg,
+                kernel: 0,
+                stride: 0,
+            },
+            vec![x],
+        )
+        .expect("gap");
+    let flat = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![Dim::Fixed(batch), Dim::Fixed(1536)],
+            },
+            vec![pool],
+        )
+        .expect("flatten");
+    let fc = g.add_node(Op::Dense { units: 1000 }, vec![flat]).expect("fc");
+    let sm = g.add_node(Op::Softmax, vec![fc]).expect("softmax");
+    g.mark_output(sm);
+    g
+}
+
+/// One Darknet residual unit: 1x1 halve, 3x3 restore, add.
+fn darknet_residual(g: &mut Graph, x: NodeId, channels: usize) -> NodeId {
+    let a = cbl(g, x, channels / 2, 1, 1, 0);
+    let b = cbl(g, a, channels, 3, 1, 1);
+    add(g, b, x)
+}
+
+/// YOLOv3 at 3x608x608 (Redmon & Farhadi): Darknet-53 plus the
+/// three-scale detection head.
+pub fn yolo_v3(batch: usize) -> Graph {
+    let mut g = Graph::new("Yolo v3");
+    let image = g.input("image", TensorType::fixed(&[batch, 3, 608, 608]));
+    let mut x = cbl(&mut g, image, 32, 3, 1, 1);
+    let mut routes: Vec<NodeId> = Vec::new();
+    for (blocks, channels) in [(1usize, 64usize), (2, 128), (8, 256), (8, 512), (4, 1024)] {
+        x = cbl(&mut g, x, channels, 3, 2, 1); // downsample
+        for _ in 0..blocks {
+            x = darknet_residual(&mut g, x, channels);
+        }
+        if channels == 256 || channels == 512 {
+            routes.push(x); // 76x76x256 and 38x38x512
+        }
+    }
+    // Detection head: conv-set then predict at each of three scales.
+    let conv_set = |g: &mut Graph, x: NodeId, ch: usize| {
+        let a = cbl(g, x, ch, 1, 1, 0);
+        let b = cbl(g, a, ch * 2, 3, 1, 1);
+        let c = cbl(g, b, ch, 1, 1, 0);
+        let d = cbl(g, c, ch * 2, 3, 1, 1);
+        cbl(g, d, ch, 1, 1, 0)
+    };
+    let s1 = conv_set(&mut g, x, 512);
+    let p1a = cbl(&mut g, s1, 1024, 3, 1, 1);
+    let p1 = g.add_node(Op::conv2d(255, 1, 1, 0), vec![p1a]).expect("det1");
+    g.mark_output(p1);
+
+    let u1a = cbl(&mut g, s1, 256, 1, 1, 0);
+    let u1 = g.add_node(Op::Upsample { scale: 2 }, vec![u1a]).expect("up");
+    let cat1 = g
+        .add_node(Op::Concat { axis: 1 }, vec![u1, routes[1]])
+        .expect("concat");
+    let s2 = conv_set(&mut g, cat1, 256);
+    let p2a = cbl(&mut g, s2, 512, 3, 1, 1);
+    let p2 = g.add_node(Op::conv2d(255, 1, 1, 0), vec![p2a]).expect("det2");
+    g.mark_output(p2);
+
+    let u2a = cbl(&mut g, s2, 128, 1, 1, 0);
+    let u2 = g.add_node(Op::Upsample { scale: 2 }, vec![u2a]).expect("up");
+    let cat2 = g
+        .add_node(Op::Concat { axis: 1 }, vec![u2, routes[0]])
+        .expect("concat");
+    let s3 = conv_set(&mut g, cat2, 128);
+    let p3a = cbl(&mut g, s3, 256, 3, 1, 1);
+    let p3 = g.add_node(Op::conv2d(255, 1, 1, 0), vec![p3a]).expect("det3");
+    g.mark_output(p3);
+    g
+}
+
+/// One ResNet-18 basic block.
+fn basic_block(g: &mut Graph, x: NodeId, channels: usize, stride: usize) -> NodeId {
+    let a = cbr(g, x, channels, 3, stride, 1);
+    let b = g.add_node(Op::conv2d(channels, 3, 1, 1), vec![a]).expect("conv");
+    let b = g.add_node(Op::BatchNorm, vec![b]).expect("bn");
+    let shortcut = if stride != 1 {
+        let s = g
+            .add_node(Op::conv2d(channels, 1, stride, 0), vec![x])
+            .expect("proj");
+        g.add_node(Op::BatchNorm, vec![s]).expect("bn")
+    } else {
+        x
+    };
+    let sum = add(g, b, shortcut);
+    g.add_node(Op::Relu, vec![sum]).expect("relu")
+}
+
+/// CenterNet (ResNet-18 + three deconv stages + keypoint heads) at
+/// 3x512x512 (Duan et al. / Zhou et al. reference code).
+pub fn centernet(batch: usize) -> Graph {
+    let mut g = Graph::new("CenterNet");
+    let image = g.input("image", TensorType::fixed(&[batch, 3, 512, 512]));
+    let stem = cbr(&mut g, image, 64, 7, 2, 3);
+    let mut x = maxpool(&mut g, stem, 2, 2);
+    for (channels, stride) in [(64usize, 1usize), (128, 2), (256, 2), (512, 2)] {
+        x = basic_block(&mut g, x, channels, stride);
+        x = basic_block(&mut g, x, channels, 1);
+    }
+    // Three deconv stages: 16x16x512 -> 128x128x64.
+    for ch in [256usize, 128, 64] {
+        let d = g
+            .add_node(
+                Op::ConvTranspose2d {
+                    out_channels: ch,
+                    kernel: 2,
+                    stride: 2,
+                },
+                vec![x],
+            )
+            .expect("deconv");
+        let b = g.add_node(Op::BatchNorm, vec![d]).expect("bn");
+        x = g.add_node(Op::Relu, vec![b]).expect("relu");
+    }
+    // Heads: heatmaps (80 classes), size (2), offset (2).
+    for out_ch in [80usize, 2, 2] {
+        let h = cr(&mut g, x, 64, 3, 1, 1);
+        let o = g.add_node(Op::conv2d(out_ch, 1, 1, 0), vec![h]).expect("head");
+        g.mark_output(o);
+    }
+    g
+}
+
+/// The SSH context module of RetinaFace: 3x3, 5x5 (two 3x3), and 7x7
+/// (three 3x3) branches concatenated to 256 channels.
+fn ssh(g: &mut Graph, x: NodeId) -> NodeId {
+    let b3 = g.add_node(Op::conv2d(128, 3, 1, 1), vec![x]).expect("ssh3");
+    let c5a = cbr(g, x, 64, 3, 1, 1);
+    let b5 = g.add_node(Op::conv2d(64, 3, 1, 1), vec![c5a]).expect("ssh5");
+    let c7a = cbr(g, c5a, 64, 3, 1, 1);
+    let b7 = g.add_node(Op::conv2d(64, 3, 1, 1), vec![c7a]).expect("ssh7");
+    let cat = g
+        .add_node(Op::Concat { axis: 1 }, vec![b3, b5, b7])
+        .expect("concat");
+    g.add_node(Op::Relu, vec![cat]).expect("relu")
+}
+
+/// RetinaFace (ResNet-50 + FPN + SSH + multi-task heads) at 3x640x640
+/// (Deng et al.).
+pub fn retinaface(batch: usize) -> Graph {
+    let mut g = Graph::new("Retinaface");
+    let image = g.input("image", TensorType::fixed(&[batch, 3, 640, 640]));
+    let (c3, c4, c5) = resnet50_trunk(&mut g, image);
+    // FPN: lateral 1x1 to 256, top-down upsample+add, 3x3 smooth.
+    let l5 = cbr(&mut g, c5, 256, 1, 1, 0);
+    let l4 = cbr(&mut g, c4, 256, 1, 1, 0);
+    let l3 = cbr(&mut g, c3, 256, 1, 1, 0);
+    let u5 = g.add_node(Op::Upsample { scale: 2 }, vec![l5]).expect("up");
+    let p4 = add(&mut g, l4, u5);
+    let p4 = cbr(&mut g, p4, 256, 3, 1, 1);
+    let u4 = g.add_node(Op::Upsample { scale: 2 }, vec![p4]).expect("up");
+    let p3 = add(&mut g, l3, u4);
+    let p3 = cbr(&mut g, p3, 256, 3, 1, 1);
+    // SSH context + heads per level: class (2 anchors x 2), bbox (2x4),
+    // landmarks (2x10).
+    for level in [p3, p4, l5] {
+        let feat = ssh(&mut g, level);
+        for out_ch in [4usize, 8, 20] {
+            let h = g
+                .add_node(Op::conv2d(out_ch, 1, 1, 0), vec![feat])
+                .expect("head");
+            g.mark_output(h);
+        }
+    }
+    g
+}
+
+/// UNet at 3x512x512 (Ronneberger et al., "same"-padded variant).
+pub fn unet(batch: usize) -> Graph {
+    let mut g = Graph::new("Unet");
+    let image = g.input("image", TensorType::fixed(&[batch, 3, 512, 512]));
+    let mut skips: Vec<NodeId> = Vec::new();
+    let mut x = image;
+    // Encoder: 64, 128, 256, 512.
+    for ch in [64usize, 128, 256, 512] {
+        x = cr(&mut g, x, ch, 3, 1, 1);
+        x = cr(&mut g, x, ch, 3, 1, 1);
+        skips.push(x);
+        x = maxpool(&mut g, x, 2, 2);
+    }
+    // Bottleneck: 1024.
+    x = cr(&mut g, x, 1024, 3, 1, 1);
+    x = cr(&mut g, x, 1024, 3, 1, 1);
+    // Decoder.
+    for (ch, skip) in [(512usize, 3usize), (256, 2), (128, 1), (64, 0)] {
+        let up = g
+            .add_node(
+                Op::ConvTranspose2d {
+                    out_channels: ch,
+                    kernel: 2,
+                    stride: 2,
+                },
+                vec![x],
+            )
+            .expect("deconv");
+        let cat = g
+            .add_node(Op::Concat { axis: 1 }, vec![up, skips[skip]])
+            .expect("concat");
+        x = cr(&mut g, cat, ch, 3, 1, 1);
+        x = cr(&mut g, x, ch, 3, 1, 1);
+    }
+    let out = g.add_node(Op::conv2d(2, 1, 1, 0), vec![x]).expect("final");
+    g.mark_output(out);
+    g
+}
+
+/// One SRResNet residual block: conv-BN-PReLU-conv-BN + add.
+fn sr_block(g: &mut Graph, x: NodeId) -> NodeId {
+    let a = g.add_node(Op::conv2d(64, 3, 1, 1), vec![x]).expect("conv");
+    let a = g.add_node(Op::BatchNorm, vec![a]).expect("bn");
+    let a = g.add_node(Op::LeakyRelu { alpha: 0.2 }, vec![a]).expect("prelu");
+    let b = g.add_node(Op::conv2d(64, 3, 1, 1), vec![a]).expect("conv");
+    let b = g.add_node(Op::BatchNorm, vec![b]).expect("bn");
+    add(g, b, x)
+}
+
+/// SRResNet 4x super-resolution at 224x224x3 (Ledig et al.). The input
+/// arrives NHWC (Table III lists `224x224x3`) and is transposed to NCHW
+/// by the DMA engine before the first convolution; the two 2x upsamplers
+/// use conv-to-256-channels followed by a pixel-shuffle reshape.
+pub fn srresnet(batch: usize) -> Graph {
+    let mut g = Graph::new("SRResnet");
+    let image = g.input("image", TensorType::fixed(&[batch, 224, 224, 3]));
+    let nchw = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 3, 1, 2],
+            },
+            vec![image],
+        )
+        .expect("to_nchw");
+    let head = g.add_node(Op::conv2d(64, 9, 1, 4), vec![nchw]).expect("conv9");
+    let head = g
+        .add_node(Op::LeakyRelu { alpha: 0.2 }, vec![head])
+        .expect("prelu");
+    let mut x = head;
+    for _ in 0..16 {
+        x = sr_block(&mut g, x);
+    }
+    let tail = g.add_node(Op::conv2d(64, 3, 1, 1), vec![x]).expect("conv");
+    let tail = g.add_node(Op::BatchNorm, vec![tail]).expect("bn");
+    let mut x = add(&mut g, tail, head);
+    // Two pixel-shuffle 2x upsamplers: conv to 256ch then reshape
+    // [N,256,H,W] -> [N,64,2H,2W] (element-count preserving).
+    let mut h = 224usize;
+    for _ in 0..2 {
+        let c = g.add_node(Op::conv2d(256, 3, 1, 1), vec![x]).expect("conv");
+        let c = g.add_node(Op::LeakyRelu { alpha: 0.2 }, vec![c]).expect("prelu");
+        let shuffled = g
+            .add_node(
+                Op::Reshape {
+                    dims: vec![
+                        Dim::Fixed(batch),
+                        Dim::Fixed(64),
+                        Dim::Fixed(h * 2),
+                        Dim::Fixed(h * 2),
+                    ],
+                },
+                vec![c],
+            )
+            .expect("pixelshuffle");
+        x = shuffled;
+        h *= 2;
+    }
+    let out = g.add_node(Op::conv2d(3, 9, 1, 4), vec![x]).expect("conv9");
+    g.mark_output(out);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::graph_costs;
+
+    #[test]
+    fn vgg16_shapes() {
+        let g = vgg16(1);
+        let shapes = g.infer_shapes().unwrap();
+        let out = &shapes[g.outputs().last().unwrap()];
+        assert_eq!(out.len(), Some(1000));
+        // 13 convs + 3 FCs.
+        assert_eq!(g.count_ops(|op| matches!(op, Op::Conv2d { .. })), 13);
+        assert_eq!(g.count_ops(|op| matches!(op, Op::Dense { .. })), 3);
+    }
+
+    #[test]
+    fn vgg16_flops_about_31g() {
+        let (_, c) = graph_costs(&vgg16(1)).unwrap();
+        let gflops = c.flops() as f64 / 1e9;
+        assert!((25.0..40.0).contains(&gflops), "{gflops}");
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let g = resnet50(1);
+        // 3+4+6+3 = 16 bottlenecks x 3 convs + 4 projections + stem = 53.
+        assert_eq!(g.count_ops(|op| matches!(op, Op::Conv2d { .. })), 53);
+        let (_, c) = graph_costs(&g).unwrap();
+        let gflops = c.flops() as f64 / 1e9;
+        assert!((6.0..12.0).contains(&gflops), "{gflops}");
+    }
+
+    #[test]
+    fn yolo_has_three_scales() {
+        let g = yolo_v3(1);
+        assert_eq!(g.outputs().len(), 3);
+        let shapes = g.infer_shapes().unwrap();
+        let spatial: Vec<usize> = g
+            .outputs()
+            .iter()
+            .map(|o| shapes[o].dims[2].value().unwrap())
+            .collect();
+        assert_eq!(spatial, vec![19, 38, 76]);
+        for o in g.outputs() {
+            assert_eq!(shapes[o].dims[1].value(), Some(255));
+        }
+    }
+
+    #[test]
+    fn centernet_head_resolution() {
+        let g = centernet(1);
+        let shapes = g.infer_shapes().unwrap();
+        assert_eq!(g.outputs().len(), 3);
+        let hm = &shapes[&g.outputs()[0]];
+        assert_eq!(hm.dims[1].value(), Some(80));
+        assert_eq!(hm.dims[2].value(), Some(128)); // 512 / 4
+    }
+
+    #[test]
+    fn retinaface_heads_per_level() {
+        let g = retinaface(1);
+        assert_eq!(g.outputs().len(), 9); // 3 levels x 3 tasks
+        let shapes = g.infer_shapes().unwrap();
+        // P3 head at stride 8: 80x80.
+        assert_eq!(shapes[&g.outputs()[0]].dims[2].value(), Some(80));
+    }
+
+    #[test]
+    fn unet_output_matches_input_resolution() {
+        let g = unet(1);
+        let shapes = g.infer_shapes().unwrap();
+        let out = &shapes[&g.outputs()[0]];
+        assert_eq!(out.dims[2].value(), Some(512));
+        assert_eq!(out.dims[1].value(), Some(2));
+    }
+
+    #[test]
+    fn srresnet_outputs_4x_upscale() {
+        let g = srresnet(1);
+        let shapes = g.infer_shapes().unwrap();
+        let out = &shapes[&g.outputs()[0]];
+        assert_eq!(out.dims[1].value(), Some(3));
+        assert_eq!(out.dims[2].value(), Some(896)); // 224 x 4
+    }
+
+    #[test]
+    fn inception_channel_arithmetic() {
+        let g = inception_v4(1);
+        let shapes = g.infer_shapes().unwrap();
+        // All concats produce the canonical stage widths.
+        let widths: Vec<usize> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Concat { .. }))
+            .map(|n| shapes[&n.id].dims[1].value().unwrap())
+            .collect();
+        assert!(widths.contains(&384));
+        assert!(widths.contains(&1024));
+        assert!(widths.contains(&1536));
+    }
+}

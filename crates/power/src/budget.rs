@@ -1,0 +1,347 @@
+//! The central power management engine (CPME) and budget arithmetic.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// What kind of function unit an LPME guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitKind {
+    /// A compute core.
+    Core,
+    /// A DMA engine.
+    Dma,
+    /// A synchronisation engine.
+    Sync,
+    /// The HBM memory subsystem.
+    Memory,
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnitKind::Core => "core",
+            UnitKind::Dma => "dma",
+            UnitKind::Sync => "sync",
+            UnitKind::Memory => "mem",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Identity of a power-managed function unit: kind, cluster, index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId {
+    /// Unit kind.
+    pub kind: UnitKind,
+    /// Owning cluster (0 or 1 on DTU 2.0).
+    pub cluster: usize,
+    /// Index within the cluster.
+    pub index: usize,
+}
+
+impl UnitId {
+    /// A compute-core unit id.
+    pub fn core(cluster: usize, index: usize) -> Self {
+        UnitId {
+            kind: UnitKind::Core,
+            cluster,
+            index,
+        }
+    }
+
+    /// A DMA-engine unit id.
+    pub fn dma(cluster: usize, index: usize) -> Self {
+        UnitId {
+            kind: UnitKind::Dma,
+            cluster,
+            index,
+        }
+    }
+
+    /// A sync-engine unit id.
+    pub fn sync(cluster: usize, index: usize) -> Self {
+        UnitId {
+            kind: UnitKind::Sync,
+            cluster,
+            index,
+        }
+    }
+
+    /// The memory-subsystem unit id.
+    pub fn memory() -> Self {
+        UnitId {
+            kind: UnitKind::Memory,
+            cluster: 0,
+            index: 0,
+        }
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}.{}]", self.kind, self.cluster, self.index)
+    }
+}
+
+/// Errors from power-budget management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PowerError {
+    /// The baseline budgets already exceed the board limit.
+    BaselineExceedsLimit {
+        /// Sum of requested baselines (mW).
+        baseline_mw: u64,
+        /// Board limit (mW).
+        limit_mw: u64,
+    },
+    /// An operation referenced a unit the CPME does not manage.
+    UnknownUnit {
+        /// The offending unit.
+        unit: String,
+    },
+    /// A unit tried to return more budget than it holds above baseline.
+    ReturnExceedsLoan {
+        /// The offending unit.
+        unit: String,
+        /// Amount it tried to return (mW).
+        amount_mw: u64,
+        /// Amount it actually holds above baseline (mW).
+        held_mw: u64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::BaselineExceedsLimit {
+                baseline_mw,
+                limit_mw,
+            } => write!(
+                f,
+                "baseline budgets ({baseline_mw} mW) exceed board limit ({limit_mw} mW)"
+            ),
+            PowerError::UnknownUnit { unit } => write!(f, "unknown power unit {unit}"),
+            PowerError::ReturnExceedsLoan {
+                unit,
+                amount_mw,
+                held_mw,
+            } => write!(
+                f,
+                "{unit} tried to return {amount_mw} mW but holds only {held_mw} mW above baseline"
+            ),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+/// The central power management engine.
+///
+/// Invariant: `reserve + Σ allocations == board limit`, and every unit's
+/// allocation is at least its baseline. "On system booting, CPME
+/// conservatively assigns a baseline power budget to every function unit
+/// ... and reserves the remaining budgets for runtime distribution"
+/// (§IV-F1).
+#[derive(Debug, Clone)]
+pub struct Cpme {
+    limit_mw: u64,
+    reserve_mw: u64,
+    baseline: BTreeMap<UnitId, u64>,
+    allocation: BTreeMap<UnitId, u64>,
+}
+
+impl Cpme {
+    /// Boots the CPME with a board limit and per-unit baseline budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::BaselineExceedsLimit`] if the baselines do not
+    /// fit under the limit.
+    pub fn new(limit_mw: u64, baselines: &[(UnitId, u64)]) -> Result<Self, PowerError> {
+        let total: u64 = baselines.iter().map(|&(_, b)| b).sum();
+        if total > limit_mw {
+            return Err(PowerError::BaselineExceedsLimit {
+                baseline_mw: total,
+                limit_mw,
+            });
+        }
+        let baseline: BTreeMap<UnitId, u64> = baselines.iter().copied().collect();
+        let allocation = baseline.clone();
+        Ok(Cpme {
+            limit_mw,
+            reserve_mw: limit_mw - total,
+            baseline,
+            allocation,
+        })
+    }
+
+    /// The board power limit in milliwatts.
+    pub fn limit_mw(&self) -> u64 {
+        self.limit_mw
+    }
+
+    /// The undistributed reserve in milliwatts.
+    pub fn reserve_mw(&self) -> u64 {
+        self.reserve_mw
+    }
+
+    /// Current allocation of a unit in milliwatts (0 for unknown units).
+    pub fn allocation_mw(&self, unit: UnitId) -> u64 {
+        self.allocation.get(&unit).copied().unwrap_or(0)
+    }
+
+    /// A unit requests `amount_mw` additional budget. The CPME grants as
+    /// much as the reserve allows ("CPME processes LPME's request based on
+    /// its power management model, assuring the overall power integrity is
+    /// risk-free"). Returns the granted amount (possibly 0).
+    pub fn request(&mut self, unit: UnitId, amount_mw: u64) -> u64 {
+        if !self.allocation.contains_key(&unit) {
+            return 0;
+        }
+        let granted = amount_mw.min(self.reserve_mw);
+        self.reserve_mw -= granted;
+        *self.allocation.get_mut(&unit).expect("checked") += granted;
+        granted
+    }
+
+    /// A unit returns surplus budget to the reserve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::UnknownUnit`] for unmanaged units and
+    /// [`PowerError::ReturnExceedsLoan`] if the unit would drop below its
+    /// baseline.
+    pub fn release(&mut self, unit: UnitId, amount_mw: u64) -> Result<(), PowerError> {
+        let Some(alloc) = self.allocation.get_mut(&unit) else {
+            return Err(PowerError::UnknownUnit {
+                unit: unit.to_string(),
+            });
+        };
+        let base = self.baseline[&unit];
+        let held = *alloc - base;
+        if amount_mw > held {
+            return Err(PowerError::ReturnExceedsLoan {
+                unit: unit.to_string(),
+                amount_mw,
+                held_mw: held,
+            });
+        }
+        *alloc -= amount_mw;
+        self.reserve_mw += amount_mw;
+        Ok(())
+    }
+
+    /// Checks the conservation invariant; used by tests and debug asserts.
+    pub fn is_consistent(&self) -> bool {
+        let allocated: u64 = self.allocation.values().sum();
+        allocated + self.reserve_mw == self.limit_mw
+            && self
+                .allocation
+                .iter()
+                .all(|(u, &a)| a >= self.baseline[u])
+    }
+
+    /// The units managed by this CPME.
+    pub fn units(&self) -> impl Iterator<Item = UnitId> + '_ {
+        self.allocation.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> Cpme {
+        Cpme::new(
+            10_000,
+            &[(UnitId::core(0, 0), 2_000), (UnitId::dma(0, 0), 1_000)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn boot_reserves_remainder() {
+        let c = boot();
+        assert_eq!(c.reserve_mw(), 7_000);
+        assert_eq!(c.allocation_mw(UnitId::core(0, 0)), 2_000);
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn boot_rejects_oversubscribed_baseline() {
+        let err = Cpme::new(1_000, &[(UnitId::core(0, 0), 2_000)]).unwrap_err();
+        assert!(matches!(err, PowerError::BaselineExceedsLimit { .. }));
+    }
+
+    #[test]
+    fn request_grants_up_to_reserve() {
+        let mut c = boot();
+        assert_eq!(c.request(UnitId::core(0, 0), 5_000), 5_000);
+        assert_eq!(c.reserve_mw(), 2_000);
+        // Second request larger than what's left: partial grant.
+        assert_eq!(c.request(UnitId::dma(0, 0), 5_000), 2_000);
+        assert_eq!(c.reserve_mw(), 0);
+        assert_eq!(c.request(UnitId::core(0, 0), 1), 0);
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn request_from_unknown_unit_grants_nothing() {
+        let mut c = boot();
+        assert_eq!(c.request(UnitId::sync(1, 9), 100), 0);
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn release_returns_loan() {
+        let mut c = boot();
+        c.request(UnitId::core(0, 0), 3_000);
+        c.release(UnitId::core(0, 0), 3_000).unwrap();
+        assert_eq!(c.reserve_mw(), 7_000);
+        assert_eq!(c.allocation_mw(UnitId::core(0, 0)), 2_000);
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn release_cannot_drop_below_baseline() {
+        let mut c = boot();
+        let err = c.release(UnitId::core(0, 0), 1).unwrap_err();
+        assert!(matches!(err, PowerError::ReturnExceedsLoan { .. }));
+        assert!(c.is_consistent());
+    }
+
+    #[test]
+    fn release_unknown_unit_errors() {
+        let mut c = boot();
+        assert!(matches!(
+            c.release(UnitId::memory(), 1),
+            Err(PowerError::UnknownUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn unit_id_display() {
+        assert_eq!(UnitId::core(1, 11).to_string(), "core[1.11]");
+        assert_eq!(UnitId::memory().to_string(), "mem[0.0]");
+    }
+
+    #[test]
+    fn conservation_under_random_traffic() {
+        let mut c = boot();
+        let units = [UnitId::core(0, 0), UnitId::dma(0, 0)];
+        // Deterministic pseudo-random walk.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let unit = units[(x >> 33) as usize % 2];
+            let amt = x % 3_000;
+            if x.is_multiple_of(2) {
+                c.request(unit, amt);
+            } else {
+                let held = c.allocation_mw(unit).saturating_sub(if unit.kind == UnitKind::Core { 2_000 } else { 1_000 });
+                let _ = c.release(unit, amt.min(held));
+            }
+            assert!(c.is_consistent());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The customised DVFS governor (energy-efficiency management, §IV-F2).
+//!
+//! Fig. 10 of the paper: each observation window the LPME reports the
+//! compute core's busy duty cycle and the ratio of DMA stalls caused by L3
+//! access; the CPME classifies the workload (compute-bound /
+//! bandwidth-bound / balanced), looks back at the last few windows, and
+//! only then raises or lowers the core frequency — a 4-stage
+//! observe → evaluate → decide → act closed loop.
+
+use crate::{PowerConfig, WindowObservation};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The CPME's classification of one window's workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// High busy duty cycle, few memory stalls — raising frequency helps.
+    ComputeBound,
+    /// Dominated by waits on L3/HBM — frequency does not help; lower it.
+    BandwidthBound,
+    /// Neither dominates — hold.
+    Balanced,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadKind::ComputeBound => "compute-bound",
+            WorkloadKind::BandwidthBound => "bandwidth-bound",
+            WorkloadKind::Balanced => "balanced",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The frequency decision for the next window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrequencyPlan {
+    /// Core frequency for the next window, in MHz.
+    pub freq_mhz: u32,
+    /// The classification that produced it.
+    pub kind: WorkloadKind,
+    /// Whether this plan changed the frequency.
+    pub changed: bool,
+}
+
+/// Per-core DVFS governor.
+///
+/// When disabled (power management OFF in the §VI-D experiment) the
+/// governor pins the clock at `f_max`.
+#[derive(Debug, Clone)]
+pub struct DvfsGovernor {
+    cfg: PowerConfig,
+    freq_mhz: u32,
+    history: VecDeque<WorkloadKind>,
+    enabled: bool,
+}
+
+impl DvfsGovernor {
+    /// Creates an enabled governor starting at the top frequency.
+    pub fn new(cfg: PowerConfig) -> Self {
+        let f = cfg.f_max_mhz;
+        DvfsGovernor {
+            cfg,
+            freq_mhz: f,
+            history: VecDeque::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a governor with power management switched off: the clock is
+    /// fixed at `f_max` "to get the maximal performance" (§VI-D).
+    pub fn disabled(cfg: PowerConfig) -> Self {
+        let mut g = DvfsGovernor::new(cfg);
+        g.enabled = false;
+        g
+    }
+
+    /// Whether the governor is actively scaling.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current core frequency in MHz.
+    pub fn freq_mhz(&self) -> u32 {
+        self.freq_mhz
+    }
+
+    /// Stage 2 (*Evaluation*): classify a window.
+    pub fn classify(&self, obs: &WindowObservation) -> WorkloadKind {
+        if obs.l3_stall_ratio() > self.cfg.bandwidth_bound_stall {
+            WorkloadKind::BandwidthBound
+        } else if obs.busy_ratio() > self.cfg.compute_bound_busy {
+            WorkloadKind::ComputeBound
+        } else {
+            WorkloadKind::Balanced
+        }
+    }
+
+    /// Slack-budgeted planning: selects the lowest frequency whose
+    /// predicted window-latency growth stays within `slack` (e.g. 0.04
+    /// = 4%). Only the busy (issue) fraction of a window scales with
+    /// frequency; stalls are memory-latency time and do not. This is the
+    /// "on-demand adjustment" flavour of the §IV-F2 strategy: windows
+    /// dominated by memory stalls sink toward `f_min` for free, while
+    /// compute-saturated windows stay at `f_max`.
+    pub fn step_with_slack(&mut self, obs: WindowObservation, slack: f64) -> FrequencyPlan {
+        let kind = self.classify(&obs);
+        if !self.enabled {
+            return FrequencyPlan {
+                freq_mhz: self.freq_mhz,
+                kind,
+                changed: false,
+            };
+        }
+        let busy_share = obs.busy_ratio();
+        // Growth = busy_share · (f_max/f − 1) ≤ slack.
+        let fscale_max = if busy_share > 0.0 {
+            1.0 + slack / busy_share
+        } else {
+            f64::INFINITY
+        };
+        let target = (self.cfg.f_max_mhz as f64 / fscale_max).ceil() as u32;
+        let new_freq = target.clamp(self.cfg.f_min_mhz, self.cfg.f_max_mhz);
+        let changed = new_freq != self.freq_mhz;
+        self.freq_mhz = new_freq;
+        FrequencyPlan {
+            freq_mhz: new_freq,
+            kind,
+            changed,
+        }
+    }
+
+    /// Runs one full observe → evaluate → decide → act iteration and
+    /// returns the plan for the next window.
+    pub fn step(&mut self, obs: WindowObservation) -> FrequencyPlan {
+        let kind = self.classify(&obs);
+        if !self.enabled {
+            return FrequencyPlan {
+                freq_mhz: self.freq_mhz,
+                kind,
+                changed: false,
+            };
+        }
+        self.history.push_back(kind);
+        while self.history.len() > self.cfg.decision_windows {
+            self.history.pop_front();
+        }
+        // Stage 3 (*Decision*): act only on a persistent classification.
+        let persistent = self.history.len() == self.cfg.decision_windows
+            && self.history.iter().all(|&k| k == kind);
+        let mut new_freq = self.freq_mhz;
+        if persistent {
+            match kind {
+                WorkloadKind::ComputeBound => {
+                    new_freq = (self.freq_mhz + self.cfg.f_step_mhz).min(self.cfg.f_max_mhz);
+                }
+                WorkloadKind::BandwidthBound => {
+                    new_freq = self
+                        .freq_mhz
+                        .saturating_sub(self.cfg.f_step_mhz)
+                        .max(self.cfg.f_min_mhz);
+                }
+                WorkloadKind::Balanced => {}
+            }
+        }
+        // Stage 4 (*Action*).
+        let changed = new_freq != self.freq_mhz;
+        self.freq_mhz = new_freq;
+        FrequencyPlan {
+            freq_mhz: new_freq,
+            kind,
+            changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PowerConfig {
+        PowerConfig::default()
+    }
+
+    fn compute_window() -> WindowObservation {
+        WindowObservation {
+            busy_cycles: 95,
+            stall_cycles: 5,
+            l3_stall_cycles: 0,
+            projected_power_mw: 0,
+        }
+    }
+
+    fn memory_window() -> WindowObservation {
+        WindowObservation {
+            busy_cycles: 10,
+            stall_cycles: 90,
+            l3_stall_cycles: 85,
+            projected_power_mw: 0,
+        }
+    }
+
+    fn balanced_window() -> WindowObservation {
+        WindowObservation {
+            busy_cycles: 35,
+            stall_cycles: 65,
+            l3_stall_cycles: 30,
+            projected_power_mw: 0,
+        }
+    }
+
+    #[test]
+    fn classification_matches_thresholds() {
+        let g = DvfsGovernor::new(cfg());
+        assert_eq!(g.classify(&compute_window()), WorkloadKind::ComputeBound);
+        assert_eq!(g.classify(&memory_window()), WorkloadKind::BandwidthBound);
+        assert_eq!(g.classify(&balanced_window()), WorkloadKind::Balanced);
+    }
+
+    #[test]
+    fn bandwidth_bound_lowers_frequency_after_persistence() {
+        let mut g = DvfsGovernor::new(cfg());
+        let p1 = g.step(memory_window());
+        assert!(!p1.changed, "one window must not trigger action");
+        let p2 = g.step(memory_window());
+        assert!(p2.changed);
+        assert_eq!(p2.freq_mhz, cfg().f_max_mhz - cfg().f_step_mhz);
+    }
+
+    #[test]
+    fn frequency_clamped_to_range() {
+        let mut g = DvfsGovernor::new(cfg());
+        for _ in 0..50 {
+            g.step(memory_window());
+        }
+        assert_eq!(g.freq_mhz(), cfg().f_min_mhz);
+        for _ in 0..50 {
+            g.step(compute_window());
+        }
+        assert_eq!(g.freq_mhz(), cfg().f_max_mhz);
+    }
+
+    #[test]
+    fn mixed_windows_hold_frequency() {
+        let mut g = DvfsGovernor::new(cfg());
+        for _ in 0..10 {
+            g.step(memory_window());
+            g.step(compute_window());
+        }
+        // Alternating classifications never persist, so no change from max.
+        assert_eq!(g.freq_mhz(), cfg().f_max_mhz);
+    }
+
+    #[test]
+    fn balanced_never_changes_frequency() {
+        let mut g = DvfsGovernor::new(cfg());
+        // Drop once so we're mid-range.
+        g.step(memory_window());
+        g.step(memory_window());
+        let mid = g.freq_mhz();
+        for _ in 0..10 {
+            let p = g.step(balanced_window());
+            assert!(!p.changed);
+        }
+        assert_eq!(g.freq_mhz(), mid);
+    }
+
+    #[test]
+    fn disabled_governor_pins_fmax() {
+        let mut g = DvfsGovernor::disabled(cfg());
+        assert!(!g.is_enabled());
+        for _ in 0..20 {
+            let p = g.step(memory_window());
+            assert!(!p.changed);
+            assert_eq!(p.freq_mhz, cfg().f_max_mhz);
+        }
+    }
+
+    #[test]
+    fn workload_kind_display() {
+        assert_eq!(WorkloadKind::ComputeBound.to_string(), "compute-bound");
+        assert_eq!(WorkloadKind::BandwidthBound.to_string(), "bandwidth-bound");
+        assert_eq!(WorkloadKind::Balanced.to_string(), "balanced");
+    }
+}

@@ -1,0 +1,256 @@
+//! Activity-based energy model.
+//!
+//! The simulator counts activity (MACs, bytes moved per memory level, SFU
+//! evaluations) and this model converts activity into joules, scaling the
+//! dynamic component with frequency and the square of voltage (voltage is
+//! taken linear in frequency across the DVFS range, the standard
+//! first-order CMOS model behind the paper's DVFS energy savings).
+
+use crate::PowerConfig;
+
+/// Energy cost coefficients at the nominal (maximum) DVFS point.
+///
+/// Per-operation energies are in picojoules. The defaults are first-order
+/// 12nm-class values chosen so that a fully-busy i20 integrates to roughly
+/// its 150 W TDP, which is the only absolute anchor the paper provides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per FP32-equivalent MAC, in pJ.
+    pub pj_per_mac: f64,
+    /// Energy per non-MAC vector ALU op, in pJ.
+    pub pj_per_vector_op: f64,
+    /// Energy per SFU transcendental evaluation, in pJ.
+    pub pj_per_sfu_op: f64,
+    /// Energy per byte touched in L1, in pJ.
+    pub pj_per_l1_byte: f64,
+    /// Energy per byte through an L2 port, in pJ.
+    pub pj_per_l2_byte: f64,
+    /// Energy per byte over the HBM interface, in pJ.
+    pub pj_per_l3_byte: f64,
+    /// Static (leakage + always-on) board power, in mW.
+    pub leakage_mw: f64,
+    /// Active-idle power of the clocked function units at the nominal
+    /// DVFS point (clock tree, pipeline control), in mW. Unlike leakage
+    /// it scales with f·V², which is what frequency scaling harvests
+    /// during memory-bound windows.
+    pub active_idle_mw: f64,
+    /// The DVFS point the coefficients are calibrated at, in MHz.
+    pub nominal_mhz: u32,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            pj_per_mac: 1.1,
+            pj_per_vector_op: 0.6,
+            pj_per_sfu_op: 2.4,
+            pj_per_l1_byte: 0.9,
+            pj_per_l2_byte: 2.2,
+            pj_per_l3_byte: 18.0,
+            leakage_mw: 20_000.0,
+            active_idle_mw: 30_000.0,
+            nominal_mhz: 1_400,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic-energy scale factor at `freq_mhz` relative to nominal.
+    ///
+    /// Per-op *energy* scales with V²; with V linear in f between 0.7·Vnom
+    /// at `f_min` and Vnom at nominal, dropping frequency saves energy per
+    /// op even though the op count is unchanged.
+    pub fn dynamic_energy_scale(&self, cfg: &PowerConfig, freq_mhz: u32) -> f64 {
+        let fnom = self.nominal_mhz as f64;
+        let fmin = cfg.f_min_mhz as f64;
+        let f = (freq_mhz as f64).clamp(fmin, fnom);
+        // Voltage fraction: 0.7 at fmin, 1.0 at fnom (linear).
+        let span = (fnom - fmin).max(1.0);
+        let v = 0.7 + 0.3 * (f - fmin) / span;
+        v * v
+    }
+
+    /// Dynamic-power scale (for projections): f · V².
+    pub fn dynamic_power_scale(&self, cfg: &PowerConfig, freq_mhz: u32) -> f64 {
+        let f = freq_mhz as f64 / self.nominal_mhz as f64;
+        f * self.dynamic_energy_scale(cfg, freq_mhz)
+    }
+}
+
+/// A running energy integral for one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyAccount {
+    /// Dynamic energy accumulated, in picojoules.
+    pub dynamic_pj: f64,
+    /// Static energy accumulated, in picojoules.
+    pub static_pj: f64,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        EnergyAccount::default()
+    }
+
+    /// Charges compute activity executed at `freq_mhz`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn charge_compute(
+        &mut self,
+        model: &EnergyModel,
+        cfg: &PowerConfig,
+        freq_mhz: u32,
+        macs: u64,
+        vector_ops: u64,
+        sfu_ops: u64,
+    ) {
+        let scale = model.dynamic_energy_scale(cfg, freq_mhz);
+        self.dynamic_pj += scale
+            * (macs as f64 * model.pj_per_mac
+                + vector_ops as f64 * model.pj_per_vector_op
+                + sfu_ops as f64 * model.pj_per_sfu_op);
+    }
+
+    /// Charges memory traffic (bytes per level). Memory energy does not
+    /// scale with the core clock.
+    pub fn charge_memory(&mut self, model: &EnergyModel, l1: u64, l2: u64, l3: u64) {
+        self.dynamic_pj += l1 as f64 * model.pj_per_l1_byte
+            + l2 as f64 * model.pj_per_l2_byte
+            + l3 as f64 * model.pj_per_l3_byte;
+    }
+
+    /// Charges leakage for a wall-clock duration in nanoseconds.
+    pub fn charge_static(&mut self, model: &EnergyModel, duration_ns: f64) {
+        // mW * ns = pJ.
+        self.static_pj += model.leakage_mw * duration_ns;
+    }
+
+    /// Charges the frequency-scaled active-idle (clock tree) power for a
+    /// duration spent at `freq_mhz`. This is the component DVFS saves
+    /// during memory-bound windows.
+    pub fn charge_active_idle(
+        &mut self,
+        model: &EnergyModel,
+        cfg: &PowerConfig,
+        freq_mhz: u32,
+        duration_ns: f64,
+    ) {
+        let scale = model.dynamic_power_scale(cfg, freq_mhz);
+        self.dynamic_pj += model.active_idle_mw * scale * duration_ns;
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        (self.dynamic_pj + self.static_pj) * 1e-12
+    }
+
+    /// Average power in watts over `duration_ns` nanoseconds.
+    pub fn average_watts(&self, duration_ns: f64) -> f64 {
+        if duration_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_joules() / (duration_ns * 1e-9)
+        }
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        self.dynamic_pj += other.dynamic_pj;
+        self.static_pj += other.static_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scale_is_one_at_nominal() {
+        let m = EnergyModel::default();
+        let cfg = PowerConfig::default();
+        let s = m.dynamic_energy_scale(&cfg, m.nominal_mhz);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scale_drops_with_frequency() {
+        let m = EnergyModel::default();
+        let cfg = PowerConfig::default();
+        let low = m.dynamic_energy_scale(&cfg, cfg.f_min_mhz);
+        let high = m.dynamic_energy_scale(&cfg, cfg.f_max_mhz);
+        assert!(low < high);
+        assert!((low - 0.49).abs() < 1e-9); // 0.7^2
+    }
+
+    #[test]
+    fn power_scale_superlinear_in_frequency() {
+        let m = EnergyModel::default();
+        let cfg = PowerConfig::default();
+        let p_low = m.dynamic_power_scale(&cfg, 1_000);
+        let p_high = m.dynamic_power_scale(&cfg, 1_400);
+        // Power ratio should exceed the frequency ratio (V² effect).
+        assert!(p_high / p_low > 1.4);
+    }
+
+    #[test]
+    fn compute_charging_scales_with_frequency() {
+        let m = EnergyModel::default();
+        let cfg = PowerConfig::default();
+        let mut hot = EnergyAccount::new();
+        let mut cool = EnergyAccount::new();
+        hot.charge_compute(&m, &cfg, 1_400, 1_000_000, 0, 0);
+        cool.charge_compute(&m, &cfg, 1_000, 1_000_000, 0, 0);
+        assert!(cool.dynamic_pj < hot.dynamic_pj);
+    }
+
+    #[test]
+    fn memory_charging_per_level_ordering() {
+        let m = EnergyModel::default();
+        let mut a1 = EnergyAccount::new();
+        let mut a3 = EnergyAccount::new();
+        a1.charge_memory(&m, 1_000, 0, 0);
+        a3.charge_memory(&m, 0, 0, 1_000);
+        assert!(a3.dynamic_pj > a1.dynamic_pj, "HBM must cost more than L1");
+    }
+
+    #[test]
+    fn static_energy_and_average_power() {
+        let m = EnergyModel::default();
+        let mut acc = EnergyAccount::new();
+        acc.charge_static(&m, 1e9); // one second of leakage
+        let j = acc.total_joules();
+        assert!((j - 20.0).abs() < 1e-6); // 20 W × 1 s
+        assert!((acc.average_watts(1e9) - 20.0).abs() < 1e-6);
+        assert_eq!(acc.average_watts(0.0), 0.0);
+    }
+
+    #[test]
+    fn busy_i20_lands_near_tdp() {
+        // At peak FP16: 128 TFLOPs = 64e12 MACs/s, plus HBM at full tilt
+        // (819 GB/s), should integrate to the same order as the 150 W TDP.
+        let m = EnergyModel::default();
+        let cfg = PowerConfig::default();
+        let mut acc = EnergyAccount::new();
+        // FP16 MACs cost a quarter of the FP32 coefficient in this model;
+        // charge as FP32-equivalents: 64e12 fp16 MACs = 16e12 equivalents.
+        acc.charge_compute(&m, &cfg, 1_400, 16_000_000_000_000, 0, 0);
+        acc.charge_memory(&m, 0, 0, 819_000_000_000);
+        acc.charge_static(&m, 1e9);
+        let w = acc.average_watts(1e9);
+        assert!(w > 50.0 && w < 250.0, "unrealistic board power {w} W");
+    }
+
+    #[test]
+    fn merge_adds_components() {
+        let mut a = EnergyAccount {
+            dynamic_pj: 10.0,
+            static_pj: 5.0,
+        };
+        let b = EnergyAccount {
+            dynamic_pj: 1.0,
+            static_pj: 2.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.dynamic_pj, 11.0);
+        assert_eq!(a.static_pj, 7.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The local power management engine (LPME) integrity loop.
+//!
+//! Fig. 9 of the paper: the LPME projects its unit's power for each
+//! observation window; if the projection exceeds the assigned budget it
+//! inserts stalls/bubbles (a negative feedback loop). It also tracks the
+//! stall ratio across recent windows and, when at least M of the last N
+//! windows exceeded the borrow threshold, asks the CPME for more budget —
+//! and when holding more than it needs, returns the surplus.
+
+use crate::PowerConfig;
+use std::collections::VecDeque;
+
+/// What one unit observed during one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowObservation {
+    /// Cycles the unit spent doing useful work.
+    pub busy_cycles: u64,
+    /// Cycles the unit was stalled (all causes, including LPME-inserted).
+    pub stall_cycles: u64,
+    /// Of the stall cycles, how many were waiting on L3/HBM access
+    /// (used by the DVFS classifier, not the integrity loop).
+    pub l3_stall_cycles: u64,
+    /// Power the unit would draw next window if unthrottled, in mW.
+    pub projected_power_mw: u64,
+}
+
+impl WindowObservation {
+    /// Total cycles covered by the observation.
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles + self.stall_cycles
+    }
+
+    /// Fraction of cycles stalled (0 when the window is empty).
+    pub fn stall_ratio(&self) -> f64 {
+        let t = self.total_cycles();
+        if t == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / t as f64
+        }
+    }
+
+    /// Fraction of cycles busy.
+    pub fn busy_ratio(&self) -> f64 {
+        let t = self.total_cycles();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / t as f64
+        }
+    }
+
+    /// Fraction of cycles stalled on L3.
+    pub fn l3_stall_ratio(&self) -> f64 {
+        let t = self.total_cycles();
+        if t == 0 {
+            0.0
+        } else {
+            self.l3_stall_cycles as f64 / t as f64
+        }
+    }
+}
+
+/// What the LPME decided after digesting a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpmeAction {
+    /// Nothing to do: projection fits the budget and no borrow is needed.
+    None,
+    /// Throttle: insert this many stall cycles into the next window so the
+    /// unit's average power stays under budget.
+    InsertStalls(u64),
+    /// Ask the CPME for this much additional budget (mW).
+    RequestBudget(u64),
+    /// Hand this much surplus budget back to the CPME (mW).
+    ReturnBudget(u64),
+}
+
+/// A local power management engine guarding one function unit.
+#[derive(Debug, Clone)]
+pub struct Lpme {
+    cfg: PowerConfig,
+    budget_mw: u64,
+    baseline_mw: u64,
+    /// True entries mark windows whose stall ratio exceeded the borrow
+    /// threshold *while throttled by power* (the bottleneck test of Fig. 9).
+    pressure_history: VecDeque<bool>,
+    /// Stalls the integrity loop inserted last window, so the unit model
+    /// can distinguish power throttling from memory stalls.
+    inserted_stalls: u64,
+}
+
+impl Lpme {
+    /// Creates an LPME with its boot-time baseline budget.
+    pub fn new(cfg: PowerConfig, baseline_mw: u64) -> Self {
+        Lpme {
+            cfg,
+            budget_mw: baseline_mw,
+            baseline_mw,
+            pressure_history: VecDeque::new(),
+            inserted_stalls: 0,
+        }
+    }
+
+    /// Current budget in mW.
+    pub fn budget_mw(&self) -> u64 {
+        self.budget_mw
+    }
+
+    /// Baseline (boot) budget in mW.
+    pub fn baseline_mw(&self) -> u64 {
+        self.baseline_mw
+    }
+
+    /// Stalls inserted by the most recent [`Lpme::observe`] call.
+    pub fn inserted_stalls(&self) -> u64 {
+        self.inserted_stalls
+    }
+
+    /// Records a granted budget increase.
+    pub fn grant(&mut self, amount_mw: u64) {
+        self.budget_mw += amount_mw;
+    }
+
+    /// Records a budget return accepted by the CPME.
+    ///
+    /// Saturates at the baseline — the LPME never gives that portion up.
+    pub fn relinquish(&mut self, amount_mw: u64) {
+        self.budget_mw = self.budget_mw.saturating_sub(amount_mw).max(self.baseline_mw);
+    }
+
+    /// Digests one observation window and produces the control action
+    /// (Fig. 9).
+    ///
+    /// Decision order:
+    /// 1. If the projection exceeds the budget, compute the throttle
+    ///    (stalls to insert) that brings average power under budget, and
+    ///    record pressure.
+    /// 2. If pressure persisted in ≥ M of the last N windows, request a
+    ///    budget increase sized to clear the projection.
+    /// 3. If the unit holds borrowed budget and the projection sits well
+    ///    below it (beyond the configured headroom), return the surplus.
+    pub fn observe(&mut self, obs: WindowObservation) -> LpmeAction {
+        let over_budget = obs.projected_power_mw > self.budget_mw;
+        let pressured = over_budget && obs.stall_ratio() > self.cfg.borrow_threshold;
+        self.pressure_history.push_back(pressured || over_budget);
+        while self.pressure_history.len() > self.cfg.history_n {
+            self.pressure_history.pop_front();
+        }
+
+        if over_budget {
+            let hot = self.pressure_history.iter().filter(|&&p| p).count();
+            if hot >= self.cfg.history_m {
+                // Bottleneck confirmed across history: escalate to CPME.
+                self.inserted_stalls = 0;
+                return LpmeAction::RequestBudget(obs.projected_power_mw - self.budget_mw);
+            }
+            // Negative feedback: stretch the window with bubbles so that
+            // busy/total == budget/projected.
+            let total = obs.total_cycles().max(1);
+            let scale = obs.projected_power_mw as f64 / self.budget_mw.max(1) as f64;
+            let stalls = ((scale - 1.0) * total as f64).ceil() as u64;
+            self.inserted_stalls = stalls;
+            return LpmeAction::InsertStalls(stalls);
+        }
+
+        self.inserted_stalls = 0;
+        // Surplus return: holding borrowed budget the workload no longer needs.
+        let borrowed = self.budget_mw - self.baseline_mw;
+        if borrowed > 0 {
+            let needed = (obs.projected_power_mw as f64 * (1.0 + self.cfg.return_headroom)) as u64;
+            if needed < self.budget_mw {
+                let surplus = (self.budget_mw - needed).min(borrowed);
+                if surplus > 0 {
+                    return LpmeAction::ReturnBudget(surplus);
+                }
+            }
+        }
+        LpmeAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PowerConfig {
+        PowerConfig {
+            history_m: 3,
+            history_n: 5,
+            borrow_threshold: 0.15,
+            return_headroom: 0.25,
+            ..PowerConfig::default()
+        }
+    }
+
+    fn window(busy: u64, stall: u64, power: u64) -> WindowObservation {
+        WindowObservation {
+            busy_cycles: busy,
+            stall_cycles: stall,
+            l3_stall_cycles: 0,
+            projected_power_mw: power,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let w = window(80, 20, 0);
+        assert!((w.stall_ratio() - 0.2).abs() < 1e-12);
+        assert!((w.busy_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(window(0, 0, 0).stall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn under_budget_is_quiet() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        assert_eq!(l.observe(window(100, 0, 1_500)), LpmeAction::None);
+        assert_eq!(l.inserted_stalls(), 0);
+    }
+
+    #[test]
+    fn over_budget_inserts_proportional_stalls() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        // 3000 mW projected on a 2000 mW budget: scale 1.5, so half the
+        // window length in extra bubbles.
+        let a = l.observe(window(1_000, 0, 3_000));
+        assert_eq!(a, LpmeAction::InsertStalls(500));
+        assert_eq!(l.inserted_stalls(), 500);
+    }
+
+    #[test]
+    fn persistent_pressure_escalates_to_borrow() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        let w = window(800, 200, 3_000); // stall ratio 0.2 > threshold
+        let mut actions = Vec::new();
+        for _ in 0..4 {
+            actions.push(l.observe(w));
+        }
+        // First two windows throttle; by the third, 3-of-5 pressure
+        // history triggers the borrow request.
+        assert!(matches!(actions[0], LpmeAction::InsertStalls(_)));
+        assert!(matches!(actions[1], LpmeAction::InsertStalls(_)));
+        assert_eq!(actions[2], LpmeAction::RequestBudget(1_000));
+    }
+
+    #[test]
+    fn grant_raises_budget_and_quiets_loop() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        let w = window(800, 200, 3_000);
+        for _ in 0..3 {
+            l.observe(w);
+        }
+        l.grant(1_000);
+        assert_eq!(l.budget_mw(), 3_000);
+        assert_eq!(l.observe(w), LpmeAction::None);
+    }
+
+    #[test]
+    fn surplus_is_returned_with_headroom() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        l.grant(2_000); // holding 4000, baseline 2000
+        // Projection 1000: needs 1250 with headroom, surplus = min(2750, borrowed 2000).
+        let a = l.observe(window(100, 0, 1_000));
+        assert_eq!(a, LpmeAction::ReturnBudget(2_000));
+        l.relinquish(2_000);
+        assert_eq!(l.budget_mw(), 2_000);
+    }
+
+    #[test]
+    fn relinquish_never_drops_below_baseline() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        l.grant(500);
+        l.relinquish(5_000);
+        assert_eq!(l.budget_mw(), 2_000);
+    }
+
+    #[test]
+    fn baseline_budget_never_returned_when_idle() {
+        let mut l = Lpme::new(cfg(), 2_000);
+        assert_eq!(l.observe(window(0, 0, 0)), LpmeAction::None);
+        assert_eq!(l.budget_mw(), 2_000);
+    }
+}

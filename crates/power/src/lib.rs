@@ -1,0 +1,109 @@
+//! CPME/LPME hybrid power management for DTU 2.0.
+//!
+//! Section IV-F of the paper describes a two-tier architecture: a central
+//! power management engine (CPME) owns the board power limit, hands each
+//! function unit a baseline budget at boot, and keeps the remainder in
+//! reserve; local power management engines (LPMEs) at every compute core
+//! and DMA engine watch per-window activity, throttle their unit when it
+//! would exceed its budget, and borrow/return budget from/to the CPME.
+//! A customised DVFS governor classifies each window's workload as
+//! compute-bound, bandwidth-bound, or balanced and retunes the core clock
+//! through a four-stage observe → evaluate → decide → act loop.
+//!
+//! This crate implements those control loops plus the activity-based
+//! energy model the simulator integrates against.
+//!
+//! # Example
+//!
+//! ```
+//! use dtu_power::{Cpme, PowerConfig, UnitId};
+//!
+//! let cfg = PowerConfig::default();
+//! let units = vec![(UnitId::core(0, 0), 3_000), (UnitId::dma(0, 0), 1_000)];
+//! let mut cpme = Cpme::new(cfg.board_tdp_mw, &units)?;
+//! // A unit under pressure borrows from the reserve:
+//! let granted = cpme.request(UnitId::core(0, 0), 2_000);
+//! assert!(granted <= 2_000);
+//! # Ok::<(), dtu_power::PowerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod dvfs;
+mod energy;
+mod integrity;
+
+pub use budget::{Cpme, PowerError, UnitId, UnitKind};
+pub use dvfs::{DvfsGovernor, FrequencyPlan, WorkloadKind};
+pub use energy::{EnergyAccount, EnergyModel};
+pub use integrity::{Lpme, LpmeAction, WindowObservation};
+
+/// Tuning constants for the whole power-management stack.
+///
+/// Defaults reflect the Cloudblazer i20: 150 W board TDP, 1.0–1.4 GHz DVFS
+/// range (§VI-D "Power management ON v.s. OFF").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerConfig {
+    /// Board power limit, in milliwatts.
+    pub board_tdp_mw: u64,
+    /// Lowest core frequency the governor may select, in MHz.
+    pub f_min_mhz: u32,
+    /// Highest core frequency, in MHz.
+    pub f_max_mhz: u32,
+    /// Frequency step per governor action, in MHz.
+    pub f_step_mhz: u32,
+    /// Length of one observation window, in core cycles.
+    pub window_cycles: u64,
+    /// Stall/bubble ratio above which an LPME considers borrowing budget.
+    pub borrow_threshold: f64,
+    /// An LPME asks the CPME for more budget when at least `history_m` of
+    /// the last `history_n` windows exceeded the borrow threshold.
+    pub history_m: usize,
+    /// Size of the LPME's window history.
+    pub history_n: usize,
+    /// Busy-duty-cycle ratio above which a window counts as compute-bound.
+    pub compute_bound_busy: f64,
+    /// DMA-stall ratio (waiting on L3) above which a window counts as
+    /// bandwidth-bound.
+    pub bandwidth_bound_stall: f64,
+    /// Consecutive same-kind windows the governor requires before acting.
+    pub decision_windows: usize,
+    /// Fraction of its budget an LPME keeps as headroom before returning
+    /// surplus to the CPME.
+    pub return_headroom: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            board_tdp_mw: 150_000,
+            f_min_mhz: 1_000,
+            f_max_mhz: 1_400,
+            f_step_mhz: 100,
+            window_cycles: 10_000,
+            borrow_threshold: 0.15,
+            history_m: 3,
+            history_n: 5,
+            compute_bound_busy: 0.40,
+            bandwidth_bound_stall: 0.70,
+            decision_windows: 2,
+            return_headroom: 0.25,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_envelope() {
+        let cfg = PowerConfig::default();
+        assert_eq!(cfg.board_tdp_mw, 150_000);
+        assert_eq!(cfg.f_min_mhz, 1_000);
+        assert_eq!(cfg.f_max_mhz, 1_400);
+        assert!(cfg.history_m <= cfg.history_n);
+    }
+}

@@ -1,0 +1,368 @@
+//! Chip configuration: topology, capacities, bandwidths, and feature flags.
+
+use std::fmt;
+
+/// Feature toggles for the DTU 2.0 enhancements listed in Table II.
+///
+/// Every flag corresponds to a hardware innovation the paper introduces
+/// over DTU 1.0; the `repro_ablation` bench sweeps them individually to
+/// quantify each row of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// Fine-grained VMM engine (vs coarse-grained GEMM on DTU 1.0).
+    pub fine_grained_vmm: bool,
+    /// Enhanced SFU accelerating ~10 transcendental functions.
+    pub enhanced_sfu: bool,
+    /// Instruction-buffer cache mode with user-controlled prefetch.
+    pub instruction_cache: bool,
+    /// 4 parallel read/write ports on the L2 shared memory.
+    pub multi_port_l2: bool,
+    /// Sparse data decompression during DMA transfer.
+    pub sparse_dma: bool,
+    /// Data broadcasting to multiple L2 destinations.
+    pub dma_broadcast: bool,
+    /// Repeat mode: one configuration drives N regular transactions.
+    pub dma_repeat: bool,
+    /// Direct L1 <-> L3 transfers (DTU 1.0 had to bounce through L2).
+    pub l1_l3_direct: bool,
+    /// N-to-M synchronisation patterns (DTU 1.0: 1-to-1 only).
+    pub flexible_sync: bool,
+    /// Hardware resource abstraction into isolated processing groups.
+    pub resource_groups: bool,
+    /// CPME/LPME dynamic power management.
+    pub power_management: bool,
+}
+
+impl FeatureSet {
+    /// All DTU 2.0 features enabled.
+    pub fn dtu20() -> Self {
+        FeatureSet {
+            fine_grained_vmm: true,
+            enhanced_sfu: true,
+            instruction_cache: true,
+            multi_port_l2: true,
+            sparse_dma: true,
+            dma_broadcast: true,
+            dma_repeat: true,
+            l1_l3_direct: true,
+            flexible_sync: true,
+            resource_groups: true,
+            power_management: true,
+        }
+    }
+
+    /// The DTU 1.0 feature level.
+    pub fn dtu10() -> Self {
+        FeatureSet {
+            fine_grained_vmm: false,
+            enhanced_sfu: false,
+            instruction_cache: false,
+            multi_port_l2: false,
+            sparse_dma: false,
+            dma_broadcast: false,
+            dma_repeat: false,
+            l1_l3_direct: false,
+            flexible_sync: false,
+            resource_groups: false,
+            power_management: false,
+        }
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        FeatureSet::dtu20()
+    }
+}
+
+/// Full configuration of a simulated DTU chip.
+///
+/// The two presets encode Table I (i20/DTU 2.0) and §II-A (i10/DTU 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Human-readable chip name.
+    pub name: String,
+    /// Number of clusters on the SoC.
+    pub clusters: usize,
+    /// Compute cores per cluster.
+    pub cores_per_cluster: usize,
+    /// Processing groups per cluster (1 when `resource_groups` is off —
+    /// the whole cluster is one scheduling domain).
+    pub groups_per_cluster: usize,
+    /// L1 data buffer per core, in KiB.
+    pub l1_kib_per_core: usize,
+    /// L2 shared memory per cluster, in MiB.
+    pub l2_mib_per_cluster: usize,
+    /// Parallel read/write ports per L2 partition.
+    pub l2_ports: usize,
+    /// L3 (HBM) capacity, in GiB.
+    pub l3_gib: usize,
+    /// L3 (HBM) bandwidth, in GB/s.
+    pub l3_gb_per_s: f64,
+    /// Per-L2-port bandwidth, in GB/s.
+    pub l2_port_gb_per_s: f64,
+    /// Instruction buffer capacity per core, in KiB.
+    pub ibuf_kib: usize,
+    /// Nominal core clock, in MHz.
+    pub clock_mhz: u32,
+    /// FP32 multiply-accumulates retired per core per cycle.
+    pub macs_per_core_cycle_fp32: f64,
+    /// Vector-ALU lanes (FP32 elements per cycle) per core.
+    pub vector_lanes: usize,
+    /// SFU transcendental evaluations per core per cycle.
+    pub sfu_ops_per_cycle: f64,
+    /// Fixed DMA configuration overhead per descriptor, in core cycles.
+    pub dma_config_cycles: u64,
+    /// Fixed per-kernel launch overhead (descriptor dispatch, pipeline
+    /// fill/drain), in core cycles.
+    pub kernel_launch_cycles: u64,
+    /// Pipeline-ramp constant: per-group MAC count at which a kernel
+    /// reaches 50% of peak utilisation. Small kernels cannot fill the
+    /// wide VLIW pipelines.
+    pub kernel_ramp_macs: f64,
+    /// Board TDP, in watts.
+    pub tdp_watts: f64,
+    /// Enabled hardware features.
+    pub features: FeatureSet,
+}
+
+impl ChipConfig {
+    /// The DTU 2.0 / Cloudblazer i20 configuration (Table I, §IV).
+    ///
+    /// Peak FP32 = `2 · cores · macs/cycle · clock` =
+    /// 2 · 24 · 476 · 1.4 GHz ≈ 32 TFLOPS, matching Table I.
+    pub fn dtu20() -> Self {
+        ChipConfig {
+            name: "DTU 2.0 (Cloudblazer i20)".to_string(),
+            clusters: 2,
+            cores_per_cluster: 12,
+            groups_per_cluster: 3,
+            // DTU 1.0 had 256 KiB L1/core; 2.0 is 4x per core.
+            l1_kib_per_core: 1024,
+            // DTU 1.0: 4 MiB per cluster over 4 clusters = 16 MiB total;
+            // 2.0 triples total L1/L2 capacity: 24 MiB per cluster.
+            l2_mib_per_cluster: 24,
+            l2_ports: 4,
+            l3_gib: 16,
+            l3_gb_per_s: 819.0,
+            l2_port_gb_per_s: 256.0,
+            ibuf_kib: 128,
+            clock_mhz: 1_400,
+            macs_per_core_cycle_fp32: 476.0,
+            vector_lanes: 16,
+            sfu_ops_per_cycle: 32.0,
+            dma_config_cycles: 400,
+            kernel_launch_cycles: 1_500,
+            kernel_ramp_macs: 12.0e6,
+            tdp_watts: 150.0,
+            features: FeatureSet::dtu20(),
+        }
+    }
+
+    /// The DTU 1.0 / Cloudblazer i10 configuration (§II-A).
+    ///
+    /// 32 cores in 4 clusters, 20 TFLOPS FP32, 512 GB/s HBM2.
+    pub fn dtu10() -> Self {
+        ChipConfig {
+            name: "DTU 1.0 (Cloudblazer i10)".to_string(),
+            clusters: 4,
+            cores_per_cluster: 8,
+            groups_per_cluster: 1,
+            l1_kib_per_core: 256,
+            l2_mib_per_cluster: 4,
+            l2_ports: 1,
+            l3_gib: 16,
+            l3_gb_per_s: 512.0,
+            l2_port_gb_per_s: 256.0,
+            ibuf_kib: 64,
+            clock_mhz: 1_250,
+            // 2 · 32 · 250 · 1.25 GHz = 20 TFLOPS FP32.
+            macs_per_core_cycle_fp32: 250.0,
+            vector_lanes: 16,
+            sfu_ops_per_cycle: 8.0,
+            dma_config_cycles: 400,
+            kernel_launch_cycles: 3_000,
+            kernel_ramp_macs: 10.0e6,
+            tdp_watts: 150.0,
+            features: FeatureSet::dtu10(),
+        }
+    }
+
+    /// Total compute cores on the chip.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// Total processing groups on the chip.
+    pub fn total_groups(&self) -> usize {
+        self.clusters * self.groups_per_cluster
+    }
+
+    /// Cores per processing group.
+    pub fn cores_per_group(&self) -> usize {
+        self.cores_per_cluster / self.groups_per_cluster
+    }
+
+    /// L2 capacity per processing group, in bytes.
+    pub fn l2_bytes_per_group(&self) -> u64 {
+        (self.l2_mib_per_cluster as u64 * 1024 * 1024) / self.groups_per_cluster as u64
+    }
+
+    /// L1 capacity per core, in bytes.
+    pub fn l1_bytes_per_core(&self) -> u64 {
+        self.l1_kib_per_core as u64 * 1024
+    }
+
+    /// L3 capacity in bytes.
+    pub fn l3_bytes(&self) -> u64 {
+        self.l3_gib as u64 * 1024 * 1024 * 1024
+    }
+
+    /// Peak FP32 throughput in TFLOPS.
+    pub fn peak_fp32_tflops(&self) -> f64 {
+        2.0 * self.total_cores() as f64
+            * self.macs_per_core_cycle_fp32
+            * self.clock_mhz as f64
+            * 1e6
+            / 1e12
+    }
+
+    /// Duration of one core cycle at the nominal clock, in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1e3 / self.clock_mhz as f64
+    }
+
+    /// Validates internal consistency (group divisibility, nonzero rates).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters == 0 || self.cores_per_cluster == 0 {
+            return Err("chip must have at least one cluster and core".into());
+        }
+        if self.groups_per_cluster == 0
+            || !self.cores_per_cluster.is_multiple_of(self.groups_per_cluster)
+        {
+            return Err(format!(
+                "cores per cluster ({}) must divide evenly into groups ({})",
+                self.cores_per_cluster, self.groups_per_cluster
+            ));
+        }
+        if self.clock_mhz == 0 || self.macs_per_core_cycle_fp32 <= 0.0 {
+            return Err("clock and MAC rate must be positive".into());
+        }
+        if self.l3_gb_per_s <= 0.0 || self.l2_port_gb_per_s <= 0.0 {
+            return Err("bandwidths must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig::dtu20()
+    }
+}
+
+impl fmt::Display for ChipConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{} cores, {} groups, {:.0} TFLOPS FP32, {:.0} GB/s HBM",
+            self.name,
+            self.clusters,
+            self.cores_per_cluster,
+            self.total_groups(),
+            self.peak_fp32_tflops(),
+            self.l3_gb_per_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtu20_matches_table1() {
+        let c = ChipConfig::dtu20();
+        assert_eq!(c.total_cores(), 24);
+        assert_eq!(c.clusters, 2);
+        assert_eq!(c.groups_per_cluster, 3);
+        assert_eq!(c.cores_per_group(), 4);
+        assert_eq!(c.l3_gib, 16);
+        assert_eq!(c.l3_gb_per_s, 819.0);
+        assert_eq!(c.l2_ports, 4);
+        let tflops = c.peak_fp32_tflops();
+        assert!((tflops - 32.0).abs() < 1.0, "FP32 peak {tflops} != ~32");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn dtu10_matches_section2() {
+        let c = ChipConfig::dtu10();
+        assert_eq!(c.total_cores(), 32);
+        assert_eq!(c.clusters, 4);
+        assert_eq!(c.l3_gb_per_s, 512.0);
+        assert_eq!(c.l1_kib_per_core, 256);
+        let tflops = c.peak_fp32_tflops();
+        assert!((tflops - 20.0).abs() < 0.5, "FP32 peak {tflops} != ~20");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn capacity_ratios_match_table2() {
+        let v1 = ChipConfig::dtu10();
+        let v2 = ChipConfig::dtu20();
+        // "4x/6x larger capacities of the L1/L2 memory per compute
+        // core/cluster" (Table II).
+        assert_eq!(v2.l1_kib_per_core / v1.l1_kib_per_core, 4);
+        assert_eq!(v2.l2_mib_per_cluster / v1.l2_mib_per_cluster, 6);
+        // "1.6x higher bandwidth".
+        assert!((v2.l3_gb_per_s / v1.l3_gb_per_s - 1.6) < 0.01);
+    }
+
+    #[test]
+    fn total_l1_l2_capacity_tripled() {
+        let v1 = ChipConfig::dtu10();
+        let v2 = ChipConfig::dtu20();
+        let l1_total_1 = v1.total_cores() * v1.l1_kib_per_core;
+        let l1_total_2 = v2.total_cores() * v2.l1_kib_per_core;
+        assert_eq!(l1_total_2 / l1_total_1, 3);
+        let l2_total_1 = v1.clusters * v1.l2_mib_per_cluster;
+        let l2_total_2 = v2.clusters * v2.l2_mib_per_cluster;
+        assert_eq!(l2_total_2 / l2_total_1, 3);
+    }
+
+    #[test]
+    fn l2_partitioning() {
+        let c = ChipConfig::dtu20();
+        assert_eq!(c.l2_bytes_per_group(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ChipConfig::dtu20();
+        c.groups_per_cluster = 5; // 12 % 5 != 0
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::dtu20();
+        c.clock_mhz = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::dtu20();
+        c.clusters = 0;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::dtu20();
+        c.l3_gb_per_s = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_cores() {
+        let s = ChipConfig::dtu20().to_string();
+        assert!(s.contains("i20"));
+        assert!(s.contains("2x12"));
+    }
+
+    #[test]
+    fn cycle_time() {
+        let c = ChipConfig::dtu20();
+        assert!((c.cycle_ns() - 0.714).abs() < 0.01);
+    }
+}

@@ -1,0 +1,282 @@
+//! The instruction buffer's cache mode and kernel-code prefetch.
+//!
+//! §IV-B: "DTU 2.0 enables instruction cache and provides specific
+//! instructions to the programmers for controlling kernel code prefetch
+//! ... On cache misses, the instruction buffer triggers kernel code
+//! loading automatically." Without the cache (DTU 1.0), every kernel
+//! launch pays the full code-load latency from L3; with it, resident
+//! kernels hit, and prefetched kernels overlap their load with prior
+//! compute.
+
+use dtu_isa::KernelId;
+use std::collections::VecDeque;
+
+/// What happened when a core fetched a kernel's code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FetchOutcome {
+    /// Code already resident; no stall.
+    Hit,
+    /// Code was being prefetched; the core stalls only for the remainder.
+    PrefetchInFlight {
+        /// Nanoseconds the core still has to wait at fetch time.
+        remaining_ns: f64,
+    },
+    /// Cold miss; the core stalls for the full load.
+    Miss {
+        /// Nanoseconds of load stall.
+        load_ns: f64,
+    },
+}
+
+impl FetchOutcome {
+    /// The stall this outcome imposes on the core.
+    pub fn stall_ns(&self) -> f64 {
+        match self {
+            FetchOutcome::Hit => 0.0,
+            FetchOutcome::PrefetchInFlight { remaining_ns } => *remaining_ns,
+            FetchOutcome::Miss { load_ns } => *load_ns,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    kernel: KernelId,
+    bytes: u64,
+    /// Completion time of the load that brought this kernel in.
+    loaded_at_ns: f64,
+}
+
+/// One compute core's instruction buffer with optional cache mode.
+#[derive(Debug, Clone)]
+pub struct InstructionCache {
+    capacity_bytes: u64,
+    cache_mode: bool,
+    load_gbps: f64,
+    /// LRU-ordered resident kernels (front = oldest).
+    resident: VecDeque<Resident>,
+    hits: u64,
+    misses: u64,
+    prefetches: u64,
+}
+
+impl InstructionCache {
+    /// Creates an instruction buffer.
+    ///
+    /// `cache_mode` keeps kernels resident across launches and enables
+    /// prefetch; without it the buffer holds only the current kernel.
+    pub fn new(capacity_bytes: u64, cache_mode: bool, load_gbps: f64) -> Self {
+        InstructionCache {
+            capacity_bytes,
+            cache_mode,
+            load_gbps,
+            resident: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            prefetches: 0,
+        }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Time to load `bytes` of code from L3, ns.
+    pub fn load_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.load_gbps
+    }
+
+    fn find(&self, kernel: KernelId) -> Option<usize> {
+        self.resident.iter().position(|r| r.kernel == kernel)
+    }
+
+    fn evict_for(&mut self, bytes: u64) {
+        let need = bytes.min(self.capacity_bytes);
+        let mut used: u64 = self.resident.iter().map(|r| r.bytes).sum();
+        while used + need > self.capacity_bytes {
+            match self.resident.pop_front() {
+                Some(r) => used -= r.bytes,
+                None => break,
+            }
+        }
+    }
+
+    /// Issues a user-controlled prefetch of `kernel` at time `now_ns`.
+    /// The load proceeds in the background; a later fetch pays only the
+    /// remaining time. No-op without cache mode.
+    pub fn prefetch(&mut self, kernel: KernelId, bytes: u64, now_ns: f64) {
+        if !self.cache_mode || self.find(kernel).is_some() {
+            return;
+        }
+        self.prefetches += 1;
+        self.evict_for(bytes);
+        let done = now_ns + self.load_ns(bytes);
+        self.resident.push_back(Resident {
+            kernel,
+            bytes,
+            loaded_at_ns: done,
+        });
+    }
+
+    /// The core fetches `kernel` (of `bytes` code) at `now_ns`.
+    ///
+    /// Oversized kernels (code larger than the buffer) always stream from
+    /// L3 — "it solves the problem of loading extremely large kernels
+    /// that exceed the capacity of the instruction buffer" means they
+    /// *run*, not that they become free — so they report a miss each time.
+    pub fn fetch(&mut self, kernel: KernelId, bytes: u64, now_ns: f64) -> FetchOutcome {
+        if !self.cache_mode {
+            self.misses += 1;
+            return FetchOutcome::Miss {
+                load_ns: self.load_ns(bytes),
+            };
+        }
+        if bytes > self.capacity_bytes {
+            self.misses += 1;
+            return FetchOutcome::Miss {
+                load_ns: self.load_ns(bytes),
+            };
+        }
+        if let Some(pos) = self.find(kernel) {
+            // Touch for LRU.
+            let r = self.resident.remove(pos).expect("present");
+            let loaded_at = r.loaded_at_ns;
+            self.resident.push_back(r);
+            if loaded_at <= now_ns {
+                self.hits += 1;
+                return FetchOutcome::Hit;
+            }
+            // Prefetch still in flight.
+            self.hits += 1;
+            return FetchOutcome::PrefetchInFlight {
+                remaining_ns: loaded_at - now_ns,
+            };
+        }
+        // Cold miss: load now and keep resident.
+        self.misses += 1;
+        self.evict_for(bytes);
+        let load = self.load_ns(bytes);
+        self.resident.push_back(Resident {
+            kernel,
+            bytes,
+            loaded_at_ns: now_ns + load,
+        });
+        FetchOutcome::Miss { load_ns: load }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Prefetch instructions executed so far.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> InstructionCache {
+        // 128 KiB buffer, 819 GB/s load path.
+        InstructionCache::new(128 * 1024, true, 819.0)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache();
+        let k = KernelId(1);
+        let first = c.fetch(k, 64 * 1024, 0.0);
+        assert!(matches!(first, FetchOutcome::Miss { .. }));
+        assert!(first.stall_ns() > 0.0);
+        let second = c.fetch(k, 64 * 1024, 1000.0);
+        assert_eq!(second, FetchOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn prefetch_hides_load_latency() {
+        let mut c = cache();
+        let k = KernelId(2);
+        c.prefetch(k, 64 * 1024, 0.0);
+        let load = c.load_ns(64 * 1024);
+        // Fetch long after the prefetch completed: free.
+        let f = c.fetch(k, 64 * 1024, load + 1.0);
+        assert_eq!(f, FetchOutcome::Hit);
+        assert_eq!(c.prefetches(), 1);
+    }
+
+    #[test]
+    fn early_fetch_pays_remaining_prefetch_time() {
+        let mut c = cache();
+        let k = KernelId(3);
+        c.prefetch(k, 81_900, 0.0); // load = 100 ns
+        let f = c.fetch(k, 81_900, 40.0);
+        match f {
+            FetchOutcome::PrefetchInFlight { remaining_ns } => {
+                assert!((remaining_ns - 60.0).abs() < 1.0);
+            }
+            other => panic!("expected in-flight prefetch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_cache_mode_always_misses() {
+        let mut c = InstructionCache::new(128 * 1024, false, 819.0);
+        let k = KernelId(4);
+        assert!(matches!(c.fetch(k, 1024, 0.0), FetchOutcome::Miss { .. }));
+        assert!(matches!(c.fetch(k, 1024, 9.9), FetchOutcome::Miss { .. }));
+        c.prefetch(k, 1024, 0.0);
+        assert_eq!(c.prefetches(), 0);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn oversized_kernel_always_streams() {
+        let mut c = cache();
+        let k = KernelId(5);
+        let big = 512 * 1024;
+        assert!(matches!(c.fetch(k, big, 0.0), FetchOutcome::Miss { .. }));
+        assert!(matches!(c.fetch(k, big, 1e9), FetchOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = InstructionCache::new(100, true, 819.0);
+        c.fetch(KernelId(1), 40, 0.0);
+        c.fetch(KernelId(2), 40, 0.0);
+        // Touch 1 so 2 becomes LRU.
+        c.fetch(KernelId(1), 40, 10.0);
+        // Insert 3: evicts 2.
+        c.fetch(KernelId(3), 40, 20.0);
+        assert_eq!(c.fetch(KernelId(1), 40, 1e6), FetchOutcome::Hit);
+        assert!(matches!(
+            c.fetch(KernelId(2), 40, 1e6),
+            FetchOutcome::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_prefetch_is_idempotent() {
+        let mut c = cache();
+        c.prefetch(KernelId(9), 1000, 0.0);
+        c.prefetch(KernelId(9), 1000, 5.0);
+        assert_eq!(c.prefetches(), 1);
+    }
+
+    #[test]
+    fn load_time_scales_with_size() {
+        let c = cache();
+        assert!(c.load_ns(2048) > c.load_ns(1024));
+        assert!((c.load_ns(819) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,603 @@
+//! A functional VLIW interpreter for small kernels.
+//!
+//! Model-scale kernels run as descriptors through the timing layer, but
+//! hand-written kernels (examples, operator unit tests, the DSL path of
+//! TopsEngine) execute here for real: packets issue one per cycle, each
+//! slot dispatches to its engine, register files hold live values, and
+//! bank conflicts add stall cycles — the hazard the compiler's register
+//! allocator exists to avoid.
+
+use crate::{MatrixEngine, MatrixEngineError, Spu, SpuError, VectorEngine};
+use dtu_isa::{DataType, Instruction, Packet, RegClass, RegId, ScalarOp, VectorOp};
+use dtu_tensor::{Shape, Tensor, TensorError};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while interpreting a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A register was read before being written.
+    UninitializedRegister {
+        /// The offending register.
+        reg: String,
+    },
+    /// A memory access fell outside the L1 window.
+    L1OutOfBounds {
+        /// Byte address.
+        addr: usize,
+        /// L1 size in bytes.
+        size: usize,
+    },
+    /// The matrix engine rejected an operation.
+    Matrix(MatrixEngineError),
+    /// The SPU rejected an operation.
+    Spu(SpuError),
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// Instruction shape did not match its operands (e.g. VMM with a
+    /// scalar register).
+    Malformed {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UninitializedRegister { reg } => {
+                write!(f, "register {reg} read before write")
+            }
+            InterpError::L1OutOfBounds { addr, size } => {
+                write!(f, "L1 access at {addr} outside {size}-byte buffer")
+            }
+            InterpError::Matrix(e) => write!(f, "matrix engine: {e}"),
+            InterpError::Spu(e) => write!(f, "spu: {e}"),
+            InterpError::Tensor(e) => write!(f, "tensor: {e}"),
+            InterpError::Malformed { reason } => write!(f, "malformed instruction: {reason}"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+impl From<MatrixEngineError> for InterpError {
+    fn from(e: MatrixEngineError) -> Self {
+        InterpError::Matrix(e)
+    }
+}
+
+impl From<SpuError> for InterpError {
+    fn from(e: SpuError) -> Self {
+        InterpError::Spu(e)
+    }
+}
+
+impl From<TensorError> for InterpError {
+    fn from(e: TensorError) -> Self {
+        InterpError::Tensor(e)
+    }
+}
+
+/// Execution statistics of one interpreted kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterpReport {
+    /// Packets issued.
+    pub packets: u64,
+    /// Total cycles including stalls.
+    pub cycles: u64,
+    /// Stall cycles due to register bank conflicts.
+    pub bank_conflict_stalls: u64,
+    /// Sync events signalled.
+    pub signals: u64,
+}
+
+/// Register-file contents: scalars hold one value, vector/matrix/accum
+/// registers hold tensors.
+#[derive(Debug, Clone, PartialEq)]
+enum RegValue {
+    Scalar(f32),
+    Tensor(Tensor),
+}
+
+/// The interpreter for one compute core.
+#[derive(Debug)]
+pub struct Interpreter {
+    regs: BTreeMap<RegId, RegValue>,
+    l1: Vec<f32>,
+    matrix: MatrixEngine,
+    vector: VectorEngine,
+    spu: Spu,
+    dtype: DataType,
+    signalled: Vec<u32>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with an L1 buffer of `l1_bytes` and the
+    /// compute data type for vector/matrix ops.
+    pub fn new(l1_bytes: usize, dtype: DataType) -> Self {
+        Interpreter {
+            regs: BTreeMap::new(),
+            l1: vec![0.0; l1_bytes / 4],
+            matrix: MatrixEngine::default(),
+            vector: VectorEngine::new(),
+            spu: Spu::default(),
+            dtype,
+            signalled: Vec::new(),
+        }
+    }
+
+    /// Writes a scalar register before execution (kernel arguments).
+    pub fn set_scalar(&mut self, reg: RegId, v: f32) {
+        self.regs.insert(reg, RegValue::Scalar(v));
+    }
+
+    /// Writes a vector/matrix register before execution.
+    pub fn set_tensor(&mut self, reg: RegId, t: Tensor) {
+        self.regs.insert(reg, RegValue::Tensor(t));
+    }
+
+    /// Reads back a tensor register after execution.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::UninitializedRegister`] if never written, and
+    /// [`InterpError::Malformed`] if it holds a scalar.
+    pub fn tensor(&self, reg: RegId) -> Result<&Tensor, InterpError> {
+        match self.regs.get(&reg) {
+            Some(RegValue::Tensor(t)) => Ok(t),
+            Some(RegValue::Scalar(_)) => Err(InterpError::Malformed {
+                reason: format!("{reg} holds a scalar, not a tensor"),
+            }),
+            None => Err(InterpError::UninitializedRegister {
+                reg: reg.to_string(),
+            }),
+        }
+    }
+
+    /// Reads back a scalar register after execution.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interpreter::tensor`], with roles swapped.
+    pub fn scalar(&self, reg: RegId) -> Result<f32, InterpError> {
+        match self.regs.get(&reg) {
+            Some(RegValue::Scalar(v)) => Ok(*v),
+            Some(RegValue::Tensor(_)) => Err(InterpError::Malformed {
+                reason: format!("{reg} holds a tensor, not a scalar"),
+            }),
+            None => Err(InterpError::UninitializedRegister {
+                reg: reg.to_string(),
+            }),
+        }
+    }
+
+    /// Writes a word into L1 (word-addressed helper for tests/examples).
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::L1OutOfBounds`].
+    pub fn poke_l1(&mut self, word: usize, v: f32) -> Result<(), InterpError> {
+        let size = self.l1.len() * 4;
+        *self.l1.get_mut(word).ok_or(InterpError::L1OutOfBounds {
+            addr: word * 4,
+            size,
+        })? = v;
+        Ok(())
+    }
+
+    /// Reads a word from L1.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::L1OutOfBounds`].
+    pub fn peek_l1(&self, word: usize) -> Result<f32, InterpError> {
+        self.l1.get(word).copied().ok_or(InterpError::L1OutOfBounds {
+            addr: word * 4,
+            size: self.l1.len() * 4,
+        })
+    }
+
+    /// Events signalled by the kernel.
+    pub fn signalled_events(&self) -> &[u32] {
+        &self.signalled
+    }
+
+    fn read_scalar(&self, reg: RegId) -> Result<f32, InterpError> {
+        self.scalar(reg)
+    }
+
+    fn read_tensor(&self, reg: RegId) -> Result<Tensor, InterpError> {
+        self.tensor(reg).cloned()
+    }
+
+    /// Executes one instruction (ignoring issue timing — the packet loop
+    /// handles cycles).
+    fn execute(&mut self, ins: &Instruction) -> Result<(), InterpError> {
+        match ins {
+            Instruction::Scalar { op, dst, srcs } => {
+                let a = srcs.first().map(|&r| self.read_scalar(r)).transpose()?;
+                let b = srcs.get(1).map(|&r| self.read_scalar(r)).transpose()?;
+                let (a, b) = (a.unwrap_or(0.0), b.unwrap_or(0.0));
+                let v = match op {
+                    ScalarOp::Add => a + b,
+                    ScalarOp::Sub => a - b,
+                    ScalarOp::Mul => a * b,
+                    ScalarOp::Cmp => {
+                        if a < b {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    // Control flow is resolved by the compiler in this
+                    // model; branches compute their condition only.
+                    ScalarOp::Branch | ScalarOp::LoopEnd => a,
+                };
+                self.regs.insert(*dst, RegValue::Scalar(v));
+            }
+            Instruction::Vector { op, dst, srcs } => {
+                let a = self.read_tensor(srcs[0])?;
+                let out = match op {
+                    VectorOp::ReduceSum | VectorOp::ReduceMax => {
+                        let v = self.vector.reduce(*op, &a);
+                        Tensor::from_vec(vec![v])
+                    }
+                    VectorOp::Recip => self.vector.recip(&a),
+                    VectorOp::Fma => {
+                        let b = self.read_tensor(srcs[1])?;
+                        let c = self.read_tensor(srcs[2])?;
+                        self.vector.fma(&a, &b, &c, self.dtype)?
+                    }
+                    _ => {
+                        let b = self.read_tensor(srcs[1])?;
+                        self.vector.binary(*op, &a, &b, self.dtype)?
+                    }
+                };
+                self.regs.insert(*dst, RegValue::Tensor(out));
+            }
+            Instruction::MatrixFill { dst, row, src } => {
+                let vec = self.read_tensor(*src)?;
+                let cols = vec.len();
+                let mut m = match self.regs.get(dst) {
+                    Some(RegValue::Tensor(t)) if t.shape().rank() == 2 => t.clone(),
+                    _ => Tensor::zeros(Shape::new(vec![row + 1, cols])),
+                };
+                // Grow the matrix if the row is beyond current extent.
+                if *row >= m.shape().dims()[0] || m.shape().dims()[1] != cols {
+                    let rows = (*row + 1).max(m.shape().dims()[0]);
+                    let mut grown = Tensor::zeros(Shape::new(vec![rows, cols]));
+                    for r in 0..m.shape().dims()[0].min(rows) {
+                        for c in 0..m.shape().dims()[1].min(cols) {
+                            let v = m.get(&[r, c])?;
+                            grown.set(&[r, c], v)?;
+                        }
+                    }
+                    m = grown;
+                }
+                for c in 0..cols {
+                    let v = vec.data()[c];
+                    m.set(&[*row, c], v)?;
+                }
+                self.regs.insert(*dst, RegValue::Tensor(m));
+            }
+            Instruction::Vmm { acc, vec, mat, .. } => {
+                let mut v = self.read_tensor(*vec)?;
+                let m = self.read_tensor(*mat)?;
+                let rows = m
+                    .shape()
+                    .dims()
+                    .first()
+                    .copied()
+                    .ok_or(InterpError::Malformed {
+                        reason: "VMM matrix operand is not rank-2".into(),
+                    })?;
+                // The VMM pattern selects the vector length: a full
+                // 16-lane register feeding a shorter matrix uses only its
+                // first `rows` lanes.
+                if v.len() > rows {
+                    v = dtu_tensor::Tensor::from_vec(v.data()[..rows].to_vec());
+                }
+                let cols = m
+                    .shape()
+                    .dims()
+                    .get(1)
+                    .copied()
+                    .ok_or(InterpError::Malformed {
+                        reason: "VMM matrix operand is not rank-2".into(),
+                    })?;
+                let a = match self.regs.get(acc) {
+                    Some(RegValue::Tensor(t)) => t.clone(),
+                    _ => Tensor::zeros(Shape::new(vec![cols])),
+                };
+                let out = self.matrix.vmm(&v, &m, &a, self.dtype)?;
+                self.regs.insert(*acc, RegValue::Tensor(out));
+            }
+            Instruction::AccRead { dst, acc } => {
+                let t = self.read_tensor(*acc)?;
+                self.regs.insert(*dst, RegValue::Tensor(t));
+            }
+            Instruction::Sfu { func, dst, src } => {
+                let t = self.read_tensor(*src)?;
+                let out = self.spu.eval_tensor(*func, &t)?;
+                self.regs.insert(*dst, RegValue::Tensor(out));
+            }
+            Instruction::Load { dst, addr } => {
+                let lanes = if dst.class == RegClass::Scalar { 1 } else { 16 };
+                let word = addr / 4;
+                if word + lanes > self.l1.len() {
+                    return Err(InterpError::L1OutOfBounds {
+                        addr: *addr,
+                        size: self.l1.len() * 4,
+                    });
+                }
+                if lanes == 1 {
+                    self.regs.insert(*dst, RegValue::Scalar(self.l1[word]));
+                } else {
+                    let t = Tensor::from_vec(self.l1[word..word + lanes].to_vec());
+                    self.regs.insert(*dst, RegValue::Tensor(t));
+                }
+            }
+            Instruction::Store { src, addr } => {
+                let word = addr / 4;
+                match self.regs.get(src) {
+                    Some(RegValue::Scalar(v)) => {
+                        let size = self.l1.len() * 4;
+                        *self.l1.get_mut(word).ok_or(InterpError::L1OutOfBounds {
+                            addr: *addr,
+                            size,
+                        })? = *v;
+                    }
+                    Some(RegValue::Tensor(t)) => {
+                        if word + t.len() > self.l1.len() {
+                            return Err(InterpError::L1OutOfBounds {
+                                addr: *addr,
+                                size: self.l1.len() * 4,
+                            });
+                        }
+                        self.l1[word..word + t.len()].copy_from_slice(t.data());
+                    }
+                    None => {
+                        return Err(InterpError::UninitializedRegister {
+                            reg: src.to_string(),
+                        })
+                    }
+                }
+            }
+            Instruction::SyncSignal { event } => self.signalled.push(*event),
+            // Waits resolve at the chip scheduler level; prefetch is a
+            // timing hint.
+            Instruction::SyncWait { .. } | Instruction::KernelPrefetch { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Runs a packet stream to completion.
+    ///
+    /// Each packet costs one cycle plus one stall cycle per register bank
+    /// conflict it contains.
+    ///
+    /// # Errors
+    ///
+    /// The first execution error aborts the kernel.
+    pub fn run(&mut self, packets: &[Packet]) -> Result<InterpReport, InterpError> {
+        let mut report = InterpReport::default();
+        for pkt in packets {
+            report.packets += 1;
+            report.cycles += 1;
+            if pkt.has_bank_conflict() {
+                report.cycles += 1;
+                report.bank_conflict_stalls += 1;
+            }
+            for ins in pkt.instructions() {
+                if matches!(ins, Instruction::SyncSignal { .. }) {
+                    report.signals += 1;
+                }
+                self.execute(ins)?;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_isa::{Packet, SfuFunc};
+
+    fn vreg(i: usize) -> RegId {
+        RegId::new(RegClass::Vector, i)
+    }
+    fn sreg(i: usize) -> RegId {
+        RegId::new(RegClass::Scalar, i)
+    }
+    fn areg(i: usize) -> RegId {
+        RegId::new(RegClass::Accum, i)
+    }
+    fn mreg(i: usize) -> RegId {
+        RegId::new(RegClass::Matrix, i)
+    }
+
+    fn interp() -> Interpreter {
+        Interpreter::new(64 * 1024, DataType::Fp32)
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        let mut it = interp();
+        it.set_scalar(sreg(0), 3.0);
+        it.set_scalar(sreg(1), 4.0);
+        let pkts = vec![Packet::single(Instruction::Scalar {
+            op: ScalarOp::Mul,
+            dst: sreg(2),
+            srcs: vec![sreg(0), sreg(1)],
+        })];
+        it.run(&pkts).unwrap();
+        assert_eq!(it.scalar(sreg(2)).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn vector_add_through_packets() {
+        let mut it = interp();
+        it.set_tensor(vreg(0), Tensor::from_vec(vec![1.0, 2.0, 3.0]));
+        it.set_tensor(vreg(1), Tensor::from_vec(vec![10.0, 20.0, 30.0]));
+        let pkts = vec![Packet::single(Instruction::Vector {
+            op: VectorOp::Add,
+            dst: vreg(2),
+            srcs: vec![vreg(0), vreg(1)],
+        })];
+        let r = it.run(&pkts).unwrap();
+        assert_eq!(it.tensor(vreg(2)).unwrap().data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(r.cycles, 1);
+    }
+
+    #[test]
+    fn load_compute_store_roundtrip() {
+        let mut it = interp();
+        for w in 0..16 {
+            it.poke_l1(w, w as f32).unwrap();
+        }
+        let pkts = vec![
+            Packet::single(Instruction::Load {
+                dst: vreg(0),
+                addr: 0,
+            }),
+            Packet::single(Instruction::Sfu {
+                func: SfuFunc::Exp,
+                dst: vreg(1),
+                src: vreg(0),
+            }),
+            Packet::single(Instruction::Store {
+                src: vreg(1),
+                addr: 64,
+            }),
+        ];
+        it.run(&pkts).unwrap();
+        let y = it.peek_l1(16).unwrap(); // word 16 = byte 64
+        assert!((y - 1.0).abs() < 1e-3); // exp(0)
+        let y5 = it.peek_l1(21).unwrap();
+        assert!((y5 as f64 - (5.0f64).exp()).abs() / (5.0f64).exp() < 1e-3);
+    }
+
+    #[test]
+    fn vmm_via_matrix_fill() {
+        let mut it = interp();
+        // Fill a 4x16 matrix of ones row by row, then multiply by ones.
+        let ones16 = Tensor::from_vec(vec![1.0; 16]);
+        it.set_tensor(vreg(0), ones16.clone());
+        let mut pkts = Vec::new();
+        for row in 0..4 {
+            pkts.push(Packet::single(Instruction::MatrixFill {
+                dst: mreg(0),
+                row,
+                src: vreg(0),
+            }));
+        }
+        it.set_tensor(vreg(1), Tensor::from_vec(vec![2.0; 4]));
+        pkts.push(Packet::single(Instruction::Vmm {
+            pattern: 0,
+            acc: areg(0),
+            vec: vreg(1),
+            mat: mreg(0),
+        }));
+        pkts.push(Packet::single(Instruction::AccRead {
+            dst: vreg(2),
+            acc: areg(0),
+        }));
+        it.run(&pkts).unwrap();
+        let out = it.tensor(vreg(2)).unwrap();
+        assert!(out.data().iter().all(|&x| x == 8.0)); // 4 rows × 2.0
+    }
+
+    #[test]
+    fn bank_conflicts_cost_cycles() {
+        let mut it = interp();
+        // v0 and v4 share a bank (4 banks).
+        it.set_tensor(vreg(0), Tensor::from_vec(vec![1.0]));
+        it.set_tensor(vreg(4), Tensor::from_vec(vec![2.0]));
+        let pkts = vec![Packet::single(Instruction::Vector {
+            op: VectorOp::Add,
+            dst: vreg(1),
+            srcs: vec![vreg(0), vreg(4)],
+        })];
+        let r = it.run(&pkts).unwrap();
+        assert_eq!(r.bank_conflict_stalls, 1);
+        assert_eq!(r.cycles, 2);
+    }
+
+    #[test]
+    fn uninitialized_register_detected() {
+        let mut it = interp();
+        let pkts = vec![Packet::single(Instruction::Vector {
+            op: VectorOp::Add,
+            dst: vreg(1),
+            srcs: vec![vreg(0), vreg(2)],
+        })];
+        assert!(matches!(
+            it.run(&pkts),
+            Err(InterpError::UninitializedRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn l1_bounds_checked() {
+        let mut it = Interpreter::new(64, DataType::Fp32); // 16 words
+        assert!(it.poke_l1(16, 1.0).is_err());
+        let pkts = vec![Packet::single(Instruction::Load {
+            dst: vreg(0),
+            addr: 60, // word 15 + 16 lanes > 16 words
+        })];
+        assert!(matches!(
+            it.run(&pkts),
+            Err(InterpError::L1OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn sync_signal_recorded() {
+        let mut it = interp();
+        let pkts = vec![Packet::single(Instruction::SyncSignal { event: 42 })];
+        let r = it.run(&pkts).unwrap();
+        assert_eq!(it.signalled_events(), &[42]);
+        assert_eq!(r.signals, 1);
+    }
+
+    #[test]
+    fn reductions_and_fma() {
+        let mut it = interp();
+        it.set_tensor(vreg(0), Tensor::from_vec(vec![1.0, 2.0, 3.0]));
+        it.set_tensor(vreg(1), Tensor::from_vec(vec![4.0, 5.0, 6.0]));
+        it.set_tensor(vreg(2), Tensor::from_vec(vec![0.5, 0.5, 0.5]));
+        let pkts = vec![
+            Packet::single(Instruction::Vector {
+                op: VectorOp::Fma,
+                dst: vreg(3),
+                srcs: vec![vreg(0), vreg(1), vreg(2)],
+            }),
+            Packet::single(Instruction::Vector {
+                op: VectorOp::ReduceSum,
+                dst: vreg(4),
+                srcs: vec![vreg(3)],
+            }),
+        ];
+        it.run(&pkts).unwrap();
+        // 1*4+.5 + 2*5+.5 + 3*6+.5 = 4.5 + 10.5 + 18.5 = 33.5
+        assert_eq!(it.tensor(vreg(4)).unwrap().data(), &[33.5]);
+    }
+
+    #[test]
+    fn scalar_tensor_type_confusion_detected() {
+        let mut it = interp();
+        it.set_scalar(sreg(0), 1.0);
+        assert!(matches!(
+            it.tensor(sreg(0)),
+            Err(InterpError::Malformed { .. })
+        ));
+        it.set_tensor(vreg(0), Tensor::from_vec(vec![1.0]));
+        assert!(matches!(
+            it.scalar(vreg(0)),
+            Err(InterpError::Malformed { .. })
+        ));
+    }
+}

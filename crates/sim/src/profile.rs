@@ -1,0 +1,243 @@
+//! Execution profiling: the per-kernel timeline the software stack's
+//! profiler (Fig. 11) exposes.
+//!
+//! When tracing is enabled, [`crate::Chip::run_traced`] records one
+//! [`TraceEvent`] per command with start/end times, the owning group,
+//! and the DVFS point, and the [`Timeline`] renders them as a text
+//! profile or exports Chrome-trace JSON (load it in `chrome://tracing`
+//! or Perfetto).
+
+use crate::program::GroupId;
+use std::fmt;
+
+/// What kind of work a trace event covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Kernel execution on the group's cores.
+    Kernel,
+    /// DMA transfer.
+    Dma,
+    /// Kernel-code load stall (instruction-cache miss).
+    CodeLoad,
+    /// Synchronisation wait.
+    SyncWait,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Kernel => "kernel",
+            TraceKind::Dma => "dma",
+            TraceKind::CodeLoad => "code-load",
+            TraceKind::SyncWait => "sync-wait",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One profiled interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Work kind.
+    pub kind: TraceKind,
+    /// Human-readable label (kernel name, DMA path, event id).
+    pub label: String,
+    /// Owning processing group.
+    pub group: GroupId,
+    /// Start time, ns.
+    pub start_ns: f64,
+    /// End time, ns.
+    pub end_ns: f64,
+    /// Core frequency during the interval, MHz (0 for non-kernel events).
+    pub freq_mhz: u32,
+}
+
+impl TraceEvent {
+    /// Interval length, ns.
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// A completed run's event timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Total time attributed to a kind across all groups, ns.
+    pub fn total_ns(&self, kind: TraceKind) -> f64 {
+        self.of_kind(kind).map(TraceEvent::duration_ns).sum()
+    }
+
+    /// The `k` longest events of a kind (the profiler's "hot kernels"
+    /// view), sorted by descending duration.
+    pub fn hottest(&self, kind: TraceKind, k: usize) -> Vec<&TraceEvent> {
+        let mut v: Vec<&TraceEvent> = self.of_kind(kind).collect();
+        v.sort_by(|a, b| {
+            b.duration_ns()
+                .partial_cmp(&a.duration_ns())
+                .expect("durations are finite")
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Renders a text profile: per-kind totals plus the hottest kernels.
+    pub fn report(&self, top_k: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<12} {:>12} {:>8}", "kind", "total (us)", "events");
+        for kind in [
+            TraceKind::Kernel,
+            TraceKind::Dma,
+            TraceKind::CodeLoad,
+            TraceKind::SyncWait,
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>12.2} {:>8}",
+                kind.to_string(),
+                self.total_ns(kind) / 1e3,
+                self.of_kind(kind).count()
+            );
+        }
+        let _ = writeln!(out, "\nhottest kernels:");
+        for e in self.hottest(TraceKind::Kernel, top_k) {
+            let _ = writeln!(
+                out,
+                "  {:>10.2} us  {}  [{} @ {} MHz]",
+                e.duration_ns() / 1e3,
+                e.label,
+                e.group,
+                e.freq_mhz
+            );
+        }
+        out
+    }
+
+    /// Exports the timeline as Chrome-trace JSON (the `traceEvents`
+    /// array format understood by `chrome://tracing` and Perfetto).
+    pub fn to_chrome_trace(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // tid encodes the processing group; ts/dur are microseconds.
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
+                e.label.replace('"', "'"),
+                e.kind,
+                e.start_ns / 1e3,
+                e.duration_ns() / 1e3,
+                e.group.cluster * 10 + e.group.group
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, label: &str, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            label: label.into(),
+            group: GroupId::new(0, 0),
+            start_ns: start,
+            end_ns: end,
+            freq_mhz: 1400,
+        }
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let mut t = Timeline::new();
+        t.push(ev(TraceKind::Kernel, "conv", 0.0, 100.0));
+        t.push(ev(TraceKind::Kernel, "fc", 100.0, 150.0));
+        t.push(ev(TraceKind::Dma, "L3->L2", 0.0, 30.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_ns(TraceKind::Kernel), 150.0);
+        assert_eq!(t.total_ns(TraceKind::Dma), 30.0);
+        assert_eq!(t.total_ns(TraceKind::SyncWait), 0.0);
+    }
+
+    #[test]
+    fn hottest_sorts_descending() {
+        let mut t = Timeline::new();
+        t.push(ev(TraceKind::Kernel, "small", 0.0, 10.0));
+        t.push(ev(TraceKind::Kernel, "big", 0.0, 100.0));
+        t.push(ev(TraceKind::Kernel, "mid", 0.0, 50.0));
+        let hot = t.hottest(TraceKind::Kernel, 2);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].label, "big");
+        assert_eq!(hot[1].label, "mid");
+    }
+
+    #[test]
+    fn report_contains_sections() {
+        let mut t = Timeline::new();
+        t.push(ev(TraceKind::Kernel, "conv3x3+bn+relu", 0.0, 42_000.0));
+        let r = t.report(5);
+        assert!(r.contains("kernel"));
+        assert!(r.contains("conv3x3+bn+relu"));
+        assert!(r.contains("42.00"));
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json_array() {
+        let mut t = Timeline::new();
+        t.push(ev(TraceKind::Kernel, "k\"quoted\"", 1000.0, 2000.0));
+        t.push(ev(TraceKind::Dma, "L3->L2", 0.0, 500.0));
+        let json = t.to_chrome_trace();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("k'quoted'"));
+        assert_eq!(json.matches("{\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.to_chrome_trace(), "[]");
+    }
+}

@@ -1,0 +1,217 @@
+//! Programs: per-processing-group command streams.
+//!
+//! The compiler lowers a fused DNN graph into one [`Stream`] per
+//! processing group in the placement (Fig. 7's resource-assignment
+//! model). A stream is an ordered list of [`Command`]s; streams run
+//! concurrently and coordinate through sync events.
+
+use crate::dma::DmaDescriptor;
+use crate::sync::SyncPattern;
+use dtu_isa::{KernelDescriptor, KernelId};
+use std::fmt;
+
+/// Identity of a processing group: cluster index plus group-in-cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId {
+    /// Owning cluster.
+    pub cluster: usize,
+    /// Group index within the cluster.
+    pub group: usize,
+}
+
+impl GroupId {
+    /// Creates a group id.
+    pub const fn new(cluster: usize, group: usize) -> Self {
+        GroupId { cluster, group }
+    }
+
+    /// Flat index given `groups_per_cluster`.
+    pub fn flat(self, groups_per_cluster: usize) -> usize {
+        self.cluster * groups_per_cluster + self.group
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}.{}", self.cluster, self.group)
+    }
+}
+
+/// One command in a group's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Launch a kernel across the group's cores (the descriptor carries
+    /// total work; the group's cores split it evenly).
+    Launch {
+        /// Kernel identity (for the instruction cache).
+        kernel: KernelId,
+        /// Work descriptor.
+        descriptor: KernelDescriptor,
+    },
+    /// Issue a DMA transfer on the group's DMA engine.
+    Dma {
+        /// The transfer.
+        descriptor: DmaDescriptor,
+        /// When true the transfer overlaps the *next* Launch command
+        /// (multiple buffering); otherwise the stream blocks on it.
+        overlapped: bool,
+    },
+    /// Prefetch kernel code into the instruction cache.
+    Prefetch {
+        /// Kernel identity.
+        kernel: KernelId,
+        /// Code bytes to load.
+        code_bytes: u64,
+    },
+    /// Register a sync event (must precede its signals/waits).
+    RegisterEvent {
+        /// Event id (chip-wide namespace).
+        event: u32,
+        /// Coordination pattern.
+        pattern: SyncPattern,
+    },
+    /// Signal a sync event at the stream's current time.
+    Signal {
+        /// Event id.
+        event: u32,
+    },
+    /// Block until a sync event is ready.
+    Wait {
+        /// Event id.
+        event: u32,
+    },
+}
+
+impl Command {
+    /// Short mnemonic for tracing.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Launch { .. } => "launch",
+            Command::Dma { .. } => "dma",
+            Command::Prefetch { .. } => "prefetch",
+            Command::RegisterEvent { .. } => "register",
+            Command::Signal { .. } => "signal",
+            Command::Wait { .. } => "wait",
+        }
+    }
+}
+
+/// An ordered command stream bound to one processing group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stream {
+    /// The group this stream runs on.
+    pub group: GroupId,
+    /// The commands, in program order.
+    pub commands: Vec<Command>,
+}
+
+impl Stream {
+    /// Creates an empty stream for a group.
+    pub fn new(group: GroupId) -> Self {
+        Stream {
+            group,
+            commands: Vec::new(),
+        }
+    }
+
+    /// Appends a command (builder-style).
+    pub fn push(&mut self, cmd: Command) -> &mut Self {
+        self.commands.push(cmd);
+        self
+    }
+
+    /// Number of kernel launches in the stream.
+    pub fn launch_count(&self) -> usize {
+        self.commands
+            .iter()
+            .filter(|c| matches!(c, Command::Launch { .. }))
+            .count()
+    }
+}
+
+/// A complete program: a set of concurrent streams.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// The streams; group ids must be unique.
+    pub streams: Vec<Stream>,
+    /// Human-readable name (e.g. the model it came from).
+    pub name: String,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            streams: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Adds a stream. Replaces any existing stream for the same group.
+    pub fn add_stream(&mut self, stream: Stream) -> &mut Self {
+        self.streams.retain(|s| s.group != stream.group);
+        self.streams.push(stream);
+        self
+    }
+
+    /// Total commands across all streams.
+    pub fn total_commands(&self) -> usize {
+        self.streams.iter().map(|s| s.commands.len()).sum()
+    }
+
+    /// Groups this program occupies.
+    pub fn groups(&self) -> Vec<GroupId> {
+        self.streams.iter().map(|s| s.group).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dma::{DmaPath, MemLevel};
+
+    #[test]
+    fn group_id_flattening() {
+        assert_eq!(GroupId::new(0, 2).flat(3), 2);
+        assert_eq!(GroupId::new(1, 0).flat(3), 3);
+        assert_eq!(GroupId::new(1, 2).flat(3), 5);
+        assert_eq!(GroupId::new(1, 2).to_string(), "g1.2");
+    }
+
+    #[test]
+    fn stream_builder_and_counts() {
+        let mut s = Stream::new(GroupId::new(0, 0));
+        s.push(Command::Launch {
+            kernel: KernelId(1),
+            descriptor: KernelDescriptor::new("a"),
+        })
+        .push(Command::Signal { event: 1 })
+        .push(Command::Launch {
+            kernel: KernelId(2),
+            descriptor: KernelDescriptor::new("b"),
+        });
+        assert_eq!(s.launch_count(), 2);
+        assert_eq!(s.commands[1].mnemonic(), "signal");
+    }
+
+    #[test]
+    fn program_replaces_duplicate_group_streams() {
+        let mut p = Program::new("test");
+        p.add_stream(Stream::new(GroupId::new(0, 0)));
+        let mut s2 = Stream::new(GroupId::new(0, 0));
+        s2.push(Command::Wait { event: 1 });
+        p.add_stream(s2);
+        assert_eq!(p.streams.len(), 1);
+        assert_eq!(p.total_commands(), 1);
+        assert_eq!(p.groups(), vec![GroupId::new(0, 0)]);
+    }
+
+    #[test]
+    fn dma_command_mnemonic() {
+        let c = Command::Dma {
+            descriptor: DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64),
+            overlapped: true,
+        };
+        assert_eq!(c.mnemonic(), "dma");
+    }
+}

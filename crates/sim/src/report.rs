@@ -1,0 +1,203 @@
+//! Run reports: the latency / energy / counter bundle a simulation yields.
+
+use dtu_power::EnergyAccount;
+use std::fmt;
+
+/// Activity counters for the function engines, aggregated chip-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineCounters {
+    /// Kernel launches executed.
+    pub kernel_launches: u64,
+    /// Multiply-accumulate operations retired.
+    pub macs: u64,
+    /// Non-MAC vector ALU operations.
+    pub vector_ops: u64,
+    /// SFU transcendental evaluations.
+    pub sfu_ops: u64,
+    /// DMA transfers executed.
+    pub dma_transfers: u64,
+    /// Bytes that crossed the interconnect.
+    pub dma_wire_bytes: u64,
+    /// DMA configuration time, ns.
+    pub dma_config_ns: f64,
+    /// Instruction-cache hits.
+    pub icache_hits: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Nanoseconds cores spent stalled on kernel-code loads.
+    pub code_load_stall_ns: f64,
+    /// Nanoseconds cores spent busy computing.
+    pub compute_busy_ns: f64,
+    /// Nanoseconds cores spent waiting on data (L2/L3).
+    pub memory_stall_ns: f64,
+    /// Nanoseconds cores spent waiting on sync events.
+    pub sync_wait_ns: f64,
+    /// Nanoseconds of LPME-inserted power-throttle stalls.
+    pub power_stall_ns: f64,
+    /// Sync operations processed.
+    pub sync_ops: u64,
+}
+
+impl EngineCounters {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &EngineCounters) {
+        self.kernel_launches += other.kernel_launches;
+        self.macs += other.macs;
+        self.vector_ops += other.vector_ops;
+        self.sfu_ops += other.sfu_ops;
+        self.dma_transfers += other.dma_transfers;
+        self.dma_wire_bytes += other.dma_wire_bytes;
+        self.dma_config_ns += other.dma_config_ns;
+        self.icache_hits += other.icache_hits;
+        self.icache_misses += other.icache_misses;
+        self.code_load_stall_ns += other.code_load_stall_ns;
+        self.compute_busy_ns += other.compute_busy_ns;
+        self.memory_stall_ns += other.memory_stall_ns;
+        self.sync_wait_ns += other.sync_wait_ns;
+        self.power_stall_ns += other.power_stall_ns;
+        self.sync_ops += other.sync_ops;
+    }
+
+    /// Instruction-cache hit rate (0 when no fetches happened).
+    pub fn icache_hit_rate(&self) -> f64 {
+        let total = self.icache_hits + self.icache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.icache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The result of running one [`crate::Program`] on a [`crate::Chip`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// End-to-end latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Integrated energy.
+    pub energy: EnergyAccount,
+    /// Aggregated engine counters.
+    pub counters: EngineCounters,
+    /// Mean core frequency over the run, MHz (reflects DVFS activity).
+    pub mean_freq_mhz: f64,
+    /// Name of the program that ran.
+    pub program: String,
+}
+
+impl RunReport {
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_ns / 1e6
+    }
+
+    /// Total energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.total_joules()
+    }
+
+    /// Average board power over the run, watts.
+    pub fn average_watts(&self) -> f64 {
+        self.energy.average_watts(self.latency_ns)
+    }
+
+    /// Achieved arithmetic throughput in TFLOPS (2 FLOPs per MAC).
+    pub fn achieved_tflops(&self) -> f64 {
+        if self.latency_ns <= 0.0 {
+            0.0
+        } else {
+            (2 * self.counters.macs + self.counters.vector_ops + self.counters.sfu_ops) as f64
+                / self.latency_ns
+                / 1e3
+        }
+    }
+
+    /// Samples-per-joule efficiency proxy: 1 / (latency × power).
+    pub fn energy_efficiency(&self) -> f64 {
+        let j = self.energy_joules();
+        if j <= 0.0 {
+            0.0
+        } else {
+            1.0 / j
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms, {:.3} J, {:.1} W avg, {:.1} TFLOPS, icache {:.0}%",
+            self.program,
+            self.latency_ms(),
+            self.energy_joules(),
+            self.average_watts(),
+            self.achieved_tflops(),
+            self.counters.icache_hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut energy = EnergyAccount::new();
+        energy.dynamic_pj = 1e12; // 1 J
+        RunReport {
+            latency_ns: 1e6, // 1 ms
+            energy,
+            counters: EngineCounters {
+                macs: 1_000_000,
+                icache_hits: 9,
+                icache_misses: 1,
+                ..Default::default()
+            },
+            mean_freq_mhz: 1_400.0,
+            program: "test".into(),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert_eq!(r.latency_ms(), 1.0);
+        assert_eq!(r.energy_joules(), 1.0);
+        assert_eq!(r.average_watts(), 1000.0);
+        assert!((r.achieved_tflops() - 0.002).abs() < 1e-9);
+        assert!((r.counters.icache_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(r.energy_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = EngineCounters {
+            macs: 10,
+            dma_wire_bytes: 100,
+            ..Default::default()
+        };
+        let b = EngineCounters {
+            macs: 5,
+            sync_ops: 2,
+            compute_busy_ns: 7.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.macs, 15);
+        assert_eq!(a.sync_ops, 2);
+        assert_eq!(a.compute_busy_ns, 7.0);
+        assert_eq!(a.dma_wire_bytes, 100);
+    }
+
+    #[test]
+    fn hit_rate_with_no_fetches_is_zero() {
+        assert_eq!(EngineCounters::default().icache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("1.000 ms"));
+        assert!(s.contains("test"));
+    }
+}

@@ -1,0 +1,386 @@
+//! The special function unit (SPU): LUT-plus-quadratic-Taylor
+//! transcendentals.
+//!
+//! §IV-A2: "the SPU executes efficient calculations on transcendental
+//! functions by computing the quadratic Taylor polynomial, according to
+//! the derivative values found in the Lookup Table. It supports activation
+//! functions such as Softplus, Tanh, Sigmoid, Gelu, Swish, Softmax, etc."
+//!
+//! We implement exactly that mechanism: each function keeps a table of
+//! `(f(x₀), f'(x₀), f''(x₀))` entries at evenly spaced anchor points and
+//! evaluates `f(x) ≈ f(x₀) + f'(x₀)·dx + ½·f''(x₀)·dx²`. Inputs beyond
+//! the table range use the function's saturation behaviour. Accuracy tests
+//! bound the approximation error against libm references.
+
+use dtu_isa::SfuFunc;
+use dtu_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from SPU evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpuError {
+    /// The SPU is disabled (DTU 1.0 ablation without the enhanced SFU) for
+    /// this function.
+    Unsupported {
+        /// The function that is not accelerated.
+        func: SfuFunc,
+    },
+}
+
+impl fmt::Display for SpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpuError::Unsupported { func } => {
+                write!(f, "SFU does not accelerate {func:?} on this chip")
+            }
+        }
+    }
+}
+
+impl Error for SpuError {}
+
+/// One lookup-table entry: value and first two derivatives at an anchor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LutEntry {
+    f: f64,
+    d1: f64,
+    d2: f64,
+}
+
+/// A per-function lookup table over `[lo, hi]` with uniform spacing.
+#[derive(Debug, Clone)]
+struct Lut {
+    lo: f64,
+    step: f64,
+    entries: Vec<LutEntry>,
+    /// Saturation values returned beyond the table range (lo side, hi side).
+    sat: (f64, f64),
+    /// Whether out-of-range, instead of saturating to constants, continues
+    /// linearly with slope 1 from the range edge (for Softplus/Gelu/Swish,
+    /// which behave like `x` for large `x`).
+    linear_hi: bool,
+}
+
+impl Lut {
+    fn build(
+        func: SfuFunc,
+        lo: f64,
+        hi: f64,
+        n: usize,
+        reference: impl Fn(f64) -> f64,
+    ) -> Self {
+        let step = (hi - lo) / (n - 1) as f64;
+        let h = step * 1e-3;
+        let entries = (0..n)
+            .map(|i| {
+                let x = lo + i as f64 * step;
+                let f0 = reference(x);
+                let d1 = (reference(x + h) - reference(x - h)) / (2.0 * h);
+                let d2 = (reference(x + h) - 2.0 * f0 + reference(x - h)) / (h * h);
+                LutEntry { f: f0, d1, d2 }
+            })
+            .collect();
+        let linear_hi = matches!(func, SfuFunc::Softplus | SfuFunc::Gelu | SfuFunc::Swish);
+        Lut {
+            lo,
+            step,
+            entries,
+            sat: (reference(lo), reference(hi)),
+            linear_hi,
+        }
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        let hi = self.lo + self.step * (self.entries.len() - 1) as f64;
+        if x < self.lo {
+            return self.sat.0;
+        }
+        if x > hi {
+            return if self.linear_hi {
+                // f(x) ≈ f(hi) + (x - hi): identity-like tail.
+                self.sat.1 + (x - hi)
+            } else {
+                self.sat.1
+            };
+        }
+        let pos = (x - self.lo) / self.step;
+        let idx = (pos.round() as usize).min(self.entries.len() - 1);
+        let x0 = self.lo + idx as f64 * self.step;
+        let dx = x - x0;
+        let e = self.entries[idx];
+        e.f + e.d1 * dx + 0.5 * e.d2 * dx * dx
+    }
+}
+
+/// The special function unit of one compute core.
+#[derive(Debug, Clone)]
+pub struct Spu {
+    enhanced: bool,
+    luts: Vec<(SfuFunc, Lut)>,
+    ops: u64,
+}
+
+impl Spu {
+    /// Number of anchor points per function table.
+    const LUT_POINTS: usize = 256;
+
+    /// Creates an SPU. `enhanced` selects the DTU 2.0 unit that
+    /// accelerates all ten [`SfuFunc`]s; the DTU 1.0 unit accelerates only
+    /// the four basic ones (Exp, Ln, Rsqrt, Sigmoid).
+    pub fn new(enhanced: bool) -> Self {
+        let mut luts = Vec::new();
+        for func in SfuFunc::ALL {
+            if !enhanced
+                && !matches!(
+                    func,
+                    SfuFunc::Exp | SfuFunc::Ln | SfuFunc::Rsqrt | SfuFunc::Sigmoid
+                )
+            {
+                continue;
+            }
+            let lut = match func {
+                SfuFunc::Exp => Lut::build(func, -20.0, 20.0, Self::LUT_POINTS * 4, f64::exp),
+                SfuFunc::Ln => Lut::build(func, 1e-6, 100.0, Self::LUT_POINTS * 16, f64::ln),
+                SfuFunc::Rsqrt => {
+                    Lut::build(func, 1e-6, 100.0, Self::LUT_POINTS * 16, |x| 1.0 / x.sqrt())
+                }
+                SfuFunc::Tanh => Lut::build(func, -8.0, 8.0, Self::LUT_POINTS * 4, f64::tanh),
+                SfuFunc::Sigmoid => Lut::build(func, -16.0, 16.0, Self::LUT_POINTS, |x| {
+                    1.0 / (1.0 + (-x).exp())
+                }),
+                SfuFunc::Softplus => Lut::build(func, -16.0, 16.0, Self::LUT_POINTS, |x| {
+                    if x > 30.0 {
+                        x
+                    } else {
+                        (1.0 + x.exp()).ln()
+                    }
+                }),
+                SfuFunc::Gelu => Lut::build(func, -8.0, 8.0, Self::LUT_POINTS, |x| {
+                    0.5 * x * (1.0 + erf_ref(x / std::f64::consts::SQRT_2))
+                }),
+                SfuFunc::Swish => Lut::build(func, -16.0, 16.0, Self::LUT_POINTS, |x| {
+                    x / (1.0 + (-x).exp())
+                }),
+                SfuFunc::Erf => Lut::build(func, -4.0, 4.0, Self::LUT_POINTS, erf_ref),
+                SfuFunc::Sin => Lut::build(
+                    func,
+                    -std::f64::consts::PI,
+                    std::f64::consts::PI,
+                    Self::LUT_POINTS,
+                    f64::sin,
+                ),
+            };
+            luts.push((func, lut));
+        }
+        Spu {
+            enhanced,
+            luts,
+            ops: 0,
+        }
+    }
+
+    /// Whether this is the enhanced (DTU 2.0) unit.
+    pub fn is_enhanced(&self) -> bool {
+        self.enhanced
+    }
+
+    /// Transcendental evaluations performed so far (timing-layer hook).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Evaluates one transcendental.
+    ///
+    /// # Errors
+    ///
+    /// [`SpuError::Unsupported`] when the chip's SFU lacks the function.
+    pub fn eval(&mut self, func: SfuFunc, x: f32) -> Result<f32, SpuError> {
+        let lut = self
+            .luts
+            .iter()
+            .find(|(f, _)| *f == func)
+            .map(|(_, l)| l)
+            .ok_or(SpuError::Unsupported { func })?;
+        self.ops += 1;
+        // Swish and Gelu tails on the negative side go to 0; Sin wraps.
+        let xv = if func == SfuFunc::Sin {
+            // Range-reduce into [-π, π].
+            let two_pi = 2.0 * std::f64::consts::PI;
+            let mut r = (x as f64) % two_pi;
+            if r > std::f64::consts::PI {
+                r -= two_pi;
+            }
+            if r < -std::f64::consts::PI {
+                r += two_pi;
+            }
+            r
+        } else {
+            x as f64
+        };
+        Ok(lut.eval(xv) as f32)
+    }
+
+    /// Evaluates a transcendental over a whole tensor.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Spu::eval`].
+    pub fn eval_tensor(&mut self, func: SfuFunc, t: &Tensor) -> Result<Tensor, SpuError> {
+        // Fail fast on unsupported functions before walking the data.
+        if !self.luts.iter().any(|(f, _)| *f == func) {
+            return Err(SpuError::Unsupported { func });
+        }
+        let mut out = t.clone();
+        for v in out.data_mut() {
+            *v = self.eval(func, *v)?;
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Spu {
+    fn default() -> Self {
+        Spu::new(true)
+    }
+}
+
+/// Reference erf for LUT construction (Abramowitz–Stegun 7.1.26, |ε|<1.5e-7).
+fn erf_ref(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_rel_err(spu: &mut Spu, func: SfuFunc, reference: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..2000 {
+            let x = lo + (hi - lo) * i as f64 / 1999.0;
+            let got = spu.eval(func, x as f32).unwrap() as f64;
+            let want = reference(x);
+            let err = if want.abs() > 1e-2 {
+                ((got - want) / want).abs()
+            } else {
+                (got - want).abs()
+            };
+            worst = worst.max(err);
+        }
+        worst
+    }
+
+    #[test]
+    fn tanh_accuracy() {
+        let mut spu = Spu::default();
+        let e = max_rel_err(&mut spu, SfuFunc::Tanh, f64::tanh, -6.0, 6.0);
+        assert!(e < 1e-3, "tanh error {e}");
+    }
+
+    #[test]
+    fn sigmoid_accuracy_and_range() {
+        let mut spu = Spu::default();
+        let sig = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let e = max_rel_err(&mut spu, SfuFunc::Sigmoid, sig, -10.0, 10.0);
+        assert!(e < 1e-3, "sigmoid error {e}");
+        // Saturation beyond range.
+        assert!((spu.eval(SfuFunc::Sigmoid, 100.0).unwrap() - 1.0).abs() < 1e-4);
+        assert!(spu.eval(SfuFunc::Sigmoid, -100.0).unwrap().abs() < 1e-4);
+    }
+
+    #[test]
+    fn exp_accuracy() {
+        let mut spu = Spu::default();
+        let e = max_rel_err(&mut spu, SfuFunc::Exp, f64::exp, -10.0, 10.0);
+        assert!(e < 1e-3, "exp error {e}");
+    }
+
+    #[test]
+    fn gelu_swish_softplus_tails() {
+        let mut spu = Spu::default();
+        // Large positive: all three behave like identity.
+        for f in [SfuFunc::Gelu, SfuFunc::Swish, SfuFunc::Softplus] {
+            let y = spu.eval(f, 50.0).unwrap();
+            assert!((y - 50.0).abs() / 50.0 < 0.2, "{f:?} tail: {y}");
+        }
+        // Large negative: gelu and swish go to ~0.
+        assert!(spu.eval(SfuFunc::Gelu, -50.0).unwrap().abs() < 0.01);
+        assert!(spu.eval(SfuFunc::Swish, -50.0).unwrap().abs() < 0.01);
+    }
+
+    #[test]
+    fn erf_accuracy() {
+        let mut spu = Spu::default();
+        let e = max_rel_err(&mut spu, SfuFunc::Erf, erf_ref, -3.0, 3.0);
+        assert!(e < 1e-3, "erf error {e}");
+    }
+
+    #[test]
+    fn sin_range_reduction() {
+        let mut spu = Spu::default();
+        let x = 7.5f32; // > π
+        let got = spu.eval(SfuFunc::Sin, x).unwrap();
+        assert!((got as f64 - (x as f64).sin()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rsqrt_and_ln() {
+        let mut spu = Spu::default();
+        for x in [0.5f32, 1.0, 2.0, 10.0, 50.0] {
+            let r = spu.eval(SfuFunc::Rsqrt, x).unwrap();
+            assert!(((r as f64) - 1.0 / (x as f64).sqrt()).abs() < 2e-3, "rsqrt {x}");
+            let l = spu.eval(SfuFunc::Ln, x).unwrap();
+            assert!(((l as f64) - (x as f64).ln()).abs() < 2e-3, "ln {x}");
+        }
+    }
+
+    #[test]
+    fn basic_spu_lacks_enhanced_functions() {
+        let mut spu = Spu::new(false);
+        assert!(!spu.is_enhanced());
+        assert!(spu.eval(SfuFunc::Exp, 1.0).is_ok());
+        assert!(matches!(
+            spu.eval(SfuFunc::Gelu, 1.0),
+            Err(SpuError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_tensor_applies_elementwise_and_counts_ops() {
+        let mut spu = Spu::default();
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 1.0]);
+        let out = spu.eval_tensor(SfuFunc::Tanh, &t).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.data()[1].abs() < 1e-4);
+        assert_eq!(spu.ops(), 3);
+    }
+
+    #[test]
+    fn eval_tensor_unsupported_fails_fast() {
+        let mut spu = Spu::new(false);
+        let t = Tensor::from_vec(vec![1.0; 100]);
+        assert!(spu.eval_tensor(SfuFunc::Swish, &t).is_err());
+        assert_eq!(spu.ops(), 0);
+    }
+
+    #[test]
+    fn softmax_via_spu_primitives() {
+        // Softmax is exp + normalise; check the SPU pipeline composes.
+        let mut spu = Spu::default();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let exps = spu.eval_tensor(SfuFunc::Exp, &logits).unwrap();
+        let z: f32 = exps.data().iter().sum();
+        let probs: Vec<f32> = exps.data().iter().map(|&e| e / z).collect();
+        let s: f32 = probs.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(probs[2] > probs[1] && probs[1] > probs[0]);
+    }
+}

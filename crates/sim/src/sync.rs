@@ -1,0 +1,373 @@
+//! The synchronisation engine.
+//!
+//! §IV-D: each processing group integrates a dedicated synchronisation
+//! engine supporting 1-to-1, 1-to-N, N-to-1, and N-to-M patterns, inside
+//! or across processing groups. In the simulator, synchronisation is
+//! event-based: producers *signal* an event with a timestamp; consumers
+//! *wait* and adopt `max(own time, event ready time)`. The engine tracks
+//! arrival counts so that N-to-1 and N-to-M barriers release only when
+//! every producer has arrived.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// The synchronisation patterns of §IV-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncPattern {
+    /// One producer releases one consumer.
+    OneToOne,
+    /// One producer releases `n` consumers.
+    OneToN {
+        /// Consumer count.
+        consumers: usize,
+    },
+    /// `n` producers release one consumer (barrier-in).
+    NToOne {
+        /// Producer count.
+        producers: usize,
+    },
+    /// `n` producers release `m` consumers (full barrier).
+    NToM {
+        /// Producer count.
+        producers: usize,
+        /// Consumer count.
+        consumers: usize,
+    },
+}
+
+impl SyncPattern {
+    /// Producers that must signal before the event is ready.
+    pub fn required_signals(self) -> usize {
+        match self {
+            SyncPattern::OneToOne | SyncPattern::OneToN { .. } => 1,
+            SyncPattern::NToOne { producers } | SyncPattern::NToM { producers, .. } => producers,
+        }
+    }
+
+    /// Consumers allowed to wait on the event.
+    pub fn allowed_waiters(self) -> usize {
+        match self {
+            SyncPattern::OneToOne | SyncPattern::NToOne { .. } => 1,
+            SyncPattern::OneToN { consumers } | SyncPattern::NToM { consumers, .. } => consumers,
+        }
+    }
+}
+
+impl fmt::Display for SyncPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncPattern::OneToOne => write!(f, "1-to-1"),
+            SyncPattern::OneToN { consumers } => write!(f, "1-to-{consumers}"),
+            SyncPattern::NToOne { producers } => write!(f, "{producers}-to-1"),
+            SyncPattern::NToM {
+                producers,
+                consumers,
+            } => write!(f, "{producers}-to-{consumers}"),
+        }
+    }
+}
+
+/// Errors from the synchronisation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncError {
+    /// An event id was signalled/waited without being registered.
+    UnknownEvent {
+        /// The event id.
+        event: u32,
+    },
+    /// More producers signalled than the pattern declares.
+    TooManySignals {
+        /// The event id.
+        event: u32,
+        /// Declared producer count.
+        expected: usize,
+    },
+    /// More consumers waited than the pattern declares.
+    TooManyWaiters {
+        /// The event id.
+        event: u32,
+        /// Declared consumer count.
+        expected: usize,
+    },
+    /// The chip only supports 1-to-1 sync (DTU 1.0 ablation) and a richer
+    /// pattern was registered.
+    PatternUnsupported {
+        /// The rejected pattern.
+        pattern: String,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::UnknownEvent { event } => write!(f, "unknown sync event {event}"),
+            SyncError::TooManySignals { event, expected } => {
+                write!(f, "event {event}: more than {expected} signals")
+            }
+            SyncError::TooManyWaiters { event, expected } => {
+                write!(f, "event {event}: more than {expected} waiters")
+            }
+            SyncError::PatternUnsupported { pattern } => {
+                write!(f, "sync pattern {pattern} not supported on this chip")
+            }
+        }
+    }
+}
+
+impl Error for SyncError {}
+
+#[derive(Debug, Clone)]
+struct EventState {
+    pattern: SyncPattern,
+    signals: usize,
+    waiters: usize,
+    /// The latest signal timestamp: consumers are released at this time.
+    ready_at_ns: f64,
+}
+
+/// One synchronisation engine (typically one per processing group, but
+/// events are visible chip-wide, matching "inside or across processing
+/// groups").
+#[derive(Debug, Clone, Default)]
+pub struct SyncEngine {
+    flexible: bool,
+    events: BTreeMap<u32, EventState>,
+    /// Total sync operations processed, for reporting.
+    ops: u64,
+}
+
+impl SyncEngine {
+    /// Creates a sync engine; `flexible` enables the 1-to-N / N-to-1 /
+    /// N-to-M patterns (DTU 2.0).
+    pub fn new(flexible: bool) -> Self {
+        SyncEngine {
+            flexible,
+            events: BTreeMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Registers an event with its pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::PatternUnsupported`] for non-1-to-1 patterns on
+    /// inflexible chips.
+    pub fn register(&mut self, event: u32, pattern: SyncPattern) -> Result<(), SyncError> {
+        if !self.flexible && pattern != SyncPattern::OneToOne {
+            return Err(SyncError::PatternUnsupported {
+                pattern: pattern.to_string(),
+            });
+        }
+        self.events.insert(
+            event,
+            EventState {
+                pattern,
+                signals: 0,
+                waiters: 0,
+                ready_at_ns: 0.0,
+            },
+        );
+        Ok(())
+    }
+
+    /// A producer signals `event` at time `now_ns`.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownEvent`] / [`SyncError::TooManySignals`].
+    pub fn signal(&mut self, event: u32, now_ns: f64) -> Result<(), SyncError> {
+        let st = self
+            .events
+            .get_mut(&event)
+            .ok_or(SyncError::UnknownEvent { event })?;
+        let need = st.pattern.required_signals();
+        if st.signals >= need {
+            return Err(SyncError::TooManySignals {
+                event,
+                expected: need,
+            });
+        }
+        st.signals += 1;
+        st.ready_at_ns = st.ready_at_ns.max(now_ns);
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Whether all required producers have arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownEvent`].
+    pub fn is_ready(&self, event: u32) -> Result<bool, SyncError> {
+        let st = self
+            .events
+            .get(&event)
+            .ok_or(SyncError::UnknownEvent { event })?;
+        Ok(st.signals >= st.pattern.required_signals())
+    }
+
+    /// A consumer at `now_ns` waits on `event`. Returns the release time
+    /// (`max(now, ready)`) if the event is ready, or `None` if the
+    /// consumer must block (the caller re-polls after advancing others).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::UnknownEvent`] / [`SyncError::TooManyWaiters`].
+    pub fn wait(&mut self, event: u32, now_ns: f64) -> Result<Option<f64>, SyncError> {
+        let ready = self.is_ready(event)?;
+        let st = self.events.get_mut(&event).expect("checked");
+        if !ready {
+            return Ok(None);
+        }
+        let allowed = st.pattern.allowed_waiters();
+        if st.waiters >= allowed {
+            return Err(SyncError::TooManyWaiters {
+                event,
+                expected: allowed,
+            });
+        }
+        st.waiters += 1;
+        self.ops += 1;
+        Ok(Some(st.ready_at_ns.max(now_ns)))
+    }
+
+    /// Sync operations processed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Registered but not-yet-ready events (for deadlock diagnostics).
+    pub fn pending_events(&self) -> Vec<u32> {
+        self.events
+            .iter()
+            .filter(|(_, st)| st.signals < st.pattern.required_signals())
+            .map(|(&e, _)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_to_one_releases_at_signal_time() {
+        let mut s = SyncEngine::new(true);
+        s.register(1, SyncPattern::OneToOne).unwrap();
+        assert_eq!(s.wait(1, 5.0).unwrap(), None);
+        s.signal(1, 10.0).unwrap();
+        assert_eq!(s.wait(1, 5.0).unwrap(), Some(10.0));
+    }
+
+    #[test]
+    fn late_waiter_keeps_own_time() {
+        let mut s = SyncEngine::new(true);
+        s.register(1, SyncPattern::OneToOne).unwrap();
+        s.signal(1, 10.0).unwrap();
+        assert_eq!(s.wait(1, 30.0).unwrap(), Some(30.0));
+    }
+
+    #[test]
+    fn n_to_one_needs_all_producers() {
+        let mut s = SyncEngine::new(true);
+        s.register(7, SyncPattern::NToOne { producers: 3 }).unwrap();
+        s.signal(7, 1.0).unwrap();
+        s.signal(7, 9.0).unwrap();
+        assert_eq!(s.wait(7, 0.0).unwrap(), None);
+        s.signal(7, 4.0).unwrap();
+        // Released at the LATEST producer time.
+        assert_eq!(s.wait(7, 0.0).unwrap(), Some(9.0));
+    }
+
+    #[test]
+    fn one_to_n_releases_many() {
+        let mut s = SyncEngine::new(true);
+        s.register(2, SyncPattern::OneToN { consumers: 3 }).unwrap();
+        s.signal(2, 5.0).unwrap();
+        for _ in 0..3 {
+            assert!(s.wait(2, 1.0).unwrap().is_some());
+        }
+        assert!(matches!(
+            s.wait(2, 1.0),
+            Err(SyncError::TooManyWaiters { .. })
+        ));
+    }
+
+    #[test]
+    fn n_to_m_full_barrier() {
+        let mut s = SyncEngine::new(true);
+        s.register(
+            3,
+            SyncPattern::NToM {
+                producers: 2,
+                consumers: 2,
+            },
+        )
+        .unwrap();
+        s.signal(3, 2.0).unwrap();
+        assert_eq!(s.wait(3, 0.0).unwrap(), None);
+        s.signal(3, 8.0).unwrap();
+        assert_eq!(s.wait(3, 0.0).unwrap(), Some(8.0));
+        assert_eq!(s.wait(3, 9.5).unwrap(), Some(9.5));
+    }
+
+    #[test]
+    fn extra_signal_rejected() {
+        let mut s = SyncEngine::new(true);
+        s.register(1, SyncPattern::OneToOne).unwrap();
+        s.signal(1, 1.0).unwrap();
+        assert!(matches!(
+            s.signal(1, 2.0),
+            Err(SyncError::TooManySignals { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_rejected() {
+        let mut s = SyncEngine::new(true);
+        assert!(matches!(
+            s.signal(99, 0.0),
+            Err(SyncError::UnknownEvent { event: 99 })
+        ));
+        assert!(s.wait(99, 0.0).is_err());
+        assert!(s.is_ready(99).is_err());
+    }
+
+    #[test]
+    fn inflexible_engine_rejects_rich_patterns() {
+        let mut s = SyncEngine::new(false);
+        s.register(1, SyncPattern::OneToOne).unwrap();
+        assert!(matches!(
+            s.register(2, SyncPattern::NToOne { producers: 2 }),
+            Err(SyncError::PatternUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn pending_events_lists_unready() {
+        let mut s = SyncEngine::new(true);
+        s.register(1, SyncPattern::OneToOne).unwrap();
+        s.register(2, SyncPattern::NToOne { producers: 2 }).unwrap();
+        s.signal(2, 1.0).unwrap();
+        assert_eq!(s.pending_events(), vec![1, 2]);
+        s.signal(1, 1.0).unwrap();
+        assert_eq!(s.pending_events(), vec![2]);
+    }
+
+    #[test]
+    fn pattern_display_and_counts() {
+        assert_eq!(SyncPattern::OneToOne.to_string(), "1-to-1");
+        assert_eq!(
+            SyncPattern::NToM {
+                producers: 4,
+                consumers: 2
+            }
+            .to_string(),
+            "4-to-2"
+        );
+        assert_eq!(SyncPattern::OneToN { consumers: 5 }.allowed_waiters(), 5);
+        assert_eq!(SyncPattern::NToOne { producers: 5 }.required_signals(), 5);
+    }
+}

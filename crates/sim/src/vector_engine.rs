@@ -1,0 +1,185 @@
+//! The 512-bit vector engine.
+//!
+//! DTU cores process 1024-bit vectors on 1.0 and 512-bit vector registers
+//! on 2.0's matrix path; functionally we model a SIMD ALU over 16 FP32
+//! lanes with the usual element-wise and horizontal operations. The
+//! engine counts the ops it performs so the timing layer can charge them.
+
+use dtu_isa::{DataType, VectorOp};
+use dtu_tensor::Tensor;
+
+/// FP32 lanes in one 512-bit vector register.
+pub const VECTOR_LANES_FP32: usize = 16;
+
+/// The functional model of one compute core's vector ALU.
+#[derive(Debug, Clone, Default)]
+pub struct VectorEngine {
+    ops: u64,
+}
+
+impl VectorEngine {
+    /// Creates a vector engine.
+    pub fn new() -> Self {
+        VectorEngine::default()
+    }
+
+    /// Element operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Lanes available for a data type (512 bits / element width).
+    pub fn lanes(dtype: DataType) -> usize {
+        64 / dtype.size_bytes()
+    }
+
+    /// Applies a binary element-wise operation lane by lane.
+    ///
+    /// Both tensors must have identical shapes; values are quantised
+    /// through `dtype` on input, matching the machine behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from [`Tensor::zip_map`].
+    pub fn binary(
+        &mut self,
+        op: VectorOp,
+        a: &Tensor,
+        b: &Tensor,
+        dtype: DataType,
+    ) -> Result<Tensor, dtu_tensor::TensorError> {
+        self.ops += a.len() as u64;
+        a.zip_map(b, |x, y| {
+            let (x, y) = (dtype.quantize(x), dtype.quantize(y));
+            match op {
+                VectorOp::Add => x + y,
+                VectorOp::Sub => x - y,
+                VectorOp::Mul => x * y,
+                VectorOp::Max => x.max(y),
+                VectorOp::Min => x.min(y),
+                // Binary FMA treats b as both multiplier and addend base:
+                // the 3-operand form lives in the interpreter.
+                VectorOp::Fma => x * y + y,
+                // Reductions and unary ops are not binary; treat as add.
+                _ => x + y,
+            }
+        })
+    }
+
+    /// Fused multiply-add: `a*b + c`, one op per lane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from [`Tensor::zip_map`].
+    pub fn fma(
+        &mut self,
+        a: &Tensor,
+        b: &Tensor,
+        c: &Tensor,
+        dtype: DataType,
+    ) -> Result<Tensor, dtu_tensor::TensorError> {
+        self.ops += a.len() as u64;
+        let prod = a.zip_map(b, |x, y| dtype.quantize(x) * dtype.quantize(y))?;
+        prod.zip_map(c, |p, z| p + dtype.quantize(z))
+    }
+
+    /// Horizontal reduction over the whole tensor.
+    pub fn reduce(&mut self, op: VectorOp, t: &Tensor) -> f32 {
+        self.ops += t.len() as u64;
+        match op {
+            VectorOp::ReduceMax => t.data().iter().copied().fold(f32::NEG_INFINITY, f32::max),
+            // Everything else reduces as a sum.
+            _ => t.sum(),
+        }
+    }
+
+    /// Element-wise reciprocal estimate (Newton-refined to ~1e-6).
+    pub fn recip(&mut self, t: &Tensor) -> Tensor {
+        self.ops += t.len() as u64;
+        t.map(|x| {
+            if x == 0.0 {
+                f32::INFINITY
+            } else {
+                1.0 / x
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_tensor::Shape;
+
+    #[test]
+    fn lane_counts_by_dtype() {
+        assert_eq!(VectorEngine::lanes(DataType::Fp32), 16);
+        assert_eq!(VectorEngine::lanes(DataType::Fp16), 32);
+        assert_eq!(VectorEngine::lanes(DataType::Int8), 64);
+    }
+
+    #[test]
+    fn binary_ops() {
+        let mut ve = VectorEngine::new();
+        let a = Tensor::from_vec(vec![1.0, 4.0, -2.0]);
+        let b = Tensor::from_vec(vec![2.0, 3.0, -5.0]);
+        assert_eq!(
+            ve.binary(VectorOp::Add, &a, &b, DataType::Fp32).unwrap().data(),
+            &[3.0, 7.0, -7.0]
+        );
+        assert_eq!(
+            ve.binary(VectorOp::Max, &a, &b, DataType::Fp32).unwrap().data(),
+            &[2.0, 4.0, -2.0]
+        );
+        assert_eq!(
+            ve.binary(VectorOp::Min, &a, &b, DataType::Fp32).unwrap().data(),
+            &[1.0, 3.0, -5.0]
+        );
+        assert_eq!(ve.ops(), 9);
+    }
+
+    #[test]
+    fn binary_shape_mismatch_errors() {
+        let mut ve = VectorEngine::new();
+        let a = Tensor::zeros(Shape::new(vec![3]));
+        let b = Tensor::zeros(Shape::new(vec![4]));
+        assert!(ve.binary(VectorOp::Add, &a, &b, DataType::Fp32).is_err());
+    }
+
+    #[test]
+    fn fma_matches_manual() {
+        let mut ve = VectorEngine::new();
+        let a = Tensor::from_vec(vec![2.0, 3.0]);
+        let b = Tensor::from_vec(vec![4.0, 5.0]);
+        let c = Tensor::from_vec(vec![1.0, 1.0]);
+        let r = ve.fma(&a, &b, &c, DataType::Fp32).unwrap();
+        assert_eq!(r.data(), &[9.0, 16.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut ve = VectorEngine::new();
+        let t = Tensor::from_vec(vec![1.0, -3.0, 7.0, 2.0]);
+        assert_eq!(ve.reduce(VectorOp::ReduceSum, &t), 7.0);
+        assert_eq!(ve.reduce(VectorOp::ReduceMax, &t), 7.0);
+    }
+
+    #[test]
+    fn recip_handles_zero() {
+        let mut ve = VectorEngine::new();
+        let t = Tensor::from_vec(vec![2.0, 0.0]);
+        let r = ve.recip(&t);
+        assert_eq!(r.data()[0], 0.5);
+        assert!(r.data()[1].is_infinite());
+    }
+
+    #[test]
+    fn quantisation_applied_on_input() {
+        let mut ve = VectorEngine::new();
+        let fine = 1.0 + 1.0 / 512.0; // below bf16 resolution
+        let a = Tensor::from_vec(vec![fine]);
+        let b = Tensor::from_vec(vec![0.0]);
+        let r = ve.binary(VectorOp::Add, &a, &b, DataType::Bf16).unwrap();
+        assert_eq!(r.data(), &[1.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The shape supplied does not match the amount of data supplied.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A multidimensional index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape against which the index failed.
+        dims: Vec<usize>,
+    },
+    /// A slice specification exceeded the tensor bounds or was empty.
+    InvalidSlice {
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+    /// Tensors passed to an n-ary operation had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the incompatibility.
+        reason: String,
+    },
+    /// A rank-0 (or otherwise degenerate) tensor was passed where it is not allowed.
+    DegenerateTensor,
+    /// A compressed block failed to decode.
+    CorruptCompressedBlock {
+        /// Human-readable description of the corruption.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape expects {expected} elements but {actual} were supplied"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for dims {dims:?}")
+            }
+            TensorError::InvalidSlice { reason } => write!(f, "invalid slice: {reason}"),
+            TensorError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            TensorError::DegenerateTensor => write!(f, "degenerate (rank-0 or empty) tensor"),
+            TensorError::CorruptCompressedBlock { reason } => {
+                write!(f, "corrupt compressed block: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            TensorError::ShapeDataMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                dims: vec![3],
+            },
+            TensorError::InvalidSlice {
+                reason: "start beyond end".into(),
+            },
+            TensorError::ShapeMismatch {
+                reason: "rank differs".into(),
+            },
+            TensorError::DegenerateTensor,
+            TensorError::CorruptCompressedBlock {
+                reason: "bitmap truncated".into(),
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("index"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

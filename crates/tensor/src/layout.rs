@@ -1,0 +1,250 @@
+//! Named tensor layouts and axis permutations.
+//!
+//! DNN frameworks disagree about which axis order a 4-D activation uses;
+//! the paper's DMA engines transform between them on the fly. We model the
+//! common layouts as an enum plus a general [`Permutation`] type.
+
+use crate::TensorError;
+use std::fmt;
+
+/// A named memory layout for rank-4 activation tensors.
+///
+/// `Nchw` is the PyTorch-style default (batch, channels, height, width);
+/// `Nhwc` is the TensorFlow-style default. Table III of the paper mixes both
+/// (e.g. SRResNet's input is listed as `224x224x3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Batch, channel, height, width.
+    #[default]
+    Nchw,
+    /// Batch, height, width, channel.
+    Nhwc,
+}
+
+impl Layout {
+    /// The permutation that converts a tensor stored in `self` to `target`.
+    ///
+    /// Identity if the layouts already agree.
+    pub fn permutation_to(self, target: Layout) -> Permutation {
+        match (self, target) {
+            (Layout::Nchw, Layout::Nchw) | (Layout::Nhwc, Layout::Nhwc) => {
+                Permutation::identity(4)
+            }
+            // NCHW -> NHWC: output axis i takes input axis perm[i].
+            (Layout::Nchw, Layout::Nhwc) => Permutation::new(vec![0, 2, 3, 1]).expect("valid"),
+            (Layout::Nhwc, Layout::Nchw) => Permutation::new(vec![0, 3, 1, 2]).expect("valid"),
+        }
+    }
+
+    /// The axis holding the channel dimension in this layout.
+    pub fn channel_axis(self) -> usize {
+        match self {
+            Layout::Nchw => 1,
+            Layout::Nhwc => 3,
+        }
+    }
+
+    /// The axes holding the spatial (height, width) dimensions.
+    pub fn spatial_axes(self) -> (usize, usize) {
+        match self {
+            Layout::Nchw => (2, 3),
+            Layout::Nhwc => (1, 2),
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Nchw => write!(f, "NCHW"),
+            Layout::Nhwc => write!(f, "NHWC"),
+        }
+    }
+}
+
+/// A permutation of tensor axes.
+///
+/// `perm[i]` is the *source* axis that output axis `i` reads from, matching
+/// the convention of `numpy.transpose` and ONNX `Transpose`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    perm: Vec<usize>,
+}
+
+impl Permutation {
+    /// Creates a permutation, validating that it is a bijection on `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSlice`] if `perm` repeats or skips axes.
+    pub fn new(perm: Vec<usize>) -> Result<Self, TensorError> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            if p >= n || seen[p] {
+                return Err(TensorError::InvalidSlice {
+                    reason: format!("{perm:?} is not a permutation of 0..{n}"),
+                });
+            }
+            seen[p] = true;
+        }
+        Ok(Permutation { perm })
+    }
+
+    /// The identity permutation on `n` axes.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            perm: (0..n).collect(),
+        }
+    }
+
+    /// The permutation that swaps axes `a` and `b` on `n` axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if either axis is `>= n`.
+    pub fn swap(n: usize, a: usize, b: usize) -> Result<Self, TensorError> {
+        if a >= n {
+            return Err(TensorError::AxisOutOfRange { axis: a, rank: n });
+        }
+        if b >= n {
+            return Err(TensorError::AxisOutOfRange { axis: b, rank: n });
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.swap(a, b);
+        Ok(Permutation { perm })
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The axis mapping (`output axis i <- input axis self.as_slice()[i]`).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        Permutation { perm: inv }
+    }
+
+    /// Composes `self` after `other`: applying the result is equivalent to
+    /// applying `other` first, then `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the ranks differ.
+    pub fn compose(&self, other: &Permutation) -> Result<Permutation, TensorError> {
+        if self.rank() != other.rank() {
+            return Err(TensorError::ShapeMismatch {
+                reason: format!(
+                    "cannot compose rank-{} with rank-{} permutation",
+                    self.rank(),
+                    other.rank()
+                ),
+            });
+        }
+        // (self ∘ other)[i] = other[self[i]]: output axis i of the composite
+        // reads the axis that `other` reads for the axis `self` reads.
+        let perm = self.perm.iter().map(|&p| other.perm[p]).collect();
+        Ok(Permutation { perm })
+    }
+
+    /// Applies the permutation to a list of per-axis values (e.g. dims).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `values.len() != rank`.
+    pub fn apply<T: Copy>(&self, values: &[T]) -> Result<Vec<T>, TensorError> {
+        if values.len() != self.rank() {
+            return Err(TensorError::ShapeMismatch {
+                reason: format!(
+                    "permutation rank {} does not match value count {}",
+                    self.rank(),
+                    values.len()
+                ),
+            });
+        }
+        Ok(self.perm.iter().map(|&p| values[p]).collect())
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "perm{:?}", self.perm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_roundtrip_permutations_are_inverse() {
+        let fwd = Layout::Nchw.permutation_to(Layout::Nhwc);
+        let back = Layout::Nhwc.permutation_to(Layout::Nchw);
+        assert_eq!(fwd.inverse(), back);
+        assert!(fwd.compose(&back).unwrap().is_identity() || back.compose(&fwd).unwrap().is_identity());
+    }
+
+    #[test]
+    fn layout_axes() {
+        assert_eq!(Layout::Nchw.channel_axis(), 1);
+        assert_eq!(Layout::Nhwc.channel_axis(), 3);
+        assert_eq!(Layout::Nchw.spatial_axes(), (2, 3));
+        assert_eq!(Layout::Nhwc.spatial_axes(), (1, 2));
+    }
+
+    #[test]
+    fn nchw_to_nhwc_applies_correctly() {
+        let p = Layout::Nchw.permutation_to(Layout::Nhwc);
+        let dims = p.apply(&[1usize, 3, 224, 224]).unwrap();
+        assert_eq!(dims, vec![1, 224, 224, 3]);
+    }
+
+    #[test]
+    fn invalid_permutation_rejected() {
+        assert!(Permutation::new(vec![0, 0, 1]).is_err());
+        assert!(Permutation::new(vec![0, 3]).is_err());
+        assert!(Permutation::new(vec![]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn swap_permutation() {
+        let p = Permutation::swap(3, 0, 2).unwrap();
+        assert_eq!(p.apply(&['a', 'b', 'c']).unwrap(), vec!['c', 'b', 'a']);
+        assert!(Permutation::swap(2, 0, 5).is_err());
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity_composition() {
+        let p = Permutation::new(vec![2, 0, 1]).unwrap();
+        let inv = p.inverse();
+        assert!(p.compose(&inv).unwrap().is_identity());
+        assert!(inv.compose(&p).unwrap().is_identity());
+    }
+
+    #[test]
+    fn compose_rank_mismatch_errors() {
+        let a = Permutation::identity(2);
+        let b = Permutation::identity(3);
+        assert!(a.compose(&b).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Layout::Nchw.to_string(), "NCHW");
+        assert_eq!(Permutation::identity(2).to_string(), "perm[0, 1]");
+    }
+}

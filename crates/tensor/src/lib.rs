@@ -1,0 +1,39 @@
+//! Dense tensor layouts, transformations, and a sparse block codec.
+//!
+//! This crate is the data substrate of the DTU 2.0 reproduction. Everything
+//! the paper's DMA engines do *to data while moving it* — padding, slicing,
+//! transposition, concatenation, layout permutation, and sparse
+//! decompression — is implemented here as pure, testable functions over
+//! [`Tensor`] values, so that the simulator crate can stay focused on
+//! *when* bytes move rather than *what* they become.
+//!
+//! # Example
+//!
+//! ```
+//! use dtu_tensor::{Tensor, Shape};
+//!
+//! let t = Tensor::from_fn(Shape::new(vec![2, 3]), |idx| (idx[0] * 3 + idx[1]) as f32);
+//! let tr = t.transpose(0, 1).unwrap();
+//! assert_eq!(tr.shape().dims(), &[3, 2]);
+//! assert_eq!(tr.get(&[2, 1]).unwrap(), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod layout;
+mod shape;
+mod sparse;
+mod tensor;
+mod transform;
+
+pub use error::TensorError;
+pub use layout::{Layout, Permutation};
+pub use shape::{Shape, Strides};
+pub use sparse::{
+    compress, compressed_wire_bytes, decompress, sparsity, CompressedBlock, SparseFormat,
+    BLOCK_ELEMS,
+};
+pub use tensor::Tensor;
+pub use transform::{concat, im2col, pad, slice, transpose, PadSpec, SliceSpec, TransformOp};

@@ -1,0 +1,309 @@
+//! Shapes and strides: the index algebra underlying every tensor view.
+
+use crate::TensorError;
+use std::fmt;
+
+/// The extents of a tensor along each axis.
+///
+/// A `Shape` is an ordered list of dimension sizes. Rank-0 shapes are
+/// permitted and describe scalars (one element).
+///
+/// # Example
+///
+/// ```
+/// use dtu_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.len(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements (some dim is 0).
+    pub fn is_empty(&self) -> bool {
+        self.dims.contains(&0)
+    }
+
+    /// Size along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+    }
+
+    /// Row-major (C-order) strides for this shape, in elements.
+    pub fn contiguous_strides(&self) -> Strides {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc = acc.saturating_mul(d);
+        }
+        Strides::new(strides)
+    }
+
+    /// Converts a multi-index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
+    /// rank or any coordinate exceeds its extent.
+    pub fn flat_index(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.rank()
+            || index.iter().zip(self.dims.iter()).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                dims: self.dims.clone(),
+            });
+        }
+        let strides = self.contiguous_strides();
+        Ok(index
+            .iter()
+            .zip(strides.as_slice())
+            .map(|(&i, &s)| i * s)
+            .sum())
+    }
+
+    /// Converts a flat row-major offset into a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `flat >= len()`.
+    pub fn multi_index(&self, flat: usize) -> Result<Vec<usize>, TensorError> {
+        if flat >= self.len().max(1) || self.is_empty() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![flat],
+                dims: self.dims.clone(),
+            });
+        }
+        let mut rem = flat;
+        let mut out = vec![0usize; self.rank()];
+        let strides = self.contiguous_strides();
+        for (i, &s) in strides.as_slice().iter().enumerate() {
+            out[i] = rem / s;
+            rem %= s;
+        }
+        Ok(out)
+    }
+
+    /// Iterates over all multi-indices in row-major order.
+    pub fn iter_indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.clone(),
+            next: if self.is_empty() { None } else { Some(vec![0; self.rank()]) },
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+/// Iterator over all multi-indices of a [`Shape`] in row-major order.
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance like an odometer, last axis fastest.
+        let mut idx = current.clone();
+        let mut axis = idx.len();
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < self.shape.dims[axis] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[axis] = 0;
+        }
+        // Scalars: single empty index, then done.
+        if current.is_empty() {
+            self.next = None;
+        }
+        Some(current)
+    }
+}
+
+/// Per-axis strides, in elements.
+///
+/// Strides pair with a [`Shape`] to describe non-contiguous views such as
+/// transposes and slices without copying data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Strides {
+    strides: Vec<usize>,
+}
+
+impl Strides {
+    /// Creates strides from per-axis element steps.
+    pub fn new(strides: Vec<usize>) -> Self {
+        Strides { strides }
+    }
+
+    /// The per-axis steps.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of axes covered.
+    pub fn rank(&self) -> usize {
+        self.strides.len()
+    }
+
+    /// Whether these strides are the row-major contiguous strides of `shape`.
+    pub fn is_contiguous_for(&self, shape: &Shape) -> bool {
+        *self == shape.contiguous_strides()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.contiguous_strides().as_slice(), &[12, 4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.flat_index(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn flat_and_multi_index_roundtrip() {
+        let s = Shape::new(vec![3, 5, 7]);
+        for flat in 0..s.len() {
+            let mi = s.multi_index(flat).unwrap();
+            assert_eq!(s.flat_index(&mi).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn flat_index_rejects_out_of_bounds() {
+        let s = Shape::new(vec![2, 2]);
+        assert!(s.flat_index(&[2, 0]).is_err());
+        assert!(s.flat_index(&[0]).is_err());
+        assert!(s.multi_index(4).is_err());
+    }
+
+    #[test]
+    fn iter_indices_covers_all_in_order() {
+        let s = Shape::new(vec![2, 3]);
+        let all: Vec<_> = s.iter_indices().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn iter_indices_empty_shape_yields_nothing() {
+        let s = Shape::new(vec![2, 0, 3]);
+        assert!(s.is_empty());
+        assert_eq!(s.iter_indices().count(), 0);
+    }
+
+    #[test]
+    fn iter_indices_scalar_yields_one() {
+        let s = Shape::scalar();
+        let all: Vec<_> = s.iter_indices().collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn dim_accessor_and_error() {
+        let s = Shape::new(vec![4, 9]);
+        assert_eq!(s.dim(1).unwrap(), 9);
+        assert_eq!(
+            s.dim(2),
+            Err(TensorError::AxisOutOfRange { axis: 2, rank: 2 })
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![3, 608, 608]).to_string(), "[3x608x608]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn strides_contiguity_check() {
+        let s = Shape::new(vec![2, 3]);
+        assert!(s.contiguous_strides().is_contiguous_for(&s));
+        assert!(!Strides::new(vec![1, 2]).is_contiguous_for(&s));
+    }
+}

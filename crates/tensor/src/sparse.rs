@@ -1,0 +1,230 @@
+//! The hardware-defined sparse block codec used by the DMA engine.
+//!
+//! Section IV-C: "to optimize bandwidth for transferring sparse data, DMA
+//! engines in DTU 2.0 support automatic data decompression. Given the data
+//! compressed in hardware-defined formats, DMA engines decompress the data
+//! while storing them at the destination memory locations."
+//!
+//! We model a bitmap-compressed format: data is chopped into fixed-size
+//! blocks; each block stores a presence bitmap (1 bit per element) followed
+//! by the packed non-zero values. This is representative of the class of
+//! zero-suppression schemes used by inference hardware, and lets the
+//! simulator compute exactly how many bytes a sparse transfer moves.
+
+use crate::TensorError;
+
+/// The block size, in elements, of the hardware compression format.
+///
+/// 64 elements per block keeps the bitmap an aligned 8 bytes.
+pub const BLOCK_ELEMS: usize = 64;
+
+/// Which sparse format a DMA transfer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SparseFormat {
+    /// Uncompressed; every element is transferred.
+    #[default]
+    Dense,
+    /// Bitmap zero-suppression in [`BLOCK_ELEMS`]-element blocks.
+    BitmapBlock,
+}
+
+/// One compressed block: a presence bitmap plus packed non-zero values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedBlock {
+    /// Bit `i` set means element `i` of the block is non-zero and stored.
+    pub bitmap: u64,
+    /// The non-zero values, in ascending element order.
+    pub values: Vec<f32>,
+    /// Number of valid elements in this block (the final block of a stream
+    /// may cover fewer than [`BLOCK_ELEMS`]).
+    pub len: usize,
+}
+
+impl CompressedBlock {
+    /// Size of this block on the wire, in bytes, assuming `elem_bytes` bytes
+    /// per stored value plus the 8-byte bitmap.
+    pub fn wire_bytes(&self, elem_bytes: usize) -> usize {
+        8 + self.values.len() * elem_bytes
+    }
+}
+
+/// Compresses a value stream into bitmap blocks.
+///
+/// Returns the block list. Exact zeros are suppressed; everything else
+/// (including negative zero and NaN) is kept so that decompression is
+/// bit-faithful for all observable values.
+pub fn compress(data: &[f32]) -> Vec<CompressedBlock> {
+    let mut out = Vec::with_capacity(data.len().div_ceil(BLOCK_ELEMS));
+    for chunk in data.chunks(BLOCK_ELEMS) {
+        let mut bitmap = 0u64;
+        let mut values = Vec::new();
+        for (i, &v) in chunk.iter().enumerate() {
+            // `v != 0.0` is false for both +0.0 and -0.0; -0.0 decodes as
+            // +0.0, which is value-identical for inference purposes.
+            if v != 0.0 || v.is_nan() {
+                bitmap |= 1u64 << i;
+                values.push(v);
+            }
+        }
+        out.push(CompressedBlock {
+            bitmap,
+            values,
+            len: chunk.len(),
+        });
+    }
+    out
+}
+
+/// Decompresses bitmap blocks back into a dense value stream.
+///
+/// # Errors
+///
+/// Returns [`TensorError::CorruptCompressedBlock`] if a block's bitmap
+/// population count disagrees with its stored value count, a block claims
+/// more than [`BLOCK_ELEMS`] elements, or bitmap bits are set beyond `len`.
+pub fn decompress(blocks: &[CompressedBlock]) -> Result<Vec<f32>, TensorError> {
+    let mut out = Vec::with_capacity(blocks.len() * BLOCK_ELEMS);
+    for (bi, block) in blocks.iter().enumerate() {
+        if block.len > BLOCK_ELEMS {
+            return Err(TensorError::CorruptCompressedBlock {
+                reason: format!("block {bi} claims {} > {BLOCK_ELEMS} elements", block.len),
+            });
+        }
+        if block.len < BLOCK_ELEMS && (block.bitmap >> block.len) != 0 {
+            return Err(TensorError::CorruptCompressedBlock {
+                reason: format!("block {bi} has bitmap bits beyond its length {}", block.len),
+            });
+        }
+        let expected = block.bitmap.count_ones() as usize;
+        if expected != block.values.len() {
+            return Err(TensorError::CorruptCompressedBlock {
+                reason: format!(
+                    "block {bi} bitmap popcount {expected} != value count {}",
+                    block.values.len()
+                ),
+            });
+        }
+        let mut vi = 0usize;
+        for i in 0..block.len {
+            if block.bitmap & (1u64 << i) != 0 {
+                out.push(block.values[vi]);
+                vi += 1;
+            } else {
+                out.push(0.0);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fraction of exactly-zero elements in a value stream (0.0..=1.0).
+///
+/// An empty stream reports sparsity 0.
+pub fn sparsity(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let zeros = data.iter().filter(|&&v| v == 0.0 && !v.is_nan()).count();
+    zeros as f64 / data.len() as f64
+}
+
+/// Total bytes a compressed stream occupies on the wire.
+pub fn compressed_wire_bytes(blocks: &[CompressedBlock], elem_bytes: usize) -> usize {
+    blocks.iter().map(|b| b.wire_bytes(elem_bytes)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_dense_data() {
+        let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let blocks = compress(&data);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(decompress(&blocks).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_sparse_data() {
+        let mut data = vec![0.0f32; 200];
+        data[3] = 1.5;
+        data[64] = -2.0;
+        data[199] = 7.0;
+        let blocks = compress(&data);
+        assert_eq!(decompress(&blocks).unwrap(), data);
+        // Only three values stored across the stream.
+        let stored: usize = blocks.iter().map(|b| b.values.len()).sum();
+        assert_eq!(stored, 3);
+    }
+
+    #[test]
+    fn all_zero_stream_compresses_to_bitmaps_only() {
+        let data = vec![0.0f32; 128];
+        let blocks = compress(&data);
+        assert_eq!(compressed_wire_bytes(&blocks, 4), 16); // two 8-byte bitmaps
+        assert_eq!(decompress(&blocks).unwrap(), data);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        let data = vec![0.0, f32::NAN, 3.0];
+        let blocks = compress(&data);
+        let back = decompress(&blocks).unwrap();
+        assert!(back[1].is_nan());
+        assert_eq!(back[2], 3.0);
+    }
+
+    #[test]
+    fn partial_final_block_roundtrips() {
+        let data: Vec<f32> = (0..70).map(|i| if i % 3 == 0 { 0.0 } else { i as f32 }).collect();
+        let blocks = compress(&data);
+        assert_eq!(blocks[1].len, 6);
+        assert_eq!(decompress(&blocks).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_block_detected() {
+        let mut blocks = compress(&[1.0, 2.0, 3.0]);
+        blocks[0].values.pop();
+        assert!(matches!(
+            decompress(&blocks),
+            Err(TensorError::CorruptCompressedBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_block_detected() {
+        let mut blocks = compress(&[1.0]);
+        blocks[0].len = BLOCK_ELEMS + 1;
+        assert!(decompress(&blocks).is_err());
+    }
+
+    #[test]
+    fn bitmap_bits_beyond_len_detected() {
+        let mut blocks = compress(&[1.0, 0.0]);
+        blocks[0].bitmap |= 1 << 10; // beyond len=2
+        assert!(decompress(&blocks).is_err());
+    }
+
+    #[test]
+    fn sparsity_measurement() {
+        assert_eq!(sparsity(&[]), 0.0);
+        assert_eq!(sparsity(&[0.0, 0.0, 1.0, 2.0]), 0.5);
+        assert_eq!(sparsity(&[0.0; 8]), 1.0);
+    }
+
+    #[test]
+    fn wire_bytes_shrink_with_sparsity() {
+        let dense: Vec<f32> = (1..=64).map(|i| i as f32).collect();
+        let mut sparse = dense.clone();
+        for v in sparse.iter_mut().take(48) {
+            *v = 0.0;
+        }
+        let dense_bytes = compressed_wire_bytes(&compress(&dense), 4);
+        let sparse_bytes = compressed_wire_bytes(&compress(&sparse), 4);
+        assert!(sparse_bytes < dense_bytes);
+        assert_eq!(dense_bytes, 8 + 64 * 4);
+        assert_eq!(sparse_bytes, 8 + 16 * 4);
+    }
+}

@@ -1,0 +1,357 @@
+//! The dense tensor container.
+
+use crate::{Permutation, Shape, TensorError};
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// All simulated values flow through `f32` storage; narrower machine types
+/// (FP16/BF16/INT8) are modelled by quantisation functions in `dtu-isa`
+/// rather than by separate storage, which matches how the functional layer of
+/// the simulator treats precision: it affects *accuracy and cost*, not
+/// program structure.
+///
+/// # Example
+///
+/// ```
+/// use dtu_tensor::{Tensor, Shape};
+/// let z = Tensor::zeros(Shape::new(vec![2, 2]));
+/// assert_eq!(z.data(), &[0.0; 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` does not
+    /// equal the element count of `shape`.
+    pub fn new(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
+        if shape.len() != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor where every element equals `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in shape.iter_indices() {
+            data.push(f(&idx));
+        }
+        Tensor { shape, data }
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        let shape = Shape::new(vec![data.len()]);
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The backing data in row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing data in row-major order.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for bad indices.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        let flat = self.shape.flat_index(index)?;
+        Ok(self.data[flat])
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for bad indices.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let flat = self.shape.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// Returns a copy reshaped to `shape` (element count must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor, TensorError> {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Returns a new tensor with axes permuted by `perm` (materialised copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `perm.rank() != self.rank()`.
+    pub fn permute(&self, perm: &Permutation) -> Result<Tensor, TensorError> {
+        let new_dims = perm.apply(self.shape.dims())?;
+        let new_shape = Shape::new(new_dims);
+        let mut out = Tensor::zeros(new_shape.clone());
+        let src_axes = perm.as_slice();
+        for new_idx in new_shape.iter_indices() {
+            // Recover the source index: output axis i reads input axis perm[i].
+            let mut src_idx = vec![0usize; self.shape.rank()];
+            for (i, &axis) in src_axes.iter().enumerate() {
+                src_idx[axis] = new_idx[i];
+            }
+            let v = self.get(&src_idx)?;
+            out.set(&new_idx, v)?;
+        }
+        Ok(out)
+    }
+
+    /// Returns a new tensor with axes `a` and `b` swapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if either axis is invalid.
+    pub fn transpose(&self, a: usize, b: usize) -> Result<Tensor, TensorError> {
+        let perm = Permutation::swap(self.shape.rank(), a, b)?;
+        self.permute(&perm)
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise binary operation with another tensor of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                reason: format!("{} vs {}", self.shape, other.shape),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        let d = self.zip_map(other, |a, b| (a - b).abs())?;
+        Ok(d.data.iter().copied().fold(0.0, f32::max))
+    }
+
+    /// Dense 2-D matrix multiply: `self [m,k] × rhs [k,n] -> [m,n]`.
+    ///
+    /// This is the reference implementation the VMM engine is tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless both operands are rank-2
+    /// with a matching inner dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let (a, b) = (self.shape.dims(), rhs.shape.dims());
+        if a.len() != 2 || b.len() != 2 || a[1] != b[0] {
+            return Err(TensorError::ShapeMismatch {
+                reason: format!("matmul {} x {}", self.shape, rhs.shape),
+            });
+        }
+        let (m, k, n) = (a[0], a[1], b[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = self.data[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::new(Shape::new(vec![m, n]), out)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ({} elems)", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_length() {
+        assert!(Tensor::new(Shape::new(vec![2, 2]), vec![0.0; 3]).is_err());
+        assert!(Tensor::new(Shape::new(vec![2, 2]), vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_fn_orders_row_major() {
+        let t = Tensor::from_fn(Shape::new(vec![2, 2]), |i| (i[0] * 10 + i[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(Shape::new(vec![3, 4]));
+        t.set(&[2, 3], 7.5).unwrap();
+        assert_eq!(t.get(&[2, 3]).unwrap(), 7.5);
+        assert!(t.get(&[3, 0]).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_fn(Shape::new(vec![2, 3]), |i| (i[0] * 3 + i[1]) as f32);
+        let tr = t.transpose(0, 1).unwrap();
+        assert_eq!(tr.shape().dims(), &[3, 2]);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(t.get(&[r, c]).unwrap(), tr.get(&[c, r]).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let t = Tensor::from_fn(Shape::new(vec![4, 5]), |i| (i[0] * 5 + i[1]) as f32);
+        let back = t.transpose(0, 1).unwrap().transpose(0, 1).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn permute_nchw_to_nhwc() {
+        use crate::Layout;
+        let t = Tensor::from_fn(Shape::new(vec![1, 2, 3, 4]), |i| {
+            (i[1] * 100 + i[2] * 10 + i[3]) as f32
+        });
+        let p = Layout::Nchw.permutation_to(Layout::Nhwc);
+        let out = t.permute(&p).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 3, 4, 2]);
+        assert_eq!(
+            out.get(&[0, 2, 1, 1]).unwrap(),
+            t.get(&[0, 1, 2, 1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Tensor::new(Shape::new(vec![2, 3]), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::new(Shape::new(vec![3, 2]), vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(Shape::new(vec![2, 3]));
+        let b = Tensor::zeros(Shape::new(vec![2, 3]));
+        assert!(a.matmul(&b).is_err());
+        let c = Tensor::zeros(Shape::new(vec![2, 3, 1]));
+        assert!(c.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn zip_map_and_diff() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![1.5, 1.0]);
+        let s = a.zip_map(&b, |x, y| x + y).unwrap();
+        assert_eq!(s.data(), &[2.5, 3.0]);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+        let c = Tensor::zeros(Shape::new(vec![3]));
+        assert!(a.zip_map(&c, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4.]);
+        let r = t.reshape(Shape::new(vec![2, 2])).unwrap();
+        assert_eq!(r.get(&[1, 0]).unwrap(), 3.0);
+        assert!(t.reshape(Shape::new(vec![3])).is_err());
+    }
+
+    #[test]
+    fn map_and_sum() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0]);
+        assert_eq!(t.map(f32::abs).sum(), 6.0);
+    }
+}

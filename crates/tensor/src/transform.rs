@@ -1,0 +1,445 @@
+//! On-the-fly tensor layout transformations performed by the DMA engine.
+//!
+//! Section IV-C of the paper lists padding, slicing, transposing, and
+//! concatenation "on specified tensor dimensions" as transformations the DMA
+//! engine applies while moving data. These are implemented here as pure
+//! functions; the simulator's DMA model invokes them and charges the
+//! appropriate transfer cost. `im2col` is included because it is the
+//! canonical lowering of convolution onto a matrix engine.
+
+use crate::{Permutation, Shape, Tensor, TensorError};
+
+/// Padding amounts for one axis: `(before, after)` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PadSpec {
+    /// Elements inserted before the first element of the axis.
+    pub before: usize,
+    /// Elements inserted after the last element of the axis.
+    pub after: usize,
+}
+
+impl PadSpec {
+    /// Symmetric padding of `n` on both ends.
+    pub fn symmetric(n: usize) -> Self {
+        PadSpec { before: n, after: n }
+    }
+
+    /// No padding.
+    pub fn none() -> Self {
+        PadSpec::default()
+    }
+}
+
+/// A half-open range with stride for one axis: elements
+/// `start, start+step, ...` strictly below `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// First selected element.
+    pub start: usize,
+    /// One past the last candidate element.
+    pub end: usize,
+    /// Step between selected elements (must be >= 1).
+    pub step: usize,
+}
+
+impl SliceSpec {
+    /// Selects the full extent of an axis of size `n`.
+    pub fn full(n: usize) -> Self {
+        SliceSpec {
+            start: 0,
+            end: n,
+            step: 1,
+        }
+    }
+
+    /// Selects `[start, end)` with unit step.
+    pub fn range(start: usize, end: usize) -> Self {
+        SliceSpec { start, end, step: 1 }
+    }
+
+    /// Number of elements the spec selects.
+    pub fn len(&self) -> usize {
+        if self.end <= self.start || self.step == 0 {
+            0
+        } else {
+            (self.end - self.start).div_ceil(self.step)
+        }
+    }
+
+    /// Whether the spec selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A description of a single DMA-applied transformation, used by the
+/// simulator to tag transfer descriptors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformOp {
+    /// Plain copy; no reshaping.
+    Identity,
+    /// Per-axis padding with a constant value.
+    Pad {
+        /// Padding for each axis.
+        spec: Vec<PadSpec>,
+        /// The fill value.
+        value: f32,
+    },
+    /// Per-axis strided slicing.
+    Slice {
+        /// Slice for each axis.
+        spec: Vec<SliceSpec>,
+    },
+    /// Axis permutation.
+    Transpose {
+        /// The permutation to apply.
+        perm: Permutation,
+    },
+    /// Concatenation along an axis (descriptor only; the data of the other
+    /// parts comes from sibling transfers).
+    Concat {
+        /// Axis along which tensors are joined.
+        axis: usize,
+    },
+}
+
+/// Pads a tensor with a constant on every axis according to `spec`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `spec.len()` differs from the
+/// tensor rank.
+pub fn pad(input: &Tensor, spec: &[PadSpec], value: f32) -> Result<Tensor, TensorError> {
+    if spec.len() != input.shape().rank() {
+        return Err(TensorError::ShapeMismatch {
+            reason: format!(
+                "pad spec covers {} axes but tensor has rank {}",
+                spec.len(),
+                input.shape().rank()
+            ),
+        });
+    }
+    let new_dims: Vec<usize> = input
+        .shape()
+        .dims()
+        .iter()
+        .zip(spec)
+        .map(|(&d, p)| d + p.before + p.after)
+        .collect();
+    let mut out = Tensor::full(Shape::new(new_dims), value);
+    for idx in input.shape().iter_indices() {
+        let dst: Vec<usize> = idx.iter().zip(spec).map(|(&i, p)| i + p.before).collect();
+        let v = input.get(&idx)?;
+        out.set(&dst, v)?;
+    }
+    Ok(out)
+}
+
+/// Extracts a strided slice of a tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on a rank mismatch and
+/// [`TensorError::InvalidSlice`] if any spec has zero step or exceeds the
+/// axis extent.
+pub fn slice(input: &Tensor, spec: &[SliceSpec]) -> Result<Tensor, TensorError> {
+    if spec.len() != input.shape().rank() {
+        return Err(TensorError::ShapeMismatch {
+            reason: format!(
+                "slice spec covers {} axes but tensor has rank {}",
+                spec.len(),
+                input.shape().rank()
+            ),
+        });
+    }
+    for (axis, (s, &d)) in spec.iter().zip(input.shape().dims()).enumerate() {
+        if s.step == 0 {
+            return Err(TensorError::InvalidSlice {
+                reason: format!("axis {axis}: zero step"),
+            });
+        }
+        if s.end > d || s.start > s.end {
+            return Err(TensorError::InvalidSlice {
+                reason: format!(
+                    "axis {axis}: slice {}..{} (step {}) exceeds extent {d}",
+                    s.start, s.end, s.step
+                ),
+            });
+        }
+    }
+    let new_dims: Vec<usize> = spec.iter().map(SliceSpec::len).collect();
+    let new_shape = Shape::new(new_dims);
+    let mut out = Tensor::zeros(new_shape.clone());
+    for dst_idx in new_shape.iter_indices() {
+        let src: Vec<usize> = dst_idx
+            .iter()
+            .zip(spec)
+            .map(|(&i, s)| s.start + i * s.step)
+            .collect();
+        let v = input.get(&src)?;
+        out.set(&dst_idx, v)?;
+    }
+    Ok(out)
+}
+
+/// Permutes tensor axes (materialising copy), the DMA "transpose" transform.
+///
+/// # Errors
+///
+/// Propagates [`TensorError::ShapeMismatch`] from [`Tensor::permute`].
+pub fn transpose(input: &Tensor, perm: &Permutation) -> Result<Tensor, TensorError> {
+    input.permute(perm)
+}
+
+/// Concatenates tensors along `axis`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the list is empty, ranks
+/// differ, or non-concat dims differ; [`TensorError::AxisOutOfRange`] for a
+/// bad axis.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor, TensorError> {
+    let first = parts.first().ok_or(TensorError::ShapeMismatch {
+        reason: "concat of zero tensors".into(),
+    })?;
+    let rank = first.shape().rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    for p in parts {
+        if p.shape().rank() != rank {
+            return Err(TensorError::ShapeMismatch {
+                reason: "concat rank mismatch".into(),
+            });
+        }
+        for (a, (&d0, &d)) in first.shape().dims().iter().zip(p.shape().dims()).enumerate() {
+            if a != axis && d0 != d {
+                return Err(TensorError::ShapeMismatch {
+                    reason: format!("concat dim {a} differs: {d0} vs {d}"),
+                });
+            }
+        }
+    }
+    let total: usize = parts.iter().map(|p| p.shape().dims()[axis]).sum();
+    let mut new_dims = first.shape().dims().to_vec();
+    new_dims[axis] = total;
+    let mut out = Tensor::zeros(Shape::new(new_dims));
+    let mut offset = 0usize;
+    for p in parts {
+        for idx in p.shape().iter_indices() {
+            let mut dst = idx.clone();
+            dst[axis] += offset;
+            let v = p.get(&idx)?;
+            out.set(&dst, v)?;
+        }
+        offset += p.shape().dims()[axis];
+    }
+    Ok(out)
+}
+
+/// Lowers a padded convolution input into column-matrix form.
+///
+/// `input` must be `[C, H, W]`. The output is
+/// `[out_h * out_w, C * kh * kw]`: each row is the receptive field of one
+/// output position, so a convolution becomes a matmul with a
+/// `[C*kh*kw, out_c]` weight matrix. Out-of-bounds taps read as zero
+/// (implicit padding by `pad_h`/`pad_w`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `input` is rank-3, and
+/// [`TensorError::InvalidSlice`] if the kernel plus padding cannot fit.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride_h: usize,
+    stride_w: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> Result<Tensor, TensorError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 {
+        return Err(TensorError::ShapeMismatch {
+            reason: format!("im2col expects [C,H,W], got {}", input.shape()),
+        });
+    }
+    if stride_h == 0 || stride_w == 0 || kh == 0 || kw == 0 {
+        return Err(TensorError::InvalidSlice {
+            reason: "im2col kernel/stride must be nonzero".into(),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let padded_h = h + 2 * pad_h;
+    let padded_w = w + 2 * pad_w;
+    if kh > padded_h || kw > padded_w {
+        return Err(TensorError::InvalidSlice {
+            reason: format!("kernel {kh}x{kw} larger than padded input {padded_h}x{padded_w}"),
+        });
+    }
+    let out_h = (padded_h - kh) / stride_h + 1;
+    let out_w = (padded_w - kw) / stride_w + 1;
+    let mut out = Tensor::zeros(Shape::new(vec![out_h * out_w, c * kh * kw]));
+    for oy in 0..out_h {
+        for ox in 0..out_w {
+            let row = oy * out_w + ox;
+            for ch in 0..c {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let iy = (oy * stride_h + ky) as isize - pad_h as isize;
+                        let ix = (ox * stride_w + kx) as isize - pad_w as isize;
+                        let col = ch * kh * kw + ky * kw + kx;
+                        let v = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            input.get(&[ch, iy as usize, ix as usize])?
+                        } else {
+                            0.0
+                        };
+                        out.set(&[row, col], v)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(dims: Vec<usize>) -> Tensor {
+        let shape = Shape::new(dims);
+        let mut n = 0.0f32;
+        Tensor::from_fn(shape, |_| {
+            n += 1.0;
+            n
+        })
+    }
+
+    #[test]
+    fn pad_symmetric_2d() {
+        let t = seq(vec![2, 2]); // [[1,2],[3,4]]
+        let out = pad(&t, &[PadSpec::symmetric(1), PadSpec::none()], 0.0).unwrap();
+        assert_eq!(out.shape().dims(), &[4, 2]);
+        assert_eq!(out.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(out.get(&[1, 0]).unwrap(), 1.0);
+        assert_eq!(out.get(&[2, 1]).unwrap(), 4.0);
+        assert_eq!(out.get(&[3, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pad_with_custom_value() {
+        let t = seq(vec![1]);
+        let out = pad(&t, &[PadSpec { before: 2, after: 0 }], -1.0).unwrap();
+        assert_eq!(out.data(), &[-1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn pad_rank_mismatch_errors() {
+        let t = seq(vec![2, 2]);
+        assert!(pad(&t, &[PadSpec::none()], 0.0).is_err());
+    }
+
+    #[test]
+    fn slice_strided() {
+        let t = seq(vec![6]); // 1..6
+        let out = slice(
+            &t,
+            &[SliceSpec {
+                start: 1,
+                end: 6,
+                step: 2,
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_2d_window() {
+        let t = seq(vec![3, 3]);
+        let out = slice(&t, &[SliceSpec::range(1, 3), SliceSpec::range(0, 2)]).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 2]);
+        assert_eq!(out.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn slice_rejects_bad_specs() {
+        let t = seq(vec![3]);
+        assert!(slice(&t, &[SliceSpec { start: 0, end: 4, step: 1 }]).is_err());
+        assert!(slice(&t, &[SliceSpec { start: 0, end: 3, step: 0 }]).is_err());
+        assert!(slice(&t, &[SliceSpec { start: 2, end: 1, step: 1 }]).is_err());
+    }
+
+    #[test]
+    fn pad_then_slice_recovers_original() {
+        let t = seq(vec![2, 3]);
+        let padded = pad(&t, &[PadSpec::symmetric(2), PadSpec::symmetric(1)], 9.0).unwrap();
+        let back = slice(&padded, &[SliceSpec::range(2, 4), SliceSpec::range(1, 4)]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = seq(vec![1, 2]);
+        let b = seq(vec![1, 2]);
+        let c0 = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape().dims(), &[2, 2]);
+        let c1 = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape().dims(), &[1, 4]);
+        assert_eq!(c1.data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_validates() {
+        let a = seq(vec![1, 2]);
+        let b = seq(vec![2, 3]);
+        assert!(concat(&[&a, &b], 0).is_err());
+        assert!(concat(&[], 0).is_err());
+        assert!(concat(&[&a], 5).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: rows are just the pixels.
+        let t = seq(vec![1, 2, 2]);
+        let cols = im2col(&t, 1, 1, 1, 1, 0, 0).unwrap();
+        assert_eq!(cols.shape().dims(), &[4, 1]);
+        assert_eq!(cols.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_3x3_same_padding_shape() {
+        let t = seq(vec![2, 5, 5]);
+        let cols = im2col(&t, 3, 3, 1, 1, 1, 1).unwrap();
+        assert_eq!(cols.shape().dims(), &[25, 18]);
+    }
+
+    #[test]
+    fn im2col_matmul_equals_direct_convolution() {
+        // Direct 2D convolution vs im2col + matmul, single channel.
+        let input = seq(vec![1, 4, 4]);
+        let kernel = Tensor::from_vec(vec![1.0, 0.0, -1.0, 2.0]); // 2x2
+        let cols = im2col(&input, 2, 2, 1, 1, 0, 0).unwrap();
+        let w = kernel.reshape(Shape::new(vec![4, 1])).unwrap();
+        let out = cols.matmul(&w).unwrap();
+        // Manual convolution at output (0,0): taps (0,0),(0,1),(1,0),(1,1)
+        let manual = input.get(&[0, 0, 0]).unwrap() * 1.0
+            + input.get(&[0, 0, 1]).unwrap() * 0.0
+            + -input.get(&[0, 1, 0]).unwrap()
+            + input.get(&[0, 1, 1]).unwrap() * 2.0;
+        assert_eq!(out.get(&[0, 0]).unwrap(), manual);
+        assert_eq!(out.shape().dims(), &[9, 1]);
+    }
+
+    #[test]
+    fn im2col_rejects_bad_inputs() {
+        let t = seq(vec![2, 2]);
+        assert!(im2col(&t, 1, 1, 1, 1, 0, 0).is_err());
+        let t3 = seq(vec![1, 2, 2]);
+        assert!(im2col(&t3, 0, 1, 1, 1, 0, 0).is_err());
+        assert!(im2col(&t3, 1, 1, 0, 1, 0, 0).is_err());
+        assert!(im2col(&t3, 5, 5, 1, 1, 0, 0).is_err());
+    }
+}

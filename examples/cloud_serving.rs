@@ -1,0 +1,63 @@
+//! Cloud inference serving with QoS: Poisson request load over isolated
+//! multi-tenant processing groups (§IV-E's deployment story), reporting
+//! the tail-latency statistics an SLA is written against.
+//!
+//! ```sh
+//! cargo run --release --example cloud_serving
+//! ```
+
+use dtu::{simulate_serving, Accelerator, DtuError, ServingConfig};
+use dtu_models::Model;
+
+fn main() -> Result<(), DtuError> {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::Resnet50.build(1);
+
+    println!("ResNet-50 serving on the i20, one isolated group per tenant\n");
+    println!(
+        "{:>10} {:>8} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "load(QPS)", "tenants", "thru(QPS)", "p50(ms)", "p95(ms)", "p99(ms)", "util"
+    );
+    // Sweep offered load per tenant from light to near saturation.
+    for qps in [100.0, 300.0, 500.0, 650.0] {
+        let report = simulate_serving(
+            &accel,
+            &graph,
+            &ServingConfig {
+                tenants: 6,
+                arrival_qps: qps,
+                duration_ms: 400.0,
+                seed: 42,
+            },
+        )?;
+        println!(
+            "{:>10.0} {:>8} {:>10.0} {:>9.2} {:>9.2} {:>9.2} {:>7.0}%",
+            qps,
+            6,
+            report.throughput_qps,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.utilization * 100.0
+        );
+    }
+
+    println!();
+    println!("Isolation means each tenant's tail depends only on its own load —");
+    println!("six tenants at moderate load serve ~6x the throughput of one with");
+    println!("the same per-tenant latency distribution:");
+    for tenants in [1usize, 6] {
+        let report = simulate_serving(
+            &accel,
+            &graph,
+            &ServingConfig {
+                tenants,
+                arrival_qps: 300.0,
+                duration_ms: 400.0,
+                seed: 42,
+            },
+        )?;
+        println!("  {tenants} tenant(s): {report}");
+    }
+    Ok(())
+}

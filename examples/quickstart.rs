@@ -1,0 +1,53 @@
+//! Quickstart: build a small DNN graph, compile it for the simulated
+//! Cloudblazer i20, run it, and read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dtu::{Accelerator, DtuError, Graph, Op, Session, SessionOptions, TensorType};
+use dtu_isa::SfuFunc;
+
+fn main() -> Result<(), DtuError> {
+    // 1. Describe the model as a computation graph (what TopsInference
+    //    would import from ONNX).
+    let mut g = Graph::new("quickstart-cnn");
+    let x = g.input("image", TensorType::fixed(&[1, 3, 64, 64]));
+    let c1 = g.add_node(Op::conv2d(32, 3, 1, 1), vec![x])?;
+    let b1 = g.add_node(Op::BatchNorm, vec![c1])?;
+    let r1 = g.add_node(Op::Relu, vec![b1])?;
+    let c2 = g.add_node(Op::conv2d(64, 3, 2, 1), vec![r1])?;
+    let a2 = g.add_node(Op::Activation { func: SfuFunc::Gelu }, vec![c2])?;
+    let head = g.add_node(Op::Dense { units: 10 }, vec![a2])?;
+    let probs = g.add_node(Op::Softmax, vec![head])?;
+    g.mark_output(probs);
+
+    // 2. Pick an accelerator and compile. Fusion, tiling, placement, and
+    //    feature selection (prefetch / repeat-DMA / sparse staging) all
+    //    happen here.
+    let accel = Accelerator::cloudblazer_i20();
+    println!("accelerator: {accel}");
+    let session = Session::compile(&accel, &g, SessionOptions::default())?;
+    println!(
+        "compiled {} into {} commands across {} streams",
+        g,
+        session.program().total_commands(),
+        session.program().streams.len()
+    );
+
+    // 3. Run and inspect.
+    let report = session.run()?;
+    println!("result: {report}");
+    println!(
+        "  kernels launched: {}   MACs: {}   icache hit rate: {:.0}%",
+        report.raw().counters.kernel_launches,
+        report.raw().counters.macs,
+        report.raw().counters.icache_hit_rate() * 100.0
+    );
+    println!(
+        "  energy: {:.4} J at mean clock {:.0} MHz",
+        report.energy_joules(),
+        report.mean_freq_mhz()
+    );
+    Ok(())
+}

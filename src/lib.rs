@@ -1,0 +1,5 @@
+//! Umbrella crate for the Cloudblazer i20 / DTU 2.0 reproduction workspace.
+//!
+//! Re-exports the public facade crate [`dtu`] so the workspace-level examples
+//! and integration tests have a single import root.
+pub use dtu::*;

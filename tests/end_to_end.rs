@@ -1,0 +1,116 @@
+//! Workspace integration: every Table III model compiles and runs on
+//! both chip generations through the public facade.
+
+use dtu::{Accelerator, Session, SessionOptions};
+use dtu_models::Model;
+
+#[test]
+fn all_ten_models_run_on_i20() {
+    let accel = Accelerator::cloudblazer_i20();
+    for model in Model::ALL {
+        let graph = model.build(1);
+        let session = Session::compile(&accel, &graph, SessionOptions::default())
+            .unwrap_or_else(|e| panic!("{model}: compile failed: {e}"));
+        let report = session
+            .run()
+            .unwrap_or_else(|e| panic!("{model}: run failed: {e}"));
+        assert!(report.latency_ms() > 0.0, "{model}: zero latency");
+        assert!(report.energy_joules() > 0.0, "{model}: zero energy");
+        assert!(
+            report.raw().counters.kernel_launches > 0,
+            "{model}: no kernels launched"
+        );
+        assert!(report.raw().counters.macs > 0, "{model}: no MACs retired");
+    }
+}
+
+#[test]
+fn i20_beats_i10_on_every_model() {
+    // The Fig. 13 footnote: "Cloudblazer i10 ... performs worse than
+    // Cloudblazer i20 for all tested DNNs".
+    let i20 = Accelerator::cloudblazer_i20();
+    let i10 = Accelerator::cloudblazer_i10();
+    for model in Model::ALL {
+        let graph = model.build(1);
+        let l20 = Session::compile(&i20, &graph, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap()
+            .latency_ms();
+        let l10 = Session::compile(&i10, &graph, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap()
+            .latency_ms();
+        assert!(
+            l10 > l20,
+            "{model}: i10 ({l10:.3} ms) not slower than i20 ({l20:.3} ms)"
+        );
+    }
+}
+
+#[test]
+fn average_power_stays_under_tdp() {
+    let accel = Accelerator::cloudblazer_i20();
+    for model in [Model::Vgg16, Model::YoloV3, Model::BertLarge] {
+        let graph = model.build(1);
+        let report = Session::compile(&accel, &graph, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let w = report.average_watts();
+        assert!(
+            w > 10.0 && w <= 160.0,
+            "{model}: implausible board power {w:.1} W (TDP 150 W)"
+        );
+    }
+}
+
+#[test]
+fn batching_improves_throughput() {
+    let accel = Accelerator::cloudblazer_i20();
+    let tp = |batch: usize| {
+        let graph = Model::Vgg16.build(batch);
+        Session::compile(&accel, &graph, SessionOptions::batched(batch))
+            .unwrap()
+            .run()
+            .unwrap()
+            .throughput()
+    };
+    let t1 = tp(1);
+    let t8 = tp(8);
+    let t16 = tp(16);
+    assert!(t8 > t1, "batch 8 ({t8:.0}/s) not above batch 1 ({t1:.0}/s)");
+    assert!(t16 > t8, "batch 16 ({t16:.0}/s) not above batch 8 ({t8:.0}/s)");
+}
+
+#[test]
+fn dynamic_batch_model_binds_and_runs() {
+    use dtu_graph::{Dim, Graph, Op, TensorType};
+    let mut g = Graph::new("dyn");
+    let x = g.input(
+        "x",
+        TensorType {
+            dtype: dtu::DataType::Fp16,
+            dims: vec![
+                Dim::Dynamic("batch".into()),
+                Dim::Fixed(3),
+                Dim::Fixed(32),
+                Dim::Fixed(32),
+            ],
+        },
+    );
+    let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
+    g.mark_output(c);
+
+    let accel = Accelerator::cloudblazer_i20();
+    // Unbound dynamic batch cannot be costed -> compile error.
+    assert!(Session::compile(&accel, &g, SessionOptions::default()).is_err());
+    // Bound: runs.
+    let bound = g.bind("batch", 4);
+    let report = Session::compile(&accel, &bound, SessionOptions::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(report.latency_ms() > 0.0);
+}

@@ -1,0 +1,146 @@
+//! Failure injection: the stack must reject invalid inputs with typed
+//! errors, not panics or silent nonsense.
+
+use dtu::{Accelerator, ChipConfig, DtuError, Graph, Op, Session, SessionOptions, TensorType};
+use dtu_compiler::{compile, CompileError, CompilerConfig, Placement};
+use dtu_sim::{
+    Chip, Command, DmaDescriptor, DmaEngine, DmaError, DmaPath, GroupId, MemLevel, Program,
+    SimError, Stream, SyncPattern,
+};
+
+#[test]
+fn oversized_model_rejected_with_capacity_numbers() {
+    // 20 GB of FP16 weights cannot fit the 16 GB device.
+    let mut g = Graph::new("huge");
+    let x = g.input("x", TensorType::fixed(&[1, 100_000]));
+    let d = g.add_node(Op::Dense { units: 100_000 }, vec![x]).unwrap();
+    g.mark_output(d);
+    let accel = Accelerator::cloudblazer_i20();
+    match Session::compile(&accel, &g, SessionOptions::default()) {
+        Err(DtuError::Compile(CompileError::ModelTooLarge { required, available })) => {
+            assert!(required > available);
+            assert_eq!(available, 16 * 1024 * 1024 * 1024);
+        }
+        other => panic!("expected ModelTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_graphs_surface_graph_errors() {
+    let accel = Accelerator::cloudblazer_i20();
+    // No outputs.
+    let mut g = Graph::new("noout");
+    g.input("x", TensorType::fixed(&[1, 4]));
+    assert!(matches!(
+        Session::compile(&accel, &g, SessionOptions::default()),
+        Err(DtuError::Compile(CompileError::Graph(_)))
+    ));
+    // Rank mismatch discovered by shape inference.
+    let mut g = Graph::new("badshape");
+    let x = g.input("x", TensorType::fixed(&[1, 4]));
+    let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
+    g.mark_output(c);
+    assert!(Session::compile(&accel, &g, SessionOptions::default()).is_err());
+}
+
+#[test]
+fn placement_outside_chip_rejected() {
+    let accel = Accelerator::cloudblazer_i20();
+    let mut g = Graph::new("m");
+    let x = g.input("x", TensorType::fixed(&[1, 8, 8, 8]));
+    let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
+    g.mark_output(c);
+    let opts = SessionOptions {
+        placement: Some(Placement::explicit(vec![GroupId::new(7, 7)])),
+        ..Default::default()
+    };
+    assert!(matches!(
+        Session::compile(&accel, &g, opts),
+        Err(DtuError::Compile(CompileError::BadPlacement { .. }))
+    ));
+}
+
+#[test]
+fn scheduler_reports_deadlocks_with_pending_events() {
+    let chip = Chip::new(ChipConfig::dtu20());
+    let mut p = Program::new("dead");
+    let mut a = Stream::new(GroupId::new(0, 0));
+    a.push(Command::RegisterEvent {
+        event: 1,
+        pattern: SyncPattern::NToOne { producers: 2 },
+    })
+    .push(Command::Signal { event: 1 })
+    .push(Command::Wait { event: 1 }); // second producer never arrives
+    p.add_stream(a);
+    match chip.run(&p) {
+        Err(SimError::Deadlock { pending_events }) => assert_eq!(pending_events, vec![1]),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn dtu10_rejects_dtu20_only_dma_features() {
+    let engine = DmaEngine::new(&ChipConfig::dtu10());
+    // Direct L1<->L3.
+    assert!(matches!(
+        engine.check(&DmaDescriptor::copy(
+            DmaPath::new(MemLevel::L1, MemLevel::L3),
+            64
+        )),
+        Err(DmaError::IllegalPath { .. })
+    ));
+    // Broadcast.
+    let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64);
+    d.broadcast = 3;
+    assert!(matches!(
+        engine.check(&d),
+        Err(DmaError::FeatureDisabled { .. })
+    ));
+}
+
+#[test]
+fn programs_with_dtu20_dma_fail_cleanly_on_dtu10() {
+    // Hand-build a program using repeat-mode DMA and run it on DTU 1.0.
+    let chip = Chip::new(ChipConfig::dtu10());
+    let mut p = Program::new("wrongchip");
+    let mut s = Stream::new(GroupId::new(0, 0));
+    let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 4096);
+    d.repeat = 4;
+    s.push(Command::Dma {
+        descriptor: d,
+        overlapped: false,
+    });
+    p.add_stream(s);
+    assert!(matches!(chip.run(&p), Err(SimError::Dma(_))));
+}
+
+#[test]
+fn invalid_chip_configs_rejected() {
+    for mutate in [
+        (|c: &mut ChipConfig| c.clusters = 0) as fn(&mut ChipConfig),
+        |c| c.groups_per_cluster = 5,
+        |c| c.clock_mhz = 0,
+        |c| c.l3_gb_per_s = -1.0,
+    ] {
+        let mut cfg = ChipConfig::dtu20();
+        mutate(&mut cfg);
+        assert!(Accelerator::with_config(cfg).is_err());
+    }
+}
+
+#[test]
+fn compile_on_mismatched_chip_features_still_runs() {
+    // CompilerConfig derived from DTU 2.0 but compiled FOR dtu10 target
+    // must not emit features the chip lacks when configured correctly.
+    let chip10 = ChipConfig::dtu10();
+    let mut g = Graph::new("m");
+    let x = g.input("x", TensorType::fixed(&[1, 8, 32, 32]));
+    let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+    let r = g.add_node(Op::Relu, vec![c]).unwrap();
+    let c2 = g.add_node(Op::conv2d(16, 3, 1, 1), vec![r]).unwrap();
+    g.mark_output(c2);
+    let p = Placement::explicit(vec![GroupId::new(0, 0)]);
+    let prog = compile(&g, &chip10, &p, &CompilerConfig::for_chip(&chip10)).unwrap();
+    let chip = Chip::new(chip10);
+    chip.run(&prog).expect("feature-matched program must run");
+}

@@ -1,0 +1,160 @@
+//! Shape-level assertions for every figure of the paper's evaluation.
+//!
+//! Absolute microseconds are not the claim under test (our substrate is
+//! a simulator); who wins, by roughly what factor, and where the
+//! crossovers fall are.
+
+use dtu_bench::{evaluate_suite, geomean, LatencyRow};
+use dtu_isa::DataType;
+use dtu_models::Model;
+use gpu_baseline::{a10_spec, i10_spec, i20_spec, t4_spec};
+use std::sync::OnceLock;
+
+fn suite() -> &'static [LatencyRow] {
+    static SUITE: OnceLock<Vec<LatencyRow>> = OnceLock::new();
+    SUITE.get_or_init(evaluate_suite)
+}
+
+#[test]
+fn fig12_bandwidth_and_peak_ratios() {
+    let (i10, i20, t4, a10) = (i10_spec(), i20_spec(), t4_spec(), a10_spec());
+    assert!((i20.bandwidth_gb_s / i10.bandwidth_gb_s - 1.6).abs() < 0.01);
+    assert!((i20.bandwidth_gb_s / t4.bandwidth_gb_s - 2.56).abs() < 0.01);
+    assert!((i20.bandwidth_gb_s / a10.bandwidth_gb_s - 1.365).abs() < 0.01);
+    // i20 has the highest FP16 peak and INT8 peak of the four.
+    for s in [&i10, &t4, &a10] {
+        assert!(i20.fp16_tflops >= s.fp16_tflops);
+        assert!(i20.int8_tops >= s.int8_tops);
+    }
+    // A10 alone has the 1.5x memory capacity.
+    assert!(a10.memory_gb > i20.memory_gb);
+}
+
+#[test]
+fn fig13_geomean_speedups_near_paper() {
+    let rows = suite();
+    let g_t4 = geomean(&rows.iter().map(LatencyRow::speedup_vs_t4).collect::<Vec<_>>());
+    let g_a10 = geomean(&rows.iter().map(LatencyRow::speedup_vs_a10).collect::<Vec<_>>());
+    // Paper: 2.22x and 1.16x. Allow +-20% on the model.
+    assert!(
+        (1.8..2.8).contains(&g_t4),
+        "GeoMean vs T4 {g_t4:.2} outside [1.8, 2.8] (paper 2.22)"
+    );
+    assert!(
+        (0.95..1.40).contains(&g_a10),
+        "GeoMean vs A10 {g_a10:.2} outside [0.95, 1.40] (paper 1.16)"
+    );
+}
+
+#[test]
+fn fig13_i20_wins_all_object_detection() {
+    for r in suite() {
+        if r.model.category() == "Object Detection" {
+            assert!(
+                r.speedup_vs_t4() > 1.0 && r.speedup_vs_a10() > 1.0,
+                "{}: detection must favour the i20 (T4 {:.2}x, A10 {:.2}x)",
+                r.model.name(),
+                r.speedup_vs_t4(),
+                r.speedup_vs_a10()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig13_a10_wins_some_classification() {
+    // Paper: A10 outperforms the i20 on 3 of 10, in image classification.
+    let a10_wins: Vec<&LatencyRow> = suite()
+        .iter()
+        .filter(|r| r.speedup_vs_a10() < 1.0)
+        .collect();
+    assert!(
+        !a10_wins.is_empty() && a10_wins.len() <= 4,
+        "A10 should win a few models, got {}",
+        a10_wins.len()
+    );
+    for r in &a10_wins {
+        assert_eq!(
+            r.model.category(),
+            "Image Classification",
+            "{} lost to A10 but is not classification",
+            r.model.name()
+        );
+    }
+}
+
+#[test]
+fn fig13_srresnet_is_the_best_case() {
+    let rows = suite();
+    let sr = rows
+        .iter()
+        .find(|r| r.model == Model::SrResnet)
+        .expect("suite covers SRResnet");
+    for r in rows {
+        assert!(
+            sr.speedup_vs_t4() >= r.speedup_vs_t4(),
+            "{} beats SRResnet vs T4",
+            r.model.name()
+        );
+        assert!(
+            sr.speedup_vs_a10() >= r.speedup_vs_a10(),
+            "{} beats SRResnet vs A10",
+            r.model.name()
+        );
+    }
+    // Rough factors: paper 4.34x / 2.37x.
+    assert!(sr.speedup_vs_t4() > 3.0, "{:.2}", sr.speedup_vs_t4());
+    assert!(sr.speedup_vs_a10() > 1.8, "{:.2}", sr.speedup_vs_a10());
+}
+
+#[test]
+fn fig14_peak_efficiency_relations() {
+    let (i10, i20, t4, a10) = (i10_spec(), i20_spec(), t4_spec(), a10_spec());
+    // T4 leads FP16 peak efficiency; i20 leads FP32.
+    let f16 = |s: &gpu_baseline::PlatformSpec| s.peak_per_tdp(DataType::Fp16);
+    let f32p = |s: &gpu_baseline::PlatformSpec| s.peak_per_tdp(DataType::Fp32);
+    for s in [&i10, &i20, &a10] {
+        assert!(f16(&t4) > f16(s), "T4 must lead FP16 peak efficiency");
+    }
+    for s in [&i10, &t4, &a10] {
+        assert!(f32p(&i20) > f32p(s), "i20 must lead FP32 peak efficiency");
+    }
+    // Numeric anchors from §VI-C.
+    assert!((f16(&t4) / f16(&i10) - 1.74).abs() < 0.03);
+    assert!((f32p(&i20) / f32p(&t4) - 1.84).abs() < 0.04);
+}
+
+#[test]
+fn fig15_energy_efficiency_geomeans() {
+    let rows = suite();
+    let e_t4 = geomean(&rows.iter().map(LatencyRow::efficiency_vs_t4).collect::<Vec<_>>());
+    let e_a10 = geomean(&rows.iter().map(LatencyRow::efficiency_vs_a10).collect::<Vec<_>>());
+    // Paper: 1.04x and 1.17x.
+    assert!(
+        (0.85..1.35).contains(&e_t4),
+        "efficiency GeoMean vs T4 {e_t4:.2} (paper 1.04)"
+    );
+    assert!(
+        (0.95..1.40).contains(&e_a10),
+        "efficiency GeoMean vs A10 {e_a10:.2} (paper 1.17)"
+    );
+    // T4 remains more efficient on a good chunk of the suite ("better
+    // than Nvidia T4 for half of the tested DNNs").
+    let t4_losses = rows.iter().filter(|r| r.efficiency_vs_t4() < 1.0).count();
+    assert!(
+        (2..=6).contains(&t4_losses),
+        "expected T4 to stay ahead on a few DNNs, got {t4_losses}"
+    );
+}
+
+#[test]
+fn fig15_srresnet_best_efficiency_case() {
+    let rows = suite();
+    let sr = rows
+        .iter()
+        .find(|r| r.model == Model::SrResnet)
+        .expect("suite covers SRResnet");
+    // Paper: 2.03x / 2.39x.
+    assert!(sr.efficiency_vs_t4() > 1.5, "{:.2}", sr.efficiency_vs_t4());
+    assert!(sr.efficiency_vs_a10() > 1.8, "{:.2}", sr.efficiency_vs_a10());
+}

@@ -1,0 +1,151 @@
+//! Flexibility-dimension tests (§VI-D "Flexibility v.s. Diversity"):
+//! data-type selection, dynamic shapes, model import, custom operator
+//! development, and the search-based fusion extension.
+
+use dtu::{Accelerator, DataType, Session, SessionOptions};
+use dtu_graph::{
+    export_model, fuse, parse_model, plan_cost_ns, search_fuse, FusionConfig, SearchConfig,
+};
+use dtu_models::Model;
+
+#[test]
+fn int8_runs_faster_than_fp16_on_compute_bound_models() {
+    // Table I: INT8 peaks at 256 TOPS vs FP16's 128 TFLOPS, so a
+    // compute-bound model quantised to INT8 must speed up substantially.
+    let accel = Accelerator::cloudblazer_i20();
+    let fp16 = Model::Vgg16.build(1);
+    let int8 = fp16.with_dtype(DataType::Int8);
+    let lat = |g| {
+        Session::compile(&accel, g, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap()
+            .latency_ms()
+    };
+    let l16 = lat(&fp16);
+    let l8 = lat(&int8);
+    assert!(
+        l8 < l16 * 0.75,
+        "INT8 ({l8:.3} ms) not clearly faster than FP16 ({l16:.3} ms)"
+    );
+}
+
+#[test]
+fn fp32_runs_slower_than_fp16() {
+    let accel = Accelerator::cloudblazer_i20();
+    let fp16 = Model::Resnet50.build(1);
+    let fp32 = fp16.with_dtype(DataType::Fp32);
+    let lat = |g| {
+        Session::compile(&accel, g, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap()
+            .latency_ms()
+    };
+    assert!(lat(&fp32) > lat(&fp16) * 1.5);
+}
+
+#[test]
+fn every_benchmark_model_exports_and_reimports() {
+    // The textual format round-trips the whole Table III suite.
+    for model in Model::ALL {
+        let g = model.build(1);
+        let text = export_model(&g);
+        let g2 = parse_model(&text)
+            .unwrap_or_else(|e| panic!("{model}: reimport failed: {e}"));
+        assert_eq!(g.len(), g2.len(), "{model}: node count changed");
+        let s1 = g.infer_shapes().unwrap();
+        let s2 = g2.infer_shapes().unwrap();
+        for (a, b) in g.nodes().iter().zip(g2.nodes()) {
+            assert_eq!(s1[&a.id], s2[&b.id], "{model}: {} shape changed", a.name);
+        }
+    }
+}
+
+#[test]
+fn imported_model_runs_on_the_accelerator() {
+    let text = r"
+model imported_cnn
+input x fp16 1x3x32x32
+conv c1 x out=16 k=3 s=1 p=1
+bn b1 c1
+relu r1 b1
+conv c2 r1 out=32 k=3 s=2 p=1
+relu r2 c2
+gpool g1 r2
+reshape f1 g1 dims=1x32
+dense d1 f1 units=10
+softmax sm d1
+output sm
+";
+    let g = parse_model(text).unwrap();
+    let accel = Accelerator::cloudblazer_i20();
+    let report = Session::compile(&accel, &g, SessionOptions::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(report.latency_ms() > 0.0);
+}
+
+#[test]
+fn search_fusion_never_loses_to_expert_rules_on_real_models() {
+    let cfg = SearchConfig::default();
+    for model in [Model::Resnet50, Model::SrResnet, Model::Conformer] {
+        let g = model.build(1);
+        let expert = fuse(&g, &FusionConfig::default()).unwrap();
+        let expert_cost = plan_cost_ns(&g, &expert, &cfg).unwrap();
+        let searched = search_fuse(&g, &cfg).unwrap();
+        assert!(
+            searched.estimated_cost_ns <= expert_cost * 1.001,
+            "{model}: search {:.0} ns worse than expert {expert_cost:.0} ns",
+            searched.estimated_cost_ns
+        );
+    }
+}
+
+#[test]
+fn search_fusion_discovers_deeper_fusions_than_expert_rules() {
+    // On SRResNet's long conv chains the search should merge further
+    // than epilogue-only expert rules (the paper's hoped-for "more
+    // beneficial solutions").
+    let g = Model::SrResnet.build(1);
+    let expert = fuse(&g, &FusionConfig::default()).unwrap().kernel_count();
+    let searched = search_fuse(&g, &SearchConfig::default())
+        .unwrap()
+        .plan
+        .kernel_count();
+    assert!(
+        searched <= expert,
+        "search produced {searched} kernels vs expert {expert}"
+    );
+}
+
+#[test]
+fn dynamic_sequence_length_bert_binds_at_runtime() {
+    use dtu_graph::{Dim, Graph, Op, TensorType};
+    // A dynamic-sequence attention block (dynamic tensors + shape
+    // inference, the Table II software row).
+    let mut g = Graph::new("dyn_attn");
+    let x = g.input(
+        "x",
+        TensorType {
+            dtype: DataType::Fp16,
+            dims: vec![Dim::Fixed(1), Dim::Dynamic("seq".into()), Dim::Fixed(256)],
+        },
+    );
+    let q = g.add_node(Op::Dense { units: 256 }, vec![x]).unwrap();
+    let ln = g.add_node(Op::LayerNorm, vec![q]).unwrap();
+    g.mark_output(ln);
+    let shapes = g.infer_shapes().unwrap();
+    assert_eq!(shapes[&ln].dims[1], Dim::Dynamic("seq".into()));
+
+    let accel = Accelerator::cloudblazer_i20();
+    for seq in [64usize, 384] {
+        let bound = g.bind("seq", seq);
+        let report = Session::compile(&accel, &bound, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.latency_ms() > 0.0, "seq {seq}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-crate functional correctness: the simulated engines really
+//! compute, and agree with host references.
+
+use dtu_compiler::{assign_banks, packetize, tensorize_vmm, vectorize_map};
+use dtu_isa::{DataType, SfuFunc};
+use dtu_sim::{Interpreter, MatrixEngine, Spu};
+use dtu_tensor::{compress, decompress, Shape, Tensor};
+
+#[test]
+fn gemm_on_vmm_engine_matches_host_matmul() {
+    let mut eng = MatrixEngine::default();
+    for (m, k, n) in [(1usize, 25088usize, 16usize), (7, 33, 20), (16, 16, 16)] {
+        let a = Tensor::from_fn(Shape::new(vec![m, k]), |i| {
+            ((i[0] * 31 + i[1] * 7) % 13) as f32 * 0.125 - 0.75
+        });
+        let b = Tensor::from_fn(Shape::new(vec![k, n]), |i| {
+            ((i[0] * 5 + i[1] * 11) % 17) as f32 * 0.0625 - 0.5
+        });
+        let got = eng.gemm(&a, &b, DataType::Fp32).expect("catalog covers");
+        let want = a.matmul(&b).expect("valid shapes");
+        let err = got.max_abs_diff(&want).expect("same shape");
+        // Relative tolerance against the largest magnitude in the output.
+        let scale = want.data().iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        assert!(
+            err <= scale * 1e-4 + 1e-3,
+            "gemm {m}x{k}x{n}: err {err} vs scale {scale}"
+        );
+    }
+}
+
+#[test]
+fn sort_facility_equals_std_sort_across_sizes() {
+    let mut eng = MatrixEngine::default();
+    for n in 1..=32 {
+        let input = Tensor::from_fn(Shape::new(vec![n]), |i| {
+            (((i[0] * 2654435761) % 97) as f32) / 9.7 - 5.0
+        });
+        let art = eng.sort(&input).expect("fits");
+        let mut want = input.data().to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        assert_eq!(art.sorted.data(), want.as_slice(), "n = {n}");
+    }
+}
+
+#[test]
+fn spu_accuracy_meets_the_inference_tolerance() {
+    // §VI-A configures 0.01% tolerated precision difference for most
+    // DNNs; activation evaluation must not be the accuracy bottleneck at
+    // normal activation magnitudes.
+    let mut spu = Spu::default();
+    for func in [SfuFunc::Tanh, SfuFunc::Sigmoid, SfuFunc::Gelu, SfuFunc::Swish] {
+        for i in 0..500 {
+            let x = -4.0 + 8.0 * i as f64 / 499.0;
+            let got = spu.eval(func, x as f32).expect("supported") as f64;
+            let want = match func {
+                SfuFunc::Tanh => x.tanh(),
+                SfuFunc::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+                SfuFunc::Gelu => {
+                    0.5 * x * (1.0 + libm_erf(x / std::f64::consts::SQRT_2))
+                }
+                SfuFunc::Swish => x / (1.0 + (-x).exp()),
+                _ => unreachable!(),
+            };
+            assert!(
+                (got - want).abs() < 2e-3,
+                "{func:?}({x:.3}): {got} vs {want}"
+            );
+        }
+    }
+}
+
+/// Abramowitz–Stegun erf, same reference the SPU LUT builder uses.
+fn libm_erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[test]
+fn dsl_pipeline_matches_reference_over_many_shapes() {
+    // tensorize -> bank-allocate -> packetize -> interpret, vs host math.
+    for rows in [4usize, 8, 16] {
+        let instrs = {
+            let mut v = tensorize_vmm(rows, 600, 0, 700);
+            v.extend(vectorize_map(SfuFunc::Sigmoid, 16, 700, 800));
+            v
+        };
+        let packets = packetize(&assign_banks(&instrs));
+        let mut it = Interpreter::new(64 * 1024, DataType::Fp32);
+        for r in 0..rows {
+            for c in 0..16 {
+                it.poke_l1(r * 16 + c, ((r * 16 + c) % 9) as f32 * 0.1 - 0.4)
+                    .unwrap();
+            }
+        }
+        let x: Vec<f32> = (0..rows).map(|r| r as f32 * 0.3 - 0.5).collect();
+        for (i, v) in x.iter().enumerate() {
+            it.poke_l1(600 + i, *v).unwrap();
+        }
+        let report = it.run(&packets).expect("executes");
+        assert_eq!(report.bank_conflict_stalls, 0, "allocator left conflicts");
+        for c in 0..16 {
+            let dot: f32 = (0..rows)
+                .map(|r| x[r] * (((r * 16 + c) % 9) as f32 * 0.1 - 0.4))
+                .sum();
+            let want = 1.0 / (1.0 + (-dot as f64).exp());
+            let got = it.peek_l1(800 + c).unwrap() as f64;
+            assert!(
+                (got - want).abs() < 2e-3,
+                "rows {rows} col {c}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_codec_roundtrips_model_like_data() {
+    // Post-ReLU activations: ~half zeros, then exact roundtrip.
+    let act: Vec<f32> = (0..10_000)
+        .map(|i| {
+            let v = ((i * 2654435761usize) % 2000) as f32 / 100.0 - 10.0;
+            v.max(0.0)
+        })
+        .collect();
+    let blocks = compress(&act);
+    let restored = decompress(&blocks).expect("valid blocks");
+    assert_eq!(restored, act);
+    let wire: usize = blocks.iter().map(|b| b.wire_bytes(4)).sum();
+    let dense = act.len() * 4;
+    assert!(
+        wire < dense * 7 / 10,
+        "sparse wire {wire} not clearly below dense {dense}"
+    );
+}
+
+#[test]
+fn quantisation_error_within_configured_tolerance() {
+    // The FP16 pipeline must stay within the paper's configured 0.01%
+    // (1e-4) relative precision difference for well-scaled values.
+    for i in 1..1000 {
+        let v = i as f32 * 0.317;
+        let q = DataType::Fp16.quantize(v);
+        let rel = ((q - v) / v).abs();
+        assert!(rel < 5e-4, "fp16 rel err {rel} at {v}");
+    }
+}
+
+#[test]
+fn mixed_precision_mlp_accuracy() {
+    // §VI-A configures tolerated precision differences between CPU and
+    // accelerator runs. Execute a 2-layer tanh MLP functionally on the
+    // engines in FP32 / FP16 / BF16 and bound the output divergence.
+    let run = |dtype: DataType| -> Vec<f32> {
+        let mut eng = MatrixEngine::default();
+        let mut spu = Spu::default();
+        let x = Tensor::from_fn(Shape::new(vec![1, 16]), |i| (i[1] as f32 - 8.0) * 0.1);
+        let w1 = Tensor::from_fn(Shape::new(vec![16, 16]), |i| {
+            ((i[0] * 16 + i[1]) % 7) as f32 * 0.05 - 0.15
+        });
+        let w2 = Tensor::from_fn(Shape::new(vec![16, 16]), |i| {
+            ((i[0] * 5 + i[1] * 3) % 9) as f32 * 0.04 - 0.16
+        });
+        let h = eng.gemm(&x, &w1, dtype).expect("catalog shape");
+        let h = spu.eval_tensor(SfuFunc::Tanh, &h).expect("supported");
+        let y = eng.gemm(&h, &w2, dtype).expect("catalog shape");
+        y.into_data()
+    };
+    let fp32 = run(DataType::Fp32);
+    for (dtype, tol) in [(DataType::Fp16, 5e-3), (DataType::Bf16, 2e-2)] {
+        let out = run(dtype);
+        for (a, b) in fp32.iter().zip(&out) {
+            let denom = a.abs().max(0.1);
+            assert!(
+                ((a - b) / denom).abs() < tol,
+                "{dtype}: {b} vs fp32 {a} beyond {tol}"
+            );
+        }
+    }
+}

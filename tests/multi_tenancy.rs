@@ -1,0 +1,131 @@
+//! Integration tests for Fig. 7: resource abstraction, placement
+//! scaling, and tenant isolation.
+
+use dtu::{Accelerator, Placement, Session, SessionOptions, WorkloadSize};
+use dtu_compiler::{compile, CompilerConfig};
+use dtu_models::Model;
+use dtu_sim::{GroupId, Program};
+
+#[test]
+fn placement_scaling_is_monotone() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::Resnet50.build(1);
+    let mut last = f64::INFINITY;
+    for size in [
+        WorkloadSize::Small,
+        WorkloadSize::Medium,
+        WorkloadSize::Large,
+        WorkloadSize::FullChip,
+    ] {
+        let lat = Session::compile(
+            &accel,
+            &graph,
+            SessionOptions {
+                size,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+        .latency_ms();
+        assert!(
+            lat <= last * 1.001,
+            "more resources should not slow the workload ({lat:.3} > {last:.3})"
+        );
+        last = lat;
+    }
+}
+
+#[test]
+fn isolated_tenants_interfere_only_through_hbm() {
+    let accel = Accelerator::cloudblazer_i20();
+    let chip_cfg = accel.config().clone();
+    let graph = Model::Resnet50.build(1);
+    let ccfg = CompilerConfig::for_chip(&chip_cfg);
+
+    let solo_prog = compile(
+        &graph,
+        &chip_cfg,
+        &Placement::explicit(vec![GroupId::new(0, 0)]),
+        &ccfg,
+    )
+    .unwrap();
+    let solo = accel.chip().run(&solo_prog).unwrap().latency_ns;
+
+    // Six tenants, one per group, all running at once.
+    let mut combined = Program::new("six-tenants");
+    for c in 0..2 {
+        for g in 0..3 {
+            let p = Placement::explicit(vec![GroupId::new(c, g)]);
+            let prog = compile(&graph, &chip_cfg, &p, &ccfg).unwrap();
+            for s in prog.streams {
+                combined.add_stream(s);
+            }
+        }
+    }
+    let six = accel.chip().run(&combined).unwrap().latency_ns;
+    let interference = six / solo;
+    // Compute resources are isolated; only HBM bandwidth is shared, so
+    // slowdown must stay far below the 6x a shared-everything design
+    // would suffer.
+    assert!(
+        interference < 2.0,
+        "interference factor {interference:.2} too high for isolated groups"
+    );
+    assert!(interference >= 1.0);
+}
+
+#[test]
+fn six_tenants_multiply_throughput() {
+    let accel = Accelerator::cloudblazer_i20();
+    let chip_cfg = accel.config().clone();
+    let graph = Model::Resnet50.build(1);
+    let ccfg = CompilerConfig::for_chip(&chip_cfg);
+
+    let solo_prog = compile(
+        &graph,
+        &chip_cfg,
+        &Placement::explicit(vec![GroupId::new(0, 0)]),
+        &ccfg,
+    )
+    .unwrap();
+    let solo_lat = accel.chip().run(&solo_prog).unwrap().latency_ns;
+    let solo_tp = 1e9 / solo_lat;
+
+    let mut combined = Program::new("six-tenants");
+    for c in 0..2 {
+        for g in 0..3 {
+            let p = Placement::explicit(vec![GroupId::new(c, g)]);
+            let prog = compile(&graph, &chip_cfg, &p, &ccfg).unwrap();
+            for s in prog.streams {
+                combined.add_stream(s);
+            }
+        }
+    }
+    let six_lat = accel.chip().run(&combined).unwrap().latency_ns;
+    let six_tp = 6.0 * 1e9 / six_lat;
+    assert!(
+        six_tp > 3.0 * solo_tp,
+        "multi-tenancy throughput {six_tp:.0}/s not well above {solo_tp:.0}/s"
+    );
+}
+
+#[test]
+fn cross_cluster_placement_works() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::CenterNet.build(1);
+    let p = Placement::explicit(vec![GroupId::new(0, 0), GroupId::new(1, 0)]);
+    let report = Session::compile(
+        &accel,
+        &graph,
+        SessionOptions {
+            placement: Some(p),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert!(report.latency_ms() > 0.0);
+}

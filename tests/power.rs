@@ -1,0 +1,115 @@
+//! Integration tests for the §VI-D power-management experiment and the
+//! CPME/LPME machinery end to end.
+
+use dtu::{Accelerator, ChipConfig, Session, SessionOptions};
+use dtu_models::Model;
+
+fn run(cfg: ChipConfig, model: Model) -> (f64, f64, f64) {
+    let accel = Accelerator::with_config(cfg).expect("valid config");
+    let graph = model.build(1);
+    let r = Session::compile(&accel, &graph, SessionOptions::default())
+        .expect("compile")
+        .run()
+        .expect("run");
+    (r.latency_ms(), r.samples_per_joule(), r.mean_freq_mhz())
+}
+
+#[test]
+fn power_management_trades_tiny_latency_for_energy() {
+    for model in [Model::Resnet50, Model::BertLarge] {
+        let (lat_on, eff_on, f_on) = run(ChipConfig::dtu20(), model);
+        let mut off = ChipConfig::dtu20();
+        off.features.power_management = false;
+        let (lat_off, eff_off, f_off) = run(off, model);
+
+        // PM off pins f_max (floating-point time-weighting tolerance).
+        assert!(
+            (f_off - 1400.0).abs() < 0.1,
+            "{model}: PM-off must pin 1.4 GHz, got {f_off}"
+        );
+        // PM on downclocks stall-heavy windows.
+        assert!(f_on < f_off, "{model}: governor never acted");
+        // Paper: <= 3.2% perf drop; we allow a modest margin on the model.
+        let drop = lat_on / lat_off - 1.0;
+        assert!(
+            drop < 0.08,
+            "{model}: perf drop {:.1}% too large",
+            drop * 100.0
+        );
+        // Paper: +13% energy efficiency; require a clear gain.
+        let gain = eff_on / eff_off - 1.0;
+        assert!(
+            gain > 0.05,
+            "{model}: efficiency gain {:.1}% too small",
+            gain * 100.0
+        );
+    }
+}
+
+#[test]
+fn dvfs_stays_within_the_advertised_range() {
+    let (_, _, f) = run(ChipConfig::dtu20(), Model::Conformer);
+    assert!(
+        (1000.0..=1400.0).contains(&f),
+        "mean frequency {f:.0} MHz outside the 1.0-1.4 GHz DVFS range"
+    );
+}
+
+#[test]
+fn energy_scales_with_work_across_models() {
+    let small = run(ChipConfig::dtu20(), Model::Resnet50);
+    let big = run(ChipConfig::dtu20(), Model::Unet);
+    // UNet does ~40x the FLOPs of ResNet-50; it must cost clearly more
+    // energy per sample (samples/J much lower).
+    assert!(small.1 > big.1 * 5.0, "{} vs {}", small.1, big.1);
+}
+
+#[test]
+fn cpme_budgets_are_conserved_under_load() {
+    use dtu_power::{Cpme, UnitId};
+    let units: Vec<(UnitId, u64)> = (0..6).map(|g| (UnitId::core(g / 3, g), 10_000)).collect();
+    let mut cpme = Cpme::new(150_000, &units).expect("fits");
+    // Hammer it with borrow/return cycles.
+    for round in 0..100 {
+        let u = units[round % 6].0;
+        let got = cpme.request(u, 7_000);
+        assert!(got <= 7_000);
+        if round % 2 == 0 {
+            let held = cpme.allocation_mw(u) - 10_000;
+            cpme.release(u, held.min(3_000)).expect("release within loan");
+        }
+        assert!(cpme.is_consistent(), "budget conservation violated");
+    }
+}
+
+#[test]
+fn lpme_throttles_under_a_constrained_tdp() {
+    // Power-integrity management (Fig. 9): under a tight board limit the
+    // LPMEs must insert stalls or borrow from the CPME — the run slows
+    // down but average power stays under the limit.
+    let mut tight = ChipConfig::dtu20();
+    tight.tdp_watts = 60.0; // well below the 150 W envelope
+    let accel_tight = Accelerator::with_config(tight).unwrap();
+    let accel_free = Accelerator::cloudblazer_i20();
+    let graph = Model::Vgg16.build(1);
+    let run = |accel: &Accelerator| {
+        Session::compile(accel, &graph, SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let constrained = run(&accel_tight);
+    let free = run(&accel_free);
+    let throttle_ns = constrained.raw().counters.power_stall_ns;
+    assert!(
+        throttle_ns > 0.0 || constrained.latency_ms() >= free.latency_ms(),
+        "a 60 W limit must visibly constrain the run"
+    );
+    // Integrity: the constrained run's average power respects its limit
+    // within the model's first-order accuracy.
+    assert!(
+        constrained.average_watts() < 90.0,
+        "constrained run drew {:.1} W against a 60 W budget",
+        constrained.average_watts()
+    );
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the profiler (Fig. 11's software-stack tool).
+
+use dtu::{Accelerator, Session, SessionOptions, TraceKind};
+use dtu_models::Model;
+
+#[test]
+fn traced_run_matches_untraced_and_covers_the_timeline() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::Resnet50.build(1);
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).unwrap();
+    let plain = session.run().unwrap();
+    let (traced, timeline) = session.run_traced().unwrap();
+
+    // Tracing must not perturb the simulation.
+    assert_eq!(plain.latency_ms(), traced.latency_ms());
+
+    // One kernel event per launch.
+    let kernel_events = timeline.of_kind(TraceKind::Kernel).count() as u64;
+    assert_eq!(kernel_events, traced.raw().counters.kernel_launches);
+
+    // Events are well-formed and within the run.
+    for e in timeline.events() {
+        assert!(e.end_ns >= e.start_ns, "negative interval: {e:?}");
+        assert!(
+            e.end_ns <= traced.raw().latency_ns + 1.0,
+            "event past the end of the run: {e:?}"
+        );
+    }
+
+    // Kernel time across 6 groups exceeds the wall clock (parallelism).
+    assert!(timeline.total_ns(TraceKind::Kernel) > traced.raw().latency_ns);
+}
+
+#[test]
+fn hot_kernel_report_names_the_heaviest_work() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::Vgg16.build(1);
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).unwrap();
+    let (_, timeline) = session.run_traced().unwrap();
+    let hottest = timeline.hottest(TraceKind::Kernel, 3);
+    assert_eq!(hottest.len(), 3);
+    // VGG's hottest kernels are conv or the giant fc.
+    for e in &hottest {
+        assert!(
+            e.label.contains("conv") || e.label.contains("dense"),
+            "unexpected hot kernel {e:?}"
+        );
+    }
+    let report = timeline.report(3);
+    assert!(report.contains("hottest kernels"));
+}
+
+#[test]
+fn chrome_trace_export_is_loadable_json() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::CenterNet.build(1);
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).unwrap();
+    let (_, timeline) = session.run_traced().unwrap();
+    let json = timeline.to_chrome_trace();
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    // Minimal structural validation: balanced braces, one record per event.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+    assert_eq!(opens, timeline.len());
+    assert!(!json.contains('\n'), "single-line JSON expected");
+}
+
+#[test]
+fn dvfs_activity_shows_in_kernel_frequencies() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::Resnet50.build(1);
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).unwrap();
+    let (report, timeline) = session.run_traced().unwrap();
+    if report.mean_freq_mhz() < 1399.0 {
+        // The governor acted: some kernels must record a lower clock.
+        let downclocked = timeline
+            .of_kind(TraceKind::Kernel)
+            .filter(|e| e.freq_mhz < 1400)
+            .count();
+        assert!(downclocked > 0, "mean freq dropped but no kernel shows it");
+    }
+}

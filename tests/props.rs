@@ -1,0 +1,234 @@
+//! Property-based tests over core data structures and invariants.
+
+use dtu_isa::DataType;
+use dtu_sim::MatrixEngine;
+use dtu_tensor::{
+    compress, decompress, pad, slice, PadSpec, Permutation, Shape, SliceSpec, Tensor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The sparse wire codec is lossless for arbitrary finite data.
+    #[test]
+    fn sparse_codec_roundtrip(data in prop::collection::vec(-1e6f32..1e6, 0..500)) {
+        // Inject extra exact zeros so both paths get exercised.
+        let data: Vec<f32> = data
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i % 3 == 0 { 0.0 } else { v })
+            .collect();
+        let blocks = compress(&data);
+        let back = decompress(&blocks).expect("own output must decode");
+        prop_assert_eq!(back, data);
+    }
+
+    /// VMM agrees with the reference matmul for every FP32 catalog shape.
+    #[test]
+    fn vmm_matches_reference(
+        rows in prop::sample::select(vec![4usize, 8, 16]),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) as i32 % 1000) as f32 / 250.0 - 2.0
+        };
+        let v = Tensor::from_fn(Shape::new(vec![rows]), |_| next());
+        let m = Tensor::from_fn(Shape::new(vec![rows, 16]), |_| next());
+        let acc = Tensor::zeros(Shape::new(vec![16]));
+        let mut eng = MatrixEngine::default();
+        let got = eng.vmm(&v, &m, &acc, DataType::Fp32).expect("catalog shape");
+        let want = v
+            .reshape(Shape::new(vec![1, rows]))
+            .expect("same length")
+            .matmul(&m)
+            .expect("valid")
+            .reshape(Shape::new(vec![16]))
+            .expect("same length");
+        let err = got.max_abs_diff(&want).expect("same shape");
+        prop_assert!(err < 1e-3, "err {}", err);
+    }
+
+    /// The sorting facility equals a stable host sort for any input.
+    #[test]
+    fn sort_facility_equals_std(data in prop::collection::vec(-1e4f32..1e4, 1..=32)) {
+        let input = Tensor::from_vec(data.clone());
+        let mut eng = MatrixEngine::default();
+        let art = eng.sort(&input).expect("fits engine");
+        let mut want = data;
+        want.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        prop_assert_eq!(art.sorted.data(), want.as_slice());
+    }
+
+    /// Permutations: inverse composes to identity and apply/inverse-apply
+    /// round-trips values.
+    #[test]
+    fn permutation_laws(perm in prop::sample::subsequence((0..6usize).collect::<Vec<_>>(), 0..=6)) {
+        // Build a permutation by rotating the chosen subsequence through
+        // the identity.
+        let n = 6usize;
+        let mut p: Vec<usize> = (0..n).collect();
+        for (i, &j) in perm.iter().enumerate() {
+            p.swap(i, j);
+        }
+        let perm = Permutation::new(p).expect("constructed as a bijection");
+        let inv = perm.inverse();
+        prop_assert!(perm.compose(&inv).expect("same rank").is_identity());
+        prop_assert!(inv.compose(&perm).expect("same rank").is_identity());
+        let values: Vec<usize> = (100..100 + n).collect();
+        let there = perm.apply(&values).expect("same rank");
+        let back = inv.apply(&there).expect("same rank");
+        prop_assert_eq!(back, values);
+    }
+
+    /// pad then slice recovers the original tensor for any symmetric pad.
+    #[test]
+    fn pad_slice_roundtrip(
+        h in 1usize..8,
+        w in 1usize..8,
+        ph in 0usize..4,
+        pw in 0usize..4,
+        fill in -10f32..10.0,
+    ) {
+        let t = Tensor::from_fn(Shape::new(vec![h, w]), |i| (i[0] * w + i[1]) as f32);
+        let padded = pad(
+            &t,
+            &[PadSpec::symmetric(ph), PadSpec::symmetric(pw)],
+            fill,
+        ).expect("spec matches rank");
+        let back = slice(
+            &padded,
+            &[
+                SliceSpec::range(ph, ph + h),
+                SliceSpec::range(pw, pw + w),
+            ],
+        ).expect("within bounds");
+        prop_assert_eq!(back, t);
+    }
+
+    /// Quantisation is idempotent and respects per-format error bounds.
+    #[test]
+    fn quantize_idempotent_and_bounded(v in -6e4f32..6e4) {
+        for dt in [DataType::Tf32, DataType::Fp16, DataType::Bf16] {
+            let q = dt.quantize(v);
+            prop_assert_eq!(dt.quantize(q), q, "{} not idempotent", dt);
+            if v != 0.0 && v.abs() < 6e4 {
+                let eps = dt.relative_epsilon().expect("float format");
+                let rel = ((q - v) / v).abs() as f64;
+                prop_assert!(rel <= eps * 1.001, "{}: rel {} > {}", dt, rel, eps);
+            }
+        }
+    }
+
+    /// The GEMM tiler handles arbitrary shapes against the host matmul.
+    #[test]
+    fn gemm_any_shape_matches(m in 1usize..12, k in 1usize..40, n in 1usize..24) {
+        let a = Tensor::from_fn(Shape::new(vec![m, k]), |i| {
+            ((i[0] * 13 + i[1] * 7) % 11) as f32 * 0.2 - 1.0
+        });
+        let b = Tensor::from_fn(Shape::new(vec![k, n]), |i| {
+            ((i[0] * 3 + i[1] * 5) % 9) as f32 * 0.25 - 1.0
+        });
+        let mut eng = MatrixEngine::default();
+        let got = eng.gemm(&a, &b, DataType::Fp32).expect("tiler covers all");
+        let want = a.matmul(&b).expect("valid");
+        let err = got.max_abs_diff(&want).expect("same shape");
+        prop_assert!(err < 1e-2, "err {} at {}x{}x{}", err, m, k, n);
+    }
+}
+
+/// Builds a random layered CNN-ish DAG from a compact spec: each layer
+/// is (op_selector, input_back_offset).
+fn random_graph(spec: &[(u8, u8)]) -> dtu_graph::Graph {
+    use dtu_graph::{BinaryKind, Graph, Op, TensorType};
+    let mut g = Graph::new("random");
+    let mut nodes = vec![g.input("x", TensorType::fixed(&[1, 8, 16, 16]))];
+    for &(op_sel, back) in spec {
+        let a = nodes[nodes.len() - 1 - (back as usize % nodes.len().min(3))];
+        let last = *nodes.last().expect("non-empty");
+        let id = match op_sel % 6 {
+            0 => g.add_node(Op::conv2d(8, 3, 1, 1), vec![a]).expect("legal"),
+            1 => g.add_node(Op::Relu, vec![last]).expect("legal"),
+            2 => g.add_node(Op::BatchNorm, vec![last]).expect("legal"),
+            3 => g
+                .add_node(Op::Binary { kind: BinaryKind::Add }, vec![last, a])
+                .expect("legal"),
+            4 => g
+                .add_node(
+                    Op::Activation {
+                        func: dtu_isa::SfuFunc::Tanh,
+                    },
+                    vec![last],
+                )
+                .expect("legal"),
+            _ => g.add_node(Op::conv2d(8, 1, 1, 0), vec![last]).expect("legal"),
+        };
+        nodes.push(id);
+    }
+    g.mark_output(*nodes.last().expect("non-empty"));
+    g
+}
+
+proptest! {
+    /// Fusion plans partition the non-input nodes exactly, for arbitrary
+    /// layered DAGs, under both the expert rules and the search pass.
+    #[test]
+    fn fusion_plans_partition_random_graphs(
+        spec in prop::collection::vec((0u8..6, 0u8..3), 1..25)
+    ) {
+        use dtu_graph::{fuse, search_fuse, FusionConfig, Op, SearchConfig};
+        let g = random_graph(&spec);
+        let non_inputs = g
+            .nodes()
+            .iter()
+            .filter(|n| !matches!(n.op, Op::Input { .. }))
+            .count();
+        for plan in [
+            fuse(&g, &FusionConfig::default()).expect("fuses"),
+            search_fuse(&g, &SearchConfig::default()).expect("searches").plan,
+        ] {
+            let mut seen = std::collections::BTreeSet::new();
+            for group in &plan.groups {
+                for &n in &group.nodes {
+                    prop_assert!(seen.insert(n), "node covered twice");
+                }
+            }
+            prop_assert_eq!(seen.len(), non_inputs);
+        }
+    }
+
+    /// The optimiser preserves output shapes on arbitrary layered DAGs
+    /// and never grows the graph.
+    #[test]
+    fn optimizer_preserves_semantics_on_random_graphs(
+        spec in prop::collection::vec((0u8..6, 0u8..3), 1..25)
+    ) {
+        use dtu_graph::optimize;
+        let g = random_graph(&spec);
+        let before = g.infer_shapes().expect("valid");
+        let (opt, _) = optimize(&g).expect("optimises");
+        let after = opt.infer_shapes().expect("still valid");
+        prop_assert!(opt.len() <= g.len());
+        prop_assert_eq!(
+            &before[g.outputs().last().expect("has output")],
+            &after[opt.outputs().last().expect("has output")]
+        );
+    }
+
+    /// Compiled random graphs run to completion on the chip (no
+    /// deadlocks, no illegal commands) on both generations.
+    #[test]
+    fn random_graphs_compile_and_run(
+        spec in prop::collection::vec((0u8..6, 0u8..3), 1..12)
+    ) {
+        use dtu::{Accelerator, Session, SessionOptions};
+        let g = random_graph(&spec);
+        for accel in [Accelerator::cloudblazer_i20(), Accelerator::cloudblazer_i10()] {
+            let report = Session::compile(&accel, &g, SessionOptions::default())
+                .expect("compiles")
+                .run()
+                .expect("runs");
+            prop_assert!(report.latency_ms() > 0.0);
+        }
+    }
+}
