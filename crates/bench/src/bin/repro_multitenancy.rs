@@ -3,6 +3,10 @@
 //! processing groups of one cluster, and running isolated tenants on
 //! separate groups concurrently.
 
+use dtu::serve::{
+    run_serving, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy, ServeConfig,
+    ServeEventKind, SlaPolicy, TenantSpec,
+};
 use dtu::{Accelerator, Placement, Session, SessionOptions, WorkloadSize};
 use dtu_compiler::{compile, CompilerConfig};
 use dtu_models::Model;
@@ -72,4 +76,36 @@ fn main() {
         3.0 / (per_tenant_ms / 1e3),
         1.0 / (solo / 1e3)
     );
+
+    println!();
+    println!("== Fig. 7 online: elastic 1->2->3 group assignment under bursty load ==");
+    // The static sweep above picks a group count offline; the serving
+    // layer makes the same decision online, watching queueing delay.
+    let mut resnet = CompiledModel::new(accel.chip(), "resnet50", |b| Model::Resnet50.build(b));
+    let cfg = ServeConfig {
+        duration_ms: 800.0,
+        seed: 7,
+        record_requests: false,
+        tenants: vec![TenantSpec {
+            name: "bursty".into(),
+            model: 0,
+            arrival: ArrivalProcess::Bursty {
+                base_qps: 200.0,
+                burst_qps: 1500.0,
+                mean_dwell_ms: 120.0,
+            },
+            batch: BatchPolicy::dynamic(4, 2.0),
+            sla: SlaPolicy::new(50.0, 64),
+            scale: ScalePolicy::elastic(8.0, 1.5, 3),
+            cluster: Some(0),
+            initial_groups: 1,
+        }],
+    };
+    let out = run_serving(&cfg, accel.config(), &mut [&mut resnet]).expect("serve");
+    print!("{}", out.report);
+    for e in &out.trace.events {
+        if let ServeEventKind::Scale { from, to } = e.kind {
+            println!("  t={:>6.1} ms: scaled {from} -> {to} groups", e.t_ms);
+        }
+    }
 }

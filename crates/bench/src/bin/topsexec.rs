@@ -6,8 +6,14 @@
 //! topsexec --import my_model.tops      # a textual-format model file
 //! topsexec --model vgg16 --batch 16 --chip i10 --groups 3 --profile
 //! topsexec --model bert --trace out.json --no-power-management
+//! topsexec serve                       # multi-tenant serving scenario
+//! topsexec serve --models resnet50,bert --qps 600 --bursty --trace t.jsonl
 //! ```
 
+use dtu::serve::{
+    run_serving, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy, ServeConfig,
+    ServiceModel, SlaPolicy, TenantSpec,
+};
 use dtu::{Accelerator, ChipConfig, Session, SessionOptions, WorkloadSize};
 use dtu_graph::parse_model;
 use dtu_models::Model;
@@ -26,6 +32,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: topsexec (--model <name> | --import <file.tops>) [options]\n\
+     \x20      topsexec serve [serve options]\n\
      \n\
      options:\n\
        --model <name>           one of: yolov3 centernet retinaface vgg16\n\
@@ -36,7 +43,22 @@ fn usage() -> &'static str {
        --groups <1|2|3>         restrict to N groups of cluster 0 (default: full chip)\n\
        --profile                print the profiler's hot-kernel report\n\
        --trace <file.json>      write a Chrome-trace timeline\n\
-       --no-power-management    pin the clock at f_max"
+       --no-power-management    pin the clock at f_max\n\
+     \n\
+     serve options (multi-tenant dynamic-batching scenario):\n\
+       --models <a,b,...>       comma-separated model names, one tenant each\n\
+                                (default resnet50,bert)\n\
+       --qps <n>                mean arrival rate per tenant, queries/s (default 400)\n\
+       --duration <ms>          arrival horizon (default 1000)\n\
+       --max-batch <n>          dynamic-batching cap (default 8; 1 disables)\n\
+       --batch-timeout <ms>     max co-batching wait (default 2)\n\
+       --deadline <ms>          per-request SLA deadline (default 50)\n\
+       --queue-depth <n>        admission queue cap, arrivals beyond shed (default 64)\n\
+       --bursty                 Markov-modulated arrivals instead of Poisson\n\
+       --no-autoscale           pin each tenant at one processing group\n\
+       --seed <n>               run seed (default 0x5EED)\n\
+       --chip <i20|i10>         accelerator generation (default i20)\n\
+       --trace <file.jsonl>     write the serving event trace as JSON lines"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -101,7 +123,206 @@ fn model_by_name(name: &str) -> Option<Model> {
     }
 }
 
+struct ServeArgs {
+    models: Vec<String>,
+    qps: f64,
+    duration_ms: f64,
+    max_batch: usize,
+    batch_timeout_ms: f64,
+    deadline_ms: f64,
+    queue_depth: usize,
+    bursty: bool,
+    autoscale: bool,
+    seed: u64,
+    chip: String,
+    trace: Option<String>,
+}
+
+fn parse_serve_args() -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        models: vec!["resnet50".into(), "bert".into()],
+        qps: 400.0,
+        duration_ms: 1000.0,
+        max_batch: 8,
+        batch_timeout_ms: 2.0,
+        deadline_ms: 50.0,
+        queue_depth: 64,
+        bursty: false,
+        autoscale: true,
+        seed: 0x5EED,
+        chip: "i20".into(),
+        trace: None,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{flag} needs a number"))
+        }
+        match a.as_str() {
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--qps" => args.qps = num("--qps", value("--qps")?)?,
+            "--duration" => args.duration_ms = num("--duration", value("--duration")?)?,
+            "--max-batch" => args.max_batch = num("--max-batch", value("--max-batch")?)?,
+            "--batch-timeout" => {
+                args.batch_timeout_ms = num("--batch-timeout", value("--batch-timeout")?)?
+            }
+            "--deadline" => args.deadline_ms = num("--deadline", value("--deadline")?)?,
+            "--queue-depth" => args.queue_depth = num("--queue-depth", value("--queue-depth")?)?,
+            "--bursty" => args.bursty = true,
+            "--no-autoscale" => args.autoscale = false,
+            "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            "--chip" => args.chip = value("--chip")?,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+    if args.models.is_empty() {
+        return Err("--models needs at least one model name".into());
+    }
+    Ok(args)
+}
+
+fn run_serve() -> ExitCode {
+    let args = match parse_serve_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let chip_cfg = match args.chip.as_str() {
+        "i20" => ChipConfig::dtu20(),
+        "i10" => ChipConfig::dtu10(),
+        other => {
+            eprintln!("error: unknown chip '{other}' (use i20 or i10)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut models = Vec::new();
+    for name in &args.models {
+        let Some(m) = model_by_name(name) else {
+            eprintln!("error: unknown model '{name}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        models.push(CompiledModel::new(accel.chip(), name.clone(), move |b| {
+            m.build(b)
+        }));
+    }
+
+    let gpc = accel.config().groups_per_cluster;
+    let cfg = ServeConfig {
+        duration_ms: args.duration_ms,
+        seed: args.seed,
+        record_requests: false,
+        tenants: (0..models.len())
+            .map(|i| TenantSpec {
+                name: format!("tenant{i}"),
+                model: i,
+                arrival: if args.bursty {
+                    ArrivalProcess::Bursty {
+                        base_qps: 0.5 * args.qps,
+                        burst_qps: 2.5 * args.qps,
+                        mean_dwell_ms: args.duration_ms / 8.0,
+                    }
+                } else {
+                    ArrivalProcess::Poisson { qps: args.qps }
+                },
+                batch: if args.max_batch > 1 {
+                    BatchPolicy::dynamic(args.max_batch, args.batch_timeout_ms)
+                } else {
+                    BatchPolicy::none()
+                },
+                sla: SlaPolicy::new(args.deadline_ms, args.queue_depth),
+                scale: if args.autoscale {
+                    ScalePolicy::elastic(args.deadline_ms / 4.0, args.deadline_ms / 20.0, gpc)
+                } else {
+                    ScalePolicy::none()
+                },
+                cluster: None,
+                initial_groups: 1,
+            })
+            .collect(),
+    };
+
+    println!("=== topsexec serve ===");
+    println!("accelerator : {accel}");
+    println!(
+        "tenants     : {} ({}), {:.0} qps each{}, {:.0} ms horizon",
+        cfg.tenants.len(),
+        args.models.join(", "),
+        args.qps,
+        if args.bursty { " (bursty)" } else { "" },
+        args.duration_ms
+    );
+    println!(
+        "policies    : max batch {}, timeout {:.1} ms, deadline {:.0} ms, queue cap {}, autoscale {}",
+        args.max_batch,
+        args.batch_timeout_ms,
+        args.deadline_ms,
+        args.queue_depth,
+        if args.autoscale { "on" } else { "off" }
+    );
+
+    let mut refs: Vec<&mut dyn ServiceModel> = models
+        .iter_mut()
+        .map(|m| m as &mut dyn ServiceModel)
+        .collect();
+    let out = match run_serving(&cfg, accel.config(), &mut refs) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("\n--- report ---");
+    print!("{}", out.report);
+    println!("\n--- session cache ---");
+    for m in &models {
+        let s = m.cache_stats();
+        println!(
+            "  {}: {} sessions compiled, {} hits / {} misses",
+            m.name(),
+            m.cached_sessions(),
+            s.hits,
+            s.misses
+        );
+    }
+
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, out.trace.to_jsonl()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\ntrace written to {path} ({} events)", out.trace.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return run_serve();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

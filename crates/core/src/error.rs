@@ -55,6 +55,16 @@ impl From<SimError> for DtuError {
     }
 }
 
+impl From<dtu_serve::ServeError> for DtuError {
+    fn from(e: dtu_serve::ServeError) -> Self {
+        match e {
+            dtu_serve::ServeError::Compile(e) => DtuError::Compile(e),
+            dtu_serve::ServeError::Sim(e) => DtuError::Sim(e),
+            dtu_serve::ServeError::Config(msg) => DtuError::Sim(SimError::InvalidConfig(msg)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

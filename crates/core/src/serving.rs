@@ -4,14 +4,21 @@
 //! efficiently serve multiple user requests is crucial to improve
 //! throughput and hardware utilization" (§IV-E), with isolated
 //! processing groups keeping tenants from hurting each other's latency.
-//! This module adds the serving layer on top of the simulator: Poisson
-//! request arrivals per tenant, one isolated processing group per
-//! tenant, FIFO queueing, and the latency-distribution statistics an SLA
-//! is written against.
+//!
+//! This module is the facade over the full event-driven serving stack in
+//! [`dtu_serve`]: [`simulate_serving`] keeps its original closed-form
+//! contract — Poisson arrivals, one isolated processing group per
+//! tenant, FIFO queueing, no batching or shedding — but delegates to
+//! [`dtu_serve::run_serving`], which compiles and simulates each
+//! tenant's session *on its own group* through the session cache. The
+//! per-tenant M/D/1 model it reduces to is kept below as a closed-form
+//! cross-check (see the tests). Batching, SLA admission, and elastic
+//! scaling live in [`dtu_serve`] directly (re-exported as
+//! [`crate::serve`]).
 
-use crate::{Accelerator, DtuError, Placement, Session, SessionOptions};
+use crate::{Accelerator, DtuError};
 use dtu_graph::Graph;
-use dtu_sim::GroupId;
+use dtu_serve::{run_serving, CompiledModel, ServeConfig, TenantSpec};
 use std::fmt;
 
 /// Serving-scenario parameters.
@@ -76,27 +83,16 @@ impl fmt::Display for ServingReport {
     }
 }
 
-/// Deterministic xorshift PRNG for the arrival process.
-struct Rng(u64);
-
-impl Rng {
-    fn next_f64(&mut self) -> f64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        // Uniform in (0, 1].
-        ((self.0 >> 11) as f64 + 1.0) / (1u64 << 53) as f64
-    }
-
-    /// Exponential inter-arrival with rate `lambda` per ms.
-    fn next_exp_ms(&mut self, lambda_per_ms: f64) -> f64 {
-        -self.next_f64().ln() / lambda_per_ms
-    }
-}
-
 /// Simulates serving `graph` under Poisson load with per-tenant isolated
 /// processing groups (M/D/1 per tenant: the accelerator's latency is
 /// deterministic).
+///
+/// Each tenant's session is compiled and simulated on the group it
+/// actually occupies — tenant `i` lands on cluster `i / groups_per_cluster`,
+/// group `i % groups_per_cluster` — through [`dtu_serve`]'s session
+/// cache. For richer scenarios (dynamic batching, SLA admission,
+/// bursty arrivals, elastic scaling) use [`dtu_serve::run_serving`]
+/// directly.
 ///
 /// # Errors
 ///
@@ -111,60 +107,37 @@ pub fn simulate_serving(
     let tenants = cfg.tenants.clamp(1, max_tenants);
     let groups_per_cluster = accel.config().groups_per_cluster;
 
-    // Service time: one inference on a single isolated group. All groups
-    // are identical, so compile once.
-    let placement = Placement::explicit(vec![GroupId::new(0, 0)]);
-    let session = Session::compile(
-        accel,
-        graph,
-        SessionOptions {
-            placement: Some(placement),
-            ..Default::default()
-        },
-    )?;
-    let service_ms = session.run()?.latency_ms();
+    let mut model = CompiledModel::from_graph(accel.chip(), "serving-model", graph.clone());
 
-    // Per-tenant M/D/1 FIFO queues, independent Poisson arrivals.
-    let mut rng = Rng(cfg.seed | 1);
-    let mut latencies: Vec<f64> = Vec::new();
-    for tenant in 0..tenants {
-        let _group = GroupId::new(tenant / groups_per_cluster, tenant % groups_per_cluster);
-        let lambda_per_ms = cfg.arrival_qps / 1e3;
-        let mut t = 0.0f64;
-        let mut free_at = 0.0f64;
-        loop {
-            t += rng.next_exp_ms(lambda_per_ms);
-            if t > cfg.duration_ms {
-                break;
-            }
-            let start = t.max(free_at);
-            let done = start + service_ms;
-            free_at = done;
-            latencies.push(done - t);
-        }
-    }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let completed = latencies.len() as u64;
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-            latencies[idx]
-        }
+    let serve_cfg = ServeConfig {
+        duration_ms: cfg.duration_ms,
+        seed: cfg.seed,
+        record_requests: false,
+        tenants: (0..tenants)
+            .map(|i| {
+                let mut spec = TenantSpec::poisson(format!("tenant{i}"), 0, cfg.arrival_qps);
+                // One isolated group per tenant, packed cluster-major:
+                // the engine hands tenant i group (i / gpc, i % gpc).
+                spec.cluster = Some(i / groups_per_cluster);
+                spec
+            })
+            .collect(),
     };
-    let mean = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<f64>() / latencies.len() as f64
-    };
+    let out = run_serving(&serve_cfg, accel.config(), &mut [&mut model])?;
+
+    // Pure single-request service time on one group — answered from the
+    // engine's session cache (every tenant dispatched batch-1 sessions).
+    let one_group = crate::Placement::explicit(vec![dtu_sim::GroupId::new(0, 0)]);
+    let service_ms = dtu_serve::ServiceModel::service_ms(&mut model, 1, &one_group)?;
+
+    let report = out.report;
     Ok(ServingReport {
-        completed,
-        throughput_qps: completed as f64 / (cfg.duration_ms / 1e3),
-        mean_ms: mean,
-        p50_ms: pct(0.50),
-        p95_ms: pct(0.95),
-        p99_ms: pct(0.99),
+        completed: report.completed,
+        throughput_qps: report.throughput_qps,
+        mean_ms: report.latency.mean_ms,
+        p50_ms: report.latency.p50_ms,
+        p95_ms: report.latency.p95_ms,
+        p99_ms: report.latency.p99_ms,
         service_ms,
         utilization: cfg.arrival_qps * service_ms / 1e3,
     })
@@ -278,5 +251,47 @@ mod tests {
         let a = simulate_serving(&accel, &g, &cfg).unwrap();
         let b = simulate_serving(&accel, &g, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// The closed-form M/D/1 this module used to implement inline is
+    /// kept as a cross-check on the event engine: a single tenant's
+    /// sample path must match the Lindley recursion over the same
+    /// seeded arrival stream exactly (the engine documents that tenant
+    /// 0 draws from the raw run seed).
+    #[test]
+    fn single_tenant_matches_closed_form_m_d_1() {
+        let accel = Accelerator::cloudblazer_i20();
+        let cfg = ServingConfig {
+            tenants: 1,
+            arrival_qps: 400.0,
+            duration_ms: 400.0,
+            seed: 0xCAFE,
+        };
+        let r = simulate_serving(&accel, &toy(), &cfg).unwrap();
+
+        // Closed form: Poisson arrivals (same stream the engine gives
+        // tenant 0), deterministic service, done = max(t, free) + s.
+        let mut gen = dtu_serve::ArrivalGen::new(
+            dtu_serve::ArrivalProcess::Poisson {
+                qps: cfg.arrival_qps,
+            },
+            cfg.seed,
+        );
+        let mut latencies = Vec::new();
+        let mut t = gen.next_after(0.0);
+        let mut free_at = 0.0f64;
+        while t <= cfg.duration_ms {
+            let done = t.max(free_at) + r.service_ms;
+            latencies.push(done - t);
+            free_at = done;
+            t = gen.next_after(t);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        assert_eq!(r.completed as usize, latencies.len());
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        assert!((r.mean_ms - mean).abs() < 1e-9, "{} vs {mean}", r.mean_ms);
+        let p99 = dtu_serve::percentile(&latencies, 0.99);
+        assert!((r.p99_ms - p99).abs() < 1e-9, "{} vs {p99}", r.p99_ms);
     }
 }

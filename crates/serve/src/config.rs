@@ -1,0 +1,234 @@
+//! Serving-run configuration: tenants, batching, SLA, and scaling
+//! policies.
+
+use crate::ArrivalProcess;
+
+/// Dynamic-batching policy for one tenant's queue.
+///
+/// A batch dispatches when the server is idle and either (a) the queue
+/// holds `max_batch` requests, or (b) the oldest queued request has
+/// waited `timeout_ms`. The default (`max_batch = 1`) disables
+/// batching, which reduces the engine to the classic per-tenant M/D/1
+/// the closed-form model describes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPolicy {
+    /// Largest batch a single dispatch may carry.
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batching, ms. `0` dispatches
+    /// whatever is queued the moment the server frees up.
+    pub timeout_ms: f64,
+    /// Pad the *compiled* batch up to the next power of two, the way
+    /// engine caches bucket their shapes: a dispatch of 5 runs the
+    /// batch-8 session. Bounds the session cache at `log2(max_batch)+1`
+    /// entries per placement at the cost of some wasted slots.
+    pub pow2_buckets: bool,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            timeout_ms: 0.0,
+            pow2_buckets: false,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Batching disabled: every request is its own dispatch.
+    pub fn none() -> Self {
+        BatchPolicy::default()
+    }
+
+    /// Dynamic batching with power-of-two session bucketing.
+    pub fn dynamic(max_batch: usize, timeout_ms: f64) -> Self {
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            timeout_ms,
+            pow2_buckets: true,
+        }
+    }
+
+    /// The batch size the session is compiled at for an actual batch of
+    /// `n` requests.
+    pub fn compiled_batch(&self, n: usize) -> usize {
+        if self.pow2_buckets {
+            n.next_power_of_two()
+        } else {
+            n
+        }
+    }
+}
+
+/// SLA-aware admission policy for one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaPolicy {
+    /// End-to-end deadline a request must meet, ms. A completion past
+    /// its deadline is counted as a violation (the request still
+    /// completes — the SLA is an accounting boundary, not a kill
+    /// switch).
+    pub deadline_ms: f64,
+    /// Queue-depth limit: an arrival finding this many requests queued
+    /// is shed (rejected) instead of admitted.
+    pub max_queue_depth: usize,
+}
+
+impl Default for SlaPolicy {
+    fn default() -> Self {
+        SlaPolicy {
+            deadline_ms: f64::INFINITY,
+            max_queue_depth: usize::MAX,
+        }
+    }
+}
+
+impl SlaPolicy {
+    /// A hard SLA: deadline plus a queue cap.
+    pub fn new(deadline_ms: f64, max_queue_depth: usize) -> Self {
+        SlaPolicy {
+            deadline_ms,
+            max_queue_depth,
+        }
+    }
+}
+
+/// Elastic group-scaling policy (the online version of Fig. 7's
+/// 1/2/3-group resource assignment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePolicy {
+    /// Master switch; disabled tenants keep their initial groups.
+    pub enabled: bool,
+    /// Scale *up* when the smoothed queueing delay exceeds this, ms.
+    pub high_delay_ms: f64,
+    /// Scale *down* when the smoothed queueing delay falls below this,
+    /// ms.
+    pub low_delay_ms: f64,
+    /// Minimum time between scale decisions for one tenant, ms.
+    pub cooldown_ms: f64,
+    /// Hard cap on groups (clamped to the cluster's group count).
+    pub max_groups: usize,
+    /// Smoothing factor for the queue-delay EMA, in `(0, 1]`; higher
+    /// reacts faster.
+    pub ema_alpha: f64,
+}
+
+impl Default for ScalePolicy {
+    fn default() -> Self {
+        ScalePolicy {
+            enabled: false,
+            high_delay_ms: 0.0,
+            low_delay_ms: 0.0,
+            cooldown_ms: 0.0,
+            max_groups: 1,
+            ema_alpha: 0.3,
+        }
+    }
+}
+
+impl ScalePolicy {
+    /// Scaling disabled.
+    pub fn none() -> Self {
+        ScalePolicy::default()
+    }
+
+    /// Delay-driven elastic scaling between 1 and `max_groups` groups.
+    pub fn elastic(high_delay_ms: f64, low_delay_ms: f64, max_groups: usize) -> Self {
+        ScalePolicy {
+            enabled: true,
+            high_delay_ms,
+            low_delay_ms,
+            cooldown_ms: 2.0 * high_delay_ms,
+            max_groups: max_groups.max(1),
+            ema_alpha: 0.3,
+        }
+    }
+}
+
+/// One tenant of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Index into the model slice handed to the engine.
+    pub model: usize,
+    /// Offered-load process.
+    pub arrival: ArrivalProcess,
+    /// Dynamic-batching policy.
+    pub batch: BatchPolicy,
+    /// Admission/SLA policy.
+    pub sla: SlaPolicy,
+    /// Elastic-scaling policy.
+    pub scale: ScalePolicy,
+    /// Cluster to place the tenant on (`None` = round-robin).
+    pub cluster: Option<usize>,
+    /// Groups the tenant starts with.
+    pub initial_groups: usize,
+}
+
+impl TenantSpec {
+    /// A single-group tenant with Poisson load and everything else at
+    /// defaults (no batching, no shedding, no scaling).
+    pub fn poisson(name: impl Into<String>, model: usize, qps: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            model,
+            arrival: ArrivalProcess::Poisson { qps },
+            batch: BatchPolicy::none(),
+            sla: SlaPolicy::default(),
+            scale: ScalePolicy::none(),
+            cluster: None,
+            initial_groups: 1,
+        }
+    }
+}
+
+/// Whole-run configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Arrival horizon, ms: requests arriving after this are not
+    /// generated; admitted requests always run to completion (the run
+    /// drains).
+    pub duration_ms: f64,
+    /// Run seed; every tenant derives its own stream from it.
+    pub seed: u64,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+    /// Record per-request outcomes in [`crate::ServeOutcome::requests`]
+    /// (memory-proportional to traffic; used by the property tests).
+    pub record_requests: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            duration_ms: 100.0,
+            seed: 0x5EED,
+            tenants: Vec::new(),
+            record_requests: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_buckets_round_up() {
+        let p = BatchPolicy::dynamic(8, 1.0);
+        assert_eq!(p.compiled_batch(1), 1);
+        assert_eq!(p.compiled_batch(3), 4);
+        assert_eq!(p.compiled_batch(5), 8);
+        let q = BatchPolicy::none();
+        assert_eq!(q.compiled_batch(3), 3);
+    }
+
+    #[test]
+    fn defaults_disable_everything() {
+        let t = TenantSpec::poisson("t", 0, 100.0);
+        assert_eq!(t.batch.max_batch, 1);
+        assert_eq!(t.sla.max_queue_depth, usize::MAX);
+        assert!(!t.scale.enabled);
+        assert_eq!(t.initial_groups, 1);
+    }
+}

@@ -1,0 +1,688 @@
+//! The discrete-event serving engine.
+//!
+//! One global event queue drives per-tenant request queues through
+//! admission control, dynamic batch formation, service on the tenant's
+//! processing groups, and delay-driven elastic scaling. Time is
+//! simulated milliseconds; the run is a pure function of its
+//! configuration (seeded arrivals, deterministic tie-breaking), so two
+//! runs with the same seed are bit-identical.
+
+use crate::config::{ServeConfig, TenantSpec};
+use crate::metrics::{
+    RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
+};
+use crate::model::ServiceModel;
+use crate::stats::LatencyStats;
+use crate::{ArrivalGen, ServeError};
+use dtu_compiler::Placement;
+use dtu_sim::{ChipConfig, GroupId};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Aggregated metrics.
+    pub report: ServeReport,
+    /// The event log (JSONL-exportable).
+    pub trace: ServingTrace,
+    /// Per-request outcomes; populated only when
+    /// [`ServeConfig::record_requests`] is set.
+    pub requests: Vec<RequestOutcome>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EvKind {
+    /// A request arrives for `tenant`.
+    Arrival { tenant: usize },
+    /// The batching timeout for `tenant` fires; stale if the epoch has
+    /// moved on (a dispatch happened since it was armed).
+    BatchDeadline { tenant: usize, epoch: u64 },
+    /// `tenant`'s in-flight batch completes.
+    Complete { tenant: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time (then
+        // the earliest insertion) pops first — deterministic total
+        // order, no NaNs by construction.
+        other
+            .t
+            .partial_cmp(&self.t)
+            .expect("finite event times")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    id: u64,
+    arrival_ms: f64,
+    deadline_ms: f64,
+}
+
+struct Tenant {
+    spec: TenantSpec,
+    gen: ArrivalGen,
+    queue: VecDeque<Request>,
+    busy: bool,
+    /// Bumps on every dispatch; invalidates armed batch deadlines.
+    epoch: u64,
+    /// Whether a BatchDeadline event is armed for the current epoch.
+    armed: bool,
+    groups: Vec<GroupId>,
+    in_flight: Vec<Request>,
+    /// Smoothed queueing delay driving scale decisions, ms.
+    delay_ema: f64,
+    last_scale_ms: f64,
+    // Accounting.
+    offered: u64,
+    shed: u64,
+    violations: u64,
+    latencies: Vec<f64>,
+    queue_delay_sum: f64,
+    busy_ms: f64,
+    batch_hist: BTreeMap<usize, u64>,
+    groups_initial: usize,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+/// The engine: event heap plus per-tenant state plus the group pool.
+struct Engine<'m, 's> {
+    heap: BinaryHeap<Ev>,
+    seq: u64,
+    next_req: u64,
+    tenants: Vec<Tenant>,
+    /// `slots[cluster][group]` = owning tenant, if claimed.
+    slots: Vec<Vec<Option<usize>>>,
+    models: &'m mut [&'s mut dyn ServiceModel],
+    trace: ServingTrace,
+    requests: Vec<RequestOutcome>,
+    record_requests: bool,
+}
+
+/// Runs one serving scenario to completion.
+///
+/// Arrivals are generated within `cfg.duration_ms`; every admitted
+/// request runs to completion (the queue drains), mirroring how the
+/// closed-form model accounts its horizon.
+///
+/// # Errors
+///
+/// Configuration problems (no tenants, bad model index, more groups
+/// requested than the chip has) and compile/simulate failures from the
+/// service models surface as [`ServeError`].
+pub fn run_serving(
+    cfg: &ServeConfig,
+    chip: &ChipConfig,
+    models: &mut [&mut dyn ServiceModel],
+) -> Result<ServeOutcome, ServeError> {
+    let mut engine = Engine::new(cfg, chip, models)?;
+    engine.seed_arrivals(cfg);
+    while let Some(ev) = engine.heap.pop() {
+        engine.step(ev, cfg)?;
+    }
+    Ok(engine.finish(cfg))
+}
+
+impl<'m, 's> Engine<'m, 's> {
+    fn new(
+        cfg: &ServeConfig,
+        chip: &ChipConfig,
+        models: &'m mut [&'s mut dyn ServiceModel],
+    ) -> Result<Self, ServeError> {
+        if cfg.tenants.is_empty() {
+            return Err(ServeError::Config("a serving run needs tenants".into()));
+        }
+        let mut slots = vec![vec![None; chip.groups_per_cluster]; chip.clusters];
+        let mut tenants = Vec::with_capacity(cfg.tenants.len());
+        for (idx, spec) in cfg.tenants.iter().enumerate() {
+            if spec.model >= models.len() {
+                return Err(ServeError::Config(format!(
+                    "tenant '{}' references model {} but only {} were provided",
+                    spec.name,
+                    spec.model,
+                    models.len()
+                )));
+            }
+            if spec.initial_groups == 0 || spec.initial_groups > chip.groups_per_cluster {
+                return Err(ServeError::Config(format!(
+                    "tenant '{}' wants {} initial groups; clusters have 1..={}",
+                    spec.name, spec.initial_groups, chip.groups_per_cluster
+                )));
+            }
+            // Cluster choice: explicit, else the cluster with the most
+            // free slots (lowest index on ties).
+            let cluster = match spec.cluster {
+                Some(c) if c >= chip.clusters => {
+                    return Err(ServeError::Config(format!(
+                        "tenant '{}' wants cluster {c} but the chip has {}",
+                        spec.name, chip.clusters
+                    )));
+                }
+                Some(c) => c,
+                None => (0..chip.clusters)
+                    .max_by_key(|&c| {
+                        let free = slots[c].iter().filter(|s| s.is_none()).count();
+                        (free, usize::MAX - c) // prefer lower index on ties
+                    })
+                    .expect("validated cluster count"),
+            };
+            let mut groups = Vec::with_capacity(spec.initial_groups);
+            for (g, slot) in slots[cluster].iter_mut().enumerate() {
+                if groups.len() == spec.initial_groups {
+                    break;
+                }
+                if slot.is_none() {
+                    *slot = Some(idx);
+                    groups.push(GroupId::new(cluster, g));
+                }
+            }
+            if groups.len() < spec.initial_groups {
+                return Err(ServeError::Config(format!(
+                    "tenant '{}' wants {} groups on cluster {cluster} but only {} were free",
+                    spec.name,
+                    spec.initial_groups,
+                    groups.len()
+                )));
+            }
+            // Tenant 0 draws from the run seed directly (so a
+            // single-tenant engine run shares its arrival stream with a
+            // reference ServeRng(seed)); later tenants decorrelate.
+            let seed = cfg.seed ^ (idx as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let groups_initial = groups.len();
+            tenants.push(Tenant {
+                gen: ArrivalGen::new(spec.arrival.clone(), seed),
+                spec: spec.clone(),
+                queue: VecDeque::new(),
+                busy: false,
+                epoch: 0,
+                armed: false,
+                groups,
+                in_flight: Vec::new(),
+                delay_ema: 0.0,
+                last_scale_ms: f64::NEG_INFINITY,
+                offered: 0,
+                shed: 0,
+                violations: 0,
+                latencies: Vec::new(),
+                queue_delay_sum: 0.0,
+                busy_ms: 0.0,
+                batch_hist: BTreeMap::new(),
+                groups_initial,
+                scale_ups: 0,
+                scale_downs: 0,
+            });
+        }
+        Ok(Engine {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            next_req: 0,
+            tenants,
+            slots,
+            models,
+            trace: ServingTrace::default(),
+            requests: Vec::new(),
+            record_requests: cfg.record_requests,
+        })
+    }
+
+    fn push(&mut self, t: f64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Ev { t, seq, kind });
+    }
+
+    fn seed_arrivals(&mut self, cfg: &ServeConfig) {
+        for idx in 0..self.tenants.len() {
+            let first = self.tenants[idx].gen.next_after(0.0);
+            if first <= cfg.duration_ms {
+                self.push(first, EvKind::Arrival { tenant: idx });
+            }
+        }
+    }
+
+    fn step(&mut self, ev: Ev, cfg: &ServeConfig) -> Result<(), ServeError> {
+        match ev.kind {
+            EvKind::Arrival { tenant } => self.on_arrival(ev.t, tenant, cfg)?,
+            EvKind::BatchDeadline { tenant, epoch } => {
+                let ten = &self.tenants[tenant];
+                if ten.epoch == epoch && !ten.busy && !ten.queue.is_empty() {
+                    let n = ten.queue.len();
+                    self.dispatch(ev.t, tenant, n)?;
+                }
+            }
+            EvKind::Complete { tenant } => self.on_complete(ev.t, tenant)?,
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, t: f64, tenant: usize, cfg: &ServeConfig) -> Result<(), ServeError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        {
+            let ten = &mut self.tenants[tenant];
+            ten.offered += 1;
+            let depth = ten.queue.len();
+            if depth >= ten.spec.sla.max_queue_depth {
+                ten.shed += 1;
+                self.trace.events.push(ServeEvent {
+                    t_ms: t,
+                    tenant,
+                    kind: ServeEventKind::Shed { req: req_id, depth },
+                });
+            } else {
+                ten.queue.push_back(Request {
+                    id: req_id,
+                    arrival_ms: t,
+                    deadline_ms: t + ten.spec.sla.deadline_ms,
+                });
+                self.trace.events.push(ServeEvent {
+                    t_ms: t,
+                    tenant,
+                    kind: ServeEventKind::Arrival {
+                        req: req_id,
+                        depth: depth + 1,
+                    },
+                });
+            }
+        }
+        self.try_dispatch(t, tenant)?;
+        let next = self.tenants[tenant].gen.next_after(t);
+        if next <= cfg.duration_ms {
+            self.push(next, EvKind::Arrival { tenant });
+        }
+        Ok(())
+    }
+
+    fn try_dispatch(&mut self, t: f64, tenant: usize) -> Result<(), ServeError> {
+        let ten = &self.tenants[tenant];
+        if ten.busy || ten.queue.is_empty() {
+            return Ok(());
+        }
+        let max_batch = ten.spec.batch.max_batch.max(1);
+        let queued = ten.queue.len();
+        if queued >= max_batch {
+            return self.dispatch(t, tenant, max_batch);
+        }
+        if ten.spec.batch.timeout_ms <= 0.0 {
+            return self.dispatch(t, tenant, queued);
+        }
+        let ready_at = ten.queue.front().expect("non-empty").arrival_ms + ten.spec.batch.timeout_ms;
+        if t >= ready_at {
+            return self.dispatch(t, tenant, queued);
+        }
+        if !ten.armed {
+            let epoch = ten.epoch;
+            self.tenants[tenant].armed = true;
+            self.push(ready_at, EvKind::BatchDeadline { tenant, epoch });
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, t: f64, tenant: usize, count: usize) -> Result<(), ServeError> {
+        let (compiled_batch, placement, count) = {
+            let ten = &mut self.tenants[tenant];
+            let count = count
+                .min(ten.queue.len())
+                .min(ten.spec.batch.max_batch)
+                .max(1);
+            // Delay EMA observes the wait of the oldest request served.
+            let oldest_wait = t - ten.queue.front().expect("non-empty").arrival_ms;
+            let alpha = ten.spec.scale.ema_alpha.clamp(0.01, 1.0);
+            ten.delay_ema = alpha * oldest_wait + (1.0 - alpha) * ten.delay_ema;
+            ten.in_flight.clear();
+            for _ in 0..count {
+                let req = ten.queue.pop_front().expect("counted");
+                ten.queue_delay_sum += t - req.arrival_ms;
+                ten.in_flight.push(req);
+            }
+            (
+                ten.spec.batch.compiled_batch(count),
+                Placement::explicit(ten.groups.clone()),
+                count,
+            )
+        };
+        let model_idx = self.tenants[tenant].spec.model;
+        let service_ms = self.models[model_idx].service_ms(compiled_batch, &placement)?;
+        let ten = &mut self.tenants[tenant];
+        ten.busy = true;
+        ten.epoch += 1;
+        ten.armed = false;
+        ten.busy_ms += service_ms;
+        *ten.batch_hist.entry(count).or_insert(0) += 1;
+        self.trace.events.push(ServeEvent {
+            t_ms: t,
+            tenant,
+            kind: ServeEventKind::Dispatch {
+                batch: count,
+                compiled_batch,
+                groups: placement.len(),
+                service_ms,
+            },
+        });
+        self.push(t + service_ms, EvKind::Complete { tenant });
+        Ok(())
+    }
+
+    fn on_complete(&mut self, t: f64, tenant: usize) -> Result<(), ServeError> {
+        {
+            let ten = &mut self.tenants[tenant];
+            let batch = ten.in_flight.len();
+            for req in ten.in_flight.drain(..) {
+                let violated = t > req.deadline_ms;
+                ten.violations += u64::from(violated);
+                ten.latencies.push(t - req.arrival_ms);
+                if self.record_requests {
+                    self.requests.push(RequestOutcome {
+                        req: req.id,
+                        tenant,
+                        arrival_ms: req.arrival_ms,
+                        done_ms: t,
+                        deadline_ms: req.deadline_ms,
+                        violated,
+                    });
+                }
+            }
+            ten.busy = false;
+            let depth = ten.queue.len();
+            self.trace.events.push(ServeEvent {
+                t_ms: t,
+                tenant,
+                kind: ServeEventKind::Complete { batch, depth },
+            });
+        }
+        self.autoscale(t, tenant);
+        self.try_dispatch(t, tenant)
+    }
+
+    fn autoscale(&mut self, t: f64, tenant: usize) {
+        let ten = &self.tenants[tenant];
+        let policy = &ten.spec.scale;
+        if !policy.enabled || t - ten.last_scale_ms < policy.cooldown_ms {
+            return;
+        }
+        let cluster = ten.groups[0].cluster;
+        let owned = ten.groups.len();
+        let cap = policy.max_groups.min(self.slots[cluster].len());
+        if ten.delay_ema > policy.high_delay_ms && owned < cap {
+            // Grab the first free slot in the tenant's cluster, if any.
+            if let Some(g) = (0..self.slots[cluster].len()).find(|&g| self.slots[cluster][g].is_none())
+            {
+                self.slots[cluster][g] = Some(tenant);
+                let ten = &mut self.tenants[tenant];
+                ten.groups.push(GroupId::new(cluster, g));
+                ten.scale_ups += 1;
+                ten.last_scale_ms = t;
+                self.trace.events.push(ServeEvent {
+                    t_ms: t,
+                    tenant,
+                    kind: ServeEventKind::Scale {
+                        from: owned,
+                        to: owned + 1,
+                    },
+                });
+            }
+        } else if ten.delay_ema < policy.low_delay_ms && owned > 1 {
+            let ten = &mut self.tenants[tenant];
+            let freed = ten.groups.pop().expect("owned > 1");
+            self.slots[freed.cluster][freed.group] = None;
+            ten.scale_downs += 1;
+            ten.last_scale_ms = t;
+            self.trace.events.push(ServeEvent {
+                t_ms: t,
+                tenant,
+                kind: ServeEventKind::Scale {
+                    from: owned,
+                    to: owned - 1,
+                },
+            });
+        }
+    }
+
+    fn finish(self, cfg: &ServeConfig) -> ServeOutcome {
+        let horizon = cfg.duration_ms.max(f64::MIN_POSITIVE);
+        let mut all_latencies = Vec::new();
+        let mut global_hist: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        let (mut offered, mut completed, mut shed, mut violations) = (0u64, 0u64, 0u64, 0u64);
+        for ten in self.tenants {
+            let mut lats = ten.latencies;
+            all_latencies.extend_from_slice(&lats);
+            let stats = LatencyStats::from_latencies(&mut lats);
+            offered += ten.offered;
+            completed += stats.count;
+            shed += ten.shed;
+            violations += ten.violations;
+            for (&size, &n) in &ten.batch_hist {
+                *global_hist.entry(size).or_insert(0) += n;
+            }
+            tenants.push(TenantReport {
+                name: ten.spec.name.clone(),
+                model: self.models[ten.spec.model].name().to_string(),
+                offered: ten.offered,
+                completed: stats.count,
+                shed: ten.shed,
+                violations: ten.violations,
+                mean_queue_delay_ms: if stats.count == 0 {
+                    0.0
+                } else {
+                    ten.queue_delay_sum / stats.count as f64
+                },
+                utilization: ten.busy_ms / horizon,
+                latency: stats,
+                batch_histogram: ten.batch_hist,
+                groups_initial: ten.groups_initial,
+                groups_final: ten.groups.len(),
+                scale_ups: ten.scale_ups,
+                scale_downs: ten.scale_downs,
+            });
+        }
+        let latency = LatencyStats::from_latencies(&mut all_latencies);
+        ServeOutcome {
+            report: ServeReport {
+                horizon_ms: cfg.duration_ms,
+                offered,
+                completed,
+                shed,
+                violations,
+                throughput_qps: completed as f64 / (horizon / 1e3),
+                latency,
+                batch_histogram: global_hist,
+                tenants,
+            },
+            trace: self.trace,
+            requests: self.requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyticModel, ArrivalProcess, BatchPolicy, ScalePolicy, SlaPolicy};
+    use dtu_sim::ChipConfig;
+
+    fn one_tenant(qps: f64) -> ServeConfig {
+        ServeConfig {
+            duration_ms: 500.0,
+            seed: 42,
+            tenants: vec![TenantSpec::poisson("t0", 0, qps)],
+            record_requests: false,
+        }
+    }
+
+    fn run(cfg: &ServeConfig, base_ms: f64) -> ServeOutcome {
+        let mut m = AnalyticModel::new("m", base_ms);
+        run_serving(cfg, &ChipConfig::dtu20(), &mut [&mut m]).unwrap()
+    }
+
+    #[test]
+    fn light_load_has_no_queueing_tail() {
+        let out = run(&one_tenant(100.0), 0.5);
+        assert!(out.report.completed > 20);
+        assert_eq!(out.report.shed, 0);
+        // At 5% utilisation p99 stays near the service time.
+        assert!(out.report.latency.p99_ms < 1.5);
+    }
+
+    #[test]
+    fn no_tenants_is_a_config_error() {
+        let cfg = ServeConfig::default();
+        let mut m = AnalyticModel::new("m", 1.0);
+        let err = run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)));
+    }
+
+    #[test]
+    fn bad_model_index_is_a_config_error() {
+        let mut cfg = one_tenant(10.0);
+        cfg.tenants[0].model = 3;
+        let mut m = AnalyticModel::new("m", 1.0);
+        assert!(run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).is_err());
+    }
+
+    #[test]
+    fn too_many_initial_groups_is_a_config_error() {
+        let mut cfg = one_tenant(10.0);
+        cfg.tenants[0].initial_groups = 9;
+        let mut m = AnalyticModel::new("m", 1.0);
+        assert!(run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).is_err());
+    }
+
+    #[test]
+    fn admission_sheds_when_queue_is_full() {
+        let mut cfg = one_tenant(4000.0); // far beyond capacity
+        cfg.tenants[0].sla = SlaPolicy::new(50.0, 4);
+        let out = run(&cfg, 1.0);
+        assert!(out.report.shed > 0, "overload must shed");
+        // Queue depth is capped, so waiting time is bounded by
+        // (depth+1) batches of service.
+        assert!(out.report.latency.max_ms <= 1.0 * 6.0 + 1e-9);
+        assert_eq!(
+            out.report.offered,
+            out.report.completed + out.report.shed,
+            "every request either completes or is shed"
+        );
+    }
+
+    #[test]
+    fn batching_forms_under_backlog() {
+        let mut cfg = one_tenant(3000.0);
+        cfg.tenants[0].batch = BatchPolicy::dynamic(8, 0.5);
+        let out = run(&cfg, 1.0);
+        let max_batch = *out.report.batch_histogram.keys().max().unwrap();
+        assert!(max_batch > 1, "backlog should form real batches");
+        assert!(out.report.mean_batch() > 1.5);
+    }
+
+    #[test]
+    fn batch_timeout_fires_for_sparse_traffic() {
+        // Load so light the max-batch trigger never fires: every batch
+        // is formed by the timeout and stays small.
+        let mut cfg = one_tenant(20.0);
+        cfg.tenants[0].batch = BatchPolicy::dynamic(8, 2.0);
+        let out = run(&cfg, 0.2);
+        assert!(out.report.completed > 0);
+        // The timeout adds at most timeout_ms to the queueing delay.
+        assert!(out.report.latency.p50_ms >= 2.0 * 0.9);
+        assert!(out.report.latency.p50_ms <= 2.0 + 5.0 * 0.2 + 1.0);
+    }
+
+    #[test]
+    fn elastic_scaling_grows_under_load_and_shrinks_when_idle() {
+        let mut cfg = one_tenant(0.0);
+        cfg.duration_ms = 2000.0;
+        cfg.tenants[0].arrival = ArrivalProcess::Bursty {
+            base_qps: 50.0,
+            burst_qps: 2500.0,
+            mean_dwell_ms: 300.0,
+        };
+        cfg.tenants[0].scale = ScalePolicy::elastic(2.0, 0.2, 3);
+        let out = run(&cfg, 0.8);
+        let t = &out.report.tenants[0];
+        assert!(t.scale_ups > 0, "bursts must trigger scale-up: {t:?}");
+        let max_groups = out
+            .trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ServeEventKind::Scale { to, .. } => Some(to),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_groups >= 2);
+    }
+
+    #[test]
+    fn tenants_place_on_distinct_groups() {
+        let cfg = ServeConfig {
+            duration_ms: 50.0,
+            seed: 1,
+            tenants: (0..6)
+                .map(|i| TenantSpec::poisson(format!("t{i}"), 0, 100.0))
+                .collect(),
+            record_requests: false,
+        };
+        let mut m = AnalyticModel::new("m", 0.5);
+        let out = run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).unwrap();
+        assert_eq!(out.report.tenants.len(), 6);
+        // All 6 groups of the i20 are claimed: a 7th tenant must fail.
+        let mut over = cfg.clone();
+        over.tenants
+            .push(TenantSpec::poisson("t6", 0, 100.0));
+        let mut m2 = AnalyticModel::new("m", 0.5);
+        assert!(run_serving(&over, &ChipConfig::dtu20(), &mut [&mut m2]).is_err());
+    }
+
+    #[test]
+    fn trace_records_all_event_kinds_under_load() {
+        let mut cfg = one_tenant(3000.0);
+        cfg.tenants[0].sla = SlaPolicy::new(10.0, 8);
+        cfg.tenants[0].batch = BatchPolicy::dynamic(4, 0.5);
+        let out = run(&cfg, 1.0);
+        let kinds: std::collections::BTreeSet<&str> = out
+            .trace
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                ServeEventKind::Arrival { .. } => "arrival",
+                ServeEventKind::Shed { .. } => "shed",
+                ServeEventKind::Dispatch { .. } => "dispatch",
+                ServeEventKind::Complete { .. } => "complete",
+                ServeEventKind::Scale { .. } => "scale",
+            })
+            .collect();
+        for k in ["arrival", "shed", "dispatch", "complete"] {
+            assert!(kinds.contains(k), "missing {k} events");
+        }
+        // Trace times are monotone.
+        assert!(out
+            .trace
+            .events
+            .windows(2)
+            .all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+}

@@ -1,0 +1,354 @@
+//! Serving metrics and the exportable event trace.
+//!
+//! The report answers "how did the run go" (tail latencies, shed
+//! counts, batch-size histogram, utilisation); the trace answers "what
+//! happened when" as JSON lines, the serving-layer sibling of the
+//! profiler's Chrome-trace export.
+
+use crate::stats::LatencyStats;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One tenant's slice of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Model name it served.
+    pub model: String,
+    /// Requests that arrived within the horizon.
+    pub offered: u64,
+    /// Requests completed (the run drains, so admitted = completed).
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Completions past their SLA deadline.
+    pub violations: u64,
+    /// End-to-end latency statistics.
+    pub latency: LatencyStats,
+    /// Mean queueing delay (dispatch − arrival), ms.
+    pub mean_queue_delay_ms: f64,
+    /// Fraction of the horizon the tenant's server was busy.
+    pub utilization: f64,
+    /// Dispatched batch sizes (actual, not padded) → count.
+    pub batch_histogram: BTreeMap<usize, u64>,
+    /// Groups at the start of the run.
+    pub groups_initial: usize,
+    /// Groups at the end of the run.
+    pub groups_final: usize,
+    /// Number of scale-up decisions taken.
+    pub scale_ups: u64,
+    /// Number of scale-down decisions taken.
+    pub scale_downs: u64,
+}
+
+/// The outcome of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Arrival horizon, ms.
+    pub horizon_ms: f64,
+    /// Total requests offered across tenants.
+    pub offered: u64,
+    /// Total completions.
+    pub completed: u64,
+    /// Total requests shed at admission.
+    pub shed: u64,
+    /// Total deadline violations.
+    pub violations: u64,
+    /// Aggregate sustained throughput, queries/second.
+    pub throughput_qps: f64,
+    /// Global latency statistics over all completions.
+    pub latency: LatencyStats,
+    /// Global batch-size histogram.
+    pub batch_histogram: BTreeMap<usize, u64>,
+    /// Per-tenant breakdown.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServeReport {
+    /// Mean dispatched batch size.
+    pub fn mean_batch(&self) -> f64 {
+        let (mut reqs, mut batches) = (0u64, 0u64);
+        for (&size, &count) in &self.batch_histogram {
+            reqs += size as u64 * count;
+            batches += count;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            reqs as f64 / batches as f64
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serving: {} offered, {} completed, {} shed, {} SLA violations over {:.0} ms",
+            self.offered, self.completed, self.shed, self.violations, self.horizon_ms
+        )?;
+        writeln!(
+            f,
+            "  {:.0} QPS sustained, {} (mean batch {:.2})",
+            self.throughput_qps,
+            self.latency,
+            self.mean_batch()
+        )?;
+        write!(f, "  batch histogram:")?;
+        for (size, count) in &self.batch_histogram {
+            write!(f, " {size}x{count}")?;
+        }
+        writeln!(f)?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  [{}/{}] {} done, {} shed, {} late, {}, util {:.0}%, groups {}->{} (+{}/-{})",
+                t.name,
+                t.model,
+                t.completed,
+                t.shed,
+                t.violations,
+                t.latency,
+                t.utilization * 100.0,
+                t.groups_initial,
+                t.groups_final,
+                t.scale_ups,
+                t.scale_downs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What happened at one instant of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEventKind {
+    /// A request arrived and was admitted; `depth` is the queue depth
+    /// after admission.
+    Arrival {
+        /// Request id (unique per run).
+        req: u64,
+        /// Queue depth after admission.
+        depth: usize,
+    },
+    /// A request was rejected by admission control.
+    Shed {
+        /// Request id.
+        req: u64,
+        /// Queue depth that triggered the shed.
+        depth: usize,
+    },
+    /// A batch started service.
+    Dispatch {
+        /// Actual batch size.
+        batch: usize,
+        /// Batch size the session was compiled at (padding included).
+        compiled_batch: usize,
+        /// Groups serving the batch.
+        groups: usize,
+        /// Service latency of the batch, ms.
+        service_ms: f64,
+    },
+    /// A batch finished service; `depth` is the queue depth left.
+    Complete {
+        /// Actual batch size.
+        batch: usize,
+        /// Queue depth remaining.
+        depth: usize,
+    },
+    /// The autoscaler changed the tenant's group count.
+    Scale {
+        /// Groups before.
+        from: usize,
+        /// Groups after.
+        to: usize,
+    },
+}
+
+/// One trace record: time, tenant, event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEvent {
+    /// Simulated time, ms.
+    pub t_ms: f64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// The event.
+    pub kind: ServeEventKind,
+}
+
+/// The run's event log, exportable as JSON lines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServingTrace {
+    /// Records in simulated-time order.
+    pub events: Vec<ServeEvent>,
+}
+
+impl ServingTrace {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialises the trace as JSON lines (one object per record).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            let (kind, detail) = match &e.kind {
+                ServeEventKind::Arrival { req, depth } => {
+                    ("arrival", format!("\"req\":{req},\"depth\":{depth}"))
+                }
+                ServeEventKind::Shed { req, depth } => {
+                    ("shed", format!("\"req\":{req},\"depth\":{depth}"))
+                }
+                ServeEventKind::Dispatch {
+                    batch,
+                    compiled_batch,
+                    groups,
+                    service_ms,
+                } => (
+                    "dispatch",
+                    format!(
+                        "\"batch\":{batch},\"compiled_batch\":{compiled_batch},\"groups\":{groups},\"service_ms\":{service_ms}"
+                    ),
+                ),
+                ServeEventKind::Complete { batch, depth } => {
+                    ("complete", format!("\"batch\":{batch},\"depth\":{depth}"))
+                }
+                ServeEventKind::Scale { from, to } => {
+                    ("scale", format!("\"from\":{from},\"to\":{to}"))
+                }
+            };
+            out.push_str(&format!(
+                "{{\"t_ms\":{},\"tenant\":{},\"kind\":\"{}\",{}}}\n",
+                e.t_ms, e.tenant, kind, detail
+            ));
+        }
+        out
+    }
+
+    /// Queue-depth time series for one tenant, reconstructed from the
+    /// arrival/dispatch/complete records: `(t_ms, depth_after_event)`.
+    pub fn queue_depth_series(&self, tenant: usize) -> Vec<(f64, usize)> {
+        let mut series = Vec::new();
+        let mut depth = 0usize;
+        for e in self.events.iter().filter(|e| e.tenant == tenant) {
+            match &e.kind {
+                ServeEventKind::Arrival { depth: d, .. } => depth = *d,
+                ServeEventKind::Dispatch { batch, .. } => depth = depth.saturating_sub(*batch),
+                ServeEventKind::Complete { depth: d, .. } => depth = *d,
+                _ => continue,
+            }
+            series.push((e.t_ms, depth));
+        }
+        series
+    }
+}
+
+/// Per-request outcome, recorded when
+/// [`crate::ServeConfig::record_requests`] is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub req: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Arrival time, ms.
+    pub arrival_ms: f64,
+    /// Completion time, ms.
+    pub done_ms: f64,
+    /// Absolute deadline, ms (`+inf` when the SLA has none).
+    pub deadline_ms: f64,
+    /// Whether the completion missed the deadline.
+    pub violated: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_is_one_object_per_event() {
+        let trace = ServingTrace {
+            events: vec![
+                ServeEvent {
+                    t_ms: 1.5,
+                    tenant: 0,
+                    kind: ServeEventKind::Arrival { req: 1, depth: 1 },
+                },
+                ServeEvent {
+                    t_ms: 2.0,
+                    tenant: 0,
+                    kind: ServeEventKind::Dispatch {
+                        batch: 1,
+                        compiled_batch: 1,
+                        groups: 1,
+                        service_ms: 0.5,
+                    },
+                },
+            ],
+        };
+        let jsonl = trace.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(jsonl.contains("\"kind\":\"dispatch\""));
+    }
+
+    #[test]
+    fn queue_depth_series_replays_events() {
+        let trace = ServingTrace {
+            events: vec![
+                ServeEvent {
+                    t_ms: 1.0,
+                    tenant: 0,
+                    kind: ServeEventKind::Arrival { req: 1, depth: 1 },
+                },
+                ServeEvent {
+                    t_ms: 1.0,
+                    tenant: 0,
+                    kind: ServeEventKind::Dispatch {
+                        batch: 1,
+                        compiled_batch: 1,
+                        groups: 1,
+                        service_ms: 1.0,
+                    },
+                },
+                ServeEvent {
+                    t_ms: 2.0,
+                    tenant: 0,
+                    kind: ServeEventKind::Complete { batch: 1, depth: 0 },
+                },
+            ],
+        };
+        assert_eq!(
+            trace.queue_depth_series(0),
+            vec![(1.0, 1), (1.0, 0), (2.0, 0)]
+        );
+        assert!(trace.queue_depth_series(7).is_empty());
+    }
+
+    #[test]
+    fn mean_batch_weights_by_count() {
+        let mut hist = BTreeMap::new();
+        hist.insert(1usize, 2u64);
+        hist.insert(4, 1);
+        let r = ServeReport {
+            horizon_ms: 1.0,
+            offered: 6,
+            completed: 6,
+            shed: 0,
+            violations: 0,
+            throughput_qps: 0.0,
+            latency: LatencyStats::default(),
+            batch_histogram: hist,
+            tenants: Vec::new(),
+        };
+        assert_eq!(r.mean_batch(), 2.0);
+        assert!(r.to_string().contains("batch histogram: 1x2 4x1"));
+    }
+}

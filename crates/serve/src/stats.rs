@@ -1,0 +1,143 @@
+//! Latency statistics shared by the serving layers.
+//!
+//! Both the closed-form M/D/1 model in `dtu::simulate_serving` and the
+//! discrete-event engine here report percentiles; this module is the
+//! single, tested implementation both use.
+
+use std::fmt;
+
+/// Nearest-rank percentile over **sorted** data.
+///
+/// The rank is `round((n - 1) · p)` — the convention the original
+/// serving model shipped with, kept so historical numbers are stable:
+/// `p = 0` is the minimum, `p = 1` the maximum, `p = 0.5` the lower of
+/// the two middle elements rounded to the nearer rank. No
+/// interpolation is performed: the result is always an observed value.
+///
+/// Returns `0.0` for an empty slice (a serving run with no completed
+/// requests has no tail to report).
+///
+/// # Panics
+///
+/// Debug-asserts that the input is sorted and `p` is in `[0, 1]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Summary statistics of a latency sample.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean, ms.
+    pub mean_ms: f64,
+    /// Median (nearest-rank), ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Largest observed latency, ms.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Builds the summary from an unsorted latency sample (the sample
+    /// is sorted in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a latency is NaN — the simulators only produce finite
+    /// times, so a NaN is a bug upstream.
+    pub fn from_latencies(latencies: &mut [f64]) -> Self {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        if latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: latencies.len() as u64,
+            mean_ms: latencies.iter().sum::<f64>() / latencies.len() as f64,
+            p50_ms: percentile(latencies, 0.50),
+            p95_ms: percentile(latencies, 0.95),
+            p99_ms: percentile(latencies, 0.99),
+            max_ms: *latencies.last().expect("non-empty"),
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p50/p95/p99 = {:.2}/{:.2}/{:.2} ms (mean {:.2}, max {:.2}, n={})",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.mean_ms, self.max_ms, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let s = LatencyStats::from_latencies(&mut []);
+        assert_eq!(s, LatencyStats::default());
+    }
+
+    #[test]
+    fn nearest_rank_endpoints() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn nearest_rank_rounds_to_nearer_index() {
+        // n = 4: rank(0.5) = round(1.5) = 2 (banker-free f64 round).
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.5), 30.0);
+        // rank(0.95) = round(2.85) = 3.
+        assert_eq!(percentile(&v, 0.95), 40.0);
+    }
+
+    #[test]
+    fn single_element_everywhere() {
+        let v = [7.0];
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&v, p), 7.0);
+        }
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        let s = LatencyStats::from_latencies(&mut v);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean_ms, 2.5);
+        assert_eq!(s.p50_ms, 3.0);
+        assert_eq!(s.max_ms, 4.0);
+        assert!(s.to_string().contains("p50"));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let s = LatencyStats::from_latencies(&mut v);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+    }
+}

@@ -1,11 +1,17 @@
 //! Cloud inference serving with QoS: Poisson request load over isolated
 //! multi-tenant processing groups (§IV-E's deployment story), reporting
-//! the tail-latency statistics an SLA is written against.
+//! the tail-latency statistics an SLA is written against — then the
+//! full event-driven serving stack (dtu-serve) with two models, dynamic
+//! batching, SLA admission, and elastic group scaling.
 //!
 //! ```sh
 //! cargo run --release --example cloud_serving
 //! ```
 
+use dtu::serve::{
+    run_serving, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy, ServeConfig,
+    ServiceModel, SlaPolicy, TenantSpec,
+};
 use dtu::{simulate_serving, Accelerator, DtuError, ServingConfig};
 use dtu_models::Model;
 
@@ -58,6 +64,60 @@ fn main() -> Result<(), DtuError> {
             },
         )?;
         println!("  {tenants} tenant(s): {report}");
+    }
+
+    // --- The full serving stack: two models, dynamic batching, SLA
+    // admission, and elastic scaling, on one chip concurrently. ---
+    println!();
+    println!("dtu-serve: ResNet-50 + BERT-Large tenants, dynamic batching (max 8,");
+    println!("2 ms timeout), 50/150 ms SLAs, elastic 1..3-group scaling:\n");
+
+    let mut resnet = CompiledModel::new(accel.chip(), "resnet50", |b| Model::Resnet50.build(b));
+    let mut bert = CompiledModel::new(accel.chip(), "bert-large", |b| Model::BertLarge.build(b));
+
+    let cfg = ServeConfig {
+        duration_ms: 500.0,
+        seed: 42,
+        record_requests: false,
+        tenants: vec![
+            TenantSpec {
+                name: "vision".into(),
+                model: 0,
+                arrival: ArrivalProcess::Bursty {
+                    base_qps: 300.0,
+                    burst_qps: 1200.0,
+                    mean_dwell_ms: 80.0,
+                },
+                batch: BatchPolicy::dynamic(8, 2.0),
+                sla: SlaPolicy::new(50.0, 48),
+                scale: ScalePolicy::elastic(10.0, 2.0, 3),
+                cluster: Some(0),
+                initial_groups: 1,
+            },
+            TenantSpec {
+                name: "language".into(),
+                model: 1,
+                arrival: ArrivalProcess::Poisson { qps: 40.0 },
+                batch: BatchPolicy::dynamic(4, 4.0),
+                sla: SlaPolicy::new(150.0, 64),
+                scale: ScalePolicy::elastic(16.0, 3.0, 3),
+                cluster: Some(1),
+                initial_groups: 1,
+            },
+        ],
+    };
+    let out = run_serving(&cfg, accel.config(), &mut [&mut resnet, &mut bert])?;
+    print!("{}", out.report);
+    println!();
+    for m in [&resnet, &bert] {
+        let s = m.cache_stats();
+        println!(
+            "  session cache [{}]: {} sessions, {} hits / {} misses",
+            m.name(),
+            m.cached_sessions(),
+            s.hits,
+            s.misses
+        );
     }
     Ok(())
 }

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the tiny subset of the 0.8 API this workspace's tests
+//! could reasonably want: [`thread_rng`], [`Rng::gen_range`], and
+//! [`Rng::gen`] for a few primitive types. The generator is a seeded
+//! xorshift64*, so "random" draws are deterministic per process — which
+//! is a feature for a reproducible simulation workspace, not a bug.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Minimal subset of `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// A draw of a primitive type over its natural domain
+    /// (`f64`/`f32` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+/// Types drawable uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Types drawable over a natural default domain.
+pub trait Standard: Sized {
+    /// One draw.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                let span = (range.end as i128 - range.start as i128).max(1) as u128;
+                (range.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                range.start + (range.end - range.start) * unit as $t
+            }
+        }
+        impl Standard for $t {
+            fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+impl Standard for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The per-thread generator handle.
+#[derive(Debug, Clone)]
+pub struct ThreadRng(u64);
+
+thread_local! {
+    static SEED: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+}
+
+/// Returns a deterministic per-thread generator (seeded once per
+/// thread; successive calls continue the same stream).
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng(SEED.with(|s| {
+        let v = s.get();
+        s.set(v.wrapping_add(0xA0761D6478BD642F));
+        v
+    }))
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — nonzero state guaranteed by the seeding scheme.
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// One draw of a primitive type from the thread generator.
+pub fn random<T: Standard>() -> T {
+    thread_rng().gen::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = thread_rng();
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = thread_rng();
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 gate: build, test, lint. Run from the repo root.
+set -eu
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
