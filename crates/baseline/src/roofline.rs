@@ -242,9 +242,9 @@ impl RooflineModel {
                 // edges of the group cost no traffic.
                 let mut c2 = c;
                 if i > 0 {
-                    c2.input_bytes = c2.input_bytes.saturating_sub(
-                        shapes[&group.nodes[i - 1]].bytes().unwrap_or(0),
-                    );
+                    c2.input_bytes = c2
+                        .input_bytes
+                        .saturating_sub(shapes[&group.nodes[i - 1]].bytes().unwrap_or(0));
                 }
                 if i + 1 < group.nodes.len() {
                     c2.output_bytes = 0;

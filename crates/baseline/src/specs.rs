@@ -34,9 +34,7 @@ impl PlatformSpec {
     pub fn peak_tops(&self, dtype: DataType) -> f64 {
         match dtype {
             DataType::Fp32 | DataType::Int32 => self.fp32_tflops,
-            DataType::Tf32 | DataType::Fp16 | DataType::Bf16 | DataType::Int16 => {
-                self.fp16_tflops
-            }
+            DataType::Tf32 | DataType::Fp16 | DataType::Bf16 | DataType::Int16 => self.fp16_tflops,
             DataType::Int8 => self.int8_tops,
         }
     }

@@ -12,22 +12,14 @@ fn bench_repeat_mode(c: &mut Criterion) {
     for slices in [9usize, 64] {
         let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64 * 1024);
         d.repeat = slices;
-        group.bench_with_input(
-            BenchmarkId::new("repeat", slices),
-            &slices,
-            |b, _| {
-                let mut eng = DmaEngine::new(&cfg);
-                b.iter(|| black_box(eng.execute(black_box(&d), 1).expect("legal")))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("normal", slices),
-            &slices,
-            |b, _| {
-                let mut eng = DmaEngine::new(&cfg);
-                b.iter(|| black_box(eng.execute_without_repeat(black_box(&d), 1).expect("legal")))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("repeat", slices), &slices, |b, _| {
+            let mut eng = DmaEngine::new(&cfg);
+            b.iter(|| black_box(eng.execute(black_box(&d), 1).expect("legal")))
+        });
+        group.bench_with_input(BenchmarkId::new("normal", slices), &slices, |b, _| {
+            let mut eng = DmaEngine::new(&cfg);
+            b.iter(|| black_box(eng.execute_without_repeat(black_box(&d), 1).expect("legal")))
+        });
     }
     group.finish();
 }
@@ -43,12 +35,20 @@ fn bench_sparse_move(c: &mut Criterion) {
             i[0] as f32
         }
     });
-    for (name, sparse) in [("dense", SparseFormat::Dense), ("bitmap", SparseFormat::BitmapBlock)] {
+    for (name, sparse) in [
+        ("dense", SparseFormat::Dense),
+        ("bitmap", SparseFormat::BitmapBlock),
+    ] {
         let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 16 * 1024);
         d.sparse = sparse;
         group.bench_function(name, |b| {
             let mut eng = DmaEngine::new(&cfg);
-            b.iter(|| black_box(eng.move_tensor(black_box(&d), black_box(&data)).expect("legal")))
+            b.iter(|| {
+                black_box(
+                    eng.move_tensor(black_box(&d), black_box(&data))
+                        .expect("legal"),
+                )
+            })
         });
     }
     group.finish();
@@ -68,10 +68,20 @@ fn bench_transform_on_the_fly(c: &mut Criterion) {
     };
     group.bench_function("transpose_16k_elems", |b| {
         let mut eng = DmaEngine::new(&cfg);
-        b.iter(|| black_box(eng.move_tensor(black_box(&d), black_box(&t)).expect("legal")))
+        b.iter(|| {
+            black_box(
+                eng.move_tensor(black_box(&d), black_box(&t))
+                    .expect("legal"),
+            )
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_repeat_mode, bench_sparse_move, bench_transform_on_the_fly);
+criterion_group!(
+    benches,
+    bench_repeat_mode,
+    bench_sparse_move,
+    bench_transform_on_the_fly
+);
 criterion_main!(benches);

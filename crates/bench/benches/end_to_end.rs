@@ -25,9 +25,10 @@ fn bench_compile_and_run(c: &mut Criterion) {
         });
         let session =
             Session::compile(&accel, &graph, SessionOptions::default()).expect("compiles");
-        group.bench_function(format!("simulate_{}", model.name().replace(' ', "_")), |b| {
-            b.iter(|| black_box(session.run().expect("runs")))
-        });
+        group.bench_function(
+            format!("simulate_{}", model.name().replace(' ', "_")),
+            |b| b.iter(|| black_box(session.run().expect("runs"))),
+        );
     }
     group.finish();
 }
@@ -55,5 +56,10 @@ fn bench_roofline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile_and_run, bench_fusion_pass, bench_roofline);
+criterion_group!(
+    benches,
+    bench_compile_and_run,
+    bench_fusion_pass,
+    bench_roofline
+);
 criterion_main!(benches);

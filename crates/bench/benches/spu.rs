@@ -18,15 +18,7 @@ fn bench_transcendentals(c: &mut Criterion) {
     }
     // libm reference for the same element count.
     group.bench_function("libm_tanh_baseline", |b| {
-        b.iter(|| {
-            black_box(
-                input
-                    .data()
-                    .iter()
-                    .map(|&x| x.tanh())
-                    .collect::<Vec<f32>>(),
-            )
-        })
+        b.iter(|| black_box(input.data().iter().map(|&x| x.tanh()).collect::<Vec<f32>>()))
     });
     group.finish();
 }

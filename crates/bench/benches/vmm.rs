@@ -16,15 +16,24 @@ fn bench_vmm_shapes(c: &mut Criterion) {
             (i[0] * 16 + i[1]) as f32 * 0.01
         });
         let acc = Tensor::zeros(Shape::new(vec![16]));
-        group.bench_with_input(BenchmarkId::new("fp32", format!("{rows}x16")), &rows, |b, _| {
-            let mut eng = MatrixEngine::default();
-            b.iter(|| {
-                black_box(
-                    eng.vmm(black_box(&v), black_box(&m), black_box(&acc), DataType::Fp32)
+        group.bench_with_input(
+            BenchmarkId::new("fp32", format!("{rows}x16")),
+            &rows,
+            |b, _| {
+                let mut eng = MatrixEngine::default();
+                b.iter(|| {
+                    black_box(
+                        eng.vmm(
+                            black_box(&v),
+                            black_box(&m),
+                            black_box(&acc),
+                            DataType::Fp32,
+                        )
                         .expect("catalog shape"),
-                )
-            })
-        });
+                    )
+                })
+            },
+        );
     }
     // Narrow-type wide tile.
     let v = Tensor::from_fn(Shape::new(vec![64]), |i| i[0] as f32 * 0.25);
@@ -34,8 +43,13 @@ fn bench_vmm_shapes(c: &mut Criterion) {
         let mut eng = MatrixEngine::default();
         b.iter(|| {
             black_box(
-                eng.vmm(black_box(&v), black_box(&m), black_box(&acc), DataType::Fp16)
-                    .expect("catalog shape"),
+                eng.vmm(
+                    black_box(&v),
+                    black_box(&m),
+                    black_box(&acc),
+                    DataType::Fp16,
+                )
+                .expect("catalog shape"),
             )
         })
     });
@@ -49,7 +63,12 @@ fn bench_gemm(c: &mut Criterion) {
         let b_t = Tensor::from_fn(Shape::new(vec![k, n]), |i| (i[0] * 2 + i[1]) as f32 * 0.01);
         group.bench_function(format!("{m}x{k}x{n}"), |bch| {
             let mut eng = MatrixEngine::default();
-            bch.iter(|| black_box(eng.gemm(black_box(&a), black_box(&b_t), DataType::Fp32).unwrap()))
+            bch.iter(|| {
+                black_box(
+                    eng.gemm(black_box(&a), black_box(&b_t), DataType::Fp32)
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();

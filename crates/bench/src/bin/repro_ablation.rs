@@ -38,14 +38,20 @@ fn main() {
 
     type Toggle = (&'static str, fn(&mut ChipConfig));
     let toggles: [Toggle; 8] = [
-        ("- fine-grained VMM", |c| c.features.fine_grained_vmm = false),
+        ("- fine-grained VMM", |c| {
+            c.features.fine_grained_vmm = false
+        }),
         ("- enhanced SFU", |c| c.features.enhanced_sfu = false),
-        ("- instruction cache", |c| c.features.instruction_cache = false),
+        ("- instruction cache", |c| {
+            c.features.instruction_cache = false
+        }),
         ("- multi-port L2", |c| c.features.multi_port_l2 = false),
         ("- sparse DMA", |c| c.features.sparse_dma = false),
         ("- repeat DMA", |c| c.features.dma_repeat = false),
         ("- L1<->L3 direct", |c| c.features.l1_l3_direct = false),
-        ("- power management", |c| c.features.power_management = false),
+        ("- power management", |c| {
+            c.features.power_management = false
+        }),
     ];
     for (name, toggle) in toggles {
         let mut cfg = ChipConfig::dtu20();
@@ -60,7 +66,10 @@ fn main() {
 
     println!();
     println!("== Fig. 13 footnote: i20 vs i10, all ten DNNs ==");
-    println!("{:<16} {:>12} {:>12} {:>10}", "DNN", "i20 (ms)", "i10 (ms)", "speedup");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "DNN", "i20 (ms)", "i10 (ms)", "speedup"
+    );
     let mut all_win = true;
     for m in Model::ALL {
         let l20 = latency(ChipConfig::dtu20(), m);
@@ -68,10 +77,20 @@ fn main() {
         if l10 <= l20 {
             all_win = false;
         }
-        println!("{:<16} {:>12.3} {:>12.3} {:>9.2}x", m.name(), l20, l10, l10 / l20);
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>9.2}x",
+            m.name(),
+            l20,
+            l10,
+            l10 / l20
+        );
     }
     println!(
         "\ni20 faster than i10 on every DNN: {}",
-        if all_win { "yes (matches the paper)" } else { "NO" }
+        if all_win {
+            "yes (matches the paper)"
+        } else {
+            "NO"
+        }
     );
 }

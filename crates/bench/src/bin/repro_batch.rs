@@ -41,7 +41,11 @@ fn main() {
     println!();
     println!(
         "Paper: 1.11x at batch 8 and 1.17x at batch 16 (improvement grows with batch: {})",
-        if ratios[1] > ratios[0] { "reproduced" } else { "NOT reproduced" }
+        if ratios[1] > ratios[0] {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     );
 
     println!();
@@ -76,9 +80,7 @@ fn main() {
     println!("ResNet-50, three groups, 3600 QPS offered:");
     println!(
         "  batch 1 fixed  : {:>5.0} QPS sustained, p99 {:>7.2} ms, {} shed",
-        unbatched.report.throughput_qps,
-        unbatched.report.latency.p99_ms,
-        unbatched.report.shed
+        unbatched.report.throughput_qps, unbatched.report.latency.p99_ms, unbatched.report.shed
     );
     println!(
         "  dynamic (<=16) : {:>5.0} QPS sustained, p99 {:>7.2} ms, {} shed (mean batch {:.1})",

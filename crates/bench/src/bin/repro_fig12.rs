@@ -4,7 +4,12 @@
 
 use gpu_baseline::{a10_spec, i10_spec, i20_spec, t4_spec, PlatformSpec};
 
-fn row(label: &str, f: impl Fn(&PlatformSpec) -> f64, specs: &[&PlatformSpec], base: &PlatformSpec) {
+fn row(
+    label: &str,
+    f: impl Fn(&PlatformSpec) -> f64,
+    specs: &[&PlatformSpec],
+    base: &PlatformSpec,
+) {
     print!("{label:<14}");
     for s in specs {
         print!(" {:>14.2}x", f(s) / f(base));

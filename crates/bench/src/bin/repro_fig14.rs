@@ -25,7 +25,10 @@ fn table(title: &str, specs: &[&PlatformSpec], base: &PlatformSpec) {
     for dtype in [DataType::Fp32, DataType::Fp16, DataType::Int8] {
         print!("{:<16}", format!("{dtype} perf/TDP"));
         for s in specs {
-            print!(" {:>15.2}x", s.peak_per_tdp(dtype) / base.peak_per_tdp(dtype));
+            print!(
+                " {:>15.2}x",
+                s.peak_per_tdp(dtype) / base.peak_per_tdp(dtype)
+            );
         }
         println!();
     }

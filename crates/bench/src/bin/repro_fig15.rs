@@ -13,10 +13,7 @@ use dtu_bench::{evaluate_suite, geomean, LatencyRow};
 fn main() {
     let rows = evaluate_suite();
     println!("== Fig. 15: DNN energy efficiency, Perf/TDP (normalised with T4) ==");
-    println!(
-        "{:<16} {:>12} {:>12}",
-        "DNN", "i20 vs T4", "i20 vs A10"
-    );
+    println!("{:<16} {:>12} {:>12}", "DNN", "i20 vs T4", "i20 vs A10");
     for r in &rows {
         println!(
             "{:<16} {:>11.2}x {:>11.2}x",
@@ -25,14 +22,28 @@ fn main() {
             r.efficiency_vs_a10()
         );
     }
-    let e_t4 = geomean(&rows.iter().map(LatencyRow::efficiency_vs_t4).collect::<Vec<_>>());
-    let e_a10 = geomean(&rows.iter().map(LatencyRow::efficiency_vs_a10).collect::<Vec<_>>());
+    let e_t4 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::efficiency_vs_t4)
+            .collect::<Vec<_>>(),
+    );
+    let e_a10 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::efficiency_vs_a10)
+            .collect::<Vec<_>>(),
+    );
     println!("{:<16} {:>11.2}x {:>11.2}x", "GeoMean", e_t4, e_a10);
     println!();
     println!("Paper: GeoMean 1.04x (vs T4) and 1.17x (vs A10)");
     let best = rows
         .iter()
-        .max_by(|a, b| a.efficiency_vs_t4().partial_cmp(&b.efficiency_vs_t4()).unwrap())
+        .max_by(|a, b| {
+            a.efficiency_vs_t4()
+                .partial_cmp(&b.efficiency_vs_t4())
+                .unwrap()
+        })
         .expect("non-empty");
     println!(
         "Best case: {} at {:.2}x / {:.2}x | paper: SRResnet at 2.03x / 2.39x",
@@ -41,7 +52,5 @@ fn main() {
         best.efficiency_vs_a10()
     );
     let t4_wins = rows.iter().filter(|r| r.efficiency_vs_t4() > 1.0).count();
-    println!(
-        "i20 more efficient than T4 on {t4_wins}/10 DNNs | paper: about half"
-    );
+    println!("i20 more efficient than T4 on {t4_wins}/10 DNNs | paper: about half");
 }

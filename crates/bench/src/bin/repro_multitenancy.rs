@@ -105,7 +105,7 @@ fn main() {
     print!("{}", out.report);
     for e in &out.trace.events {
         if let ServeEventKind::Scale { from, to } = e.kind {
-            println!("  t={:>6.1} ms: scaled {from} -> {to} groups", e.t_ms);
+            println!("  t={:>6.1} ms: scaled {from} -> {to} groups", e.t_ms());
         }
     }
 }

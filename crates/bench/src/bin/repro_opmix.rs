@@ -24,8 +24,7 @@ fn matrix_share_and_flops(model: Model) -> (f64, f64) {
         for &nid in &group.nodes {
             let node = g.node(nid).expect("valid id");
             let inputs: Vec<_> = node.inputs.iter().map(|i| &shapes[i]).collect();
-            let c: OpCost =
-                characterize(&node.op, &inputs, &shapes[&nid]).expect("fixed dims");
+            let c: OpCost = characterize(&node.op, &inputs, &shapes[&nid]).expect("fixed dims");
             total_flops += c.flops();
             has_anchor |= node.op.is_compute_anchor();
         }
@@ -36,12 +35,18 @@ fn matrix_share_and_flops(model: Model) -> (f64, f64) {
             matrix += 1;
         }
     }
-    (matrix as f64 / operators.max(1) as f64, total_flops as f64 / 1e9)
+    (
+        matrix as f64 / operators.max(1) as f64,
+        total_flops as f64 / 1e9,
+    )
 }
 
 fn main() {
     println!("== §VI-D operator-mix profile: matrix-dense share of operators ==");
-    println!("{:<16} {:<22} {:>14} {:>10}", "DNN", "Category", "matrix share", "GFLOPs");
+    println!(
+        "{:<16} {:<22} {:>14} {:>10}",
+        "DNN", "Category", "matrix share", "GFLOPs"
+    );
     let mut det = Vec::new();
     let mut cls = Vec::new();
     for model in Model::ALL {

@@ -12,8 +12,7 @@ use dtu_models::Model;
 fn run(cfg: ChipConfig, model: Model) -> (f64, f64, f64) {
     let accel = Accelerator::with_config(cfg).expect("valid config");
     let graph = model.build(1);
-    let session =
-        Session::compile(&accel, &graph, SessionOptions::default()).expect("compile");
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).expect("compile");
     let r = session.run().expect("run");
     (r.latency_ms(), r.samples_per_joule(), r.mean_freq_mhz())
 }
@@ -52,9 +51,7 @@ fn main() {
         );
         let perf_drop = (lat_on / lat_off - 1.0) * 100.0;
         let eff_gain = (eff_on / eff_off - 1.0) * 100.0;
-        println!(
-            "  -> perf drop {perf_drop:.2}% | energy-efficiency gain {eff_gain:.1}%"
-        );
+        println!("  -> perf drop {perf_drop:.2}% | energy-efficiency gain {eff_gain:.1}%");
     }
     println!();
     println!("Paper: perf drops 0.85% (ResNet50) / 3.2% (BERT); efficiency +13% for both.");

@@ -8,10 +8,22 @@ use gpu_baseline::{a10_spec, i10_spec, i20_spec, t4_spec};
 fn main() {
     println!("== Table I: technical specifications of the Cloudblazer i20 ==");
     let i20 = i20_spec();
-    println!("  FP32  {:>6.0} teraFLOPS     Memory        {:.0} GB", i20.fp32_tflops, i20.memory_gb);
-    println!("  TF32  {:>6.0} teraFLOPS     Bandwidth     {:.0} GB/s", i20.fp16_tflops, i20.bandwidth_gb_s);
-    println!("  FP16  {:>6.0} teraFLOPS     Board TDP     {:.0} W", i20.fp16_tflops, i20.tdp_w);
-    println!("  BF16  {:>6.0} teraFLOPS     Interconnect  {}", i20.fp16_tflops, i20.interconnect);
+    println!(
+        "  FP32  {:>6.0} teraFLOPS     Memory        {:.0} GB",
+        i20.fp32_tflops, i20.memory_gb
+    );
+    println!(
+        "  TF32  {:>6.0} teraFLOPS     Bandwidth     {:.0} GB/s",
+        i20.fp16_tflops, i20.bandwidth_gb_s
+    );
+    println!(
+        "  FP16  {:>6.0} teraFLOPS     Board TDP     {:.0} W",
+        i20.fp16_tflops, i20.tdp_w
+    );
+    println!(
+        "  BF16  {:>6.0} teraFLOPS     Interconnect  {}",
+        i20.fp16_tflops, i20.interconnect
+    );
     println!("  INT8  {:>6.0} TOPS", i20.int8_tops);
     println!();
 

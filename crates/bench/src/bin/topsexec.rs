@@ -5,16 +5,19 @@
 //! topsexec --model resnet50            # a Table III model by name
 //! topsexec --import my_model.tops      # a textual-format model file
 //! topsexec --model vgg16 --batch 16 --chip i10 --groups 3 --profile
-//! topsexec --model bert --trace out.json --no-power-management
+//! topsexec --model bert --trace-out out.json --no-power-management
+//! topsexec profile resnet50            # cross-layer trace + attribution
+//! topsexec profile bert --trace-out bert.json --format prometheus
 //! topsexec serve                       # multi-tenant serving scenario
-//! topsexec serve --models resnet50,bert --qps 600 --bursty --trace t.jsonl
+//! topsexec serve --models resnet50,bert --qps 600 --bursty --trace-out t.jsonl
 //! ```
 
 use dtu::serve::{
-    run_serving, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy, ServeConfig,
-    ServiceModel, SlaPolicy, TenantSpec,
+    run_serving, run_serving_recorded, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy,
+    ServeConfig, ServiceModel, SlaPolicy, TenantSpec,
 };
-use dtu::{Accelerator, ChipConfig, Session, SessionOptions, WorkloadSize};
+use dtu::telemetry::{AttributionReport, Recorder, TraceBuffer};
+use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
 use dtu_graph::parse_model;
 use dtu_models::Model;
 use std::process::ExitCode;
@@ -32,6 +35,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: topsexec (--model <name> | --import <file.tops>) [options]\n\
+     \x20      topsexec profile (<name> | --import <file.tops>) [profile options]\n\
      \x20      topsexec serve [serve options]\n\
      \n\
      options:\n\
@@ -42,8 +46,14 @@ fn usage() -> &'static str {
        --chip <i20|i10>         accelerator generation (default i20)\n\
        --groups <1|2|3>         restrict to N groups of cluster 0 (default: full chip)\n\
        --profile                print the profiler's hot-kernel report\n\
-       --trace <file.json>      write a Chrome-trace timeline\n\
+       --trace-out <file.json>  write a Chrome-trace timeline (--trace also accepted)\n\
        --no-power-management    pin the clock at f_max\n\
+     \n\
+     profile options (cross-layer telemetry trace + per-operator attribution):\n\
+       --batch / --chip / --groups / --no-power-management as above\n\
+       --trace-out <file.json>  Perfetto/Chrome trace path (default topsexec.trace.json)\n\
+       --format <fmt>           attribution report format: table (default),\n\
+                                prometheus, or json\n\
      \n\
      serve options (multi-tenant dynamic-batching scenario):\n\
        --models <a,b,...>       comma-separated model names, one tenant each\n\
@@ -58,7 +68,38 @@ fn usage() -> &'static str {
        --no-autoscale           pin each tenant at one processing group\n\
        --seed <n>               run seed (default 0x5EED)\n\
        --chip <i20|i10>         accelerator generation (default i20)\n\
-       --trace <file.jsonl>     write the serving event trace as JSON lines"
+       --trace-out <file>       write the event trace: .json gets Chrome-trace\n\
+                                spans, anything else JSON lines"
+}
+
+fn chip_by_name(name: &str) -> Result<ChipConfig, String> {
+    match name {
+        "i20" => Ok(ChipConfig::dtu20()),
+        "i10" => Ok(ChipConfig::dtu10()),
+        other => Err(format!("unknown chip '{other}' (use i20 or i10)")),
+    }
+}
+
+fn load_graph(model: Option<&str>, import: Option<&str>, batch: usize) -> Result<Graph, String> {
+    if let Some(name) = model {
+        return match model_by_name(name) {
+            Some(m) => Ok(m.build(batch)),
+            None => Err(format!("unknown model '{name}'\n\n{}", usage())),
+        };
+    }
+    let path = import.expect("validated");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_model(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn workload_size(groups: Option<usize>) -> Result<WorkloadSize, String> {
+    match groups {
+        Some(1) => Ok(WorkloadSize::Small),
+        Some(2) => Ok(WorkloadSize::Medium),
+        Some(3) => Ok(WorkloadSize::Large),
+        None => Ok(WorkloadSize::FullChip),
+        Some(n) => Err(format!("--groups must be 1..3, got {n}")),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,10 +115,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         match a.as_str() {
             "--model" => args.model = Some(value("--model")?),
             "--import" => args.import = Some(value("--import")?),
@@ -95,7 +133,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--profile" => args.profile = true,
-            "--trace" => args.trace = Some(value("--trace")?),
+            "--trace-out" | "--trace" => args.trace = Some(value("--trace-out")?),
             "--no-power-management" => args.no_power_management = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
@@ -179,7 +217,7 @@ fn parse_serve_args() -> Result<ServeArgs, String> {
             "--no-autoscale" => args.autoscale = false,
             "--seed" => args.seed = num("--seed", value("--seed")?)?,
             "--chip" => args.chip = value("--chip")?,
-            "--trace" => args.trace = Some(value("--trace")?),
+            "--trace-out" | "--trace" => args.trace = Some(value("--trace-out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve flag '{other}'")),
         }
@@ -202,11 +240,10 @@ fn run_serve() -> ExitCode {
         }
     };
 
-    let chip_cfg = match args.chip.as_str() {
-        "i20" => ChipConfig::dtu20(),
-        "i10" => ChipConfig::dtu10(),
-        other => {
-            eprintln!("error: unknown chip '{other}' (use i20 or i10)");
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -287,7 +324,16 @@ fn run_serve() -> ExitCode {
         .iter_mut()
         .map(|m| m as &mut dyn ServiceModel)
         .collect();
-    let out = match run_serving(&cfg, accel.config(), &mut refs) {
+    // A .json trace goes through the telemetry exporter (request/batch
+    // spans on the shared clock); anything else stays JSONL.
+    let chrome_trace = args.trace.as_deref().is_some_and(|p| p.ends_with(".json"));
+    let mut buf = TraceBuffer::new();
+    let out = if chrome_trace {
+        run_serving_recorded(&cfg, accel.config(), &mut refs, &mut buf)
+    } else {
+        run_serving(&cfg, accel.config(), &mut refs)
+    };
+    let out = match out {
         Ok(o) => o,
         Err(e) => {
             eprintln!("serve error: {e}");
@@ -310,7 +356,12 @@ fn run_serve() -> ExitCode {
     }
 
     if let Some(path) = &args.trace {
-        if let Err(e) = std::fs::write(path, out.trace.to_jsonl()) {
+        let payload = if chrome_trace {
+            buf.to_chrome_trace(true)
+        } else {
+            out.trace.to_jsonl()
+        };
+        if let Err(e) = std::fs::write(path, payload) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -319,9 +370,179 @@ fn run_serve() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct ProfileArgs {
+    model: Option<String>,
+    import: Option<String>,
+    batch: usize,
+    chip: String,
+    groups: Option<usize>,
+    trace_out: String,
+    format: String,
+    no_power_management: bool,
+}
+
+fn parse_profile_args() -> Result<ProfileArgs, String> {
+    let mut args = ProfileArgs {
+        model: None,
+        import: None,
+        batch: 1,
+        chip: "i20".into(),
+        groups: None,
+        trace_out: "topsexec.trace.json".into(),
+        format: "table".into(),
+        no_power_management: false,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--model" => args.model = Some(value("--model")?),
+            "--import" => args.import = Some(value("--import")?),
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch needs an integer".to_string())?
+            }
+            "--chip" => args.chip = value("--chip")?,
+            "--groups" => {
+                args.groups = Some(
+                    value("--groups")?
+                        .parse()
+                        .map_err(|_| "--groups needs an integer".to_string())?,
+                )
+            }
+            "--trace-out" | "--trace" => args.trace_out = value("--trace-out")?,
+            "--format" => args.format = value("--format")?,
+            "--no-power-management" => args.no_power_management = true,
+            "--help" | "-h" => return Err(String::new()),
+            name if !name.starts_with('-') && args.model.is_none() => {
+                args.model = Some(name.to_string())
+            }
+            other => return Err(format!("unknown profile flag '{other}'")),
+        }
+    }
+    if args.model.is_none() == args.import.is_none() {
+        return Err("profile needs a model name or --import <file>".into());
+    }
+    if !matches!(args.format.as_str(), "table" | "prometheus" | "json") {
+        return Err(format!(
+            "--format must be table, prometheus, or json, got '{}'",
+            args.format
+        ));
+    }
+    Ok(args)
+}
+
+fn run_profile() -> ExitCode {
+    let args = match parse_profile_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let graph = match load_graph(args.model.as_deref(), args.import.as_deref(), args.batch) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.no_power_management {
+        chip_cfg.features.power_management = false;
+    }
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let size = match workload_size(args.groups) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = SessionOptions {
+        size,
+        batch: args.batch,
+        ..Default::default()
+    };
+
+    // Compiler phases, the session envelope, and the simulator's
+    // kernel/DMA/sync spans all land in one buffer on one clock.
+    let mut buf = TraceBuffer::new();
+    let session = match Session::compile_recorded(&accel, &graph, options, &mut buf) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match session.run_recorded(&mut buf) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let groups = args.groups.unwrap_or_else(|| accel.config().total_groups());
+    // The compiler lowers to fp16 by default; fold the Table I
+    // throughput ratio into the roofline peak.
+    let machine = accel
+        .config()
+        .machine_spec(groups, DataType::Fp16.ops_multiplier());
+    let attr = AttributionReport::from_spans(buf.spans(), report.raw().latency_ns, machine);
+    for s in attr.operator_spans() {
+        buf.record(s);
+    }
+
+    if let Err(e) = std::fs::write(&args.trace_out, buf.to_chrome_trace(true)) {
+        eprintln!("error: cannot write {}: {e}", args.trace_out);
+        return ExitCode::FAILURE;
+    }
+
+    println!("=== topsexec profile ===");
+    println!("accelerator : {accel}");
+    println!("model       : {graph}");
+    println!(
+        "run         : {:.3} ms, {} operator segments, {} spans",
+        report.latency_ms(),
+        attr.ops.len(),
+        buf.len()
+    );
+    println!(
+        "trace       : {} (open in Perfetto / chrome://tracing)",
+        args.trace_out
+    );
+    println!();
+    match args.format.as_str() {
+        "prometheus" => print!("{}", attr.to_prometheus()),
+        "json" => println!("{}", attr.to_json()),
+        _ => print!("{}", attr.to_table()),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("serve") {
-        return run_serve();
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => return run_serve(),
+        Some("profile") => return run_profile(),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -334,37 +555,18 @@ fn main() -> ExitCode {
         }
     };
 
-    let graph = if let Some(name) = &args.model {
-        match model_by_name(name) {
-            Some(m) => m.build(args.batch),
-            None => {
-                eprintln!("error: unknown model '{name}'\n\n{}", usage());
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        let path = args.import.as_deref().expect("validated");
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match parse_model(&text) {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+    let graph = match load_graph(args.model.as_deref(), args.import.as_deref(), args.batch) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     };
 
-    let mut cfg = match args.chip.as_str() {
-        "i20" => ChipConfig::dtu20(),
-        "i10" => ChipConfig::dtu10(),
-        other => {
-            eprintln!("error: unknown chip '{other}' (use i20 or i10)");
+    let mut cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -379,17 +581,15 @@ fn main() -> ExitCode {
         }
     };
 
+    let size = match workload_size(args.groups) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let options = SessionOptions {
-        size: match args.groups {
-            Some(1) => WorkloadSize::Small,
-            Some(2) => WorkloadSize::Medium,
-            Some(3) => WorkloadSize::Large,
-            None => WorkloadSize::FullChip,
-            Some(n) => {
-                eprintln!("error: --groups must be 1..3, got {n}");
-                return ExitCode::FAILURE;
-            }
-        },
+        size,
         batch: args.batch,
         ..Default::default()
     };

@@ -135,8 +135,18 @@ pub fn print_latency_table(rows: &[LatencyRow]) {
             r.speedup_vs_a10()
         );
     }
-    let g_t4 = geomean(&rows.iter().map(LatencyRow::speedup_vs_t4).collect::<Vec<_>>());
-    let g_a10 = geomean(&rows.iter().map(LatencyRow::speedup_vs_a10).collect::<Vec<_>>());
+    let g_t4 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::speedup_vs_t4)
+            .collect::<Vec<_>>(),
+    );
+    let g_a10 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::speedup_vs_a10)
+            .collect::<Vec<_>>(),
+    );
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>8.2}x {:>8.2}x",
         "GeoMean", "", "", "", g_t4, g_a10

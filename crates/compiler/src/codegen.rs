@@ -29,9 +29,8 @@ pub fn packetize(instrs: &[Instruction]) -> Vec<Packet> {
             Ok(_) => current.push(ins.clone()),
             Err(_) => {
                 if !current.is_empty() {
-                    packets.push(
-                        Packet::try_bundle(current.clone()).expect("previously validated"),
-                    );
+                    packets
+                        .push(Packet::try_bundle(current.clone()).expect("previously validated"));
                 }
                 current = vec![ins.clone()];
             }
@@ -88,8 +87,7 @@ pub fn assign_banks(instrs: &[Instruction]) -> Vec<Instruction> {
             for j in (i + 1)..reads.len() {
                 if reads[i] != reads[j] && reads[i] % banks == reads[j] % banks {
                     let bank_of_first = reads[i] % banks;
-                    if let Some(free) =
-                        (0..count).find(|&c| !used[c] && c % banks != bank_of_first)
+                    if let Some(free) = (0..count).find(|&c| !used[c] && c % banks != bank_of_first)
                     {
                         map.insert(originals[j], free);
                         used[free] = true;
@@ -201,7 +199,12 @@ pub fn tensorize_vmm(rows: usize, x_addr: usize, w_addr: usize, y_addr: usize) -
 /// Auto-vectorization: emits the instruction sequence applying an SFU
 /// transcendental over `n` contiguous L1 words in 16-lane strips
 /// (`dst[i] = f(src[i])`).
-pub fn vectorize_map(func: SfuFunc, n: usize, src_addr: usize, dst_addr: usize) -> Vec<Instruction> {
+pub fn vectorize_map(
+    func: SfuFunc,
+    n: usize,
+    src_addr: usize,
+    dst_addr: usize,
+) -> Vec<Instruction> {
     let v = |i: usize| RegId::new(RegClass::Vector, i);
     let mut out = Vec::new();
     let mut off = 0usize;
@@ -248,10 +251,7 @@ mod tests {
                 dst: v(5),
                 src: v(3),
             },
-            Instruction::Load {
-                dst: v(6),
-                addr: 0,
-            },
+            Instruction::Load { dst: v(6), addr: 0 },
         ];
         let packets = packetize(&instrs);
         assert_eq!(packets.len(), 1, "three independent units bundle into one");
@@ -304,10 +304,7 @@ mod tests {
                 dst: v(2),
                 srcs: vec![v(0), v(1)],
             },
-            Instruction::Load {
-                dst: v(6),
-                addr: 0,
-            },
+            Instruction::Load { dst: v(6), addr: 0 },
             Instruction::Sfu {
                 func: SfuFunc::Exp,
                 dst: v(3),

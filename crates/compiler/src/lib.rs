@@ -24,6 +24,6 @@ mod placement;
 mod tiling;
 
 pub use codegen::{assign_banks, packetize, tensorize_vmm, vectorize_map};
-pub use lower::{compile, CompileError, CompilerConfig, Mode};
+pub use lower::{compile, compile_recorded, CompileError, CompilerConfig, Mode};
 pub use placement::Placement;
 pub use tiling::{plan_tiles, TilePlan};

@@ -18,9 +18,11 @@ use dtu_isa::{DataType, KernelDescriptor, KernelId, OpClass};
 use dtu_sim::{
     ChipConfig, Command, DmaDescriptor, DmaPath, MemLevel, Program, Stream, SyncPattern,
 };
+use dtu_telemetry::{Layer, NullRecorder, Recorder, Span, SpanKind};
 use dtu_tensor::SparseFormat;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// How the placement's groups divide the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,11 +158,60 @@ pub fn compile(
     placement: &Placement,
     cfg: &CompilerConfig,
 ) -> Result<Program, CompileError> {
+    compile_recorded(graph, chip, placement, cfg, &mut NullRecorder)
+}
+
+/// Tracks host time spent in one compiler phase and records it as a
+/// `Layer::Compiler` span. Compile phases run in host (not simulated)
+/// time, so they live on their own layer/track starting at 0 and do
+/// not perturb the simulated-time lanes.
+struct PhaseTimer {
+    compile_start: Instant,
+    phase_start_ns: f64,
+}
+
+impl PhaseTimer {
+    fn start() -> Self {
+        PhaseTimer {
+            compile_start: Instant::now(),
+            phase_start_ns: 0.0,
+        }
+    }
+
+    fn finish_phase(&mut self, rec: &mut dyn Recorder, name: &str) {
+        let now_ns = self.compile_start.elapsed().as_nanos() as f64;
+        rec.record(Span::new(
+            SpanKind::Compile,
+            Layer::Compiler,
+            0,
+            name,
+            self.phase_start_ns,
+            now_ns,
+        ));
+        self.phase_start_ns = now_ns;
+    }
+}
+
+/// Compiles a graph while recording per-phase `Layer::Compiler` spans
+/// (graph optimisation, shape inference, fusion, lowering, stream
+/// emission) into `rec`.
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_recorded(
+    graph: &Graph,
+    chip: &ChipConfig,
+    placement: &Placement,
+    cfg: &CompilerConfig,
+    rec: &mut dyn Recorder,
+) -> Result<Program, CompileError> {
     if !placement.fits(chip) {
         return Err(CompileError::BadPlacement {
             reason: format!("{placement} does not fit {}", chip.name),
         });
     }
+    let mut timer = rec.enabled().then(PhaseTimer::start);
     let n = placement.len() as u64;
     let optimized;
     let graph = if cfg.enable_graph_optimize {
@@ -169,11 +220,20 @@ pub fn compile(
     } else {
         graph
     };
+    if let Some(t) = timer.as_mut() {
+        t.finish_phase(rec, "optimize");
+    }
     let shapes = graph.infer_shapes()?;
+    if let Some(t) = timer.as_mut() {
+        t.finish_phase(rec, "infer-shapes");
+    }
     let plan = match &cfg.search_fusion {
         Some(search_cfg) => search_fuse(graph, search_cfg)?.plan,
         None => fuse(graph, &cfg.fusion)?,
     };
+    if let Some(t) = timer.as_mut() {
+        t.finish_phase(rec, "fuse");
+    }
 
     // Lower each fused group to a step.
     let mut steps: Vec<LoweredStep> = Vec::new();
@@ -275,6 +335,9 @@ pub fn compile(
             available: l3_capacity,
         });
     }
+    if let Some(t) = timer.as_mut() {
+        t.finish_phase(rec, "lower");
+    }
 
     // Emit one stream per group.
     let mut program = Program::new(graph.name.clone());
@@ -348,10 +411,7 @@ pub fn compile(
                     // Prefetch the *next* kernel's code while this one is
                     // being staged/run.
                     if cfg.enable_prefetch {
-                        if let Some(&next) = kernel_steps
-                            .iter()
-                            .find(|&&ks| ks > i)
-                        {
+                        if let Some(&next) = kernel_steps.iter().find(|&&ks| ks > i) {
                             if let LoweredStep::Kernel {
                                 kernel: nk,
                                 descriptor: nd,
@@ -367,8 +427,7 @@ pub fn compile(
                     }
                     // Replicated-weight staging (ThroughputBatched).
                     if *replicated_weight_bytes > 0 {
-                        let cluster_groups =
-                            placement.groups_in_cluster(gid.cluster);
+                        let cluster_groups = placement.groups_in_cluster(gid.cluster);
                         if cfg.enable_broadcast && cluster_groups > 1 {
                             if first_in_cluster {
                                 let mut wd = DmaDescriptor::copy(
@@ -460,6 +519,9 @@ pub fn compile(
         }
         program.add_stream(stream);
     }
+    if let Some(t) = timer.as_mut() {
+        t.finish_phase(rec, "emit-streams");
+    }
     Ok(program)
 }
 
@@ -494,7 +556,12 @@ mod tests {
         let x = g.input("x", TensorType::fixed(&[1, 16, 32, 32]));
         let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
         let a = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![c, x])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![c, x],
+            )
             .unwrap();
         g.mark_output(a);
         g
@@ -630,9 +697,9 @@ mod tests {
         let prog = compile(&g, &chip, &p, &cfg).unwrap();
         // Only the first stream in the cluster holds a broadcast DMA.
         let has_bcast = |s: &Stream| {
-            s.commands.iter().any(|c| {
-                matches!(c, Command::Dma { descriptor, .. } if descriptor.broadcast > 1)
-            })
+            s.commands
+                .iter()
+                .any(|c| matches!(c, Command::Dma { descriptor, .. } if descriptor.broadcast > 1))
         };
         assert!(has_bcast(&prog.streams[0]));
         assert!(!has_bcast(&prog.streams[1]));
@@ -644,7 +711,15 @@ mod tests {
             let weight_dmas = s
                 .commands
                 .iter()
-                .filter(|c| matches!(c, Command::Dma { overlapped: true, .. }))
+                .filter(|c| {
+                    matches!(
+                        c,
+                        Command::Dma {
+                            overlapped: true,
+                            ..
+                        }
+                    )
+                })
                 .count();
             assert!(weight_dmas >= 1);
         }
@@ -681,6 +756,32 @@ mod tests {
         // kernels and is no slower (within rounding).
         assert!(searched.counters.kernel_launches <= expert.counters.kernel_launches);
         assert!(searched.latency_ns <= expert.latency_ns * 1.05);
+    }
+
+    #[test]
+    fn compile_recorded_emits_phase_spans() {
+        use dtu_telemetry::TraceBuffer;
+        let chip = ChipConfig::dtu20();
+        let g = small_cnn();
+        let p = Placement::full_chip(&chip);
+        let mut buf = TraceBuffer::new();
+        let prog =
+            compile_recorded(&g, &chip, &p, &CompilerConfig::for_chip(&chip), &mut buf).unwrap();
+        assert!(!prog.streams.is_empty());
+        let phases: Vec<&str> = buf.spans().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            phases,
+            ["optimize", "infer-shapes", "fuse", "lower", "emit-streams"]
+        );
+        for s in buf.spans() {
+            assert_eq!(s.layer, Layer::Compiler);
+            assert!(s.end_ns >= s.start_ns);
+        }
+        // Phases tile host time contiguously from 0.
+        assert_eq!(buf.spans()[0].start_ns, 0.0);
+        for w in buf.spans().windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
     }
 
     #[test]

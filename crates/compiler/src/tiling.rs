@@ -68,8 +68,7 @@ pub fn plan_tiles(bytes_per_group: u64, bw_share: usize, cfg: &ChipConfig) -> Ti
         let better = match &best {
             None => true,
             Some(b) => {
-                let b_exposure = (if b.use_repeat { 1.0 } else { b.tiles as f64 })
-                    * config_ns
+                let b_exposure = (if b.use_repeat { 1.0 } else { b.tiles as f64 }) * config_ns
                     + b.tile_bytes as f64 / gbps;
                 exposure_ns < b_exposure
             }

@@ -43,9 +43,12 @@ pub use session::{InferenceReport, Session, SessionOptions, WorkloadSize};
 
 // Re-export the pieces users need to build models and interpret reports.
 pub use dtu_compiler::{CompilerConfig, Placement};
+pub use dtu_graph::{Graph, GraphError, Op, TensorType};
+pub use dtu_isa::DataType;
 /// The event-driven serving layer (dynamic batching, SLA admission,
 /// elastic scaling); [`simulate_serving`] is its closed-form facade.
 pub use dtu_serve as serve;
-pub use dtu_graph::{Graph, GraphError, Op, TensorType};
-pub use dtu_isa::DataType;
 pub use dtu_sim::{ChipConfig, FeatureSet, RunReport, Timeline, TraceKind};
+/// The unified observability layer: spans, the counter registry, trace
+/// export, and per-operator bottleneck attribution.
+pub use dtu_telemetry as telemetry;

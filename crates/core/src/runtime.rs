@@ -349,7 +349,13 @@ mod tests {
         assert_eq!(a.largest_region(), 1024);
         // Larger allocation cannot fit despite 2048 free.
         let err = a.alloc(2048).unwrap_err();
-        assert!(matches!(err, RuntimeError::OutOfDeviceMemory { largest_region: 1024, .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::OutOfDeviceMemory {
+                largest_region: 1024,
+                ..
+            }
+        ));
         // Free the rest: fully coalesced.
         a.free(bufs[1]).unwrap();
         a.free(bufs[3]).unwrap();

@@ -1,9 +1,10 @@
 //! Sessions: compiled models bound to an accelerator.
 
 use crate::{Accelerator, DtuError};
-use dtu_compiler::{compile, CompilerConfig, Mode, Placement};
+use dtu_compiler::{compile, compile_recorded, CompilerConfig, Mode, Placement};
 use dtu_graph::Graph;
 use dtu_sim::{Program, RunReport};
+use dtu_telemetry::{Layer, Recorder, Span, SpanKind};
 use std::fmt;
 
 /// How much of the chip a session claims (Fig. 7).
@@ -26,9 +27,7 @@ impl WorkloadSize {
         match self {
             WorkloadSize::Small => Placement::cluster_groups(cluster, 1, cfg),
             WorkloadSize::Medium => Placement::cluster_groups(cluster, 2, cfg),
-            WorkloadSize::Large => {
-                Placement::cluster_groups(cluster, cfg.groups_per_cluster, cfg)
-            }
+            WorkloadSize::Large => Placement::cluster_groups(cluster, cfg.groups_per_cluster, cfg),
             WorkloadSize::FullChip => Placement::full_chip(cfg),
         }
     }
@@ -138,6 +137,30 @@ impl<'a> Session<'a> {
         graph: &Graph,
         options: SessionOptions,
     ) -> Result<Self, DtuError> {
+        Self::build(accel, graph, options, None)
+    }
+
+    /// Compiles a graph while recording per-phase compiler spans into a
+    /// telemetry [`Recorder`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::compile`].
+    pub fn compile_recorded(
+        accel: &'a Accelerator,
+        graph: &Graph,
+        options: SessionOptions,
+        rec: &mut dyn Recorder,
+    ) -> Result<Self, DtuError> {
+        Self::build(accel, graph, options, Some(rec))
+    }
+
+    fn build(
+        accel: &'a Accelerator,
+        graph: &Graph,
+        options: SessionOptions,
+        rec: Option<&mut dyn Recorder>,
+    ) -> Result<Self, DtuError> {
         let chip_cfg = accel.config();
         let placement = options
             .placement
@@ -151,7 +174,10 @@ impl<'a> Session<'a> {
         if batch > 1 {
             compiler.mode = Mode::ThroughputBatched;
         }
-        let program = compile(graph, chip_cfg, &placement, &compiler)?;
+        let program = match rec {
+            Some(rec) => compile_recorded(graph, chip_cfg, &placement, &compiler, rec)?,
+            None => compile(graph, chip_cfg, &placement, &compiler)?,
+        };
         Ok(Session {
             accel,
             program,
@@ -190,6 +216,32 @@ impl<'a> Session<'a> {
         ))
     }
 
+    /// Runs the compiled program with a telemetry [`Recorder`]
+    /// attached: the simulator's kernel/DMA/sync spans stream into
+    /// `rec`, and the session wraps them in one `Layer::Session` span
+    /// covering the whole execution.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_recorded(&self, rec: &mut dyn Recorder) -> Result<InferenceReport, DtuError> {
+        let report = self.accel.chip().run_recorded(&self.program, rec)?;
+        if rec.enabled() {
+            rec.record(Span::new(
+                SpanKind::Session,
+                Layer::Session,
+                0,
+                self.program.name.clone(),
+                0.0,
+                report.latency_ns,
+            ));
+        }
+        Ok(InferenceReport {
+            report,
+            batch: self.batch,
+        })
+    }
+
     /// The compiled program (inspection / custom scheduling).
     pub fn program(&self) -> &Program {
         &self.program
@@ -224,7 +276,11 @@ mod tests {
     fn workload_sizes_scale_latency() {
         let accel = Accelerator::cloudblazer_i20();
         let mut latencies = Vec::new();
-        for size in [WorkloadSize::Small, WorkloadSize::Medium, WorkloadSize::Large] {
+        for size in [
+            WorkloadSize::Small,
+            WorkloadSize::Medium,
+            WorkloadSize::Large,
+        ] {
             let s = Session::compile(
                 &accel,
                 &toy(1),
@@ -275,6 +331,35 @@ mod tests {
         let s = Session::compile(&accel, &toy(1), SessionOptions::default()).unwrap();
         let r = s.run().unwrap();
         assert!(r.latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn recorded_run_spans_three_layers_on_one_clock() {
+        use dtu_telemetry::TraceBuffer;
+        let accel = Accelerator::cloudblazer_i20();
+        let mut buf = TraceBuffer::new();
+        let s = Session::compile_recorded(&accel, &toy(1), SessionOptions::default(), &mut buf)
+            .unwrap();
+        let r = s.run_recorded(&mut buf).unwrap();
+        let layers: std::collections::BTreeSet<Layer> =
+            buf.spans().iter().map(|sp| sp.layer).collect();
+        assert!(layers.contains(&Layer::Compiler));
+        assert!(layers.contains(&Layer::Session));
+        assert!(layers.contains(&Layer::Sim));
+        // The session span covers every sim span.
+        let session = buf
+            .spans()
+            .iter()
+            .find(|sp| sp.layer == Layer::Session)
+            .unwrap();
+        assert_eq!(session.start_ns, 0.0);
+        assert_eq!(session.end_ns, r.raw().latency_ns);
+        for sp in buf.spans().iter().filter(|sp| sp.layer == Layer::Sim) {
+            assert!(sp.end_ns <= session.end_ns + 1.0);
+        }
+        // Recording must not perturb the simulation.
+        let plain = s.run().unwrap();
+        assert_eq!(plain.latency_ms(), r.latency_ms());
     }
 
     #[test]

@@ -281,8 +281,7 @@ pub fn graph_costs(
     let mut per_node = Vec::with_capacity(graph.len());
     let mut total = OpCost::default();
     for node in graph.nodes() {
-        let input_types: Vec<&TensorType> =
-            node.inputs.iter().map(|i| &shapes[i]).collect();
+        let input_types: Vec<&TensorType> = node.inputs.iter().map(|i| &shapes[i]).collect();
         let cost = characterize(&node.op, &input_types, &shapes[&node.id])?;
         total.merge(&cost);
         per_node.push((node.id, cost));
@@ -455,7 +454,14 @@ mod tests {
     #[test]
     fn binary_residual_cost() {
         let x = t(&[1, 64, 56, 56]);
-        let c = characterize(&Op::Binary { kind: BinaryKind::Add }, &[&x, &x], &x).unwrap();
+        let c = characterize(
+            &Op::Binary {
+                kind: BinaryKind::Add,
+            },
+            &[&x, &x],
+            &x,
+        )
+        .unwrap();
         assert_eq!(c.vector_ops, 64 * 56 * 56);
         // Two inputs counted.
         assert_eq!(c.input_bytes, 2 * 64 * 56 * 56 * 2);

@@ -167,7 +167,12 @@ mod tests {
         let c2 = g.add_node(Op::conv2d(64, 3, 1, 1), vec![r1]).unwrap();
         let b2 = g.add_node(Op::BatchNorm, vec![c2]).unwrap();
         let add = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![b2, x])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![b2, x],
+            )
             .unwrap();
         let r2 = g.add_node(Op::Relu, vec![add]).unwrap();
         g.mark_output(r2);
@@ -209,10 +214,20 @@ mod tests {
         // c feeds two consumers: cannot fuse into either.
         let r1 = g.add_node(Op::Relu, vec![c]).unwrap();
         let r2 = g
-            .add_node(Op::Activation { func: SfuFunc::Tanh }, vec![c])
+            .add_node(
+                Op::Activation {
+                    func: SfuFunc::Tanh,
+                },
+                vec![c],
+            )
             .unwrap();
         let add = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![r1, r2])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![r1, r2],
+            )
             .unwrap();
         g.mark_output(add);
         let plan = fuse(&g, &FusionConfig::default()).unwrap();
@@ -276,7 +291,12 @@ mod tests {
         let x = g.input("x", TensorType::fixed(&[1, 128]));
         let r = g.add_node(Op::Relu, vec![x]).unwrap();
         let t = g
-            .add_node(Op::Activation { func: SfuFunc::Tanh }, vec![r])
+            .add_node(
+                Op::Activation {
+                    func: SfuFunc::Tanh,
+                },
+                vec![r],
+            )
             .unwrap();
         let b = g.add_node(Op::BatchNorm, vec![t]).unwrap();
         g.mark_output(b);

@@ -59,7 +59,11 @@ pub struct SearchResult {
 /// # Errors
 ///
 /// Propagates shape/costing failures (dynamic dims must be bound).
-pub fn plan_cost_ns(graph: &Graph, plan: &FusionPlan, cfg: &SearchConfig) -> Result<f64, GraphError> {
+pub fn plan_cost_ns(
+    graph: &Graph,
+    plan: &FusionPlan,
+    cfg: &SearchConfig,
+) -> Result<f64, GraphError> {
     let shapes = graph.infer_shapes()?;
     let group_of: BTreeMap<NodeId, usize> = plan
         .groups
@@ -105,7 +109,9 @@ fn group_working_set(
         }
     }
     // The group's final output materialises.
-    total += shapes[nodes.last().expect("non-empty")].bytes().unwrap_or(0);
+    total += shapes[nodes.last().expect("non-empty")]
+        .bytes()
+        .unwrap_or(0);
     Ok(total)
 }
 
@@ -196,7 +202,10 @@ pub fn search_fuse(graph: &Graph, cfg: &SearchConfig) -> Result<SearchResult, Gr
     }
 
     let plan = FusionPlan {
-        groups: groups.into_iter().map(|nodes| FusedGroup { nodes }).collect(),
+        groups: groups
+            .into_iter()
+            .map(|nodes| FusedGroup { nodes })
+            .collect(),
     };
     let estimated_cost_ns = plan_cost_ns(graph, &plan, cfg)?;
     Ok(SearchResult {
@@ -221,7 +230,12 @@ mod tests {
         let r1 = g.add_node(Op::Relu, vec![b1]).unwrap();
         let c2 = g.add_node(Op::conv2d(16, 3, 1, 1), vec![r1]).unwrap();
         let a2 = g
-            .add_node(Op::Activation { func: SfuFunc::Gelu }, vec![c2])
+            .add_node(
+                Op::Activation {
+                    func: SfuFunc::Gelu,
+                },
+                vec![c2],
+            )
             .unwrap();
         g.mark_output(a2);
         g
@@ -274,10 +288,20 @@ mod tests {
         let c = g.add_node(Op::conv2d(8, 3, 1, 1), vec![x]).unwrap();
         let r1 = g.add_node(Op::Relu, vec![c]).unwrap();
         let r2 = g
-            .add_node(Op::Activation { func: SfuFunc::Tanh }, vec![c])
+            .add_node(
+                Op::Activation {
+                    func: SfuFunc::Tanh,
+                },
+                vec![c],
+            )
             .unwrap();
         let s = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![r1, r2])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![r1, r2],
+            )
             .unwrap();
         g.mark_output(s);
         let result = search_fuse(&g, &SearchConfig::default()).unwrap();

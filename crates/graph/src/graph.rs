@@ -302,7 +302,12 @@ mod tests {
         let r1 = g.add_node(Op::Relu, vec![c1]).unwrap();
         let c2 = g.add_node(Op::conv2d(64, 3, 1, 1), vec![r1]).unwrap();
         let add = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![c2, x])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![c2, x],
+            )
             .unwrap();
         let out = g.add_node(Op::Relu, vec![add]).unwrap();
         g.mark_output(out);
@@ -329,7 +334,12 @@ mod tests {
         let mut g = Graph::new("bad");
         let x = g.input("x", TensorType::fixed(&[1, 2]));
         assert!(matches!(
-            g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![x]),
+            g.add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add
+                },
+                vec![x]
+            ),
             Err(GraphError::ArityMismatch { .. })
         ));
         assert!(matches!(
@@ -379,7 +389,12 @@ mod tests {
         );
         let d = g.add_node(Op::Dense { units: 10 }, vec![x]).unwrap();
         let s = g
-            .add_node(Op::Activation { func: SfuFunc::Sigmoid }, vec![d])
+            .add_node(
+                Op::Activation {
+                    func: SfuFunc::Sigmoid,
+                },
+                vec![d],
+            )
             .unwrap();
         g.mark_output(s);
         // Unbound: output batch dynamic.

@@ -341,10 +341,18 @@ pub fn parse_model(text: &str) -> Result<Graph, ImportError> {
             "leakyrelu" => Op::LeakyRelu {
                 alpha: attrs.f32_or("alpha", 0.1)?,
             },
-            "add" => Op::Binary { kind: BinaryKind::Add },
-            "mul" => Op::Binary { kind: BinaryKind::Mul },
-            "sub" => Op::Binary { kind: BinaryKind::Sub },
-            "max" => Op::Binary { kind: BinaryKind::Max },
+            "add" => Op::Binary {
+                kind: BinaryKind::Add,
+            },
+            "mul" => Op::Binary {
+                kind: BinaryKind::Mul,
+            },
+            "sub" => Op::Binary {
+                kind: BinaryKind::Sub,
+            },
+            "max" => Op::Binary {
+                kind: BinaryKind::Max,
+            },
             "bn" => Op::BatchNorm,
             "layernorm" => Op::LayerNorm,
             "softmax" => Op::Softmax,
@@ -444,7 +452,11 @@ pub fn export_model(graph: &Graph) -> String {
         let n = &node.name;
         let line = match &node.op {
             Op::Input { ty } => {
-                format!("input {n} {} {}", dtype_to_string(ty.dtype), dims_to_string(&ty.dims))
+                format!(
+                    "input {n} {} {}",
+                    dtype_to_string(ty.dtype),
+                    dims_to_string(&ty.dims)
+                )
             }
             Op::Conv2d {
                 out_channels,
@@ -498,7 +510,10 @@ pub fn export_model(graph: &Graph) -> String {
             Op::Concat { axis } => format!("concat {n} {ins} axis={axis}"),
             Op::Transpose { perm } => format!(
                 "transpose {n} {ins} perm={}",
-                perm.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",")
+                perm.iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             Op::Reshape { dims } => format!("reshape {n} {ins} dims={}", dims_to_string(dims)),
             Op::Embedding { vocab, width } => {
@@ -564,10 +579,7 @@ output sm
 
     #[test]
     fn dynamic_dims_parse() {
-        let g = parse_model(
-            "model d\ninput x fp16 Nx128\ndense h x units=64\noutput h\n",
-        )
-        .unwrap();
+        let g = parse_model("model d\ninput x fp16 Nx128\ndense h x units=64\noutput h\n").unwrap();
         let shapes = g.infer_shapes().unwrap();
         assert_eq!(
             shapes[&g.outputs()[0]].dims[0],
@@ -589,8 +601,7 @@ output sm
 
     #[test]
     fn syntax_errors_carry_line_numbers() {
-        let err = parse_model("model m\ninput x fp16 1x4\nfrobnicate y x\noutput y\n")
-            .unwrap_err();
+        let err = parse_model("model m\ninput x fp16 1x4\nfrobnicate y x\noutput y\n").unwrap_err();
         assert!(matches!(err, ImportError::Syntax { line: 3, .. }), "{err}");
 
         let err = parse_model("input x fp99 1x4\n").unwrap_err();
@@ -622,16 +633,14 @@ output sm
     #[test]
     fn attr_validation() {
         // Positional after attribute.
-        let err = parse_model(
-            "model m\ninput x fp16 1x4\ninput y fp16 1x4\nadd s x k=1 y\noutput s\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_model("model m\ninput x fp16 1x4\ninput y fp16 1x4\nadd s x k=1 y\noutput s\n")
+                .unwrap_err();
         assert!(matches!(err, ImportError::Syntax { line: 4, .. }));
         // Duplicate attribute.
-        let err = parse_model(
-            "model m\ninput x fp16 1x3x8x8\nconv c x out=4 out=8 k=3\noutput c\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_model("model m\ninput x fp16 1x3x8x8\nconv c x out=4 out=8 k=3\noutput c\n")
+                .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 

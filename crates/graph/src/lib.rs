@@ -42,6 +42,6 @@ pub use fusion::{fuse, FusedGroup, FusionConfig, FusionPlan};
 pub use fusion_search::{plan_cost_ns, search_fuse, SearchConfig, SearchResult};
 pub use graph::{Graph, GraphError, Node, NodeId};
 pub use import::{export_model, parse_model, ImportError};
-pub use optimize::{optimize, OptimizeStats};
 pub use op::{BinaryKind, Dim, Op, PoolKind, TensorType};
+pub use optimize::{optimize, OptimizeStats};
 pub use shape_infer::infer_node_shape;

@@ -123,11 +123,7 @@ fn rebuild(
         if !keep.contains(&node.id) {
             continue;
         }
-        let inputs: Vec<NodeId> = node
-            .inputs
-            .iter()
-            .map(|&i| remap[&resolve(i)])
-            .collect();
+        let inputs: Vec<NodeId> = node.inputs.iter().map(|&i| remap[&resolve(i)]).collect();
         let new_id = match &node.op {
             Op::Input { ty } => out.input(node.name.clone(), ty.clone()),
             op => out.add_named_node(node.name.clone(), op.clone(), inputs)?,
@@ -266,7 +262,12 @@ mod tests {
     fn identity_transpose_removed() {
         let (mut g, x) = base();
         let t = g
-            .add_node(Op::Transpose { perm: vec![0, 1, 2, 3] }, vec![x])
+            .add_node(
+                Op::Transpose {
+                    perm: vec![0, 1, 2, 3],
+                },
+                vec![x],
+            )
             .unwrap();
         let r = g.add_node(Op::Relu, vec![t]).unwrap();
         g.mark_output(r);
@@ -280,10 +281,20 @@ mod tests {
     fn inverse_transpose_pair_cancelled() {
         let (mut g, x) = base();
         let t1 = g
-            .add_node(Op::Transpose { perm: vec![0, 2, 3, 1] }, vec![x])
+            .add_node(
+                Op::Transpose {
+                    perm: vec![0, 2, 3, 1],
+                },
+                vec![x],
+            )
             .unwrap();
         let t2 = g
-            .add_node(Op::Transpose { perm: vec![0, 3, 1, 2] }, vec![t1])
+            .add_node(
+                Op::Transpose {
+                    perm: vec![0, 3, 1, 2],
+                },
+                vec![t1],
+            )
             .unwrap();
         let r = g.add_node(Op::Relu, vec![t2]).unwrap();
         g.mark_output(r);
@@ -331,7 +342,12 @@ mod tests {
         let c1 = g.add_node(Op::conv2d(4, 3, 1, 1), vec![r1]).unwrap();
         let c2 = g.add_node(Op::conv2d(4, 3, 1, 1), vec![r2]).unwrap();
         let s = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![c1, c2])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![c1, c2],
+            )
             .unwrap();
         g.mark_output(s);
         let (opt, stats) = optimize(&g).unwrap();
@@ -351,7 +367,12 @@ mod tests {
     fn outputs_never_eliminated() {
         let (mut g, x) = base();
         let t = g
-            .add_node(Op::Transpose { perm: vec![0, 1, 2, 3] }, vec![x])
+            .add_node(
+                Op::Transpose {
+                    perm: vec![0, 1, 2, 3],
+                },
+                vec![x],
+            )
             .unwrap();
         g.mark_output(t); // the identity IS the output
         let (opt, stats) = optimize(&g).unwrap();
@@ -370,7 +391,12 @@ mod tests {
         let mut cur = x;
         for _ in 0..4 {
             cur = g
-                .add_node(Op::Transpose { perm: vec![0, 1, 2, 3] }, vec![cur])
+                .add_node(
+                    Op::Transpose {
+                        perm: vec![0, 1, 2, 3],
+                    },
+                    vec![cur],
+                )
                 .unwrap();
         }
         let r = g.add_node(Op::Relu, vec![cur]).unwrap();
@@ -392,7 +418,12 @@ mod tests {
         let b = g.add_node(Op::BatchNorm, vec![c1]).unwrap();
         let r = g.add_node(Op::Relu, vec![b]).unwrap();
         let a = g
-            .add_node(Op::Binary { kind: BinaryKind::Add }, vec![r, x])
+            .add_node(
+                Op::Binary {
+                    kind: BinaryKind::Add,
+                },
+                vec![r, x],
+            )
             .unwrap();
         g.mark_output(a);
         let (opt, _) = optimize(&g).unwrap();

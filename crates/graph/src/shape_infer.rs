@@ -46,7 +46,9 @@ pub fn infer_node_shape(op: &Op, inputs: &[&TensorType]) -> Result<TensorType, G
             }
             if let Some(c) = x.dims[1].value() {
                 if c % groups != 0 {
-                    return Err(fail(format!("channels {c} not divisible by groups {groups}")));
+                    return Err(fail(format!(
+                        "channels {c} not divisible by groups {groups}"
+                    )));
                 }
             }
             if out_channels % groups != 0 {
@@ -203,9 +205,7 @@ pub fn infer_node_shape(op: &Op, inputs: &[&TensorType]) -> Result<TensorType, G
                     if i != *axis {
                         if let (Some(x), Some(y)) = (da.value(), db.value()) {
                             if x != y {
-                                return Err(fail(format!(
-                                    "concat dim {i} differs: {x} vs {y}"
-                                )));
+                                return Err(fail(format!("concat dim {i} differs: {x} vs {y}")));
                             }
                         }
                     }
@@ -409,11 +409,14 @@ mod tests {
             &[&x],
         )
         .unwrap();
-        assert_eq!(
-            out.dims,
-            vec![Dim::Fixed(4), Dim::Fixed(2), Dim::Fixed(3)]
-        );
-        assert!(infer_node_shape(&Op::Transpose { perm: vec![0, 0, 1] }, &[&x]).is_err());
+        assert_eq!(out.dims, vec![Dim::Fixed(4), Dim::Fixed(2), Dim::Fixed(3)]);
+        assert!(infer_node_shape(
+            &Op::Transpose {
+                perm: vec![0, 0, 1]
+            },
+            &[&x]
+        )
+        .is_err());
 
         let r = infer_node_shape(
             &Op::Reshape {
@@ -474,8 +477,20 @@ mod tests {
         let a = t(&[2, 3]);
         let b = t(&[2, 3]);
         let c = t(&[3, 2]);
-        assert!(infer_node_shape(&Op::Binary { kind: crate::BinaryKind::Add }, &[&a, &b]).is_ok());
-        assert!(infer_node_shape(&Op::Binary { kind: crate::BinaryKind::Add }, &[&a, &c]).is_err());
+        assert!(infer_node_shape(
+            &Op::Binary {
+                kind: crate::BinaryKind::Add
+            },
+            &[&a, &b]
+        )
+        .is_ok());
+        assert!(infer_node_shape(
+            &Op::Binary {
+                kind: crate::BinaryKind::Add
+            },
+            &[&a, &c]
+        )
+        .is_err());
         let act = infer_node_shape(
             &Op::Activation {
                 func: SfuFunc::Gelu,

@@ -200,7 +200,10 @@ mod tests {
         // 1 + 2^-9 is below bf16 resolution near 1.0 (ulp = 2^-7).
         assert_eq!(DataType::Bf16.quantize(1.0 + 1.0 / 512.0), 1.0);
         // 1 + 2^-7 is exactly representable.
-        assert_eq!(DataType::Bf16.quantize(1.0 + 1.0 / 128.0), 1.0 + 1.0 / 128.0);
+        assert_eq!(
+            DataType::Bf16.quantize(1.0 + 1.0 / 128.0),
+            1.0 + 1.0 / 128.0
+        );
     }
 
     #[test]

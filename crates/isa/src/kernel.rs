@@ -226,7 +226,11 @@ mod tests {
             dst: RegId::new(RegClass::Vector, 0),
             srcs: vec![RegId::new(RegClass::Vector, 1)],
         });
-        let img = KernelImage::new(KernelId(1), KernelDescriptor::new("tiny"), vec![pkt.clone()]);
+        let img = KernelImage::new(
+            KernelId(1),
+            KernelDescriptor::new("tiny"),
+            vec![pkt.clone()],
+        );
         assert_eq!(img.code_bytes(), pkt.encoded_bytes() as u64);
         assert_eq!(img.packets().len(), 1);
         assert_eq!(img.id().to_string(), "k1");

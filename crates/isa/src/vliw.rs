@@ -306,9 +306,9 @@ impl Instruction {
         match self {
             Instruction::Scalar { .. } => FunctionalUnit::Scalar,
             Instruction::Vector { .. } => FunctionalUnit::Vector,
-            Instruction::MatrixFill { .. } | Instruction::Vmm { .. } | Instruction::AccRead { .. } => {
-                FunctionalUnit::Matrix
-            }
+            Instruction::MatrixFill { .. }
+            | Instruction::Vmm { .. }
+            | Instruction::AccRead { .. } => FunctionalUnit::Matrix,
             Instruction::Sfu { .. } => FunctionalUnit::Sfu,
             Instruction::Load { .. } | Instruction::KernelPrefetch { .. } => FunctionalUnit::Load,
             Instruction::Store { .. } => FunctionalUnit::Store,
@@ -446,7 +446,11 @@ impl Packet {
 
     /// Encoded size in bytes (slot bytes plus a 4-byte header).
     pub fn encoded_bytes(&self) -> usize {
-        4 + self.instrs.iter().map(Instruction::encoded_bytes).sum::<usize>()
+        4 + self
+            .instrs
+            .iter()
+            .map(Instruction::encoded_bytes)
+            .sum::<usize>()
     }
 
     /// Whether any pair of register operands in the packet collides on a
@@ -583,10 +587,7 @@ mod tests {
     #[test]
     fn bank_conflict_detection() {
         // Vector file has 4 banks; v0 and v4 share bank 0.
-        let p = Packet::try_bundle(vec![
-            vadd(1, 0, 4),
-        ])
-        .unwrap();
+        let p = Packet::try_bundle(vec![vadd(1, 0, 4)]).unwrap();
         assert!(p.has_bank_conflict());
         let q = Packet::try_bundle(vec![vadd(1, 0, 2)]).unwrap();
         assert!(!q.has_bank_conflict());

@@ -41,9 +41,7 @@ mod vision;
 
 pub use nlp::bert_large;
 pub use speech::conformer;
-pub use vision::{
-    centernet, inception_v4, resnet50, retinaface, srresnet, unet, vgg16, yolo_v3,
-};
+pub use vision::{centernet, inception_v4, resnet50, retinaface, srresnet, unet, vgg16, yolo_v3};
 
 use dtu_graph::Graph;
 use std::fmt;
@@ -187,16 +185,16 @@ mod tests {
         // Published single-sample GFLOPs (2*MACs), generous tolerances —
         // these pin the op-mix to the real architectures.
         let expect: [(Model, f64, f64); 10] = [
-            (Model::YoloV3, 80.0, 220.0),       // ~140 @608
-            (Model::CenterNet, 20.0, 90.0),     // backbone+deconv @512
-            (Model::RetinaFace, 30.0, 160.0),   // r50+FPN @640
-            (Model::Vgg16, 25.0, 40.0),         // ~31
-            (Model::Resnet50, 6.0, 12.0),       // ~8.2
-            (Model::InceptionV4, 16.0, 40.0),   // ~24
-            (Model::Unet, 100.0, 500.0),        // @512 heavy
-            (Model::SrResnet, 100.0, 280.0),    // full-res res blocks + 4x tail
-            (Model::BertLarge, 120.0, 280.0),   // ~180 @384
-            (Model::Conformer, 10.0, 120.0),    // encoder @401 frames
+            (Model::YoloV3, 80.0, 220.0),     // ~140 @608
+            (Model::CenterNet, 20.0, 90.0),   // backbone+deconv @512
+            (Model::RetinaFace, 30.0, 160.0), // r50+FPN @640
+            (Model::Vgg16, 25.0, 40.0),       // ~31
+            (Model::Resnet50, 6.0, 12.0),     // ~8.2
+            (Model::InceptionV4, 16.0, 40.0), // ~24
+            (Model::Unet, 100.0, 500.0),      // @512 heavy
+            (Model::SrResnet, 100.0, 280.0),  // full-res res blocks + 4x tail
+            (Model::BertLarge, 120.0, 280.0), // ~180 @384
+            (Model::Conformer, 10.0, 120.0),  // encoder @401 frames
         ];
         for (m, lo, hi) in expect {
             let g = m.build(1);
@@ -215,10 +213,7 @@ mod tests {
             let (_, c1) = graph_costs(&m.build(1)).unwrap();
             let (_, c8) = graph_costs(&m.build(8)).unwrap();
             let ratio = c8.macs as f64 / c1.macs as f64;
-            assert!(
-                (ratio - 8.0).abs() < 0.2,
-                "{m}: batch-8 MAC ratio {ratio}"
-            );
+            assert!((ratio - 8.0).abs() < 0.2, "{m}: batch-8 MAC ratio {ratio}");
         }
     }
 
@@ -257,8 +252,7 @@ mod tests {
         assert_eq!(Model::Conformer.category(), "Speech Recognition");
         assert_eq!(Model::Resnet50.to_string(), "Resnet50 v1.5");
         // Six distinct categories.
-        let cats: std::collections::BTreeSet<_> =
-            Model::ALL.iter().map(|m| m.category()).collect();
+        let cats: std::collections::BTreeSet<_> = Model::ALL.iter().map(|m| m.category()).collect();
         assert_eq!(cats.len(), 6);
     }
 

@@ -17,8 +17,13 @@ fn dense(g: &mut Graph, x: NodeId, units: usize) -> NodeId {
 }
 
 fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
-    g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![a, b])
-        .expect("add")
+    g.add_node(
+        Op::Binary {
+            kind: BinaryKind::Add,
+        },
+        vec![a, b],
+    )
+    .expect("add")
 }
 
 fn layer_norm(g: &mut Graph, x: NodeId) -> NodeId {
@@ -84,7 +89,12 @@ fn encoder_layer(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
     // Feed-forward.
     let up = dense(g, norm1, FFN);
     let act = g
-        .add_node(Op::Activation { func: SfuFunc::Gelu }, vec![up])
+        .add_node(
+            Op::Activation {
+                func: SfuFunc::Gelu,
+            },
+            vec![up],
+        )
         .expect("gelu");
     let down = dense(g, act, HIDDEN);
     let res2 = add(g, down, norm1);
@@ -112,10 +122,15 @@ pub fn bert_large(batch: usize) -> Graph {
         x = encoder_layer(&mut g, x, batch);
     }
     g.mark_output(x); // sequence output
-    // Pooler: first-token dense + tanh.
+                      // Pooler: first-token dense + tanh.
     let pooled = dense(&mut g, x, HIDDEN);
     let tanh = g
-        .add_node(Op::Activation { func: SfuFunc::Tanh }, vec![pooled])
+        .add_node(
+            Op::Activation {
+                func: SfuFunc::Tanh,
+            },
+            vec![pooled],
+        )
         .expect("tanh");
     g.mark_output(tanh);
     g

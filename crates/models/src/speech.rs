@@ -26,13 +26,23 @@ fn dense(g: &mut Graph, x: NodeId, units: usize) -> NodeId {
 }
 
 fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
-    g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![a, b])
-        .expect("add")
+    g.add_node(
+        Op::Binary {
+            kind: BinaryKind::Add,
+        },
+        vec![a, b],
+    )
+    .expect("add")
 }
 
 fn mul(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
-    g.add_node(Op::Binary { kind: BinaryKind::Mul }, vec![a, b])
-        .expect("mul")
+    g.add_node(
+        Op::Binary {
+            kind: BinaryKind::Mul,
+        },
+        vec![a, b],
+    )
+    .expect("mul")
 }
 
 fn ln(g: &mut Graph, x: NodeId) -> NodeId {
@@ -40,8 +50,13 @@ fn ln(g: &mut Graph, x: NodeId) -> NodeId {
 }
 
 fn swish(g: &mut Graph, x: NodeId) -> NodeId {
-    g.add_node(Op::Activation { func: SfuFunc::Swish }, vec![x])
-        .expect("swish")
+    g.add_node(
+        Op::Activation {
+            func: SfuFunc::Swish,
+        },
+        vec![x],
+    )
+    .expect("swish")
 }
 
 /// Half-step feed-forward module: LN → dense(2048) → swish → dense(512).
@@ -78,7 +93,8 @@ fn mhsa_module(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
         } else {
             vec![0, 2, 1, 3]
         };
-        g.add_node(Op::Transpose { perm }, vec![split]).expect("perm")
+        g.add_node(Op::Transpose { perm }, vec![split])
+            .expect("perm")
     };
     let qh = heads(g, q, false);
     let kh = heads(g, k, true);
@@ -114,7 +130,12 @@ fn conv_module(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
     let a = dense(g, n, D_MODEL);
     let b = dense(g, n, D_MODEL);
     let gate = g
-        .add_node(Op::Activation { func: SfuFunc::Sigmoid }, vec![b])
+        .add_node(
+            Op::Activation {
+                func: SfuFunc::Sigmoid,
+            },
+            vec![b],
+        )
         .expect("sigmoid");
     let glu = mul(g, a, gate);
     // Depthwise conv over time: reshape [b, seq, d] -> [b, d, seq, 1].
@@ -157,11 +178,7 @@ fn conv_module(g: &mut Graph, x: NodeId, batch: usize) -> NodeId {
     let flat = g
         .add_node(
             Op::Reshape {
-                dims: vec![
-                    Dim::Fixed(batch),
-                    Dim::Fixed(SEQ),
-                    Dim::Fixed(D_MODEL),
-                ],
+                dims: vec![Dim::Fixed(batch), Dim::Fixed(SEQ), Dim::Fixed(D_MODEL)],
             },
             vec![back],
         )
@@ -184,9 +201,13 @@ pub fn conformer(batch: usize) -> Graph {
     let mut g = Graph::new("Conformer");
     let feats = g.input("features", TensorType::fixed(&[batch, 1, FEATS, FRAMES]));
     // Subsampling: two 3x3 stride-2 convs -> [b, 256, 20, 101].
-    let c1 = g.add_node(Op::conv2d(SUB_CH, 3, 2, 1), vec![feats]).expect("sub1");
+    let c1 = g
+        .add_node(Op::conv2d(SUB_CH, 3, 2, 1), vec![feats])
+        .expect("sub1");
     let r1 = g.add_node(Op::Relu, vec![c1]).expect("relu");
-    let c2 = g.add_node(Op::conv2d(SUB_CH, 3, 2, 1), vec![r1]).expect("sub2");
+    let c2 = g
+        .add_node(Op::conv2d(SUB_CH, 3, 2, 1), vec![r1])
+        .expect("sub2");
     let r2 = g.add_node(Op::Relu, vec![c2]).expect("relu");
     // To sequence: [b, 256, 20, 101] -> [b, 101, 256*20] -> dense 512.
     let perm = g

@@ -9,21 +9,28 @@ use dtu_graph::{BinaryKind, Dim, Graph, NodeId, Op, PoolKind, TensorType};
 
 /// conv → folded BN → ReLU.
 fn cbr(g: &mut Graph, x: NodeId, out_c: usize, k: usize, s: usize, p: usize) -> NodeId {
-    let c = g.add_node(Op::conv2d(out_c, k, s, p), vec![x]).expect("conv");
+    let c = g
+        .add_node(Op::conv2d(out_c, k, s, p), vec![x])
+        .expect("conv");
     let b = g.add_node(Op::BatchNorm, vec![c]).expect("bn");
     g.add_node(Op::Relu, vec![b]).expect("relu")
 }
 
 /// conv → folded BN → LeakyReLU (the Darknet/YOLO stack).
 fn cbl(g: &mut Graph, x: NodeId, out_c: usize, k: usize, s: usize, p: usize) -> NodeId {
-    let c = g.add_node(Op::conv2d(out_c, k, s, p), vec![x]).expect("conv");
+    let c = g
+        .add_node(Op::conv2d(out_c, k, s, p), vec![x])
+        .expect("conv");
     let b = g.add_node(Op::BatchNorm, vec![c]).expect("bn");
-    g.add_node(Op::LeakyRelu { alpha: 0.1 }, vec![b]).expect("leaky")
+    g.add_node(Op::LeakyRelu { alpha: 0.1 }, vec![b])
+        .expect("leaky")
 }
 
 /// plain conv → ReLU (VGG / UNet style, no BN).
 fn cr(g: &mut Graph, x: NodeId, out_c: usize, k: usize, s: usize, p: usize) -> NodeId {
-    let c = g.add_node(Op::conv2d(out_c, k, s, p), vec![x]).expect("conv");
+    let c = g
+        .add_node(Op::conv2d(out_c, k, s, p), vec![x])
+        .expect("conv");
     g.add_node(Op::Relu, vec![c]).expect("relu")
 }
 
@@ -40,8 +47,13 @@ fn maxpool(g: &mut Graph, x: NodeId, k: usize, s: usize) -> NodeId {
 }
 
 fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
-    g.add_node(Op::Binary { kind: BinaryKind::Add }, vec![a, b])
-        .expect("add")
+    g.add_node(
+        Op::Binary {
+            kind: BinaryKind::Add,
+        },
+        vec![a, b],
+    )
+    .expect("add")
 }
 
 /// VGG16 at 3x224x224 (Simonyan & Zisserman).
@@ -63,11 +75,17 @@ pub fn vgg16(batch: usize) -> Graph {
             vec![x],
         )
         .expect("flatten");
-    let f1 = g.add_node(Op::Dense { units: 4096 }, vec![flat]).expect("fc1");
+    let f1 = g
+        .add_node(Op::Dense { units: 4096 }, vec![flat])
+        .expect("fc1");
     let r1 = g.add_node(Op::Relu, vec![f1]).expect("relu");
-    let f2 = g.add_node(Op::Dense { units: 4096 }, vec![r1]).expect("fc2");
+    let f2 = g
+        .add_node(Op::Dense { units: 4096 }, vec![r1])
+        .expect("fc2");
     let r2 = g.add_node(Op::Relu, vec![f2]).expect("relu");
-    let f3 = g.add_node(Op::Dense { units: 1000 }, vec![r2]).expect("fc3");
+    let f3 = g
+        .add_node(Op::Dense { units: 1000 }, vec![r2])
+        .expect("fc3");
     let sm = g.add_node(Op::Softmax, vec![f3]).expect("softmax");
     g.mark_output(sm);
     g
@@ -146,7 +164,9 @@ pub fn resnet50(batch: usize) -> Graph {
             vec![pool],
         )
         .expect("flatten");
-    let fc = g.add_node(Op::Dense { units: 1000 }, vec![flat]).expect("fc");
+    let fc = g
+        .add_node(Op::Dense { units: 1000 }, vec![flat])
+        .expect("fc");
     let sm = g.add_node(Op::Softmax, vec![fc]).expect("softmax");
     g.mark_output(sm);
     g
@@ -204,11 +224,8 @@ fn inception_c(g: &mut Graph, x: NodeId) -> NodeId {
     let b2l = cbr(g, b2b, 256, 3, 1, 1);
     let b2r = cbr(g, b2b, 256, 3, 1, 1);
     let b3 = cbr(g, x, 256, 1, 1, 0);
-    g.add_node(
-        Op::Concat { axis: 1 },
-        vec![b0, b1l, b1r, b2l, b2r, b3],
-    )
-    .expect("concat")
+    g.add_node(Op::Concat { axis: 1 }, vec![b0, b1l, b1r, b2l, b2r, b3])
+        .expect("concat")
 }
 
 /// Inception v4 at 3x299x299 (Szegedy et al.).
@@ -270,7 +287,9 @@ pub fn inception_v4(batch: usize) -> Graph {
             vec![pool],
         )
         .expect("flatten");
-    let fc = g.add_node(Op::Dense { units: 1000 }, vec![flat]).expect("fc");
+    let fc = g
+        .add_node(Op::Dense { units: 1000 }, vec![flat])
+        .expect("fc");
     let sm = g.add_node(Op::Softmax, vec![fc]).expect("softmax");
     g.mark_output(sm);
     g
@@ -309,27 +328,37 @@ pub fn yolo_v3(batch: usize) -> Graph {
     };
     let s1 = conv_set(&mut g, x, 512);
     let p1a = cbl(&mut g, s1, 1024, 3, 1, 1);
-    let p1 = g.add_node(Op::conv2d(255, 1, 1, 0), vec![p1a]).expect("det1");
+    let p1 = g
+        .add_node(Op::conv2d(255, 1, 1, 0), vec![p1a])
+        .expect("det1");
     g.mark_output(p1);
 
     let u1a = cbl(&mut g, s1, 256, 1, 1, 0);
-    let u1 = g.add_node(Op::Upsample { scale: 2 }, vec![u1a]).expect("up");
+    let u1 = g
+        .add_node(Op::Upsample { scale: 2 }, vec![u1a])
+        .expect("up");
     let cat1 = g
         .add_node(Op::Concat { axis: 1 }, vec![u1, routes[1]])
         .expect("concat");
     let s2 = conv_set(&mut g, cat1, 256);
     let p2a = cbl(&mut g, s2, 512, 3, 1, 1);
-    let p2 = g.add_node(Op::conv2d(255, 1, 1, 0), vec![p2a]).expect("det2");
+    let p2 = g
+        .add_node(Op::conv2d(255, 1, 1, 0), vec![p2a])
+        .expect("det2");
     g.mark_output(p2);
 
     let u2a = cbl(&mut g, s2, 128, 1, 1, 0);
-    let u2 = g.add_node(Op::Upsample { scale: 2 }, vec![u2a]).expect("up");
+    let u2 = g
+        .add_node(Op::Upsample { scale: 2 }, vec![u2a])
+        .expect("up");
     let cat2 = g
         .add_node(Op::Concat { axis: 1 }, vec![u2, routes[0]])
         .expect("concat");
     let s3 = conv_set(&mut g, cat2, 128);
     let p3a = cbl(&mut g, s3, 256, 3, 1, 1);
-    let p3 = g.add_node(Op::conv2d(255, 1, 1, 0), vec![p3a]).expect("det3");
+    let p3 = g
+        .add_node(Op::conv2d(255, 1, 1, 0), vec![p3a])
+        .expect("det3");
     g.mark_output(p3);
     g
 }
@@ -337,7 +366,9 @@ pub fn yolo_v3(batch: usize) -> Graph {
 /// One ResNet-18 basic block.
 fn basic_block(g: &mut Graph, x: NodeId, channels: usize, stride: usize) -> NodeId {
     let a = cbr(g, x, channels, 3, stride, 1);
-    let b = g.add_node(Op::conv2d(channels, 3, 1, 1), vec![a]).expect("conv");
+    let b = g
+        .add_node(Op::conv2d(channels, 3, 1, 1), vec![a])
+        .expect("conv");
     let b = g.add_node(Op::BatchNorm, vec![b]).expect("bn");
     let shortcut = if stride != 1 {
         let s = g
@@ -380,7 +411,9 @@ pub fn centernet(batch: usize) -> Graph {
     // Heads: heatmaps (80 classes), size (2), offset (2).
     for out_ch in [80usize, 2, 2] {
         let h = cr(&mut g, x, 64, 3, 1, 1);
-        let o = g.add_node(Op::conv2d(out_ch, 1, 1, 0), vec![h]).expect("head");
+        let o = g
+            .add_node(Op::conv2d(out_ch, 1, 1, 0), vec![h])
+            .expect("head");
         g.mark_output(o);
     }
     g
@@ -391,9 +424,13 @@ pub fn centernet(batch: usize) -> Graph {
 fn ssh(g: &mut Graph, x: NodeId) -> NodeId {
     let b3 = g.add_node(Op::conv2d(128, 3, 1, 1), vec![x]).expect("ssh3");
     let c5a = cbr(g, x, 64, 3, 1, 1);
-    let b5 = g.add_node(Op::conv2d(64, 3, 1, 1), vec![c5a]).expect("ssh5");
+    let b5 = g
+        .add_node(Op::conv2d(64, 3, 1, 1), vec![c5a])
+        .expect("ssh5");
     let c7a = cbr(g, c5a, 64, 3, 1, 1);
-    let b7 = g.add_node(Op::conv2d(64, 3, 1, 1), vec![c7a]).expect("ssh7");
+    let b7 = g
+        .add_node(Op::conv2d(64, 3, 1, 1), vec![c7a])
+        .expect("ssh7");
     let cat = g
         .add_node(Op::Concat { axis: 1 }, vec![b3, b5, b7])
         .expect("concat");
@@ -473,7 +510,9 @@ pub fn unet(batch: usize) -> Graph {
 fn sr_block(g: &mut Graph, x: NodeId) -> NodeId {
     let a = g.add_node(Op::conv2d(64, 3, 1, 1), vec![x]).expect("conv");
     let a = g.add_node(Op::BatchNorm, vec![a]).expect("bn");
-    let a = g.add_node(Op::LeakyRelu { alpha: 0.2 }, vec![a]).expect("prelu");
+    let a = g
+        .add_node(Op::LeakyRelu { alpha: 0.2 }, vec![a])
+        .expect("prelu");
     let b = g.add_node(Op::conv2d(64, 3, 1, 1), vec![a]).expect("conv");
     let b = g.add_node(Op::BatchNorm, vec![b]).expect("bn");
     add(g, b, x)
@@ -494,7 +533,9 @@ pub fn srresnet(batch: usize) -> Graph {
             vec![image],
         )
         .expect("to_nchw");
-    let head = g.add_node(Op::conv2d(64, 9, 1, 4), vec![nchw]).expect("conv9");
+    let head = g
+        .add_node(Op::conv2d(64, 9, 1, 4), vec![nchw])
+        .expect("conv9");
     let head = g
         .add_node(Op::LeakyRelu { alpha: 0.2 }, vec![head])
         .expect("prelu");
@@ -510,7 +551,9 @@ pub fn srresnet(batch: usize) -> Graph {
     let mut h = 224usize;
     for _ in 0..2 {
         let c = g.add_node(Op::conv2d(256, 3, 1, 1), vec![x]).expect("conv");
-        let c = g.add_node(Op::LeakyRelu { alpha: 0.2 }, vec![c]).expect("prelu");
+        let c = g
+            .add_node(Op::LeakyRelu { alpha: 0.2 }, vec![c])
+            .expect("prelu");
         let shuffled = g
             .add_node(
                 Op::Reshape {

@@ -235,10 +235,7 @@ impl Cpme {
     pub fn is_consistent(&self) -> bool {
         let allocated: u64 = self.allocation.values().sum();
         allocated + self.reserve_mw == self.limit_mw
-            && self
-                .allocation
-                .iter()
-                .all(|(u, &a)| a >= self.baseline[u])
+            && self.allocation.iter().all(|(u, &a)| a >= self.baseline[u])
     }
 
     /// The units managed by this CPME.
@@ -332,13 +329,21 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let unit = units[(x >> 33) as usize % 2];
             let amt = x % 3_000;
             if x.is_multiple_of(2) {
                 c.request(unit, amt);
             } else {
-                let held = c.allocation_mw(unit).saturating_sub(if unit.kind == UnitKind::Core { 2_000 } else { 1_000 });
+                let held = c
+                    .allocation_mw(unit)
+                    .saturating_sub(if unit.kind == UnitKind::Core {
+                        2_000
+                    } else {
+                        1_000
+                    });
                 let _ = c.release(unit, amt.min(held));
             }
             assert!(c.is_consistent());

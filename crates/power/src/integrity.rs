@@ -125,7 +125,10 @@ impl Lpme {
     ///
     /// Saturates at the baseline — the LPME never gives that portion up.
     pub fn relinquish(&mut self, amount_mw: u64) {
-        self.budget_mw = self.budget_mw.saturating_sub(amount_mw).max(self.baseline_mw);
+        self.budget_mw = self
+            .budget_mw
+            .saturating_sub(amount_mw)
+            .max(self.baseline_mw);
     }
 
     /// Digests one observation window and produces the control action
@@ -258,7 +261,7 @@ mod tests {
     fn surplus_is_returned_with_headroom() {
         let mut l = Lpme::new(cfg(), 2_000);
         l.grant(2_000); // holding 4000, baseline 2000
-        // Projection 1000: needs 1250 with headroom, surplus = min(2750, borrowed 2000).
+                        // Projection 1000: needs 1250 with headroom, surplus = min(2750, borrowed 2000).
         let a = l.observe(window(100, 0, 1_000));
         assert_eq!(a, LpmeAction::ReturnBudget(2_000));
         l.relinquish(2_000);

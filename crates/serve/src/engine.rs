@@ -16,6 +16,7 @@ use crate::stats::LatencyStats;
 use crate::{ArrivalGen, ServeError};
 use dtu_compiler::Placement;
 use dtu_sim::{ChipConfig, GroupId};
+use dtu_telemetry::{clock::ms_to_ns, Layer, Recorder, Span, SpanKind};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
@@ -144,6 +145,51 @@ pub fn run_serving(
         engine.step(ev, cfg)?;
     }
     Ok(engine.finish(cfg))
+}
+
+/// Runs a serving scenario with a telemetry [`Recorder`] attached.
+///
+/// In addition to the normal [`ServeOutcome`], the run's event log is
+/// recorded as `Layer::Serving` spans on the shared nanosecond clock:
+/// one [`SpanKind::Request`] interval per request (arrival →
+/// completion), one [`SpanKind::Batch`] interval per dispatched batch,
+/// and markers for sheds, completions, and scale decisions. With a
+/// disabled recorder this is exactly [`run_serving`].
+///
+/// # Errors
+///
+/// As for [`run_serving`].
+pub fn run_serving_recorded(
+    cfg: &ServeConfig,
+    chip: &ChipConfig,
+    models: &mut [&mut dyn ServiceModel],
+    rec: &mut dyn Recorder,
+) -> Result<ServeOutcome, ServeError> {
+    if !rec.enabled() {
+        return run_serving(cfg, chip, models);
+    }
+    // Request spans need per-request outcomes; record them for the
+    // duration of the run even if the caller did not ask to keep them.
+    let mut run_cfg = cfg.clone();
+    run_cfg.record_requests = true;
+    let mut out = run_serving(&run_cfg, chip, models)?;
+    for span in out.trace.to_spans() {
+        rec.record(span);
+    }
+    for r in &out.requests {
+        rec.record(Span::new(
+            SpanKind::Request,
+            Layer::Serving,
+            r.tenant as u32,
+            format!("req {}{}", r.req, if r.violated { " (late)" } else { "" }),
+            ms_to_ns(r.arrival_ms),
+            ms_to_ns(r.done_ms),
+        ));
+    }
+    if !cfg.record_requests {
+        out.requests.clear();
+    }
+    Ok(out)
 }
 
 impl<'m, 's> Engine<'m, 's> {
@@ -288,7 +334,7 @@ impl<'m, 's> Engine<'m, 's> {
             if depth >= ten.spec.sla.max_queue_depth {
                 ten.shed += 1;
                 self.trace.events.push(ServeEvent {
-                    t_ms: t,
+                    t_ns: ms_to_ns(t),
                     tenant,
                     kind: ServeEventKind::Shed { req: req_id, depth },
                 });
@@ -299,7 +345,7 @@ impl<'m, 's> Engine<'m, 's> {
                     deadline_ms: t + ten.spec.sla.deadline_ms,
                 });
                 self.trace.events.push(ServeEvent {
-                    t_ms: t,
+                    t_ns: ms_to_ns(t),
                     tenant,
                     kind: ServeEventKind::Arrival {
                         req: req_id,
@@ -373,7 +419,7 @@ impl<'m, 's> Engine<'m, 's> {
         ten.busy_ms += service_ms;
         *ten.batch_hist.entry(count).or_insert(0) += 1;
         self.trace.events.push(ServeEvent {
-            t_ms: t,
+            t_ns: ms_to_ns(t),
             tenant,
             kind: ServeEventKind::Dispatch {
                 batch: count,
@@ -408,7 +454,7 @@ impl<'m, 's> Engine<'m, 's> {
             ten.busy = false;
             let depth = ten.queue.len();
             self.trace.events.push(ServeEvent {
-                t_ms: t,
+                t_ns: ms_to_ns(t),
                 tenant,
                 kind: ServeEventKind::Complete { batch, depth },
             });
@@ -428,7 +474,8 @@ impl<'m, 's> Engine<'m, 's> {
         let cap = policy.max_groups.min(self.slots[cluster].len());
         if ten.delay_ema > policy.high_delay_ms && owned < cap {
             // Grab the first free slot in the tenant's cluster, if any.
-            if let Some(g) = (0..self.slots[cluster].len()).find(|&g| self.slots[cluster][g].is_none())
+            if let Some(g) =
+                (0..self.slots[cluster].len()).find(|&g| self.slots[cluster][g].is_none())
             {
                 self.slots[cluster][g] = Some(tenant);
                 let ten = &mut self.tenants[tenant];
@@ -436,7 +483,7 @@ impl<'m, 's> Engine<'m, 's> {
                 ten.scale_ups += 1;
                 ten.last_scale_ms = t;
                 self.trace.events.push(ServeEvent {
-                    t_ms: t,
+                    t_ns: ms_to_ns(t),
                     tenant,
                     kind: ServeEventKind::Scale {
                         from: owned,
@@ -451,7 +498,7 @@ impl<'m, 's> Engine<'m, 's> {
             ten.scale_downs += 1;
             ten.last_scale_ms = t;
             self.trace.events.push(ServeEvent {
-                t_ms: t,
+                t_ns: ms_to_ns(t),
                 tenant,
                 kind: ServeEventKind::Scale {
                     from: owned,
@@ -651,8 +698,7 @@ mod tests {
         assert_eq!(out.report.tenants.len(), 6);
         // All 6 groups of the i20 are claimed: a 7th tenant must fail.
         let mut over = cfg.clone();
-        over.tenants
-            .push(TenantSpec::poisson("t6", 0, 100.0));
+        over.tenants.push(TenantSpec::poisson("t6", 0, 100.0));
         let mut m2 = AnalyticModel::new("m", 0.5);
         assert!(run_serving(&over, &ChipConfig::dtu20(), &mut [&mut m2]).is_err());
     }
@@ -679,10 +725,40 @@ mod tests {
             assert!(kinds.contains(k), "missing {k} events");
         }
         // Trace times are monotone.
-        assert!(out
-            .trace
-            .events
-            .windows(2)
-            .all(|w| w[0].t_ms <= w[1].t_ms));
+        assert!(out.trace.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn recorded_run_emits_request_spans_and_matches_plain_run() {
+        use dtu_telemetry::TraceBuffer;
+        let cfg = one_tenant(200.0);
+        let mut m = AnalyticModel::new("m", 1.0);
+        let plain = run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).unwrap();
+        let mut buf = TraceBuffer::new();
+        let mut m2 = AnalyticModel::new("m", 1.0);
+        let rec =
+            run_serving_recorded(&cfg, &ChipConfig::dtu20(), &mut [&mut m2], &mut buf).unwrap();
+        // Recording must not perturb the simulation or leak request
+        // outcomes the caller did not ask for.
+        assert_eq!(plain.report, rec.report);
+        assert!(rec.requests.is_empty());
+        let reqs: Vec<_> = buf
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Request)
+            .collect();
+        assert_eq!(reqs.len() as u64, rec.report.completed);
+        for s in &reqs {
+            assert_eq!(s.layer, Layer::Serving);
+            assert!(s.end_ns >= s.start_ns);
+        }
+        // Batch spans from the event log ride along on the same clock.
+        assert!(buf.spans().iter().any(|s| s.kind == SpanKind::Batch));
+        // A disabled recorder takes the plain path.
+        let mut m3 = AnalyticModel::new("m", 1.0);
+        let mut null = dtu_telemetry::NullRecorder;
+        let nulled =
+            run_serving_recorded(&cfg, &ChipConfig::dtu20(), &mut [&mut m3], &mut null).unwrap();
+        assert_eq!(nulled.report, plain.report);
     }
 }

@@ -58,7 +58,7 @@ pub mod stats;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, ServeRng};
 pub use config::{BatchPolicy, ScalePolicy, ServeConfig, SlaPolicy, TenantSpec};
-pub use engine::{run_serving, ServeOutcome};
+pub use engine::{run_serving, run_serving_recorded, ServeOutcome};
 pub use metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };

@@ -6,6 +6,7 @@
 //! profiler's Chrome-trace export.
 
 use crate::stats::LatencyStats;
+use dtu_telemetry::{Layer, Span, SpanKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -169,12 +170,19 @@ pub enum ServeEventKind {
 /// One trace record: time, tenant, event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeEvent {
-    /// Simulated time, ms.
-    pub t_ms: f64,
+    /// Simulated time on the shared telemetry clock, ns.
+    pub t_ns: f64,
     /// Tenant index.
     pub tenant: usize,
     /// The event.
     pub kind: ServeEventKind,
+}
+
+impl ServeEvent {
+    /// Event time in the serving engine's native milliseconds.
+    pub fn t_ms(&self) -> f64 {
+        dtu_telemetry::clock::ns_to_ms(self.t_ns)
+    }
 }
 
 /// The run's event log, exportable as JSON lines.
@@ -195,41 +203,99 @@ impl ServingTrace {
         self.events.is_empty()
     }
 
-    /// Serialises the trace as JSON lines (one object per record).
+    /// Serialises the trace as JSON lines (one object per record),
+    /// through the shared `dtu-telemetry` JSON emitter. Times are on
+    /// the shared nanosecond clock (`t_ns`).
     pub fn to_jsonl(&self) -> String {
+        use dtu_telemetry::json::JsonObject;
         let mut out = String::with_capacity(self.events.len() * 64);
         for e in &self.events {
-            let (kind, detail) = match &e.kind {
-                ServeEventKind::Arrival { req, depth } => {
-                    ("arrival", format!("\"req\":{req},\"depth\":{depth}"))
-                }
-                ServeEventKind::Shed { req, depth } => {
-                    ("shed", format!("\"req\":{req},\"depth\":{depth}"))
-                }
+            let o = JsonObject::new()
+                .num("t_ns", e.t_ns)
+                .int("tenant", e.tenant as i64);
+            let o = match &e.kind {
+                ServeEventKind::Arrival { req, depth } => o
+                    .string("kind", "arrival")
+                    .int("req", *req as i64)
+                    .int("depth", *depth as i64),
+                ServeEventKind::Shed { req, depth } => o
+                    .string("kind", "shed")
+                    .int("req", *req as i64)
+                    .int("depth", *depth as i64),
                 ServeEventKind::Dispatch {
                     batch,
                     compiled_batch,
                     groups,
                     service_ms,
-                } => (
-                    "dispatch",
-                    format!(
-                        "\"batch\":{batch},\"compiled_batch\":{compiled_batch},\"groups\":{groups},\"service_ms\":{service_ms}"
-                    ),
-                ),
-                ServeEventKind::Complete { batch, depth } => {
-                    ("complete", format!("\"batch\":{batch},\"depth\":{depth}"))
-                }
-                ServeEventKind::Scale { from, to } => {
-                    ("scale", format!("\"from\":{from},\"to\":{to}"))
-                }
+                } => o
+                    .string("kind", "dispatch")
+                    .int("batch", *batch as i64)
+                    .int("compiled_batch", *compiled_batch as i64)
+                    .int("groups", *groups as i64)
+                    .num("service_ms", *service_ms),
+                ServeEventKind::Complete { batch, depth } => o
+                    .string("kind", "complete")
+                    .int("batch", *batch as i64)
+                    .int("depth", *depth as i64),
+                ServeEventKind::Scale { from, to } => o
+                    .string("kind", "scale")
+                    .int("from", *from as i64)
+                    .int("to", *to as i64),
             };
-            out.push_str(&format!(
-                "{{\"t_ms\":{},\"tenant\":{},\"kind\":\"{}\",{}}}\n",
-                e.t_ms, e.tenant, kind, detail
-            ));
+            out.push_str(&o.build());
+            out.push('\n');
         }
         out
+    }
+
+    /// Converts the event log to telemetry spans on `Layer::Serving`
+    /// (track = tenant index): dispatches become [`SpanKind::Batch`]
+    /// intervals covering their service time, everything else becomes
+    /// an instantaneous marker.
+    pub fn to_spans(&self) -> Vec<Span> {
+        use dtu_telemetry::clock::ms_to_ns;
+        self.events
+            .iter()
+            .map(|e| match &e.kind {
+                ServeEventKind::Dispatch {
+                    batch,
+                    groups,
+                    service_ms,
+                    ..
+                } => Span::new(
+                    SpanKind::Batch,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("batch {batch} on {groups} groups"),
+                    e.t_ns,
+                    e.t_ns + ms_to_ns(*service_ms),
+                ),
+                ServeEventKind::Arrival { req, .. } => Span::marker(
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("arrival {req}"),
+                    e.t_ns,
+                ),
+                ServeEventKind::Shed { req, .. } => Span::marker(
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("shed {req}"),
+                    e.t_ns,
+                ),
+                ServeEventKind::Complete { batch, .. } => Span::marker(
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("complete {batch}"),
+                    e.t_ns,
+                ),
+                ServeEventKind::Scale { from, to } => Span::marker(
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("scale {from}->{to}"),
+                    e.t_ns,
+                ),
+            })
+            .collect()
     }
 
     /// Queue-depth time series for one tenant, reconstructed from the
@@ -244,7 +310,7 @@ impl ServingTrace {
                 ServeEventKind::Complete { depth: d, .. } => depth = *d,
                 _ => continue,
             }
-            series.push((e.t_ms, depth));
+            series.push((e.t_ms(), depth));
         }
         series
     }
@@ -272,17 +338,19 @@ pub struct RequestOutcome {
 mod tests {
     use super::*;
 
+    use dtu_telemetry::clock::ms_to_ns;
+
     #[test]
     fn jsonl_is_one_object_per_event() {
         let trace = ServingTrace {
             events: vec![
                 ServeEvent {
-                    t_ms: 1.5,
+                    t_ns: ms_to_ns(1.5),
                     tenant: 0,
                     kind: ServeEventKind::Arrival { req: 1, depth: 1 },
                 },
                 ServeEvent {
-                    t_ms: 2.0,
+                    t_ns: ms_to_ns(2.0),
                     tenant: 0,
                     kind: ServeEventKind::Dispatch {
                         batch: 1,
@@ -295,8 +363,11 @@ mod tests {
         };
         let jsonl = trace.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
-        assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(jsonl.contains("\"kind\":\"dispatch\""));
+        assert!(jsonl.contains("\"t_ns\":1500000"), "shared ns clock");
     }
 
     #[test]
@@ -304,12 +375,12 @@ mod tests {
         let trace = ServingTrace {
             events: vec![
                 ServeEvent {
-                    t_ms: 1.0,
+                    t_ns: ms_to_ns(1.0),
                     tenant: 0,
                     kind: ServeEventKind::Arrival { req: 1, depth: 1 },
                 },
                 ServeEvent {
-                    t_ms: 1.0,
+                    t_ns: ms_to_ns(1.0),
                     tenant: 0,
                     kind: ServeEventKind::Dispatch {
                         batch: 1,
@@ -319,7 +390,7 @@ mod tests {
                     },
                 },
                 ServeEvent {
-                    t_ms: 2.0,
+                    t_ns: ms_to_ns(2.0),
                     tenant: 0,
                     kind: ServeEventKind::Complete { batch: 1, depth: 0 },
                 },
@@ -330,6 +401,38 @@ mod tests {
             vec![(1.0, 1), (1.0, 0), (2.0, 0)]
         );
         assert!(trace.queue_depth_series(7).is_empty());
+    }
+
+    #[test]
+    fn spans_from_trace_use_shared_clock() {
+        let trace = ServingTrace {
+            events: vec![
+                ServeEvent {
+                    t_ns: ms_to_ns(2.0),
+                    tenant: 3,
+                    kind: ServeEventKind::Dispatch {
+                        batch: 4,
+                        compiled_batch: 4,
+                        groups: 2,
+                        service_ms: 0.5,
+                    },
+                },
+                ServeEvent {
+                    t_ns: ms_to_ns(2.1),
+                    tenant: 3,
+                    kind: ServeEventKind::Shed { req: 9, depth: 8 },
+                },
+            ],
+        };
+        let spans = trace.to_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::Batch);
+        assert_eq!(spans[0].layer, Layer::Serving);
+        assert_eq!(spans[0].track, 3);
+        assert_eq!(spans[0].start_ns, 2_000_000.0);
+        assert_eq!(spans[0].end_ns, 2_500_000.0);
+        assert_eq!(spans[1].kind, SpanKind::Marker);
+        assert_eq!(spans[1].duration_ns(), 0.0);
     }
 
     #[test]

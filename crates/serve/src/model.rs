@@ -287,10 +287,7 @@ mod tests {
         let mut m = CompiledModel::from_graph(&chip, "fixed", toy(1));
         let p = Placement::explicit(vec![GroupId::new(0, 0)]);
         assert!(m.service_ms(1, &p).is_ok());
-        assert!(matches!(
-            m.service_ms(2, &p),
-            Err(ServeError::Config(_))
-        ));
+        assert!(matches!(m.service_ms(2, &p), Err(ServeError::Config(_))));
     }
 
     #[test]

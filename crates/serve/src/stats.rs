@@ -132,6 +132,40 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_heavy_sample_reports_observed_values() {
+        // A tail of identical values must not confuse nearest-rank:
+        // every percentile is one of the two distinct observations.
+        let mut v = vec![5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0];
+        let s = LatencyStats::from_latencies(&mut v);
+        assert_eq!(s.p50_ms, 5.0);
+        assert_eq!(s.p95_ms, 9.0);
+        assert_eq!(s.p99_ms, 9.0);
+        assert_eq!(s.max_ms, 9.0);
+    }
+
+    #[test]
+    fn short_sample_p99_is_the_maximum() {
+        // With fewer than 100 samples the 99th percentile has no
+        // interior rank to land on: nearest-rank resolves to the max
+        // for n <= 50 (rank(0.99) rounds to n-1).
+        for n in 2..=50 {
+            let mut v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let s = LatencyStats::from_latencies(&mut v);
+            assert_eq!(s.p99_ms, s.max_ms, "n={n}");
+        }
+    }
+
+    #[test]
+    fn two_element_sample_splits_at_the_midpoint() {
+        let v = [1.0, 2.0];
+        // rank(p) = round(p): below 0.5 the minimum, at and above 0.5
+        // (f64 round half-up) the maximum.
+        assert_eq!(percentile(&v, 0.49), 1.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.51), 2.0);
+    }
+
+    #[test]
     fn percentiles_are_monotone_in_p() {
         let mut v: Vec<f64> = (0..101).map(|i| i as f64).collect();
         let s = LatencyStats::from_latencies(&mut v);

@@ -209,6 +209,6 @@ fn trace_records_scaling_and_queue_depths() {
     // Every line parses as a flat JSON object with the shared fields.
     for line in jsonl.lines() {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
-        assert!(line.contains("\"t_ms\":") && line.contains("\"tenant\":"));
+        assert!(line.contains("\"t_ns\":") && line.contains("\"tenant\":"));
     }
 }

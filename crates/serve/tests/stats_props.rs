@@ -1,0 +1,46 @@
+//! Property tests for the percentile implementation: whatever the
+//! sample, percentiles must be monotone in `p`, always an observed
+//! value, and bracketed by the sample's extremes.
+
+use dtu_serve::{percentile, LatencyStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn percentile_is_monotone_in_p(
+        sample in vec(0.0f64..1_000.0, 1..64),
+        p_lo in 0.0f64..1.0,
+        p_hi in 0.0f64..1.0
+    ) {
+        let mut sorted = sample;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let (lo, hi) = if p_lo <= p_hi { (p_lo, p_hi) } else { (p_hi, p_lo) };
+        prop_assert!(percentile(&sorted, lo) <= percentile(&sorted, hi));
+    }
+
+    #[test]
+    fn percentile_is_an_observed_value_within_range(
+        sample in vec(0.0f64..1_000.0, 1..64),
+        p in 0.0f64..1.0
+    ) {
+        let mut sorted = sample;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let v = percentile(&sorted, p);
+        prop_assert!(sorted.contains(&v));
+        prop_assert!(*sorted.first().expect("non-empty") <= v);
+        prop_assert!(v <= *sorted.last().expect("non-empty"));
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered(
+        sample in vec(0.0f64..1_000.0, 1..64)
+    ) {
+        let mut s = sample;
+        let stats = LatencyStats::from_latencies(&mut s);
+        prop_assert!(stats.p50_ms <= stats.p95_ms);
+        prop_assert!(stats.p95_ms <= stats.p99_ms);
+        prop_assert!(stats.p99_ms <= stats.max_ms);
+        prop_assert!(stats.mean_ms <= stats.max_ms);
+    }
+}

@@ -14,7 +14,7 @@ use crate::config::ChipConfig;
 use crate::dma::{DmaEngine, DmaError};
 use crate::icache::InstructionCache;
 use crate::memory::MemoryHierarchy;
-use crate::profile::{Timeline, TraceEvent, TraceKind};
+use crate::profile::Timeline;
 use crate::program::{Command, GroupId, Program};
 use crate::report::{EngineCounters, RunReport};
 use crate::sync::{SyncEngine, SyncError};
@@ -22,6 +22,10 @@ use dtu_isa::KernelDescriptor;
 use dtu_power::{
     Cpme, DvfsGovernor, EnergyAccount, EnergyModel, Lpme, LpmeAction, PowerConfig, UnitId,
     WindowObservation,
+};
+use dtu_telemetry::{
+    Counter, CounterSet, CounterSnapshot, Layer, NullRecorder, Recorder, Span, SpanKind,
+    TraceBuffer,
 };
 use std::error::Error;
 use std::fmt;
@@ -212,10 +216,13 @@ impl Chip {
         };
         let mac_total_ns = d.macs as f64 / rate(vmm_eff) * 1e9;
         let mac_busy_ns = d.macs as f64 / rate(issue_eff) * 1e9;
-        let vec_per_s =
-            cores * self.cfg.vector_lanes as f64 * d.dtype.ops_multiplier() * fnom_hz;
+        let vec_per_s = cores * self.cfg.vector_lanes as f64 * d.dtype.ops_multiplier() * fnom_hz;
         let vec_ns = d.vector_ops as f64 / vec_per_s * 1e9;
-        let sfu_eff = if self.cfg.features.enhanced_sfu { 1.0 } else { 0.25 };
+        let sfu_eff = if self.cfg.features.enhanced_sfu {
+            1.0
+        } else {
+            0.25
+        };
         let sfu_per_s = cores * self.cfg.sfu_ops_per_cycle * fnom_hz * sfu_eff;
         let sfu_ns = d.sfu_ops as f64 / sfu_per_s * 1e9;
         // The VLIW core dual-issues matrix and vector/SFU work; the
@@ -237,7 +244,24 @@ impl Chip {
     /// [`SimError::Deadlock`] when sync waits can never be satisfied; DMA
     /// and sync errors surface as their own variants.
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
-        self.run_inner(program, None)
+        self.run_inner(program, &mut NullRecorder)
+    }
+
+    /// Runs a program with a telemetry [`Recorder`] attached. Every
+    /// kernel, DMA, code-load, and sync-wait interval is recorded as a
+    /// [`Span`] on the `Layer::Sim` clock (track = flat group index),
+    /// with per-launch counter deltas attached, and a chip-wide
+    /// [`CounterSnapshot`] is emitted at the end of the run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Chip::run`].
+    pub fn run_recorded(
+        &self,
+        program: &Program,
+        rec: &mut dyn Recorder,
+    ) -> Result<RunReport, SimError> {
+        self.run_inner(program, rec)
     }
 
     /// Runs a program with the profiler attached, returning the report
@@ -247,16 +271,15 @@ impl Chip {
     ///
     /// As for [`Chip::run`].
     pub fn run_traced(&self, program: &Program) -> Result<(RunReport, Timeline), SimError> {
-        let mut timeline = Timeline::new();
-        let report = self.run_inner(program, Some(&mut timeline))?;
-        Ok((report, timeline))
+        let mut buf = TraceBuffer::new();
+        let report = self.run_inner(program, &mut buf)?;
+        Ok((
+            report,
+            Timeline::from_spans(buf.spans(), self.cfg.groups_per_cluster),
+        ))
     }
 
-    fn run_inner(
-        &self,
-        program: &Program,
-        mut trace: Option<&mut Timeline>,
-    ) -> Result<RunReport, SimError> {
+    fn run_inner(&self, program: &Program, rec: &mut dyn Recorder) -> Result<RunReport, SimError> {
         // Validate placement.
         for s in &program.streams {
             if s.group.cluster >= self.cfg.clusters || s.group.group >= self.cfg.groups_per_cluster
@@ -359,17 +382,21 @@ impl Chip {
                             let now = streams[si].clock_ns;
                             match sync.wait(*event, now)? {
                                 Some(release) => {
-                                    if release > now {
-                                        if let Some(tl) = trace.as_deref_mut() {
-                                            tl.push(TraceEvent {
-                                                kind: TraceKind::SyncWait,
-                                                label: format!("event {event}"),
-                                                group: stream_def.group,
-                                                start_ns: now,
-                                                end_ns: release,
-                                                freq_mhz: 0,
-                                            });
-                                        }
+                                    if release > now && rec.enabled() {
+                                        let mut cs = CounterSet::new();
+                                        cs.add(Counter::SyncWaitNs, release - now);
+                                        cs.add(Counter::SyncOps, 1.0);
+                                        rec.record(
+                                            Span::new(
+                                                SpanKind::SyncWait,
+                                                Layer::Sim,
+                                                streams[si].group_flat as u32,
+                                                format!("event {event}"),
+                                                now,
+                                                release,
+                                            )
+                                            .with_counters(cs),
+                                        );
                                     }
                                     counters.sync_wait_ns += release - now;
                                     counters.sync_ops += 1;
@@ -411,20 +438,27 @@ impl Chip {
                                 },
                             );
                             let now = streams[si].clock_ns;
-                            if let Some(tl) = trace.as_deref_mut() {
-                                tl.push(TraceEvent {
-                                    kind: TraceKind::Dma,
-                                    label: format!(
-                                        "{} {}B{}",
-                                        descriptor.path,
-                                        descriptor.bytes,
-                                        if *overlapped { " (bg)" } else { "" }
-                                    ),
-                                    group: stream_def.group,
-                                    start_ns: now,
-                                    end_ns: now + completion.duration_ns,
-                                    freq_mhz: 0,
-                                });
+                            if rec.enabled() {
+                                let mut cs = CounterSet::new();
+                                cs.add(Counter::DmaTransfers, descriptor.repeat as f64);
+                                cs.add(Counter::DmaWireBytes, completion.wire_bytes as f64);
+                                cs.add(Counter::DmaConfigNs, completion.config_ns);
+                                rec.record(
+                                    Span::new(
+                                        SpanKind::Dma,
+                                        Layer::Sim,
+                                        g as u32,
+                                        format!(
+                                            "{} {}B{}",
+                                            descriptor.path,
+                                            descriptor.bytes,
+                                            if *overlapped { " (bg)" } else { "" }
+                                        ),
+                                        now,
+                                        now + completion.duration_ns,
+                                    )
+                                    .with_counters(cs),
+                                );
                             }
                             if *overlapped {
                                 let done = now + completion.duration_ns;
@@ -447,22 +481,26 @@ impl Chip {
                                 (streams[si].staged_data_ready_ns - start).max(0.0);
 
                             // Kernel code fetch.
-                            let fetch = groups[g].icache.fetch(
-                                *kernel,
-                                descriptor.code_bytes,
-                                start,
-                            );
+                            let fetch =
+                                groups[g]
+                                    .icache
+                                    .fetch(*kernel, descriptor.code_bytes, start);
                             let code_stall = fetch.stall_ns();
-                            match fetch {
+                            let icache_hit = match fetch {
                                 crate::icache::FetchOutcome::Hit
                                 | crate::icache::FetchOutcome::PrefetchInFlight { .. } => {
-                                    counters.icache_hits += 1
+                                    counters.icache_hits += 1;
+                                    true
                                 }
                                 crate::icache::FetchOutcome::Miss { .. } => {
-                                    counters.icache_misses += 1
+                                    counters.icache_misses += 1;
+                                    false
                                 }
-                            }
+                            };
                             counters.code_load_stall_ns += code_stall;
+                            // Baselines for the per-launch telemetry deltas.
+                            let power_stall_before = counters.power_stall_ns;
+                            let dynamic_pj_before = energy.dynamic_pj;
 
                             let freq = groups[g].governor.freq_mhz();
                             let (busy_ns, intra_stall_ns, l2_ns, l3_ns) =
@@ -471,14 +509,10 @@ impl Chip {
                             // Multiple buffering overlaps compute with data
                             // movement; the longest component dominates.
                             // Every launch pays a fixed dispatch overhead.
-                            let launch_ns = self.cfg.kernel_launch_cycles as f64
-                                * 1e3
-                                / freq as f64;
-                            let mut duration = work_ns
-                                .max(l2_ns)
-                                .max(l3_ns)
-                                .max(stage_pending_ns)
-                                + launch_ns;
+                            let launch_ns =
+                                self.cfg.kernel_launch_cycles as f64 * 1e3 / freq as f64;
+                            let mut duration =
+                                work_ns.max(l2_ns).max(l3_ns).max(stage_pending_ns) + launch_ns;
                             let mem_stall = duration - launch_ns - busy_ns;
 
                             // --- power loops ---
@@ -497,8 +531,7 @@ impl Chip {
                                         &self.energy_model,
                                         &self.power_cfg,
                                         freq,
-                                        (descriptor.macs as f64
-                                            / descriptor.dtype.ops_multiplier())
+                                        (descriptor.macs as f64 / descriptor.dtype.ops_multiplier())
                                             as u64,
                                         descriptor.vector_ops,
                                         descriptor.sfu_ops,
@@ -550,17 +583,15 @@ impl Chip {
                                 if groups[g].window_elapsed_ns >= window_ns {
                                     let window = groups[g].window_acc;
                                     // 3% latency-slack budget per window.
-                                    let _plan =
-                                        groups[g].governor.step_with_slack(window, 0.03);
+                                    let _plan = groups[g].governor.step_with_slack(window, 0.03);
                                     groups[g].window_acc = WindowObservation::default();
                                     groups[g].window_elapsed_ns = 0.0;
                                 }
                             }
 
                             // --- energy ---
-                            let fp32_equiv_macs = (descriptor.macs as f64
-                                / descriptor.dtype.ops_multiplier())
-                                as u64;
+                            let fp32_equiv_macs =
+                                (descriptor.macs as f64 / descriptor.dtype.ops_multiplier()) as u64;
                             energy.charge_compute(
                                 &self.energy_model,
                                 &self.power_cfg,
@@ -595,25 +626,58 @@ impl Chip {
                             groups[g].freq_time_product += freq as f64 * duration;
                             groups[g].busy_time_ns += duration;
 
-                            if let Some(tl) = trace.as_deref_mut() {
+                            if rec.enabled() {
                                 if code_stall > 0.0 {
-                                    tl.push(TraceEvent {
-                                        kind: TraceKind::CodeLoad,
-                                        label: format!("{kernel} code"),
-                                        group: stream_def.group,
-                                        start_ns: start,
-                                        end_ns: start + code_stall,
-                                        freq_mhz: 0,
-                                    });
+                                    let mut cs = CounterSet::new();
+                                    cs.add(Counter::CodeLoadStallNs, code_stall);
+                                    rec.record(
+                                        Span::new(
+                                            SpanKind::CodeLoad,
+                                            Layer::Sim,
+                                            g as u32,
+                                            format!("{kernel} code"),
+                                            start,
+                                            start + code_stall,
+                                        )
+                                        .with_op(kernel.0)
+                                        .with_counters(cs),
+                                    );
                                 }
-                                tl.push(TraceEvent {
-                                    kind: TraceKind::Kernel,
-                                    label: descriptor.name.clone(),
-                                    group: stream_def.group,
-                                    start_ns: start + code_stall,
-                                    end_ns: start + code_stall + duration,
-                                    freq_mhz: freq,
-                                });
+                                let mut cs = CounterSet::new();
+                                cs.add(Counter::KernelLaunches, 1.0);
+                                cs.add(Counter::Macs, descriptor.macs as f64);
+                                cs.add(Counter::VectorOps, descriptor.vector_ops as f64);
+                                cs.add(Counter::SfuOps, descriptor.sfu_ops as f64);
+                                cs.add(Counter::ComputeBusyNs, busy_ns);
+                                cs.add(Counter::MemoryStallNs, mem_stall);
+                                cs.add(Counter::LaunchOverheadNs, launch_ns);
+                                cs.add(Counter::L2Bytes, descriptor.l2_bytes as f64);
+                                cs.add(Counter::L3Bytes, descriptor.l3_bytes as f64);
+                                cs.add(Counter::IcacheHits, if icache_hit { 1.0 } else { 0.0 });
+                                cs.add(Counter::IcacheMisses, if icache_hit { 0.0 } else { 1.0 });
+                                cs.add(
+                                    Counter::PowerStallNs,
+                                    counters.power_stall_ns - power_stall_before,
+                                );
+                                cs.add(
+                                    Counter::DynamicEnergyPj,
+                                    energy.dynamic_pj - dynamic_pj_before,
+                                );
+                                cs.add(Counter::FreqResidencyMhzNs, freq as f64 * duration);
+                                cs.add(Counter::ActiveTimeNs, duration);
+                                rec.record(
+                                    Span::new(
+                                        SpanKind::Kernel,
+                                        Layer::Sim,
+                                        g as u32,
+                                        descriptor.name.clone(),
+                                        start + code_stall,
+                                        start + code_stall + duration,
+                                    )
+                                    .with_op(kernel.0)
+                                    .with_freq(freq)
+                                    .with_counters(cs),
+                                );
                             }
                             streams[si].clock_ns = start + code_stall + duration;
                             streams[si].pc += 1;
@@ -632,10 +696,7 @@ impl Chip {
             }
         }
 
-        let latency_ns = streams
-            .iter()
-            .map(|s| s.clock_ns)
-            .fold(0.0f64, f64::max);
+        let latency_ns = streams.iter().map(|s| s.clock_ns).fold(0.0f64, f64::max);
         energy.charge_static(&self.energy_model, latency_ns);
 
         let (fp, bt): (f64, f64) = groups
@@ -649,6 +710,19 @@ impl Chip {
         };
 
         counters.sync_ops += sync.ops();
+
+        if rec.enabled() {
+            let mut set = counters.to_counter_set();
+            set.add(Counter::DynamicEnergyPj, energy.dynamic_pj);
+            set.add(Counter::StaticEnergyPj, energy.static_pj);
+            set.add(Counter::FreqResidencyMhzNs, fp);
+            set.add(Counter::ActiveTimeNs, bt);
+            rec.snapshot(CounterSnapshot {
+                at_ns: latency_ns,
+                label: format!("chip:{}", program.name),
+                set,
+            });
+        }
 
         Ok(RunReport {
             latency_ns,
@@ -704,10 +778,16 @@ mod tests {
     fn single_kernel_latency_scales_with_work() {
         let chip = Chip::new(ChipConfig::dtu20());
         let small = chip
-            .run(&single_stream_program(vec![conv_kernel(1, 1_000_000, 1_000)]))
+            .run(&single_stream_program(vec![conv_kernel(
+                1, 1_000_000, 1_000,
+            )]))
             .unwrap();
         let big = chip
-            .run(&single_stream_program(vec![conv_kernel(1, 100_000_000, 1_000)]))
+            .run(&single_stream_program(vec![conv_kernel(
+                1,
+                100_000_000,
+                1_000,
+            )]))
             .unwrap();
         // Launch overhead and the utilisation ramp compress the ratio
         // below the pure 100x MAC ratio, but it must stay strongly
@@ -722,7 +802,11 @@ mod tests {
         let chip = Chip::new(ChipConfig::dtu20());
         // Tiny compute, huge traffic.
         let r = chip
-            .run(&single_stream_program(vec![conv_kernel(1, 1_000, 100_000_000)]))
+            .run(&single_stream_program(vec![conv_kernel(
+                1,
+                1_000,
+                100_000_000,
+            )]))
             .unwrap();
         assert!(r.counters.memory_stall_ns > r.counters.compute_busy_ns);
     }
@@ -732,10 +816,7 @@ mod tests {
         let chip = Chip::new(ChipConfig::dtu20());
         let mut p = Program::new("bad");
         p.add_stream(Stream::new(GroupId::new(5, 0)));
-        assert!(matches!(
-            chip.run(&p),
-            Err(SimError::UnknownGroup { .. })
-        ));
+        assert!(matches!(chip.run(&p), Err(SimError::UnknownGroup { .. })));
         let mut p = Program::new("bad2");
         p.add_stream(Stream::new(GroupId::new(0, 3)));
         assert!(chip.run(&p).is_err());
@@ -872,10 +953,16 @@ mod tests {
     fn energy_grows_with_work() {
         let chip = Chip::new(ChipConfig::dtu20());
         let small = chip
-            .run(&single_stream_program(vec![conv_kernel(1, 1_000_000, 1_000)]))
+            .run(&single_stream_program(vec![conv_kernel(
+                1, 1_000_000, 1_000,
+            )]))
             .unwrap();
         let big = chip
-            .run(&single_stream_program(vec![conv_kernel(1, 1_000_000_000, 1_000)]))
+            .run(&single_stream_program(vec![conv_kernel(
+                1,
+                1_000_000_000,
+                1_000,
+            )]))
             .unwrap();
         assert!(big.energy_joules() > small.energy_joules());
         assert!(big.average_watts() > 0.0);
@@ -893,7 +980,9 @@ mod tests {
             kernels.push(conv_kernel(i, 200_000_000, 100_000_000));
         }
         let chip_on = Chip::new(ChipConfig::dtu20());
-        let on = chip_on.run(&single_stream_program(kernels.clone())).unwrap();
+        let on = chip_on
+            .run(&single_stream_program(kernels.clone()))
+            .unwrap();
         let mut cfg_off = ChipConfig::dtu20();
         cfg_off.features.power_management = false;
         let chip_off = Chip::new(cfg_off);
@@ -909,7 +998,9 @@ mod tests {
     fn mean_frequency_reported() {
         let chip = Chip::new(ChipConfig::dtu20());
         let r = chip
-            .run(&single_stream_program(vec![conv_kernel(1, 10_000_000, 1_000)]))
+            .run(&single_stream_program(vec![conv_kernel(
+                1, 10_000_000, 1_000,
+            )]))
             .unwrap();
         assert!(r.mean_freq_mhz > 0.0);
         assert!(r.mean_freq_mhz <= chip.config().clock_mhz as f64);

@@ -232,13 +232,31 @@ impl ChipConfig {
         1e3 / self.clock_mhz as f64
     }
 
+    /// Telemetry machine spec for roofline attribution over `groups`
+    /// participating processing groups. `ops_multiplier` folds the
+    /// datatype throughput ratio (e.g. 4× for fp16, Table I) into the
+    /// MAC peak, since [`dtu_telemetry::Counter::Macs`] counts retired
+    /// operations in the kernel's own datatype.
+    pub fn machine_spec(&self, groups: usize, ops_multiplier: f64) -> dtu_telemetry::MachineSpec {
+        let macs_per_ns_per_core =
+            self.macs_per_core_cycle_fp32 * ops_multiplier * self.clock_mhz as f64 / 1e3;
+        dtu_telemetry::MachineSpec {
+            peak_macs_per_ns: groups as f64 * self.cores_per_group() as f64 * macs_per_ns_per_core,
+            // GB/s is bytes-per-ns, both scale by 1e9.
+            l3_bytes_per_ns: self.l3_gb_per_s,
+            groups: groups as u32,
+        }
+    }
+
     /// Validates internal consistency (group divisibility, nonzero rates).
     pub fn validate(&self) -> Result<(), String> {
         if self.clusters == 0 || self.cores_per_cluster == 0 {
             return Err("chip must have at least one cluster and core".into());
         }
         if self.groups_per_cluster == 0
-            || !self.cores_per_cluster.is_multiple_of(self.groups_per_cluster)
+            || !self
+                .cores_per_cluster
+                .is_multiple_of(self.groups_per_cluster)
         {
             return Err(format!(
                 "cores per cluster ({}) must divide evenly into groups ({})",

@@ -309,7 +309,11 @@ impl DmaEngine {
     /// # Errors
     ///
     /// As for [`DmaEngine::check`].
-    pub fn execute(&mut self, d: &DmaDescriptor, bw_share: usize) -> Result<DmaCompletion, DmaError> {
+    pub fn execute(
+        &mut self,
+        d: &DmaDescriptor,
+        bw_share: usize,
+    ) -> Result<DmaCompletion, DmaError> {
         self.check(d)?;
         let configs = if d.repeat > 1 { 1 } else { d.repeat } as f64;
         let config_ns = if d.repeat > 1 {
@@ -541,8 +545,8 @@ mod tests {
         let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 4096);
         d.sparse = SparseFormat::BitmapBlock;
         d.zero_fraction = 0.75;
-        let dense_wire = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 4096)
-            .wire_bytes();
+        let dense_wire =
+            DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 4096).wire_bytes();
         assert!(d.wire_bytes() < dense_wire);
         // 1024 elems: 16 blocks × 8 B + 256 values × 4 B = 1152.
         assert_eq!(d.wire_bytes(), 1152);

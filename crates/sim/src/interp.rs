@@ -193,10 +193,13 @@ impl Interpreter {
     ///
     /// [`InterpError::L1OutOfBounds`].
     pub fn peek_l1(&self, word: usize) -> Result<f32, InterpError> {
-        self.l1.get(word).copied().ok_or(InterpError::L1OutOfBounds {
-            addr: word * 4,
-            size: self.l1.len() * 4,
-        })
+        self.l1
+            .get(word)
+            .copied()
+            .ok_or(InterpError::L1OutOfBounds {
+                addr: word * 4,
+                size: self.l1.len() * 4,
+            })
     }
 
     /// Events signalled by the kernel.
@@ -344,10 +347,10 @@ impl Interpreter {
                 match self.regs.get(src) {
                     Some(RegValue::Scalar(v)) => {
                         let size = self.l1.len() * 4;
-                        *self.l1.get_mut(word).ok_or(InterpError::L1OutOfBounds {
-                            addr: *addr,
-                            size,
-                        })? = *v;
+                        *self
+                            .l1
+                            .get_mut(word)
+                            .ok_or(InterpError::L1OutOfBounds { addr: *addr, size })? = *v;
                     }
                     Some(RegValue::Tensor(t)) => {
                         if word + t.len() > self.l1.len() {

@@ -48,7 +48,7 @@ pub use chip::{Chip, SimError};
 pub use config::{ChipConfig, FeatureSet};
 pub use dma::{DmaDescriptor, DmaEngine, DmaError, DmaPath, MemLevel};
 pub use icache::{FetchOutcome, InstructionCache};
-pub use interp::{InterpError, Interpreter, InterpReport};
+pub use interp::{InterpError, InterpReport, Interpreter};
 pub use matrix_engine::{MatrixEngine, MatrixEngineError, SortArtifacts};
 pub use memory::{MemoryError, MemoryHierarchy, MemoryPool};
 pub use profile::{Timeline, TraceEvent, TraceKind};

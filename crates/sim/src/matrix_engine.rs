@@ -381,7 +381,11 @@ mod tests {
             .unwrap()
             .matmul(&m)
             .unwrap();
-        assert!(got.max_abs_diff(&reference.reshape(Shape::new(vec![16])).unwrap()).unwrap() < 1e-4);
+        assert!(
+            got.max_abs_diff(&reference.reshape(Shape::new(vec![16])).unwrap())
+                .unwrap()
+                < 1e-4
+        );
         assert!(eng.cycles() >= 1);
     }
 

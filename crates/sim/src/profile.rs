@@ -8,6 +8,7 @@
 //! or Perfetto).
 
 use crate::program::GroupId;
+use dtu_telemetry::{Layer, Span, SpanKind};
 use std::fmt;
 
 /// What kind of work a trace event covers.
@@ -21,6 +22,30 @@ pub enum TraceKind {
     CodeLoad,
     /// Synchronisation wait.
     SyncWait,
+}
+
+impl TraceKind {
+    /// The telemetry [`SpanKind`] this trace kind corresponds to.
+    pub fn span_kind(self) -> SpanKind {
+        match self {
+            TraceKind::Kernel => SpanKind::Kernel,
+            TraceKind::Dma => SpanKind::Dma,
+            TraceKind::CodeLoad => SpanKind::CodeLoad,
+            TraceKind::SyncWait => SpanKind::SyncWait,
+        }
+    }
+
+    /// The trace kind for a telemetry [`SpanKind`], for sim-level span
+    /// kinds only.
+    pub fn from_span_kind(kind: SpanKind) -> Option<TraceKind> {
+        match kind {
+            SpanKind::Kernel => Some(TraceKind::Kernel),
+            SpanKind::Dma => Some(TraceKind::Dma),
+            SpanKind::CodeLoad => Some(TraceKind::CodeLoad),
+            SpanKind::SyncWait => Some(TraceKind::SyncWait),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TraceKind {
@@ -69,6 +94,53 @@ impl Timeline {
     /// Creates an empty timeline.
     pub fn new() -> Self {
         Timeline::default()
+    }
+
+    /// Builds a timeline from a telemetry span stream. Only sim-level
+    /// spans (kernel / DMA / code-load / sync-wait) participate; the
+    /// span's track is decoded back into a [`GroupId`] using
+    /// `groups_per_cluster`.
+    pub fn from_spans(spans: &[Span], groups_per_cluster: usize) -> Timeline {
+        let gpc = groups_per_cluster.max(1);
+        let mut t = Timeline::new();
+        for s in spans {
+            if s.layer != Layer::Sim {
+                continue;
+            }
+            let Some(kind) = TraceKind::from_span_kind(s.kind) else {
+                continue;
+            };
+            let flat = s.track as usize;
+            t.push(TraceEvent {
+                kind,
+                label: s.label.clone(),
+                group: GroupId::new(flat / gpc, flat % gpc),
+                start_ns: s.start_ns,
+                end_ns: s.end_ns,
+                freq_mhz: s.freq_mhz,
+            });
+        }
+        t
+    }
+
+    /// The telemetry spans equivalent to this timeline (the inverse of
+    /// [`Timeline::from_spans`], minus counters, which timelines do not
+    /// carry).
+    pub fn to_spans(&self, groups_per_cluster: usize) -> Vec<Span> {
+        self.events
+            .iter()
+            .map(|e| {
+                Span::new(
+                    e.kind.span_kind(),
+                    Layer::Sim,
+                    (e.group.cluster * groups_per_cluster + e.group.group) as u32,
+                    e.label.clone(),
+                    e.start_ns,
+                    e.end_ns,
+                )
+                .with_freq(e.freq_mhz)
+            })
+            .collect()
     }
 
     /// Records an event.
@@ -148,27 +220,20 @@ impl Timeline {
     }
 
     /// Exports the timeline as Chrome-trace JSON (the `traceEvents`
-    /// array format understood by `chrome://tracing` and Perfetto).
+    /// array format understood by `chrome://tracing` and Perfetto),
+    /// through the shared `dtu-telemetry` exporter: `tid` is the flat
+    /// processing-group index, `ts`/`dur` are microseconds, and labels
+    /// are properly JSON-escaped.
     pub fn to_chrome_trace(&self) -> String {
-        use std::fmt::Write;
-        let mut out = String::from("[");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            // tid encodes the processing group; ts/dur are microseconds.
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}",
-                e.label.replace('"', "'"),
-                e.kind,
-                e.start_ns / 1e3,
-                e.duration_ns() / 1e3,
-                e.group.cluster * 10 + e.group.group
-            );
-        }
-        out.push(']');
-        out
+        // Timelines don't know the cluster geometry; flatten with a
+        // stride wide enough for any configured cluster.
+        let gpc = self
+            .events
+            .iter()
+            .map(|e| e.group.group + 1)
+            .max()
+            .unwrap_or(1);
+        dtu_telemetry::chrome::export(&self.to_spans(gpc), false)
     }
 }
 
@@ -230,8 +295,18 @@ mod tests {
         assert!(json.starts_with('['));
         assert!(json.ends_with(']'));
         assert!(json.contains("\"ph\":\"X\""));
-        assert!(json.contains("k'quoted'"));
+        assert!(json.contains("k\\\"quoted\\\""), "labels are JSON-escaped");
         assert_eq!(json.matches("{\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn span_round_trip_preserves_events() {
+        let mut t = Timeline::new();
+        t.push(ev(TraceKind::Kernel, "conv", 0.0, 100.0));
+        t.push(ev(TraceKind::SyncWait, "event 3", 100.0, 120.0));
+        let spans = t.to_spans(4);
+        let back = Timeline::from_spans(&spans, 4);
+        assert_eq!(back, t);
     }
 
     #[test]

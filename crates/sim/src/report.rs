@@ -1,6 +1,7 @@
 //! Run reports: the latency / energy / counter bundle a simulation yields.
 
 use dtu_power::EnergyAccount;
+use dtu_telemetry::{Counter, CounterSet};
 use std::fmt;
 
 /// Activity counters for the function engines, aggregated chip-wide.
@@ -56,6 +57,28 @@ impl EngineCounters {
         self.sync_wait_ns += other.sync_wait_ns;
         self.power_stall_ns += other.power_stall_ns;
         self.sync_ops += other.sync_ops;
+    }
+
+    /// Converts the counters into the telemetry registry's typed
+    /// [`CounterSet`] (zero-valued counters are omitted).
+    pub fn to_counter_set(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        set.add(Counter::KernelLaunches, self.kernel_launches as f64);
+        set.add(Counter::Macs, self.macs as f64);
+        set.add(Counter::VectorOps, self.vector_ops as f64);
+        set.add(Counter::SfuOps, self.sfu_ops as f64);
+        set.add(Counter::DmaTransfers, self.dma_transfers as f64);
+        set.add(Counter::DmaWireBytes, self.dma_wire_bytes as f64);
+        set.add(Counter::DmaConfigNs, self.dma_config_ns);
+        set.add(Counter::IcacheHits, self.icache_hits as f64);
+        set.add(Counter::IcacheMisses, self.icache_misses as f64);
+        set.add(Counter::CodeLoadStallNs, self.code_load_stall_ns);
+        set.add(Counter::ComputeBusyNs, self.compute_busy_ns);
+        set.add(Counter::MemoryStallNs, self.memory_stall_ns);
+        set.add(Counter::SyncWaitNs, self.sync_wait_ns);
+        set.add(Counter::PowerStallNs, self.power_stall_ns);
+        set.add(Counter::SyncOps, self.sync_ops as f64);
+        set
     }
 
     /// Instruction-cache hit rate (0 when no fetches happened).
@@ -187,6 +210,19 @@ mod tests {
         assert_eq!(a.sync_ops, 2);
         assert_eq!(a.compute_busy_ns, 7.0);
         assert_eq!(a.dma_wire_bytes, 100);
+    }
+
+    #[test]
+    fn counter_set_conversion_drops_zeros() {
+        let c = EngineCounters {
+            macs: 7,
+            compute_busy_ns: 3.5,
+            ..Default::default()
+        };
+        let set = c.to_counter_set();
+        assert_eq!(set.get(Counter::Macs), 7.0);
+        assert_eq!(set.get(Counter::ComputeBusyNs), 3.5);
+        assert_eq!(set.len(), 2, "zero counters stay out of the set");
     }
 
     #[test]

@@ -63,13 +63,7 @@ struct Lut {
 }
 
 impl Lut {
-    fn build(
-        func: SfuFunc,
-        lo: f64,
-        hi: f64,
-        n: usize,
-        reference: impl Fn(f64) -> f64,
-    ) -> Self {
+    fn build(func: SfuFunc, lo: f64, hi: f64, n: usize, reference: impl Fn(f64) -> f64) -> Self {
         let step = (hi - lo) / (n - 1) as f64;
         let h = step * 1e-3;
         let entries = (0..n)
@@ -262,7 +256,13 @@ fn erf_ref(x: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn max_rel_err(spu: &mut Spu, func: SfuFunc, reference: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    fn max_rel_err(
+        spu: &mut Spu,
+        func: SfuFunc,
+        reference: impl Fn(f64) -> f64,
+        lo: f64,
+        hi: f64,
+    ) -> f64 {
         let mut worst: f64 = 0.0;
         for i in 0..2000 {
             let x = lo + (hi - lo) * i as f64 / 1999.0;
@@ -336,7 +336,10 @@ mod tests {
         let mut spu = Spu::default();
         for x in [0.5f32, 1.0, 2.0, 10.0, 50.0] {
             let r = spu.eval(SfuFunc::Rsqrt, x).unwrap();
-            assert!(((r as f64) - 1.0 / (x as f64).sqrt()).abs() < 2e-3, "rsqrt {x}");
+            assert!(
+                ((r as f64) - 1.0 / (x as f64).sqrt()).abs() < 2e-3,
+                "rsqrt {x}"
+            );
             let l = spu.eval(SfuFunc::Ln, x).unwrap();
             assert!(((l as f64) - (x as f64).ln()).abs() < 2e-3, "ln {x}");
         }

@@ -96,13 +96,7 @@ impl VectorEngine {
     /// Element-wise reciprocal estimate (Newton-refined to ~1e-6).
     pub fn recip(&mut self, t: &Tensor) -> Tensor {
         self.ops += t.len() as u64;
-        t.map(|x| {
-            if x == 0.0 {
-                f32::INFINITY
-            } else {
-                1.0 / x
-            }
-        })
+        t.map(|x| if x == 0.0 { f32::INFINITY } else { 1.0 / x })
     }
 }
 
@@ -124,15 +118,21 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 4.0, -2.0]);
         let b = Tensor::from_vec(vec![2.0, 3.0, -5.0]);
         assert_eq!(
-            ve.binary(VectorOp::Add, &a, &b, DataType::Fp32).unwrap().data(),
+            ve.binary(VectorOp::Add, &a, &b, DataType::Fp32)
+                .unwrap()
+                .data(),
             &[3.0, 7.0, -7.0]
         );
         assert_eq!(
-            ve.binary(VectorOp::Max, &a, &b, DataType::Fp32).unwrap().data(),
+            ve.binary(VectorOp::Max, &a, &b, DataType::Fp32)
+                .unwrap()
+                .data(),
             &[2.0, 4.0, -2.0]
         );
         assert_eq!(
-            ve.binary(VectorOp::Min, &a, &b, DataType::Fp32).unwrap().data(),
+            ve.binary(VectorOp::Min, &a, &b, DataType::Fp32)
+                .unwrap()
+                .data(),
             &[1.0, 3.0, -5.0]
         );
         assert_eq!(ve.ops(), 9);

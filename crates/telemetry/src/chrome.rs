@@ -1,0 +1,115 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Emits the JSON-array flavour of the Trace Event Format: duration
+//! events (`ph:"X"`) for intervals and instants (`ph:"i"`) for markers,
+//! with `ts`/`dur` in microseconds, `pid` = the producing [`Layer`],
+//! and `tid` = the span's track. Load the file at <https://ui.perfetto.dev>
+//! or `chrome://tracing`.
+
+use crate::clock::ns_to_us;
+use crate::json::{array, JsonObject};
+use crate::span::{Layer, Span, SpanKind};
+
+/// Renders `spans` as a single-line Chrome-trace JSON array.
+///
+/// With `rich == false` the output contains exactly one flat object per
+/// span — the stable shape scripted consumers (and the tier-1 profiler
+/// test) rely on. With `rich == true` the export additionally carries
+/// `process_name` metadata for each layer present (so Perfetto labels
+/// the lanes "serving", "sim", …) and an `args` object per span with
+/// the span kind, frequency, and attached counter deltas.
+pub fn export(spans: &[Span], rich: bool) -> String {
+    let mut items: Vec<String> = Vec::with_capacity(spans.len() + 8);
+    if rich {
+        let mut layers: Vec<Layer> = spans.iter().map(|s| s.layer).collect();
+        layers.sort();
+        layers.dedup();
+        for layer in layers {
+            items.push(
+                JsonObject::new()
+                    .string("name", "process_name")
+                    .string("ph", "M")
+                    .int("pid", layer.pid() as i64)
+                    .int("tid", 0)
+                    .raw(
+                        "args",
+                        &JsonObject::new().string("name", layer.name()).build(),
+                    )
+                    .build(),
+            );
+        }
+    }
+    for s in spans {
+        items.push(span_event(s, rich));
+    }
+    array(&items)
+}
+
+fn span_event(s: &Span, rich: bool) -> String {
+    let mut o = JsonObject::new()
+        .string("name", &s.label)
+        .string("cat", s.kind.name())
+        .int("pid", s.layer.pid() as i64)
+        .int("tid", s.track as i64)
+        .num("ts", ns_to_us(s.start_ns));
+    if s.kind == SpanKind::Marker {
+        o = o.string("ph", "i").string("s", "t");
+    } else {
+        o = o.string("ph", "X").num("dur", ns_to_us(s.duration_ns()));
+    }
+    if rich {
+        let mut args = JsonObject::new();
+        if let Some(op) = s.op {
+            args = args.int("op", op as i64);
+        }
+        if s.freq_mhz > 0 {
+            args = args.int("freq_mhz", s.freq_mhz as i64);
+        }
+        for (c, v) in s.counters.iter() {
+            args = args.num(c.base_name(), v);
+        }
+        o = o.raw("args", &args.build());
+    }
+    o.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Span> {
+        vec![
+            Span::new(SpanKind::Kernel, Layer::Sim, 2, "k\"quoted\"", 0.0, 2_000.0).with_freq(1200),
+            Span::marker(Layer::Serving, 0, "shed", 1_000.0),
+        ]
+    }
+
+    #[test]
+    fn plain_export_is_one_flat_object_per_span() {
+        let out = export(&sample(), false);
+        assert!(out.starts_with('[') && out.ends_with(']'));
+        assert!(!out.contains('\n'), "export must be single-line");
+        let opens = out.matches('{').count();
+        let closes = out.matches('}').count();
+        assert_eq!(opens, 2, "one flat object per span");
+        assert_eq!(opens, closes);
+        assert!(out.contains("\\\"quoted\\\""), "labels are JSON-escaped");
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(out.contains("\"dur\":2"), "ts/dur are microseconds");
+    }
+
+    #[test]
+    fn rich_export_names_processes_and_carries_args() {
+        let out = export(&sample(), true);
+        assert!(out.contains("process_name"));
+        assert!(out.contains("\"name\":\"sim\""));
+        assert!(out.contains("\"name\":\"serving\""));
+        assert!(out.contains("\"freq_mhz\":1200"));
+    }
+
+    #[test]
+    fn empty_export_is_empty_array() {
+        assert_eq!(export(&[], false), "[]");
+    }
+}

@@ -1,0 +1,41 @@
+//! The shared telemetry clock: every span and snapshot is stamped in
+//! **nanoseconds of simulated time** as an `f64`.
+//!
+//! The simulator already advances an ns clock; the serving engine runs
+//! in simulated milliseconds. These helpers are the single place where
+//! the two unit systems meet, replacing the ad-hoc conversions that
+//! used to live in each exporter.
+
+/// Nanoseconds per microsecond.
+pub const NS_PER_US: f64 = 1e3;
+/// Nanoseconds per millisecond.
+pub const NS_PER_MS: f64 = 1e6;
+
+/// Converts simulated milliseconds (the serving engine's clock) to the
+/// shared nanosecond clock.
+pub fn ms_to_ns(ms: f64) -> f64 {
+    ms * NS_PER_MS
+}
+
+/// Converts the shared nanosecond clock to milliseconds.
+pub fn ns_to_ms(ns: f64) -> f64 {
+    ns / NS_PER_MS
+}
+
+/// Converts the shared nanosecond clock to microseconds (the unit
+/// Chrome-trace `ts`/`dur` fields use).
+pub fn ns_to_us(ns: f64) -> f64 {
+    ns / NS_PER_US
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(ms_to_ns(1.5), 1_500_000.0);
+        assert_eq!(ns_to_ms(ms_to_ns(7.25)), 7.25);
+        assert_eq!(ns_to_us(2_000.0), 2.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The typed counter registry.
+//!
+//! Every quantity the stack counts has one [`Counter`] identity with a
+//! fixed name, unit, and help string — the registry is the closed enum
+//! itself, so a counter cannot be misspelled at a call site and every
+//! exporter renders the same metric names. [`CounterSet`] is a small
+//! sorted map from counter to value used both for chip-wide snapshots
+//! and for the per-span deltas the attribution pass consumes.
+
+use std::fmt;
+
+/// Unit of a counter's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless event count.
+    Count,
+    /// Simulated nanoseconds.
+    Nanoseconds,
+    /// Bytes.
+    Bytes,
+    /// Picojoules.
+    Picojoules,
+    /// MHz·ns frequency–time product (DVFS residency).
+    MhzNs,
+}
+
+impl Unit {
+    /// Suffix used in exported metric names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Count => "total",
+            Unit::Nanoseconds => "ns",
+            Unit::Bytes => "bytes",
+            Unit::Picojoules => "pj",
+            Unit::MhzNs => "mhz_ns",
+        }
+    }
+}
+
+/// Every counter the stack records.
+///
+/// The discriminant order is the storage and export order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Kernel launches executed.
+    KernelLaunches,
+    /// Multiply-accumulate operations retired.
+    Macs,
+    /// Non-MAC vector ALU operations.
+    VectorOps,
+    /// SFU transcendental evaluations.
+    SfuOps,
+    /// DMA transfers executed.
+    DmaTransfers,
+    /// Bytes that crossed the interconnect.
+    DmaWireBytes,
+    /// DMA configuration time.
+    DmaConfigNs,
+    /// Instruction-cache hits.
+    IcacheHits,
+    /// Instruction-cache misses.
+    IcacheMisses,
+    /// Core time stalled on kernel-code loads.
+    CodeLoadStallNs,
+    /// Core time busy computing.
+    ComputeBusyNs,
+    /// Core time waiting on data (L2/L3).
+    MemoryStallNs,
+    /// Core time waiting on sync events.
+    SyncWaitNs,
+    /// LPME-inserted power-throttle stall time.
+    PowerStallNs,
+    /// Sync operations processed.
+    SyncOps,
+    /// Fixed kernel-dispatch overhead time.
+    LaunchOverheadNs,
+    /// Bytes moved through L2 on behalf of kernels.
+    L2Bytes,
+    /// Bytes moved over HBM (L3) on behalf of kernels.
+    L3Bytes,
+    /// Dynamic energy.
+    DynamicEnergyPj,
+    /// Static (leakage) energy.
+    StaticEnergyPj,
+    /// Frequency–time product (divide by active time for the mean DVFS
+    /// point; the residency view of governor activity).
+    FreqResidencyMhzNs,
+    /// Time the track was active (denominator for residency).
+    ActiveTimeNs,
+}
+
+impl Counter {
+    /// Every counter, in storage order.
+    pub const ALL: [Counter; 22] = [
+        Counter::KernelLaunches,
+        Counter::Macs,
+        Counter::VectorOps,
+        Counter::SfuOps,
+        Counter::DmaTransfers,
+        Counter::DmaWireBytes,
+        Counter::DmaConfigNs,
+        Counter::IcacheHits,
+        Counter::IcacheMisses,
+        Counter::CodeLoadStallNs,
+        Counter::ComputeBusyNs,
+        Counter::MemoryStallNs,
+        Counter::SyncWaitNs,
+        Counter::PowerStallNs,
+        Counter::SyncOps,
+        Counter::LaunchOverheadNs,
+        Counter::L2Bytes,
+        Counter::L3Bytes,
+        Counter::DynamicEnergyPj,
+        Counter::StaticEnergyPj,
+        Counter::FreqResidencyMhzNs,
+        Counter::ActiveTimeNs,
+    ];
+
+    /// Stable metric base name (snake_case, no unit suffix).
+    pub fn base_name(self) -> &'static str {
+        match self {
+            Counter::KernelLaunches => "kernel_launches",
+            Counter::Macs => "macs",
+            Counter::VectorOps => "vector_ops",
+            Counter::SfuOps => "sfu_ops",
+            Counter::DmaTransfers => "dma_transfers",
+            Counter::DmaWireBytes => "dma_wire",
+            Counter::DmaConfigNs => "dma_config",
+            Counter::IcacheHits => "icache_hits",
+            Counter::IcacheMisses => "icache_misses",
+            Counter::CodeLoadStallNs => "code_load_stall",
+            Counter::ComputeBusyNs => "compute_busy",
+            Counter::MemoryStallNs => "memory_stall",
+            Counter::SyncWaitNs => "sync_wait",
+            Counter::PowerStallNs => "power_stall",
+            Counter::SyncOps => "sync_ops",
+            Counter::LaunchOverheadNs => "launch_overhead",
+            Counter::L2Bytes => "l2",
+            Counter::L3Bytes => "l3",
+            Counter::DynamicEnergyPj => "dynamic_energy",
+            Counter::StaticEnergyPj => "static_energy",
+            Counter::FreqResidencyMhzNs => "freq_residency",
+            Counter::ActiveTimeNs => "active_time",
+        }
+    }
+
+    /// The counter's unit.
+    pub fn unit(self) -> Unit {
+        match self {
+            Counter::KernelLaunches
+            | Counter::Macs
+            | Counter::VectorOps
+            | Counter::SfuOps
+            | Counter::DmaTransfers
+            | Counter::IcacheHits
+            | Counter::IcacheMisses
+            | Counter::SyncOps => Unit::Count,
+            Counter::DmaConfigNs
+            | Counter::CodeLoadStallNs
+            | Counter::ComputeBusyNs
+            | Counter::MemoryStallNs
+            | Counter::SyncWaitNs
+            | Counter::PowerStallNs
+            | Counter::LaunchOverheadNs
+            | Counter::ActiveTimeNs => Unit::Nanoseconds,
+            Counter::DmaWireBytes | Counter::L2Bytes | Counter::L3Bytes => Unit::Bytes,
+            Counter::DynamicEnergyPj | Counter::StaticEnergyPj => Unit::Picojoules,
+            Counter::FreqResidencyMhzNs => Unit::MhzNs,
+        }
+    }
+
+    /// Full exported metric name, `dtu_<base>_<unit-suffix>`.
+    pub fn metric_name(self) -> String {
+        format!("dtu_{}_{}", self.base_name(), self.unit().suffix())
+    }
+
+    /// One-line help string for the text exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::KernelLaunches => "Kernel launches executed",
+            Counter::Macs => "Multiply-accumulate operations retired",
+            Counter::VectorOps => "Non-MAC vector ALU operations",
+            Counter::SfuOps => "SFU transcendental evaluations",
+            Counter::DmaTransfers => "DMA transfers executed",
+            Counter::DmaWireBytes => "Bytes that crossed the interconnect",
+            Counter::DmaConfigNs => "DMA configuration time",
+            Counter::IcacheHits => "Instruction-cache hits",
+            Counter::IcacheMisses => "Instruction-cache misses",
+            Counter::CodeLoadStallNs => "Core time stalled on kernel-code loads",
+            Counter::ComputeBusyNs => "Core time busy computing",
+            Counter::MemoryStallNs => "Core time waiting on data",
+            Counter::SyncWaitNs => "Core time waiting on sync events",
+            Counter::PowerStallNs => "LPME-inserted power-throttle stalls",
+            Counter::SyncOps => "Sync operations processed",
+            Counter::LaunchOverheadNs => "Fixed kernel-dispatch overhead",
+            Counter::L2Bytes => "Bytes moved through L2 for kernels",
+            Counter::L3Bytes => "Bytes moved over HBM for kernels",
+            Counter::DynamicEnergyPj => "Dynamic energy",
+            Counter::StaticEnergyPj => "Static (leakage) energy",
+            Counter::FreqResidencyMhzNs => "Frequency-time product (DVFS residency)",
+            Counter::ActiveTimeNs => "Active time under the residency product",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.base_name())
+    }
+}
+
+/// A small sorted counter → value map.
+///
+/// Empty sets allocate nothing, which is what spans carry when
+/// telemetry has no deltas to attach.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterSet {
+    entries: Vec<(Counter, f64)>,
+}
+
+impl CounterSet {
+    /// An empty set (no allocation).
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Whether no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct counters recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `value` to `counter` (inserting it at its sorted position).
+    /// Zero adds are dropped so empty deltas stay empty.
+    pub fn add(&mut self, counter: Counter, value: f64) {
+        if value == 0.0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&counter, |e| e.0) {
+            Ok(i) => self.entries[i].1 += value,
+            Err(i) => self.entries.insert(i, (counter, value)),
+        }
+    }
+
+    /// The recorded value of `counter` (0 when absent).
+    pub fn get(&self, counter: Counter) -> f64 {
+        match self.entries.binary_search_by_key(&counter, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Merges another set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for &(c, v) in &other.entries {
+            self.add(c, v);
+        }
+    }
+
+    /// The element-wise difference `self − earlier` (monotone counters
+    /// snapshotted at two span boundaries yield the span's delta).
+    pub fn delta(&self, earlier: &CounterSet) -> CounterSet {
+        let mut out = self.clone();
+        for &(c, v) in &earlier.entries {
+            out.add(c, -v);
+        }
+        out.entries.retain(|&(_, v)| v != 0.0);
+        out
+    }
+
+    /// Iterates `(counter, value)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Renders the set as Prometheus-style text exposition. `labels`
+    /// are attached to every sample, e.g. `&[("chip", "i20")]`.
+    pub fn to_prometheus(&self, labels: &[(&str, &str)]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let label_str = render_labels(labels);
+        for (c, v) in self.iter() {
+            let name = c.metric_name();
+            let _ = writeln!(out, "# HELP {name} {}", c.help());
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{label_str} {v}");
+        }
+        out
+    }
+}
+
+/// Renders a Prometheus label set (`{a="x",b="y"}`, empty when none).
+pub(crate) fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", crate::json::escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// A full counter snapshot taken at a span boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// When the snapshot was taken, shared clock ns.
+    pub at_ns: f64,
+    /// What the snapshot covers (e.g. `chip`, `group 3`).
+    pub label: String,
+    /// The counter values.
+    pub set: CounterSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = CounterSet::new();
+        assert!(a.is_empty());
+        a.add(Counter::Macs, 5.0);
+        a.add(Counter::Macs, 3.0);
+        a.add(Counter::L3Bytes, 100.0);
+        assert_eq!(a.get(Counter::Macs), 8.0);
+        assert_eq!(a.get(Counter::SyncOps), 0.0);
+        let mut b = CounterSet::new();
+        b.add(Counter::Macs, 2.0);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::Macs), 10.0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn zero_adds_do_not_allocate_entries() {
+        let mut a = CounterSet::new();
+        a.add(Counter::Macs, 0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let mut before = CounterSet::new();
+        before.add(Counter::Macs, 100.0);
+        before.add(Counter::IcacheHits, 4.0);
+        let mut after = before.clone();
+        after.add(Counter::Macs, 50.0);
+        after.add(Counter::L2Bytes, 9.0);
+        let d = after.delta(&before);
+        assert_eq!(d.get(Counter::Macs), 50.0);
+        assert_eq!(d.get(Counter::L2Bytes), 9.0);
+        assert_eq!(d.get(Counter::IcacheHits), 0.0);
+        assert_eq!(d.len(), 2, "unchanged counters drop out of the delta");
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let mut a = CounterSet::new();
+        a.add(Counter::L3Bytes, 1.0);
+        a.add(Counter::KernelLaunches, 1.0);
+        a.add(Counter::Macs, 1.0);
+        let order: Vec<Counter> = a.iter().map(|(c, _)| c).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_prefixed() {
+        let mut names: Vec<String> = Counter::ALL.iter().map(|c| c.metric_name()).collect();
+        assert!(names.iter().all(|n| n.starts_with("dtu_")));
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut a = CounterSet::new();
+        a.add(Counter::Macs, 42.0);
+        let text = a.to_prometheus(&[("chip", "i20")]);
+        assert!(text.contains("# HELP dtu_macs_total"));
+        assert!(text.contains("# TYPE dtu_macs_total counter"));
+        assert!(text.contains("dtu_macs_total{chip=\"i20\"} 42"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal JSON emission helpers.
+//!
+//! The repo has no serde; before this crate each exporter hand-rolled
+//! its own (subtly different) escaping. This module is the one place
+//! strings get escaped and objects get assembled.
+
+use std::fmt::Write;
+
+/// Escapes a string for inclusion inside a JSON string literal
+/// (without the surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way our JSON exporters want it: finite values
+/// via the shortest round-trip `{}` form, non-finite values as 0 (JSON
+/// has no NaN/Inf).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Incremental single-line JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":", escape(k));
+    }
+
+    /// Adds a string field (escaped).
+    pub fn string(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.body, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds a numeric field.
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.body.push_str(&number(v));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        let _ = write!(self.body, "{v}");
+        self
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (verbatim).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.body.push_str(v);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Joins pre-rendered JSON values into a single-line array.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_builder() {
+        let o = JsonObject::new()
+            .string("name", "k\"x")
+            .num("ts", 1.5)
+            .int("pid", 3)
+            .raw("args", "{}")
+            .build();
+        assert_eq!(o, "{\"name\":\"k\\\"x\",\"ts\":1.5,\"pid\":3,\"args\":{}}");
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_zero() {
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn array_joins() {
+        assert_eq!(array(&["1".into(), "2".into()]), "[1,2]");
+    }
+}

@@ -1,0 +1,226 @@
+//! Hierarchical spans: intervals on the shared clock, tagged with the
+//! stack layer that produced them.
+
+use crate::counters::CounterSet;
+use std::fmt;
+
+/// The stack layer a span belongs to.
+///
+/// Layers map to Perfetto/Chrome-trace *processes* (`pid`), so a loaded
+/// trace shows one lane group per layer: a serving request at the top,
+/// the session and operator segments under it, and the per-group
+/// kernel/DMA intervals of the simulator at the bottom — all on one
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// The serving engine: requests, batches, admission, scaling.
+    Serving,
+    /// The runtime session wrapping one compiled program execution.
+    Session,
+    /// Per-operator segments synthesized by the attribution pass.
+    Operator,
+    /// Compiler phases (host time, on their own track).
+    Compiler,
+    /// The chip simulator: kernels, DMA, code loads, sync waits.
+    Sim,
+}
+
+impl Layer {
+    /// All layers, top of the stack first.
+    pub const ALL: [Layer; 5] = [
+        Layer::Serving,
+        Layer::Session,
+        Layer::Operator,
+        Layer::Compiler,
+        Layer::Sim,
+    ];
+
+    /// Stable process id used in trace exports.
+    pub fn pid(self) -> u32 {
+        match self {
+            Layer::Serving => 1,
+            Layer::Session => 2,
+            Layer::Operator => 3,
+            Layer::Compiler => 4,
+            Layer::Sim => 5,
+        }
+    }
+
+    /// Human-readable layer name (the Perfetto process name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Serving => "serving",
+            Layer::Session => "session",
+            Layer::Operator => "operator",
+            Layer::Compiler => "compiler",
+            Layer::Sim => "sim",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of work a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One serving request, arrival to completion.
+    Request,
+    /// One dispatched batch in service.
+    Batch,
+    /// One end-to-end program execution on the chip.
+    Session,
+    /// One operator's attributed wall-clock segment.
+    Operator,
+    /// One compiler phase.
+    Compile,
+    /// Kernel execution on a group's cores.
+    Kernel,
+    /// A DMA transfer.
+    Dma,
+    /// Kernel-code load stall (instruction-cache miss).
+    CodeLoad,
+    /// Synchronisation wait.
+    SyncWait,
+    /// An instantaneous event (shed, scale decision).
+    Marker,
+}
+
+impl SpanKind {
+    /// Short category name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Batch => "batch",
+            SpanKind::Session => "session",
+            SpanKind::Operator => "operator",
+            SpanKind::Compile => "compile",
+            SpanKind::Kernel => "kernel",
+            SpanKind::Dma => "dma",
+            SpanKind::CodeLoad => "code-load",
+            SpanKind::SyncWait => "sync-wait",
+            SpanKind::Marker => "marker",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded interval (or instant, for [`SpanKind::Marker`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Work kind.
+    pub kind: SpanKind,
+    /// Producing layer (the export process).
+    pub layer: Layer,
+    /// Track within the layer: the flat processing-group index for sim
+    /// spans, the tenant index for serving spans (the export thread).
+    pub track: u32,
+    /// Human-readable label (kernel name, request id, phase name).
+    pub label: String,
+    /// Operator identity for attribution (the compiler's kernel id),
+    /// when the span belongs to one operator.
+    pub op: Option<u64>,
+    /// Start on the shared clock, ns.
+    pub start_ns: f64,
+    /// End on the shared clock, ns.
+    pub end_ns: f64,
+    /// Core frequency over the interval, MHz (0 when not applicable).
+    pub freq_mhz: u32,
+    /// Counter deltas attributed to this span (empty when none).
+    pub counters: CounterSet,
+}
+
+impl Span {
+    /// Creates a span with no operator tag, frequency, or counters.
+    pub fn new(
+        kind: SpanKind,
+        layer: Layer,
+        track: u32,
+        label: impl Into<String>,
+        start_ns: f64,
+        end_ns: f64,
+    ) -> Self {
+        Span {
+            kind,
+            layer,
+            track,
+            label: label.into(),
+            op: None,
+            start_ns,
+            end_ns,
+            freq_mhz: 0,
+            counters: CounterSet::new(),
+        }
+    }
+
+    /// An instantaneous marker at `at_ns`.
+    pub fn marker(layer: Layer, track: u32, label: impl Into<String>, at_ns: f64) -> Self {
+        Span::new(SpanKind::Marker, layer, track, label, at_ns, at_ns)
+    }
+
+    /// Tags the span with an operator id (builder-style).
+    pub fn with_op(mut self, op: u64) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Sets the interval's core frequency (builder-style).
+    pub fn with_freq(mut self, freq_mhz: u32) -> Self {
+        self.freq_mhz = freq_mhz;
+        self
+    }
+
+    /// Attaches counter deltas (builder-style).
+    pub fn with_counters(mut self, counters: CounterSet) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Interval length, ns.
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counter;
+
+    #[test]
+    fn builder_and_duration() {
+        let mut cs = CounterSet::new();
+        cs.add(Counter::Macs, 10.0);
+        let s = Span::new(SpanKind::Kernel, Layer::Sim, 3, "k", 5.0, 15.0)
+            .with_op(7)
+            .with_freq(1400)
+            .with_counters(cs);
+        assert_eq!(s.duration_ns(), 10.0);
+        assert_eq!(s.op, Some(7));
+        assert_eq!(s.freq_mhz, 1400);
+        assert_eq!(s.counters.get(Counter::Macs), 10.0);
+    }
+
+    #[test]
+    fn layer_pids_are_distinct() {
+        let mut pids: Vec<u32> = Layer::ALL.iter().map(|l| l.pid()).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), Layer::ALL.len());
+    }
+
+    #[test]
+    fn marker_is_zero_length() {
+        let m = Span::marker(Layer::Serving, 0, "shed", 9.0);
+        assert_eq!(m.duration_ns(), 0.0);
+        assert_eq!(m.kind, SpanKind::Marker);
+    }
+}

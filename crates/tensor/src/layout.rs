@@ -27,9 +27,7 @@ impl Layout {
     /// Identity if the layouts already agree.
     pub fn permutation_to(self, target: Layout) -> Permutation {
         match (self, target) {
-            (Layout::Nchw, Layout::Nchw) | (Layout::Nhwc, Layout::Nhwc) => {
-                Permutation::identity(4)
-            }
+            (Layout::Nchw, Layout::Nchw) | (Layout::Nhwc, Layout::Nhwc) => Permutation::identity(4),
             // NCHW -> NHWC: output axis i takes input axis perm[i].
             (Layout::Nchw, Layout::Nhwc) => Permutation::new(vec![0, 2, 3, 1]).expect("valid"),
             (Layout::Nhwc, Layout::Nchw) => Permutation::new(vec![0, 3, 1, 2]).expect("valid"),
@@ -195,7 +193,9 @@ mod tests {
         let fwd = Layout::Nchw.permutation_to(Layout::Nhwc);
         let back = Layout::Nhwc.permutation_to(Layout::Nchw);
         assert_eq!(fwd.inverse(), back);
-        assert!(fwd.compose(&back).unwrap().is_identity() || back.compose(&fwd).unwrap().is_identity());
+        assert!(
+            fwd.compose(&back).unwrap().is_identity() || back.compose(&fwd).unwrap().is_identity()
+        );
     }
 
     #[test]

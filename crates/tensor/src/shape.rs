@@ -85,9 +85,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
     /// rank or any coordinate exceeds its extent.
     pub fn flat_index(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.rank()
-            || index.iter().zip(self.dims.iter()).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.rank() || index.iter().zip(self.dims.iter()).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 dims: self.dims.clone(),
@@ -127,7 +125,11 @@ impl Shape {
     pub fn iter_indices(&self) -> IndexIter {
         IndexIter {
             shape: self.clone(),
-            next: if self.is_empty() { None } else { Some(vec![0; self.rank()]) },
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(vec![0; self.rank()])
+            },
         }
     }
 }

@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn partial_final_block_roundtrips() {
-        let data: Vec<f32> = (0..70).map(|i| if i % 3 == 0 { 0.0 } else { i as f32 }).collect();
+        let data: Vec<f32> = (0..70)
+            .map(|i| if i % 3 == 0 { 0.0 } else { i as f32 })
+            .collect();
         let blocks = compress(&data);
         assert_eq!(blocks[1].len, 6);
         assert_eq!(decompress(&blocks).unwrap(), data);

@@ -21,7 +21,10 @@ pub struct PadSpec {
 impl PadSpec {
     /// Symmetric padding of `n` on both ends.
     pub fn symmetric(n: usize) -> Self {
-        PadSpec { before: n, after: n }
+        PadSpec {
+            before: n,
+            after: n,
+        }
     }
 
     /// No padding.
@@ -54,7 +57,11 @@ impl SliceSpec {
 
     /// Selects `[start, end)` with unit step.
     pub fn range(start: usize, end: usize) -> Self {
-        SliceSpec { start, end, step: 1 }
+        SliceSpec {
+            start,
+            end,
+            step: 1,
+        }
     }
 
     /// Number of elements the spec selects.
@@ -212,7 +219,13 @@ pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor, TensorError> {
                 reason: "concat rank mismatch".into(),
             });
         }
-        for (a, (&d0, &d)) in first.shape().dims().iter().zip(p.shape().dims()).enumerate() {
+        for (a, (&d0, &d)) in first
+            .shape()
+            .dims()
+            .iter()
+            .zip(p.shape().dims())
+            .enumerate()
+        {
             if a != axis && d0 != d {
                 return Err(TensorError::ShapeMismatch {
                     reason: format!("concat dim {a} differs: {d0} vs {d}"),
@@ -331,7 +344,15 @@ mod tests {
     #[test]
     fn pad_with_custom_value() {
         let t = seq(vec![1]);
-        let out = pad(&t, &[PadSpec { before: 2, after: 0 }], -1.0).unwrap();
+        let out = pad(
+            &t,
+            &[PadSpec {
+                before: 2,
+                after: 0,
+            }],
+            -1.0,
+        )
+        .unwrap();
         assert_eq!(out.data(), &[-1.0, -1.0, 1.0]);
     }
 
@@ -367,9 +388,33 @@ mod tests {
     #[test]
     fn slice_rejects_bad_specs() {
         let t = seq(vec![3]);
-        assert!(slice(&t, &[SliceSpec { start: 0, end: 4, step: 1 }]).is_err());
-        assert!(slice(&t, &[SliceSpec { start: 0, end: 3, step: 0 }]).is_err());
-        assert!(slice(&t, &[SliceSpec { start: 2, end: 1, step: 1 }]).is_err());
+        assert!(slice(
+            &t,
+            &[SliceSpec {
+                start: 0,
+                end: 4,
+                step: 1
+            }]
+        )
+        .is_err());
+        assert!(slice(
+            &t,
+            &[SliceSpec {
+                start: 0,
+                end: 3,
+                step: 0
+            }]
+        )
+        .is_err());
+        assert!(slice(
+            &t,
+            &[SliceSpec {
+                start: 2,
+                end: 1,
+                step: 1
+            }]
+        )
+        .is_err());
     }
 
     #[test]

@@ -41,9 +41,15 @@ fn main() -> Result<(), DtuError> {
     println!("\nResNet-50 on i20 — where the cycles go (all groups):");
     println!("  issue/compute busy : {:>9.1} us", c.compute_busy_ns / 1e3);
     println!("  memory/pipe stalls : {:>9.1} us", c.memory_stall_ns / 1e3);
-    println!("  kernel-code loads  : {:>9.1} us", c.code_load_stall_ns / 1e3);
+    println!(
+        "  kernel-code loads  : {:>9.1} us",
+        c.code_load_stall_ns / 1e3
+    );
     println!("  sync waits         : {:>9.1} us", c.sync_wait_ns / 1e3);
-    println!("  DMA transfers      : {:>9} ({} MiB on the wire)",
-        c.dma_transfers, c.dma_wire_bytes / (1024 * 1024));
+    println!(
+        "  DMA transfers      : {:>9} ({} MiB on the wire)",
+        c.dma_transfers,
+        c.dma_wire_bytes / (1024 * 1024)
+    );
     Ok(())
 }

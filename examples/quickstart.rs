@@ -17,7 +17,12 @@ fn main() -> Result<(), DtuError> {
     let b1 = g.add_node(Op::BatchNorm, vec![c1])?;
     let r1 = g.add_node(Op::Relu, vec![b1])?;
     let c2 = g.add_node(Op::conv2d(64, 3, 2, 1), vec![r1])?;
-    let a2 = g.add_node(Op::Activation { func: SfuFunc::Gelu }, vec![c2])?;
+    let a2 = g.add_node(
+        Op::Activation {
+            func: SfuFunc::Gelu,
+        },
+        vec![c2],
+    )?;
     let head = g.add_node(Op::Dense { units: 10 }, vec![a2])?;
     let probs = g.add_node(Op::Softmax, vec![head])?;
     g.mark_output(probs);

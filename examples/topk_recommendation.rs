@@ -13,8 +13,8 @@ use dtu_tensor::Tensor;
 fn main() -> Result<(), MatrixEngineError> {
     // Recommendation scores for 16 candidate items.
     let scores = Tensor::from_vec(vec![
-        0.12, 0.87, 0.45, 0.91, 0.33, 0.76, 0.08, 0.64, 0.29, 0.95, 0.51, 0.18, 0.72, 0.40,
-        0.83, 0.57,
+        0.12, 0.87, 0.45, 0.91, 0.33, 0.76, 0.08, 0.64, 0.29, 0.95, 0.51, 0.18, 0.72, 0.40, 0.83,
+        0.57,
     ]);
     let mut engine = MatrixEngine::default();
 

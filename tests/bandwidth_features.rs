@@ -61,7 +61,8 @@ fn dma_config_time_drops_with_repeat_mode() {
 fn conv_via_im2col_gemm_matches_direct_convolution() {
     // The functional path the compiler's tensorizer assumes: lowering a
     // convolution to im2col + GEMM is exact.
-    let (c_in, h, w, c_out, k, stride, pad) = (3usize, 6usize, 6usize, 4usize, 3usize, 1usize, 1usize);
+    let (c_in, h, w, c_out, k, stride, pad) =
+        (3usize, 6usize, 6usize, 4usize, 3usize, 1usize, 1usize);
     let input = Tensor::from_fn(Shape::new(vec![c_in, h, w]), |i| {
         ((i[0] * 31 + i[1] * 7 + i[2] * 3) % 11) as f32 * 0.2 - 1.0
     });
@@ -123,5 +124,8 @@ fn conv_via_im2col_gemm_matches_direct_convolution() {
 fn wire_traffic_scales_with_model_size() {
     let small = wire_bytes(ChipConfig::dtu20(), Model::Resnet50);
     let big = wire_bytes(ChipConfig::dtu20(), Model::Unet);
-    assert!(big > small * 3, "UNet should move far more data: {big} vs {small}");
+    assert!(
+        big > small * 3,
+        "UNet should move far more data: {big} vs {small}"
+    );
 }

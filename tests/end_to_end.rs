@@ -81,7 +81,10 @@ fn batching_improves_throughput() {
     let t8 = tp(8);
     let t16 = tp(16);
     assert!(t8 > t1, "batch 8 ({t8:.0}/s) not above batch 1 ({t1:.0}/s)");
-    assert!(t16 > t8, "batch 16 ({t16:.0}/s) not above batch 8 ({t8:.0}/s)");
+    assert!(
+        t16 > t8,
+        "batch 16 ({t16:.0}/s) not above batch 8 ({t8:.0}/s)"
+    );
 }
 
 #[test]

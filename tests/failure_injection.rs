@@ -17,7 +17,10 @@ fn oversized_model_rejected_with_capacity_numbers() {
     g.mark_output(d);
     let accel = Accelerator::cloudblazer_i20();
     match Session::compile(&accel, &g, SessionOptions::default()) {
-        Err(DtuError::Compile(CompileError::ModelTooLarge { required, available })) => {
+        Err(DtuError::Compile(CompileError::ModelTooLarge {
+            required,
+            available,
+        })) => {
             assert!(required > available);
             assert_eq!(available, 16 * 1024 * 1024 * 1024);
         }

@@ -33,8 +33,18 @@ fn fig12_bandwidth_and_peak_ratios() {
 #[test]
 fn fig13_geomean_speedups_near_paper() {
     let rows = suite();
-    let g_t4 = geomean(&rows.iter().map(LatencyRow::speedup_vs_t4).collect::<Vec<_>>());
-    let g_a10 = geomean(&rows.iter().map(LatencyRow::speedup_vs_a10).collect::<Vec<_>>());
+    let g_t4 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::speedup_vs_t4)
+            .collect::<Vec<_>>(),
+    );
+    let g_a10 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::speedup_vs_a10)
+            .collect::<Vec<_>>(),
+    );
     // Paper: 2.22x and 1.16x. Allow +-20% on the model.
     assert!(
         (1.8..2.8).contains(&g_t4),
@@ -127,8 +137,18 @@ fn fig14_peak_efficiency_relations() {
 #[test]
 fn fig15_energy_efficiency_geomeans() {
     let rows = suite();
-    let e_t4 = geomean(&rows.iter().map(LatencyRow::efficiency_vs_t4).collect::<Vec<_>>());
-    let e_a10 = geomean(&rows.iter().map(LatencyRow::efficiency_vs_a10).collect::<Vec<_>>());
+    let e_t4 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::efficiency_vs_t4)
+            .collect::<Vec<_>>(),
+    );
+    let e_a10 = geomean(
+        &rows
+            .iter()
+            .map(LatencyRow::efficiency_vs_a10)
+            .collect::<Vec<_>>(),
+    );
     // Paper: 1.04x and 1.17x.
     assert!(
         (0.85..1.35).contains(&e_t4),
@@ -156,5 +176,9 @@ fn fig15_srresnet_best_efficiency_case() {
         .expect("suite covers SRResnet");
     // Paper: 2.03x / 2.39x.
     assert!(sr.efficiency_vs_t4() > 1.5, "{:.2}", sr.efficiency_vs_t4());
-    assert!(sr.efficiency_vs_a10() > 1.8, "{:.2}", sr.efficiency_vs_a10());
+    assert!(
+        sr.efficiency_vs_a10() > 1.8,
+        "{:.2}",
+        sr.efficiency_vs_a10()
+    );
 }

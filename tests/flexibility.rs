@@ -51,8 +51,7 @@ fn every_benchmark_model_exports_and_reimports() {
     for model in Model::ALL {
         let g = model.build(1);
         let text = export_model(&g);
-        let g2 = parse_model(&text)
-            .unwrap_or_else(|e| panic!("{model}: reimport failed: {e}"));
+        let g2 = parse_model(&text).unwrap_or_else(|e| panic!("{model}: reimport failed: {e}"));
         assert_eq!(g.len(), g2.len(), "{model}: node count changed");
         let s1 = g.infer_shapes().unwrap();
         let s2 = g2.infer_shapes().unwrap();

@@ -48,16 +48,19 @@ fn spu_accuracy_meets_the_inference_tolerance() {
     // DNNs; activation evaluation must not be the accuracy bottleneck at
     // normal activation magnitudes.
     let mut spu = Spu::default();
-    for func in [SfuFunc::Tanh, SfuFunc::Sigmoid, SfuFunc::Gelu, SfuFunc::Swish] {
+    for func in [
+        SfuFunc::Tanh,
+        SfuFunc::Sigmoid,
+        SfuFunc::Gelu,
+        SfuFunc::Swish,
+    ] {
         for i in 0..500 {
             let x = -4.0 + 8.0 * i as f64 / 499.0;
             let got = spu.eval(func, x as f32).expect("supported") as f64;
             let want = match func {
                 SfuFunc::Tanh => x.tanh(),
                 SfuFunc::Sigmoid => 1.0 / (1.0 + (-x).exp()),
-                SfuFunc::Gelu => {
-                    0.5 * x * (1.0 + libm_erf(x / std::f64::consts::SQRT_2))
-                }
+                SfuFunc::Gelu => 0.5 * x * (1.0 + libm_erf(x / std::f64::consts::SQRT_2)),
                 SfuFunc::Swish => x / (1.0 + (-x).exp()),
                 _ => unreachable!(),
             };

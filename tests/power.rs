@@ -76,7 +76,8 @@ fn cpme_budgets_are_conserved_under_load() {
         assert!(got <= 7_000);
         if round % 2 == 0 {
             let held = cpme.allocation_mw(u) - 10_000;
-            cpme.release(u, held.min(3_000)).expect("release within loan");
+            cpme.release(u, held.min(3_000))
+                .expect("release within loan");
         }
         assert!(cpme.is_consistent(), "budget conservation violated");
     }

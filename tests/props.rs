@@ -151,7 +151,12 @@ fn random_graph(spec: &[(u8, u8)]) -> dtu_graph::Graph {
             1 => g.add_node(Op::Relu, vec![last]).expect("legal"),
             2 => g.add_node(Op::BatchNorm, vec![last]).expect("legal"),
             3 => g
-                .add_node(Op::Binary { kind: BinaryKind::Add }, vec![last, a])
+                .add_node(
+                    Op::Binary {
+                        kind: BinaryKind::Add,
+                    },
+                    vec![last, a],
+                )
                 .expect("legal"),
             4 => g
                 .add_node(
@@ -161,7 +166,9 @@ fn random_graph(spec: &[(u8, u8)]) -> dtu_graph::Graph {
                     vec![last],
                 )
                 .expect("legal"),
-            _ => g.add_node(Op::conv2d(8, 1, 1, 0), vec![last]).expect("legal"),
+            _ => g
+                .add_node(Op::conv2d(8, 1, 1, 0), vec![last])
+                .expect("legal"),
         };
         nodes.push(id);
     }

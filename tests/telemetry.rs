@@ -1,0 +1,127 @@
+//! Integration tests for the cross-layer telemetry subsystem: span
+//! recording through compiler + session + simulator, counter
+//! conservation, attribution exactness, and the zero-cost-when-disabled
+//! guarantee.
+
+use dtu::telemetry::{AttributionReport, Counter, Layer, NullRecorder, SpanKind, TraceBuffer};
+use dtu::{Accelerator, DataType, Session, SessionOptions};
+use dtu_models::Model;
+
+fn recorded_run(
+    model: Model,
+) -> (
+    dtu::InferenceReport,
+    TraceBuffer,
+    usize, // stream (group) count of the compiled program
+) {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = model.build(1);
+    let mut buf = TraceBuffer::new();
+    let session =
+        Session::compile_recorded(&accel, &graph, SessionOptions::default(), &mut buf).unwrap();
+    let streams = session.program().streams.len();
+    let report = session.run_recorded(&mut buf).unwrap();
+    (report, buf, streams)
+}
+
+#[test]
+fn counters_conserve_core_time() {
+    let (report, buf, streams) = recorded_run(Model::Resnet50);
+    let snap = buf
+        .snapshots()
+        .iter()
+        .find(|s| s.label.starts_with("chip:"))
+        .expect("chip-wide counter snapshot");
+    let accounted = snap.set.get(Counter::ComputeBusyNs)
+        + snap.set.get(Counter::MemoryStallNs)
+        + snap.set.get(Counter::SyncWaitNs)
+        + snap.set.get(Counter::CodeLoadStallNs)
+        + snap.set.get(Counter::PowerStallNs);
+    // Each of the program's streams (one per processing group) can
+    // account at most the wall clock; the total is bounded by
+    // wall-clock time times the number of active lanes.
+    let bound = report.raw().latency_ns * streams as f64;
+    assert!(accounted > 0.0, "a real model must account core time");
+    assert!(
+        accounted <= bound + 1.0,
+        "accounted {accounted} ns exceeds {streams} lanes x {} ns",
+        report.raw().latency_ns
+    );
+    // The same conservation holds span by span: no kernel interval
+    // accounts more than its own duration per category sum.
+    for s in buf.spans().iter().filter(|s| s.kind == SpanKind::Kernel) {
+        let per_span =
+            s.counters.get(Counter::ComputeBusyNs) + s.counters.get(Counter::MemoryStallNs);
+        assert!(
+            per_span <= s.duration_ns() + 1.0,
+            "kernel '{}' accounts {per_span} ns in a {} ns span",
+            s.label,
+            s.duration_ns()
+        );
+    }
+}
+
+#[test]
+fn attribution_sums_to_end_to_end_latency() {
+    let (report, buf, _) = recorded_run(Model::Resnet50);
+    let accel = Accelerator::cloudblazer_i20();
+    let machine = accel.config().machine_spec(
+        accel.config().total_groups(),
+        DataType::Fp16.ops_multiplier(),
+    );
+    let attr = AttributionReport::from_spans(buf.spans(), report.raw().latency_ns, machine);
+    // Acceptance bound: per-operator latencies sum to within 1% of the
+    // end-to-end latency (segment attribution makes this exact).
+    let total = report.raw().latency_ns;
+    assert!(
+        (attr.attributed_ns() - total).abs() <= 0.01 * total,
+        "attributed {} vs end-to-end {total}",
+        attr.attributed_ns()
+    );
+    // A real convnet crosses several distinct bottleneck classes worth
+    // of operators, and utilisation metrics stay in range.
+    assert!(attr.ops.len() > 10);
+    for o in &attr.ops {
+        let u = o.mac_utilization(&attr.machine);
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "{}: mac% {u}", o.name);
+        let hit = o.icache_hit_rate();
+        assert!((0.0..=1.0).contains(&hit));
+    }
+}
+
+#[test]
+fn one_trace_spans_compiler_session_and_sim_layers() {
+    let (report, buf, _) = recorded_run(Model::BertLarge);
+    let layers: std::collections::BTreeSet<Layer> = buf.spans().iter().map(|s| s.layer).collect();
+    assert!(layers.contains(&Layer::Compiler));
+    assert!(layers.contains(&Layer::Session));
+    assert!(layers.contains(&Layer::Sim));
+    // Sim spans live inside the session envelope on the shared clock.
+    for s in buf.spans().iter().filter(|s| s.layer == Layer::Sim) {
+        assert!(s.start_ns >= 0.0);
+        assert!(s.end_ns <= report.raw().latency_ns + 1.0);
+    }
+    // The rich Chrome export is one loadable JSON array with process
+    // metadata naming the layers.
+    let json = buf.to_chrome_trace(true);
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert!(json.contains("process_name"));
+    assert!(json.contains(Layer::Compiler.name()));
+    assert!(json.contains(Layer::Sim.name()));
+}
+
+#[test]
+fn disabled_recorder_changes_no_numbers() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = Model::InceptionV4.build(1);
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).unwrap();
+    let plain = session.run().unwrap();
+    let mut null = NullRecorder;
+    let nulled = session.run_recorded(&mut null).unwrap();
+    assert_eq!(plain.raw(), nulled.raw(), "NullRecorder must be invisible");
+    // And a full recording must not perturb the simulation either.
+    let mut buf = TraceBuffer::new();
+    let recorded = session.run_recorded(&mut buf).unwrap();
+    assert_eq!(plain.raw(), recorded.raw());
+    assert!(!buf.is_empty());
+}

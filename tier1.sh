@@ -1,6 +1,24 @@
 #!/usr/bin/env sh
-# Tier-1 gate: build, test, lint. Run from the repo root.
+# Tier-1 gate: format, build, test, lint, and a profiling smoke run.
+# Run from the repo root.
 set -eu
+cargo fmt --all --check
 cargo build --release
+cargo build --release -p dtu-bench --bin topsexec
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# The telemetry pipeline end to end: `topsexec profile` must emit a
+# non-empty, valid-JSON Perfetto/Chrome trace.
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/topsexec profile resnet50 --trace-out "$trace_dir/trace.json" > /dev/null
+python3 - "$trace_dir/trace.json" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "trace must be a non-empty JSON array"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "trace must contain duration spans"
+assert len({e["pid"] for e in spans}) >= 3, "trace must cover >= 3 layers"
+PY
+echo "tier1 OK"
