@@ -20,4 +20,4 @@ mod roofline;
 mod specs;
 
 pub use roofline::{EfficiencyProfile, ModelEstimate, RooflineModel};
-pub use specs::{a10_spec, i10_spec, i20_spec, t4_spec, PlatformSpec};
+pub use specs::{a10_spec, i10_spec, i20_spec, spec_from_chip, t4_spec, PlatformSpec};

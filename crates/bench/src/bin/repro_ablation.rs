@@ -3,38 +3,20 @@
 //! delta on representative models is measured. The final rows run the
 //! full DTU 1.0 configuration — confirming the Fig. 13 footnote that the
 //! i10 "performs worse than Cloudblazer i20 for all tested DNNs".
+//!
+//! All ~47 (chip config, model) points of both sections go through one
+//! deduplicated experiment plan: the three DTU 2.0 base rows reappear in
+//! the i20-vs-i10 section and are simulated only once, and `--jobs`
+//! spreads the rest over the worker pool.
 
-use dtu::{Accelerator, ChipConfig, Session, SessionOptions};
+use dtu::ChipConfig;
+use dtu_bench::{chip_latencies, ChipPoint, RunnerArgs};
 use dtu_models::Model;
 
-fn latency(cfg: ChipConfig, model: Model) -> f64 {
-    let accel = Accelerator::with_config(cfg).expect("valid config");
-    let graph = model.build(1);
-    Session::compile(&accel, &graph, SessionOptions::default())
-        .expect("compile")
-        .run()
-        .expect("run")
-        .latency_ms()
-}
-
 fn main() {
+    let run = RunnerArgs::parse_or_exit();
+    let cache = run.cache();
     let models = [Model::Resnet50, Model::YoloV3, Model::BertLarge];
-    println!("== Table II ablation: disable one DTU 2.0 feature at a time ==");
-    print!("{:<26}", "Configuration");
-    for m in models {
-        print!(" {:>16}", m.name());
-    }
-    println!();
-
-    let base: Vec<f64> = models
-        .iter()
-        .map(|&m| latency(ChipConfig::dtu20(), m))
-        .collect();
-    print!("{:<26}", "DTU 2.0 (all features)");
-    for b in &base {
-        print!(" {:>13.3} ms", b);
-    }
-    println!();
 
     type Toggle = (&'static str, fn(&mut ChipConfig));
     let toggles: [Toggle; 8] = [
@@ -53,12 +35,49 @@ fn main() {
             c.features.power_management = false
         }),
     ];
-    for (name, toggle) in toggles {
+
+    // One plan for everything this binary prints. Point layout:
+    //   [0..3)    DTU 2.0 base, the three representative models
+    //   [3..27)   8 toggles x 3 models
+    //   [27..37)  i20, all ten DNNs (3 points dedup against the base)
+    //   [37..47)  i10, all ten DNNs
+    let mut points = Vec::new();
+    for &m in &models {
+        points.push(ChipPoint::new(ChipConfig::dtu20(), m));
+    }
+    for (_, toggle) in &toggles {
         let mut cfg = ChipConfig::dtu20();
         toggle(&mut cfg);
+        for &m in &models {
+            points.push(ChipPoint::new(cfg.clone(), m));
+        }
+    }
+    for m in Model::ALL {
+        points.push(ChipPoint::new(ChipConfig::dtu20(), m));
+    }
+    for m in Model::ALL {
+        points.push(ChipPoint::new(ChipConfig::dtu10(), m));
+    }
+    let lat = chip_latencies(&points, &cache, run.jobs);
+
+    println!("== Table II ablation: disable one DTU 2.0 feature at a time ==");
+    print!("{:<26}", "Configuration");
+    for m in models {
+        print!(" {:>16}", m.name());
+    }
+    println!();
+
+    let base = &lat[0..3];
+    print!("{:<26}", "DTU 2.0 (all features)");
+    for b in base {
+        print!(" {:>13.3} ms", b);
+    }
+    println!();
+
+    for (t, (name, _)) in toggles.iter().enumerate() {
         print!("{name:<26}");
-        for (i, &m) in models.iter().enumerate() {
-            let l = latency(cfg.clone(), m);
+        for i in 0..models.len() {
+            let l = lat[3 + t * models.len() + i];
             print!(" {:>8.3} ({:+5.1}%)", l, (l / base[i] - 1.0) * 100.0);
         }
         println!();
@@ -70,10 +89,11 @@ fn main() {
         "{:<16} {:>12} {:>12} {:>10}",
         "DNN", "i20 (ms)", "i10 (ms)", "speedup"
     );
+    let i20 = &lat[27..37];
+    let i10 = &lat[37..47];
     let mut all_win = true;
-    for m in Model::ALL {
-        let l20 = latency(ChipConfig::dtu20(), m);
-        let l10 = latency(ChipConfig::dtu10(), m);
+    for (i, m) in Model::ALL.into_iter().enumerate() {
+        let (l20, l10) = (i20[i], i10[i]);
         if l10 <= l20 {
             all_win = false;
         }
@@ -92,5 +112,14 @@ fn main() {
         } else {
             "NO"
         }
+    );
+    let s = cache.stats();
+    eprintln!(
+        "[harness] {} points planned ({} after dedup), {} workers; cache: {} hits / {} misses",
+        points.len(),
+        s.lookups(),
+        run.jobs,
+        s.hits(),
+        s.misses
     );
 }

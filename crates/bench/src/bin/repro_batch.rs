@@ -6,36 +6,43 @@
 //! *grows* with batch because the i20's isolated processing groups run
 //! batch shards concurrently and broadcast the shared weights once per
 //! cluster.
+//!
+//! The offline points run through the harness sweep runner (the same
+//! engine behind `topsexec sweep`), and the serving section routes its
+//! compilations through the same session cache, so the two halves of
+//! the experiment share one artifact store.
 
 use dtu::serve::{
     run_serving, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy, ServeConfig, SlaPolicy,
     TenantSpec,
 };
-use dtu::{Accelerator, Session, SessionOptions};
+use dtu::Accelerator;
+use dtu_bench::RunnerArgs;
+use dtu_harness::{run_sweep, SweepModel};
 use dtu_models::Model;
 use gpu_baseline::RooflineModel;
 
 fn main() {
+    let run = RunnerArgs::parse_or_exit();
+    let cache = run.cache();
     println!("== VGG16 batched throughput: i20 vs A10 ==");
     println!(
         "{:<8} {:>14} {:>14} {:>12}",
         "Batch", "i20 (samp/s)", "A10 (samp/s)", "i20/A10"
     );
     let accel = Accelerator::cloudblazer_i20();
+    let vgg = [SweepModel::new("vgg16", |b| Model::Vgg16.build(b))];
+    let sweep = run_sweep(&accel, &vgg, &[8, 16], &cache, run.jobs).expect("VGG16 sweep");
     let mut ratios = Vec::new();
-    for batch in [8usize, 16] {
-        let graph = Model::Vgg16.build(batch);
-        let session = Session::compile(&accel, &graph, SessionOptions::batched(batch))
-            .expect("compile VGG16");
-        let i20 = session.run().expect("run VGG16");
+    for p in &sweep.points {
+        let graph = Model::Vgg16.build(p.batch);
         let a10 = RooflineModel::a10().estimate(&graph).expect("A10 estimate");
-        let i20_tp = i20.throughput();
-        let a10_tp = a10.throughput(batch);
-        let ratio = i20_tp / a10_tp;
+        let a10_tp = a10.throughput(p.batch);
+        let ratio = p.throughput_sps / a10_tp;
         ratios.push(ratio);
         println!(
             "{:<8} {:>14.0} {:>14.0} {:>11.2}x",
-            batch, i20_tp, a10_tp, ratio
+            p.batch, p.throughput_sps, a10_tp, ratio
         );
     }
     println!();
@@ -51,9 +58,11 @@ fn main() {
     println!();
     println!("== Dynamic batching under load (serving view) ==");
     // The offline sweep fixes the batch; the serving layer forms batches
-    // online from a live queue. Same chip, same model, arrival-driven.
+    // online from a live queue. Same chip, same model, arrival-driven —
+    // and the same artifact cache underneath both.
     let serve = |max_batch: usize| {
-        let mut resnet = CompiledModel::new(accel.chip(), "resnet50", |b| Model::Resnet50.build(b));
+        let mut resnet = CompiledModel::new(accel.chip(), "resnet50", |b| Model::Resnet50.build(b))
+            .with_source(&cache);
         let cfg = ServeConfig {
             duration_ms: 600.0,
             seed: 21,
@@ -92,5 +101,11 @@ fn main() {
     println!(
         "  dynamic batching sustains {:.2}x the throughput at equal load",
         batched.report.throughput_qps / unbatched.report.throughput_qps
+    );
+    let s = cache.stats();
+    println!();
+    println!(
+        "shared session cache (sweep + serving): {} memory + {} disk hits, {} misses",
+        s.memory_hits, s.disk_hits, s.misses
     );
 }

@@ -2,7 +2,8 @@
 //! and bandwidth across platforms — (a) i20 vs i10 normalised with i10,
 //! (b) i20 vs T4/A10 normalised with T4.
 
-use gpu_baseline::{a10_spec, i10_spec, i20_spec, t4_spec, PlatformSpec};
+use dtu_bench::{platform_specs, RunnerArgs};
+use gpu_baseline::PlatformSpec;
 
 fn row(
     label: &str,
@@ -18,7 +19,8 @@ fn row(
 }
 
 fn main() {
-    let (i10, i20, t4, a10) = (i10_spec(), i20_spec(), t4_spec(), a10_spec());
+    let run = RunnerArgs::parse_or_exit();
+    let (i10, i20, t4, a10) = platform_specs(run.jobs);
 
     println!("== Fig. 12(a): Cloudblazer i20 vs i10 (normalised with i10) ==");
     println!("{:<14} {:>15} {:>15}", "", "i10", "i20");

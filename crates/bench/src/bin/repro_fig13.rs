@@ -8,7 +8,9 @@
 //! detection models.
 
 fn main() {
-    let rows = dtu_bench::evaluate_suite();
+    let run = dtu_bench::RunnerArgs::parse_or_exit();
+    let cache = run.cache();
+    let rows = dtu_bench::evaluate_suite_with(&cache, run.jobs);
     println!("== Fig. 13: DNN latency (batch 1, FP16) ==");
     dtu_bench::print_latency_table(&rows);
     println!();
@@ -48,4 +50,9 @@ fn main() {
         .map(|r| r.model.name())
         .collect();
     println!("A10 wins: {a10_wins:?} | paper: 3/10, notably VGG16 and Inception v4");
+    let s = cache.stats();
+    eprintln!(
+        "[harness] {} workers; session cache: {} memory + {} disk hits, {} misses",
+        run.jobs, s.memory_hits, s.disk_hits, s.misses
+    );
 }

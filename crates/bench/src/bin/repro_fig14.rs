@@ -7,8 +7,9 @@
 //! over i20; for FP32 the i20 leads with 1.6x / 1.84x / 1.03x over
 //! i10 / T4 / A10.
 
+use dtu_bench::{platform_specs, RunnerArgs};
 use dtu_isa::DataType;
-use gpu_baseline::{a10_spec, i10_spec, i20_spec, t4_spec, PlatformSpec};
+use gpu_baseline::PlatformSpec;
 
 fn table(title: &str, specs: &[&PlatformSpec], base: &PlatformSpec) {
     println!("{title}");
@@ -36,7 +37,8 @@ fn table(title: &str, specs: &[&PlatformSpec], base: &PlatformSpec) {
 }
 
 fn main() {
-    let (i10, i20, t4, a10) = (i10_spec(), i20_spec(), t4_spec(), a10_spec());
+    let run = RunnerArgs::parse_or_exit();
+    let (i10, i20, t4, a10) = platform_specs(run.jobs);
     table(
         "== Fig. 14(a): i20 vs i10 (normalised with i10) ==",
         &[&i10, &i20],

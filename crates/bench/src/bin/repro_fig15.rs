@@ -8,10 +8,12 @@
 //! average; SRResNet shows the largest improvement at 2.03x / 2.39x;
 //! the i20 wins on power efficiency against T4 for about half the DNNs.
 
-use dtu_bench::{evaluate_suite, geomean, LatencyRow};
+use dtu_bench::{evaluate_suite_with, geomean, LatencyRow, RunnerArgs};
 
 fn main() {
-    let rows = evaluate_suite();
+    let run = RunnerArgs::parse_or_exit();
+    let cache = run.cache();
+    let rows = evaluate_suite_with(&cache, run.jobs);
     println!("== Fig. 15: DNN energy efficiency, Perf/TDP (normalised with T4) ==");
     println!("{:<16} {:>12} {:>12}", "DNN", "i20 vs T4", "i20 vs A10");
     for r in &rows {
@@ -53,4 +55,9 @@ fn main() {
     );
     let t4_wins = rows.iter().filter(|r| r.efficiency_vs_t4() > 1.0).count();
     println!("i20 more efficient than T4 on {t4_wins}/10 DNNs | paper: about half");
+    let s = cache.stats();
+    eprintln!(
+        "[harness] {} workers; session cache: {} memory + {} disk hits, {} misses",
+        run.jobs, s.memory_hits, s.disk_hits, s.misses
+    );
 }

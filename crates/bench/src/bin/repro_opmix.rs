@@ -4,7 +4,10 @@
 //! classification DNNs (around 81%). However, their input sizes are more
 //! than 2x larger."
 
+use dtu_bench::RunnerArgs;
+use dtu_compiler::Fnv1a;
 use dtu_graph::{characterize, fuse, FusionConfig, OpCost};
+use dtu_harness::{ExperimentPlan, HarnessError};
 use dtu_models::Model;
 
 /// Share of operator instances that are high-density (conv / matmul /
@@ -12,19 +15,29 @@ use dtu_models::Model;
 /// algebra saturates every DNN) — plus total GFLOPs. Epilogues that fuse
 /// into their anchor (BN, activations, residual adds) are attributed to
 /// it, as a deployment-level operator census would see them.
-fn matrix_share_and_flops(model: Model) -> (f64, f64) {
+fn matrix_share_and_flops(model: Model) -> Result<(f64, f64), HarnessError> {
+    let err = |message: String| HarnessError::Job {
+        label: model.name().to_string(),
+        message,
+    };
     let g = model.build(1);
-    let shapes = g.infer_shapes().expect("benchmarks infer");
-    let plan = fuse(&g, &FusionConfig::default()).expect("benchmarks fuse");
+    let shapes = g
+        .infer_shapes()
+        .map_err(|e| err(format!("shape inference failed: {e}")))?;
+    let plan =
+        fuse(&g, &FusionConfig::default()).map_err(|e| err(format!("fusion failed: {e}")))?;
     let mut matrix = 0usize;
     let mut operators = 0usize;
     let mut total_flops = 0u64;
     for group in &plan.groups {
         let mut has_anchor = false;
         for &nid in &group.nodes {
-            let node = g.node(nid).expect("valid id");
+            let node = g
+                .node(nid)
+                .map_err(|e| err(format!("invalid node id: {e}")))?;
             let inputs: Vec<_> = node.inputs.iter().map(|i| &shapes[i]).collect();
-            let c: OpCost = characterize(&node.op, &inputs, &shapes[&nid]).expect("fixed dims");
+            let c: OpCost = characterize(&node.op, &inputs, &shapes[&nid])
+                .map_err(|e| err(format!("characterize failed: {e}")))?;
             total_flops += c.flops();
             has_anchor |= node.op.is_compute_anchor();
         }
@@ -35,13 +48,30 @@ fn matrix_share_and_flops(model: Model) -> (f64, f64) {
             matrix += 1;
         }
     }
-    (
+    Ok((
         matrix as f64 / operators.max(1) as f64,
         total_flops as f64 / 1e9,
-    )
+    ))
 }
 
 fn main() {
+    let run = RunnerArgs::parse_or_exit();
+    // Pure graph analysis — no sessions to cache, but the per-model
+    // census points still fan out over the experiment plan's workers.
+    let mut plan: ExperimentPlan<'_, (f64, f64)> = ExperimentPlan::new();
+    let ids: Vec<_> = Model::ALL
+        .iter()
+        .map(|&m| {
+            let mut key = Fnv1a::new();
+            key.write_str("opmix/");
+            key.write_str(m.name());
+            plan.add_point(key.finish(), m.name().to_string(), &[], move |_| {
+                matrix_share_and_flops(m)
+            })
+        })
+        .collect();
+    let results = plan.run(run.jobs);
+
     println!("== §VI-D operator-mix profile: matrix-dense share of operators ==");
     println!(
         "{:<16} {:<22} {:>14} {:>10}",
@@ -49,8 +79,11 @@ fn main() {
     );
     let mut det = Vec::new();
     let mut cls = Vec::new();
-    for model in Model::ALL {
-        let (share, gflops) = matrix_share_and_flops(model);
+    for (model, id) in Model::ALL.into_iter().zip(&ids) {
+        let (share, gflops) = match &results[id.index()] {
+            Ok(r) => *r,
+            Err(e) => panic!("operator census failed: {e}"),
+        };
         println!(
             "{:<16} {:<22} {:>13.1}% {:>10.1}",
             model.name(),

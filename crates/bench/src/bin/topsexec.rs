@@ -10,6 +10,8 @@
 //! topsexec profile bert --trace-out bert.json --format prometheus
 //! topsexec serve                       # multi-tenant serving scenario
 //! topsexec serve --models resnet50,bert --qps 600 --bursty --trace-out t.jsonl
+//! topsexec sweep                       # model x batch grid, parallel + cached
+//! topsexec sweep --models resnet50,bert --batches 1,4,16 --jobs 4 --format json
 //! ```
 
 use dtu::serve::{
@@ -19,7 +21,9 @@ use dtu::serve::{
 use dtu::telemetry::{AttributionReport, Recorder, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
 use dtu_graph::parse_model;
+use dtu_harness::{available_jobs, run_sweep, SessionCache, SweepModel};
 use dtu_models::Model;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
@@ -37,6 +41,7 @@ fn usage() -> &'static str {
     "usage: topsexec (--model <name> | --import <file.tops>) [options]\n\
      \x20      topsexec profile (<name> | --import <file.tops>) [profile options]\n\
      \x20      topsexec serve [serve options]\n\
+     \x20      topsexec sweep [sweep options]\n\
      \n\
      options:\n\
        --model <name>           one of: yolov3 centernet retinaface vgg16\n\
@@ -69,7 +74,22 @@ fn usage() -> &'static str {
        --seed <n>               run seed (default 0x5EED)\n\
        --chip <i20|i10>         accelerator generation (default i20)\n\
        --trace-out <file>       write the event trace: .json gets Chrome-trace\n\
-                                spans, anything else JSON lines"
+                                spans, anything else JSON lines\n\
+       --cache-dir <dir>        compiled-session artifact directory\n\
+                                (default target/dtu-cache)\n\
+       --no-disk-cache          keep the session cache in memory only\n\
+     \n\
+     sweep options (model x batch grid on the parallel experiment engine):\n\
+       --models <a,b,...>       comma-separated model names\n\
+                                (default resnet50,vgg16,bert)\n\
+       --batches <1,2,...>      comma-separated batch sizes (default 1,2,4,8)\n\
+       --chip <i20|i10>         accelerator generation (default i20)\n\
+       --jobs <n>               worker threads (default: all cores)\n\
+       --format <table|json>    report format on stdout (default table);\n\
+                                json output is byte-stable across --jobs\n\
+       --cache-dir <dir>        compiled-session artifact directory\n\
+                                (default target/dtu-cache)\n\
+       --no-disk-cache          keep the session cache in memory only"
 }
 
 fn chip_by_name(name: &str) -> Result<ChipConfig, String> {
@@ -174,6 +194,20 @@ struct ServeArgs {
     seed: u64,
     chip: String,
     trace: Option<String>,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+/// Builds the artifact cache the `sweep` and `serve` subcommands share
+/// (on disk) from the common `--cache-dir` / `--no-disk-cache` flags.
+fn artifact_cache(cache_dir: Option<&PathBuf>, disk_cache: bool) -> SessionCache {
+    if !disk_cache {
+        return SessionCache::memory_only();
+    }
+    let dir = cache_dir
+        .cloned()
+        .unwrap_or_else(SessionCache::default_disk_dir);
+    SessionCache::with_disk(dir)
 }
 
 fn parse_serve_args() -> Result<ServeArgs, String> {
@@ -190,6 +224,8 @@ fn parse_serve_args() -> Result<ServeArgs, String> {
         seed: 0x5EED,
         chip: "i20".into(),
         trace: None,
+        cache_dir: None,
+        disk_cache: true,
     };
     let mut it = std::env::args().skip(2);
     while let Some(a) = it.next() {
@@ -218,6 +254,8 @@ fn parse_serve_args() -> Result<ServeArgs, String> {
             "--seed" => args.seed = num("--seed", value("--seed")?)?,
             "--chip" => args.chip = value("--chip")?,
             "--trace-out" | "--trace" => args.trace = Some(value("--trace-out")?),
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve flag '{other}'")),
         }
@@ -255,15 +293,19 @@ fn run_serve() -> ExitCode {
         }
     };
 
+    // The artifact cache outlives the per-tenant models so every
+    // tenant compiles through it — and, with the disk tier on, reuses
+    // sessions a previous `serve` or `sweep` run already lowered.
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
     let mut models = Vec::new();
     for name in &args.models {
         let Some(m) = model_by_name(name) else {
             eprintln!("error: unknown model '{name}'\n\n{}", usage());
             return ExitCode::FAILURE;
         };
-        models.push(CompiledModel::new(accel.chip(), name.clone(), move |b| {
-            m.build(b)
-        }));
+        models.push(
+            CompiledModel::new(accel.chip(), name.clone(), move |b| m.build(b)).with_source(&cache),
+        );
     }
 
     let gpc = accel.config().groups_per_cluster;
@@ -354,6 +396,11 @@ fn run_serve() -> ExitCode {
             s.misses
         );
     }
+    let s = cache.stats();
+    println!(
+        "  shared artifacts: {} memory + {} disk hits, {} misses",
+        s.memory_hits, s.disk_hits, s.misses
+    );
 
     if let Some(path) = &args.trace {
         let payload = if chrome_trace {
@@ -367,6 +414,139 @@ fn run_serve() -> ExitCode {
         }
         println!("\ntrace written to {path} ({} events)", out.trace.len());
     }
+    ExitCode::SUCCESS
+}
+
+struct SweepArgs {
+    models: Vec<String>,
+    batches: Vec<usize>,
+    chip: String,
+    jobs: usize,
+    format: String,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+fn parse_sweep_args() -> Result<SweepArgs, String> {
+    let mut args = SweepArgs {
+        models: vec!["resnet50".into(), "vgg16".into(), "bert".into()],
+        batches: vec![1, 2, 4, 8],
+        chip: "i20".into(),
+        jobs: available_jobs(),
+        format: "table".into(),
+        cache_dir: None,
+        disk_cache: true,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("bad batch size '{}'", s.trim()))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--chip" => args.chip = value("--chip")?,
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?
+            }
+            "--format" => args.format = value("--format")?,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown sweep flag '{other}'")),
+        }
+    }
+    if args.models.is_empty() || args.batches.is_empty() {
+        return Err("sweep needs at least one model and one batch".into());
+    }
+    if !matches!(args.format.as_str(), "table" | "json") {
+        return Err(format!(
+            "--format must be table or json, got '{}'",
+            args.format
+        ));
+    }
+    Ok(args)
+}
+
+fn run_sweep_cmd() -> ExitCode {
+    let args = match parse_sweep_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut grid = Vec::new();
+    for name in &args.models {
+        let Some(m) = model_by_name(name) else {
+            eprintln!("error: unknown model '{name}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        grid.push(SweepModel::new(name.clone(), move |b| m.build(b)));
+    }
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+
+    let started = std::time::Instant::now();
+    let report = match run_sweep(&accel, &grid, &args.batches, &cache, args.jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // The report itself is schedule-independent and goes to stdout;
+    // anything wall-clock-dependent stays on stderr so json output can
+    // be compared byte-for-byte between runs.
+    match args.format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.to_table()),
+    }
+    eprintln!(
+        "[sweep] {} points ({} models x {} batches) on {} workers in {:.0} ms; \
+         cache: {} memory + {} disk hits, {} misses",
+        report.points.len(),
+        report.models.len(),
+        report.batches.len(),
+        args.jobs,
+        elapsed_ms,
+        report.cache.memory_hits,
+        report.cache.disk_hits,
+        report.cache.misses
+    );
     ExitCode::SUCCESS
 }
 
@@ -542,6 +722,7 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => return run_serve(),
         Some("profile") => return run_profile(),
+        Some("sweep") => return run_sweep_cmd(),
         _ => {}
     }
     let args = match parse_args() {

@@ -8,7 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod parallel;
+
+pub use parallel::{
+    chip_latencies, evaluate_suite_with, platform_specs, ChipPoint, RunnerArgs, RUNNER_USAGE,
+};
+
 use dtu::{Accelerator, ChipConfig, Session, SessionOptions};
+use dtu_harness::SessionCache;
 use dtu_models::Model;
 use gpu_baseline::RooflineModel;
 
@@ -102,13 +109,15 @@ pub fn evaluate_model(model: Model) -> LatencyRow {
     }
 }
 
-/// Evaluates the full Table III suite.
+/// Evaluates the full Table III suite, serially and without a shared
+/// artifact cache. [`evaluate_suite_with`] is the parallel, cached
+/// form the repro binaries use.
 ///
 /// # Panics
 ///
 /// As for [`i20_latency_ms`].
 pub fn evaluate_suite() -> Vec<LatencyRow> {
-    Model::ALL.iter().map(|&m| evaluate_model(m)).collect()
+    evaluate_suite_with(&SessionCache::memory_only(), 1)
 }
 
 /// Geometric mean of a slice (panics on empty).

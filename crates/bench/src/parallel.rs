@@ -1,0 +1,323 @@
+//! Harness-backed evaluation: the `repro_*` binaries' shared `--jobs` /
+//! cache plumbing plus deduplicated parallel grid evaluation.
+//!
+//! Every binary parses the same three flags through [`RunnerArgs`]
+//! (`--jobs`, `--cache-dir`, `--no-disk-cache`), builds one
+//! [`SessionCache`], and routes its experiment points through an
+//! `ExperimentPlan` so identical (chip, model, batch) points are
+//! simulated once and compiled sessions are shared — within a run via
+//! the in-memory tier and across runs via the on-disk artifact tier.
+
+use crate::LatencyRow;
+use dtu::{Accelerator, ChipConfig, SessionOptions};
+use dtu_compiler::Fnv1a;
+use dtu_harness::{available_jobs, ExperimentPlan, HarnessError, SessionCache};
+use dtu_models::Model;
+use gpu_baseline::{PlatformSpec, RooflineModel};
+use std::path::PathBuf;
+
+/// Command-line options shared by every `repro_*` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerArgs {
+    /// Worker threads for the experiment plan (`--jobs`, default: all
+    /// cores).
+    pub jobs: usize,
+    /// Artifact-cache directory override (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+    /// Whether the disk tier is enabled (`--no-disk-cache` clears it).
+    pub disk_cache: bool,
+}
+
+/// The usage footer shared by the repro binaries.
+pub const RUNNER_USAGE: &str = "common repro options:\n\
+     \x20 --jobs <n>          worker threads (default: all cores)\n\
+     \x20 --cache-dir <dir>   compiled-session artifact directory\n\
+     \x20                     (default target/dtu-cache)\n\
+     \x20 --no-disk-cache     keep the session cache in memory only";
+
+impl RunnerArgs {
+    /// Parses flags from an explicit argument list (the testable form
+    /// of [`RunnerArgs::parse_or_exit`]). Expects the list *without*
+    /// the program name.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown flags or missing/bad
+    /// values; the empty string for `--help`.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Result<RunnerArgs, String> {
+        let mut out = RunnerArgs {
+            jobs: available_jobs(),
+            cache_dir: None,
+            disk_cache: true,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+            match a.as_str() {
+                "--jobs" | "-j" => {
+                    out.jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs needs an integer".to_string())?
+                }
+                "--cache-dir" => out.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--no-disk-cache" => out.disk_cache = false,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses `std::env::args()`, printing usage and exiting on error.
+    pub fn parse_or_exit() -> RunnerArgs {
+        match Self::from_args(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                if e.is_empty() {
+                    eprintln!("{RUNNER_USAGE}");
+                    std::process::exit(0);
+                }
+                eprintln!("error: {e}\n\n{RUNNER_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The session cache the binary should compile through.
+    pub fn cache(&self) -> SessionCache {
+        if !self.disk_cache {
+            return SessionCache::memory_only();
+        }
+        let dir = self
+            .cache_dir
+            .clone()
+            .unwrap_or_else(SessionCache::default_disk_dir);
+        SessionCache::with_disk(dir)
+    }
+}
+
+/// One (chip, model, batch) point of an experiment grid.
+#[derive(Debug, Clone)]
+pub struct ChipPoint {
+    /// Chip configuration the point runs on.
+    pub cfg: ChipConfig,
+    /// Model to evaluate.
+    pub model: Model,
+    /// Batch size (0 is treated as 1).
+    pub batch: usize,
+}
+
+impl ChipPoint {
+    /// A batch-1 point.
+    pub fn new(cfg: ChipConfig, model: Model) -> Self {
+        ChipPoint {
+            cfg,
+            model,
+            batch: 1,
+        }
+    }
+}
+
+/// Content key of one grid point: structural chip config + model + batch.
+fn point_key(cfg: &ChipConfig, model: Model, batch: usize) -> u64 {
+    let mut key = Fnv1a::new();
+    key.write_str("chip-point/");
+    key.write_debug(cfg);
+    key.write_str(model.name());
+    key.write_u64(batch as u64);
+    key.finish()
+}
+
+/// Compile (through `cache`) and simulate one grid point.
+fn point_latency_ms(
+    cfg: &ChipConfig,
+    model: Model,
+    batch: usize,
+    cache: &SessionCache,
+) -> Result<f64, HarnessError> {
+    let accel = Accelerator::with_config(cfg.clone())?;
+    let graph = model.build(batch.max(1));
+    let options = if batch > 1 {
+        SessionOptions::batched(batch)
+    } else {
+        SessionOptions::default()
+    };
+    let (session, _) = cache.compile_session(&accel, &graph, &options)?;
+    Ok(session.run()?.latency_ms())
+}
+
+/// Evaluates every point's latency (ms) on `jobs` workers, compiling
+/// through `cache`. Results align with `points` by index; duplicated
+/// points are planned — and simulated — once.
+///
+/// # Panics
+///
+/// Panics on compile/run failure, like the rest of the harness: a
+/// point that cannot run is an experiment-setup bug.
+pub fn chip_latencies(points: &[ChipPoint], cache: &SessionCache, jobs: usize) -> Vec<f64> {
+    let mut plan: ExperimentPlan<'_, f64> = ExperimentPlan::new();
+    let ids: Vec<_> = points
+        .iter()
+        .map(|p| {
+            let (cfg, model, batch) = (p.cfg.clone(), p.model, p.batch);
+            let label = format!("{} b{} on {}", model.name(), batch.max(1), cfg.name);
+            plan.add_point(point_key(&cfg, model, batch), label, &[], move |_| {
+                point_latency_ms(&cfg, model, batch, cache)
+            })
+        })
+        .collect();
+    let results = plan.run(jobs);
+    ids.iter()
+        .map(|id| match &results[id.index()] {
+            Ok(ms) => *ms,
+            Err(e) => panic!("experiment point failed: {e}"),
+        })
+        .collect()
+}
+
+/// Evaluates one model on all three platforms through `cache` (batch 1,
+/// FP16 — the Fig. 13 configuration).
+fn try_evaluate_model(model: Model, cache: &SessionCache) -> Result<LatencyRow, HarnessError> {
+    let roofline_err = |gpu: &str, e: &dyn std::fmt::Display| HarnessError::Job {
+        label: model.name().to_string(),
+        message: format!("{gpu} estimate failed: {e}"),
+    };
+    let graph = model.build(1);
+    let t4 = RooflineModel::t4()
+        .estimate(&graph)
+        .map_err(|e| roofline_err("T4", &e))?;
+    let a10 = RooflineModel::a10()
+        .estimate(&graph)
+        .map_err(|e| roofline_err("A10", &e))?;
+    Ok(LatencyRow {
+        model,
+        i20_ms: point_latency_ms(&ChipConfig::dtu20(), model, 1, cache)?,
+        t4_ms: t4.latency_ms,
+        a10_ms: a10.latency_ms,
+    })
+}
+
+/// Evaluates the full Table III suite on `jobs` workers, compiling
+/// through `cache`. Row order matches [`Model::ALL`].
+///
+/// # Panics
+///
+/// As for [`chip_latencies`].
+pub fn evaluate_suite_with(cache: &SessionCache, jobs: usize) -> Vec<LatencyRow> {
+    let mut plan: ExperimentPlan<'_, LatencyRow> = ExperimentPlan::new();
+    let ids: Vec<_> = Model::ALL
+        .iter()
+        .map(|&m| {
+            let mut key = Fnv1a::new();
+            key.write_str("suite/");
+            key.write_str(m.name());
+            plan.add_point(key.finish(), m.name().to_string(), &[], move |_| {
+                try_evaluate_model(m, cache)
+            })
+        })
+        .collect();
+    let results = plan.run(jobs);
+    ids.iter()
+        .map(|id| match &results[id.index()] {
+            Ok(row) => row.clone(),
+            Err(e) => panic!("suite evaluation failed: {e}"),
+        })
+        .collect()
+}
+
+/// The four Table IV platform sheets as plan points, in the order the
+/// spec-table binaries destructure them: (i10, i20, T4, A10).
+///
+/// The grid is tiny, but running it through the plan keeps the
+/// spec-table binaries on the same engine — and the same `--jobs`
+/// flag — as the simulation-heavy ones.
+///
+/// # Panics
+///
+/// As for [`chip_latencies`].
+pub fn platform_specs(jobs: usize) -> (PlatformSpec, PlatformSpec, PlatformSpec, PlatformSpec) {
+    type SpecFn = fn() -> PlatformSpec;
+    let sheets: [(&str, SpecFn); 4] = [
+        ("i10", gpu_baseline::i10_spec),
+        ("i20", gpu_baseline::i20_spec),
+        ("t4", gpu_baseline::t4_spec),
+        ("a10", gpu_baseline::a10_spec),
+    ];
+    let mut plan: ExperimentPlan<'_, PlatformSpec> = ExperimentPlan::new();
+    let ids = sheets.map(|(name, build)| {
+        let mut key = Fnv1a::new();
+        key.write_str("platform-spec/");
+        key.write_str(name);
+        plan.add_point(key.finish(), name.to_string(), &[], move |_| Ok(build()))
+    });
+    let results = plan.run(jobs);
+    let spec = |i: usize| match &results[ids[i].index()] {
+        Ok(s) => s.clone(),
+        Err(e) => panic!("platform spec failed: {e}"),
+    };
+    (spec(0), spec(1), spec(2), spec(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunnerArgs, String> {
+        RunnerArgs::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn runner_args_defaults_and_flags() {
+        let d = parse(&[]).unwrap();
+        assert!(d.jobs >= 1);
+        assert!(d.disk_cache);
+        assert_eq!(d.cache_dir, None);
+        let a = parse(&["--jobs", "3", "--no-disk-cache", "--cache-dir", "/tmp/x"]).unwrap();
+        assert_eq!(a.jobs, 3);
+        assert!(!a.disk_cache);
+        assert_eq!(a.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn runner_args_rejects_unknown_and_malformed() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+    }
+
+    #[test]
+    fn no_disk_cache_builds_memory_only() {
+        let a = parse(&["--no-disk-cache"]).unwrap();
+        let cache = a.cache();
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn chip_latencies_dedups_identical_points() {
+        let cache = SessionCache::memory_only();
+        let points = vec![
+            ChipPoint::new(ChipConfig::dtu20(), Model::Resnet50),
+            ChipPoint::new(ChipConfig::dtu20(), Model::Resnet50),
+        ];
+        let lat = chip_latencies(&points, &cache, 2);
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat[0], lat[1]);
+        assert!(lat[0] > 0.0);
+        // One planned point, one compile: the duplicate never reached
+        // the cache, let alone the simulator.
+        assert_eq!(cache.stats().lookups(), 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn chip_latencies_matches_serial_helper() {
+        let cache = SessionCache::memory_only();
+        let points = vec![ChipPoint::new(ChipConfig::dtu20(), Model::Resnet50)];
+        let lat = chip_latencies(&points, &cache, 1);
+        assert_eq!(
+            lat[0],
+            crate::chip_latency_ms(ChipConfig::dtu20(), Model::Resnet50, 1)
+        );
+    }
+}

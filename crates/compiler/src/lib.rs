@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 mod codegen;
+mod fingerprint;
 mod lower;
 mod placement;
 mod tiling;
 
 pub use codegen::{assign_banks, packetize, tensorize_vmm, vectorize_map};
+pub use fingerprint::{graph_fingerprint, session_fingerprint, Fnv1a, COMPILER_VERSION};
 pub use lower::{compile, compile_recorded, CompileError, CompilerConfig, Mode};
 pub use placement::Placement;
 pub use tiling::{plan_tiles, TilePlan};

@@ -58,6 +58,32 @@ impl SessionOptions {
             ..Default::default()
         }
     }
+
+    /// Resolves the options against an accelerator into the concrete
+    /// `(placement, compiler config, batch)` triple that
+    /// [`Session::compile`] would compile with.
+    ///
+    /// This is the single source of truth for option resolution: the
+    /// session builder calls it, and so does the `dtu-harness` cache,
+    /// which needs the resolved triple *before* compiling to form a
+    /// content-hash cache key that matches what compilation would
+    /// actually use.
+    pub fn resolve(&self, accel: &Accelerator) -> (Placement, CompilerConfig, usize) {
+        let chip_cfg = accel.config();
+        let placement = self
+            .placement
+            .clone()
+            .unwrap_or_else(|| self.size.placement(accel, self.cluster));
+        let mut compiler = self
+            .compiler
+            .clone()
+            .unwrap_or_else(|| CompilerConfig::for_chip(chip_cfg));
+        let batch = self.batch.max(1);
+        if batch > 1 {
+            compiler.mode = Mode::ThroughputBatched;
+        }
+        (placement, compiler, batch)
+    }
 }
 
 /// The outcome of one inference run.
@@ -162,18 +188,7 @@ impl<'a> Session<'a> {
         rec: Option<&mut dyn Recorder>,
     ) -> Result<Self, DtuError> {
         let chip_cfg = accel.config();
-        let placement = options
-            .placement
-            .clone()
-            .unwrap_or_else(|| options.size.placement(accel, options.cluster));
-        let mut compiler = options
-            .compiler
-            .clone()
-            .unwrap_or_else(|| CompilerConfig::for_chip(chip_cfg));
-        let batch = options.batch.max(1);
-        if batch > 1 {
-            compiler.mode = Mode::ThroughputBatched;
-        }
+        let (placement, compiler, batch) = options.resolve(accel);
         let program = match rec {
             Some(rec) => compile_recorded(graph, chip_cfg, &placement, &compiler, rec)?,
             None => compile(graph, chip_cfg, &placement, &compiler)?,
@@ -183,6 +198,20 @@ impl<'a> Session<'a> {
             program,
             batch,
         })
+    }
+
+    /// Wraps an already-compiled program in a runnable session without
+    /// invoking the compiler — the cache-hit path of the `dtu-harness`
+    /// compiled-session cache. The caller is responsible for the
+    /// program having been compiled for this accelerator's
+    /// configuration (the cache guarantees it via its content-hash
+    /// key).
+    pub fn from_program(accel: &'a Accelerator, program: Program, batch: usize) -> Self {
+        Session {
+            accel,
+            program,
+            batch: batch.max(1),
+        }
     }
 
     /// Runs the compiled program once.

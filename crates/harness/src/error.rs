@@ -1,0 +1,40 @@
+//! The harness error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from planning or executing experiments.
+///
+/// `Clone` because one failure fans out to every transitively
+/// dependent point's result slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// An experiment job returned an error.
+    Job {
+        /// Label of the failing point.
+        label: String,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// A point was skipped because a dependency failed.
+    DependencyFailed {
+        /// Label of the failed dependency.
+        dep: String,
+    },
+    /// The plan or a request to it was malformed.
+    Config(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Job { label, message } => write!(f, "point `{label}` failed: {message}"),
+            HarnessError::DependencyFailed { dep } => {
+                write!(f, "skipped: dependency `{dep}` failed")
+            }
+            HarnessError::Config(why) => write!(f, "plan configuration error: {why}"),
+        }
+    }
+}
+
+impl Error for HarnessError {}

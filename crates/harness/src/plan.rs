@@ -1,0 +1,488 @@
+//! The experiment plan: a deduplicated DAG of points run by a
+//! work-stealing worker pool.
+//!
+//! A *point* is one unit of experiment work (typically: compile a
+//! session — usually through the [`SessionCache`] — run it, reduce the
+//! report to a row). Points carry a caller-chosen 64-bit content key;
+//! adding a key that is already planned returns the existing
+//! [`PointId`] instead of queuing duplicate work, which is how a
+//! batch-curve binary and an ablation binary sharing a (model, batch,
+//! config) point evaluate it once.
+//!
+//! Execution is deterministic *in its results*: [`ExperimentPlan::run`]
+//! returns one result slot per point in insertion order, whatever the
+//! thread schedule did. With `jobs = 1` the plan runs inline on the
+//! calling thread with no pool at all.
+//!
+//! [`SessionCache`]: crate::SessionCache
+
+use crate::HarnessError;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Handle to one planned point, also its index into the result vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(usize);
+
+impl PointId {
+    /// The point's index in plan/result order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Dependency results handed to a running job.
+///
+/// Holds clones of the declared dependencies' successful results,
+/// taken just before the job starts so the job runs without holding
+/// any scheduler lock.
+#[derive(Debug)]
+pub struct PlanCtx<R> {
+    deps: Vec<(PointId, R)>,
+}
+
+impl<R> PlanCtx<R> {
+    /// The result of a declared dependency, if it was declared.
+    pub fn dep(&self, id: PointId) -> Option<&R> {
+        self.deps.iter().find(|(d, _)| *d == id).map(|(_, r)| r)
+    }
+
+    /// The result of a declared dependency, as an error when the point
+    /// never declared `id` as a dependency.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Config`] for undeclared dependencies — the
+    /// scheduler only guarantees completion ordering for declared
+    /// edges, so reading anything else would race.
+    pub fn require(&self, id: PointId) -> Result<&R, HarnessError> {
+        self.dep(id).ok_or_else(|| {
+            HarnessError::Config(format!("point read undeclared dependency #{}", id.0))
+        })
+    }
+}
+
+type Job<'env, R> = Box<dyn FnOnce(&PlanCtx<R>) -> Result<R, HarnessError> + Send + 'env>;
+
+struct Point<'env, R> {
+    key: u64,
+    label: String,
+    deps: Vec<PointId>,
+    job: Option<Job<'env, R>>,
+}
+
+/// A deduplicated DAG of experiment points.
+///
+/// `R` is the per-point result type; it must be `Clone` so dependency
+/// results can be handed to dependent jobs without keeping the
+/// scheduler locked, and `Send` so results can cross worker threads.
+pub struct ExperimentPlan<'env, R> {
+    points: Vec<Point<'env, R>>,
+}
+
+impl<R> std::fmt::Debug for ExperimentPlan<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentPlan")
+            .field("points", &self.points.len())
+            .finish()
+    }
+}
+
+impl<R> Default for ExperimentPlan<'_, R> {
+    fn default() -> Self {
+        ExperimentPlan { points: Vec::new() }
+    }
+}
+
+/// The worker count suggested by the machine (the `--jobs` default).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl<'env, R: Clone + Send> ExperimentPlan<'env, R> {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (deduplicated) points planned.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The label a point was planned with.
+    pub fn label(&self, id: PointId) -> &str {
+        &self.points[id.0].label
+    }
+
+    /// Plans one point.
+    ///
+    /// `key` is a caller-chosen content hash of everything that
+    /// determines the point's result (e.g. a session fingerprint from
+    /// `dtu_compiler::session_fingerprint`, possibly folded with a
+    /// workload discriminant). If `key` is already planned, the
+    /// existing point's id is returned and `job` is dropped — the DAG
+    /// stays deduplicated. `deps` must already be planned (ids from
+    /// earlier `add_point` calls), which keeps the graph acyclic by
+    /// construction; a job may read only its declared deps via
+    /// [`PlanCtx`]. A failed dependency fails this point with
+    /// [`HarnessError::DependencyFailed`] without running its job.
+    pub fn add_point(
+        &mut self,
+        key: u64,
+        label: impl Into<String>,
+        deps: &[PointId],
+        job: impl FnOnce(&PlanCtx<R>) -> Result<R, HarnessError> + Send + 'env,
+    ) -> PointId {
+        if let Some(existing) = self.points.iter().position(|p| p.key == key) {
+            return PointId(existing);
+        }
+        let id = PointId(self.points.len());
+        self.points.push(Point {
+            key,
+            label: label.into(),
+            deps: deps.to_vec(),
+            job: Some(Box::new(job)),
+        });
+        id
+    }
+
+    /// Runs every point and returns one result per point, in insertion
+    /// order regardless of schedule. `jobs` is clamped to at least 1
+    /// and at most the number of points; `jobs = 1` runs inline on the
+    /// calling thread.
+    pub fn run(self, jobs: usize) -> Vec<Result<R, HarnessError>> {
+        let jobs = jobs.max(1).min(self.points.len().max(1));
+        if jobs <= 1 {
+            return self.run_inline();
+        }
+        self.run_pool(jobs)
+    }
+
+    /// Serial execution. Dependencies always precede dependents in
+    /// index order (enforced by `add_point`), so one forward pass is a
+    /// topological order.
+    fn run_inline(self) -> Vec<Result<R, HarnessError>> {
+        let mut results: Vec<Result<R, HarnessError>> = Vec::with_capacity(self.points.len());
+        let mut labels: Vec<String> = Vec::with_capacity(self.points.len());
+        for point in self.points {
+            labels.push(point.label.clone());
+            let outcome = match failed_dep(&point.deps, &results, &labels) {
+                Some(err) => Err(err),
+                None => {
+                    let ctx = PlanCtx {
+                        deps: point
+                            .deps
+                            .iter()
+                            .map(|d| (*d, results[d.0].clone().expect("dep checked ok")))
+                            .collect(),
+                    };
+                    run_job(
+                        point.job.expect("job present before run"),
+                        &ctx,
+                        &point.label,
+                    )
+                }
+            };
+            results.push(outcome);
+        }
+        results
+    }
+
+    /// Parallel execution on a work-stealing pool: each worker owns a
+    /// ready deque, pushes points it unblocks onto its own deque
+    /// (locality), and steals from the longest other deque when idle.
+    /// One mutex guards the scheduler state; jobs run unlocked.
+    fn run_pool(mut self, jobs: usize) -> Vec<Result<R, HarnessError>> {
+        let n = self.points.len();
+        let waiting: Vec<usize> = self.points.iter().map(|p| p.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, p) in self.points.iter().enumerate() {
+            for d in &p.deps {
+                dependents[d.0].push(i);
+            }
+        }
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); jobs];
+        for (seed, i) in (0..n).filter(|&i| waiting[i] == 0).enumerate() {
+            queues[seed % jobs].push_back(i);
+        }
+        let jobs_vec: Vec<Option<Job<'env, R>>> =
+            self.points.iter_mut().map(|p| p.job.take()).collect();
+        let labels: Vec<String> = self.points.iter().map(|p| p.label.clone()).collect();
+        let deps: Vec<Vec<PointId>> = self.points.iter().map(|p| p.deps.clone()).collect();
+
+        struct Sched<'env, R> {
+            queues: Vec<VecDeque<usize>>,
+            jobs: Vec<Option<Job<'env, R>>>,
+            results: Vec<Option<Result<R, HarnessError>>>,
+            waiting: Vec<usize>,
+            completed: usize,
+        }
+        let sched = Mutex::new(Sched {
+            queues,
+            jobs: jobs_vec,
+            results: (0..n).map(|_| None).collect(),
+            waiting,
+            completed: 0,
+        });
+        let ready = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for worker in 0..jobs {
+                let sched = &sched;
+                let ready = &ready;
+                let labels = &labels;
+                let deps = &deps;
+                let dependents = &dependents;
+                scope.spawn(move || loop {
+                    // Claim a point: own deque first, then steal.
+                    let mut guard = sched.lock().expect("scheduler lock");
+                    let idx = loop {
+                        if let Some(idx) = guard.queues[worker].pop_front() {
+                            break idx;
+                        }
+                        let victim = (0..guard.queues.len())
+                            .filter(|&w| w != worker)
+                            .max_by_key(|&w| guard.queues[w].len())
+                            .filter(|&w| !guard.queues[w].is_empty());
+                        if let Some(v) = victim {
+                            let idx = guard.queues[v].pop_back().expect("victim non-empty");
+                            break idx;
+                        }
+                        if guard.completed == guard.results.len() {
+                            return;
+                        }
+                        guard = ready.wait(guard).expect("scheduler wait");
+                    };
+                    // Build the context (dep results are complete) and
+                    // take the job out of the shared state.
+                    let dep_err = deps[idx].iter().find_map(|d| {
+                        match guard.results[d.0].as_ref().expect("dep completed") {
+                            Ok(_) => None,
+                            Err(_) => Some(HarnessError::DependencyFailed {
+                                dep: labels[d.0].clone(),
+                            }),
+                        }
+                    });
+                    let outcome = match dep_err {
+                        Some(err) => Err(err),
+                        None => {
+                            let ctx = PlanCtx {
+                                deps: deps[idx]
+                                    .iter()
+                                    .map(|d| {
+                                        let r = guard.results[d.0]
+                                            .as_ref()
+                                            .expect("dep completed")
+                                            .clone()
+                                            .expect("dep checked ok");
+                                        (*d, r)
+                                    })
+                                    .collect(),
+                            };
+                            let job = guard.jobs[idx].take().expect("job present before run");
+                            drop(guard);
+                            let outcome = run_job(job, &ctx, &labels[idx]);
+                            guard = sched.lock().expect("scheduler lock");
+                            outcome
+                        }
+                    };
+                    // Publish and unblock dependents onto our deque.
+                    guard.results[idx] = Some(outcome);
+                    guard.completed += 1;
+                    for &dep in &dependents[idx] {
+                        guard.waiting[dep] -= 1;
+                        if guard.waiting[dep] == 0 {
+                            guard.queues[worker].push_back(dep);
+                        }
+                    }
+                    drop(guard);
+                    ready.notify_all();
+                });
+            }
+        });
+
+        sched
+            .into_inner()
+            .expect("scheduler lock")
+            .results
+            .into_iter()
+            .map(|r| r.expect("all points completed"))
+            .collect()
+    }
+}
+
+fn failed_dep<R>(
+    deps: &[PointId],
+    results: &[Result<R, HarnessError>],
+    labels: &[String],
+) -> Option<HarnessError> {
+    deps.iter().find_map(|d| match &results[d.0] {
+        Ok(_) => None,
+        Err(_) => Some(HarnessError::DependencyFailed {
+            dep: labels[d.0].clone(),
+        }),
+    })
+}
+
+fn run_job<'env, R>(job: Job<'env, R>, ctx: &PlanCtx<R>, label: &str) -> Result<R, HarnessError> {
+    job(ctx).map_err(|e| match e {
+        // Keep structured errors; wrap anything else with the label.
+        HarnessError::DependencyFailed { .. } | HarnessError::Config(_) => e,
+        HarnessError::Job { label: l, message } if !l.is_empty() => {
+            HarnessError::Job { label: l, message }
+        }
+        HarnessError::Job { message, .. } => HarnessError::Job {
+            label: label.to_string(),
+            message,
+        },
+    })
+}
+
+/// Wraps any error into a job failure with the label filled in later
+/// by the scheduler.
+impl From<dtu::DtuError> for HarnessError {
+    fn from(e: dtu::DtuError) -> Self {
+        HarnessError::Job {
+            label: String::new(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_insertion_order() {
+        for jobs in [1, 2, 8] {
+            let mut plan = ExperimentPlan::new();
+            for i in 0..40u64 {
+                plan.add_point(i, format!("p{i}"), &[], move |_| Ok(i * 10));
+            }
+            let results = plan.run(jobs);
+            let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(got, (0..40).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_coalesce_and_run_once() {
+        let runs = AtomicUsize::new(0);
+        let mut plan = ExperimentPlan::new();
+        let a = plan.add_point(7, "a", &[], |_| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            Ok(1)
+        });
+        let b = plan.add_point(7, "b", &[], |_| {
+            runs.fetch_add(1, Ordering::SeqCst);
+            Ok(2)
+        });
+        assert_eq!(a, b);
+        assert_eq!(plan.len(), 1);
+        let results = plan.run(4);
+        assert_eq!(results, vec![Ok(1)]);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dependencies_see_dependency_results() {
+        for jobs in [1, 4] {
+            let mut plan = ExperimentPlan::new();
+            let a = plan.add_point(1, "a", &[], |_| Ok(5u64));
+            let b = plan.add_point(2, "b", &[], |_| Ok(6u64));
+            let c = plan.add_point(3, "sum", &[a, b], move |ctx| {
+                Ok(ctx.require(a)? + ctx.require(b)?)
+            });
+            let results = plan.run(jobs);
+            assert_eq!(results[c.index()], Ok(11));
+        }
+    }
+
+    #[test]
+    fn failed_dependency_skips_dependents() {
+        for jobs in [1, 4] {
+            let mut plan = ExperimentPlan::new();
+            let bad = plan.add_point(1, "bad", &[], |_| {
+                Err::<u64, _>(HarnessError::Job {
+                    label: "bad".into(),
+                    message: "boom".into(),
+                })
+            });
+            let child = plan.add_point(2, "child", &[bad], |_| Ok(1));
+            let grandchild = plan.add_point(3, "grandchild", &[child], |_| Ok(2));
+            let ok = plan.add_point(4, "ok", &[], |_| Ok(3));
+            let results = plan.run(jobs);
+            assert!(matches!(
+                results[bad.index()],
+                Err(HarnessError::Job { .. })
+            ));
+            assert_eq!(
+                results[child.index()],
+                Err(HarnessError::DependencyFailed { dep: "bad".into() })
+            );
+            assert_eq!(
+                results[grandchild.index()],
+                Err(HarnessError::DependencyFailed {
+                    dep: "child".into()
+                })
+            );
+            assert_eq!(results[ok.index()], Ok(3));
+        }
+    }
+
+    #[test]
+    fn undeclared_dependency_read_is_a_config_error() {
+        let mut plan = ExperimentPlan::new();
+        let a = plan.add_point(1, "a", &[], |_| Ok(1u64));
+        let b = plan.add_point(2, "b", &[], move |ctx| Ok(*ctx.require(a)?));
+        let results = plan.run(1);
+        assert!(matches!(results[b.index()], Err(HarnessError::Config(_))));
+    }
+
+    #[test]
+    fn deep_chains_complete_under_many_workers() {
+        let mut plan = ExperimentPlan::new();
+        let mut prev: Option<PointId> = None;
+        for i in 0..64u64 {
+            let deps: Vec<PointId> = prev.into_iter().collect();
+            let p = prev;
+            prev = Some(plan.add_point(i, format!("c{i}"), &deps, move |ctx| {
+                Ok(match p {
+                    Some(p) => ctx.require(p)? + 1,
+                    None => 0u64,
+                })
+            }));
+        }
+        let results = plan.run(8);
+        assert_eq!(*results.last().unwrap().as_ref().unwrap(), 63);
+    }
+
+    #[test]
+    fn jobs_beyond_point_count_are_clamped() {
+        let mut plan = ExperimentPlan::new();
+        plan.add_point(1, "only", &[], |_| Ok(42u64));
+        assert_eq!(plan.run(64), vec![Ok(42)]);
+    }
+
+    #[test]
+    fn empty_plan_runs() {
+        let plan: ExperimentPlan<u64> = ExperimentPlan::new();
+        assert!(plan.run(4).is_empty());
+        assert!(ExperimentPlan::<u64>::new().run(1).is_empty());
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

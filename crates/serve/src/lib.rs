@@ -62,7 +62,7 @@ pub use engine::{run_serving, run_serving_recorded, ServeOutcome};
 pub use metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };
-pub use model::{AnalyticModel, CacheStats, CompiledModel, ServiceModel};
+pub use model::{AnalyticModel, CacheStats, CompiledModel, ProgramSource, ServiceModel};
 pub use stats::{percentile, LatencyStats};
 
 use dtu_compiler::CompileError;

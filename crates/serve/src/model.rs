@@ -10,10 +10,36 @@
 use crate::ServeError;
 use dtu_compiler::{compile, CompilerConfig, Mode, Placement};
 use dtu_graph::Graph;
-use dtu_sim::{Chip, Program};
+use dtu_sim::{Chip, ChipConfig, Program};
 use std::collections::HashMap;
 
 use dtu_sim::GroupId;
+
+/// External provider of compiled programs.
+///
+/// The serving engine's per-model session cache memoizes *latencies*
+/// within one engine. A `ProgramSource` lets the *programs* underneath
+/// come from a wider artifact cache shared with sweeps and repro runs
+/// (`dtu-harness`'s `SessionCache` implements this), so a serving
+/// warm-up can reuse what a sweep already compiled — across binaries,
+/// when the source has a disk tier.
+pub trait ProgramSource {
+    /// Returns the compiled program for the given compilation inputs,
+    /// plus whether it was recalled from cache (`true`) or compiled
+    /// fresh (`false`).
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures surface as [`ServeError::Compile`].
+    fn compiled_program(
+        &self,
+        graph: &Graph,
+        chip: &ChipConfig,
+        placement: &Placement,
+        compiler: &CompilerConfig,
+        batch: usize,
+    ) -> Result<(Program, bool), ServeError>;
+}
 
 /// A model the serving engine can dispatch batches against.
 pub trait ServiceModel {
@@ -121,6 +147,7 @@ pub struct CompiledModel<'c> {
     name: String,
     build: Box<dyn Fn(usize) -> Result<Graph, ServeError> + 'c>,
     cache: HashMap<SessionKey, CachedSession>,
+    source: Option<&'c dyn ProgramSource>,
     stats: CacheStats,
 }
 
@@ -146,8 +173,17 @@ impl<'c> CompiledModel<'c> {
             name: name.into(),
             build: Box::new(move |b| Ok(build(b))),
             cache: HashMap::new(),
+            source: None,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Routes this model's program compilation through an external
+    /// [`ProgramSource`] (builder-style). Latency memoization stays
+    /// local to this model; only the compile step is delegated.
+    pub fn with_source(mut self, source: &'c dyn ProgramSource) -> Self {
+        self.source = Some(source);
+        self
     }
 
     /// A model pinned to one already-built batch-1 graph (the
@@ -167,6 +203,7 @@ impl<'c> CompiledModel<'c> {
                 }
             }),
             cache: HashMap::new(),
+            source: None,
             stats: CacheStats::default(),
         }
     }
@@ -205,7 +242,14 @@ impl ServiceModel for CompiledModel<'_> {
         if batch > 1 {
             compiler.mode = Mode::ThroughputBatched;
         }
-        let program = compile(&graph, chip_cfg, placement, &compiler)?;
+        let program = match self.source {
+            Some(source) => {
+                source
+                    .compiled_program(&graph, chip_cfg, placement, &compiler, batch)?
+                    .0
+            }
+            None => compile(&graph, chip_cfg, placement, &compiler)?,
+        };
         let service_ms = self.chip.run(&program)?.latency_ms();
         self.cache.insert(
             key,

@@ -39,6 +39,7 @@ mod matrix_engine;
 mod memory;
 mod profile;
 mod program;
+mod program_io;
 mod report;
 mod spu;
 mod sync;
@@ -53,6 +54,7 @@ pub use matrix_engine::{MatrixEngine, MatrixEngineError, SortArtifacts};
 pub use memory::{MemoryError, MemoryHierarchy, MemoryPool};
 pub use profile::{Timeline, TraceEvent, TraceKind};
 pub use program::{Command, GroupId, Program, Stream};
+pub use program_io::{program_from_json, program_to_json, ProgramIoError};
 pub use report::{EngineCounters, RunReport};
 pub use spu::{Spu, SpuError};
 pub use sync::{SyncEngine, SyncError, SyncPattern};

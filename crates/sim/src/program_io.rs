@@ -1,0 +1,773 @@
+//! JSON serialization of lowered [`Program`]s for the on-disk
+//! compiled-session cache.
+//!
+//! `dtu-harness` persists compiled programs under `target/dtu-cache/` so
+//! repeated sweeps skip recompilation across *processes*, not just
+//! within one. The format is a small, explicit JSON schema covering
+//! exactly what the graph compiler emits today: descriptor-only kernel
+//! launches, dense/bitmap DMA copies (with repeat, broadcast, and
+//! known-zero-fraction sparse estimates), code prefetches, and sync
+//! events. Anything outside that set — in particular DMA descriptors
+//! carrying a layout [`TransformOp`] other than `Identity` — is
+//! rejected at serialization time rather than silently dropped, so a
+//! cache round-trip can never change what a program does.
+//!
+//! The parser is a hand-written recursive-descent JSON reader (the
+//! workspace deliberately has no serde): unknown fields are ignored
+//! for forward compatibility, and *every* malformed input — truncated
+//! file, bad escape, wrong type, missing field — surfaces as
+//! [`ProgramIoError::Parse`], never a panic, which is what lets the
+//! cache treat a corrupt artifact as a plain miss.
+//!
+//! [`TransformOp`]: dtu_tensor::TransformOp
+
+use crate::dma::{DmaDescriptor, DmaPath, MemLevel};
+use crate::program::{Command, GroupId, Program, Stream};
+use crate::sync::SyncPattern;
+use dtu_isa::{DataType, KernelDescriptor, KernelId, OpClass};
+use dtu_telemetry::json::{escape, JsonObject};
+use dtu_tensor::{SparseFormat, TransformOp};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from program serialization or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramIoError {
+    /// The program uses a feature the JSON schema does not cover.
+    Unsupported(String),
+    /// The JSON input is malformed or does not describe a program.
+    Parse(String),
+}
+
+impl fmt::Display for ProgramIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramIoError::Unsupported(what) => {
+                write!(f, "program not serializable: {what}")
+            }
+            ProgramIoError::Parse(why) => write!(f, "program JSON invalid: {why}"),
+        }
+    }
+}
+
+impl Error for ProgramIoError {}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn mem_level_name(level: MemLevel) -> &'static str {
+    match level {
+        MemLevel::L1 => "l1",
+        MemLevel::L2 => "l2",
+        MemLevel::L3 => "l3",
+        MemLevel::Host => "host",
+    }
+}
+
+fn op_class_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::MatrixDense => "matrix_dense",
+        OpClass::Elementwise => "elementwise",
+        OpClass::Activation => "activation",
+        OpClass::Reduction => "reduction",
+        OpClass::Movement => "movement",
+        OpClass::Gather => "gather",
+    }
+}
+
+fn dtype_name(dtype: DataType) -> &'static str {
+    match dtype {
+        DataType::Fp32 => "fp32",
+        DataType::Tf32 => "tf32",
+        DataType::Fp16 => "fp16",
+        DataType::Bf16 => "bf16",
+        DataType::Int32 => "int32",
+        DataType::Int16 => "int16",
+        DataType::Int8 => "int8",
+    }
+}
+
+fn sync_pattern_json(pattern: SyncPattern) -> String {
+    let (kind, producers, consumers) = match pattern {
+        SyncPattern::OneToOne => ("one_to_one", 1, 1),
+        SyncPattern::OneToN { consumers } => ("one_to_n", 1, consumers),
+        SyncPattern::NToOne { producers } => ("n_to_one", producers, 1),
+        SyncPattern::NToM {
+            producers,
+            consumers,
+        } => ("n_to_m", producers, consumers),
+    };
+    JsonObject::new()
+        .string("kind", kind)
+        .raw("producers", &producers.to_string())
+        .raw("consumers", &consumers.to_string())
+        .build()
+}
+
+fn command_json(cmd: &Command) -> Result<String, ProgramIoError> {
+    let json = match cmd {
+        Command::Launch { kernel, descriptor } => JsonObject::new()
+            .string("op", "launch")
+            .raw("kernel", &kernel.0.to_string())
+            .string("name", &descriptor.name)
+            .string("class", op_class_name(descriptor.class))
+            .string("dtype", dtype_name(descriptor.dtype))
+            .raw("macs", &descriptor.macs.to_string())
+            .raw("vector_ops", &descriptor.vector_ops.to_string())
+            .raw("sfu_ops", &descriptor.sfu_ops.to_string())
+            .raw("l1_bytes", &descriptor.l1_bytes.to_string())
+            .raw("l2_bytes", &descriptor.l2_bytes.to_string())
+            .raw("l3_bytes", &descriptor.l3_bytes.to_string())
+            .raw("code_bytes", &descriptor.code_bytes.to_string())
+            .raw("narrow_dim", &descriptor.narrow_dim.to_string())
+            .build(),
+        Command::Dma {
+            descriptor,
+            overlapped,
+        } => {
+            if descriptor.transform != TransformOp::Identity {
+                return Err(ProgramIoError::Unsupported(format!(
+                    "DMA layout transform {:?} (only Identity copies are cacheable)",
+                    descriptor.transform
+                )));
+            }
+            let sparse = match descriptor.sparse {
+                SparseFormat::Dense => "dense",
+                SparseFormat::BitmapBlock => "bitmap_block",
+            };
+            JsonObject::new()
+                .string("op", "dma")
+                .string("src", mem_level_name(descriptor.path.src))
+                .string("dst", mem_level_name(descriptor.path.dst))
+                .raw("bytes", &descriptor.bytes.to_string())
+                .string("sparse", sparse)
+                .raw("broadcast", &descriptor.broadcast.to_string())
+                .raw("repeat", &descriptor.repeat.to_string())
+                .num("zero_fraction", descriptor.zero_fraction)
+                .raw("overlapped", if *overlapped { "true" } else { "false" })
+                .build()
+        }
+        Command::Prefetch { kernel, code_bytes } => JsonObject::new()
+            .string("op", "prefetch")
+            .raw("kernel", &kernel.0.to_string())
+            .raw("code_bytes", &code_bytes.to_string())
+            .build(),
+        Command::RegisterEvent { event, pattern } => JsonObject::new()
+            .string("op", "register")
+            .raw("event", &event.to_string())
+            .raw("pattern", &sync_pattern_json(*pattern))
+            .build(),
+        Command::Signal { event } => JsonObject::new()
+            .string("op", "signal")
+            .raw("event", &event.to_string())
+            .build(),
+        Command::Wait { event } => JsonObject::new()
+            .string("op", "wait")
+            .raw("event", &event.to_string())
+            .build(),
+    };
+    Ok(json)
+}
+
+/// Serializes a program into the cacheable JSON schema.
+///
+/// # Errors
+///
+/// [`ProgramIoError::Unsupported`] when the program carries constructs
+/// the schema cannot represent losslessly (non-`Identity` DMA
+/// transforms). The graph compiler never emits those today, but
+/// hand-built programs can.
+pub fn program_to_json(program: &Program) -> Result<String, ProgramIoError> {
+    let mut streams = Vec::with_capacity(program.streams.len());
+    for stream in &program.streams {
+        let mut commands = Vec::with_capacity(stream.commands.len());
+        for cmd in &stream.commands {
+            commands.push(command_json(cmd)?);
+        }
+        streams.push(
+            JsonObject::new()
+                .raw("cluster", &stream.group.cluster.to_string())
+                .raw("group", &stream.group.group.to_string())
+                .raw("commands", &format!("[{}]", commands.join(",")))
+                .build(),
+        );
+    }
+    Ok(format!(
+        "{{\"name\":\"{}\",\"streams\":[{}]}}",
+        escape(&program.name),
+        streams.join(",")
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw token text so `u64`
+/// quantities (MAC counts can exceed 2^53) never round-trip through
+/// `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'v>(&'v self, key: &str) -> Option<&'v Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn field<'v>(&'v self, key: &str) -> Result<&'v Value, ProgramIoError> {
+        self.get(key)
+            .ok_or_else(|| ProgramIoError::Parse(format!("missing field `{key}`")))
+    }
+
+    fn str_field<'v>(&'v self, key: &str) -> Result<&'v str, ProgramIoError> {
+        match self.field(key)? {
+            Value::Str(s) => Ok(s),
+            other => Err(ProgramIoError::Parse(format!(
+                "field `{key}` should be a string, got {other:?}"
+            ))),
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64, ProgramIoError> {
+        match self.field(key)? {
+            Value::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| ProgramIoError::Parse(format!("field `{key}`: `{raw}` is not a u64"))),
+            other => Err(ProgramIoError::Parse(format!(
+                "field `{key}` should be a number, got {other:?}"
+            ))),
+        }
+    }
+
+    fn usize_field(&self, key: &str) -> Result<usize, ProgramIoError> {
+        let v = self.u64_field(key)?;
+        usize::try_from(v)
+            .map_err(|_| ProgramIoError::Parse(format!("field `{key}`: {v} overflows usize")))
+    }
+
+    fn f64_field(&self, key: &str) -> Result<f64, ProgramIoError> {
+        match self.field(key)? {
+            Value::Num(raw) => raw.parse::<f64>().map_err(|_| {
+                ProgramIoError::Parse(format!("field `{key}`: `{raw}` is not a number"))
+            }),
+            other => Err(ProgramIoError::Parse(format!(
+                "field `{key}` should be a number, got {other:?}"
+            ))),
+        }
+    }
+
+    fn bool_field(&self, key: &str) -> Result<bool, ProgramIoError> {
+        match self.field(key)? {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ProgramIoError::Parse(format!(
+                "field `{key}` should be a bool, got {other:?}"
+            ))),
+        }
+    }
+
+    fn arr_field<'v>(&'v self, key: &str) -> Result<&'v [Value], ProgramIoError> {
+        match self.field(key)? {
+            Value::Arr(items) => Ok(items),
+            other => Err(ProgramIoError::Parse(format!(
+                "field `{key}` should be an array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(text: &'s str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, why: impl Into<String>) -> ProgramIoError {
+        ProgramIoError::Parse(format!("{} at byte {}", why.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProgramIoError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ProgramIoError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected byte `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, ProgramIoError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ProgramIoError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("empty number"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-UTF-8 number"))?;
+        // Validate now so field accessors can trust the token shape.
+        raw.parse::<f64>()
+            .map_err(|_| self.err(format!("`{raw}` is not a number")))?;
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ProgramIoError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-UTF-8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume the longest run of unescaped bytes in one
+                    // shot. Splitting on `"` / `\` is multi-byte safe:
+                    // ASCII bytes never occur inside a UTF-8 sequence.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("non-UTF-8 string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ProgramIoError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ProgramIoError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn mem_level_from(name: &str) -> Result<MemLevel, ProgramIoError> {
+    match name {
+        "l1" => Ok(MemLevel::L1),
+        "l2" => Ok(MemLevel::L2),
+        "l3" => Ok(MemLevel::L3),
+        "host" => Ok(MemLevel::Host),
+        other => Err(ProgramIoError::Parse(format!(
+            "unknown memory level `{other}`"
+        ))),
+    }
+}
+
+fn op_class_from(name: &str) -> Result<OpClass, ProgramIoError> {
+    match name {
+        "matrix_dense" => Ok(OpClass::MatrixDense),
+        "elementwise" => Ok(OpClass::Elementwise),
+        "activation" => Ok(OpClass::Activation),
+        "reduction" => Ok(OpClass::Reduction),
+        "movement" => Ok(OpClass::Movement),
+        "gather" => Ok(OpClass::Gather),
+        other => Err(ProgramIoError::Parse(format!("unknown op class `{other}`"))),
+    }
+}
+
+fn dtype_from(name: &str) -> Result<DataType, ProgramIoError> {
+    match name {
+        "fp32" => Ok(DataType::Fp32),
+        "tf32" => Ok(DataType::Tf32),
+        "fp16" => Ok(DataType::Fp16),
+        "bf16" => Ok(DataType::Bf16),
+        "int32" => Ok(DataType::Int32),
+        "int16" => Ok(DataType::Int16),
+        "int8" => Ok(DataType::Int8),
+        other => Err(ProgramIoError::Parse(format!("unknown dtype `{other}`"))),
+    }
+}
+
+fn sync_pattern_from(value: &Value) -> Result<SyncPattern, ProgramIoError> {
+    let producers = value.usize_field("producers")?;
+    let consumers = value.usize_field("consumers")?;
+    match value.str_field("kind")? {
+        "one_to_one" => Ok(SyncPattern::OneToOne),
+        "one_to_n" => Ok(SyncPattern::OneToN { consumers }),
+        "n_to_one" => Ok(SyncPattern::NToOne { producers }),
+        "n_to_m" => Ok(SyncPattern::NToM {
+            producers,
+            consumers,
+        }),
+        other => Err(ProgramIoError::Parse(format!(
+            "unknown sync kind `{other}`"
+        ))),
+    }
+}
+
+fn command_from(value: &Value) -> Result<Command, ProgramIoError> {
+    match value.str_field("op")? {
+        "launch" => Ok(Command::Launch {
+            kernel: KernelId(value.u64_field("kernel")?),
+            descriptor: KernelDescriptor {
+                name: value.str_field("name")?.to_string(),
+                class: op_class_from(value.str_field("class")?)?,
+                dtype: dtype_from(value.str_field("dtype")?)?,
+                macs: value.u64_field("macs")?,
+                vector_ops: value.u64_field("vector_ops")?,
+                sfu_ops: value.u64_field("sfu_ops")?,
+                l1_bytes: value.u64_field("l1_bytes")?,
+                l2_bytes: value.u64_field("l2_bytes")?,
+                l3_bytes: value.u64_field("l3_bytes")?,
+                code_bytes: value.u64_field("code_bytes")?,
+                narrow_dim: value.u64_field("narrow_dim")?,
+            },
+        }),
+        "dma" => {
+            let sparse = match value.str_field("sparse")? {
+                "dense" => SparseFormat::Dense,
+                "bitmap_block" => SparseFormat::BitmapBlock,
+                other => {
+                    return Err(ProgramIoError::Parse(format!(
+                        "unknown sparse format `{other}`"
+                    )))
+                }
+            };
+            Ok(Command::Dma {
+                descriptor: DmaDescriptor {
+                    path: DmaPath::new(
+                        mem_level_from(value.str_field("src")?)?,
+                        mem_level_from(value.str_field("dst")?)?,
+                    ),
+                    bytes: value.u64_field("bytes")?,
+                    transform: TransformOp::Identity,
+                    sparse,
+                    broadcast: value.usize_field("broadcast")?,
+                    repeat: value.usize_field("repeat")?,
+                    zero_fraction: value.f64_field("zero_fraction")?,
+                },
+                overlapped: value.bool_field("overlapped")?,
+            })
+        }
+        "prefetch" => Ok(Command::Prefetch {
+            kernel: KernelId(value.u64_field("kernel")?),
+            code_bytes: value.u64_field("code_bytes")?,
+        }),
+        "register" => {
+            let event = value.u64_field("event")?;
+            let event = u32::try_from(event)
+                .map_err(|_| ProgramIoError::Parse(format!("event id {event} overflows u32")))?;
+            Ok(Command::RegisterEvent {
+                event,
+                pattern: sync_pattern_from(value.field("pattern")?)?,
+            })
+        }
+        "signal" | "wait" => {
+            let event = value.u64_field("event")?;
+            let event = u32::try_from(event)
+                .map_err(|_| ProgramIoError::Parse(format!("event id {event} overflows u32")))?;
+            if value.str_field("op")? == "signal" {
+                Ok(Command::Signal { event })
+            } else {
+                Ok(Command::Wait { event })
+            }
+        }
+        other => Err(ProgramIoError::Parse(format!(
+            "unknown command op `{other}`"
+        ))),
+    }
+}
+
+/// Parses a program from the JSON produced by [`program_to_json`].
+///
+/// # Errors
+///
+/// [`ProgramIoError::Parse`] on any malformed input — this function
+/// never panics on untrusted bytes, which is what lets the disk cache
+/// degrade a corrupt artifact into a recompile.
+pub fn program_from_json(text: &str) -> Result<Program, ProgramIoError> {
+    let mut parser = Parser::new(text);
+    let root = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing bytes after program"));
+    }
+    let mut program = Program::new(root.str_field("name")?);
+    for stream_v in root.arr_field("streams")? {
+        let group = GroupId::new(
+            stream_v.usize_field("cluster")?,
+            stream_v.usize_field("group")?,
+        );
+        let mut stream = Stream::new(group);
+        for cmd_v in stream_v.arr_field("commands")? {
+            stream.push(command_from(cmd_v)?);
+        }
+        program.add_stream(stream);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new("unit \"quoted\" ☃");
+        let mut s0 = Stream::new(GroupId::new(0, 0));
+        s0.push(Command::RegisterEvent {
+            event: 7,
+            pattern: SyncPattern::NToM {
+                producers: 2,
+                consumers: 3,
+            },
+        })
+        .push(Command::Prefetch {
+            kernel: KernelId(3),
+            code_bytes: 4096,
+        })
+        .push(Command::Launch {
+            kernel: KernelId(3),
+            descriptor: KernelDescriptor {
+                name: "conv+relu".into(),
+                class: OpClass::MatrixDense,
+                dtype: DataType::Fp16,
+                // > 2^53: must survive without a float round-trip.
+                macs: (1u64 << 53) + 1,
+                vector_ops: 10,
+                sfu_ops: 5,
+                l1_bytes: 1,
+                l2_bytes: 2,
+                l3_bytes: 3,
+                code_bytes: 4096,
+                narrow_dim: 64,
+            },
+        })
+        .push(Command::Dma {
+            descriptor: DmaDescriptor {
+                path: DmaPath::new(MemLevel::L3, MemLevel::L2),
+                bytes: 65536,
+                transform: TransformOp::Identity,
+                sparse: SparseFormat::BitmapBlock,
+                broadcast: 3,
+                repeat: 8,
+                zero_fraction: 0.71,
+            },
+            overlapped: true,
+        })
+        .push(Command::Signal { event: 7 });
+        let mut s1 = Stream::new(GroupId::new(1, 2));
+        s1.push(Command::Wait { event: 7 });
+        p.add_stream(s0);
+        p.add_stream(s1);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_program_exactly() {
+        let p = sample_program();
+        let json = program_to_json(&p).unwrap();
+        let back = program_from_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let p = sample_program();
+        assert_eq!(program_to_json(&p).unwrap(), program_to_json(&p).unwrap());
+    }
+
+    #[test]
+    fn non_identity_transform_is_rejected() {
+        let mut p = Program::new("bad");
+        let mut s = Stream::new(GroupId::new(0, 0));
+        let mut d = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64);
+        d.transform = TransformOp::Concat { axis: 1 };
+        s.push(Command::Dma {
+            descriptor: d,
+            overlapped: false,
+        });
+        p.add_stream(s);
+        assert!(matches!(
+            program_to_json(&p),
+            Err(ProgramIoError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_json_is_a_parse_error_not_a_panic() {
+        let json = program_to_json(&sample_program()).unwrap();
+        for cut in [0, 1, json.len() / 3, json.len() / 2, json.len() - 1] {
+            let truncated = &json[..cut];
+            if std::str::from_utf8(truncated.as_bytes()).is_err() {
+                continue;
+            }
+            assert!(
+                program_from_json(truncated).is_err(),
+                "cut at {cut} should fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_inputs_are_parse_errors() {
+        for bad in [
+            "",
+            "null",
+            "[]",
+            "{\"name\":1,\"streams\":[]}",
+            "{\"name\":\"x\"}",
+            "{\"name\":\"x\",\"streams\":[{\"cluster\":0}]}",
+            "{\"name\":\"x\",\"streams\":[]} trailing",
+            "{\"name\":\"x\",\"streams\":[{\"cluster\":-1,\"group\":0,\"commands\":[]}]}",
+            "{\"name\":\"x\",\"streams\":[{\"cluster\":0,\"group\":0,\"commands\":[{\"op\":\"zap\"}]}]}",
+        ] {
+            assert!(program_from_json(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let json = "{\"name\":\"x\",\"future\":42,\"streams\":[{\"cluster\":0,\"group\":0,\
+                    \"commands\":[{\"op\":\"signal\",\"event\":1,\"extra\":null}]}]}";
+        let p = program_from_json(json).unwrap();
+        assert_eq!(p.total_commands(), 1);
+    }
+}

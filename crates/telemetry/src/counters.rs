@@ -87,11 +87,15 @@ pub enum Counter {
     FreqResidencyMhzNs,
     /// Time the track was active (denominator for residency).
     ActiveTimeNs,
+    /// Compiled-session cache lookups answered without recompiling.
+    SessionCacheHits,
+    /// Compiled-session cache lookups that compiled a fresh program.
+    SessionCacheMisses,
 }
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 24] = [
         Counter::KernelLaunches,
         Counter::Macs,
         Counter::VectorOps,
@@ -114,6 +118,8 @@ impl Counter {
         Counter::StaticEnergyPj,
         Counter::FreqResidencyMhzNs,
         Counter::ActiveTimeNs,
+        Counter::SessionCacheHits,
+        Counter::SessionCacheMisses,
     ];
 
     /// Stable metric base name (snake_case, no unit suffix).
@@ -141,6 +147,8 @@ impl Counter {
             Counter::StaticEnergyPj => "static_energy",
             Counter::FreqResidencyMhzNs => "freq_residency",
             Counter::ActiveTimeNs => "active_time",
+            Counter::SessionCacheHits => "session_cache_hits",
+            Counter::SessionCacheMisses => "session_cache_misses",
         }
     }
 
@@ -154,7 +162,9 @@ impl Counter {
             | Counter::DmaTransfers
             | Counter::IcacheHits
             | Counter::IcacheMisses
-            | Counter::SyncOps => Unit::Count,
+            | Counter::SyncOps
+            | Counter::SessionCacheHits
+            | Counter::SessionCacheMisses => Unit::Count,
             Counter::DmaConfigNs
             | Counter::CodeLoadStallNs
             | Counter::ComputeBusyNs
@@ -199,6 +209,8 @@ impl Counter {
             Counter::StaticEnergyPj => "Static (leakage) energy",
             Counter::FreqResidencyMhzNs => "Frequency-time product (DVFS residency)",
             Counter::ActiveTimeNs => "Active time under the residency product",
+            Counter::SessionCacheHits => "Compiled-session cache hits",
+            Counter::SessionCacheMisses => "Compiled-session cache misses",
         }
     }
 }

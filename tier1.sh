@@ -7,6 +7,7 @@ cargo build --release
 cargo build --release -p dtu-bench --bin topsexec
 cargo test -q
 cargo clippy --workspace -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 # The telemetry pipeline end to end: `topsexec profile` must emit a
 # non-empty, valid-JSON Perfetto/Chrome trace.
@@ -20,5 +21,22 @@ assert isinstance(events, list) and events, "trace must be a non-empty JSON arra
 spans = [e for e in events if e.get("ph") == "X"]
 assert spans, "trace must contain duration spans"
 assert len({e["pid"] for e in spans}) >= 3, "trace must cover >= 3 layers"
+PY
+
+# The parallel experiment engine end to end: a cold sweep populates the
+# compiled-session cache, a warm sweep must hit it and emit valid JSON.
+./target/release/topsexec sweep --models resnet50 --batches 1,2 --jobs 4 \
+    --cache-dir "$trace_dir/cache" --format json > "$trace_dir/cold.json"
+./target/release/topsexec sweep --models resnet50 --batches 1,2 --jobs 4 \
+    --cache-dir "$trace_dir/cache" --format json > "$trace_dir/warm.json"
+python3 - "$trace_dir/warm.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+points = report["points"]
+assert len(points) == 2, f"expected 2 grid points, got {len(points)}"
+assert all(p["latency_ms"] > 0 for p in points), "latencies must be positive"
+cache = report["cache"]
+hits = cache["memory_hits"] + cache["disk_hits"]
+assert hits >= 1, f"warm sweep must hit the session cache, stats: {cache}"
 PY
 echo "tier1 OK"
