@@ -67,6 +67,8 @@ fn main() {
             duration_ms: 600.0,
             seed: 21,
             record_requests: false,
+            faults: Default::default(),
+            retry: Default::default(),
             tenants: vec![TenantSpec {
                 name: format!("b{max_batch}"),
                 model: 0,

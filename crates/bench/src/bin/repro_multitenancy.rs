@@ -86,6 +86,8 @@ fn main() {
         duration_ms: 800.0,
         seed: 7,
         record_requests: false,
+        faults: Default::default(),
+        retry: Default::default(),
         tenants: vec![TenantSpec {
             name: "bursty".into(),
             model: 0,

@@ -12,6 +12,9 @@
 //! topsexec serve --models resnet50,bert --qps 600 --bursty --trace-out t.jsonl
 //! topsexec sweep                       # model x batch grid, parallel + cached
 //! topsexec sweep --models resnet50,bert --batches 1,4,16 --jobs 4 --format json
+//! topsexec sweep --check-golden tests/golden/figures.json   # CI figure gate
+//! topsexec faults resnet50 --seed 7 --plan core-failure     # fault injection
+//! topsexec faults --models resnet50,bert --plans none,ecc,thermal --severities 0.5,1
 //! ```
 
 use dtu::serve::{
@@ -21,7 +24,7 @@ use dtu::serve::{
 use dtu::telemetry::{AttributionReport, Recorder, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
 use dtu_graph::parse_model;
-use dtu_harness::{available_jobs, run_sweep, SessionCache, SweepModel};
+use dtu_harness::{available_jobs, run_fault_sweep, run_sweep, SessionCache, SweepModel};
 use dtu_models::Model;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -42,6 +45,7 @@ fn usage() -> &'static str {
      \x20      topsexec profile (<name> | --import <file.tops>) [profile options]\n\
      \x20      topsexec serve [serve options]\n\
      \x20      topsexec sweep [sweep options]\n\
+     \x20      topsexec faults [<name>] [fault options]\n\
      \n\
      options:\n\
        --model <name>           one of: yolov3 centernet retinaface vgg16\n\
@@ -89,7 +93,26 @@ fn usage() -> &'static str {
                                 json output is byte-stable across --jobs\n\
        --cache-dir <dir>        compiled-session artifact directory\n\
                                 (default target/dtu-cache)\n\
-       --no-disk-cache          keep the session cache in memory only"
+       --no-disk-cache          keep the session cache in memory only\n\
+       --write-golden <file>    regenerate the fig. 12-15 figure data and\n\
+                                write it as the golden JSON (skips the grid)\n\
+       --check-golden <file>    regenerate the fig. 12-15 figure data and\n\
+                                fail unless it matches the golden within a\n\
+                                1e-9 relative tolerance (the CI figure gate)\n\
+     \n\
+     fault options (model x fault-plan x severity degradation grid):\n\
+       <name> / --models <a,..> model name(s) to inject into (default resnet50)\n\
+       --plan / --plans <a,..>  fault-plan presets: none core-failure ecc\n\
+                                dma-stall dma-timeout thermal icache mixed\n\
+                                (default none,core-failure,ecc,dma-stall,thermal)\n\
+       --severity <s,..>        severities in [0,1] (--severities also\n\
+                                accepted; default 0.5,1)\n\
+       --seed <n>               sweep seed, mixed into every point (default 7)\n\
+       --chip <i20|i10>         accelerator generation (default i20)\n\
+       --jobs <n>               worker threads (default: all cores)\n\
+       --format <json|table>    report format on stdout (default json);\n\
+                                byte-identical across runs and --jobs\n\
+       --cache-dir / --no-disk-cache as for sweep"
 }
 
 fn chip_by_name(name: &str) -> Result<ChipConfig, String> {
@@ -313,6 +336,8 @@ fn run_serve() -> ExitCode {
         duration_ms: args.duration_ms,
         seed: args.seed,
         record_requests: false,
+        faults: Default::default(),
+        retry: Default::default(),
         tenants: (0..models.len())
             .map(|i| TenantSpec {
                 name: format!("tenant{i}"),
@@ -425,6 +450,8 @@ struct SweepArgs {
     format: String,
     cache_dir: Option<PathBuf>,
     disk_cache: bool,
+    check_golden: Option<String>,
+    write_golden: Option<String>,
 }
 
 fn parse_sweep_args() -> Result<SweepArgs, String> {
@@ -436,6 +463,8 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
         format: "table".into(),
         cache_dir: None,
         disk_cache: true,
+        check_golden: None,
+        write_golden: None,
     };
     let mut it = std::env::args().skip(2);
     while let Some(a) = it.next() {
@@ -448,6 +477,8 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
                     .filter(|s| !s.is_empty())
                     .collect()
             }
+            "--check-golden" => args.check_golden = Some(value("--check-golden")?),
+            "--write-golden" => args.write_golden = Some(value("--write-golden")?),
             "--batches" => {
                 args.batches = value("--batches")?
                     .split(',')
@@ -480,7 +511,48 @@ fn parse_sweep_args() -> Result<SweepArgs, String> {
             args.format
         ));
     }
+    if args.check_golden.is_some() && args.write_golden.is_some() {
+        return Err("--check-golden and --write-golden are mutually exclusive".into());
+    }
     Ok(args)
+}
+
+/// The `sweep --write-golden` / `--check-golden` modes: regenerate the
+/// fig. 12–15 figure data through the shared cache and either commit it
+/// as the golden or gate against it at [`dtu_harness::GOLDEN_RTOL`].
+fn run_golden(args: &SweepArgs, cache: &SessionCache) -> ExitCode {
+    let regenerated = dtu_bench::figures_json(cache, args.jobs);
+    if let Some(path) = &args.write_golden {
+        if let Err(e) = std::fs::write(path, format!("{regenerated}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("golden figures written to {path}");
+        return ExitCode::SUCCESS;
+    }
+    let path = args.check_golden.as_deref().expect("validated");
+    let golden = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read golden {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dtu_harness::compare_golden(golden.trim_end(), &regenerated, dtu_harness::GOLDEN_RTOL) {
+        Ok(()) => {
+            println!("golden figures OK: {path} matches within 1e-9 relative tolerance");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!(
+                "golden figure regression against {path}: {e}\n\
+                 if the change is intentional, regenerate with\n\
+                 \x20 topsexec sweep --write-golden {path}\n\
+                 and commit the diff (see docs/CLI.md)"
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_sweep_cmd() -> ExitCode {
@@ -508,6 +580,10 @@ fn run_sweep_cmd() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.check_golden.is_some() || args.write_golden.is_some() {
+        let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+        return run_golden(&args, &cache);
+    }
     let mut grid = Vec::new();
     for name in &args.models {
         let Some(m) = model_by_name(name) else {
@@ -543,6 +619,176 @@ fn run_sweep_cmd() -> ExitCode {
         report.batches.len(),
         args.jobs,
         elapsed_ms,
+        report.cache.memory_hits,
+        report.cache.disk_hits,
+        report.cache.misses
+    );
+    ExitCode::SUCCESS
+}
+
+struct FaultsArgs {
+    models: Vec<String>,
+    plans: Vec<String>,
+    severities: Vec<f64>,
+    seed: u64,
+    chip: String,
+    jobs: usize,
+    format: String,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+fn parse_faults_args() -> Result<FaultsArgs, String> {
+    let mut args = FaultsArgs {
+        models: Vec::new(),
+        plans: vec![
+            "none".into(),
+            "core-failure".into(),
+            "ecc".into(),
+            "dma-stall".into(),
+            "thermal".into(),
+        ],
+        severities: vec![0.5, 1.0],
+        seed: 7,
+        chip: "i20".into(),
+        jobs: available_jobs(),
+        format: "json".into(),
+        cache_dir: None,
+        disk_cache: true,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--models" | "--model" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--plans" | "--plan" => {
+                args.plans = value("--plans")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--severities" | "--severity" => {
+                args.severities = value("--severities")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("bad severity '{}'", s.trim()))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--chip" => args.chip = value("--chip")?,
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?
+            }
+            "--format" => args.format = value("--format")?,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
+            "--help" | "-h" => return Err(String::new()),
+            name if !name.starts_with('-') => args.models.push(name.to_string()),
+            other => return Err(format!("unknown faults flag '{other}'")),
+        }
+    }
+    if args.models.is_empty() {
+        args.models.push("resnet50".into());
+    }
+    if args.plans.is_empty() || args.severities.is_empty() {
+        return Err("faults needs at least one plan and one severity".into());
+    }
+    if !matches!(args.format.as_str(), "table" | "json") {
+        return Err(format!(
+            "--format must be table or json, got '{}'",
+            args.format
+        ));
+    }
+    Ok(args)
+}
+
+fn run_faults() -> ExitCode {
+    let args = match parse_faults_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut grid = Vec::new();
+    for name in &args.models {
+        let Some(m) = model_by_name(name) else {
+            eprintln!("error: unknown model '{name}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        grid.push(SweepModel::new(name.clone(), move |b| m.build(b)));
+    }
+    let plans: Vec<&str> = args.plans.iter().map(String::as_str).collect();
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+
+    let started = std::time::Instant::now();
+    let report = match run_fault_sweep(
+        &accel,
+        &grid,
+        &plans,
+        &args.severities,
+        args.seed,
+        &cache,
+        args.jobs,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("faults error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Like `sweep`: the report is schedule-independent and goes to
+    // stdout, so two runs of the same grid and seed are byte-identical;
+    // wall-clock chatter stays on stderr.
+    match args.format.as_str() {
+        "table" => print!("{}", report.to_table()),
+        _ => println!("{}", report.to_json()),
+    }
+    eprintln!(
+        "[faults] {} points ({} models x {} plans x {} severities) on {} workers in {:.0} ms; \
+         availability {:.1}%; cache: {} memory + {} disk hits, {} misses",
+        report.points.len(),
+        report.models.len(),
+        report.plans.len(),
+        report.severities.len(),
+        args.jobs,
+        elapsed_ms,
+        report.availability() * 100.0,
         report.cache.memory_hits,
         report.cache.disk_hits,
         report.cache.misses
@@ -723,6 +969,7 @@ fn main() -> ExitCode {
         Some("serve") => return run_serve(),
         Some("profile") => return run_profile(),
         Some("sweep") => return run_sweep_cmd(),
+        Some("faults") => return run_faults(),
         _ => {}
     }
     let args = match parse_args() {

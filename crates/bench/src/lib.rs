@@ -120,6 +120,135 @@ pub fn evaluate_suite() -> Vec<LatencyRow> {
     evaluate_suite_with(&SessionCache::memory_only(), 1)
 }
 
+/// Regenerates the fig. 12–15 figure data as one deterministic JSON
+/// document — the golden-figure payload behind
+/// `topsexec sweep --check-golden` / `--write-golden` and the CI
+/// regression gate.
+///
+/// Fig. 12 and 14 are pure spec-sheet ratio tables; fig. 13 and 15 run
+/// the full Table III suite (batch 1, FP16) through `cache` on `jobs`
+/// workers. Every quantity is a model output, never a wall-clock
+/// measurement, so two runs of the same source tree produce identical
+/// documents whatever the job count or cache temperature.
+///
+/// # Panics
+///
+/// As for [`i20_latency_ms`] — the suite must compile and run.
+pub fn figures_json(cache: &SessionCache, jobs: usize) -> String {
+    use dtu_isa::DataType;
+    use dtu_telemetry::json::{array, number, JsonObject};
+    use gpu_baseline::PlatformSpec;
+
+    let (i10, i20, t4, a10) = platform_specs(jobs);
+    let rows = evaluate_suite_with(cache, jobs);
+
+    let spec_ratios = |num: &PlatformSpec, base: &PlatformSpec| {
+        JsonObject::new()
+            .raw("fp32_peak", &number(num.fp32_tflops / base.fp32_tflops))
+            .raw("fp16_peak", &number(num.fp16_tflops / base.fp16_tflops))
+            .raw("int8_peak", &number(num.int8_tops / base.int8_tops))
+            .raw("memory", &number(num.memory_gb / base.memory_gb))
+            .raw(
+                "bandwidth",
+                &number(num.bandwidth_gb_s / base.bandwidth_gb_s),
+            )
+            .build()
+    };
+    let fig12 = JsonObject::new()
+        .raw("i20_over_i10", &spec_ratios(&i20, &i10))
+        .raw("i20_over_t4", &spec_ratios(&i20, &t4))
+        .raw("i20_over_a10", &spec_ratios(&i20, &a10))
+        .build();
+
+    let fig13_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .string("model", r.model.name())
+                .raw("i20_ms", &number(r.i20_ms))
+                .raw("t4_ms", &number(r.t4_ms))
+                .raw("a10_ms", &number(r.a10_ms))
+                .raw("speedup_vs_t4", &number(r.speedup_vs_t4()))
+                .raw("speedup_vs_a10", &number(r.speedup_vs_a10()))
+                .build()
+        })
+        .collect();
+    let fig13 = JsonObject::new()
+        .raw("rows", &array(&fig13_rows))
+        .raw(
+            "geomean_vs_t4",
+            &number(geomean(
+                &rows
+                    .iter()
+                    .map(LatencyRow::speedup_vs_t4)
+                    .collect::<Vec<_>>(),
+            )),
+        )
+        .raw(
+            "geomean_vs_a10",
+            &number(geomean(
+                &rows
+                    .iter()
+                    .map(LatencyRow::speedup_vs_a10)
+                    .collect::<Vec<_>>(),
+            )),
+        )
+        .build();
+
+    let eff_ratios = |dtype: dtu_isa::DataType| {
+        let base = t4.peak_per_tdp(dtype);
+        JsonObject::new()
+            .raw("i10", &number(i10.peak_per_tdp(dtype) / base))
+            .raw("i20", &number(i20.peak_per_tdp(dtype) / base))
+            .raw("a10", &number(a10.peak_per_tdp(dtype) / base))
+            .build()
+    };
+    let fig14 = JsonObject::new()
+        .raw("fp32_per_tdp_over_t4", &eff_ratios(DataType::Fp32))
+        .raw("fp16_per_tdp_over_t4", &eff_ratios(DataType::Fp16))
+        .raw("int8_per_tdp_over_t4", &eff_ratios(DataType::Int8))
+        .build();
+
+    let fig15_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .string("model", r.model.name())
+                .raw("efficiency_vs_t4", &number(r.efficiency_vs_t4()))
+                .raw("efficiency_vs_a10", &number(r.efficiency_vs_a10()))
+                .build()
+        })
+        .collect();
+    let fig15 = JsonObject::new()
+        .raw("rows", &array(&fig15_rows))
+        .raw(
+            "geomean_vs_t4",
+            &number(geomean(
+                &rows
+                    .iter()
+                    .map(LatencyRow::efficiency_vs_t4)
+                    .collect::<Vec<_>>(),
+            )),
+        )
+        .raw(
+            "geomean_vs_a10",
+            &number(geomean(
+                &rows
+                    .iter()
+                    .map(LatencyRow::efficiency_vs_a10)
+                    .collect::<Vec<_>>(),
+            )),
+        )
+        .build();
+
+    JsonObject::new()
+        .raw("fig12", &fig12)
+        .raw("fig13", &fig13)
+        .raw("fig14", &fig14)
+        .raw("fig15", &fig15)
+        .build()
+}
+
 /// Geometric mean of a slice (panics on empty).
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of empty slice");

@@ -31,18 +31,25 @@
 
 mod accelerator;
 mod error;
+mod recovery;
 mod runtime;
 mod serving;
 mod session;
 
 pub use accelerator::Accelerator;
 pub use error::DtuError;
+pub use recovery::{
+    run_resilient, run_resilient_with, RecoveryPolicy, RemapEvent, ResilienceReport,
+};
 pub use runtime::{DeviceAllocator, DeviceBuffer, Runtime, RuntimeError};
 pub use serving::{simulate_serving, ServingConfig, ServingReport};
 pub use session::{InferenceReport, Session, SessionOptions, WorkloadSize};
 
 // Re-export the pieces users need to build models and interpret reports.
 pub use dtu_compiler::{CompilerConfig, Placement};
+/// Deterministic fault injection: plans, sessions, and typed fault
+/// errors (the schedule side of [`run_resilient`]).
+pub use dtu_faults as faults;
 pub use dtu_graph::{Graph, GraphError, Op, TensorType};
 pub use dtu_isa::DataType;
 /// The event-driven serving layer (dynamic batching, SLA admission,

@@ -1,0 +1,355 @@
+//! Graceful degradation: retry transient faults, remap around dead
+//! groups.
+//!
+//! The paper's resource-group virtualization (Fig. 7) is what makes
+//! recovery *cheap*: a workload is just a placement over processing
+//! groups, so when a group dies the runtime recompiles the same graph
+//! onto the survivors and keeps serving at reduced capacity instead of
+//! failing the card. This module implements that loop on top of the
+//! `dtu-faults` session semantics:
+//!
+//! * **transient** faults (uncorrectable ECC, DMA timeout) are one-shot
+//!   — the session consumes them, so a bounded retry proceeds;
+//! * **permanent** faults (core failure) keep holding — the only way
+//!   forward is a shrunken placement, which [`run_resilient`] builds by
+//!   dropping the dead group and recompiling.
+//!
+//! [`run_resilient_with`] takes the compile step as a closure so the
+//! `dtu-harness` compiled-session cache can serve the recompile (the
+//! shrunken placement hashes to its own cache key, so a second failure
+//! of the same group is a cache hit).
+
+use crate::session::{InferenceReport, Session, SessionOptions};
+use crate::{Accelerator, DtuError};
+use dtu_compiler::Placement;
+use dtu_faults::FaultSession;
+use dtu_graph::Graph;
+use dtu_sim::{GroupId, SimError};
+
+/// Bounds on how hard recovery tries before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Transient-fault retries allowed per execution (the run is
+    /// attempted at most `max_retries + 1` times between remaps).
+    pub max_retries: u32,
+    /// Group remaps allowed before the failure is surfaced.
+    pub max_remaps: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            max_remaps: 16,
+        }
+    }
+}
+
+/// One resource-group remap performed during recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemapEvent {
+    /// Cluster of the failed group.
+    pub cluster: usize,
+    /// Failed group within the cluster.
+    pub group: usize,
+    /// Simulated time of the failure, ns.
+    pub at_ns: f64,
+    /// Placement size before the remap.
+    pub groups_before: usize,
+    /// Placement size after the remap.
+    pub groups_after: usize,
+}
+
+/// The outcome of a resilient execution: the successful report plus
+/// everything recovery had to do to get it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// The report of the run that finally succeeded.
+    pub report: InferenceReport,
+    /// Transient-fault retries performed.
+    pub retries: u32,
+    /// Group remaps performed, in order.
+    pub remaps: Vec<RemapEvent>,
+    /// Fault events injected across every attempt (from the session).
+    pub faults_injected: u64,
+    /// Stall time injected across every attempt, ns.
+    pub fault_stall_ns: f64,
+}
+
+impl ResilienceReport {
+    /// Whether the run completed on a shrunken placement.
+    pub fn degraded(&self) -> bool {
+        !self.remaps.is_empty()
+    }
+
+    /// Groups the workload ended on (`None` when it never remapped).
+    pub fn final_groups(&self) -> Option<usize> {
+        self.remaps.last().map(|r| r.groups_after)
+    }
+}
+
+/// Runs `graph` under fault injection with retry and remap-on-failure,
+/// compiling through [`Session::compile`].
+///
+/// See [`run_resilient_with`] for the recovery loop; this convenience
+/// wrapper recompiles from scratch on every remap.
+///
+/// # Errors
+///
+/// Compilation and non-fault simulation errors propagate unchanged. A
+/// fault error surfaces once the policy's retry/remap budgets are
+/// exhausted or no groups survive.
+pub fn run_resilient(
+    accel: &Accelerator,
+    graph: &Graph,
+    options: &SessionOptions,
+    faults: &mut FaultSession,
+    policy: &RecoveryPolicy,
+) -> Result<ResilienceReport, DtuError> {
+    run_resilient_with(accel, options, faults, policy, |opts| {
+        Session::compile(accel, graph, opts.clone())
+    })
+}
+
+/// The recovery loop with a caller-supplied compile step.
+///
+/// `compile` is invoked once for the initial placement and once per
+/// remap, each time with `options.placement` set to the placement to
+/// compile for — pass a closure over the `dtu-harness` session cache to
+/// make recompiles content-hash cache hits.
+///
+/// The loop:
+///
+/// 1. run the compiled session under `faults`;
+/// 2. on a **transient** fault, retry (the session consumed the event)
+///    up to [`RecoveryPolicy::max_retries`] times between remaps;
+/// 3. on a **permanent** fault, drop the dead group from the placement,
+///    recompile on the survivors, reset the retry budget, and go to 1 —
+///    at most [`RecoveryPolicy::max_remaps`] times;
+/// 4. anything else propagates immediately.
+///
+/// # Errors
+///
+/// As for [`run_resilient`].
+pub fn run_resilient_with<'a, F>(
+    accel: &'a Accelerator,
+    options: &SessionOptions,
+    faults: &mut FaultSession,
+    policy: &RecoveryPolicy,
+    mut compile: F,
+) -> Result<ResilienceReport, DtuError>
+where
+    F: FnMut(&SessionOptions) -> Result<Session<'a>, DtuError>,
+{
+    let (mut placement, _, _) = options.resolve(accel);
+    let mut opts = options.clone();
+    opts.placement = Some(placement.clone());
+    let mut session = compile(&opts)?;
+
+    let mut total_retries = 0u32;
+    let mut retries_since_remap = 0u32;
+    let mut remaps: Vec<RemapEvent> = Vec::new();
+    loop {
+        match session.run_faulted(faults) {
+            Ok(report) => {
+                return Ok(ResilienceReport {
+                    report,
+                    retries: total_retries,
+                    remaps,
+                    faults_injected: faults.injected(),
+                    fault_stall_ns: faults.stall_ns(),
+                });
+            }
+            Err(DtuError::Sim(SimError::Fault(e))) if e.is_permanent() => {
+                if remaps.len() as u32 >= policy.max_remaps {
+                    return Err(DtuError::Sim(SimError::Fault(e)));
+                }
+                let (fc, fg) = e.location();
+                let survivors: Vec<GroupId> = placement
+                    .groups()
+                    .iter()
+                    .copied()
+                    .filter(|g| !(g.cluster == fc && g.group == fg))
+                    .collect();
+                if survivors.is_empty() {
+                    return Err(DtuError::Sim(SimError::Fault(e)));
+                }
+                remaps.push(RemapEvent {
+                    cluster: fc,
+                    group: fg,
+                    at_ns: e.at_ns(),
+                    groups_before: placement.len(),
+                    groups_after: survivors.len(),
+                });
+                placement = Placement::explicit(survivors);
+                opts.placement = Some(placement.clone());
+                session = compile(&opts)?;
+                retries_since_remap = 0;
+            }
+            Err(DtuError::Sim(SimError::Fault(e))) => {
+                retries_since_remap += 1;
+                total_retries += 1;
+                if retries_since_remap > policy.max_retries {
+                    return Err(DtuError::Sim(SimError::Fault(e)));
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+    use dtu_graph::{Op, TensorType};
+
+    fn toy() -> Graph {
+        let mut g = Graph::new("toy");
+        let x = g.input("x", TensorType::fixed(&[1, 8, 32, 32]));
+        let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+        let r = g.add_node(Op::Relu, vec![c]).unwrap();
+        g.mark_output(r);
+        g
+    }
+
+    fn plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events,
+        }
+    }
+
+    #[test]
+    fn no_faults_is_a_plain_run() {
+        let accel = Accelerator::cloudblazer_i20();
+        let mut fs = FaultSession::new(&FaultPlan::empty(), 2, 3);
+        let r = run_resilient(
+            &accel,
+            &toy(),
+            &SessionOptions::default(),
+            &mut fs,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.retries, 0);
+        assert!(!r.degraded());
+        let plain = Session::compile(&accel, &toy(), SessionOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.report, plain, "recovery wrapper must be invisible");
+    }
+
+    #[test]
+    fn core_failure_remaps_to_survivors() {
+        let accel = Accelerator::cloudblazer_i20();
+        let mut fs = FaultSession::new(
+            &plan(vec![FaultEvent {
+                at_ns: 0.0,
+                cluster: 0,
+                group: 1,
+                kind: FaultKind::CoreFailure,
+            }]),
+            2,
+            3,
+        );
+        let r = run_resilient(
+            &accel,
+            &toy(),
+            &SessionOptions::default(),
+            &mut fs,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(r.degraded());
+        assert_eq!(r.remaps.len(), 1);
+        assert_eq!((r.remaps[0].cluster, r.remaps[0].group), (0, 1));
+        assert_eq!(r.final_groups(), Some(5), "6 groups shrink to 5");
+        assert!(r.report.latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn transient_fault_is_retried() {
+        let accel = Accelerator::cloudblazer_i20();
+        let mut fs = FaultSession::new(
+            &plan(vec![FaultEvent {
+                at_ns: 1.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::EccError { correctable: false },
+            }]),
+            2,
+            3,
+        );
+        let r = run_resilient(
+            &accel,
+            &toy(),
+            &SessionOptions::default(),
+            &mut fs,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.retries, 1);
+        assert!(!r.degraded());
+        assert_eq!(r.faults_injected, 1);
+    }
+
+    #[test]
+    fn retry_budget_is_enforced() {
+        let accel = Accelerator::cloudblazer_i20();
+        // Two transient faults but a budget of zero retries.
+        let mut fs = FaultSession::new(
+            &plan(vec![FaultEvent {
+                at_ns: 1.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::EccError { correctable: false },
+            }]),
+            2,
+            3,
+        );
+        let err = run_resilient(
+            &accel,
+            &toy(),
+            &SessionOptions::default(),
+            &mut fs,
+            &RecoveryPolicy {
+                max_retries: 0,
+                max_remaps: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DtuError::Sim(SimError::Fault(_))));
+    }
+
+    #[test]
+    fn all_groups_dead_surfaces_the_failure() {
+        let accel = Accelerator::cloudblazer_i20();
+        let cfg = accel.config();
+        let events: Vec<FaultEvent> = (0..cfg.clusters)
+            .flat_map(|c| {
+                (0..cfg.groups_per_cluster).map(move |g| FaultEvent {
+                    at_ns: 0.0,
+                    cluster: c,
+                    group: g,
+                    kind: FaultKind::CoreFailure,
+                })
+            })
+            .collect();
+        let mut fs = FaultSession::new(&plan(events), cfg.clusters, cfg.groups_per_cluster);
+        let err = run_resilient(
+            &accel,
+            &toy(),
+            &SessionOptions::default(),
+            &mut fs,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        match err {
+            DtuError::Sim(SimError::Fault(e)) => assert!(e.is_permanent()),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+}

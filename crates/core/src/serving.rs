@@ -113,6 +113,8 @@ pub fn simulate_serving(
         duration_ms: cfg.duration_ms,
         seed: cfg.seed,
         record_requests: false,
+        faults: Default::default(),
+        retry: Default::default(),
         tenants: (0..tenants)
             .map(|i| {
                 let mut spec = TenantSpec::poisson(format!("tenant{i}"), 0, cfg.arrival_qps);

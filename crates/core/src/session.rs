@@ -271,6 +271,68 @@ impl<'a> Session<'a> {
         })
     }
 
+    /// Runs the compiled program under a fault-injection session (see
+    /// `dtu-faults`). The session carries fired-event state across
+    /// runs, so [`crate::run_resilient`] can retry or remap past
+    /// transient faults while permanent failures keep holding. A
+    /// session over an empty plan is byte-identical to [`Session::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`], plus `DtuError::Sim(SimError::Fault)`
+    /// when an injected fault aborts the run.
+    pub fn run_faulted(
+        &self,
+        faults: &mut dtu_faults::FaultSession,
+    ) -> Result<InferenceReport, DtuError> {
+        let report = self.accel.chip().run_faulted(&self.program, faults)?;
+        Ok(InferenceReport {
+            report,
+            batch: self.batch,
+        })
+    }
+
+    /// [`Session::run_faulted`] with a telemetry [`Recorder`] attached;
+    /// injected faults appear as `SpanKind::Fault` spans in the trace.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run_faulted`].
+    pub fn run_faulted_recorded(
+        &self,
+        faults: &mut dtu_faults::FaultSession,
+        rec: &mut dyn Recorder,
+    ) -> Result<InferenceReport, DtuError> {
+        let report = self
+            .accel
+            .chip()
+            .run_faulted_recorded(&self.program, faults, rec)?;
+        if rec.enabled() {
+            rec.record(Span::new(
+                SpanKind::Session,
+                Layer::Session,
+                0,
+                self.program.name.clone(),
+                0.0,
+                report.latency_ns,
+            ));
+        }
+        Ok(InferenceReport {
+            report,
+            batch: self.batch,
+        })
+    }
+
+    /// The accelerator the session is bound to.
+    pub fn accelerator(&self) -> &'a Accelerator {
+        self.accel
+    }
+
+    /// The batch the session serves.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
     /// The compiled program (inspection / custom scheduling).
     pub fn program(&self) -> &Program {
         &self.program

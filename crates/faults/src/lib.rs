@@ -1,0 +1,874 @@
+//! `dtu-faults` — deterministic, seeded fault injection for the stack.
+//!
+//! The paper's cloud story rests on resource-group virtualization and
+//! DVFS staying useful when hardware misbehaves: a DTU 2.0 deployment
+//! must keep serving tenants when a core degrades, a DMA engine
+//! stalls, or thermal pressure forces a frequency drop. This crate is
+//! the *schedule* side of that story: a [`FaultPlan`] is a seeded,
+//! fully reproducible list of typed [`FaultEvent`]s, and a
+//! [`FaultSession`] is the mutable per-execution view the simulator
+//! consumes — which events fired, which transient errors were already
+//! retried past, how much stall time injection added.
+//!
+//! The crate deliberately has **no dependencies**: `dtu-sim` consumes
+//! a session through small query methods, `dtu-core`/`dtu-serve` build
+//! recovery on top, and everything stays byte-for-byte reproducible
+//! because the only randomness is the plan's own [`FaultRng`].
+//!
+//! Two invariants the rest of the stack relies on:
+//!
+//! * **Empty plans are invisible.** A [`FaultSession`] over a plan with
+//!   zero events answers every query with "nothing fired" without
+//!   perturbing any arithmetic, so a faulted run under an empty plan is
+//!   byte-identical to the unfaulted path (property-tested at the
+//!   workspace level).
+//! * **Same seed, same schedule.** [`FaultPlan::preset`] derives every
+//!   event time and magnitude from the seed via [`FaultRng`], so two
+//!   runs of the same (plan name, seed, severity, chip shape) produce
+//!   identical schedules — and identical reports — whatever thread
+//!   count or wall clock the host had.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// The typed fault classes a plan can schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Permanent loss of a processing group's cores from `at_ns`
+    /// onward. Any kernel that would still be running on the group at
+    /// or after the failure time aborts with
+    /// [`FaultError::CoreFailure`]; recovery remaps the workload onto
+    /// the surviving groups.
+    CoreFailure,
+    /// An L2 ECC error. Correctable errors cost a scrub penalty
+    /// (re-reading the poisoned line through the L2 port); an
+    /// uncorrectable error aborts the launch with
+    /// [`FaultError::UncorrectableEcc`] instead of silently producing
+    /// wrong results.
+    EccError {
+        /// Whether hardware can scrub the error in place.
+        correctable: bool,
+    },
+    /// The group's DMA engine degrades for a window: transfers that
+    /// start inside `[at_ns, at_ns + duration_ns)` take `factor`×
+    /// their nominal time.
+    DmaStall {
+        /// Slowdown multiplier (≥ 1).
+        factor: f64,
+        /// Window length, ns.
+        duration_ns: f64,
+    },
+    /// The group's DMA engine times out: the first transfer issued at
+    /// or after `at_ns` aborts with [`FaultError::DmaTimeout`]
+    /// (one-shot; a retry proceeds).
+    DmaTimeout,
+    /// A thermal DVFS throttle window: kernels launched inside
+    /// `[at_ns, at_ns + duration_ns)` run at the chip's floor
+    /// frequency regardless of what the governor wanted.
+    ThermalThrottle {
+        /// Window length, ns.
+        duration_ns: f64,
+    },
+    /// Instruction-cache corruption at `at_ns`: the group's resident
+    /// kernel code is invalidated once, forcing full reloads.
+    IcacheCorruption,
+}
+
+impl FaultKind {
+    /// Short lowercase label used in reports and trace spans.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CoreFailure => "core-failure",
+            FaultKind::EccError { correctable: true } => "ecc-correctable",
+            FaultKind::EccError { correctable: false } => "ecc-uncorrectable",
+            FaultKind::DmaStall { .. } => "dma-stall",
+            FaultKind::DmaTimeout => "dma-timeout",
+            FaultKind::ThermalThrottle { .. } => "thermal-throttle",
+            FaultKind::IcacheCorruption => "icache-corruption",
+        }
+    }
+}
+
+/// One scheduled fault: what, where, when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Event time on the simulated clock, ns.
+    pub at_ns: f64,
+    /// Target cluster index.
+    pub cluster: usize,
+    /// Target group index within the cluster.
+    pub group: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A typed, unrecoverable-at-the-simulator fault. The simulator aborts
+/// the launch with one of these rather than silently computing wrong
+/// results; recovery layers decide whether to remap (core failures are
+/// permanent) or retry (ECC/DMA events are one-shot and consumed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultError {
+    /// A processing group's cores failed mid-run.
+    CoreFailure {
+        /// Failed cluster.
+        cluster: usize,
+        /// Failed group within the cluster.
+        group: usize,
+        /// Failure time, ns.
+        at_ns: f64,
+    },
+    /// An uncorrectable L2 ECC error poisoned a kernel's data.
+    UncorrectableEcc {
+        /// Affected cluster.
+        cluster: usize,
+        /// Affected group.
+        group: usize,
+        /// Error time, ns.
+        at_ns: f64,
+    },
+    /// A DMA transfer timed out.
+    DmaTimeout {
+        /// Affected cluster.
+        cluster: usize,
+        /// Affected group.
+        group: usize,
+        /// Timeout time, ns.
+        at_ns: f64,
+    },
+}
+
+impl FaultError {
+    /// Whether the fault is permanent (the group is gone) rather than
+    /// a one-shot transient a retry can proceed past.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FaultError::CoreFailure { .. })
+    }
+
+    /// The `(cluster, group)` the fault hit.
+    pub fn location(&self) -> (usize, usize) {
+        match *self {
+            FaultError::CoreFailure { cluster, group, .. }
+            | FaultError::UncorrectableEcc { cluster, group, .. }
+            | FaultError::DmaTimeout { cluster, group, .. } => (cluster, group),
+        }
+    }
+
+    /// The fault time, ns.
+    pub fn at_ns(&self) -> f64 {
+        match *self {
+            FaultError::CoreFailure { at_ns, .. }
+            | FaultError::UncorrectableEcc { at_ns, .. }
+            | FaultError::DmaTimeout { at_ns, .. } => at_ns,
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::CoreFailure {
+                cluster,
+                group,
+                at_ns,
+            } => write!(
+                f,
+                "core failure on group {cluster}.{group} at {at_ns:.0} ns"
+            ),
+            FaultError::UncorrectableEcc {
+                cluster,
+                group,
+                at_ns,
+            } => write!(
+                f,
+                "uncorrectable L2 ECC error on group {cluster}.{group} at {at_ns:.0} ns"
+            ),
+            FaultError::DmaTimeout {
+                cluster,
+                group,
+                at_ns,
+            } => write!(f, "DMA timeout on group {cluster}.{group} at {at_ns:.0} ns"),
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+/// A small deterministic PRNG (splitmix64 seeding into xorshift64*),
+/// the only randomness source of the crate. Also reused by the serving
+/// engine for retry-backoff jitter so serving stays seed-reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Creates a generator from a seed (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 scrambling so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultRng((z ^ (z >> 31)) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `(0, 1]`.
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)` (returns `lo` when the range is empty).
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + (hi - lo) * (1.0 - self.next_f64())
+        }
+    }
+
+    /// Uniform integer draw in `[0, n)` (`n` must be > 0).
+    pub fn next_index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// The named plan presets `FaultPlan::preset` understands.
+pub const PRESETS: &[&str] = &[
+    "none",
+    "core-failure",
+    "ecc",
+    "dma-stall",
+    "dma-timeout",
+    "thermal",
+    "icache",
+    "mixed",
+];
+
+/// A seeded, immutable schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed every event was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// Preset name the plan was derived from (empty for hand-built).
+    pub name: String,
+    /// The scheduled events, in insertion order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no events — the do-nothing plan the zero-cost
+    /// invariant is stated against.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builds a named preset plan for a chip of `clusters` ×
+    /// `groups_per_cluster` groups over a run expected to last about
+    /// `horizon_ns`.
+    ///
+    /// `severity` in `[0, 1]` scales event counts and magnitudes; 0
+    /// still schedules one minimal event (use the `none` preset for a
+    /// truly empty plan). All times and targets derive from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// An unknown preset name (see [`PRESETS`]) is a `String` error
+    /// naming the valid options.
+    pub fn preset(
+        name: &str,
+        seed: u64,
+        severity: f64,
+        clusters: usize,
+        groups_per_cluster: usize,
+        horizon_ns: f64,
+    ) -> Result<Self, String> {
+        if !PRESETS.contains(&name) {
+            return Err(format!(
+                "unknown fault plan '{name}' (expected one of: {})",
+                PRESETS.join(", ")
+            ));
+        }
+        let severity = severity.clamp(0.0, 1.0);
+        let mut rng = FaultRng::new(seed);
+        let horizon = horizon_ns.max(1.0);
+        let mut events = Vec::new();
+        let target = |rng: &mut FaultRng| {
+            let flat = rng.next_index((clusters * groups_per_cluster).max(1));
+            (
+                flat / groups_per_cluster.max(1),
+                flat % groups_per_cluster.max(1),
+            )
+        };
+        let count = 1 + (severity * 3.0) as usize;
+        match name {
+            "none" => {}
+            "core-failure" => {
+                // One permanent failure somewhere in the middle of the
+                // run; severity pulls it earlier (more work to remap).
+                let (c, g) = target(&mut rng);
+                let frac = rng.next_range(0.15, 0.75) * (1.0 - 0.5 * severity);
+                events.push(FaultEvent {
+                    at_ns: horizon * frac,
+                    cluster: c,
+                    group: g,
+                    kind: FaultKind::CoreFailure,
+                });
+            }
+            "ecc" => {
+                for i in 0..count {
+                    let (c, g) = target(&mut rng);
+                    // The last event escalates to uncorrectable at high
+                    // severity.
+                    let correctable = !(severity > 0.6 && i == count - 1);
+                    events.push(FaultEvent {
+                        at_ns: horizon * rng.next_range(0.05, 0.95),
+                        cluster: c,
+                        group: g,
+                        kind: FaultKind::EccError { correctable },
+                    });
+                }
+            }
+            "dma-stall" => {
+                for _ in 0..count {
+                    let (c, g) = target(&mut rng);
+                    events.push(FaultEvent {
+                        at_ns: horizon * rng.next_range(0.0, 0.8),
+                        cluster: c,
+                        group: g,
+                        kind: FaultKind::DmaStall {
+                            factor: 1.5 + 6.0 * severity * rng.next_f64(),
+                            duration_ns: horizon * rng.next_range(0.05, 0.1 + 0.4 * severity),
+                        },
+                    });
+                }
+            }
+            "dma-timeout" => {
+                let (c, g) = target(&mut rng);
+                events.push(FaultEvent {
+                    at_ns: horizon * rng.next_range(0.1, 0.9),
+                    cluster: c,
+                    group: g,
+                    kind: FaultKind::DmaTimeout,
+                });
+            }
+            "thermal" => {
+                for _ in 0..count {
+                    let (c, g) = target(&mut rng);
+                    events.push(FaultEvent {
+                        at_ns: horizon * rng.next_range(0.0, 0.7),
+                        cluster: c,
+                        group: g,
+                        kind: FaultKind::ThermalThrottle {
+                            duration_ns: horizon * rng.next_range(0.1, 0.2 + 0.6 * severity),
+                        },
+                    });
+                }
+            }
+            "icache" => {
+                for _ in 0..count {
+                    let (c, g) = target(&mut rng);
+                    events.push(FaultEvent {
+                        at_ns: horizon * rng.next_range(0.05, 0.95),
+                        cluster: c,
+                        group: g,
+                        kind: FaultKind::IcacheCorruption,
+                    });
+                }
+            }
+            "mixed" => {
+                for sub in ["ecc", "dma-stall", "thermal", "icache"] {
+                    let p = FaultPlan::preset(
+                        sub,
+                        rng.next_u64(),
+                        severity,
+                        clusters,
+                        groups_per_cluster,
+                        horizon_ns,
+                    )?;
+                    events.extend(p.events);
+                }
+            }
+            _ => unreachable!("preset membership checked above"),
+        }
+        Ok(FaultPlan {
+            seed,
+            name: name.to_string(),
+            events,
+        })
+    }
+}
+
+/// Per-event mutable state inside a session.
+#[derive(Debug, Clone)]
+struct EventState {
+    event: FaultEvent,
+    /// One-shot events flip this when they fire; window events flip it
+    /// on first touch (so injection is counted once per event).
+    consumed: bool,
+}
+
+/// What a window query observed: the combined effect plus how many
+/// events fired for the first time (for injection counting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowEffect {
+    /// Combined slowdown factor (1.0 = none).
+    pub factor: f64,
+    /// Events that fired for the first time in this query.
+    pub newly_fired: u32,
+}
+
+/// The mutable per-execution view of a plan: which events already
+/// fired, plus injection accounting. A session outlives individual
+/// simulator runs so that recovery (remap + rerun, retry) naturally
+/// proceeds *past* consumed one-shot events while permanent core
+/// failures keep holding.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    groups_per_cluster: usize,
+    /// Event state per flat group index.
+    per_group: Vec<Vec<EventState>>,
+    injected: u64,
+    stall_ns: f64,
+}
+
+impl FaultSession {
+    /// Builds a session for a chip of `clusters` × `groups_per_cluster`
+    /// groups. Events targeting groups outside the chip are dropped
+    /// (they could never fire).
+    pub fn new(plan: &FaultPlan, clusters: usize, groups_per_cluster: usize) -> Self {
+        let n = clusters * groups_per_cluster;
+        let mut per_group: Vec<Vec<EventState>> = vec![Vec::new(); n];
+        for e in &plan.events {
+            if e.cluster < clusters && e.group < groups_per_cluster {
+                per_group[e.cluster * groups_per_cluster + e.group].push(EventState {
+                    event: *e,
+                    consumed: false,
+                });
+            }
+        }
+        FaultSession {
+            groups_per_cluster,
+            per_group,
+            injected: 0,
+            stall_ns: 0.0,
+        }
+    }
+
+    /// Whether the session can never fire anything (the zero-cost
+    /// fast-path gate the simulator checks once per run).
+    pub fn is_empty(&self) -> bool {
+        self.per_group.iter().all(|g| g.is_empty())
+    }
+
+    fn cluster_of(&self, flat: usize) -> (usize, usize) {
+        (
+            flat / self.groups_per_cluster.max(1),
+            flat % self.groups_per_cluster.max(1),
+        )
+    }
+
+    fn events_mut(&mut self, flat: usize) -> &mut [EventState] {
+        match self.per_group.get_mut(flat) {
+            Some(v) => v.as_mut_slice(),
+            None => &mut [],
+        }
+    }
+
+    /// Checks whether a core failure interrupts work on `flat` that
+    /// ends at `end_ns`. Permanent: keeps answering once its time has
+    /// come, across runs of the same session.
+    pub fn core_failure(&mut self, flat: usize, end_ns: f64) -> Option<FaultError> {
+        let (cluster, group) = self.cluster_of(flat);
+        let mut hit = None;
+        for s in self.events_mut(flat) {
+            if matches!(s.event.kind, FaultKind::CoreFailure) && s.event.at_ns <= end_ns {
+                let first = !s.consumed;
+                s.consumed = true;
+                hit = Some((s.event.at_ns, first));
+                break;
+            }
+        }
+        let (at_ns, first) = hit?;
+        if first {
+            self.injected += 1;
+        }
+        Some(FaultError::CoreFailure {
+            cluster,
+            group,
+            at_ns,
+        })
+    }
+
+    /// Consumes an uncorrectable ECC event overlapping the launch
+    /// window `[start_ns, end_ns)` on `flat`, if any. One-shot: a
+    /// retried launch proceeds.
+    pub fn take_uncorrectable(
+        &mut self,
+        flat: usize,
+        start_ns: f64,
+        end_ns: f64,
+    ) -> Option<FaultError> {
+        let (cluster, group) = self.cluster_of(flat);
+        for s in self.events_mut(flat) {
+            if s.consumed {
+                continue;
+            }
+            if matches!(s.event.kind, FaultKind::EccError { correctable: false })
+                && s.event.at_ns < end_ns
+                && s.event.at_ns >= start_ns.min(end_ns)
+            {
+                s.consumed = true;
+                let at_ns = s.event.at_ns;
+                self.injected += 1;
+                return Some(FaultError::UncorrectableEcc {
+                    cluster,
+                    group,
+                    at_ns,
+                });
+            }
+        }
+        None
+    }
+
+    /// Consumes every correctable ECC event overlapping the launch
+    /// window `[start_ns, end_ns)` on `flat`, returning how many scrub
+    /// penalties the launch pays.
+    pub fn take_correctable_scrubs(&mut self, flat: usize, start_ns: f64, end_ns: f64) -> u32 {
+        let mut fired = 0;
+        for s in self.events_mut(flat) {
+            if s.consumed {
+                continue;
+            }
+            if matches!(s.event.kind, FaultKind::EccError { correctable: true })
+                && s.event.at_ns < end_ns
+                && s.event.at_ns >= start_ns.min(end_ns)
+            {
+                s.consumed = true;
+                fired += 1;
+            }
+        }
+        self.injected += u64::from(fired);
+        fired
+    }
+
+    /// Consumes a DMA timeout pending on `flat` at `now_ns` (the first
+    /// transfer at or after the event time aborts; one-shot).
+    pub fn take_dma_timeout(&mut self, flat: usize, now_ns: f64) -> Option<FaultError> {
+        let (cluster, group) = self.cluster_of(flat);
+        for s in self.events_mut(flat) {
+            if s.consumed {
+                continue;
+            }
+            if matches!(s.event.kind, FaultKind::DmaTimeout) && s.event.at_ns <= now_ns {
+                s.consumed = true;
+                let at_ns = s.event.at_ns;
+                self.injected += 1;
+                return Some(FaultError::DmaTimeout {
+                    cluster,
+                    group,
+                    at_ns,
+                });
+            }
+        }
+        None
+    }
+
+    /// The combined DMA slowdown on `flat` for a transfer starting at
+    /// `now_ns` (product of every active stall window's factor).
+    pub fn dma_slowdown(&mut self, flat: usize, now_ns: f64) -> WindowEffect {
+        let mut factor = 1.0;
+        let mut newly = 0;
+        for s in self.events_mut(flat) {
+            if let FaultKind::DmaStall {
+                factor: f,
+                duration_ns,
+            } = s.event.kind
+            {
+                if now_ns >= s.event.at_ns && now_ns < s.event.at_ns + duration_ns {
+                    factor *= f.max(1.0);
+                    if !s.consumed {
+                        s.consumed = true;
+                        newly += 1;
+                    }
+                }
+            }
+        }
+        self.injected += u64::from(newly);
+        WindowEffect {
+            factor,
+            newly_fired: newly,
+        }
+    }
+
+    /// Whether a thermal throttle window is active on `flat` at
+    /// `now_ns` (kernels launched inside run at the frequency floor).
+    pub fn thermal_throttle(&mut self, flat: usize, now_ns: f64) -> WindowEffect {
+        let mut active = false;
+        let mut newly = 0;
+        for s in self.events_mut(flat) {
+            if let FaultKind::ThermalThrottle { duration_ns } = s.event.kind {
+                if now_ns >= s.event.at_ns && now_ns < s.event.at_ns + duration_ns {
+                    active = true;
+                    if !s.consumed {
+                        s.consumed = true;
+                        newly += 1;
+                    }
+                }
+            }
+        }
+        self.injected += u64::from(newly);
+        WindowEffect {
+            factor: if active { f64::INFINITY } else { 1.0 },
+            newly_fired: newly,
+        }
+    }
+
+    /// Consumes an icache-corruption event due on `flat` at `now_ns`;
+    /// the caller invalidates the group's instruction cache when `true`.
+    pub fn take_icache_corruption(&mut self, flat: usize, now_ns: f64) -> bool {
+        for s in self.events_mut(flat) {
+            if s.consumed {
+                continue;
+            }
+            if matches!(s.event.kind, FaultKind::IcacheCorruption) && s.event.at_ns <= now_ns {
+                s.consumed = true;
+                self.injected += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records `ns` of injected stall time (the simulator calls this
+    /// when it lengthens a launch or transfer on the session's behalf).
+    pub fn add_stall_ns(&mut self, ns: f64) {
+        self.stall_ns += ns;
+    }
+
+    /// Events that have fired so far (across every run of the session).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total injected stall time so far, ns.
+    pub fn stall_ns(&self) -> f64 {
+        self.stall_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!(x > 0.0 && x <= 1.0);
+        }
+        let mut c = FaultRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64(), "nearby seeds diverge");
+        assert_eq!(FaultRng::new(0).next_u64(), FaultRng::new(0).next_u64());
+    }
+
+    #[test]
+    fn presets_are_seed_reproducible() {
+        for name in PRESETS {
+            let a = FaultPlan::preset(name, 42, 0.5, 2, 3, 1e6).unwrap();
+            let b = FaultPlan::preset(name, 42, 0.5, 2, 3, 1e6).unwrap();
+            assert_eq!(a, b, "{name} not reproducible");
+            if *name != "none" {
+                assert!(!a.is_empty(), "{name} scheduled nothing");
+                for e in &a.events {
+                    assert!(e.cluster < 2 && e.group < 3);
+                    assert!(e.at_ns >= 0.0 && e.at_ns <= 1e6);
+                }
+            }
+        }
+        let a = FaultPlan::preset("mixed", 1, 0.5, 2, 3, 1e6).unwrap();
+        let b = FaultPlan::preset("mixed", 2, 0.5, 2, 3, 1e6).unwrap();
+        assert_ne!(a, b, "different seeds differ");
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let err = FaultPlan::preset("meteor-strike", 1, 0.5, 2, 3, 1e6).unwrap_err();
+        assert!(err.contains("meteor-strike"));
+        assert!(err.contains("core-failure"));
+    }
+
+    #[test]
+    fn empty_session_answers_nothing() {
+        let mut s = FaultSession::new(&FaultPlan::empty(), 2, 3);
+        assert!(s.is_empty());
+        assert!(s.core_failure(0, 1e9).is_none());
+        assert!(s.take_uncorrectable(0, 0.0, 1e9).is_none());
+        assert_eq!(s.take_correctable_scrubs(0, 0.0, 1e9), 0);
+        assert!(s.take_dma_timeout(0, 1e9).is_none());
+        assert_eq!(s.dma_slowdown(0, 0.0).factor, 1.0);
+        assert_eq!(s.thermal_throttle(0, 0.0).factor, 1.0);
+        assert!(!s.take_icache_corruption(0, 1e9));
+        assert_eq!(s.injected(), 0);
+    }
+
+    #[test]
+    fn core_failure_is_permanent_but_counted_once() {
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 100.0,
+                cluster: 0,
+                group: 1,
+                kind: FaultKind::CoreFailure,
+            }],
+        };
+        let mut s = FaultSession::new(&plan, 2, 3);
+        assert!(s.core_failure(1, 50.0).is_none(), "not yet due");
+        let e = s.core_failure(1, 150.0).unwrap();
+        assert!(e.is_permanent());
+        assert_eq!(e.location(), (0, 1));
+        assert_eq!(e.at_ns(), 100.0);
+        // Still failing on a later run of the same session…
+        assert!(s.core_failure(1, 1e9).is_some());
+        // …but other groups are unaffected, and injection counted once.
+        assert!(s.core_failure(0, 1e9).is_none());
+        assert_eq!(s.injected(), 1);
+    }
+
+    #[test]
+    fn transient_events_are_one_shot() {
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![
+                FaultEvent {
+                    at_ns: 10.0,
+                    cluster: 0,
+                    group: 0,
+                    kind: FaultKind::EccError { correctable: false },
+                },
+                FaultEvent {
+                    at_ns: 20.0,
+                    cluster: 0,
+                    group: 0,
+                    kind: FaultKind::DmaTimeout,
+                },
+                FaultEvent {
+                    at_ns: 30.0,
+                    cluster: 0,
+                    group: 0,
+                    kind: FaultKind::IcacheCorruption,
+                },
+            ],
+        };
+        let mut s = FaultSession::new(&plan, 1, 1);
+        assert!(s.take_uncorrectable(0, 0.0, 100.0).is_some());
+        assert!(s.take_uncorrectable(0, 0.0, 100.0).is_none(), "consumed");
+        assert!(s.take_dma_timeout(0, 100.0).is_some());
+        assert!(s.take_dma_timeout(0, 100.0).is_none());
+        assert!(s.take_icache_corruption(0, 100.0));
+        assert!(!s.take_icache_corruption(0, 100.0));
+        assert_eq!(s.injected(), 3);
+    }
+
+    #[test]
+    fn windows_only_apply_inside_their_interval() {
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![
+                FaultEvent {
+                    at_ns: 100.0,
+                    cluster: 0,
+                    group: 0,
+                    kind: FaultKind::DmaStall {
+                        factor: 3.0,
+                        duration_ns: 50.0,
+                    },
+                },
+                FaultEvent {
+                    at_ns: 100.0,
+                    cluster: 0,
+                    group: 0,
+                    kind: FaultKind::ThermalThrottle { duration_ns: 50.0 },
+                },
+            ],
+        };
+        let mut s = FaultSession::new(&plan, 1, 1);
+        assert_eq!(s.dma_slowdown(0, 99.0).factor, 1.0);
+        let hit = s.dma_slowdown(0, 120.0);
+        assert_eq!(hit.factor, 3.0);
+        assert_eq!(hit.newly_fired, 1);
+        // Second touch inside the window: active but not re-counted.
+        assert_eq!(s.dma_slowdown(0, 140.0).newly_fired, 0);
+        assert_eq!(s.dma_slowdown(0, 150.0).factor, 1.0, "window closed");
+        assert!(s.thermal_throttle(0, 120.0).factor.is_infinite());
+        assert_eq!(s.thermal_throttle(0, 160.0).factor, 1.0);
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn out_of_range_events_are_dropped() {
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 0.0,
+                cluster: 9,
+                group: 9,
+                kind: FaultKind::CoreFailure,
+            }],
+        };
+        let s = FaultSession::new(&plan, 2, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stall_accounting_accumulates() {
+        let mut s = FaultSession::new(&FaultPlan::empty(), 1, 1);
+        s.add_stall_ns(10.0);
+        s.add_stall_ns(5.0);
+        assert_eq!(s.stall_ns(), 15.0);
+    }
+
+    #[test]
+    fn error_display_names_the_location() {
+        let e = FaultError::UncorrectableEcc {
+            cluster: 1,
+            group: 2,
+            at_ns: 1234.0,
+        };
+        assert!(e.to_string().contains("1.2"));
+        assert!(e.to_string().contains("ECC"));
+        assert!(!e.is_permanent());
+    }
+
+    #[test]
+    fn fault_kind_labels() {
+        assert_eq!(FaultKind::CoreFailure.label(), "core-failure");
+        assert_eq!(
+            FaultKind::EccError { correctable: true }.label(),
+            "ecc-correctable"
+        );
+        assert_eq!(FaultKind::DmaTimeout.label(), "dma-timeout");
+    }
+}

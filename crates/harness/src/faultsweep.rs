@@ -1,0 +1,415 @@
+//! The model × fault-plan × severity sweep behind `topsexec faults`.
+//!
+//! Each grid point runs one model under a preset [`FaultPlan`] through
+//! the `dtu` recovery loop ([`dtu::run_resilient_with`]), compiling
+//! every placement — including the shrunken ones recovery remaps onto —
+//! through the shared [`SessionCache`]. The point's fault seed is
+//! derived from its *content key*, not its execution slot, so reports
+//! are byte-identical across `--jobs` settings; like
+//! [`crate::SweepReport`], the JSON carries no wall-clock or
+//! worker-count quantities.
+
+use crate::{CacheStats, ExperimentPlan, HarnessError, SessionCache, SweepModel};
+use dtu::faults::{FaultPlan, FaultSession};
+use dtu::{run_resilient_with, Accelerator, DtuError, RecoveryPolicy, SessionOptions};
+use dtu_compiler::Fnv1a;
+use dtu_sim::SimError;
+use dtu_telemetry::json::{array, escape, number, JsonObject};
+
+/// The measured outcome of one (model, fault plan, severity) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPoint {
+    /// Model name.
+    pub model: String,
+    /// Fault-plan preset name (see `dtu::faults::PRESETS`).
+    pub plan: String,
+    /// Severity in `[0, 1]` the plan was built at.
+    pub severity: f64,
+    /// Per-point fault seed (derived from the point's content key).
+    pub seed: u64,
+    /// Whether recovery delivered a report (false = the fault budget
+    /// or the chip ran out and the failure surfaced).
+    pub ok: bool,
+    /// Fault-free latency of the same session, ms.
+    pub baseline_ms: f64,
+    /// Latency of the run that finally succeeded, ms (0 when `!ok`).
+    pub latency_ms: f64,
+    /// `latency_ms / baseline_ms` (0 when `!ok`).
+    pub slowdown: f64,
+    /// Transient-fault retries recovery performed.
+    pub retries: u32,
+    /// Group remaps recovery performed.
+    pub remaps: u32,
+    /// Groups the workload ended on (0 when `!ok`).
+    pub final_groups: usize,
+    /// Fault events that actually fired.
+    pub faults_injected: u64,
+    /// Stall time injected by degradation windows, ns.
+    pub fault_stall_ns: f64,
+}
+
+/// The outcome of a fault sweep: points in grid order plus the cache
+/// delta attributable to the sweep (recompiles after remap included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepReport {
+    /// Model names, in grid order.
+    pub models: Vec<String>,
+    /// Fault-plan preset names, in grid order.
+    pub plans: Vec<String>,
+    /// Severities, in grid order.
+    pub severities: Vec<f64>,
+    /// The sweep seed every point key mixes in.
+    pub seed: u64,
+    /// One point per (model, plan, severity), models-major.
+    pub points: Vec<FaultPoint>,
+    /// Cache hits/misses attributable to this sweep alone.
+    pub cache: CacheStats,
+}
+
+impl FaultSweepReport {
+    /// Fraction of grid points that completed (possibly degraded).
+    pub fn availability(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        self.points.iter().filter(|p| p.ok).count() as f64 / self.points.len() as f64
+    }
+
+    /// The full deterministic JSON report: no wall-clock, no worker
+    /// count, and — unlike [`crate::SweepReport::to_json`] — no cache
+    /// provenance either, so two runs of the same grid and seed are
+    /// byte-identical whatever `--jobs` was and however warm the
+    /// artifact cache is. (Cache stats stay available on
+    /// [`FaultSweepReport::cache`] and in [`FaultSweepReport::to_table`].)
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self.points.iter().map(point_json).collect();
+        JsonObject::new()
+            .raw(
+                "grid",
+                &JsonObject::new()
+                    .raw(
+                        "models",
+                        &array(
+                            &self
+                                .models
+                                .iter()
+                                .map(|m| format!("\"{}\"", escape(m)))
+                                .collect::<Vec<_>>(),
+                        ),
+                    )
+                    .raw(
+                        "plans",
+                        &array(
+                            &self
+                                .plans
+                                .iter()
+                                .map(|p| format!("\"{}\"", escape(p)))
+                                .collect::<Vec<_>>(),
+                        ),
+                    )
+                    .raw(
+                        "severities",
+                        &array(
+                            &self
+                                .severities
+                                .iter()
+                                .map(|s| number(*s))
+                                .collect::<Vec<_>>(),
+                        ),
+                    )
+                    .build(),
+            )
+            .int("seed", self.seed as i64)
+            .raw("availability", &number(self.availability()))
+            .raw("points", &array(&points))
+            .build()
+    }
+
+    /// A human-readable fixed-width table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<14} {:>4} {:>3} {:>12} {:>9} {:>7} {:>6} {:>6} {:>6}",
+            "model",
+            "plan",
+            "sev",
+            "ok",
+            "latency(ms)",
+            "slowdown",
+            "faults",
+            "retry",
+            "remap",
+            "groups"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<14} {:>4.2} {:>3} {:>12.3} {:>9.3} {:>7} {:>6} {:>6} {:>6}",
+                p.model,
+                p.plan,
+                p.severity,
+                if p.ok { "yes" } else { "no" },
+                p.latency_ms,
+                p.slowdown,
+                p.faults_injected,
+                p.retries,
+                p.remaps,
+                p.final_groups
+            );
+        }
+        let _ = writeln!(
+            out,
+            "availability: {:.1}% of {} points; cache: {} memory + {} disk hits, {} misses",
+            self.availability() * 100.0,
+            self.points.len(),
+            self.cache.memory_hits,
+            self.cache.disk_hits,
+            self.cache.misses
+        );
+        out
+    }
+}
+
+fn point_json(p: &FaultPoint) -> String {
+    JsonObject::new()
+        .string("model", &p.model)
+        .string("plan", &p.plan)
+        .raw("severity", &number(p.severity))
+        .int("seed", p.seed as i64)
+        .raw("ok", if p.ok { "true" } else { "false" })
+        .raw("baseline_ms", &number(p.baseline_ms))
+        .raw("latency_ms", &number(p.latency_ms))
+        .raw("slowdown", &number(p.slowdown))
+        .int("retries", i64::from(p.retries))
+        .int("remaps", i64::from(p.remaps))
+        .int("final_groups", p.final_groups as i64)
+        .int("faults_injected", p.faults_injected as i64)
+        .raw("fault_stall_ns", &number(p.fault_stall_ns))
+        .build()
+}
+
+/// Runs a model × fault-plan × severity grid (models-major order) on
+/// `jobs` workers, compiling every session — including post-remap
+/// recompiles — through `cache`.
+///
+/// Each point derives its fault seed from a content hash of
+/// (model, plan, severity, `seed`), so the schedule a point sees is a
+/// function of *what* it is, not *when* it ran: reports are
+/// byte-identical for any `jobs`.
+///
+/// # Errors
+///
+/// The first failing point's [`HarnessError`] in grid order. A fault
+/// that exhausts recovery is *not* an error — it lands in the report
+/// with `ok = false` — but unknown plan names, compile failures, and
+/// non-fault simulation errors fail the sweep loudly.
+pub fn run_fault_sweep(
+    accel: &Accelerator,
+    models: &[SweepModel<'_>],
+    plans: &[&str],
+    severities: &[f64],
+    seed: u64,
+    cache: &SessionCache,
+    jobs: usize,
+) -> Result<FaultSweepReport, HarnessError> {
+    if models.is_empty() || plans.is_empty() || severities.is_empty() {
+        return Err(HarnessError::Config(
+            "fault sweep needs at least one model, one plan, and one severity".into(),
+        ));
+    }
+    let stats_before = cache.stats();
+    let mut plan_points: ExperimentPlan<'_, FaultPoint> = ExperimentPlan::new();
+    for model in models {
+        for &plan_name in plans {
+            for &severity in severities {
+                let mut key = Fnv1a::new();
+                key.write_str("faults/");
+                key.write_str(model.name());
+                key.write_str("/");
+                key.write_str(plan_name);
+                key.write_u64(severity.to_bits());
+                key.write_u64(seed);
+                let point_key = key.finish();
+                // Execution-order independent: the point's fault seed
+                // is a function of its identity, not its plan slot.
+                let point_seed = seed ^ point_key;
+                let label = format!("{} {plan_name} s{severity:.2}", model.name());
+                plan_points.add_point(point_key, label, &[], move |_| {
+                    run_fault_point(accel, model, plan_name, severity, point_seed, cache)
+                });
+            }
+        }
+    }
+    let mut points = Vec::with_capacity(plan_points.len());
+    for result in plan_points.run(jobs) {
+        points.push(result?);
+    }
+    let stats_after = cache.stats();
+    Ok(FaultSweepReport {
+        models: models.iter().map(|m| m.name().to_string()).collect(),
+        plans: plans.iter().map(|p| p.to_string()).collect(),
+        severities: severities.to_vec(),
+        seed,
+        points,
+        cache: CacheStats {
+            memory_hits: stats_after.memory_hits - stats_before.memory_hits,
+            disk_hits: stats_after.disk_hits - stats_before.disk_hits,
+            misses: stats_after.misses - stats_before.misses,
+        },
+    })
+}
+
+fn run_fault_point(
+    accel: &Accelerator,
+    model: &SweepModel<'_>,
+    plan_name: &str,
+    severity: f64,
+    point_seed: u64,
+    cache: &SessionCache,
+) -> Result<FaultPoint, HarnessError> {
+    let graph = model.build(1);
+    let options = SessionOptions::default();
+    // The fault-free reference run; its latency also sizes the fault
+    // plan's horizon so events land inside the run.
+    let (baseline_session, _) = cache.compile_session(accel, &graph, &options)?;
+    let baseline = baseline_session.run().map_err(HarnessError::from)?;
+    let baseline_ms = baseline.latency_ms();
+
+    let chip = accel.config();
+    let fault_plan = FaultPlan::preset(
+        plan_name,
+        point_seed,
+        severity,
+        chip.clusters,
+        chip.groups_per_cluster,
+        baseline_ms * 1e6,
+    )
+    .map_err(HarnessError::Config)?;
+    let mut session = FaultSession::new(&fault_plan, chip.clusters, chip.groups_per_cluster);
+
+    let point = |ok, latency_ms: f64, retries, remaps, final_groups, injected, stall| FaultPoint {
+        model: model.name().to_string(),
+        plan: plan_name.to_string(),
+        severity,
+        seed: point_seed,
+        ok,
+        baseline_ms,
+        latency_ms,
+        slowdown: if ok && baseline_ms > 0.0 {
+            latency_ms / baseline_ms
+        } else {
+            0.0
+        },
+        retries,
+        remaps,
+        final_groups,
+        faults_injected: injected,
+        fault_stall_ns: stall,
+    };
+
+    let result = run_resilient_with(
+        accel,
+        &options,
+        &mut session,
+        &RecoveryPolicy::default(),
+        |opts| cache.compile_session(accel, &graph, opts).map(|(s, _)| s),
+    );
+    match result {
+        Ok(r) => {
+            let final_groups = r
+                .final_groups()
+                .unwrap_or_else(|| options.resolve(accel).0.len());
+            Ok(point(
+                true,
+                r.report.latency_ms(),
+                r.retries,
+                r.remaps.len() as u32,
+                final_groups,
+                r.faults_injected,
+                r.fault_stall_ns,
+            ))
+        }
+        // Recovery ran out of groups or budget: that is a *finding*,
+        // not a harness failure.
+        Err(DtuError::Sim(SimError::Fault(_))) => Ok(point(
+            false,
+            0.0,
+            0,
+            0,
+            0,
+            session.injected(),
+            session.stall_ns(),
+        )),
+        Err(other) => Err(other.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::{Graph, Op, TensorType};
+
+    fn toy_model() -> SweepModel<'static> {
+        SweepModel::new("toy", |batch| {
+            let mut g = Graph::new("toy");
+            let x = g.input("x", TensorType::fixed(&[batch, 8, 16, 16]));
+            let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+            g.mark_output(c);
+            g
+        })
+    }
+
+    #[test]
+    fn none_plan_matches_the_baseline_exactly() {
+        let accel = Accelerator::cloudblazer_i20();
+        let cache = SessionCache::memory_only();
+        let models = [toy_model()];
+        let r = run_fault_sweep(&accel, &models, &["none"], &[0.5], 7, &cache, 1).unwrap();
+        let p = &r.points[0];
+        assert!(p.ok);
+        assert_eq!(p.latency_ms, p.baseline_ms, "empty plan is invisible");
+        assert_eq!(p.slowdown, 1.0);
+        assert_eq!((p.retries, p.remaps, p.faults_injected), (0, 0, 0));
+        assert_eq!(r.availability(), 1.0);
+    }
+
+    #[test]
+    fn core_failure_remaps_and_degrades() {
+        let accel = Accelerator::cloudblazer_i20();
+        let cache = SessionCache::memory_only();
+        let models = [toy_model()];
+        let r = run_fault_sweep(&accel, &models, &["core-failure"], &[1.0], 7, &cache, 1).unwrap();
+        let p = &r.points[0];
+        assert!(p.ok, "one dead group out of six must not kill the run");
+        assert_eq!(p.remaps, 1);
+        assert_eq!(p.final_groups, 5);
+        assert!(p.faults_injected >= 1);
+        assert!(p.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_jobs() {
+        let accel = Accelerator::cloudblazer_i20();
+        let models = [toy_model()];
+        let plans = ["none", "ecc", "dma-stall", "thermal"];
+        let cache1 = SessionCache::memory_only();
+        let r1 = run_fault_sweep(&accel, &models, &plans, &[0.0, 1.0], 42, &cache1, 1).unwrap();
+        let cache8 = SessionCache::memory_only();
+        let r8 = run_fault_sweep(&accel, &models, &plans, &[0.0, 1.0], 42, &cache8, 8).unwrap();
+        assert_eq!(r1.to_json(), r8.to_json());
+        assert!(r1.to_json().contains("\"availability\""));
+    }
+
+    #[test]
+    fn unknown_plan_or_empty_grid_fails_loudly() {
+        let accel = Accelerator::cloudblazer_i20();
+        let cache = SessionCache::memory_only();
+        let models = [toy_model()];
+        assert!(run_fault_sweep(&accel, &models, &[], &[0.5], 1, &cache, 1).is_err());
+        assert!(run_fault_sweep(&accel, &[], &["none"], &[0.5], 1, &cache, 1).is_err());
+        let err = run_fault_sweep(&accel, &models, &["meteor"], &[0.5], 1, &cache, 1).unwrap_err();
+        assert!(err.to_string().contains("meteor"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Golden-figure comparison for CI regression gating.
+//!
+//! A golden file is a committed JSON report (figures, sweep points);
+//! the gate regenerates the report and compares it against the golden
+//! with [`compare_golden`]. Comparison is *structural with numeric
+//! tolerance*: both documents are tokenized into an alternating
+//! sequence of literal text chunks and numbers, the chunks must match
+//! byte-for-byte (so schema changes always fail), and the numbers must
+//! agree within a relative tolerance (so float-formatting noise does
+//! not, but real drift does). [`GOLDEN_RTOL`] (1e-9) is the tolerance
+//! every CI gate in this repository uses.
+
+/// The relative tolerance of the committed golden-figure gates.
+pub const GOLDEN_RTOL: f64 = 1e-9;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    /// A literal chunk: everything between numbers (keys, braces,
+    /// quotes, commas). Must match exactly.
+    Text(String),
+    /// A numeric literal, kept with its source spelling for messages.
+    Number(f64, String),
+}
+
+/// Splits a JSON document into literal chunks and numeric literals.
+///
+/// A number starts at a digit, or at `-` immediately followed by a
+/// digit, and extends over the JSON number grammar
+/// (`-?\d+(\.\d+)?([eE][+-]?\d+)?`). Digits inside quoted words (like
+/// a `"fig12"` key) tokenize as numbers too — harmlessly, since both
+/// sides split identically and equal integers compare equal.
+fn tokenize(doc: &str) -> Vec<Token> {
+    let bytes = doc.as_bytes();
+    let mut tokens = Vec::new();
+    let mut text = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let starts_number = bytes[i].is_ascii_digit()
+            || (bytes[i] == b'-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit());
+        if !starts_number {
+            text.push(bytes[i] as char);
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if bytes[i] == b'-' {
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+            let mut j = i + 1;
+            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j].is_ascii_digit() {
+                i = j;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+        }
+        let raw = &doc[start..i];
+        match raw.parse::<f64>() {
+            Ok(v) => {
+                if !text.is_empty() {
+                    tokens.push(Token::Text(std::mem::take(&mut text)));
+                }
+                tokens.push(Token::Number(v, raw.to_string()));
+            }
+            Err(_) => text.push_str(raw),
+        }
+    }
+    if !text.is_empty() {
+        tokens.push(Token::Text(text));
+    }
+    tokens
+}
+
+fn numbers_agree(a: f64, b: f64, rtol: f64) -> bool {
+    a == b || (a - b).abs() <= rtol * a.abs().max(b.abs())
+}
+
+/// Trims a literal chunk to something readable in an error message.
+fn excerpt(s: &str) -> String {
+    let compact: String = s.chars().take(60).collect();
+    if compact.len() < s.len() {
+        format!("{compact}…")
+    } else {
+        compact
+    }
+}
+
+/// Compares a regenerated JSON document against a golden one.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence: a structural
+/// (literal-chunk) mismatch, a number drifting beyond `rtol` relative
+/// tolerance, or one document ending before the other. `Ok(())` means
+/// the documents are figure-equivalent.
+pub fn compare_golden(golden: &str, actual: &str, rtol: f64) -> Result<(), String> {
+    let want = tokenize(golden);
+    let got = tokenize(actual);
+    let mut numbers_checked = 0usize;
+    for (idx, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+        match (w, g) {
+            (Token::Text(wt), Token::Text(gt)) => {
+                if wt != gt {
+                    return Err(format!(
+                        "structural mismatch at token {idx}: golden has '{}', regenerated has '{}'",
+                        excerpt(wt),
+                        excerpt(gt)
+                    ));
+                }
+            }
+            (Token::Number(wv, wr), Token::Number(gv, gr)) => {
+                numbers_checked += 1;
+                if !numbers_agree(*wv, *gv, rtol) {
+                    let rel = (wv - gv).abs() / wv.abs().max(gv.abs()).max(f64::MIN_POSITIVE);
+                    return Err(format!(
+                        "figure #{numbers_checked} drifted: golden {wr}, regenerated {gr} \
+                         (relative error {rel:.3e} > tolerance {rtol:.0e})"
+                    ));
+                }
+            }
+            (w, g) => {
+                let kind = |t: &Token| match t {
+                    Token::Text(_) => "text",
+                    Token::Number(..) => "number",
+                };
+                return Err(format!(
+                    "structural mismatch at token {idx}: golden has {}, regenerated has {}",
+                    kind(w),
+                    kind(g)
+                ));
+            }
+        }
+    }
+    if want.len() != got.len() {
+        return Err(format!(
+            "document length mismatch: golden has {} tokens, regenerated has {}",
+            want.len(),
+            got.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = r#"{"fig12":{"bw":1.6},"rows":[{"ms":0.125,"x":-3e-2}]}"#;
+        assert_eq!(compare_golden(doc, doc, GOLDEN_RTOL), Ok(()));
+    }
+
+    #[test]
+    fn formatting_noise_within_tolerance_passes() {
+        let golden = r#"{"v":0.3333333333333333}"#;
+        let actual = r#"{"v":0.33333333333333337}"#;
+        assert_eq!(compare_golden(golden, actual, GOLDEN_RTOL), Ok(()));
+    }
+
+    #[test]
+    fn numeric_drift_beyond_tolerance_fails_with_both_values() {
+        let golden = r#"{"latency_ms":1.000000000,"n":2}"#;
+        let actual = r#"{"latency_ms":1.000001000,"n":2}"#;
+        let err = compare_golden(golden, actual, GOLDEN_RTOL).unwrap_err();
+        assert!(err.contains("1.000000000"), "{err}");
+        assert!(err.contains("1.000001000"), "{err}");
+        assert!(err.contains("drifted"), "{err}");
+    }
+
+    #[test]
+    fn schema_changes_fail_structurally() {
+        let golden = r#"{"latency_ms":1.0}"#;
+        let actual = r#"{"latency_us":1.0}"#;
+        let err = compare_golden(golden, actual, GOLDEN_RTOL).unwrap_err();
+        assert!(err.contains("structural"), "{err}");
+        // An extra trailing field fails on length.
+        let longer = r#"{"latency_ms":1.0,"extra":2}"#;
+        let err = compare_golden(golden, longer, GOLDEN_RTOL).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn signs_exponents_and_digit_bearing_keys_tokenize_stably() {
+        let doc = r#"{"fig15":[-1.5e-3,2E+4,-0,7]}"#;
+        assert_eq!(compare_golden(doc, doc, GOLDEN_RTOL), Ok(()));
+        // A sign flip is caught even though |values| match.
+        let flipped = r#"{"fig15":[1.5e-3,2E+4,-0,7]}"#;
+        assert!(compare_golden(doc, flipped, GOLDEN_RTOL).is_err());
+    }
+
+    #[test]
+    fn zero_against_zero_passes() {
+        assert_eq!(compare_golden("[0,0.0]", "[0,0.0]", GOLDEN_RTOL), Ok(()));
+    }
+}

@@ -20,6 +20,14 @@
 //!   registry.
 //! * [`run_sweep`] — the model × batch grid runner behind
 //!   `topsexec sweep`, with deterministic JSON/table reports.
+//! * [`run_fault_sweep`] — the model × fault-plan × severity grid
+//!   behind `topsexec faults`: every point runs under seeded fault
+//!   injection through the `dtu` recovery loop, with per-point seeds
+//!   derived from content keys so reports are byte-identical across
+//!   `--jobs`.
+//! * [`compare_golden`] — the golden-figure comparator behind
+//!   `topsexec sweep --check-golden` and the CI regression gate:
+//!   structural JSON equality with relative tolerance on the numbers.
 //!
 //! # Example
 //!
@@ -40,10 +48,14 @@
 
 mod cache;
 mod error;
+mod faultsweep;
+mod golden;
 mod plan;
 mod sweep;
 
 pub use cache::{CacheOutcome, CacheStats, SessionCache, CACHE_FORMAT_VERSION};
 pub use error::HarnessError;
+pub use faultsweep::{run_fault_sweep, FaultPoint, FaultSweepReport};
+pub use golden::{compare_golden, GOLDEN_RTOL};
 pub use plan::{available_jobs, ExperimentPlan, PlanCtx, PointId};
 pub use sweep::{run_sweep, SweepModel, SweepPoint, SweepReport};

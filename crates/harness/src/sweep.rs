@@ -48,6 +48,11 @@ impl<'m> SweepModel<'m> {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// Builds the model's graph at `batch`.
+    pub fn build(&self, batch: usize) -> Graph {
+        (self.build)(batch)
+    }
 }
 
 /// The measured result of one (model, batch) grid point.

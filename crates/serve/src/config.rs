@@ -1,7 +1,8 @@
-//! Serving-run configuration: tenants, batching, SLA, and scaling
-//! policies.
+//! Serving-run configuration: tenants, batching, SLA, scaling, and
+//! fault-recovery policies.
 
 use crate::ArrivalProcess;
+use dtu_faults::{FaultPlan, FaultRng};
 
 /// Dynamic-batching policy for one tenant's queue.
 ///
@@ -182,6 +183,63 @@ impl TenantSpec {
     }
 }
 
+/// Bounded retry with exponential backoff for batches that hit a
+/// transient injected fault (uncorrectable ECC, DMA timeout).
+///
+/// A failed batch is re-attempted after a backoff that doubles per
+/// attempt, capped at [`RetryPolicy::max_backoff_ms`], with
+/// multiplicative jitter drawn from the run's [`FaultRng`] — the draw
+/// happens *only* when a retry is actually scheduled, so fault-free
+/// runs stay byte-identical whatever the policy says. Requests whose
+/// SLA deadline expires while the batch waits out a backoff are
+/// dropped at re-admission and counted as fault-dropped (distinct
+/// from admission sheds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per batch; a batch failing `max_attempts + 1`
+    /// times is dropped and its requests counted as fault-dropped.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, ms.
+    pub backoff_ms: f64,
+    /// Cap on the exponentially grown backoff, ms (before jitter).
+    pub max_backoff_ms: f64,
+    /// Jitter fraction in `[0, 1]`: the backoff is scaled by a factor
+    /// drawn uniformly from `[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0.5,
+            max_backoff_ms: 8.0,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retries disabled: the first transient fault drops the batch.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (1-based), ms:
+    /// `min(backoff_ms * 2^(attempt-1), max_backoff_ms)` scaled by a
+    /// jitter factor in `[1, 1 + jitter]` drawn from `rng`. Never
+    /// exceeds `max_backoff_ms * (1 + jitter)`.
+    pub fn backoff_for(&self, attempt: u32, rng: &mut FaultRng) -> f64 {
+        let doublings = attempt.saturating_sub(1).min(52);
+        let base = (self.backoff_ms.max(0.0) * f64::from(1u32 << doublings.min(31)))
+            .min(self.max_backoff_ms.max(0.0));
+        base * rng.next_range(1.0, 1.0 + self.jitter.clamp(0.0, 1.0))
+    }
+}
+
 /// Whole-run configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -196,6 +254,13 @@ pub struct ServeConfig {
     /// Record per-request outcomes in [`crate::ServeOutcome::requests`]
     /// (memory-proportional to traffic; used by the property tests).
     pub record_requests: bool,
+    /// Fault schedule injected into the run (times on the shared
+    /// nanosecond clock). The default empty plan is guaranteed
+    /// invisible: the engine never consults it and never draws from
+    /// the retry RNG, so the run is byte-identical to a fault-free one.
+    pub faults: FaultPlan,
+    /// Retry policy for batches hit by a transient injected fault.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -205,6 +270,8 @@ impl Default for ServeConfig {
             seed: 0x5EED,
             tenants: Vec::new(),
             record_requests: false,
+            faults: FaultPlan::empty(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -230,5 +297,32 @@ mod tests {
         assert_eq!(t.sla.max_queue_depth, usize::MAX);
         assert!(!t.scale.enabled);
         assert_eq!(t.initial_groups, 1);
+        let cfg = ServeConfig::default();
+        assert!(cfg.faults.is_empty(), "default plan injects nothing");
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_ms: 1.0,
+            max_backoff_ms: 4.0,
+            jitter: 0.5,
+        };
+        let mut rng = FaultRng::new(7);
+        for attempt in 1..=8u32 {
+            let b = p.backoff_for(attempt, &mut rng);
+            let base = (f64::from(1u32 << (attempt - 1).min(31))).min(4.0);
+            assert!(b >= base, "attempt {attempt}: {b} < base {base}");
+            assert!(b <= base * 1.5 + 1e-12, "attempt {attempt}: {b} over cap");
+        }
+        // Zero jitter is exact and draws nothing.
+        let exact = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(exact.backoff_for(1, &mut FaultRng::new(0)), 0.5);
+        assert_eq!(exact.backoff_for(2, &mut FaultRng::new(0)), 1.0);
+        assert_eq!(exact.backoff_for(30, &mut FaultRng::new(0)), 8.0);
     }
 }

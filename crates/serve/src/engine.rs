@@ -7,7 +7,7 @@
 //! configuration (seeded arrivals, deterministic tie-breaking), so two
 //! runs with the same seed are bit-identical.
 
-use crate::config::{ServeConfig, TenantSpec};
+use crate::config::{RetryPolicy, ServeConfig, TenantSpec};
 use crate::metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };
@@ -15,7 +15,8 @@ use crate::model::ServiceModel;
 use crate::stats::LatencyStats;
 use crate::{ArrivalGen, ServeError};
 use dtu_compiler::Placement;
-use dtu_sim::{ChipConfig, GroupId};
+use dtu_faults::{FaultError, FaultRng, FaultSession};
+use dtu_sim::{ChipConfig, GroupId, SimError};
 use dtu_telemetry::{clock::ms_to_ns, Layer, Recorder, Span, SpanKind};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -41,7 +42,22 @@ enum EvKind {
     BatchDeadline { tenant: usize, epoch: u64 },
     /// `tenant`'s in-flight batch completes.
     Complete { tenant: usize },
+    /// `tenant`'s failed batch retries after backoff.
+    Retry {
+        tenant: usize,
+        attempt: u32,
+        backoff_ms: f64,
+    },
 }
+
+/// Service-time slowdown applied while a thermal-throttle window pins
+/// the tenant's groups to the frequency floor (the i20's nominal
+/// 1400 MHz over its 1000 MHz floor).
+const THERMAL_SLOWDOWN: f64 = 1.4;
+
+/// Decorrelates the retry-jitter stream from the arrival streams that
+/// also derive from the run seed.
+const RETRY_RNG_SALT: u64 = 0xFA17_7E57_BACC_0FF5;
 
 #[derive(Debug, Clone, Copy)]
 struct Ev {
@@ -107,6 +123,11 @@ struct Tenant {
     groups_initial: usize,
     scale_ups: u64,
     scale_downs: u64,
+    /// Failed attempts of the current in-flight batch.
+    attempt: u32,
+    retries: u64,
+    fault_dropped: u64,
+    groups_lost: u64,
 }
 
 /// The engine: event heap plus per-tenant state plus the group pool.
@@ -121,6 +142,17 @@ struct Engine<'m, 's> {
     trace: ServingTrace,
     requests: Vec<RequestOutcome>,
     record_requests: bool,
+    /// Fault schedule; `None` for an empty plan, so fault-free runs
+    /// never touch any of the injection paths.
+    faults: Option<FaultSession>,
+    /// `dead[cluster][group]`: slots poisoned by core failures — never
+    /// free, whatever `slots` says.
+    dead: Vec<Vec<bool>>,
+    groups_per_cluster: usize,
+    retry: RetryPolicy,
+    /// Jitter source for retry backoff; drawn from only when a retry
+    /// is actually scheduled.
+    rng: FaultRng,
 }
 
 /// Runs one serving scenario to completion.
@@ -279,8 +311,21 @@ impl<'m, 's> Engine<'m, 's> {
                 groups_initial,
                 scale_ups: 0,
                 scale_downs: 0,
+                attempt: 0,
+                retries: 0,
+                fault_dropped: 0,
+                groups_lost: 0,
             });
         }
+        let faults = if cfg.faults.is_empty() {
+            None
+        } else {
+            Some(FaultSession::new(
+                &cfg.faults,
+                chip.clusters,
+                chip.groups_per_cluster,
+            ))
+        };
         Ok(Engine {
             heap: BinaryHeap::new(),
             seq: 0,
@@ -291,6 +336,11 @@ impl<'m, 's> Engine<'m, 's> {
             trace: ServingTrace::default(),
             requests: Vec::new(),
             record_requests: cfg.record_requests,
+            faults,
+            dead: vec![vec![false; chip.groups_per_cluster]; chip.clusters],
+            groups_per_cluster: chip.groups_per_cluster,
+            retry: cfg.retry,
+            rng: FaultRng::new(cfg.seed ^ RETRY_RNG_SALT),
         })
     }
 
@@ -320,6 +370,11 @@ impl<'m, 's> Engine<'m, 's> {
                 }
             }
             EvKind::Complete { tenant } => self.on_complete(ev.t, tenant)?,
+            EvKind::Retry {
+                tenant,
+                attempt,
+                backoff_ms,
+            } => self.on_retry(ev.t, tenant, attempt, backoff_ms)?,
         }
         Ok(())
     }
@@ -388,7 +443,7 @@ impl<'m, 's> Engine<'m, 's> {
     }
 
     fn dispatch(&mut self, t: f64, tenant: usize, count: usize) -> Result<(), ServeError> {
-        let (compiled_batch, placement, count) = {
+        {
             let ten = &mut self.tenants[tenant];
             let count = count
                 .min(ten.queue.len())
@@ -404,20 +459,70 @@ impl<'m, 's> Engine<'m, 's> {
                 ten.queue_delay_sum += t - req.arrival_ms;
                 ten.in_flight.push(req);
             }
+            ten.busy = true;
+            ten.epoch += 1;
+            ten.armed = false;
+            ten.attempt = 0;
+            *ten.batch_hist.entry(count).or_insert(0) += 1;
+        }
+        self.start_service(t, tenant)
+    }
+
+    /// Attempts to start service for `tenant`'s in-flight batch:
+    /// checks for permanently failed groups (remap + slot poisoning),
+    /// applies active degradation windows to the service time, and
+    /// either schedules completion or fails the attempt into the
+    /// retry/backoff path when a transient fault hits.
+    fn start_service(&mut self, t: f64, tenant: usize) -> Result<(), ServeError> {
+        if self.faults.is_some() {
+            self.lose_failed_groups(t, tenant)?;
+        }
+        let (compiled_batch, placement, count) = {
+            let ten = &self.tenants[tenant];
             (
-                ten.spec.batch.compiled_batch(count),
+                ten.spec.batch.compiled_batch(ten.in_flight.len()),
                 Placement::explicit(ten.groups.clone()),
-                count,
+                ten.in_flight.len(),
             )
         };
         let model_idx = self.tenants[tenant].spec.model;
-        let service_ms = self.models[model_idx].service_ms(compiled_batch, &placement)?;
-        let ten = &mut self.tenants[tenant];
-        ten.busy = true;
-        ten.epoch += 1;
-        ten.armed = false;
-        ten.busy_ms += service_ms;
-        *ten.batch_hist.entry(count).or_insert(0) += 1;
+        let mut service_ms = self.models[model_idx].service_ms(compiled_batch, &placement)?;
+        if let Some(fs) = self.faults.as_mut() {
+            let t_ns = ms_to_ns(t);
+            let gpc = self.groups_per_cluster;
+            // Degradation windows: the slowest group gates the batch.
+            let mut factor = 1.0f64;
+            for g in placement.groups() {
+                let flat = g.cluster * gpc + g.group;
+                factor = factor.max(fs.dma_slowdown(flat, t_ns).factor);
+                if fs.thermal_throttle(flat, t_ns).factor > 1.0 {
+                    factor = factor.max(THERMAL_SLOWDOWN);
+                }
+            }
+            if factor > 1.0 {
+                let extra = service_ms * (factor - 1.0);
+                fs.add_stall_ns(ms_to_ns(extra));
+                service_ms += extra;
+            }
+            // Transient faults fail the attempt before service starts.
+            let end_ns = ms_to_ns(t + service_ms);
+            let mut hit: Option<&'static str> = None;
+            for g in placement.groups() {
+                let flat = g.cluster * gpc + g.group;
+                if fs.take_uncorrectable(flat, t_ns, end_ns).is_some() {
+                    hit = Some("ecc-uncorrectable");
+                    break;
+                }
+                if fs.take_dma_timeout(flat, t_ns).is_some() {
+                    hit = Some("dma-timeout");
+                    break;
+                }
+            }
+            if let Some(label) = hit {
+                return self.fail_attempt(t, tenant, label);
+            }
+        }
+        self.tenants[tenant].busy_ms += service_ms;
         self.trace.events.push(ServeEvent {
             t_ns: ms_to_ns(t),
             tenant,
@@ -430,6 +535,134 @@ impl<'m, 's> Engine<'m, 's> {
         });
         self.push(t + service_ms, EvKind::Complete { tenant });
         Ok(())
+    }
+
+    /// Removes every group of `tenant` whose cores have failed by time
+    /// `t`, poisoning the freed slots so the autoscaler can never
+    /// reclaim them. Surfaces the fault when no groups survive.
+    fn lose_failed_groups(&mut self, t: f64, tenant: usize) -> Result<(), ServeError> {
+        let t_ns = ms_to_ns(t);
+        let gpc = self.groups_per_cluster;
+        let groups = self.tenants[tenant].groups.clone();
+        let mut lost: Vec<(GroupId, FaultError)> = Vec::new();
+        if let Some(fs) = self.faults.as_mut() {
+            for g in groups {
+                let flat = g.cluster * gpc + g.group;
+                if let Some(e) = fs.core_failure(flat, t_ns) {
+                    lost.push((g, e));
+                }
+            }
+        }
+        for (g, e) in lost {
+            let ten = &mut self.tenants[tenant];
+            ten.groups
+                .retain(|x| !(x.cluster == g.cluster && x.group == g.group));
+            ten.groups_lost += 1;
+            let remaining = ten.groups.len();
+            self.slots[g.cluster][g.group] = None;
+            self.dead[g.cluster][g.group] = true;
+            self.trace.events.push(ServeEvent {
+                t_ns: ms_to_ns(t),
+                tenant,
+                kind: ServeEventKind::GroupLost {
+                    cluster: g.cluster,
+                    group: g.group,
+                    remaining,
+                },
+            });
+            if remaining == 0 {
+                return Err(ServeError::Sim(SimError::Fault(e)));
+            }
+        }
+        Ok(())
+    }
+
+    /// A transient fault failed the current attempt: either schedule a
+    /// retry after jittered exponential backoff, or — with the budget
+    /// exhausted — drop the batch and move on to the next one.
+    fn fail_attempt(&mut self, t: f64, tenant: usize, label: &str) -> Result<(), ServeError> {
+        let attempt = {
+            let ten = &mut self.tenants[tenant];
+            ten.attempt += 1;
+            ten.attempt
+        };
+        self.trace.events.push(ServeEvent {
+            t_ns: ms_to_ns(t),
+            tenant,
+            kind: ServeEventKind::Fault {
+                label: label.to_string(),
+                attempt,
+            },
+        });
+        if attempt > self.retry.max_attempts {
+            let dropped = {
+                let ten = &mut self.tenants[tenant];
+                let d = ten.in_flight.len();
+                ten.fault_dropped += d as u64;
+                ten.in_flight.clear();
+                ten.busy = false;
+                ten.attempt = 0;
+                d
+            };
+            self.trace.events.push(ServeEvent {
+                t_ns: ms_to_ns(t),
+                tenant,
+                kind: ServeEventKind::FaultDrop { dropped },
+            });
+            return self.try_dispatch(t, tenant);
+        }
+        self.tenants[tenant].retries += 1;
+        let backoff_ms = self.retry.backoff_for(attempt, &mut self.rng);
+        self.push(
+            t + backoff_ms,
+            EvKind::Retry {
+                tenant,
+                attempt,
+                backoff_ms,
+            },
+        );
+        Ok(())
+    }
+
+    /// A retry fires: re-admit the surviving in-flight requests
+    /// (dropping those whose deadline expired during backoff) and
+    /// attempt service again.
+    fn on_retry(
+        &mut self,
+        t: f64,
+        tenant: usize,
+        attempt: u32,
+        backoff_ms: f64,
+    ) -> Result<(), ServeError> {
+        self.trace.events.push(ServeEvent {
+            t_ns: ms_to_ns(t),
+            tenant,
+            kind: ServeEventKind::Retry {
+                attempt,
+                backoff_ms,
+            },
+        });
+        let expired = {
+            let ten = &mut self.tenants[tenant];
+            let before = ten.in_flight.len();
+            ten.in_flight.retain(|r| r.deadline_ms >= t);
+            before - ten.in_flight.len()
+        };
+        if expired > 0 {
+            self.tenants[tenant].fault_dropped += expired as u64;
+            self.trace.events.push(ServeEvent {
+                t_ns: ms_to_ns(t),
+                tenant,
+                kind: ServeEventKind::FaultDrop { dropped: expired },
+            });
+        }
+        if self.tenants[tenant].in_flight.is_empty() {
+            let ten = &mut self.tenants[tenant];
+            ten.busy = false;
+            ten.attempt = 0;
+            return self.try_dispatch(t, tenant);
+        }
+        self.start_service(t, tenant)
     }
 
     fn on_complete(&mut self, t: f64, tenant: usize) -> Result<(), ServeError> {
@@ -452,6 +685,7 @@ impl<'m, 's> Engine<'m, 's> {
                 }
             }
             ten.busy = false;
+            ten.attempt = 0;
             let depth = ten.queue.len();
             self.trace.events.push(ServeEvent {
                 t_ns: ms_to_ns(t),
@@ -474,8 +708,8 @@ impl<'m, 's> Engine<'m, 's> {
         let cap = policy.max_groups.min(self.slots[cluster].len());
         if ten.delay_ema > policy.high_delay_ms && owned < cap {
             // Grab the first free slot in the tenant's cluster, if any.
-            if let Some(g) =
-                (0..self.slots[cluster].len()).find(|&g| self.slots[cluster][g].is_none())
+            if let Some(g) = (0..self.slots[cluster].len())
+                .find(|&g| self.slots[cluster][g].is_none() && !self.dead[cluster][g])
             {
                 self.slots[cluster][g] = Some(tenant);
                 let ten = &mut self.tenants[tenant];
@@ -514,6 +748,8 @@ impl<'m, 's> Engine<'m, 's> {
         let mut global_hist: BTreeMap<usize, u64> = BTreeMap::new();
         let mut tenants = Vec::with_capacity(self.tenants.len());
         let (mut offered, mut completed, mut shed, mut violations) = (0u64, 0u64, 0u64, 0u64);
+        let (mut retries, mut fault_dropped) = (0u64, 0u64);
+        let faults_injected = self.faults.as_ref().map_or(0, |f| f.injected());
         for ten in self.tenants {
             let mut lats = ten.latencies;
             all_latencies.extend_from_slice(&lats);
@@ -522,6 +758,8 @@ impl<'m, 's> Engine<'m, 's> {
             completed += stats.count;
             shed += ten.shed;
             violations += ten.violations;
+            retries += ten.retries;
+            fault_dropped += ten.fault_dropped;
             for (&size, &n) in &ten.batch_hist {
                 *global_hist.entry(size).or_insert(0) += n;
             }
@@ -532,6 +770,9 @@ impl<'m, 's> Engine<'m, 's> {
                 completed: stats.count,
                 shed: ten.shed,
                 violations: ten.violations,
+                retries: ten.retries,
+                fault_dropped: ten.fault_dropped,
+                groups_lost: ten.groups_lost,
                 mean_queue_delay_ms: if stats.count == 0 {
                     0.0
                 } else {
@@ -554,6 +795,9 @@ impl<'m, 's> Engine<'m, 's> {
                 completed,
                 shed,
                 violations,
+                retries,
+                fault_dropped,
+                faults_injected,
                 throughput_qps: completed as f64 / (horizon / 1e3),
                 latency,
                 batch_histogram: global_hist,
@@ -576,7 +820,7 @@ mod tests {
             duration_ms: 500.0,
             seed: 42,
             tenants: vec![TenantSpec::poisson("t0", 0, qps)],
-            record_requests: false,
+            ..ServeConfig::default()
         }
     }
 
@@ -691,7 +935,7 @@ mod tests {
             tenants: (0..6)
                 .map(|i| TenantSpec::poisson(format!("t{i}"), 0, 100.0))
                 .collect(),
-            record_requests: false,
+            ..ServeConfig::default()
         };
         let mut m = AnalyticModel::new("m", 0.5);
         let out = run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).unwrap();
@@ -719,6 +963,10 @@ mod tests {
                 ServeEventKind::Dispatch { .. } => "dispatch",
                 ServeEventKind::Complete { .. } => "complete",
                 ServeEventKind::Scale { .. } => "scale",
+                ServeEventKind::Fault { .. } => "fault",
+                ServeEventKind::Retry { .. } => "retry",
+                ServeEventKind::GroupLost { .. } => "group-lost",
+                ServeEventKind::FaultDrop { .. } => "fault-drop",
             })
             .collect();
         for k in ["arrival", "shed", "dispatch", "complete"] {
@@ -760,5 +1008,172 @@ mod tests {
         let nulled =
             run_serving_recorded(&cfg, &ChipConfig::dtu20(), &mut [&mut m3], &mut null).unwrap();
         assert_eq!(nulled.report, plain.report);
+    }
+
+    use crate::RetryPolicy;
+    use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+
+    fn fault_plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events,
+        }
+    }
+
+    fn fault_at(at_ms: f64, cluster: usize, group: usize, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            at_ns: ms_to_ns(at_ms),
+            cluster,
+            group,
+            kind,
+        }
+    }
+
+    fn has_kind(out: &ServeOutcome, want: &str) -> bool {
+        out.trace.events.iter().any(|e| {
+            matches!(
+                (&e.kind, want),
+                (ServeEventKind::Fault { .. }, "fault")
+                    | (ServeEventKind::Retry { .. }, "retry")
+                    | (ServeEventKind::GroupLost { .. }, "group-lost")
+                    | (ServeEventKind::FaultDrop { .. }, "fault-drop")
+            )
+        })
+    }
+
+    #[test]
+    fn empty_plan_and_retry_policy_are_invisible() {
+        let base = run(&one_tenant(200.0), 0.5);
+        let mut cfg = one_tenant(200.0);
+        cfg.faults = FaultPlan::empty();
+        cfg.retry = RetryPolicy {
+            max_attempts: 9,
+            backoff_ms: 7.0,
+            max_backoff_ms: 99.0,
+            jitter: 1.0,
+        };
+        let out = run(&cfg, 0.5);
+        assert_eq!(out.report, base.report, "no faults -> policy invisible");
+        assert_eq!(out.trace, base.trace);
+        assert_eq!(out.report.faults_injected, 0);
+    }
+
+    #[test]
+    fn transient_fault_retries_and_recovers() {
+        let mut cfg = one_tenant(100.0);
+        cfg.faults = fault_plan(vec![fault_at(10.0, 0, 0, FaultKind::DmaTimeout)]);
+        let out = run(&cfg, 0.5);
+        assert_eq!(out.report.retries, 1, "one timeout, one retry");
+        assert_eq!(out.report.fault_dropped, 0, "no deadline, nothing dropped");
+        assert_eq!(out.report.faults_injected, 1);
+        assert_eq!(out.report.offered, out.report.completed + out.report.shed);
+        assert!(has_kind(&out, "fault") && has_kind(&out, "retry"));
+    }
+
+    #[test]
+    fn retry_exhaustion_drops_the_batch() {
+        let mut cfg = one_tenant(100.0);
+        cfg.retry = RetryPolicy::none();
+        cfg.faults = fault_plan(vec![fault_at(10.0, 0, 0, FaultKind::DmaTimeout)]);
+        let out = run(&cfg, 0.5);
+        assert_eq!(out.report.retries, 0);
+        assert!(
+            out.report.fault_dropped >= 1,
+            "batch dropped on first fault"
+        );
+        assert_eq!(
+            out.report.offered,
+            out.report.completed + out.report.shed + out.report.fault_dropped,
+            "every request completes, is shed, or is fault-dropped"
+        );
+        assert!(has_kind(&out, "fault-drop") && !has_kind(&out, "retry"));
+    }
+
+    #[test]
+    fn deadline_expiry_during_backoff_drops_requests() {
+        let mut cfg = one_tenant(100.0);
+        cfg.tenants[0].sla = SlaPolicy::new(1.0, usize::MAX);
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 50.0,
+            max_backoff_ms: 50.0,
+            jitter: 0.0,
+        };
+        cfg.faults = fault_plan(vec![fault_at(10.0, 0, 0, FaultKind::DmaTimeout)]);
+        let out = run(&cfg, 0.5);
+        assert!(has_kind(&out, "retry"), "the batch retried after backoff");
+        assert!(
+            out.report.fault_dropped >= 1,
+            "its requests expired during the 50 ms backoff"
+        );
+        assert_eq!(
+            out.report.offered,
+            out.report.completed + out.report.shed + out.report.fault_dropped
+        );
+    }
+
+    #[test]
+    fn core_failure_loses_the_group_and_poisons_the_slot() {
+        let mut cfg = one_tenant(3000.0);
+        cfg.duration_ms = 300.0;
+        cfg.tenants[0].initial_groups = 2;
+        cfg.tenants[0].scale = ScalePolicy::elastic(2.0, 0.2, 3);
+        cfg.faults = fault_plan(vec![fault_at(1.0, 0, 1, FaultKind::CoreFailure)]);
+        let out = run(&cfg, 1.0);
+        let t = &out.report.tenants[0];
+        assert_eq!(t.groups_lost, 1);
+        assert!(out.report.completed > 0, "serving continues degraded");
+        assert!(has_kind(&out, "group-lost"));
+        // The dead slot is poisoned: the cluster has 3 groups, one is
+        // dead, so the autoscaler can never take the tenant past 2.
+        let max_to = out
+            .trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                ServeEventKind::Scale { to, .. } => Some(to),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(max_to <= 2, "poisoned slot must not be reclaimed");
+        assert!(t.groups_final <= 2);
+    }
+
+    #[test]
+    fn last_group_lost_surfaces_the_fault() {
+        let mut cfg = one_tenant(100.0);
+        cfg.faults = fault_plan(vec![fault_at(0.0, 0, 0, FaultKind::CoreFailure)]);
+        let mut m = AnalyticModel::new("m", 0.5);
+        let err = run_serving(&cfg, &ChipConfig::dtu20(), &mut [&mut m]).unwrap_err();
+        match err {
+            ServeError::Sim(dtu_sim::SimError::Fault(e)) => assert!(e.is_permanent()),
+            other => panic!("expected a fault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn degradation_window_slows_service() {
+        let base = run(&one_tenant(50.0), 0.5);
+        let mut cfg = one_tenant(50.0);
+        cfg.faults = fault_plan(vec![fault_at(
+            0.0,
+            0,
+            0,
+            FaultKind::DmaStall {
+                factor: 4.0,
+                duration_ns: ms_to_ns(500.0),
+            },
+        )]);
+        let out = run(&cfg, 0.5);
+        assert!(out.report.faults_injected >= 1);
+        assert!(
+            out.report.latency.p50_ms > 2.0 * base.report.latency.p50_ms,
+            "4x DMA stall must degrade latency: {} vs {}",
+            out.report.latency.p50_ms,
+            base.report.latency.p50_ms
+        );
+        assert_eq!(out.report.retries, 0, "windows degrade, they do not fail");
     }
 }

@@ -57,7 +57,11 @@ mod model;
 pub mod stats;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, ServeRng};
-pub use config::{BatchPolicy, ScalePolicy, ServeConfig, SlaPolicy, TenantSpec};
+pub use config::{BatchPolicy, RetryPolicy, ScalePolicy, ServeConfig, SlaPolicy, TenantSpec};
+/// Fault plans and sessions consumed by the engine's injection hooks
+/// (re-exported so callers can build [`ServeConfig::faults`] without a
+/// separate dependency).
+pub use dtu_faults as faults;
 pub use engine::{run_serving, run_serving_recorded, ServeOutcome};
 pub use metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,

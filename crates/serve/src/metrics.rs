@@ -25,6 +25,14 @@ pub struct TenantReport {
     pub shed: u64,
     /// Completions past their SLA deadline.
     pub violations: u64,
+    /// Batch retry attempts caused by transient injected faults.
+    pub retries: u64,
+    /// Requests dropped because of faults: their batch exhausted its
+    /// retry budget, or their deadline expired during retry backoff.
+    /// Distinct from `shed` (admission-control rejections).
+    pub fault_dropped: u64,
+    /// Processing groups permanently lost to core failures.
+    pub groups_lost: u64,
     /// End-to-end latency statistics.
     pub latency: LatencyStats,
     /// Mean queueing delay (dispatch − arrival), ms.
@@ -56,6 +64,13 @@ pub struct ServeReport {
     pub shed: u64,
     /// Total deadline violations.
     pub violations: u64,
+    /// Total batch retries caused by transient injected faults.
+    pub retries: u64,
+    /// Total requests dropped because of faults (see
+    /// [`TenantReport::fault_dropped`]).
+    pub fault_dropped: u64,
+    /// Fault events that actually fired during the run.
+    pub faults_injected: u64,
     /// Aggregate sustained throughput, queries/second.
     pub throughput_qps: f64,
     /// Global latency statistics over all completions.
@@ -89,6 +104,13 @@ impl fmt::Display for ServeReport {
             "serving: {} offered, {} completed, {} shed, {} SLA violations over {:.0} ms",
             self.offered, self.completed, self.shed, self.violations, self.horizon_ms
         )?;
+        if self.faults_injected > 0 || self.fault_dropped > 0 || self.retries > 0 {
+            writeln!(
+                f,
+                "  faults: {} injected, {} batch retries, {} requests fault-dropped",
+                self.faults_injected, self.retries, self.fault_dropped
+            )?;
+        }
         writeln!(
             f,
             "  {:.0} QPS sustained, {} (mean batch {:.2})",
@@ -117,6 +139,13 @@ impl fmt::Display for ServeReport {
                 t.scale_ups,
                 t.scale_downs
             )?;
+            if t.retries > 0 || t.fault_dropped > 0 || t.groups_lost > 0 {
+                writeln!(
+                    f,
+                    "    faults: {} retries, {} dropped, {} groups lost",
+                    t.retries, t.fault_dropped, t.groups_lost
+                )?;
+            }
         }
         Ok(())
     }
@@ -164,6 +193,36 @@ pub enum ServeEventKind {
         from: usize,
         /// Groups after.
         to: usize,
+    },
+    /// A transient injected fault hit the tenant's in-flight batch.
+    Fault {
+        /// Fault label (see `dtu_faults::FaultKind::label`).
+        label: String,
+        /// Failed attempt number for this batch (1-based).
+        attempt: u32,
+    },
+    /// A failed batch was scheduled for re-service after backoff.
+    Retry {
+        /// Retry number for this batch (1-based).
+        attempt: u32,
+        /// Backoff waited before the retry, ms.
+        backoff_ms: f64,
+    },
+    /// A core failure permanently removed one of the tenant's groups;
+    /// the slot is poisoned so the autoscaler cannot reclaim it.
+    GroupLost {
+        /// Cluster of the dead group.
+        cluster: usize,
+        /// Dead group within the cluster.
+        group: usize,
+        /// Groups the tenant still holds.
+        remaining: usize,
+    },
+    /// Requests were dropped because of faults (retry budget exhausted
+    /// or deadlines expired during backoff).
+    FaultDrop {
+        /// Requests dropped.
+        dropped: usize,
     },
 }
 
@@ -241,6 +300,29 @@ impl ServingTrace {
                     .string("kind", "scale")
                     .int("from", *from as i64)
                     .int("to", *to as i64),
+                ServeEventKind::Fault { label, attempt } => o
+                    .string("kind", "fault")
+                    .string("label", label)
+                    .int("attempt", i64::from(*attempt)),
+                ServeEventKind::Retry {
+                    attempt,
+                    backoff_ms,
+                } => o
+                    .string("kind", "retry")
+                    .int("attempt", i64::from(*attempt))
+                    .num("backoff_ms", *backoff_ms),
+                ServeEventKind::GroupLost {
+                    cluster,
+                    group,
+                    remaining,
+                } => o
+                    .string("kind", "group-lost")
+                    .int("cluster", *cluster as i64)
+                    .int("group", *group as i64)
+                    .int("remaining", *remaining as i64),
+                ServeEventKind::FaultDrop { dropped } => o
+                    .string("kind", "fault-drop")
+                    .int("dropped", *dropped as i64),
             };
             out.push_str(&o.build());
             out.push('\n');
@@ -292,6 +374,43 @@ impl ServingTrace {
                     Layer::Serving,
                     e.tenant as u32,
                     format!("scale {from}->{to}"),
+                    e.t_ns,
+                ),
+                ServeEventKind::Fault { label, attempt } => Span::new(
+                    SpanKind::Fault,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("fault {label} (attempt {attempt})"),
+                    e.t_ns,
+                    e.t_ns,
+                ),
+                ServeEventKind::Retry {
+                    attempt,
+                    backoff_ms,
+                } => Span::new(
+                    SpanKind::Fault,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("retry {attempt}"),
+                    e.t_ns - ms_to_ns(*backoff_ms),
+                    e.t_ns,
+                ),
+                ServeEventKind::GroupLost {
+                    cluster,
+                    group,
+                    remaining,
+                } => Span::new(
+                    SpanKind::Fault,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("group {cluster}.{group} lost ({remaining} left)"),
+                    e.t_ns,
+                    e.t_ns,
+                ),
+                ServeEventKind::FaultDrop { dropped } => Span::marker(
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("fault-drop {dropped}"),
                     e.t_ns,
                 ),
             })
@@ -446,6 +565,9 @@ mod tests {
             completed: 6,
             shed: 0,
             violations: 0,
+            retries: 0,
+            fault_dropped: 0,
+            faults_injected: 0,
             throughput_qps: 0.0,
             latency: LatencyStats::default(),
             batch_histogram: hist,

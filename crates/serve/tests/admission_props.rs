@@ -22,6 +22,8 @@ proptest! {
             duration_ms: 400.0,
             seed,
             record_requests: true,
+            faults: Default::default(),
+            retry: Default::default(),
             tenants: vec![TenantSpec {
                 name: "t".into(),
                 model: 0,

@@ -15,6 +15,8 @@ fn kitchen_sink(seed: u64) -> ServeConfig {
         duration_ms: 1500.0,
         seed,
         record_requests: true,
+        faults: Default::default(),
+        retry: Default::default(),
         tenants: vec![
             TenantSpec {
                 name: "vision".into(),
@@ -96,6 +98,8 @@ fn no_batching_single_tenant_matches_closed_form() {
         duration_ms: 5_000.0,
         seed: 0xD1_CE,
         record_requests: true,
+        faults: Default::default(),
+        retry: Default::default(),
         tenants: vec![TenantSpec::poisson("solo", 0, 500.0)],
     };
     let mut model = AnalyticModel::new("const", service_ms);
@@ -152,6 +156,8 @@ fn dynamic_batching_doubles_sustained_throughput() {
             duration_ms: 2_000.0,
             seed: 0xBA7C4,
             record_requests: false,
+            faults: Default::default(),
+            retry: Default::default(),
             tenants: vec![TenantSpec {
                 name: "hot".into(),
                 model: 0,

@@ -18,6 +18,7 @@ use crate::profile::Timeline;
 use crate::program::{Command, GroupId, Program};
 use crate::report::{EngineCounters, RunReport};
 use crate::sync::{SyncEngine, SyncError};
+use dtu_faults::{FaultError, FaultSession};
 use dtu_isa::KernelDescriptor;
 use dtu_power::{
     Cpme, DvfsGovernor, EnergyAccount, EnergyModel, Lpme, LpmeAction, PowerConfig, UnitId,
@@ -49,6 +50,9 @@ pub enum SimError {
     Dma(DmaError),
     /// A synchronisation operation failed.
     Sync(SyncError),
+    /// An injected fault aborted the run (see `dtu-faults`); recovery
+    /// layers inspect the payload to decide between retry and remap.
+    Fault(FaultError),
     /// The chip configuration is inconsistent.
     InvalidConfig(String),
 }
@@ -66,6 +70,7 @@ impl fmt::Display for SimError {
             }
             SimError::Dma(e) => write!(f, "dma: {e}"),
             SimError::Sync(e) => write!(f, "sync: {e}"),
+            SimError::Fault(e) => write!(f, "fault: {e}"),
             SimError::InvalidConfig(s) => write!(f, "invalid config: {s}"),
         }
     }
@@ -84,6 +89,16 @@ impl From<SyncError> for SimError {
         SimError::Sync(e)
     }
 }
+
+impl From<FaultError> for SimError {
+    fn from(e: FaultError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+/// Bytes scrubbed (read + write-back through an L2 port) per
+/// correctable ECC event.
+const ECC_SCRUB_BYTES: u64 = 64 * 1024;
 
 /// Per-stream scheduler state.
 #[derive(Debug)]
@@ -244,7 +259,46 @@ impl Chip {
     /// [`SimError::Deadlock`] when sync waits can never be satisfied; DMA
     /// and sync errors surface as their own variants.
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
-        self.run_inner(program, &mut NullRecorder)
+        self.run_inner(program, &mut NullRecorder, None)
+    }
+
+    /// Runs a program under a fault-injection session (see `dtu-faults`).
+    ///
+    /// The session is queried at every kernel launch and DMA transfer;
+    /// transient events lengthen the affected operation (DMA slowdown
+    /// windows, ECC scrub penalties, thermal throttle windows, icache
+    /// corruption) and hard events abort with [`SimError::Fault`]. The
+    /// session carries fired-event state **across** runs, so a recovery
+    /// layer that retries or remaps proceeds past consumed one-shot
+    /// events while permanent core failures keep holding.
+    ///
+    /// A session over an empty plan takes the exact unfaulted code
+    /// path, so the run is byte-identical to [`Chip::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Chip::run`], plus [`SimError::Fault`].
+    pub fn run_faulted(
+        &self,
+        program: &Program,
+        faults: &mut FaultSession,
+    ) -> Result<RunReport, SimError> {
+        self.run_inner(program, &mut NullRecorder, Some(faults))
+    }
+
+    /// [`Chip::run_faulted`] with a telemetry [`Recorder`] attached;
+    /// injected faults additionally appear as `SpanKind::Fault` spans.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Chip::run_faulted`].
+    pub fn run_faulted_recorded(
+        &self,
+        program: &Program,
+        faults: &mut FaultSession,
+        rec: &mut dyn Recorder,
+    ) -> Result<RunReport, SimError> {
+        self.run_inner(program, rec, Some(faults))
     }
 
     /// Runs a program with a telemetry [`Recorder`] attached. Every
@@ -261,7 +315,7 @@ impl Chip {
         program: &Program,
         rec: &mut dyn Recorder,
     ) -> Result<RunReport, SimError> {
-        self.run_inner(program, rec)
+        self.run_inner(program, rec, None)
     }
 
     /// Runs a program with the profiler attached, returning the report
@@ -272,14 +326,22 @@ impl Chip {
     /// As for [`Chip::run`].
     pub fn run_traced(&self, program: &Program) -> Result<(RunReport, Timeline), SimError> {
         let mut buf = TraceBuffer::new();
-        let report = self.run_inner(program, &mut buf)?;
+        let report = self.run_inner(program, &mut buf, None)?;
         Ok((
             report,
             Timeline::from_spans(buf.spans(), self.cfg.groups_per_cluster),
         ))
     }
 
-    fn run_inner(&self, program: &Program, rec: &mut dyn Recorder) -> Result<RunReport, SimError> {
+    fn run_inner(
+        &self,
+        program: &Program,
+        rec: &mut dyn Recorder,
+        faults: Option<&mut FaultSession>,
+    ) -> Result<RunReport, SimError> {
+        // Empty sessions are dropped up front so the no-fault path is
+        // bit-for-bit untouched (the zero-cost invariant of dtu-faults).
+        let mut faults = faults.filter(|f| !f.is_empty());
         // Validate placement.
         for s in &program.streams {
             if s.group.cluster >= self.cfg.clusters || s.group.group >= self.cfg.groups_per_cluster
@@ -419,7 +481,42 @@ impl Chip {
                             overlapped,
                         } => {
                             let g = streams[si].group_flat;
+                            let now = streams[si].clock_ns;
+                            if let Some(fs) = faults.as_deref_mut() {
+                                if let Some(err) = fs.take_dma_timeout(g, now) {
+                                    // The session keeps the injection count;
+                                    // this run's report never materialises.
+                                    return Err(SimError::Fault(err));
+                                }
+                            }
                             let completion = groups[g].dma.execute(descriptor, l3_sharers)?;
+                            let mut dma_ns = completion.duration_ns;
+                            if let Some(fs) = faults.as_deref_mut() {
+                                let eff = fs.dma_slowdown(g, now);
+                                if eff.factor > 1.0 {
+                                    let extra = completion.duration_ns * (eff.factor - 1.0);
+                                    fs.add_stall_ns(extra);
+                                    counters.faults_injected += u64::from(eff.newly_fired);
+                                    counters.fault_stall_ns += extra;
+                                    dma_ns += extra;
+                                    if rec.enabled() {
+                                        let mut cs = CounterSet::new();
+                                        cs.add(Counter::FaultsInjected, f64::from(eff.newly_fired));
+                                        cs.add(Counter::FaultStallNs, extra);
+                                        rec.record(
+                                            Span::new(
+                                                SpanKind::Fault,
+                                                Layer::Sim,
+                                                g as u32,
+                                                format!("dma-stall x{:.1}", eff.factor),
+                                                now,
+                                                now + extra,
+                                            )
+                                            .with_counters(cs),
+                                        );
+                                    }
+                                }
+                            }
                             counters.dma_transfers += descriptor.repeat as u64;
                             counters.dma_wire_bytes += completion.wire_bytes;
                             counters.dma_config_ns += completion.config_ns;
@@ -437,7 +534,6 @@ impl Chip {
                                     0
                                 },
                             );
-                            let now = streams[si].clock_ns;
                             if rec.enabled() {
                                 let mut cs = CounterSet::new();
                                 cs.add(Counter::DmaTransfers, descriptor.repeat as f64);
@@ -455,17 +551,17 @@ impl Chip {
                                             if *overlapped { " (bg)" } else { "" }
                                         ),
                                         now,
-                                        now + completion.duration_ns,
+                                        now + dma_ns,
                                     )
                                     .with_counters(cs),
                                 );
                             }
                             if *overlapped {
-                                let done = now + completion.duration_ns;
+                                let done = now + dma_ns;
                                 streams[si].staged_data_ready_ns =
                                     streams[si].staged_data_ready_ns.max(done);
                             } else {
-                                streams[si].clock_ns = now + completion.duration_ns;
+                                streams[si].clock_ns = now + dma_ns;
                             }
                             streams[si].pc += 1;
                             progressed = true;
@@ -479,6 +575,31 @@ impl Chip {
                             // precedes) compute.
                             let stage_pending_ns =
                                 (streams[si].staged_data_ready_ns - start).max(0.0);
+
+                            // Icache corruption drops the group's resident
+                            // code before the fetch: this launch (and any
+                            // other resident kernel) reloads from L3.
+                            if let Some(fs) = faults.as_deref_mut() {
+                                if fs.take_icache_corruption(g, start) {
+                                    groups[g].icache.invalidate();
+                                    counters.faults_injected += 1;
+                                    if rec.enabled() {
+                                        let mut cs = CounterSet::new();
+                                        cs.add(Counter::FaultsInjected, 1.0);
+                                        rec.record(
+                                            Span::new(
+                                                SpanKind::Fault,
+                                                Layer::Sim,
+                                                g as u32,
+                                                "icache-corruption".to_string(),
+                                                start,
+                                                start,
+                                            )
+                                            .with_counters(cs),
+                                        );
+                                    }
+                                }
+                            }
 
                             // Kernel code fetch.
                             let fetch =
@@ -502,7 +623,31 @@ impl Chip {
                             let power_stall_before = counters.power_stall_ns;
                             let dynamic_pj_before = energy.dynamic_pj;
 
-                            let freq = groups[g].governor.freq_mhz();
+                            let mut freq = groups[g].governor.freq_mhz();
+                            // A thermal throttle window pins the clock to
+                            // the DVFS floor regardless of the governor.
+                            if let Some(fs) = faults.as_deref_mut() {
+                                let th = fs.thermal_throttle(g, start);
+                                if th.factor > 1.0 {
+                                    freq = freq.min(self.power_cfg.f_min_mhz);
+                                    counters.faults_injected += u64::from(th.newly_fired);
+                                    if rec.enabled() {
+                                        let mut cs = CounterSet::new();
+                                        cs.add(Counter::FaultsInjected, f64::from(th.newly_fired));
+                                        rec.record(
+                                            Span::new(
+                                                SpanKind::Fault,
+                                                Layer::Sim,
+                                                g as u32,
+                                                format!("thermal-throttle @{freq}MHz"),
+                                                start,
+                                                start,
+                                            )
+                                            .with_counters(cs),
+                                        );
+                                    }
+                                }
+                            }
                             let (busy_ns, intra_stall_ns, l2_ns, l3_ns) =
                                 self.kernel_times(descriptor, &mut memory, freq, l3_sharers);
                             let work_ns = busy_ns + intra_stall_ns;
@@ -586,6 +731,46 @@ impl Chip {
                                     let _plan = groups[g].governor.step_with_slack(window, 0.03);
                                     groups[g].window_acc = WindowObservation::default();
                                     groups[g].window_elapsed_ns = 0.0;
+                                }
+                            }
+
+                            // --- fault injection on the launch window ---
+                            if let Some(fs) = faults.as_deref_mut() {
+                                let scrubs = fs.take_correctable_scrubs(
+                                    g,
+                                    start,
+                                    start + code_stall + duration,
+                                );
+                                if scrubs > 0 {
+                                    let scrub_ns =
+                                        memory.ecc_scrub_ns(ECC_SCRUB_BYTES) * f64::from(scrubs);
+                                    fs.add_stall_ns(scrub_ns);
+                                    counters.faults_injected += u64::from(scrubs);
+                                    counters.fault_stall_ns += scrub_ns;
+                                    if rec.enabled() {
+                                        let mut cs = CounterSet::new();
+                                        cs.add(Counter::FaultsInjected, f64::from(scrubs));
+                                        cs.add(Counter::FaultStallNs, scrub_ns);
+                                        rec.record(
+                                            Span::new(
+                                                SpanKind::Fault,
+                                                Layer::Sim,
+                                                g as u32,
+                                                format!("ecc-scrub x{scrubs}"),
+                                                start + code_stall + duration,
+                                                start + code_stall + duration + scrub_ns,
+                                            )
+                                            .with_counters(cs),
+                                        );
+                                    }
+                                    duration += scrub_ns;
+                                }
+                                let end_ns = start + code_stall + duration;
+                                if let Some(err) = fs.take_uncorrectable(g, start, end_ns) {
+                                    return Err(SimError::Fault(err));
+                                }
+                                if let Some(err) = fs.core_failure(g, end_ns) {
+                                    return Err(SimError::Fault(err));
                                 }
                             }
 
@@ -1004,6 +1189,181 @@ mod tests {
             .unwrap();
         assert!(r.mean_freq_mhz > 0.0);
         assert!(r.mean_freq_mhz <= chip.config().clock_mhz as f64);
+    }
+
+    #[test]
+    fn faulted_run_with_empty_plan_matches_plain_run() {
+        use dtu_faults::FaultPlan;
+        let chip = Chip::new(ChipConfig::dtu20());
+        let prog = single_stream_program(vec![
+            conv_kernel(1, 10_000_000, 100_000),
+            conv_kernel(2, 10_000_000, 100_000),
+        ]);
+        let plain = chip.run(&prog).unwrap();
+        let mut fs = FaultSession::new(&FaultPlan::empty(), 4, 3);
+        let faulted = chip.run_faulted(&prog, &mut fs).unwrap();
+        assert_eq!(plain, faulted, "empty plan must be invisible");
+        assert_eq!(fs.injected(), 0);
+    }
+
+    #[test]
+    fn core_failure_aborts_with_typed_error() {
+        use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+        let chip = Chip::new(ChipConfig::dtu20());
+        let prog = single_stream_program(vec![conv_kernel(1, 100_000_000, 1_000)]);
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 0.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::CoreFailure,
+            }],
+        };
+        let mut fs = FaultSession::new(&plan, 4, 3);
+        match chip.run_faulted(&prog, &mut fs) {
+            Err(SimError::Fault(e)) => {
+                assert!(e.is_permanent());
+                assert_eq!(e.location(), (0, 0));
+            }
+            other => panic!("expected fault abort, got {other:?}"),
+        }
+        // Permanent: a rerun of the same session still fails…
+        assert!(chip.run_faulted(&prog, &mut fs).is_err());
+        // …but a program on another group is untouched.
+        let mut p = Program::new("other");
+        let mut s = Stream::new(GroupId::new(1, 0));
+        s.push(conv_kernel(1, 1_000_000, 1_000));
+        p.add_stream(s);
+        assert!(chip.run_faulted(&p, &mut fs).is_ok());
+    }
+
+    #[test]
+    fn dma_stall_window_lengthens_transfers() {
+        use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+        let chip = Chip::new(ChipConfig::dtu20());
+        let dma = DmaDescriptor::copy(DmaPath::new(MemLevel::L3, MemLevel::L2), 64 << 20);
+        let prog = single_stream_program(vec![Command::Dma {
+            descriptor: dma,
+            overlapped: false,
+        }]);
+        let plain = chip.run(&prog).unwrap();
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 0.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::DmaStall {
+                    factor: 4.0,
+                    duration_ns: 1e12,
+                },
+            }],
+        };
+        let mut fs = FaultSession::new(&plan, 4, 3);
+        let slow = chip.run_faulted(&prog, &mut fs).unwrap();
+        assert!(slow.latency_ns > plain.latency_ns * 3.0);
+        assert_eq!(slow.counters.faults_injected, 1);
+        assert!(slow.counters.fault_stall_ns > 0.0);
+        assert!(fs.stall_ns() > 0.0);
+    }
+
+    #[test]
+    fn thermal_throttle_pins_frequency_to_floor() {
+        use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+        let mut cfg = ChipConfig::dtu20();
+        cfg.features.power_management = false; // keep the governor at f_max
+        let chip = Chip::new(cfg);
+        let prog = single_stream_program(vec![conv_kernel(1, 500_000_000, 1_000)]);
+        let plain = chip.run(&prog).unwrap();
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 0.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::ThermalThrottle { duration_ns: 1e12 },
+            }],
+        };
+        let mut fs = FaultSession::new(&plan, 4, 3);
+        let hot = chip.run_faulted(&prog, &mut fs).unwrap();
+        assert!(hot.mean_freq_mhz < plain.mean_freq_mhz);
+        assert_eq!(
+            hot.mean_freq_mhz as u32,
+            chip.power_config().f_min_mhz,
+            "throttled kernel runs at the DVFS floor"
+        );
+        assert!(hot.latency_ns > plain.latency_ns);
+    }
+
+    #[test]
+    fn ecc_faults_scrub_or_abort() {
+        use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+        let chip = Chip::new(ChipConfig::dtu20());
+        let prog = single_stream_program(vec![conv_kernel(1, 100_000_000, 1_000)]);
+        let plain = chip.run(&prog).unwrap();
+        let correctable = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 1.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::EccError { correctable: true },
+            }],
+        };
+        let mut fs = FaultSession::new(&correctable, 4, 3);
+        let scrubbed = chip.run_faulted(&prog, &mut fs).unwrap();
+        assert!(scrubbed.latency_ns > plain.latency_ns);
+        assert_eq!(scrubbed.counters.faults_injected, 1);
+
+        let fatal = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 1.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::EccError { correctable: false },
+            }],
+        };
+        let mut fs = FaultSession::new(&fatal, 4, 3);
+        match chip.run_faulted(&prog, &mut fs) {
+            Err(SimError::Fault(e)) => assert!(!e.is_permanent()),
+            other => panic!("expected ECC abort, got {other:?}"),
+        }
+        // One-shot: the retry proceeds.
+        assert!(chip.run_faulted(&prog, &mut fs).is_ok());
+    }
+
+    #[test]
+    fn icache_corruption_forces_code_reload() {
+        use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+        let chip = Chip::new(ChipConfig::dtu20());
+        // Same kernel twice: normally the second launch hits.
+        let prog = single_stream_program(vec![
+            conv_kernel(1, 10_000_000, 1_000),
+            conv_kernel(1, 10_000_000, 1_000),
+        ]);
+        let plain = chip.run(&prog).unwrap();
+        assert_eq!(plain.counters.icache_hits, 1);
+        let plan = FaultPlan {
+            seed: 0,
+            name: String::new(),
+            events: vec![FaultEvent {
+                at_ns: 1.0,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::IcacheCorruption,
+            }],
+        };
+        let mut fs = FaultSession::new(&plan, 4, 3);
+        let corrupted = chip.run_faulted(&prog, &mut fs).unwrap();
+        assert_eq!(corrupted.counters.icache_hits, 0, "residency wiped");
+        assert!(corrupted.counters.code_load_stall_ns >= plain.counters.code_load_stall_ns);
     }
 
     #[test]

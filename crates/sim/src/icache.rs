@@ -165,6 +165,13 @@ impl InstructionCache {
         FetchOutcome::Miss { load_ns: load }
     }
 
+    /// Drops every resident kernel (fault injection models corrupted
+    /// code with this: subsequent fetches reload from L3). Hit/miss
+    /// statistics are preserved.
+    pub fn invalidate(&mut self) {
+        self.resident.clear();
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -212,6 +212,14 @@ impl MemoryHierarchy {
         bytes as f64 / share
     }
 
+    /// Time in nanoseconds to scrub `bytes` after a correctable L2 ECC
+    /// error: the poisoned lines are re-read and re-written through one
+    /// L2 port while the cores wait.
+    pub fn ecc_scrub_ns(&mut self, bytes: u64) -> f64 {
+        // Read + write-back through a single port.
+        self.l2_transfer_ns(2 * bytes, 1)
+    }
+
     /// Total HBM traffic so far, in bytes.
     pub fn l3_traffic(&self) -> u64 {
         self.l3_traffic

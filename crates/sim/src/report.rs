@@ -37,6 +37,10 @@ pub struct EngineCounters {
     pub power_stall_ns: f64,
     /// Sync operations processed.
     pub sync_ops: u64,
+    /// Fault events injected during the run (0 without a fault plan).
+    pub faults_injected: u64,
+    /// Nanoseconds of stall added by injected faults.
+    pub fault_stall_ns: f64,
 }
 
 impl EngineCounters {
@@ -57,6 +61,8 @@ impl EngineCounters {
         self.sync_wait_ns += other.sync_wait_ns;
         self.power_stall_ns += other.power_stall_ns;
         self.sync_ops += other.sync_ops;
+        self.faults_injected += other.faults_injected;
+        self.fault_stall_ns += other.fault_stall_ns;
     }
 
     /// Converts the counters into the telemetry registry's typed
@@ -78,6 +84,8 @@ impl EngineCounters {
         set.add(Counter::SyncWaitNs, self.sync_wait_ns);
         set.add(Counter::PowerStallNs, self.power_stall_ns);
         set.add(Counter::SyncOps, self.sync_ops as f64);
+        set.add(Counter::FaultsInjected, self.faults_injected as f64);
+        set.add(Counter::FaultStallNs, self.fault_stall_ns);
         set
     }
 

@@ -200,6 +200,39 @@ impl OpRecord {
     }
 }
 
+/// Fault-degradation totals for one run, summed across all operator
+/// segments (see the `dtu-faults` crate for the injection side).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Degradation {
+    /// Fault events injected over the run.
+    pub faults_injected: f64,
+    /// Stall time the injected faults added, ns.
+    pub fault_stall_ns: f64,
+    /// Retries performed by recovery layers.
+    pub fault_retries: f64,
+    /// Resource-group remaps after permanent core failures.
+    pub group_remaps: f64,
+}
+
+impl Degradation {
+    /// True when the run saw no fault activity at all.
+    pub fn is_zero(&self) -> bool {
+        self.faults_injected == 0.0
+            && self.fault_stall_ns == 0.0
+            && self.fault_retries == 0.0
+            && self.group_remaps == 0.0
+    }
+
+    /// Fault stall as a fraction of the given end-to-end latency.
+    pub fn stall_fraction(&self, total_ns: f64) -> f64 {
+        if total_ns > 0.0 {
+            self.fault_stall_ns / total_ns
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The per-operator attribution report for one chip run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttributionReport {
@@ -342,6 +375,18 @@ impl AttributionReport {
             .collect()
     }
 
+    /// Fault-degradation totals summed over all operator segments.
+    pub fn degradation(&self) -> Degradation {
+        let mut d = Degradation::default();
+        for o in &self.ops {
+            d.faults_injected += o.counters.get(Counter::FaultsInjected);
+            d.fault_stall_ns += o.counters.get(Counter::FaultStallNs);
+            d.fault_retries += o.counters.get(Counter::FaultRetries);
+            d.group_remaps += o.counters.get(Counter::GroupRemaps);
+        }
+        d
+    }
+
     /// Renders the report as an aligned text table.
     pub fn to_table(&self) -> String {
         use std::fmt::Write;
@@ -396,6 +441,18 @@ impl AttributionReport {
                 0.0
             }
         );
+        let d = self.degradation();
+        if !d.is_zero() {
+            let _ = writeln!(
+                out,
+                "degradation: {:.0} faults, {:.0} ns stall ({:.1}%), {:.0} retries, {:.0} remaps",
+                d.faults_injected,
+                d.fault_stall_ns,
+                100.0 * d.stall_fraction(self.total_ns),
+                d.fault_retries,
+                d.group_remaps
+            );
+        }
         out
     }
 
@@ -469,10 +526,18 @@ impl AttributionReport {
                     .build()
             })
             .collect();
+        let d = self.degradation();
+        let degradation = JsonObject::new()
+            .num("faults_injected", d.faults_injected)
+            .num("fault_stall_ns", d.fault_stall_ns)
+            .num("fault_retries", d.fault_retries)
+            .num("group_remaps", d.group_remaps)
+            .build();
         JsonObject::new()
             .num("total_ns", self.total_ns)
             .num("attributed_ns", self.attributed_ns())
             .num("machine_balance", self.machine.balance())
+            .raw("degradation", &degradation)
             .raw("operators", &array(&ops))
             .build()
     }

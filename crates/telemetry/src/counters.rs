@@ -91,11 +91,19 @@ pub enum Counter {
     SessionCacheHits,
     /// Compiled-session cache lookups that compiled a fresh program.
     SessionCacheMisses,
+    /// Fault events injected by a fault plan (ECC, DMA, thermal, …).
+    FaultsInjected,
+    /// Stall time added by injected faults (scrubs, DMA slowdowns).
+    FaultStallNs,
+    /// Request/launch retries performed by recovery layers.
+    FaultRetries,
+    /// Resource-group remaps after permanent core failures.
+    GroupRemaps,
 }
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 28] = [
         Counter::KernelLaunches,
         Counter::Macs,
         Counter::VectorOps,
@@ -120,6 +128,10 @@ impl Counter {
         Counter::ActiveTimeNs,
         Counter::SessionCacheHits,
         Counter::SessionCacheMisses,
+        Counter::FaultsInjected,
+        Counter::FaultStallNs,
+        Counter::FaultRetries,
+        Counter::GroupRemaps,
     ];
 
     /// Stable metric base name (snake_case, no unit suffix).
@@ -149,6 +161,10 @@ impl Counter {
             Counter::ActiveTimeNs => "active_time",
             Counter::SessionCacheHits => "session_cache_hits",
             Counter::SessionCacheMisses => "session_cache_misses",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultStallNs => "fault_stall",
+            Counter::FaultRetries => "fault_retries",
+            Counter::GroupRemaps => "group_remaps",
         }
     }
 
@@ -164,8 +180,12 @@ impl Counter {
             | Counter::IcacheMisses
             | Counter::SyncOps
             | Counter::SessionCacheHits
-            | Counter::SessionCacheMisses => Unit::Count,
+            | Counter::SessionCacheMisses
+            | Counter::FaultsInjected
+            | Counter::FaultRetries
+            | Counter::GroupRemaps => Unit::Count,
             Counter::DmaConfigNs
+            | Counter::FaultStallNs
             | Counter::CodeLoadStallNs
             | Counter::ComputeBusyNs
             | Counter::MemoryStallNs
@@ -211,6 +231,10 @@ impl Counter {
             Counter::ActiveTimeNs => "Active time under the residency product",
             Counter::SessionCacheHits => "Compiled-session cache hits",
             Counter::SessionCacheMisses => "Compiled-session cache misses",
+            Counter::FaultsInjected => "Fault events injected by a fault plan",
+            Counter::FaultStallNs => "Stall time added by injected faults",
+            Counter::FaultRetries => "Retries performed by recovery layers",
+            Counter::GroupRemaps => "Resource-group remaps after core failures",
         }
     }
 }

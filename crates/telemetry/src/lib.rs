@@ -58,7 +58,7 @@ pub mod json;
 pub mod record;
 pub mod span;
 
-pub use attr::{AttributionReport, Bottleneck, MachineSpec, OpRecord};
+pub use attr::{AttributionReport, Bottleneck, Degradation, MachineSpec, OpRecord};
 pub use counters::{Counter, CounterSet, CounterSnapshot, Unit};
 pub use record::{NullRecorder, Recorder, TraceBuffer};
 pub use span::{Layer, Span, SpanKind};

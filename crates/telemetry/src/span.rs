@@ -85,6 +85,8 @@ pub enum SpanKind {
     CodeLoad,
     /// Synchronisation wait.
     SyncWait,
+    /// An injected fault's effect window (or instant).
+    Fault,
     /// An instantaneous event (shed, scale decision).
     Marker,
 }
@@ -102,6 +104,7 @@ impl SpanKind {
             SpanKind::Dma => "dma",
             SpanKind::CodeLoad => "code-load",
             SpanKind::SyncWait => "sync-wait",
+            SpanKind::Fault => "fault",
             SpanKind::Marker => "marker",
         }
     }

@@ -79,6 +79,8 @@ fn main() -> Result<(), DtuError> {
         duration_ms: 500.0,
         seed: 42,
         record_requests: false,
+        faults: Default::default(),
+        retry: Default::default(),
         tenants: vec![
             TenantSpec {
                 name: "vision".into(),

@@ -1,0 +1,84 @@
+#!/usr/bin/env sh
+# Perf smoke gate: times a warm 12-point sweep (resnet50/vgg16/bert x
+# batches 1,2,4,8) plus the resnet50 profile run, writes a
+# `{wall_ms, points, cache_hit_rate}` snapshot, and — in check mode —
+# fails on a >25% regression against the committed BENCH_4.json.
+#
+#   scripts/bench_smoke.sh            check against the committed
+#                                     baseline; snapshot goes to
+#                                     target/BENCH_4.json
+#   scripts/bench_smoke.sh --write    regenerate the committed baseline
+#                                     BENCH_4.json at the repo root
+#
+# Wall-clock baselines are machine-relative: after moving to faster or
+# slower CI hardware, intentionally regenerate with --write and commit
+# the diff (same flow as the golden figures, see docs/CLI.md).
+set -eu
+cd "$(dirname "$0")/.."
+mode="${1:-check}"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT INT TERM
+
+cargo build --release -p dtu-bench --bin topsexec >/dev/null
+bin=./target/release/topsexec
+
+# Cold pass populates the artifact cache so the timed pass runs warm.
+"$bin" sweep --models resnet50,vgg16,bert --batches 1,2,4,8 --jobs 4 \
+    --cache-dir "$work/cache" --format json >/dev/null 2>&1
+
+python3 - "$bin" "$work" "$mode" <<'PY'
+import json, subprocess, sys, time
+
+topsexec, work, mode = sys.argv[1:4]
+t0 = time.monotonic()
+sweep = subprocess.run(
+    [topsexec, "sweep", "--models", "resnet50,vgg16,bert",
+     "--batches", "1,2,4,8", "--jobs", "4",
+     "--cache-dir", f"{work}/cache", "--format", "json"],
+    check=True, capture_output=True, text=True)
+subprocess.run(
+    [topsexec, "profile", "resnet50",
+     "--trace-out", f"{work}/profile.trace.json"],
+    check=True, capture_output=True)
+wall_ms = (time.monotonic() - t0) * 1e3
+
+report = json.loads(sweep.stdout)
+cache = report["cache"]
+hits = cache["memory_hits"] + cache["disk_hits"]
+current = {
+    "wall_ms": round(wall_ms, 1),
+    "points": len(report["points"]),
+    "cache_hit_rate": round(hits / max(1, hits + cache["misses"]), 4),
+}
+payload = json.dumps(current, indent=2) + "\n"
+
+if mode == "--write":
+    with open("BENCH_4.json", "w") as f:
+        f.write(payload)
+    print(f"bench baseline written to BENCH_4.json: {current}")
+    sys.exit(0)
+
+with open("target/BENCH_4.json", "w") as f:
+    f.write(payload)
+base = json.load(open("BENCH_4.json"))
+print(f"bench smoke: current {current}")
+print(f"             baseline {base}")
+
+failures = []
+if current["points"] != base["points"]:
+    failures.append(
+        f"sweep point count changed: {base['points']} -> {current['points']}")
+if current["wall_ms"] > 1.25 * base["wall_ms"]:
+    failures.append(
+        f"warm sweep + profile wall time regressed >25%: "
+        f"{base['wall_ms']} -> {current['wall_ms']} ms")
+if current["cache_hit_rate"] < base["cache_hit_rate"] - 0.25:
+    failures.append(
+        f"cache hit rate regressed >25%: "
+        f"{base['cache_hit_rate']} -> {current['cache_hit_rate']}")
+if failures:
+    print("bench smoke FAILED:\n  " + "\n  ".join(failures))
+    print("if intentional, regenerate with scripts/bench_smoke.sh --write")
+    sys.exit(1)
+print("bench smoke OK (snapshot at target/BENCH_4.json)")
+PY

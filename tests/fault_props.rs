@@ -1,0 +1,168 @@
+//! Property tests for the fault-injection layer: an empty plan is
+//! zero-cost and invisible whatever its seed, and serving retry/backoff
+//! never exceeds the configured attempt cap, backoff ceiling, or the
+//! request deadline (expired requests are dropped, not retried).
+
+use dtu::faults::{FaultEvent, FaultKind, FaultPlan, FaultRng, FaultSession};
+use dtu::{Accelerator, Graph, Op, Session, SessionOptions, TensorType};
+use dtu_serve::{run_serving, AnalyticModel, RetryPolicy, ServeConfig, ServeEventKind, TenantSpec};
+use dtu_sim::ChipConfig;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn accel() -> &'static Accelerator {
+    static ACCEL: OnceLock<Accelerator> = OnceLock::new();
+    ACCEL.get_or_init(Accelerator::cloudblazer_i20)
+}
+
+fn toy_graph() -> Graph {
+    let mut g = Graph::new("toy");
+    let x = g.input("x", TensorType::fixed(&[1, 8, 16, 16]));
+    let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+    g.mark_output(c);
+    g
+}
+
+proptest! {
+    /// Any zero-event plan — whatever its seed or name — leaves the
+    /// simulator byte-identical to the fault-free path.
+    #[test]
+    fn zero_event_plan_is_invisible_to_the_simulator(seed in 0u64..u64::MAX) {
+        let accel = accel();
+        let chip = accel.config();
+        let graph = toy_graph();
+        let session = Session::compile(accel, &graph, SessionOptions::default()).unwrap();
+        let plain = session.run().unwrap();
+
+        let plan = FaultPlan { seed, name: "empty".into(), events: Vec::new() };
+        prop_assert!(plan.is_empty());
+        let mut faults = FaultSession::new(&plan, chip.clusters, chip.groups_per_cluster);
+        let faulted = session.run_faulted(&mut faults).unwrap();
+        prop_assert_eq!(plain, faulted);
+        prop_assert_eq!(faults.injected(), 0);
+        prop_assert_eq!(faults.stall_ns(), 0.0);
+    }
+
+    /// Same property one layer up: the serving engine with a zero-event
+    /// plan and an arbitrary retry policy reproduces the fault-free run
+    /// exactly, for any arrival seed.
+    #[test]
+    fn zero_event_plan_is_invisible_to_the_serving_engine(
+        seed in 0u64..1_000_000,
+        max_attempts in 0u32..8,
+        backoff_ms in 0.0f64..50.0,
+    ) {
+        let chip = ChipConfig::dtu20();
+        let base = ServeConfig {
+            duration_ms: 80.0,
+            seed,
+            tenants: vec![TenantSpec::poisson("web", 0, 300.0)],
+            ..Default::default()
+        };
+        let mut model = AnalyticModel::new("m", 0.4);
+        let plain = run_serving(&base, &chip, &mut [&mut model]).unwrap();
+
+        let cfg = ServeConfig {
+            faults: FaultPlan { seed, name: "empty".into(), events: Vec::new() },
+            retry: RetryPolicy { max_attempts, backoff_ms, max_backoff_ms: 99.0, jitter: 0.7 },
+            ..base
+        };
+        let mut model = AnalyticModel::new("m", 0.4);
+        let faulted = run_serving(&cfg, &chip, &mut [&mut model]).unwrap();
+        prop_assert_eq!(plain.report, faulted.report);
+        prop_assert_eq!(plain.trace.events, faulted.trace.events);
+    }
+
+    /// The exponential-backoff schedule is bounded: never negative,
+    /// never beyond the configured ceiling times the jitter factor,
+    /// for any attempt number and RNG state.
+    #[test]
+    fn backoff_never_exceeds_the_configured_ceiling(
+        attempt in 1u32..64,
+        backoff_ms in 0.0f64..20.0,
+        max_backoff_ms in 0.0f64..40.0,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let policy = RetryPolicy { max_attempts: 3, backoff_ms, max_backoff_ms, jitter };
+        let mut rng = FaultRng::new(seed);
+        let b = policy.backoff_for(attempt, &mut rng);
+        prop_assert!(b >= 0.0, "negative backoff {b}");
+        let ceiling = max_backoff_ms.max(0.0) * (1.0 + jitter);
+        prop_assert!(
+            b <= ceiling + 1e-9,
+            "backoff {b} exceeds ceiling {ceiling} (attempt {attempt})"
+        );
+        if backoff_ms == 0.0 {
+            prop_assert_eq!(b, 0.0);
+        }
+    }
+
+    /// Under injected transient faults the engine never retries a batch
+    /// beyond the attempt cap, never schedules a backoff beyond the
+    /// ceiling, and accounts for every request exactly once — dropped
+    /// requests (budget or deadline exhausted) never also complete.
+    #[test]
+    fn serving_retries_respect_cap_deadline_and_accounting(
+        seed in 0u64..1_000_000,
+        max_attempts in 0u32..4,
+        fault_times in prop::collection::vec(5.0f64..70.0, 1..5),
+    ) {
+        let chip = ChipConfig::dtu20();
+        let retry = RetryPolicy {
+            max_attempts,
+            backoff_ms: 1.0,
+            max_backoff_ms: 4.0,
+            jitter: 0.5,
+        };
+        let events: Vec<FaultEvent> = fault_times
+            .iter()
+            .map(|&ms| FaultEvent {
+                at_ns: ms * 1e6,
+                cluster: 0,
+                group: 0,
+                kind: FaultKind::EccError { correctable: false },
+            })
+            .collect();
+        let cfg = ServeConfig {
+            duration_ms: 80.0,
+            seed,
+            faults: FaultPlan { seed, name: "ecc".into(), events },
+            retry,
+            tenants: vec![TenantSpec::poisson("web", 0, 300.0)],
+            ..Default::default()
+        };
+        let mut model = AnalyticModel::new("m", 0.4);
+        let out = run_serving(&cfg, &chip, &mut [&mut model]).unwrap();
+        let r = &out.report;
+
+        for e in &out.trace.events {
+            match &e.kind {
+                ServeEventKind::Retry { attempt, backoff_ms } => {
+                    prop_assert!(
+                        *attempt <= max_attempts,
+                        "retry attempt {attempt} beyond cap {max_attempts}"
+                    );
+                    prop_assert!(
+                        *backoff_ms <= retry.max_backoff_ms * (1.0 + retry.jitter) + 1e-9,
+                        "backoff {backoff_ms} beyond ceiling"
+                    );
+                }
+                ServeEventKind::Fault { attempt, .. } => {
+                    // The failing attempt may be the one that breaks
+                    // the cap — that is what triggers the drop.
+                    prop_assert!(*attempt <= max_attempts + 1);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(
+            r.offered,
+            r.completed + r.shed + r.fault_dropped,
+            "every offered request must complete, shed, or fault-drop exactly once"
+        );
+        prop_assert_eq!(r.retries, out.trace.events.iter().filter(|e| {
+            matches!(e.kind, ServeEventKind::Retry { .. })
+        }).count() as u64);
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end fault-injection acceptance across sim, core, serve, and
+//! harness: byte-determinism of the `topsexec faults` flow, empty-plan
+//! transparency, and graceful degradation under every preset.
+
+use dtu::faults::{FaultPlan, FaultSession, PRESETS};
+use dtu::{
+    run_resilient, Accelerator, DtuError, Graph, Op, RecoveryPolicy, Session, SessionOptions,
+    TensorType,
+};
+use dtu_harness::{run_fault_sweep, SessionCache, SweepModel};
+use dtu_models::Model;
+use dtu_serve::{run_serving, AnalyticModel, RetryPolicy, ServeConfig, TenantSpec};
+use dtu_sim::{ChipConfig, SimError};
+
+fn toy_graph(batch: usize) -> Graph {
+    let mut g = Graph::new("toy");
+    let x = g.input("x", TensorType::fixed(&[batch, 8, 16, 16]));
+    let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
+    g.mark_output(c);
+    g
+}
+
+/// The acceptance command — `topsexec faults resnet50 --seed 7
+/// --plan core-failure` — must produce byte-identical JSON however
+/// many workers run it and however warm the cache is.
+#[test]
+fn acceptance_fault_sweep_is_byte_identical_across_runs() {
+    let accel = Accelerator::cloudblazer_i20();
+    let grid = [SweepModel::new("resnet50", |b| Model::Resnet50.build(b))];
+    let plans = ["core-failure"];
+    let severities = [0.5, 1.0];
+
+    let cold = SessionCache::memory_only();
+    let first = run_fault_sweep(&accel, &grid, &plans, &severities, 7, &cold, 1).unwrap();
+    // Second run: different worker count, *warm* cache (same handle).
+    let second = run_fault_sweep(&accel, &grid, &plans, &severities, 7, &cold, 4).unwrap();
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "fault report must be byte-identical across runs, jobs, and cache temperature"
+    );
+    assert!(first.points.iter().all(|p| p.ok));
+    assert!(first
+        .points
+        .iter()
+        .all(|p| p.remaps == 1 && p.final_groups == 5));
+}
+
+/// An empty plan must be invisible: the faulted entry points produce
+/// exactly the report of the plain ones.
+#[test]
+fn empty_plan_is_byte_identical_to_the_no_fault_path() {
+    let accel = Accelerator::cloudblazer_i20();
+    let graph = toy_graph(1);
+    let session = Session::compile(&accel, &graph, SessionOptions::default()).unwrap();
+    let plain = session.run().unwrap();
+
+    let chip = accel.config();
+    let mut faults = FaultSession::new(&FaultPlan::empty(), chip.clusters, chip.groups_per_cluster);
+    let faulted = session.run_faulted(&mut faults).unwrap();
+    assert_eq!(plain, faulted, "empty plan must not perturb the simulator");
+    assert_eq!(faults.injected(), 0);
+
+    // Same through the recovery loop: no retries, no remaps, same report.
+    let mut faults = FaultSession::new(&FaultPlan::empty(), chip.clusters, chip.groups_per_cluster);
+    let resilient = run_resilient(
+        &accel,
+        &graph,
+        &SessionOptions::default(),
+        &mut faults,
+        &RecoveryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(resilient.report, plain);
+    assert_eq!(resilient.retries, 0);
+    assert!(resilient.remaps.is_empty());
+}
+
+/// The serving engine with an empty plan and an aggressive retry
+/// policy must reproduce the fault-free run exactly — report and trace.
+#[test]
+fn serving_with_empty_plan_matches_the_fault_free_run() {
+    let base = ServeConfig {
+        duration_ms: 150.0,
+        seed: 7,
+        tenants: vec![TenantSpec::poisson("web", 0, 400.0)],
+        ..Default::default()
+    };
+    let mut model = AnalyticModel::new("m", 0.4);
+    let chip = ChipConfig::dtu20();
+    let plain = run_serving(&base, &chip, &mut [&mut model]).unwrap();
+
+    let wild = ServeConfig {
+        faults: FaultPlan::empty(),
+        retry: RetryPolicy {
+            max_attempts: 9,
+            backoff_ms: 123.0,
+            max_backoff_ms: 999.0,
+            jitter: 1.0,
+        },
+        ..base
+    };
+    let mut model = AnalyticModel::new("m", 0.4);
+    let faulted = run_serving(&wild, &chip, &mut [&mut model]).unwrap();
+    assert_eq!(plain.report, faulted.report);
+    assert_eq!(plain.trace.events, faulted.trace.events);
+}
+
+/// A permanent core failure must degrade, not kill: recovery remaps
+/// onto the survivors and still delivers a report.
+#[test]
+fn core_failure_degrades_gracefully_through_recovery() {
+    let accel = Accelerator::cloudblazer_i20();
+    let chip = accel.config();
+    let graph = toy_graph(1);
+    // Size the plan's horizon from a fault-free run so the failure
+    // lands inside the execution window (as `run_fault_sweep` does).
+    let baseline = Session::compile(&accel, &graph, SessionOptions::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let plan = FaultPlan::preset(
+        "core-failure",
+        7,
+        1.0,
+        chip.clusters,
+        chip.groups_per_cluster,
+        baseline.latency_ms() * 1e6,
+    )
+    .unwrap();
+    let mut faults = FaultSession::new(&plan, chip.clusters, chip.groups_per_cluster);
+    let r = run_resilient(
+        &accel,
+        &graph,
+        &SessionOptions::default(),
+        &mut faults,
+        &RecoveryPolicy::default(),
+    )
+    .unwrap();
+    assert!(r.degraded(), "a core failure must force a remap");
+    let total = chip.clusters * chip.groups_per_cluster;
+    assert!(r.final_groups().unwrap() < total);
+    assert!(r.report.latency_ms() > 0.0);
+}
+
+/// Every named preset builds a valid plan and either completes under
+/// recovery or surfaces a typed fault error — never a panic and never
+/// an unrelated error kind.
+#[test]
+fn every_preset_runs_to_a_typed_outcome() {
+    let accel = Accelerator::cloudblazer_i20();
+    let chip = accel.config();
+    let graph = toy_graph(1);
+    for &name in PRESETS {
+        let plan =
+            FaultPlan::preset(name, 7, 1.0, chip.clusters, chip.groups_per_cluster, 1e9).unwrap();
+        let mut faults = FaultSession::new(&plan, chip.clusters, chip.groups_per_cluster);
+        match run_resilient(
+            &accel,
+            &graph,
+            &SessionOptions::default(),
+            &mut faults,
+            &RecoveryPolicy::default(),
+        ) {
+            Ok(r) => assert!(r.report.latency_ms() > 0.0, "{name}: empty report"),
+            Err(DtuError::Sim(SimError::Fault(e))) => {
+                // Budget exhaustion is a legal outcome; it must carry
+                // a located, labelled fault.
+                let _ = e.is_permanent();
+            }
+            Err(other) => panic!("{name}: unexpected error kind {other}"),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Golden-figure regression: the committed `tests/golden/figures.json`
+//! must match a fresh regeneration of the fig. 12–15 data within the
+//! CI tolerance, and the comparator must demonstrably catch drift.
+//!
+//! Intentional changes: regenerate with
+//! `topsexec sweep --write-golden tests/golden/figures.json` and commit
+//! the diff (see docs/CLI.md).
+
+use dtu_harness::{compare_golden, SessionCache, GOLDEN_RTOL};
+
+const GOLDEN: &str = include_str!("golden/figures.json");
+
+#[test]
+fn committed_figures_match_regeneration() {
+    let cache = SessionCache::memory_only();
+    let regenerated = dtu_bench::figures_json(&cache, 4);
+    if let Err(e) = compare_golden(GOLDEN.trim_end(), &regenerated, GOLDEN_RTOL) {
+        panic!(
+            "fig. 12-15 drifted from tests/golden/figures.json: {e}\n\
+             if intentional, regenerate with `topsexec sweep --write-golden \
+             tests/golden/figures.json` and commit the diff"
+        );
+    }
+}
+
+#[test]
+fn comparator_catches_a_perturbed_figure() {
+    let golden = GOLDEN.trim_end();
+    // Bump the leading digit of the first fractional value — a pure
+    // numeric perturbation, structurally identical JSON.
+    let perturbed = golden.replacen("1.", "2.", 1);
+    assert_ne!(golden, perturbed, "golden must contain a fractional value");
+    let err = compare_golden(golden, &perturbed, GOLDEN_RTOL).unwrap_err();
+    assert!(err.contains("drifted"), "{err}");
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 gate: format, build, test, lint, and a profiling smoke run.
-# Run from the repo root.
+# Runnable from any directory; it changes to its own location first.
 set -eu
+cd "$(dirname "$0")"
 cargo fmt --all --check
 cargo build --release
 cargo build --release -p dtu-bench --bin topsexec
@@ -11,8 +12,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 # The telemetry pipeline end to end: `topsexec profile` must emit a
 # non-empty, valid-JSON Perfetto/Chrome trace.
+# Clean the scratch dir on normal exit *and* on interrupt/termination —
+# a bare EXIT trap leaks it when the shell is killed mid-run.
 trace_dir=$(mktemp -d)
-trap 'rm -rf "$trace_dir"' EXIT
+trap 'rm -rf "$trace_dir"' EXIT INT TERM
 ./target/release/topsexec profile resnet50 --trace-out "$trace_dir/trace.json" > /dev/null
 python3 - "$trace_dir/trace.json" <<'PY'
 import json, sys
