@@ -15,16 +15,24 @@
 //! topsexec sweep --check-golden tests/golden/figures.json   # CI figure gate
 //! topsexec faults resnet50 --seed 7 --plan core-failure     # fault injection
 //! topsexec faults --models resnet50,bert --plans none,ecc,thermal --severities 0.5,1
+//! topsexec top --once                  # live serving dashboard (windowed QPS/p50/p99/burn)
+//! topsexec top --models resnet50,bert --plan core-failure --severity 1
+//! topsexec slo resnet50 --seed 7       # SLO compliance report (byte-deterministic JSON)
+//! topsexec slo resnet50 --plan core-failure --flight-out blackbox.json
 //! ```
 
 use dtu::serve::{
-    run_serving, run_serving_recorded, ArrivalProcess, BatchPolicy, CompiledModel, ScalePolicy,
-    ServeConfig, ServiceModel, SlaPolicy, TenantSpec,
+    faults::FaultPlan, run_serving, run_serving_live, run_serving_recorded, ArrivalProcess,
+    BatchPolicy, CompiledModel, LiveConfig, LiveMonitor, ScalePolicy, ServeConfig, ServeError,
+    ServiceModel, SlaPolicy, TenantSpec,
 };
-use dtu::telemetry::{AttributionReport, Recorder, TraceBuffer};
+use dtu::telemetry::{AttributionReport, Recorder, SloSpec, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
 use dtu_graph::parse_model;
-use dtu_harness::{available_jobs, run_fault_sweep, run_sweep, SessionCache, SweepModel};
+use dtu_harness::{
+    available_jobs, run_fault_sweep, run_slo_scenario, run_slo_sweep, run_sweep, slo_point_seed,
+    SessionCache, SloScenario, SweepModel,
+};
 use dtu_models::Model;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,6 +54,8 @@ fn usage() -> &'static str {
      \x20      topsexec serve [serve options]\n\
      \x20      topsexec sweep [sweep options]\n\
      \x20      topsexec faults [<name>] [fault options]\n\
+     \x20      topsexec top [top options]\n\
+     \x20      topsexec slo [<name>] [slo options]\n\
      \n\
      options:\n\
        --model <name>           one of: yolov3 centernet retinaface vgg16\n\
@@ -112,6 +122,34 @@ fn usage() -> &'static str {
        --jobs <n>               worker threads (default: all cores)\n\
        --format <json|table>    report format on stdout (default json);\n\
                                 byte-identical across runs and --jobs\n\
+       --cache-dir / --no-disk-cache as for sweep\n\
+     \n\
+     top options (live serving dashboard: windowed QPS/p50/p99/burn-rate\n\
+     per tenant, refreshed per simulated second):\n\
+       --models / --qps / --duration / --max-batch / --batch-timeout /\n\
+       --deadline / --queue-depth / --bursty / --no-autoscale / --seed /\n\
+       --chip / --cache-dir / --no-disk-cache as for serve\n\
+       --plan <name>            inject a fault-plan preset (default none)\n\
+       --severity <s>           fault severity in [0,1] (default 1)\n\
+       --once                   print the final dashboard once and exit\n\
+                                (deterministic stdout; for scripts and CI)\n\
+       --span <s>               trailing window the rows aggregate over,\n\
+                                simulated seconds (default 5)\n\
+       --refresh-ms <n>         wall-clock delay between frames (default 150)\n\
+     \n\
+     slo options (SLO compliance report over a calibrated serving run):\n\
+       <name> / --models <a,..> model name(s) to grade (default resnet50)\n\
+       --plan / --plans <a,..>  fault-plan presets to grade (default none)\n\
+       --severity <s,..>        severities in [0,1] (--severities also\n\
+                                accepted; default 1)\n\
+       --seed <n>               sweep seed, mixed into every point (default 7)\n\
+       --chip <i20|i10>         accelerator generation (default i20)\n\
+       --jobs <n>               worker threads (default: all cores)\n\
+       --format <json|table>    report format on stdout (default json);\n\
+                                byte-identical across runs, --jobs, and\n\
+                                cache temperature\n\
+       --flight-out <file.json> write the first grid point's flight-recorder\n\
+                                dump as a Perfetto/Chrome trace\n\
        --cache-dir / --no-disk-cache as for sweep"
 }
 
@@ -796,6 +834,533 @@ fn run_faults() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct TopArgs {
+    models: Vec<String>,
+    qps: f64,
+    duration_ms: f64,
+    max_batch: usize,
+    batch_timeout_ms: f64,
+    deadline_ms: f64,
+    queue_depth: usize,
+    bursty: bool,
+    autoscale: bool,
+    seed: u64,
+    chip: String,
+    plan: String,
+    severity: f64,
+    once: bool,
+    span_s: f64,
+    refresh_ms: u64,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+fn parse_top_args() -> Result<TopArgs, String> {
+    let mut args = TopArgs {
+        models: vec!["resnet50".into(), "bert".into()],
+        qps: 400.0,
+        duration_ms: 10_000.0,
+        max_batch: 8,
+        batch_timeout_ms: 2.0,
+        deadline_ms: 50.0,
+        queue_depth: 64,
+        bursty: false,
+        autoscale: true,
+        seed: 0x5EED,
+        chip: "i20".into(),
+        plan: "none".into(),
+        severity: 1.0,
+        once: false,
+        span_s: 5.0,
+        refresh_ms: 150,
+        cache_dir: None,
+        disk_cache: true,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{flag} needs a number"))
+        }
+        match a.as_str() {
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--qps" => args.qps = num("--qps", value("--qps")?)?,
+            "--duration" => args.duration_ms = num("--duration", value("--duration")?)?,
+            "--max-batch" => args.max_batch = num("--max-batch", value("--max-batch")?)?,
+            "--batch-timeout" => {
+                args.batch_timeout_ms = num("--batch-timeout", value("--batch-timeout")?)?
+            }
+            "--deadline" => args.deadline_ms = num("--deadline", value("--deadline")?)?,
+            "--queue-depth" => args.queue_depth = num("--queue-depth", value("--queue-depth")?)?,
+            "--bursty" => args.bursty = true,
+            "--no-autoscale" => args.autoscale = false,
+            "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            "--chip" => args.chip = value("--chip")?,
+            "--plan" => args.plan = value("--plan")?,
+            "--severity" => args.severity = num("--severity", value("--severity")?)?,
+            "--once" => args.once = true,
+            "--span" => args.span_s = num("--span", value("--span")?)?,
+            "--refresh-ms" => args.refresh_ms = num("--refresh-ms", value("--refresh-ms")?)?,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown top flag '{other}'")),
+        }
+    }
+    if args.models.is_empty() {
+        return Err("--models needs at least one model name".into());
+    }
+    if args.span_s <= 0.0 {
+        return Err("--span must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Whether tenant `idx`'s burn-rate alert is firing at simulated time
+/// `t_ns`, reconstructed from the alert log (the tracker only holds
+/// end-of-run state, and `top` replays history).
+fn firing_at(mon: &LiveMonitor, idx: usize, t_ns: f64) -> bool {
+    let mut firing = false;
+    for (tenant, a) in &mon.alerts {
+        if *tenant != idx || a.t_ns > t_ns {
+            continue;
+        }
+        match a.kind {
+            dtu::telemetry::AlertKind::BurnRate => firing = true,
+            dtu::telemetry::AlertKind::Resolved => firing = false,
+            dtu::telemetry::AlertKind::Fault => {}
+        }
+    }
+    firing
+}
+
+/// One dashboard frame at simulated time `t_ns`, rows aggregated over
+/// the trailing `span_ns`.
+fn render_top(mon: &LiveMonitor, t_ns: f64, span_ns: f64) -> String {
+    use std::fmt::Write;
+    let alerts = mon.alerts.iter().filter(|(_, a)| a.t_ns <= t_ns).count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "t={:.0}s  window={:.0}s  alerts={alerts}",
+        t_ns / 1e9,
+        span_ns / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>8} {:>8} {:>9} {:>9} {:>6} {:>8} {:>8} {:>6}",
+        "tenant",
+        "qps",
+        "shed/s",
+        "drop/s",
+        "p50(ms)",
+        "p99(ms)",
+        "batch",
+        "burn5s",
+        "burn60s",
+        "alert"
+    );
+    for (idx, ten) in mon.tenants().iter().enumerate() {
+        let r = ten.row(t_ns, span_ns);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8.0} {:>8.1} {:>8.1} {:>9.3} {:>9.3} {:>6.2} {:>8.2} {:>8.2} {:>6}",
+            r.name,
+            r.qps,
+            r.shed_rate,
+            r.drop_rate,
+            r.p50_ms,
+            r.p99_ms,
+            r.mean_batch,
+            r.burn_fast,
+            r.burn_slow,
+            if firing_at(mon, idx, t_ns) {
+                "FIRE"
+            } else {
+                "-"
+            }
+        );
+    }
+    out
+}
+
+fn run_top() -> ExitCode {
+    let args = match parse_top_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+    let mut models = Vec::new();
+    for name in &args.models {
+        let Some(m) = model_by_name(name) else {
+            eprintln!("error: unknown model '{name}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        models.push(
+            CompiledModel::new(accel.chip(), name.clone(), move |b| m.build(b)).with_source(&cache),
+        );
+    }
+
+    let chip = accel.config();
+    let faults = match FaultPlan::preset(
+        &args.plan,
+        args.seed,
+        args.severity,
+        chip.clusters,
+        chip.groups_per_cluster,
+        args.duration_ms * 1e6,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gpc = chip.groups_per_cluster;
+    let cfg = ServeConfig {
+        duration_ms: args.duration_ms,
+        seed: args.seed,
+        record_requests: false,
+        faults,
+        retry: Default::default(),
+        tenants: (0..models.len())
+            .map(|i| TenantSpec {
+                name: args.models[i].clone(),
+                model: i,
+                arrival: if args.bursty {
+                    ArrivalProcess::Bursty {
+                        base_qps: 0.5 * args.qps,
+                        burst_qps: 2.5 * args.qps,
+                        mean_dwell_ms: args.duration_ms / 8.0,
+                    }
+                } else {
+                    ArrivalProcess::Poisson { qps: args.qps }
+                },
+                batch: if args.max_batch > 1 {
+                    BatchPolicy::dynamic(args.max_batch, args.batch_timeout_ms)
+                } else {
+                    BatchPolicy::none()
+                },
+                sla: SlaPolicy::new(args.deadline_ms, args.queue_depth),
+                scale: if args.autoscale {
+                    ScalePolicy::elastic(args.deadline_ms / 4.0, args.deadline_ms / 20.0, gpc)
+                } else {
+                    ScalePolicy::none()
+                },
+                cluster: None,
+                initial_groups: 1,
+            })
+            .collect(),
+    };
+
+    eprintln!(
+        "[top] {} tenants ({}), {:.0} qps each, {:.0} ms horizon, plan {} s{:.2}, \
+         SLO p99 < {:.0} ms",
+        cfg.tenants.len(),
+        args.models.join(", "),
+        args.qps,
+        args.duration_ms,
+        args.plan,
+        args.severity,
+        args.deadline_ms
+    );
+
+    let mut mon = LiveMonitor::new(LiveConfig {
+        slo: Some(SloSpec::new(
+            format!("p99<{:.0}ms", args.deadline_ms),
+            0.99,
+            args.deadline_ms,
+        )),
+        ..LiveConfig::default()
+    });
+    let mut refs: Vec<&mut dyn ServiceModel> = models
+        .iter_mut()
+        .map(|m| m as &mut dyn ServiceModel)
+        .collect();
+    let aborted = match run_serving_live(&cfg, accel.config(), &mut refs, &mut mon) {
+        Ok(_) => None,
+        // A fault killed a tenant's last group: the dashboard still
+        // shows everything the monitor saw up to the outage.
+        Err(ServeError::Sim(dtu_sim::SimError::Fault(e))) => Some(e.to_string()),
+        Err(e) => {
+            eprintln!("top error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let span_ns = args.span_s * 1e9;
+    let end_ns = mon.now_ns();
+    if args.once {
+        print!("{}", render_top(&mon, end_ns, span_ns));
+    } else {
+        // The run is already simulated; replay it one evaluation
+        // window per frame against the retained rings.
+        let frames = (end_ns / 1e9).ceil().max(1.0) as u64;
+        for f in 1..=frames {
+            let t_ns = (f as f64 * 1e9).min(end_ns);
+            print!("\x1b[2J\x1b[H{}", render_top(&mon, t_ns, span_ns));
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            std::thread::sleep(std::time::Duration::from_millis(args.refresh_ms));
+        }
+    }
+    for (idx, a) in &mon.alerts {
+        eprintln!(
+            "[top] t={:.2}s {} alert `{}` (tenant {}, burn fast {:.1} / slow {:.1})",
+            a.t_ns / 1e9,
+            a.kind.name(),
+            a.slo,
+            mon.tenants()[*idx].name,
+            a.burn_fast,
+            a.burn_slow
+        );
+    }
+    if let Some(e) = aborted {
+        eprintln!("[top] run aborted early: {e}");
+    }
+    eprintln!(
+        "[top] flight recorder: {} spans in ring, {} dumps ({} triggers)",
+        mon.flight.len(),
+        mon.flight.dumps().len(),
+        mon.flight.triggers()
+    );
+    ExitCode::SUCCESS
+}
+
+struct SloArgs {
+    models: Vec<String>,
+    plans: Vec<String>,
+    severities: Vec<f64>,
+    seed: u64,
+    chip: String,
+    jobs: usize,
+    format: String,
+    flight_out: Option<String>,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+fn parse_slo_args() -> Result<SloArgs, String> {
+    let mut args = SloArgs {
+        models: Vec::new(),
+        plans: vec!["none".into()],
+        severities: vec![1.0],
+        seed: 7,
+        chip: "i20".into(),
+        jobs: available_jobs(),
+        format: "json".into(),
+        flight_out: None,
+        cache_dir: None,
+        disk_cache: true,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--models" | "--model" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--plans" | "--plan" => {
+                args.plans = value("--plans")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--severities" | "--severity" => {
+                args.severities = value("--severities")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("bad severity '{}'", s.trim()))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--chip" => args.chip = value("--chip")?,
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?
+            }
+            "--format" => args.format = value("--format")?,
+            "--flight-out" => args.flight_out = Some(value("--flight-out")?),
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
+            "--help" | "-h" => return Err(String::new()),
+            name if !name.starts_with('-') => args.models.push(name.to_string()),
+            other => return Err(format!("unknown slo flag '{other}'")),
+        }
+    }
+    if args.models.is_empty() {
+        args.models.push("resnet50".into());
+    }
+    if args.plans.is_empty() || args.severities.is_empty() {
+        return Err("slo needs at least one plan and one severity".into());
+    }
+    if !matches!(args.format.as_str(), "table" | "json") {
+        return Err(format!(
+            "--format must be table or json, got '{}'",
+            args.format
+        ));
+    }
+    Ok(args)
+}
+
+fn run_slo() -> ExitCode {
+    let args = match parse_slo_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut grid = Vec::new();
+    for name in &args.models {
+        let Some(m) = model_by_name(name) else {
+            eprintln!("error: unknown model '{name}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        grid.push(SweepModel::new(name.clone(), move |b| m.build(b)));
+    }
+    let plans: Vec<&str> = args.plans.iter().map(String::as_str).collect();
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+    let scenario = SloScenario::default();
+
+    let started = std::time::Instant::now();
+    let report = match run_slo_sweep(
+        &accel,
+        &grid,
+        &plans,
+        &args.severities,
+        args.seed,
+        &scenario,
+        &cache,
+        args.jobs,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("slo error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // The report is schedule-independent and goes to stdout, so two
+    // runs of the same grid and seed are byte-identical; wall-clock
+    // chatter stays on stderr.
+    match args.format.as_str() {
+        "table" => print!("{}", report.to_table()),
+        _ => println!("{}", report.to_json()),
+    }
+    eprintln!(
+        "[slo] {} points ({} models x {} plans x {} severities) on {} workers in {:.0} ms; \
+         compliance {:.1}%; cache: {} memory + {} disk hits, {} misses",
+        report.points.len(),
+        report.models.len(),
+        report.plans.len(),
+        report.severities.len(),
+        args.jobs,
+        elapsed_ms,
+        report.compliance() * 100.0,
+        report.cache.memory_hits,
+        report.cache.disk_hits,
+        report.cache.misses
+    );
+
+    if let Some(path) = &args.flight_out {
+        // Re-run the first grid point with its content-derived seed
+        // (warm cache, so this is cheap) to recover the monitor and
+        // its flight recorder.
+        let seed = slo_point_seed(grid[0].name(), plans[0], args.severities[0], args.seed);
+        let (_, mut mon) = match run_slo_scenario(
+            &accel,
+            &grid[0],
+            plans[0],
+            args.severities[0],
+            seed,
+            &scenario,
+            &cache,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("slo error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if mon.flight.dumps().is_empty() {
+            // Nothing went wrong: snapshot the ring at end of run so
+            // the flag always produces a trace.
+            let end_ns = mon.now_ns();
+            mon.flight.trigger("end-of-run snapshot", end_ns);
+        }
+        let dump = mon.flight.dumps().first().expect("just ensured");
+        if let Err(e) = std::fs::write(path, dump.to_chrome_trace(true)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[slo] flight dump `{}` ({} spans at t={:.2}s) written to {path}",
+            dump.reason,
+            dump.spans.len(),
+            dump.at_ns / 1e9
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 struct ProfileArgs {
     model: Option<String>,
     import: Option<String>,
@@ -970,6 +1535,8 @@ fn main() -> ExitCode {
         Some("profile") => return run_profile(),
         Some("sweep") => return run_sweep_cmd(),
         Some("faults") => return run_faults(),
+        Some("top") => return run_top(),
+        Some("slo") => return run_slo(),
         _ => {}
     }
     let args = match parse_args() {

@@ -51,6 +51,7 @@ mod error;
 mod faultsweep;
 mod golden;
 mod plan;
+mod slosweep;
 mod sweep;
 
 pub use cache::{CacheOutcome, CacheStats, SessionCache, CACHE_FORMAT_VERSION};
@@ -58,4 +59,7 @@ pub use error::HarnessError;
 pub use faultsweep::{run_fault_sweep, FaultPoint, FaultSweepReport};
 pub use golden::{compare_golden, GOLDEN_RTOL};
 pub use plan::{available_jobs, ExperimentPlan, PlanCtx, PointId};
+pub use slosweep::{
+    run_slo_scenario, run_slo_sweep, slo_point_seed, SloPoint, SloScenario, SloSweepReport,
+};
 pub use sweep::{run_sweep, SweepModel, SweepPoint, SweepReport};

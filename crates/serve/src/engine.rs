@@ -8,6 +8,7 @@
 //! runs with the same seed are bit-identical.
 
 use crate::config::{RetryPolicy, ServeConfig, TenantSpec};
+use crate::live::LiveMonitor;
 use crate::metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };
@@ -17,6 +18,7 @@ use crate::{ArrivalGen, ServeError};
 use dtu_compiler::Placement;
 use dtu_faults::{FaultError, FaultRng, FaultSession};
 use dtu_sim::{ChipConfig, GroupId, SimError};
+use dtu_telemetry::AlertEvent;
 use dtu_telemetry::{clock::ms_to_ns, Layer, Recorder, Span, SpanKind};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -131,7 +133,7 @@ struct Tenant {
 }
 
 /// The engine: event heap plus per-tenant state plus the group pool.
-struct Engine<'m, 's> {
+struct Engine<'m, 's, 'l> {
     heap: BinaryHeap<Ev>,
     seq: u64,
     next_req: u64,
@@ -153,6 +155,11 @@ struct Engine<'m, 's> {
     /// Jitter source for retry backoff; drawn from only when a retry
     /// is actually scheduled.
     rng: FaultRng,
+    /// Live observability sidecar. Strictly observational: every hook
+    /// call only reads engine state, so a monitored run computes the
+    /// exact same aggregates as a plain one (its trace additionally
+    /// carries [`ServeEventKind::Alert`] records).
+    live: Option<&'l mut LiveMonitor>,
 }
 
 /// Runs one serving scenario to completion.
@@ -224,7 +231,51 @@ pub fn run_serving_recorded(
     Ok(out)
 }
 
-impl<'m, 's> Engine<'m, 's> {
+/// Runs a serving scenario with a [`LiveMonitor`] attached: windowed
+/// time-series, per-window latency histograms with exemplars, SLO
+/// burn-rate evaluation at every simulated-second boundary, and the
+/// span flight recorder, all fed by in-engine hooks as events happen.
+///
+/// The monitor is strictly observational — the returned
+/// [`ServeOutcome::report`] is identical to what [`run_serving`] would
+/// produce for the same configuration. The run's trace additionally
+/// carries a [`ServeEventKind::Alert`] record for every burn-rate
+/// alert transition.
+///
+/// # Errors
+///
+/// As for [`run_serving`].
+pub fn run_serving_live(
+    cfg: &ServeConfig,
+    chip: &ChipConfig,
+    models: &mut [&mut dyn ServiceModel],
+    live: &mut LiveMonitor,
+) -> Result<ServeOutcome, ServeError> {
+    live.begin(&cfg.tenants);
+    let mut engine = Engine::new(cfg, chip, models)?;
+    engine.live = Some(live);
+    engine.seed_arrivals(cfg);
+    while let Some(ev) = engine.heap.pop() {
+        engine.step(ev, cfg)?;
+    }
+    // Judge the trailing windows: one final evaluation past the last
+    // event (or the horizon, whichever is later).
+    let last_ns = engine
+        .trace
+        .events
+        .last()
+        .map_or(0.0, |e| e.t_ns)
+        .max(ms_to_ns(cfg.duration_ms));
+    if let Some(mon) = engine.live.as_deref_mut() {
+        let fired = mon.finish(last_ns);
+        for (tenant, alert) in fired {
+            engine.push_alert(tenant, &alert);
+        }
+    }
+    Ok(engine.finish(cfg))
+}
+
+impl<'m, 's, 'l> Engine<'m, 's, 'l> {
     fn new(
         cfg: &ServeConfig,
         chip: &ChipConfig,
@@ -341,7 +392,23 @@ impl<'m, 's> Engine<'m, 's> {
             groups_per_cluster: chip.groups_per_cluster,
             retry: cfg.retry,
             rng: FaultRng::new(cfg.seed ^ RETRY_RNG_SALT),
+            live: None,
         })
+    }
+
+    /// Appends an SLO alert transition to the trace.
+    fn push_alert(&mut self, tenant: usize, alert: &AlertEvent) {
+        self.trace.events.push(ServeEvent {
+            t_ns: alert.t_ns,
+            tenant,
+            kind: ServeEventKind::Alert {
+                slo: alert.slo.clone(),
+                alert: alert.kind.name().to_string(),
+                burn_fast: alert.burn_fast,
+                burn_slow: alert.burn_slow,
+                exemplar: alert.exemplar,
+            },
+        });
     }
 
     fn push(&mut self, t: f64, kind: EvKind) {
@@ -360,6 +427,18 @@ impl<'m, 's> Engine<'m, 's> {
     }
 
     fn step(&mut self, ev: Ev, cfg: &ServeConfig) -> Result<(), ServeError> {
+        // Run any SLO evaluation boundaries the clock just crossed
+        // before handling the event at `ev.t`.
+        if self.live.is_some() {
+            let fired = self
+                .live
+                .as_deref_mut()
+                .expect("checked")
+                .advance(ms_to_ns(ev.t));
+            for (tenant, alert) in fired {
+                self.push_alert(tenant, &alert);
+            }
+        }
         match ev.kind {
             EvKind::Arrival { tenant } => self.on_arrival(ev.t, tenant, cfg)?,
             EvKind::BatchDeadline { tenant, epoch } => {
@@ -393,6 +472,9 @@ impl<'m, 's> Engine<'m, 's> {
                     tenant,
                     kind: ServeEventKind::Shed { req: req_id, depth },
                 });
+                if let Some(mon) = self.live.as_deref_mut() {
+                    mon.on_shed(ms_to_ns(t), tenant, req_id);
+                }
             } else {
                 ten.queue.push_back(Request {
                     id: req_id,
@@ -407,6 +489,9 @@ impl<'m, 's> Engine<'m, 's> {
                         depth: depth + 1,
                     },
                 });
+                if let Some(mon) = self.live.as_deref_mut() {
+                    mon.on_arrival(ms_to_ns(t), tenant);
+                }
             }
         }
         self.try_dispatch(t, tenant)?;
@@ -533,6 +618,9 @@ impl<'m, 's> Engine<'m, 's> {
                 service_ms,
             },
         });
+        if let Some(mon) = self.live.as_deref_mut() {
+            mon.on_dispatch(ms_to_ns(t), tenant, count, service_ms);
+        }
         self.push(t + service_ms, EvKind::Complete { tenant });
         Ok(())
     }
@@ -570,6 +658,13 @@ impl<'m, 's> Engine<'m, 's> {
                     remaining,
                 },
             });
+            let alert = self
+                .live
+                .as_deref_mut()
+                .map(|mon| mon.on_group_lost(ms_to_ns(t), tenant, g.cluster, g.group));
+            if let Some(alert) = alert {
+                self.push_alert(tenant, &alert);
+            }
             if remaining == 0 {
                 return Err(ServeError::Sim(SimError::Fault(e)));
             }
@@ -594,6 +689,13 @@ impl<'m, 's> Engine<'m, 's> {
                 attempt,
             },
         });
+        let alert = self
+            .live
+            .as_deref_mut()
+            .map(|mon| mon.on_fault(ms_to_ns(t), tenant, label));
+        if let Some(alert) = alert {
+            self.push_alert(tenant, &alert);
+        }
         if attempt > self.retry.max_attempts {
             let dropped = {
                 let ten = &mut self.tenants[tenant];
@@ -609,6 +711,9 @@ impl<'m, 's> Engine<'m, 's> {
                 tenant,
                 kind: ServeEventKind::FaultDrop { dropped },
             });
+            if let Some(mon) = self.live.as_deref_mut() {
+                mon.on_fault_drop(ms_to_ns(t), tenant, dropped);
+            }
             return self.try_dispatch(t, tenant);
         }
         self.tenants[tenant].retries += 1;
@@ -655,6 +760,9 @@ impl<'m, 's> Engine<'m, 's> {
                 tenant,
                 kind: ServeEventKind::FaultDrop { dropped: expired },
             });
+            if let Some(mon) = self.live.as_deref_mut() {
+                mon.on_fault_drop(ms_to_ns(t), tenant, expired);
+            }
         }
         if self.tenants[tenant].in_flight.is_empty() {
             let ten = &mut self.tenants[tenant];
@@ -682,6 +790,15 @@ impl<'m, 's> Engine<'m, 's> {
                         deadline_ms: req.deadline_ms,
                         violated,
                     });
+                }
+                if let Some(mon) = self.live.as_deref_mut() {
+                    mon.on_complete_request(
+                        ms_to_ns(t),
+                        tenant,
+                        req.id,
+                        t - req.arrival_ms,
+                        violated,
+                    );
                 }
             }
             ten.busy = false;
@@ -967,6 +1084,7 @@ mod tests {
                 ServeEventKind::Retry { .. } => "retry",
                 ServeEventKind::GroupLost { .. } => "group-lost",
                 ServeEventKind::FaultDrop { .. } => "fault-drop",
+                ServeEventKind::Alert { .. } => "alert",
             })
             .collect();
         for k in ["arrival", "shed", "dispatch", "complete"] {
@@ -1175,5 +1293,63 @@ mod tests {
             base.report.latency.p50_ms
         );
         assert_eq!(out.report.retries, 0, "windows degrade, they do not fail");
+    }
+
+    use crate::live::{LiveConfig, LiveMonitor};
+    use dtu_telemetry::SloSpec;
+
+    fn run_live(cfg: &ServeConfig, base_ms: f64, mon: &mut LiveMonitor) -> ServeOutcome {
+        let mut m = AnalyticModel::new("m", base_ms);
+        run_serving_live(cfg, &ChipConfig::dtu20(), &mut [&mut m], mon).unwrap()
+    }
+
+    /// Strip the live-only alert events so a monitored trace can be
+    /// compared against the plain engine's output.
+    fn without_alerts(out: &ServeOutcome) -> Vec<ServeEvent> {
+        out.trace
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, ServeEventKind::Alert { .. }))
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn live_clean_run_matches_plain_and_stays_quiet() {
+        let cfg = one_tenant(200.0);
+        let plain = run(&cfg, 0.5);
+        let mut mon = LiveMonitor::new(LiveConfig {
+            slo: Some(SloSpec::new("p99<10ms", 0.99, 10.0)),
+            ..LiveConfig::default()
+        });
+        let live = run_live(&cfg, 0.5, &mut mon);
+        assert_eq!(live.report, plain.report, "monitoring must not feed back");
+        assert_eq!(without_alerts(&live), plain.trace.events);
+        assert_eq!(mon.burn_alerts().count(), 0, "clean run fires no alerts");
+        assert!(mon.flight.dumps().is_empty());
+        let row = mon.tenants()[0].row(mon.now_ns(), 60.0e9);
+        assert!(row.qps > 0.0, "windowed QPS reflects traffic");
+        assert!(!row.firing);
+    }
+
+    #[test]
+    fn live_faulted_run_matches_plain_and_records_the_fault() {
+        let mut cfg = one_tenant(200.0);
+        cfg.tenants[0].cluster = Some(0);
+        cfg.tenants[0].initial_groups = 2;
+        cfg.faults = fault_plan(vec![fault_at(1.0, 0, 1, FaultKind::CoreFailure)]);
+        let plain = run(&cfg, 1.0);
+        let mut mon = LiveMonitor::with_defaults();
+        let live = run_live(&cfg, 1.0, &mut mon);
+        assert_eq!(live.report, plain.report);
+        assert_eq!(without_alerts(&live), plain.trace.events);
+        // The core failure triggers a flight-recorder dump even without
+        // an SLO configured.
+        assert!(!mon.flight.dumps().is_empty(), "fault must dump the ring");
+        assert!(live
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, ServeEventKind::Alert { .. })));
     }
 }

@@ -52,6 +52,7 @@
 mod arrival;
 mod config;
 mod engine;
+mod live;
 mod metrics;
 mod model;
 pub mod stats;
@@ -62,7 +63,8 @@ pub use config::{BatchPolicy, RetryPolicy, ScalePolicy, ServeConfig, SlaPolicy, 
 /// (re-exported so callers can build [`ServeConfig::faults`] without a
 /// separate dependency).
 pub use dtu_faults as faults;
-pub use engine::{run_serving, run_serving_recorded, ServeOutcome};
+pub use engine::{run_serving, run_serving_live, run_serving_recorded, ServeOutcome};
+pub use live::{LiveConfig, LiveMonitor, TenantLive, TenantRow};
 pub use metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };

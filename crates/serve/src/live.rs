@@ -1,0 +1,491 @@
+//! Live observability for serving runs: windowed metrics, SLO burn
+//! rates, and the span flight recorder, fed by engine hooks.
+//!
+//! A [`LiveMonitor`] rides along a serving run (see
+//! [`run_serving_live`](crate::run_serving_live)) and observes every
+//! admission, shed, dispatch, completion, and fault *as it happens* on
+//! the simulated clock — the operator's view the end-of-run
+//! [`ServeReport`](crate::ServeReport) cannot give. It never feeds
+//! anything back into the engine: a monitored run produces the exact
+//! same aggregates as a plain one.
+//!
+//! Per tenant it maintains:
+//! * windowed [`TimeSeries`] rings — arrivals, sheds, fault drops,
+//!   completions, dispatches, and batch occupancy;
+//! * a windowed log-bucketed latency histogram
+//!   ([`WindowedHistogram`]) carrying the slowest request's span id as
+//!   the window's exemplar;
+//! * an optional [`SloTracker`] evaluating multi-window burn rates at
+//!   every simulated-second boundary.
+//!
+//! One shared [`FlightRecorder`] keeps the most recent spans; it dumps
+//! a Perfetto-compatible snapshot the moment a burn-rate alert fires
+//! or an injected fault lands.
+
+use crate::config::TenantSpec;
+use dtu_telemetry::clock::NS_PER_MS;
+use dtu_telemetry::slo::EVAL_WINDOW_NS;
+use dtu_telemetry::{
+    AlertEvent, AlertKind, FlightRecorder, Layer, LogHistogram, SloSpec, SloTracker, Span,
+    SpanKind, TimeSeries, WindowedHistogram,
+};
+
+/// How a [`LiveMonitor`] is shaped.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Dashboard window width, ns (default 1 s of simulated time).
+    pub window_ns: f64,
+    /// Windows retained per ring (default 128 → ~2 min of history).
+    pub ring_windows: usize,
+    /// SLO applied to every tenant (`None` = metrics only, no alerts).
+    pub slo: Option<SloSpec>,
+    /// Flight-recorder ring capacity, spans.
+    pub flight_capacity: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            window_ns: EVAL_WINDOW_NS,
+            ring_windows: 128,
+            slo: None,
+            flight_capacity: dtu_telemetry::flight::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// One tenant's live state.
+#[derive(Debug, Clone)]
+pub struct TenantLive {
+    /// Tenant name (from its spec).
+    pub name: String,
+    /// Admitted arrivals per window.
+    pub arrivals: TimeSeries,
+    /// Admission sheds per window.
+    pub sheds: TimeSeries,
+    /// Fault-dropped requests per window.
+    pub fault_drops: TimeSeries,
+    /// Completed requests per window.
+    pub completions: TimeSeries,
+    /// Dispatched batches per window.
+    pub dispatches: TimeSeries,
+    /// Sum of dispatched batch sizes per window (with `dispatches`,
+    /// gives mean batch occupancy).
+    pub batch_occupancy: TimeSeries,
+    /// Windowed latency histogram with exemplars.
+    pub latency: WindowedHistogram,
+    /// Burn-rate tracker, when an SLO is configured.
+    pub slo: Option<SloTracker>,
+}
+
+impl TenantLive {
+    fn new(name: &str, cfg: &LiveConfig) -> Self {
+        let series = || TimeSeries::new(cfg.window_ns, cfg.ring_windows);
+        TenantLive {
+            name: name.to_string(),
+            arrivals: series(),
+            sheds: series(),
+            fault_drops: series(),
+            completions: series(),
+            dispatches: series(),
+            batch_occupancy: series(),
+            latency: WindowedHistogram::new(cfg.window_ns, cfg.ring_windows),
+            slo: cfg.slo.as_ref().map(|s| SloTracker::new(s.clone())),
+        }
+    }
+
+    /// One dashboard row over the trailing `span_ns` at `now_ns`.
+    pub fn row(&self, now_ns: f64, span_ns: f64) -> TenantRow {
+        let hist = self.latency.merged_over(now_ns, span_ns);
+        let dispatches = self.dispatches.sum_over(now_ns, span_ns);
+        TenantRow {
+            name: self.name.clone(),
+            qps: self.completions.rate_per_sec(now_ns, span_ns),
+            shed_rate: self.sheds.rate_per_sec(now_ns, span_ns),
+            drop_rate: self.fault_drops.rate_per_sec(now_ns, span_ns),
+            p50_ms: hist.quantile(0.50),
+            p99_ms: hist.quantile(0.99),
+            mean_batch: if dispatches > 0.0 {
+                self.batch_occupancy.sum_over(now_ns, span_ns) / dispatches
+            } else {
+                0.0
+            },
+            burn_fast: self.slo.as_ref().map_or(0.0, |s| s.burn_fast(now_ns)),
+            burn_slow: self.slo.as_ref().map_or(0.0, |s| s.burn_slow(now_ns)),
+            firing: self.slo.as_ref().is_some_and(|s| s.firing()),
+            exemplar: self
+                .latency
+                .exemplar_over(now_ns, span_ns)
+                .map(|e| e.span_id),
+        }
+    }
+
+    /// Latency histogram over the whole retained history.
+    pub fn latency_hist(&self) -> LogHistogram {
+        self.latency.merged()
+    }
+}
+
+/// One rendered dashboard row (what `topsexec top` prints per tenant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRow {
+    /// Tenant name.
+    pub name: String,
+    /// Completions per simulated second over the window.
+    pub qps: f64,
+    /// Sheds per simulated second over the window.
+    pub shed_rate: f64,
+    /// Fault drops per simulated second over the window.
+    pub drop_rate: f64,
+    /// Windowed p50 latency, ms.
+    pub p50_ms: f64,
+    /// Windowed p99 latency, ms.
+    pub p99_ms: f64,
+    /// Mean dispatched batch size over the window.
+    pub mean_batch: f64,
+    /// Fast-window SLO burn rate (0 without an SLO).
+    pub burn_fast: f64,
+    /// Slow-window SLO burn rate (0 without an SLO).
+    pub burn_slow: f64,
+    /// Whether the tenant's burn-rate alert is firing.
+    pub firing: bool,
+    /// Span id of the slowest request in the window, when any.
+    pub exemplar: Option<u64>,
+}
+
+/// The live observability sidecar of one serving run.
+#[derive(Debug, Clone)]
+pub struct LiveMonitor {
+    cfg: LiveConfig,
+    tenants: Vec<TenantLive>,
+    /// The shared black box.
+    pub flight: FlightRecorder,
+    /// Every alert emitted, in simulated-time order, tagged with the
+    /// tenant index it belongs to.
+    pub alerts: Vec<(usize, AlertEvent)>,
+    /// Next evaluation boundary (multiples of [`EVAL_WINDOW_NS`]).
+    next_eval_ns: f64,
+    now_ns: f64,
+}
+
+impl LiveMonitor {
+    /// Creates a monitor; tenants attach via [`LiveMonitor::begin`].
+    pub fn new(cfg: LiveConfig) -> Self {
+        let flight = FlightRecorder::new(cfg.flight_capacity);
+        LiveMonitor {
+            cfg,
+            tenants: Vec::new(),
+            flight,
+            alerts: Vec::new(),
+            next_eval_ns: EVAL_WINDOW_NS,
+            now_ns: 0.0,
+        }
+    }
+
+    /// A monitor with default windows and no SLO.
+    pub fn with_defaults() -> Self {
+        LiveMonitor::new(LiveConfig::default())
+    }
+
+    /// (Re-)initialises per-tenant state for a run. Called by
+    /// [`run_serving_live`](crate::run_serving_live).
+    pub fn begin(&mut self, tenants: &[TenantSpec]) {
+        self.tenants = tenants
+            .iter()
+            .map(|t| TenantLive::new(&t.name, &self.cfg))
+            .collect();
+        self.alerts.clear();
+        self.next_eval_ns = EVAL_WINDOW_NS;
+        self.now_ns = 0.0;
+    }
+
+    /// Per-tenant live state.
+    pub fn tenants(&self) -> &[TenantLive] {
+        &self.tenants
+    }
+
+    /// The configured SLO, if any.
+    pub fn slo_spec(&self) -> Option<&SloSpec> {
+        self.cfg.slo.as_ref()
+    }
+
+    /// Latest simulated time the monitor has seen, ns.
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Burn-rate alerts only (excludes fault markers and resolutions).
+    pub fn burn_alerts(&self) -> impl Iterator<Item = &(usize, AlertEvent)> + '_ {
+        self.alerts
+            .iter()
+            .filter(|(_, a)| a.kind == AlertKind::BurnRate)
+    }
+
+    /// Advances simulated time to `t_ns`, running every pending SLO
+    /// evaluation boundary in order. Returns alerts that transitioned,
+    /// oldest first. Burn-rate alerts trigger a flight-recorder dump.
+    pub fn advance(&mut self, t_ns: f64) -> Vec<(usize, AlertEvent)> {
+        self.now_ns = self.now_ns.max(t_ns);
+        let mut fired = Vec::new();
+        while self.next_eval_ns <= t_ns {
+            let at = self.next_eval_ns;
+            for (idx, ten) in self.tenants.iter_mut().enumerate() {
+                if let Some(tracker) = ten.slo.as_mut() {
+                    let exemplar = ten
+                        .latency
+                        .exemplar_over(at, tracker.spec.fast_window_ns)
+                        .map(|e| e.span_id);
+                    if let Some(alert) = tracker.evaluate(at, exemplar) {
+                        if alert.kind == AlertKind::BurnRate {
+                            self.flight
+                                .trigger(format!("alert {} ({})", alert.slo, ten.name), at);
+                        }
+                        fired.push((idx, alert));
+                    }
+                }
+            }
+            self.next_eval_ns += EVAL_WINDOW_NS;
+        }
+        self.alerts.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Finishes the run at `end_ns`: runs the remaining boundaries plus
+    /// one final evaluation past the end so trailing windows are
+    /// judged. Returns any alerts that transitioned.
+    pub fn finish(&mut self, end_ns: f64) -> Vec<(usize, AlertEvent)> {
+        let last = (end_ns / EVAL_WINDOW_NS).ceil() * EVAL_WINDOW_NS;
+        self.advance(last.max(self.next_eval_ns))
+    }
+
+    // ---- engine hooks (pure observation) ------------------------------
+
+    /// A request was admitted.
+    pub fn on_arrival(&mut self, t_ns: f64, tenant: usize) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.arrivals.add(t_ns, 1.0);
+        }
+    }
+
+    /// A request was shed by admission control.
+    pub fn on_shed(&mut self, t_ns: f64, tenant: usize, req: u64) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.sheds.add(t_ns, 1.0);
+        }
+        self.flight.record(Span::marker(
+            Layer::Serving,
+            tenant as u32,
+            format!("shed {req}"),
+            t_ns,
+        ));
+    }
+
+    /// A batch started service.
+    pub fn on_dispatch(&mut self, t_ns: f64, tenant: usize, batch: usize, service_ms: f64) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.dispatches.add(t_ns, 1.0);
+            t.batch_occupancy.add(t_ns, batch as f64);
+        }
+        self.flight.record(Span::new(
+            SpanKind::Batch,
+            Layer::Serving,
+            tenant as u32,
+            format!("batch {batch}"),
+            t_ns,
+            t_ns + service_ms * NS_PER_MS,
+        ));
+    }
+
+    /// A request completed; `req` is its id (the exemplar span id).
+    pub fn on_complete_request(
+        &mut self,
+        t_ns: f64,
+        tenant: usize,
+        req: u64,
+        latency_ms: f64,
+        violated: bool,
+    ) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.completions.add(t_ns, 1.0);
+            t.latency.record(t_ns, latency_ms, Some(req));
+            if let Some(tracker) = t.slo.as_mut() {
+                tracker.observe(t_ns, latency_ms);
+            }
+        }
+        self.flight.record(Span::new(
+            SpanKind::Request,
+            Layer::Serving,
+            tenant as u32,
+            format!("req {req}{}", if violated { " (late)" } else { "" }),
+            t_ns - latency_ms * NS_PER_MS,
+            t_ns,
+        ));
+    }
+
+    /// A transient injected fault hit the tenant's in-flight batch.
+    /// Emits (and returns) a fault alert and dumps the flight recorder.
+    pub fn on_fault(&mut self, t_ns: f64, tenant: usize, label: &str) -> AlertEvent {
+        self.flight.record(Span::new(
+            SpanKind::Fault,
+            Layer::Serving,
+            tenant as u32,
+            format!("fault {label}"),
+            t_ns,
+            t_ns,
+        ));
+        self.flight.trigger(format!("fault {label}"), t_ns);
+        let alert = AlertEvent {
+            t_ns,
+            slo: label.to_string(),
+            kind: AlertKind::Fault,
+            burn_fast: 0.0,
+            burn_slow: 0.0,
+            exemplar: None,
+        };
+        self.alerts.push((tenant, alert.clone()));
+        alert
+    }
+
+    /// Requests were fault-dropped.
+    pub fn on_fault_drop(&mut self, t_ns: f64, tenant: usize, dropped: usize) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            t.fault_drops.add(t_ns, dropped as f64);
+        }
+        self.flight.record(Span::marker(
+            Layer::Serving,
+            tenant as u32,
+            format!("fault-drop {dropped}"),
+            t_ns,
+        ));
+    }
+
+    /// A core failure removed one of the tenant's groups: a permanent
+    /// fault, so it also dumps the flight recorder. Returns the alert.
+    pub fn on_group_lost(
+        &mut self,
+        t_ns: f64,
+        tenant: usize,
+        cluster: usize,
+        group: usize,
+    ) -> AlertEvent {
+        self.flight.record(Span::new(
+            SpanKind::Fault,
+            Layer::Serving,
+            tenant as u32,
+            format!("group {cluster}.{group} lost"),
+            t_ns,
+            t_ns,
+        ));
+        self.flight
+            .trigger(format!("core-failure {cluster}.{group}"), t_ns);
+        let alert = AlertEvent {
+            t_ns,
+            slo: "core-failure".to_string(),
+            kind: AlertKind::Fault,
+            burn_fast: 0.0,
+            burn_slow: 0.0,
+            exemplar: None,
+        };
+        self.alerts.push((tenant, alert.clone()));
+        alert
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor_with_slo() -> LiveMonitor {
+        let cfg = LiveConfig {
+            slo: Some(SloSpec::new("p99<5ms", 0.99, 5.0)),
+            ..LiveConfig::default()
+        };
+        let mut m = LiveMonitor::new(cfg);
+        m.begin(&[TenantSpec::poisson("t0", 0, 100.0)]);
+        m
+    }
+
+    #[test]
+    fn rows_reflect_traffic() {
+        let mut m = LiveMonitor::with_defaults();
+        m.begin(&[TenantSpec::poisson("a", 0, 1.0)]);
+        for i in 0..100 {
+            let t = i as f64 * 1e7; // 100 events over 1 s
+            m.on_arrival(t, 0);
+            m.on_complete_request(t + 1e6, 0, i, 1.0, false);
+        }
+        m.on_dispatch(5e8, 0, 4, 1.0);
+        m.advance(1e9);
+        let row = m.tenants()[0].row(1e9, 2e9);
+        assert_eq!(row.name, "a");
+        assert!(row.qps > 0.0);
+        assert!((row.p50_ms - 1.0).abs() / 1.0 <= 0.02);
+        assert_eq!(row.mean_batch, 4.0);
+        assert_eq!(row.exemplar, Some(0), "first (slowest tie) request");
+        assert!(!row.firing);
+    }
+
+    #[test]
+    fn sustained_violations_alert_and_dump() {
+        let mut m = monitor_with_slo();
+        let mut transitions = Vec::new();
+        for i in 0..20 {
+            let now = i as f64 * 1e9;
+            for j in 0..20 {
+                let t = now + j as f64 * 4e7;
+                m.on_arrival(t, 0);
+                // Half the requests violate the 5 ms deadline.
+                let lat = if j % 2 == 0 { 40.0 } else { 1.0 };
+                m.on_complete_request(t, 0, (i * 20 + j) as u64, lat, lat > 5.0);
+            }
+            transitions.extend(m.advance(now + 0.999e9));
+        }
+        transitions.extend(m.finish(20e9));
+        let fired: Vec<_> = transitions
+            .iter()
+            .filter(|(_, a)| a.kind == AlertKind::BurnRate)
+            .collect();
+        assert_eq!(fired.len(), 1, "steady breach fires exactly once");
+        let (tenant, alert) = fired[0];
+        assert_eq!(*tenant, 0);
+        // The exemplar resolves in the dump the alert triggered.
+        let id = alert.exemplar.expect("alert carries an exemplar");
+        let dump = m.flight.latest().expect("alert dumped the flight ring");
+        assert!(dump.reason.starts_with("alert"));
+        assert!(
+            dump.resolves_label(&format!("req {id}")),
+            "exemplar span must be in the dump"
+        );
+    }
+
+    #[test]
+    fn faults_dump_without_slo() {
+        let mut m = LiveMonitor::with_defaults();
+        m.begin(&[TenantSpec::poisson("t0", 0, 10.0)]);
+        m.on_complete_request(1e9, 0, 1, 2.0, false);
+        m.on_fault(2e9, 0, "dma-timeout");
+        m.on_fault_drop(2.1e9, 0, 3);
+        assert_eq!(m.flight.dumps().len(), 1);
+        assert_eq!(m.alerts.len(), 1);
+        assert_eq!(m.alerts[0].1.kind, AlertKind::Fault);
+        assert!(m.flight.dumps()[0].resolves_label("req 1"));
+        let row = m.tenants()[0].row(2.5e9, 5e9);
+        assert!(row.drop_rate > 0.0);
+    }
+
+    #[test]
+    fn clean_run_stays_quiet() {
+        let mut m = monitor_with_slo();
+        for i in 0..60 {
+            let now = i as f64 * 1e9;
+            for j in 0..10 {
+                m.on_complete_request(now + j as f64 * 1e8, 0, (i * 10 + j) as u64, 1.0, false);
+            }
+            assert!(m.advance(now + 0.999e9).is_empty());
+        }
+        assert!(m.finish(60e9).is_empty());
+        assert!(m.alerts.is_empty());
+        assert_eq!(m.flight.dumps().len(), 0);
+        assert!(m.flight.len() > 0, "ring records even when healthy");
+    }
+}

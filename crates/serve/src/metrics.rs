@@ -224,6 +224,22 @@ pub enum ServeEventKind {
         /// Requests dropped.
         dropped: usize,
     },
+    /// An SLO alert transitioned (emitted only by live-monitored runs,
+    /// see [`crate::run_serving_live`]); plain runs never produce it,
+    /// keeping their traces byte-identical to the pre-observability
+    /// path.
+    Alert {
+        /// The objective that transitioned.
+        slo: String,
+        /// Alert kind name (`burn-rate`, `resolved`).
+        alert: String,
+        /// Fast-window burn rate at evaluation time.
+        burn_fast: f64,
+        /// Slow-window burn rate at evaluation time.
+        burn_slow: f64,
+        /// Span id of the slowest recent request, when known.
+        exemplar: Option<u64>,
+    },
 }
 
 /// One trace record: time, tenant, event.
@@ -323,6 +339,24 @@ impl ServingTrace {
                 ServeEventKind::FaultDrop { dropped } => o
                     .string("kind", "fault-drop")
                     .int("dropped", *dropped as i64),
+                ServeEventKind::Alert {
+                    slo,
+                    alert,
+                    burn_fast,
+                    burn_slow,
+                    exemplar,
+                } => {
+                    let o = o
+                        .string("kind", "alert")
+                        .string("slo", slo)
+                        .string("alert", alert)
+                        .num("burn_fast", *burn_fast)
+                        .num("burn_slow", *burn_slow);
+                    match exemplar {
+                        Some(id) => o.int("exemplar", *id as i64),
+                        None => o,
+                    }
+                }
             };
             out.push_str(&o.build());
             out.push('\n');
@@ -411,6 +445,22 @@ impl ServingTrace {
                     Layer::Serving,
                     e.tenant as u32,
                     format!("fault-drop {dropped}"),
+                    e.t_ns,
+                ),
+                ServeEventKind::Alert {
+                    slo,
+                    alert,
+                    exemplar,
+                    ..
+                } => Span::new(
+                    SpanKind::Fault,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    match exemplar {
+                        Some(id) => format!("alert {alert} {slo} (exemplar req {id})"),
+                        None => format!("alert {alert} {slo}"),
+                    },
+                    e.t_ns,
                     e.t_ns,
                 ),
             })

@@ -73,6 +73,205 @@ fn span_event(s: &Span, rich: bool) -> String {
     o.build()
 }
 
+/// One event loaded back from a Chrome-trace JSON array.
+///
+/// Only the fields our own [`export`] emits are modelled; `args`
+/// objects are skipped structurally (the loader validates they nest
+/// correctly but does not retain them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name (the span label).
+    pub name: String,
+    /// Category (the span kind).
+    pub cat: String,
+    /// Phase: `"X"` duration, `"i"` instant, `"M"` metadata.
+    pub ph: String,
+    /// Process id (the producing layer).
+    pub pid: i64,
+    /// Thread id (the span track).
+    pub tid: i64,
+    /// Start, µs.
+    pub ts: f64,
+    /// Duration, µs (0 for instants and metadata).
+    pub dur: f64,
+}
+
+/// Parses a Chrome-trace JSON array back into events — the loader half
+/// of the round trip, used by tests and the flight-recorder e2e check
+/// to prove a dump is well-formed Perfetto input.
+///
+/// This is a minimal hand-rolled parser for the single-line array shape
+/// [`export`] produces (and the Trace Event Format generally): an array
+/// of flat objects with string/number fields plus at most one level of
+/// nested `args` object. It is not a general JSON parser.
+pub fn parse(trace: &str) -> Result<Vec<ChromeEvent>, String> {
+    let body = trace.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or_else(|| "trace is not a JSON array".to_string())?;
+    let mut events = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => {
+                let (ev, next) = parse_object(&chars, i)?;
+                events.push(ev);
+                i = next;
+            }
+            ',' | ' ' | '\n' | '\r' | '\t' => i += 1,
+            c => return Err(format!("unexpected character {c:?} between events")),
+        }
+    }
+    Ok(events)
+}
+
+/// Parses one object starting at `chars[start] == '{'`; returns the
+/// event and the index just past its closing brace.
+fn parse_object(chars: &[char], start: usize) -> Result<(ChromeEvent, usize), String> {
+    let mut ev = ChromeEvent {
+        name: String::new(),
+        cat: String::new(),
+        ph: String::new(),
+        pid: 0,
+        tid: 0,
+        ts: 0.0,
+        dur: 0.0,
+    };
+    let mut i = start + 1;
+    loop {
+        // Key or end of object.
+        while i < chars.len() && matches!(chars[i], ',' | ' ' | '\n' | '\r' | '\t') {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err("unterminated object".into());
+        }
+        if chars[i] == '}' {
+            return Ok((ev, i + 1));
+        }
+        let (key, next) = parse_string(chars, i)?;
+        i = next;
+        while i < chars.len() && chars[i] != ':' {
+            i += 1;
+        }
+        i += 1; // past ':'
+        while i < chars.len() && chars[i] == ' ' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err(format!("missing value for key {key:?}"));
+        }
+        match chars[i] {
+            '"' => {
+                let (val, next) = parse_string(chars, i)?;
+                i = next;
+                match key.as_str() {
+                    "name" => ev.name = val,
+                    "cat" => ev.cat = val,
+                    "ph" => ev.ph = val,
+                    _ => {}
+                }
+            }
+            '{' => {
+                i = skip_object(chars, i)?;
+            }
+            _ => {
+                let (val, next) = parse_number(chars, i)?;
+                i = next;
+                match key.as_str() {
+                    "pid" => ev.pid = val as i64,
+                    "tid" => ev.tid = val as i64,
+                    "ts" => ev.ts = val,
+                    "dur" => ev.dur = val,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Parses a JSON string starting at `chars[start] == '"'`, undoing the
+/// escapes [`crate::json::escape`] produces.
+fn parse_string(chars: &[char], start: usize) -> Result<(String, usize), String> {
+    if chars.get(start) != Some(&'"') {
+        return Err("expected string".into());
+    }
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let esc = *chars.get(i + 1).ok_or("truncated escape")?;
+                match esc {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = chars
+                            .get(i + 2..i + 6)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        i += 4;
+                    }
+                    c => out.push(c),
+                }
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Parses a JSON number (the `{}`-formatted `f64`s we emit).
+fn parse_number(chars: &[char], start: usize) -> Result<(f64, usize), String> {
+    let mut i = start;
+    let mut text = String::new();
+    while i < chars.len() && matches!(chars[i], '0'..='9' | '-' | '+' | '.' | 'e' | 'E') {
+        text.push(chars[i]);
+        i += 1;
+    }
+    text.parse::<f64>()
+        .map(|v| (v, i))
+        .map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+/// Skips a nested object (one `args` level; strings may contain
+/// braces). Returns the index just past the matching `}`.
+fn skip_object(chars: &[char], start: usize) -> Result<usize, String> {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(i + 1);
+                }
+            }
+            '"' => {
+                let (_, next) = parse_string(chars, i)?;
+                i = next;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err("unterminated nested object".into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +310,40 @@ mod tests {
     #[test]
     fn empty_export_is_empty_array() {
         assert_eq!(export(&[], false), "[]");
+        assert!(parse("[]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_plain_export() {
+        let spans = sample();
+        let events = parse(&export(&spans, false)).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "k\"quoted\"");
+        assert_eq!(events[0].cat, "kernel");
+        assert_eq!(events[0].ph, "X");
+        assert_eq!(events[0].pid, Layer::Sim.pid() as i64);
+        assert_eq!(events[0].tid, 2);
+        assert_eq!(events[0].ts, 0.0);
+        assert_eq!(events[0].dur, 2.0);
+        assert_eq!(events[1].ph, "i");
+        assert_eq!(events[1].ts, 1.0);
+    }
+
+    #[test]
+    fn parse_round_trips_rich_export() {
+        let spans = sample();
+        let events = parse(&export(&spans, true)).unwrap();
+        // 2 process_name metadata events + 2 span events.
+        assert_eq!(events.len(), 4);
+        let metas = events.iter().filter(|e| e.ph == "M").count();
+        assert_eq!(metas, 2);
+        assert!(events.iter().any(|e| e.name == "k\"quoted\""));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("[{\"name\":").is_err());
+        assert!(parse("[{]").is_err());
     }
 }

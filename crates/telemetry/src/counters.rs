@@ -327,6 +327,24 @@ impl CounterSet {
         }
         out
     }
+
+    /// Renders the *full registry* as Prometheus text exposition:
+    /// every [`Counter`] gets its `# HELP`/`# TYPE` lines and a sample
+    /// (0 when the counter was never touched). Scrapers therefore see
+    /// a stable series set run-over-run, instead of metrics appearing
+    /// only once their first event lands.
+    pub fn to_prometheus_all(&self, labels: &[(&str, &str)]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let label_str = render_labels(labels);
+        for c in Counter::ALL {
+            let name = c.metric_name();
+            let _ = writeln!(out, "# HELP {name} {}", c.help());
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{label_str} {}", self.get(c));
+        }
+        out
+    }
 }
 
 /// Renders a Prometheus label set (`{a="x",b="y"}`, empty when none).
@@ -413,6 +431,51 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    /// Prometheus metric-name charset: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn valid_metric_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    #[test]
+    fn full_registry_exposition_conformance() {
+        let mut set = CounterSet::new();
+        set.add(Counter::Macs, 7.0);
+        let text = set.to_prometheus_all(&[("chip", "i20")]);
+        let mut help = 0usize;
+        let mut typ = 0usize;
+        let mut names = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                help += 1;
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(valid_metric_name(name), "invalid metric name {name:?}");
+                names.push(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typ += 1;
+                assert!(rest.ends_with(" counter"), "bad TYPE line: {line}");
+            } else {
+                // Sample line: name{labels} value
+                let name = line.split('{').next().unwrap();
+                assert!(valid_metric_name(name), "invalid sample name {name:?}");
+            }
+        }
+        // Every counter in the registry is covered exactly once.
+        assert_eq!(help, Counter::ALL.len());
+        assert_eq!(typ, Counter::ALL.len());
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate metric names");
+        // Touched counters carry their value, untouched ones render 0.
+        assert!(text.contains("dtu_macs_total{chip=\"i20\"} 7"));
+        assert!(text.contains("dtu_sync_ops_total{chip=\"i20\"} 0"));
     }
 
     #[test]

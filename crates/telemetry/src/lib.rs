@@ -54,11 +54,19 @@ pub mod attr;
 pub mod chrome;
 pub mod clock;
 pub mod counters;
+pub mod flight;
+pub mod histogram;
 pub mod json;
 pub mod record;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use attr::{AttributionReport, Bottleneck, Degradation, MachineSpec, OpRecord};
 pub use counters::{Counter, CounterSet, CounterSnapshot, Unit};
+pub use flight::{FlightDump, FlightRecorder};
+pub use histogram::{Exemplar, HistogramWindow, LogHistogram, WindowedHistogram};
 pub use record::{NullRecorder, Recorder, TraceBuffer};
+pub use slo::{AlertEvent, AlertKind, SloSpec, SloTracker};
 pub use span::{Layer, Span, SpanKind};
+pub use timeseries::TimeSeries;
