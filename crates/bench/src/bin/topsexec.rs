@@ -19,6 +19,8 @@
 //! topsexec top --models resnet50,bert --plan core-failure --severity 1
 //! topsexec slo resnet50 --seed 7       # SLO compliance report (byte-deterministic JSON)
 //! topsexec slo resnet50 --plan core-failure --flight-out blackbox.json
+//! topsexec fleet resnet50 --chips 16 --seed 7   # cluster-scale serving simulation
+//! topsexec fleet --chips 8 --kill-chip 3 --kill-at 5000 --format table
 //! ```
 
 use dtu::serve::{
@@ -28,6 +30,7 @@ use dtu::serve::{
 };
 use dtu::telemetry::{AttributionReport, Recorder, SloSpec, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
+use dtu_fleet::{run_fleet, ChipKill, FleetConfig, FleetTenant, FleetTopology, RollPlan};
 use dtu_graph::parse_model;
 use dtu_harness::{
     available_jobs, run_fault_sweep, run_slo_scenario, run_slo_sweep, run_sweep, slo_point_seed,
@@ -56,6 +59,7 @@ fn usage() -> &'static str {
      \x20      topsexec faults [<name>] [fault options]\n\
      \x20      topsexec top [top options]\n\
      \x20      topsexec slo [<name>] [slo options]\n\
+     \x20      topsexec fleet [<name>] [fleet options]\n\
      \n\
      options:\n\
        --model <name>           one of: yolov3 centernet retinaface vgg16\n\
@@ -150,7 +154,38 @@ fn usage() -> &'static str {
                                 cache temperature\n\
        --flight-out <file.json> write the first grid point's flight-recorder\n\
                                 dump as a Perfetto/Chrome trace\n\
-       --cache-dir / --no-disk-cache as for sweep"
+       --cache-dir / --no-disk-cache as for sweep\n\
+     \n\
+     fleet options (cluster-scale serving over N chips x M cards):\n\
+       <name> / --models <a,..> model name(s) to serve (default resnet50)\n\
+       --chips <n>              chips in the fleet (default 4)\n\
+       --cards <n>              cards they sit on; chips must divide\n\
+                                evenly (default 1)\n\
+       --qps <q>                fleet-wide offered load (default\n\
+                                7500 x chips, split across models)\n\
+       --duration <ms>          arrival horizon (default 10000)\n\
+       --epoch <ms>             routing-epoch length (default 1000)\n\
+       --replicas <n>           replicas per tenant, 0 = every chip\n\
+                                (default 0)\n\
+       --deadline <ms>          per-request SLA deadline (default 50)\n\
+       --queue-depth <n>        per-replica admission cap (default 256)\n\
+       --cells <n>              routing cells per replica per epoch\n\
+                                (default 2)\n\
+       --no-roll                skip the default rolling deploy\n\
+       --roll-start <ms>        when the roll begins (default 20% of\n\
+                                the horizon)\n\
+       --roll-chips <n>         chips drained per epoch (default\n\
+                                chips/4, at least 1)\n\
+       --kill-chip <n>          kill chip n mid-run (whole-chip fault)\n\
+       --kill-at <ms>           when the kill fires (default 50% of\n\
+                                the horizon)\n\
+       --seed <n>               fleet seed (default 7)\n\
+       --jobs <n>               worker threads (default: all cores)\n\
+       --format <json|table>    report on stdout (default json);\n\
+                                byte-identical across runs, --jobs, and\n\
+                                cache temperature (table adds the\n\
+                                schedule-dependent cache tally)\n\
+       --chip / --cache-dir / --no-disk-cache as for sweep"
 }
 
 fn chip_by_name(name: &str) -> Result<ChipConfig, String> {
@@ -1529,6 +1564,223 @@ fn run_profile() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct FleetArgs {
+    models: Vec<String>,
+    chips: usize,
+    cards: usize,
+    qps: Option<f64>,
+    duration_ms: f64,
+    epoch_ms: f64,
+    replicas: usize,
+    deadline_ms: f64,
+    queue_depth: usize,
+    cells: usize,
+    roll: bool,
+    roll_start: Option<f64>,
+    roll_chips: Option<usize>,
+    kill_chip: Option<usize>,
+    kill_at: Option<f64>,
+    seed: u64,
+    chip: String,
+    jobs: usize,
+    format: String,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+fn parse_fleet_args() -> Result<FleetArgs, String> {
+    let mut args = FleetArgs {
+        models: Vec::new(),
+        chips: 4,
+        cards: 1,
+        qps: None,
+        duration_ms: 10_000.0,
+        epoch_ms: 1_000.0,
+        replicas: 0,
+        deadline_ms: 50.0,
+        queue_depth: 256,
+        cells: 2,
+        roll: true,
+        roll_start: None,
+        roll_chips: None,
+        kill_chip: None,
+        kill_at: None,
+        seed: 7,
+        chip: "i20".into(),
+        jobs: available_jobs(),
+        format: "json".into(),
+        cache_dir: None,
+        disk_cache: true,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parse_num = |flag: &str, v: String| -> Result<f64, String> {
+            v.parse().map_err(|_| format!("{flag} needs a number"))
+        };
+        let parse_int = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{flag} needs an integer"))
+        };
+        match a.as_str() {
+            "--models" | "--model" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--chips" => args.chips = parse_int("--chips", value("--chips")?)?,
+            "--cards" => args.cards = parse_int("--cards", value("--cards")?)?,
+            "--qps" => args.qps = Some(parse_num("--qps", value("--qps")?)?),
+            "--duration" => args.duration_ms = parse_num("--duration", value("--duration")?)?,
+            "--epoch" => args.epoch_ms = parse_num("--epoch", value("--epoch")?)?,
+            "--replicas" => args.replicas = parse_int("--replicas", value("--replicas")?)?,
+            "--deadline" => args.deadline_ms = parse_num("--deadline", value("--deadline")?)?,
+            "--queue-depth" => {
+                args.queue_depth = parse_int("--queue-depth", value("--queue-depth")?)?
+            }
+            "--cells" => args.cells = parse_int("--cells", value("--cells")?)?,
+            "--no-roll" => args.roll = false,
+            "--roll-start" => {
+                args.roll_start = Some(parse_num("--roll-start", value("--roll-start")?)?)
+            }
+            "--roll-chips" => {
+                args.roll_chips = Some(parse_int("--roll-chips", value("--roll-chips")?)?)
+            }
+            "--kill-chip" => {
+                args.kill_chip = Some(parse_int("--kill-chip", value("--kill-chip")?)?)
+            }
+            "--kill-at" => args.kill_at = Some(parse_num("--kill-at", value("--kill-at")?)?),
+            "--seed" => args.seed = parse_int("--seed", value("--seed")?)? as u64,
+            "--chip" => args.chip = value("--chip")?,
+            "--jobs" | "-j" => args.jobs = parse_int("--jobs", value("--jobs")?)?,
+            "--format" => args.format = value("--format")?,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
+            "--help" | "-h" => return Err(String::new()),
+            name if !name.starts_with('-') => args.models.push(name.to_string()),
+            other => return Err(format!("unknown fleet flag '{other}'")),
+        }
+    }
+    if args.models.is_empty() {
+        args.models.push("resnet50".into());
+    }
+    if args.cards == 0 || args.chips == 0 || !args.chips.is_multiple_of(args.cards) {
+        return Err(format!(
+            "--chips {} must divide evenly over --cards {}",
+            args.chips, args.cards
+        ));
+    }
+    if !matches!(args.format.as_str(), "table" | "json") {
+        return Err(format!(
+            "--format must be table or json, got '{}'",
+            args.format
+        ));
+    }
+    Ok(args)
+}
+
+fn run_fleet_cmd() -> ExitCode {
+    let args = match parse_fleet_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let topology = match FleetTopology::homogeneous(args.cards, args.chips / args.cards, &chip_cfg)
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let qps_total = args.qps.unwrap_or(7_500.0 * topology.len() as f64);
+    let qps_per_model = qps_total / args.models.len() as f64;
+    let mut tenants = Vec::new();
+    for name in &args.models {
+        let Some(m) = model_by_name(name) else {
+            eprintln!("error: unknown model '{name}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let mut tenant = FleetTenant::new(
+            SweepModel::new(name.clone(), move |b| m.build(b)),
+            qps_per_model,
+        );
+        tenant.replicas = args.replicas;
+        tenant.deadline_ms = args.deadline_ms;
+        tenant.queue_depth = args.queue_depth;
+        tenants.push(tenant);
+    }
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+    let cfg = FleetConfig {
+        duration_ms: args.duration_ms,
+        epoch_ms: args.epoch_ms,
+        seed: args.seed,
+        cells_per_replica: args.cells,
+        roll: args.roll.then(|| {
+            RollPlan::new(
+                args.roll_start.unwrap_or(args.duration_ms * 0.2),
+                args.roll_chips
+                    .unwrap_or_else(|| (topology.len() / 4).max(1)),
+            )
+        }),
+        kill: args.kill_chip.map(|chip| ChipKill {
+            chip,
+            at_ms: args.kill_at.unwrap_or(args.duration_ms * 0.5),
+        }),
+    };
+
+    let started = std::time::Instant::now();
+    let report = match run_fleet(&topology, &tenants, &cfg, &cache, args.jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // The report goes to stdout and is schedule-independent; the
+    // wall-clock chatter and cache tally stay on stderr.
+    match args.format.as_str() {
+        "table" => print!("{}", report.to_table()),
+        _ => println!("{}", report.to_json()),
+    }
+    let availability = if report.offered == 0 {
+        1.0
+    } else {
+        report.completed as f64 / report.offered as f64
+    };
+    eprintln!(
+        "[fleet] {} chips x {} epochs on {} workers in {:.0} ms; {} offered, \
+         availability {:.3}, {} lost / {} rolled; cache: {} memory + {} disk hits, {} misses",
+        report.chips,
+        report.epochs,
+        args.jobs,
+        elapsed_ms,
+        report.offered,
+        availability,
+        report.chips_lost,
+        report.chips_rolled,
+        report.cache.memory_hits,
+        report.cache.disk_hits,
+        report.cache.misses
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => return run_serve(),
@@ -1537,6 +1789,7 @@ fn main() -> ExitCode {
         Some("faults") => return run_faults(),
         Some("top") => return run_top(),
         Some("slo") => return run_slo(),
+        Some("fleet") => return run_fleet_cmd(),
         _ => {}
     }
     let args = match parse_args() {

@@ -1,0 +1,760 @@
+//! The fleet engine: epoch-synchronised execution of per-chip serving
+//! simulations on the harness worker pool.
+//!
+//! Time is divided into *routing epochs*. At the start of each epoch
+//! the router assigns every tenant's fleet-wide load to live replicas
+//! (`crate::route_epoch`), then every chip with traffic runs an
+//! independent [`dtu_serve`] simulation of the epoch as one point of a
+//! fresh [`ExperimentPlan`] — the epoch boundary is the
+//! synchronisation point where results merge, the router's EWMA
+//! updates, rolls advance, and chip losses re-place replicas. Each
+//! epoch's serve run drains (admitted requests complete), which models
+//! in-flight work finishing before the next routing decision.
+//!
+//! Determinism: per-(chip, epoch) serve seeds are content hashes of
+//! (fleet seed, chip, epoch); results merge in chip order whatever the
+//! worker schedule did; the router and scheduler use no hash-map
+//! iteration. Two runs with the same inputs produce byte-identical
+//! [`FleetReport::to_json`] output for any `--jobs` and any cache
+//! temperature.
+//!
+//! Chip loss: a [`ChipKill`] schedules the permanent failure of every
+//! processing group on one chip (a [`FaultKind::CoreFailure`] per
+//! group, built on the same `dtu-faults` plan machinery the per-chip
+//! presets use). When the failure aborts the chip's epoch mid-run, the
+//! engine re-runs the epoch truncated at the kill time with the same
+//! seed — the arrival prefix is identical — so the dead chip's books
+//! close exactly: requests that would have arrived after the kill are
+//! never offered (clients fail over at the next epoch), and
+//! `offered == completed + shed + fault_dropped` holds fleet-wide.
+
+use crate::{
+    place, replace_after_loss, route_epoch, FleetChipReport, FleetError, FleetReport, FleetTenant,
+    FleetTenantReport, FleetTopology, RollPlan, RollState, RouterState,
+};
+use dtu_compiler::Fnv1a;
+use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
+use dtu_harness::{ExperimentPlan, HarnessError, SessionCache};
+use dtu_serve::{
+    run_serving, ArrivalProcess, BatchPolicy, CompiledModel, RetryPolicy, ScalePolicy, ServeConfig,
+    ServeError, ServiceModel, SlaPolicy, TenantSpec,
+};
+use dtu_sim::{Chip, SimError};
+use dtu_telemetry::LogHistogram;
+
+/// A scheduled whole-chip failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipKill {
+    /// The chip to kill.
+    pub chip: usize,
+    /// Simulated failure time, ms (clamped into the run; a time past
+    /// the horizon never fires).
+    pub at_ms: f64,
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Arrival horizon, ms (each epoch's serve run then drains).
+    pub duration_ms: f64,
+    /// Routing-epoch length, ms.
+    pub epoch_ms: f64,
+    /// Fleet seed; folded into every routing and serve seed.
+    pub seed: u64,
+    /// Routing cells per live replica per epoch (balancing
+    /// granularity).
+    pub cells_per_replica: usize,
+    /// Optional rolling deploy to run.
+    pub roll: Option<RollPlan>,
+    /// Optional whole-chip failure to inject.
+    pub kill: Option<ChipKill>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            duration_ms: 10_000.0,
+            epoch_ms: 1_000.0,
+            seed: 7,
+            cells_per_replica: 2,
+            roll: None,
+            kill: None,
+        }
+    }
+}
+
+/// One tenant's share of one chip-epoch simulation.
+#[derive(Debug, Clone)]
+struct TenantSlice {
+    /// Fleet tenant index.
+    tenant: usize,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    violations: u64,
+    retries: u64,
+    fault_dropped: u64,
+    groups_lost: u64,
+    /// Exact latency histogram of the slice's completions.
+    hist: LogHistogram,
+    /// `mean_queue_delay_ms * completed`, for completion-weighted
+    /// delay merging at the epoch barrier.
+    queue_delay_weight: f64,
+}
+
+/// The result of one chip's epoch, merged at the epoch barrier.
+#[derive(Debug, Clone)]
+struct ChipEpochOutcome {
+    chip: usize,
+    killed: bool,
+    faults_injected: u64,
+    groups_lost: u64,
+    slices: Vec<TenantSlice>,
+}
+
+/// The content-derived serve seed for one (chip, epoch).
+fn chip_epoch_seed(fleet_seed: u64, chip: usize, epoch: usize) -> u64 {
+    let mut key = Fnv1a::new();
+    key.write_str("fleet-serve/");
+    key.write_u64(fleet_seed);
+    key.write_u64(chip as u64);
+    key.write_u64(epoch as u64);
+    key.finish()
+}
+
+/// A fault plan that permanently fails every processing group of a
+/// chip at `at_ms` (relative to the epoch start).
+fn chip_kill_plan(cfg: &dtu_sim::ChipConfig, at_ms: f64, seed: u64) -> FaultPlan {
+    let mut events = Vec::with_capacity(cfg.total_groups());
+    for cluster in 0..cfg.clusters {
+        for group in 0..cfg.groups_per_cluster {
+            events.push(FaultEvent {
+                at_ns: at_ms * 1e6,
+                cluster,
+                group,
+                kind: FaultKind::CoreFailure,
+            });
+        }
+    }
+    FaultPlan {
+        seed,
+        name: "chip-kill".to_string(),
+        events,
+    }
+}
+
+/// Builds the per-chip serve configuration for one epoch.
+fn chip_serve_config(
+    tenants: &[FleetTenant<'_>],
+    assignment: &[(usize, f64)],
+    groups_per_cluster: usize,
+    duration_ms: f64,
+    seed: u64,
+    faults: FaultPlan,
+) -> ServeConfig {
+    ServeConfig {
+        duration_ms,
+        seed,
+        record_requests: true,
+        faults,
+        retry: RetryPolicy::default(),
+        tenants: assignment
+            .iter()
+            .map(|&(t, qps)| {
+                let spec = &tenants[t];
+                TenantSpec {
+                    name: spec.model.name().to_string(),
+                    model: 0, // fixed up by the caller (one model per tenant)
+                    arrival: ArrivalProcess::Poisson { qps },
+                    batch: if spec.max_batch > 1 {
+                        BatchPolicy::dynamic(spec.max_batch, spec.batch_timeout_ms)
+                    } else {
+                        BatchPolicy::none()
+                    },
+                    sla: SlaPolicy::new(spec.deadline_ms, spec.queue_depth),
+                    scale: if spec.autoscale {
+                        ScalePolicy::elastic(
+                            spec.deadline_ms * 0.5,
+                            spec.deadline_ms * 0.1,
+                            groups_per_cluster,
+                        )
+                    } else {
+                        ScalePolicy::none()
+                    },
+                    cluster: None,
+                    initial_groups: spec.initial_groups,
+                }
+            })
+            .collect(),
+    }
+}
+
+fn job_err(label: &str) -> impl Fn(ServeError) -> HarnessError + '_ {
+    move |e| HarnessError::Job {
+        label: label.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Runs one chip's slice of one epoch: compiles the assigned tenants'
+/// models through the shared cache, serves the epoch, and reduces the
+/// outcome to per-tenant slices. A whole-chip kill that aborts the run
+/// is retried truncated at the kill time (same seed, identical arrival
+/// prefix) so the dead chip's accounting closes exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_chip_epoch(
+    topology: &FleetTopology,
+    tenants: &[FleetTenant<'_>],
+    assignment: &[(usize, f64)],
+    chip_idx: usize,
+    epoch_len_ms: f64,
+    serve_seed: u64,
+    kill_offset_ms: Option<f64>,
+    cache: &SessionCache,
+) -> Result<ChipEpochOutcome, HarnessError> {
+    let fleet_chip = topology.chip(chip_idx);
+    let chip_cfg = &fleet_chip.config;
+    let label = format!("chip{chip_idx}");
+    let chip = Chip::new(chip_cfg.clone());
+    let mut models: Vec<CompiledModel<'_>> = assignment
+        .iter()
+        .map(|&(t, _)| {
+            let spec = &tenants[t];
+            CompiledModel::new(&chip, spec.model.name(), |b| spec.model.build(b)).with_source(cache)
+        })
+        .collect();
+
+    let faults = match kill_offset_ms {
+        Some(at_ms) => chip_kill_plan(chip_cfg, at_ms, serve_seed),
+        None => FaultPlan::empty(),
+    };
+    let mut cfg = chip_serve_config(
+        tenants,
+        assignment,
+        chip_cfg.groups_per_cluster,
+        epoch_len_ms,
+        serve_seed,
+        faults,
+    );
+    for (i, t) in cfg.tenants.iter_mut().enumerate() {
+        t.model = i;
+    }
+
+    let mut refs: Vec<&mut dyn ServiceModel> = models
+        .iter_mut()
+        .map(|m| m as &mut dyn ServiceModel)
+        .collect();
+    let outcome = match run_serving(&cfg, chip_cfg, &mut refs) {
+        Ok(out) => out,
+        Err(ServeError::Sim(SimError::Fault(_))) if kill_offset_ms.is_some() => {
+            // The kill took the chip down mid-epoch. Re-run the exact
+            // arrival prefix (same seed, horizon truncated at the kill
+            // time, no faults) so every request that arrived before
+            // the failure is accounted; later arrivals never existed.
+            cfg.duration_ms = kill_offset_ms.unwrap_or(0.0);
+            cfg.faults = FaultPlan::empty();
+            let mut refs: Vec<&mut dyn ServiceModel> = models
+                .iter_mut()
+                .map(|m| m as &mut dyn ServiceModel)
+                .collect();
+            run_serving(&cfg, chip_cfg, &mut refs).map_err(job_err(&label))?
+        }
+        Err(other) => return Err(job_err(&label)(other)),
+    };
+
+    let killed = kill_offset_ms.is_some();
+    let mut slices: Vec<TenantSlice> = assignment
+        .iter()
+        .zip(&outcome.report.tenants)
+        .map(|(&(t, _), rep)| TenantSlice {
+            tenant: t,
+            offered: rep.offered,
+            completed: rep.completed,
+            shed: rep.shed,
+            violations: rep.violations,
+            retries: rep.retries,
+            fault_dropped: rep.fault_dropped,
+            groups_lost: rep.groups_lost,
+            hist: LogHistogram::new(),
+            queue_delay_weight: rep.mean_queue_delay_ms * rep.completed as f64,
+        })
+        .collect();
+    for req in &outcome.requests {
+        slices[req.tenant].hist.record(req.done_ms - req.arrival_ms);
+    }
+    // A killed chip loses all its groups whichever code path the serve
+    // run took (the abort-and-truncate path reports none itself).
+    let chip_groups = chip_cfg.total_groups() as u64;
+    Ok(ChipEpochOutcome {
+        chip: chip_idx,
+        killed,
+        faults_injected: if killed {
+            chip_groups
+        } else {
+            outcome.report.faults_injected
+        },
+        groups_lost: if killed {
+            chip_groups
+        } else {
+            slices.iter().map(|s| s.groups_lost).sum()
+        },
+        slices,
+    })
+}
+
+/// Per-chip accounting accumulated across epochs.
+#[derive(Debug, Clone, Default)]
+struct ChipAccum {
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    fault_dropped: u64,
+    groups_lost: u64,
+    dead: bool,
+}
+
+/// Per-tenant accounting accumulated across epochs.
+#[derive(Debug, Clone, Default)]
+struct TenantAccum {
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    violations: u64,
+    fault_dropped: u64,
+    hist: LogHistogram,
+    roll_offered: u64,
+    roll_completed: u64,
+}
+
+/// Runs the whole fleet simulation and merges the outcome into a
+/// [`FleetReport`].
+///
+/// `jobs` is the harness worker-pool width for the per-chip epoch
+/// simulations; it affects wall-clock only, never the report
+/// ([`FleetReport::to_json`] is byte-identical across job counts).
+///
+/// # Errors
+///
+/// [`FleetError::Config`] for impossible topologies, placements, or
+/// epoch settings; [`FleetError::Harness`] when a chip simulation
+/// fails for a non-kill reason; [`FleetError::Accounting`] if the
+/// fleet-wide `offered == completed + shed + fault_dropped` invariant
+/// breaks (a bug, never expected).
+pub fn run_fleet(
+    topology: &FleetTopology,
+    tenants: &[FleetTenant<'_>],
+    cfg: &FleetConfig,
+    cache: &SessionCache,
+    jobs: usize,
+) -> Result<FleetReport, FleetError> {
+    if cfg.epoch_ms.is_nan()
+        || cfg.epoch_ms <= 0.0
+        || cfg.duration_ms.is_nan()
+        || cfg.duration_ms <= 0.0
+    {
+        return Err(FleetError::Config(
+            "fleet duration and epoch length must be positive".into(),
+        ));
+    }
+    if let Some(kill) = &cfg.kill {
+        if kill.chip >= topology.len() {
+            return Err(FleetError::Config(format!(
+                "kill targets chip {} but the fleet has {}",
+                kill.chip,
+                topology.len()
+            )));
+        }
+    }
+    let n = topology.len();
+    let stats_before = cache.stats();
+    let mut placement = place(topology, tenants)?;
+    let initial_replicas: Vec<usize> = placement.replicas.iter().map(Vec::len).collect();
+
+    let mut alive = vec![true; n];
+    let mut router = RouterState::new(n);
+    let mut roll_state = cfg.roll.as_ref().map(|p| RollState::new(n, p));
+    let mut chip_accum = vec![ChipAccum::default(); n];
+    let mut tenant_accum = vec![TenantAccum::default(); tenants.len()];
+    let mut routed_cells = 0u64;
+    let mut replica_moves = 0u64;
+    let mut chips_lost = 0u64;
+    let mut faults_injected = 0u64;
+    let mut retries = 0u64;
+
+    let epochs = (cfg.duration_ms / cfg.epoch_ms).ceil() as usize;
+    for epoch in 0..epochs {
+        let epoch_start = epoch as f64 * cfg.epoch_ms;
+        let epoch_len = (cfg.duration_ms - epoch_start).min(cfg.epoch_ms);
+
+        // A kill landing in this epoch either fires before routing
+        // (offset ~0: the chip receives no traffic at all) or mid-run
+        // (the chip's simulation aborts and truncates).
+        let mut kill_this_epoch: Option<(usize, f64)> = None;
+        if let Some(kill) = &cfg.kill {
+            if alive[kill.chip] && kill.at_ms < epoch_start + epoch_len {
+                let offset = (kill.at_ms - epoch_start).max(0.0);
+                if offset <= 1e-9 {
+                    alive[kill.chip] = false;
+                    chip_accum[kill.chip].dead = true;
+                    chip_accum[kill.chip].groups_lost =
+                        topology.chip(kill.chip).config.total_groups() as u64;
+                    chips_lost += 1;
+                    replica_moves +=
+                        replace_after_loss(&mut placement, kill.chip, &alive, topology, tenants)
+                            as u64;
+                } else {
+                    kill_this_epoch = Some((kill.chip, offset));
+                }
+            }
+        }
+
+        let rolling = match (&cfg.roll, roll_state.as_mut()) {
+            (Some(plan), Some(state)) => state.begin_epoch(plan, epoch_start, &alive),
+            _ => false,
+        };
+        let draining: Vec<bool> = roll_state
+            .as_ref()
+            .map_or_else(|| vec![false; n], |s| s.draining.clone());
+
+        let live: Vec<Vec<usize>> = placement
+            .replicas
+            .iter()
+            .map(|reps| {
+                reps.iter()
+                    .copied()
+                    .filter(|&c| alive[c] && !draining[c])
+                    .collect()
+            })
+            .collect();
+        let qps: Vec<f64> = tenants.iter().map(|t| t.qps).collect();
+        let routes = route_epoch(&qps, &live, &router, cfg.seed, epoch, cfg.cells_per_replica);
+        routed_cells += routes.cells;
+
+        let mut plan: ExperimentPlan<'_, ChipEpochOutcome> = ExperimentPlan::new();
+        for chip in 0..n {
+            let assignment = routes.on_chip(chip);
+            if assignment.is_empty() {
+                continue;
+            }
+            let mut key = Fnv1a::new();
+            key.write_str("fleet-point/");
+            key.write_u64(cfg.seed);
+            key.write_u64(epoch as u64);
+            key.write_u64(chip as u64);
+            let serve_seed = chip_epoch_seed(cfg.seed, chip, epoch);
+            let kill_offset = kill_this_epoch
+                .filter(|&(c, _)| c == chip)
+                .map(|(_, offset)| offset);
+            plan.add_point(
+                key.finish(),
+                format!("chip{chip} e{epoch}"),
+                &[],
+                move |_| {
+                    run_chip_epoch(
+                        topology,
+                        tenants,
+                        &assignment,
+                        chip,
+                        epoch_len,
+                        serve_seed,
+                        kill_offset,
+                        cache,
+                    )
+                },
+            );
+        }
+
+        // Epoch barrier: merge in chip (insertion) order, whatever the
+        // worker schedule did.
+        for result in plan.run(jobs) {
+            let out = result.map_err(FleetError::Harness)?;
+            faults_injected += out.faults_injected;
+            let accum = &mut chip_accum[out.chip];
+            let (mut chip_completed, mut delay_weight) = (0u64, 0.0f64);
+            for slice in &out.slices {
+                accum.offered += slice.offered;
+                accum.completed += slice.completed;
+                accum.shed += slice.shed;
+                accum.fault_dropped += slice.fault_dropped;
+                retries += slice.retries;
+                chip_completed += slice.completed;
+                delay_weight += slice.queue_delay_weight;
+                let t = &mut tenant_accum[slice.tenant];
+                t.offered += slice.offered;
+                t.completed += slice.completed;
+                t.shed += slice.shed;
+                t.violations += slice.violations;
+                t.fault_dropped += slice.fault_dropped;
+                t.hist.merge(&slice.hist);
+                if rolling {
+                    t.roll_offered += slice.offered;
+                    t.roll_completed += slice.completed;
+                }
+            }
+            if out.killed {
+                accum.dead = true;
+                accum.groups_lost = out.groups_lost;
+                alive[out.chip] = false;
+                chips_lost += 1;
+                replica_moves +=
+                    replace_after_loss(&mut placement, out.chip, &alive, topology, tenants) as u64;
+            } else {
+                accum.groups_lost += out.groups_lost;
+                let delay = if chip_completed > 0 {
+                    delay_weight / chip_completed as f64
+                } else {
+                    0.0
+                };
+                router.observe(out.chip, delay);
+            }
+        }
+    }
+
+    if let (Some(plan), Some(state)) = (&cfg.roll, roll_state.as_mut()) {
+        state.finish(plan);
+    }
+
+    let offered: u64 = chip_accum.iter().map(|c| c.offered).sum();
+    let completed: u64 = chip_accum.iter().map(|c| c.completed).sum();
+    let shed: u64 = chip_accum.iter().map(|c| c.shed).sum();
+    let fault_dropped: u64 = chip_accum.iter().map(|c| c.fault_dropped).sum();
+    let violations: u64 = tenant_accum.iter().map(|t| t.violations).sum();
+
+    let loads: Vec<u64> = (0..n)
+        .filter(|&c| alive[c] && chip_accum[c].offered > 0)
+        .map(|c| chip_accum[c].offered)
+        .collect();
+    let load_ratio = if loads.len() < 2 {
+        1.0
+    } else {
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        let min = *loads.iter().min().expect("non-empty") as f64;
+        max / min
+    };
+
+    let tenant_reports: Vec<FleetTenantReport> = tenants
+        .iter()
+        .zip(&tenant_accum)
+        .zip(&initial_replicas)
+        .map(|((spec, acc), &replicas)| FleetTenantReport {
+            name: spec.model.name().to_string(),
+            replicas,
+            offered: acc.offered,
+            completed: acc.completed,
+            shed: acc.shed,
+            violations: acc.violations,
+            fault_dropped: acc.fault_dropped,
+            p50_ms: acc.hist.quantile(0.50),
+            p99_ms: acc.hist.quantile(0.99),
+            mean_ms: acc.hist.mean(),
+            max_ms: acc.hist.max(),
+            availability: if acc.offered == 0 {
+                1.0
+            } else {
+                acc.completed as f64 / acc.offered as f64
+            },
+            roll_availability: if acc.roll_offered == 0 {
+                None
+            } else {
+                Some(acc.roll_completed as f64 / acc.roll_offered as f64)
+            },
+        })
+        .collect();
+
+    let chips_detail: Vec<FleetChipReport> = (0..n)
+        .map(|c| FleetChipReport {
+            chip: c,
+            card: topology.chip(c).card,
+            offered: chip_accum[c].offered,
+            completed: chip_accum[c].completed,
+            shed: chip_accum[c].shed,
+            fault_dropped: chip_accum[c].fault_dropped,
+            groups_lost: chip_accum[c].groups_lost,
+            dead: chip_accum[c].dead,
+            version: roll_state
+                .as_ref()
+                .map_or_else(|| "v1".to_string(), |s| s.version[c].clone()),
+            ewma_delay_ms: router.ewma_delay_ms[c],
+        })
+        .collect();
+
+    let report = FleetReport {
+        chips: n,
+        cards: topology.cards(),
+        chip_name: topology.chip(0).config.name.clone(),
+        duration_ms: cfg.duration_ms,
+        epoch_ms: cfg.epoch_ms,
+        epochs,
+        seed: cfg.seed,
+        offered,
+        completed,
+        shed,
+        violations,
+        retries,
+        fault_dropped,
+        faults_injected,
+        routed_cells,
+        replica_moves,
+        chips_lost,
+        chips_rolled: roll_state.as_ref().map_or(0, |s| s.rolled_count()) as u64,
+        load_ratio,
+        tenants: tenant_reports,
+        chips_detail,
+        cache: cache.stats().delta_since(stats_before),
+    };
+    if !report.accounting_balances() {
+        return Err(FleetError::Accounting(format!(
+            "offered {} != completed {} + shed {} + fault_dropped {}",
+            report.offered, report.completed, report.shed, report.fault_dropped
+        )));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RollPlan;
+    use dtu_graph::{Graph, Op, TensorType};
+    use dtu_harness::SweepModel;
+    use dtu_sim::ChipConfig;
+
+    fn toy_model() -> SweepModel<'static> {
+        SweepModel::new("toy", |batch| {
+            let mut g = Graph::new("toy");
+            let x = g.input("x", TensorType::fixed(&[batch, 32, 28, 28]));
+            let c = g.add_node(Op::conv2d(32, 3, 1, 1), vec![x]).unwrap();
+            g.mark_output(c);
+            g
+        })
+    }
+
+    fn small_cfg() -> FleetConfig {
+        FleetConfig {
+            duration_ms: 2000.0,
+            epoch_ms: 1000.0,
+            seed: 7,
+            cells_per_replica: 2,
+            roll: None,
+            kill: None,
+        }
+    }
+
+    #[test]
+    fn fleet_run_serves_and_balances() {
+        let topo = FleetTopology::homogeneous(1, 4, &ChipConfig::dtu20()).unwrap();
+        let tenants = vec![FleetTenant::new(toy_model(), 2000.0)];
+        let cache = SessionCache::memory_only();
+        let r = run_fleet(&topo, &tenants, &small_cfg(), &cache, 2).unwrap();
+        assert!(r.offered > 3000, "2000 qps x 2 s arrived: {}", r.offered);
+        assert!(r.accounting_balances());
+        assert_eq!(r.chips_lost, 0);
+        assert!(r.load_ratio < 2.5, "balanced: {}", r.load_ratio);
+        assert!(r.tenants[0].p99_ms >= r.tenants[0].p50_ms);
+        assert!(r.cache.misses > 0, "first run compiles");
+    }
+
+    #[test]
+    fn chip_kill_mid_run_degrades_gracefully() {
+        let topo = FleetTopology::homogeneous(1, 3, &ChipConfig::dtu20()).unwrap();
+        let tenants = vec![FleetTenant::new(toy_model(), 1500.0)];
+        let cache = SessionCache::memory_only();
+        let cfg = FleetConfig {
+            kill: Some(ChipKill {
+                chip: 1,
+                at_ms: 500.0,
+            }),
+            ..small_cfg()
+        };
+        let r = run_fleet(&topo, &tenants, &cfg, &cache, 2).unwrap();
+        assert_eq!(r.chips_lost, 1);
+        assert!(r.chips_detail[1].dead);
+        assert_eq!(
+            r.chips_detail[1].groups_lost,
+            ChipConfig::dtu20().total_groups() as u64
+        );
+        assert!(r.accounting_balances(), "no accounting leaks after kill");
+        // Replicas were already everywhere (replicas = 0), so nothing
+        // to move, but the survivors keep serving.
+        assert!(r.chips_detail[0].offered > 0);
+        assert!(r.chips_detail[2].offered > 0);
+    }
+
+    #[test]
+    fn kill_at_epoch_start_routes_no_traffic_to_the_dead_chip() {
+        let topo = FleetTopology::homogeneous(1, 2, &ChipConfig::dtu20()).unwrap();
+        let tenants = vec![FleetTenant::new(toy_model(), 1000.0)];
+        let cache = SessionCache::memory_only();
+        let cfg = FleetConfig {
+            kill: Some(ChipKill {
+                chip: 0,
+                at_ms: 0.0,
+            }),
+            ..small_cfg()
+        };
+        let r = run_fleet(&topo, &tenants, &cfg, &cache, 1).unwrap();
+        assert_eq!(r.chips_detail[0].offered, 0);
+        assert!(r.chips_detail[0].dead);
+        assert!(r.chips_detail[1].offered > 0);
+        assert!(r.accounting_balances());
+    }
+
+    #[test]
+    fn rolling_deploy_swaps_every_chip_and_reports_availability() {
+        let topo = FleetTopology::homogeneous(1, 4, &ChipConfig::dtu20()).unwrap();
+        let tenants = vec![FleetTenant::new(toy_model(), 2000.0)];
+        let cache = SessionCache::memory_only();
+        let cfg = FleetConfig {
+            duration_ms: 6000.0,
+            roll: Some(RollPlan::new(1000.0, 2)),
+            ..small_cfg()
+        };
+        let r = run_fleet(&topo, &tenants, &cfg, &cache, 2).unwrap();
+        assert_eq!(r.chips_rolled, 4);
+        assert!(r.chips_detail.iter().all(|c| c.version == "v2"));
+        let roll = r.tenants[0].roll_availability.expect("traffic during roll");
+        assert!(roll > 0.0 && roll <= 1.0);
+        assert!(r.accounting_balances());
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_jobs() {
+        let topo = FleetTopology::homogeneous(1, 4, &ChipConfig::dtu20()).unwrap();
+        let cfg = FleetConfig {
+            roll: Some(RollPlan::new(1000.0, 1)),
+            kill: Some(ChipKill {
+                chip: 3,
+                at_ms: 1500.0,
+            }),
+            duration_ms: 4000.0,
+            ..small_cfg()
+        };
+        let cache1 = SessionCache::memory_only();
+        let tenants1 = vec![FleetTenant::new(toy_model(), 1200.0)];
+        let r1 = run_fleet(&topo, &tenants1, &cfg, &cache1, 1).unwrap();
+        let cache8 = SessionCache::memory_only();
+        let tenants8 = vec![FleetTenant::new(toy_model(), 1200.0)];
+        let r8 = run_fleet(&topo, &tenants8, &cfg, &cache8, 8).unwrap();
+        assert_eq!(r1.to_json(), r8.to_json());
+    }
+
+    #[test]
+    fn bad_configs_fail_loudly() {
+        let topo = FleetTopology::homogeneous(1, 2, &ChipConfig::dtu20()).unwrap();
+        let cache = SessionCache::memory_only();
+        let tenants = vec![FleetTenant::new(toy_model(), 100.0)];
+        let bad_epoch = FleetConfig {
+            epoch_ms: 0.0,
+            ..small_cfg()
+        };
+        assert!(run_fleet(&topo, &tenants, &bad_epoch, &cache, 1).is_err());
+        let bad_kill = FleetConfig {
+            kill: Some(ChipKill {
+                chip: 9,
+                at_ms: 0.0,
+            }),
+            ..small_cfg()
+        };
+        assert!(run_fleet(&topo, &tenants, &bad_kill, &cache, 1).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! dtu-fleet: cluster-scale serving over N×M simulated DTUs.
+//!
+//! One Cloudblazer card carries several DTU chips and one rack carries
+//! several cards; cloud inference at the scale the paper targets is a
+//! *fleet* problem, not a chip problem. This crate layers a
+//! deterministic cluster simulation above [`dtu_serve`]:
+//!
+//! - [`FleetTopology`] — N chips × M cards, homogeneous or mixed
+//!   ([`ChipConfig`](dtu_sim::ChipConfig) per chip), each chip an
+//!   independent serving engine.
+//! - [`place`] — the fleet scheduler: replicas spread for throughput,
+//!   placed by content-hashed *artifact fingerprint* for compile
+//!   locality, so identical artifacts compile once in the shared
+//!   [`SessionCache`](dtu_harness::SessionCache) and are reused
+//!   fleet-wide.
+//! - [`route_epoch`] — cross-chip routing: power-of-two-choices over
+//!   projected load and EWMA queueing delay, deterministic
+//!   tie-breaking.
+//! - [`RollPlan`] — rolling deploys: drain, swap, re-admit, with
+//!   per-tenant availability accounted while the roll is in flight.
+//! - [`run_fleet`] — the engine: per-chip epoch simulations executed
+//!   on the harness's parallel [`ExperimentPlan`](dtu_harness::ExperimentPlan)
+//!   pool with routing epochs as sync points, merged into a
+//!   [`FleetReport`] whose JSON is byte-identical across worker
+//!   counts.
+//!
+//! Chip loss is a first-class event: a [`ChipKill`] takes a whole chip
+//! down mid-run (via `dtu-faults` core failures), the scheduler
+//! re-places its replicas on survivors, and the
+//! `offered == completed + shed + fault_dropped` invariant is enforced
+//! fleet-wide, per tenant, and per chip.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deploy;
+mod engine;
+mod report;
+mod route;
+mod schedule;
+mod topology;
+
+pub use deploy::{RollPlan, RollState};
+pub use engine::{run_fleet, ChipKill, FleetConfig};
+pub use report::{FleetChipReport, FleetReport, FleetTenantReport};
+pub use route::{route_epoch, EpochRoutes, RouteCell, RouterState};
+pub use schedule::{artifact_key, place, replace_after_loss, FleetPlacement, FleetTenant};
+pub use topology::{FleetChip, FleetTopology};
+
+use dtu_harness::HarnessError;
+
+/// Errors a fleet simulation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The topology, tenants, or run configuration are unusable.
+    Config(String),
+    /// The no-leaks accounting invariant broke (a bug, never
+    /// expected).
+    Accounting(String),
+    /// A per-chip simulation failed on the harness pool.
+    Harness(HarnessError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Config(msg) => write!(f, "fleet config error: {msg}"),
+            FleetError::Accounting(msg) => write!(f, "fleet accounting violation: {msg}"),
+            FleetError::Harness(e) => write!(f, "fleet chip simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Harness(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HarnessError> for FleetError {
+    fn from(e: HarnessError) -> Self {
+        FleetError::Harness(e)
+    }
+}

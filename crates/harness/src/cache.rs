@@ -103,6 +103,17 @@ impl CacheStats {
             self.hits() as f64 / self.lookups() as f64
         }
     }
+
+    /// The accounting accumulated since `before` was sampled — the
+    /// slice of cache traffic attributable to one sweep or fleet run
+    /// against a longer-lived cache.
+    pub fn delta_since(self, before: CacheStats) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits - before.memory_hits,
+            disk_hits: self.disk_hits - before.disk_hits,
+            misses: self.misses - before.misses,
+        }
+    }
 }
 
 /// The two-tier compiled-session cache. Shareable across threads

@@ -511,18 +511,13 @@ pub fn run_slo_sweep(
     for result in plan_points.run(jobs) {
         points.push(result?);
     }
-    let stats_after = cache.stats();
     Ok(SloSweepReport {
         models: models.iter().map(|m| m.name().to_string()).collect(),
         plans: plans.iter().map(|p| p.to_string()).collect(),
         severities: severities.to_vec(),
         seed,
         points,
-        cache: CacheStats {
-            memory_hits: stats_after.memory_hits - stats_before.memory_hits,
-            disk_hits: stats_after.disk_hits - stats_before.disk_hits,
-            misses: stats_after.misses - stats_before.misses,
-        },
+        cache: cache.stats().delta_since(stats_before),
     })
 }
 

@@ -232,16 +232,11 @@ pub fn run_sweep(
     for result in plan.run(jobs) {
         points.push(result?);
     }
-    let stats_after = cache.stats();
     Ok(SweepReport {
         models: models.iter().map(|m| m.name().to_string()).collect(),
         batches: batches.to_vec(),
         points,
-        cache: CacheStats {
-            memory_hits: stats_after.memory_hits - stats_before.memory_hits,
-            disk_hits: stats_after.disk_hits - stats_before.disk_hits,
-            misses: stats_after.misses - stats_before.misses,
-        },
+        cache: cache.stats().delta_since(stats_before),
     })
 }
 

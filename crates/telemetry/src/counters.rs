@@ -99,11 +99,17 @@ pub enum Counter {
     FaultRetries,
     /// Resource-group remaps after permanent core failures.
     GroupRemaps,
+    /// Routing cells assigned by the fleet's cross-chip router.
+    FleetRoutedCells,
+    /// Replica placements moved to surviving chips after a chip loss.
+    FleetReplicaMoves,
+    /// Whole chips lost to injected failures during a fleet run.
+    FleetChipsLost,
 }
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 31] = [
         Counter::KernelLaunches,
         Counter::Macs,
         Counter::VectorOps,
@@ -132,6 +138,9 @@ impl Counter {
         Counter::FaultStallNs,
         Counter::FaultRetries,
         Counter::GroupRemaps,
+        Counter::FleetRoutedCells,
+        Counter::FleetReplicaMoves,
+        Counter::FleetChipsLost,
     ];
 
     /// Stable metric base name (snake_case, no unit suffix).
@@ -165,6 +174,9 @@ impl Counter {
             Counter::FaultStallNs => "fault_stall",
             Counter::FaultRetries => "fault_retries",
             Counter::GroupRemaps => "group_remaps",
+            Counter::FleetRoutedCells => "fleet_routed_cells",
+            Counter::FleetReplicaMoves => "fleet_replica_moves",
+            Counter::FleetChipsLost => "fleet_chips_lost",
         }
     }
 
@@ -183,7 +195,10 @@ impl Counter {
             | Counter::SessionCacheMisses
             | Counter::FaultsInjected
             | Counter::FaultRetries
-            | Counter::GroupRemaps => Unit::Count,
+            | Counter::GroupRemaps
+            | Counter::FleetRoutedCells
+            | Counter::FleetReplicaMoves
+            | Counter::FleetChipsLost => Unit::Count,
             Counter::DmaConfigNs
             | Counter::FaultStallNs
             | Counter::CodeLoadStallNs
@@ -235,6 +250,9 @@ impl Counter {
             Counter::FaultStallNs => "Stall time added by injected faults",
             Counter::FaultRetries => "Retries performed by recovery layers",
             Counter::GroupRemaps => "Resource-group remaps after core failures",
+            Counter::FleetRoutedCells => "Routing cells assigned by the fleet router",
+            Counter::FleetReplicaMoves => "Replica moves after fleet chip losses",
+            Counter::FleetChipsLost => "Whole chips lost during a fleet run",
         }
     }
 }

@@ -42,4 +42,31 @@ cache = report["cache"]
 hits = cache["memory_hits"] + cache["disk_hits"]
 assert hits >= 1, f"warm sweep must hit the session cache, stats: {cache}"
 PY
+# The fleet layer end to end: a 4-chip cluster run must emit valid,
+# accounting-balanced JSON, hit the shared session cache at least once
+# (jobs=1 keeps the cache tally schedule-independent), and be
+# byte-identical across worker counts.
+./target/release/topsexec fleet resnet50 --chips 4 --qps 4000 \
+    --duration 2000 --seed 7 --jobs 1 --no-disk-cache \
+    --format table > "$trace_dir/fleet.txt"
+grep -E 'cache: [0-9]+ memory' "$trace_dir/fleet.txt" > /dev/null
+python3 - "$trace_dir/fleet.txt" <<'PY'
+import re, sys
+m = re.search(r"cache: (\d+) memory \+ (\d+) disk hits, (\d+) misses",
+              open(sys.argv[1]).read())
+assert m and int(m.group(1)) + int(m.group(2)) >= 1, \
+    "fleet chips must share compiled sessions"
+PY
+./target/release/topsexec fleet resnet50 --chips 4 --qps 4000 \
+    --duration 2000 --seed 7 --jobs 1 --no-disk-cache > "$trace_dir/fleet_j1.json"
+./target/release/topsexec fleet resnet50 --chips 4 --qps 4000 \
+    --duration 2000 --seed 7 --jobs 4 --no-disk-cache > "$trace_dir/fleet_j4.json"
+cmp "$trace_dir/fleet_j1.json" "$trace_dir/fleet_j4.json"
+python3 - "$trace_dir/fleet_j1.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["accounting_balanced"] is True, "fleet accounting leaked"
+assert r["offered"] > 0 and r["completed"] > 0, "fleet served nothing"
+PY
+
 echo "tier1 OK"
