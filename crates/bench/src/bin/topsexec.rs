@@ -21,6 +21,9 @@
 //! topsexec slo resnet50 --plan core-failure --flight-out blackbox.json
 //! topsexec fleet resnet50 --chips 16 --seed 7   # cluster-scale serving simulation
 //! topsexec fleet --chips 8 --kill-chip 3 --kill-at 5000 --format table
+//! topsexec fleet top --chips 8 --once  # fleet dashboard (per-chip + per-tenant rows)
+//! topsexec fleet resnet50 --slo        # fleet SLO compliance report with burn attribution
+//! topsexec fleet --format prom         # Prometheus exposition with chip=/tenant= labels
 //! ```
 
 use dtu::serve::{
@@ -30,7 +33,10 @@ use dtu::serve::{
 };
 use dtu::telemetry::{AttributionReport, Recorder, SloSpec, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
-use dtu_fleet::{run_fleet, ChipKill, FleetConfig, FleetTenant, FleetTopology, RollPlan};
+use dtu_fleet::{
+    run_fleet, run_fleet_monitored, ChipKill, FleetConfig, FleetFrame, FleetMonitor, FleetTenant,
+    FleetTopology, RollPlan,
+};
 use dtu_graph::parse_model;
 use dtu_harness::{
     available_jobs, run_fault_sweep, run_slo_scenario, run_slo_sweep, run_sweep, slo_point_seed,
@@ -181,11 +187,32 @@ fn usage() -> &'static str {
                                 the horizon)\n\
        --seed <n>               fleet seed (default 7)\n\
        --jobs <n>               worker threads (default: all cores)\n\
-       --format <json|table>    report on stdout (default json);\n\
+       --format <fmt>           report on stdout: json (default), table,\n\
+                                or prom (Prometheus exposition with\n\
+                                chip=/tenant= labels); json is\n\
                                 byte-identical across runs, --jobs, and\n\
                                 cache temperature (table adds the\n\
                                 schedule-dependent cache tally)\n\
-       --chip / --cache-dir / --no-disk-cache as for sweep"
+       --monitor                attach the fleet monitor (alerts and\n\
+                                burn attribution on stderr); the stdout\n\
+                                report stays byte-identical\n\
+       --slo                    print the fleet SLO compliance report\n\
+                                (per-tenant budget, burn alerts, top\n\
+                                offending chip/tenant pairs) instead\n\
+                                of the fleet report\n\
+       --flight-out <file.json> write the first fleet flight dump (an\n\
+                                alert or chip kill freezes the chip's\n\
+                                span ring + routing decisions) as a\n\
+                                Perfetto/Chrome trace\n\
+       --chip / --cache-dir / --no-disk-cache as for sweep\n\
+     \n\
+     fleet top (fleet dashboard: per-tenant and per-chip QPS/shed/p99/\n\
+     burn-rate/FIRE rows, one frame per routing epoch):\n\
+       all fleet options as above, plus:\n\
+       --once                   print the final frame once and exit\n\
+                                (deterministic stdout; for scripts/CI)\n\
+       --refresh-ms <n>         wall-clock delay between frames\n\
+                                (default 150)"
 }
 
 fn chip_by_name(name: &str) -> Result<ChipConfig, String> {
@@ -1586,6 +1613,12 @@ struct FleetArgs {
     format: String,
     cache_dir: Option<PathBuf>,
     disk_cache: bool,
+    top: bool,
+    once: bool,
+    refresh_ms: u64,
+    slo: bool,
+    monitor: bool,
+    flight_out: Option<String>,
 }
 
 fn parse_fleet_args() -> Result<FleetArgs, String> {
@@ -1611,8 +1644,19 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
         format: "json".into(),
         cache_dir: None,
         disk_cache: true,
+        top: false,
+        once: false,
+        refresh_ms: 150,
+        slo: false,
+        monitor: false,
+        flight_out: None,
     };
-    let mut it = std::env::args().skip(2);
+    let mut it = std::env::args().skip(2).peekable();
+    // `topsexec fleet top ...` is the dashboard form of the command.
+    if it.peek().map(String::as_str) == Some("top") {
+        it.next();
+        args.top = true;
+    }
     while let Some(a) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
         let parse_num = |flag: &str, v: String| -> Result<f64, String> {
@@ -1657,6 +1701,13 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
             "--format" => args.format = value("--format")?,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--no-disk-cache" => args.disk_cache = false,
+            "--once" => args.once = true,
+            "--refresh-ms" => {
+                args.refresh_ms = parse_int("--refresh-ms", value("--refresh-ms")?)? as u64
+            }
+            "--slo" => args.slo = true,
+            "--monitor" => args.monitor = true,
+            "--flight-out" => args.flight_out = Some(value("--flight-out")?),
             "--help" | "-h" => return Err(String::new()),
             name if !name.starts_with('-') => args.models.push(name.to_string()),
             other => return Err(format!("unknown fleet flag '{other}'")),
@@ -1671,13 +1722,102 @@ fn parse_fleet_args() -> Result<FleetArgs, String> {
             args.chips, args.cards
         ));
     }
-    if !matches!(args.format.as_str(), "table" | "json") {
+    if !matches!(args.format.as_str(), "table" | "json" | "prom") {
         return Err(format!(
-            "--format must be table or json, got '{}'",
+            "--format must be table, json, or prom, got '{}'",
             args.format
         ));
     }
+    if args.once && !args.top {
+        return Err("--once only applies to `fleet top`".into());
+    }
     Ok(args)
+}
+
+/// One fleet dashboard frame: per-tenant then per-chip rows aggregated
+/// over the trailing fast burn window.
+fn render_fleet_top(frame: &FleetFrame) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet t={:.0}s  epoch={}  alerts={}",
+        frame.t_ms / 1e3,
+        frame.epoch,
+        frame.alerts
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>6}",
+        "tenant", "qps", "shed/s", "drop/s", "p99(ms)", "burn5s", "burn60s", "alert"
+    );
+    for t in &frame.tenants {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.0} {:>8.1} {:>8.1} {:>9.3} {:>8.2} {:>8.2} {:>6}",
+            t.name,
+            t.qps,
+            t.shed_rate,
+            t.drop_rate,
+            t.p99_ms,
+            t.burn_fast,
+            t.burn_slow,
+            if t.firing { "FIRE" } else { "-" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>8} {:>9} {:>8} {:>6}",
+        "chip", "qps", "shed/s", "p99(ms)", "burn", "state"
+    );
+    for c in &frame.chips {
+        let state = if c.dead {
+            "DEAD"
+        } else if c.fire {
+            "FIRE"
+        } else {
+            "-"
+        };
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8.0} {:>8.1} {:>9.3} {:>8.2} {:>6}",
+            c.chip, c.qps, c.shed_rate, c.p99_ms, c.burn, state
+        );
+    }
+    out
+}
+
+/// Stderr chatter for a monitored fleet run: alerts, offenders, dumps.
+fn report_fleet_monitor(mon: &FleetMonitor) {
+    for a in mon.alerts() {
+        let scope = match (a.chip, a.tenant) {
+            (Some(c), Some(t)) => format!("chip {c}, tenant {t}"),
+            (Some(c), None) => format!("chip {c}"),
+            (None, Some(t)) => format!("tenant {t}"),
+            (None, None) => "fleet".to_string(),
+        };
+        eprintln!(
+            "[fleet] e{} t={:.2}s {} alert `{}` ({scope})",
+            a.epoch,
+            a.event.t_ns / 1e9,
+            a.event.kind.name(),
+            a.event.slo
+        );
+    }
+    for o in mon.top_offenders(3) {
+        eprintln!(
+            "[fleet] offender chip {} / {}: {:.0} bad ({:.0}% of burn)",
+            o.chip,
+            o.tenant,
+            o.bad,
+            o.share * 100.0
+        );
+    }
+    eprintln!(
+        "[fleet] flight recorder: {} dumps retained ({} triggers)",
+        mon.dumps().len(),
+        mon.triggers()
+    );
 }
 
 fn run_fleet_cmd() -> ExitCode {
@@ -1742,21 +1882,57 @@ fn run_fleet_cmd() -> ExitCode {
         }),
     };
 
+    // The dashboard, compliance report, and flight dump all need the
+    // fleet monitor; a plain run skips it entirely. Either way the
+    // stdout report is byte-identical — the monitor is observational.
+    let monitored = args.top || args.slo || args.monitor || args.flight_out.is_some();
     let started = std::time::Instant::now();
-    let report = match run_fleet(&topology, &tenants, &cfg, &cache, args.jobs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fleet error: {e}");
-            return ExitCode::FAILURE;
+    let (report, monitor) = if monitored {
+        match run_fleet_monitored(&topology, &tenants, &cfg, &cache, args.jobs) {
+            Ok((r, m)) => (r, Some(m)),
+            Err(e) => {
+                eprintln!("fleet error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match run_fleet(&topology, &tenants, &cfg, &cache, args.jobs) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("fleet error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
-    // The report goes to stdout and is schedule-independent; the
-    // wall-clock chatter and cache tally stay on stderr.
-    match args.format.as_str() {
-        "table" => print!("{}", report.to_table()),
-        _ => println!("{}", report.to_json()),
+    // Everything on stdout is schedule-independent; the wall-clock
+    // chatter and cache tally stay on stderr.
+    if args.top {
+        let mon = monitor.as_ref().expect("top runs monitored");
+        if args.once {
+            if let Some(f) = mon.frames().last() {
+                print!("{}", render_fleet_top(f));
+            }
+        } else {
+            // The run is already simulated; replay it one routing
+            // epoch per frame against the retained rollups.
+            for f in mon.frames() {
+                print!("\x1b[2J\x1b[H{}", render_fleet_top(f));
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(std::time::Duration::from_millis(args.refresh_ms));
+            }
+        }
+    } else if args.slo {
+        let mon = monitor.as_ref().expect("--slo runs monitored");
+        println!("{}", mon.compliance_json());
+    } else {
+        match args.format.as_str() {
+            "table" => print!("{}", report.to_table()),
+            "prom" => print!("{}", report.to_prometheus()),
+            _ => println!("{}", report.to_json()),
+        }
     }
     let availability = if report.offered == 0 {
         1.0
@@ -1778,6 +1954,35 @@ fn run_fleet_cmd() -> ExitCode {
         report.cache.disk_hits,
         report.cache.misses
     );
+    if let Some(mut mon) = monitor {
+        report_fleet_monitor(&mon);
+        if let Some(path) = &args.flight_out {
+            if mon.dumps().is_empty() {
+                // Nothing went wrong: freeze the worst-burning (or
+                // first) chip's ring so the flag always yields a trace.
+                let chip = mon.top_offenders(1).first().map_or(0, |o| o.chip);
+                mon.snapshot_chip(chip, "end-of-run snapshot");
+            }
+            // A whole-chip loss is the incident the operator came for:
+            // prefer its black box over an earlier burn-rate page.
+            let dump = mon
+                .dumps()
+                .iter()
+                .find(|d| d.reason.contains("killed"))
+                .or_else(|| mon.dumps().first())
+                .expect("just ensured");
+            if let Err(e) = std::fs::write(path, dump.to_chrome_trace(true)) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[fleet] flight dump `{}` ({} spans at t={:.2}s) written to {path}",
+                dump.reason,
+                dump.spans.len(),
+                dump.at_ns / 1e9
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 

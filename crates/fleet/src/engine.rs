@@ -28,6 +28,8 @@
 //! never offered (clients fail over at the next epoch), and
 //! `offered == completed + shed + fault_dropped` holds fleet-wide.
 
+use crate::monitor::{FleetMonitor, SliceStats};
+use crate::route::trace_base;
 use crate::{
     place, replace_after_loss, route_epoch, FleetChipReport, FleetError, FleetReport, FleetTenant,
     FleetTenantReport, FleetTopology, RollPlan, RollState, RouterState,
@@ -36,8 +38,9 @@ use dtu_compiler::Fnv1a;
 use dtu_faults::{FaultEvent, FaultKind, FaultPlan};
 use dtu_harness::{ExperimentPlan, HarnessError, SessionCache};
 use dtu_serve::{
-    run_serving, ArrivalProcess, BatchPolicy, CompiledModel, RetryPolicy, ScalePolicy, ServeConfig,
-    ServeError, ServiceModel, SlaPolicy, TenantSpec,
+    run_serving, run_serving_live, ArrivalProcess, BatchPolicy, CompiledModel, LiveConfig,
+    LiveMonitor, RetryPolicy, ScalePolicy, ServeConfig, ServeError, ServiceModel, SlaPolicy,
+    TenantSpec,
 };
 use dtu_sim::{Chip, SimError};
 use dtu_telemetry::LogHistogram;
@@ -110,6 +113,11 @@ struct ChipEpochOutcome {
     faults_injected: u64,
     groups_lost: u64,
     slices: Vec<TenantSlice>,
+    /// The per-chip live monitor, when the run is observed. For a
+    /// killed chip this is the *aborted* run's monitor — the operator's
+    /// view of the failure — while the slices come from the truncated
+    /// re-run so the books still close.
+    monitor: Option<LiveMonitor>,
 }
 
 /// The content-derived serve seed for one (chip, epoch).
@@ -201,6 +209,13 @@ fn job_err(label: &str) -> impl Fn(ServeError) -> HarnessError + '_ {
 /// outcome to per-tenant slices. A whole-chip kill that aborts the run
 /// is retried truncated at the kill time (same seed, identical arrival
 /// prefix) so the dead chip's accounting closes exactly.
+///
+/// `monitor_base` attaches a [`LiveMonitor`] whose span labels and
+/// exemplars carry the given fleet trace base. The monitored run is
+/// observationally identical to a plain one (the `run_serving_live`
+/// contract), and a kill-aborted epoch re-runs *without* the monitor,
+/// so the slices — and therefore the report — never depend on whether
+/// the fleet was observed.
 #[allow(clippy::too_many_arguments)]
 fn run_chip_epoch(
     topology: &FleetTopology,
@@ -210,6 +225,7 @@ fn run_chip_epoch(
     epoch_len_ms: f64,
     serve_seed: u64,
     kill_offset_ms: Option<f64>,
+    monitor_base: Option<u64>,
     cache: &SessionCache,
 ) -> Result<ChipEpochOutcome, HarnessError> {
     let fleet_chip = topology.chip(chip_idx);
@@ -240,17 +256,30 @@ fn run_chip_epoch(
         t.model = i;
     }
 
+    let mut live = monitor_base.map(|base| {
+        LiveMonitor::new(LiveConfig {
+            trace_base: base,
+            ..LiveConfig::default()
+        })
+    });
     let mut refs: Vec<&mut dyn ServiceModel> = models
         .iter_mut()
         .map(|m| m as &mut dyn ServiceModel)
         .collect();
-    let outcome = match run_serving(&cfg, chip_cfg, &mut refs) {
+    let first = match live.as_mut() {
+        Some(m) => run_serving_live(&cfg, chip_cfg, &mut refs, m),
+        None => run_serving(&cfg, chip_cfg, &mut refs),
+    };
+    let outcome = match first {
         Ok(out) => out,
         Err(ServeError::Sim(SimError::Fault(_))) if kill_offset_ms.is_some() => {
             // The kill took the chip down mid-epoch. Re-run the exact
             // arrival prefix (same seed, horizon truncated at the kill
             // time, no faults) so every request that arrived before
             // the failure is accounted; later arrivals never existed.
+            // The re-run is unmonitored — the aborted monitor already
+            // holds the operator's view of the failure, and the slices
+            // must match the plain (unobserved) path byte for byte.
             cfg.duration_ms = kill_offset_ms.unwrap_or(0.0);
             cfg.faults = FaultPlan::empty();
             let mut refs: Vec<&mut dyn ServiceModel> = models
@@ -299,6 +328,7 @@ fn run_chip_epoch(
             slices.iter().map(|s| s.groups_lost).sum()
         },
         slices,
+        monitor: live,
     })
 }
 
@@ -346,6 +376,46 @@ pub fn run_fleet(
     cfg: &FleetConfig,
     cache: &SessionCache,
     jobs: usize,
+) -> Result<FleetReport, FleetError> {
+    run_fleet_inner(topology, tenants, cfg, cache, jobs, None)
+}
+
+/// Runs the fleet simulation with a [`FleetMonitor`] riding along:
+/// every chip-epoch carries a live monitor whose trace ids encode the
+/// (epoch, chip) that served each request, and the fleet monitor
+/// merges them into per-tenant and per-chip rollups at every epoch
+/// barrier.
+///
+/// The monitor is observational only: the returned report is
+/// byte-identical to what [`run_fleet`] produces for the same inputs
+/// (asserted by the crate tests and the CI conformance job).
+///
+/// # Errors
+///
+/// Exactly as [`run_fleet`].
+pub fn run_fleet_monitored(
+    topology: &FleetTopology,
+    tenants: &[FleetTenant<'_>],
+    cfg: &FleetConfig,
+    cache: &SessionCache,
+    jobs: usize,
+) -> Result<(FleetReport, FleetMonitor), FleetError> {
+    let specs: Vec<(&str, f64)> = tenants
+        .iter()
+        .map(|t| (t.model.name(), t.deadline_ms))
+        .collect();
+    let mut monitor = FleetMonitor::new(topology.len(), &specs);
+    let report = run_fleet_inner(topology, tenants, cfg, cache, jobs, Some(&mut monitor))?;
+    Ok((report, monitor))
+}
+
+fn run_fleet_inner(
+    topology: &FleetTopology,
+    tenants: &[FleetTenant<'_>],
+    cfg: &FleetConfig,
+    cache: &SessionCache,
+    jobs: usize,
+    mut monitor: Option<&mut FleetMonitor>,
 ) -> Result<FleetReport, FleetError> {
     if cfg.epoch_ms.is_nan()
         || cfg.epoch_ms <= 0.0
@@ -402,6 +472,11 @@ pub fn run_fleet(
                     replica_moves +=
                         replace_after_loss(&mut placement, kill.chip, &alive, topology, tenants)
                             as u64;
+                    if let Some(m) = monitor.as_deref_mut() {
+                        // The chip dies before serving this epoch, so
+                        // the page charges the load it carried last.
+                        m.on_chip_kill(epoch, epoch_start, kill.chip, true);
+                    }
                 } else {
                     kill_this_epoch = Some((kill.chip, offset));
                 }
@@ -429,6 +504,9 @@ pub fn run_fleet(
         let qps: Vec<f64> = tenants.iter().map(|t| t.qps).collect();
         let routes = route_epoch(&qps, &live, &router, cfg.seed, epoch, cfg.cells_per_replica);
         routed_cells += routes.cells;
+        if let Some(m) = monitor.as_deref_mut() {
+            m.on_route(epoch, epoch_start, &routes);
+        }
 
         let mut plan: ExperimentPlan<'_, ChipEpochOutcome> = ExperimentPlan::new();
         for chip in 0..n {
@@ -445,6 +523,7 @@ pub fn run_fleet(
             let kill_offset = kill_this_epoch
                 .filter(|&(c, _)| c == chip)
                 .map(|(_, offset)| offset);
+            let monitor_base = monitor.as_ref().map(|_| trace_base(epoch, chip));
             plan.add_point(
                 key.finish(),
                 format!("chip{chip} e{epoch}"),
@@ -458,6 +537,7 @@ pub fn run_fleet(
                         epoch_len,
                         serve_seed,
                         kill_offset,
+                        monitor_base,
                         cache,
                     )
                 },
@@ -468,6 +548,33 @@ pub fn run_fleet(
         // worker schedule did.
         for result in plan.run(jobs) {
             let out = result.map_err(FleetError::Harness)?;
+            if let Some(m) = monitor.as_deref_mut() {
+                let assignment = routes.on_chip(out.chip);
+                let stats: Vec<SliceStats> = out
+                    .slices
+                    .iter()
+                    .map(|s| SliceStats {
+                        tenant: s.tenant,
+                        offered: s.offered,
+                        violations: s.violations,
+                        fault_dropped: s.fault_dropped,
+                    })
+                    .collect();
+                m.absorb_chip_epoch(
+                    epoch_start,
+                    out.chip,
+                    &assignment,
+                    epoch_len,
+                    &stats,
+                    out.monitor.as_ref(),
+                    out.killed,
+                );
+                if out.killed {
+                    let at_ms =
+                        kill_this_epoch.map_or(epoch_start, |(_, offset)| epoch_start + offset);
+                    m.on_chip_kill(epoch, at_ms, out.chip, false);
+                }
+            }
             faults_injected += out.faults_injected;
             let accum = &mut chip_accum[out.chip];
             let (mut chip_completed, mut delay_weight) = (0u64, 0.0f64);
@@ -508,8 +615,14 @@ pub fn run_fleet(
                 router.observe(out.chip, delay);
             }
         }
+        if let Some(m) = monitor.as_deref_mut() {
+            m.end_epoch(epoch, epoch_start + epoch_len);
+        }
     }
 
+    if let Some(m) = monitor {
+        m.finish(epochs.saturating_sub(1));
+    }
     if let (Some(plan), Some(state)) = (&cfg.roll, roll_state.as_mut()) {
         state.finish(plan);
     }
@@ -614,20 +727,10 @@ pub fn run_fleet(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::toy_model;
     use crate::RollPlan;
-    use dtu_graph::{Graph, Op, TensorType};
-    use dtu_harness::SweepModel;
     use dtu_sim::ChipConfig;
-
-    fn toy_model() -> SweepModel<'static> {
-        SweepModel::new("toy", |batch| {
-            let mut g = Graph::new("toy");
-            let x = g.input("x", TensorType::fixed(&[batch, 32, 28, 28]));
-            let c = g.add_node(Op::conv2d(32, 3, 1, 1), vec![x]).unwrap();
-            g.mark_output(c);
-            g
-        })
-    }
+    use dtu_telemetry::AlertKind;
 
     fn small_cfg() -> FleetConfig {
         FleetConfig {
@@ -736,6 +839,77 @@ mod tests {
         let tenants8 = vec![FleetTenant::new(toy_model(), 1200.0)];
         let r8 = run_fleet(&topo, &tenants8, &cfg, &cache8, 8).unwrap();
         assert_eq!(r1.to_json(), r8.to_json());
+    }
+
+    #[test]
+    fn monitored_report_is_byte_identical_to_plain() {
+        // The hardest case: a roll in flight and a mid-epoch kill.
+        let topo = FleetTopology::homogeneous(1, 4, &ChipConfig::dtu20()).unwrap();
+        let cfg = FleetConfig {
+            roll: Some(RollPlan::new(1000.0, 1)),
+            kill: Some(ChipKill {
+                chip: 3,
+                at_ms: 1500.0,
+            }),
+            duration_ms: 4000.0,
+            ..small_cfg()
+        };
+        let cache_plain = SessionCache::memory_only();
+        let tenants_plain = vec![FleetTenant::new(toy_model(), 1200.0)];
+        let plain = run_fleet(&topo, &tenants_plain, &cfg, &cache_plain, 2).unwrap();
+        let cache_mon = SessionCache::memory_only();
+        let tenants_mon = vec![FleetTenant::new(toy_model(), 1200.0)];
+        let (monitored, fm) =
+            run_fleet_monitored(&topo, &tenants_mon, &cfg, &cache_mon, 2).unwrap();
+        assert_eq!(
+            plain.to_json(),
+            monitored.to_json(),
+            "observation must not change the report"
+        );
+        assert_eq!(fm.frames().len(), monitored.epochs, "one frame per epoch");
+        assert!(fm.frames().iter().all(|f| !f.tenants.is_empty()));
+    }
+
+    #[test]
+    fn chip_kill_pages_with_resolving_flight_dump() {
+        let topo = FleetTopology::homogeneous(1, 3, &ChipConfig::dtu20()).unwrap();
+        let tenants = vec![FleetTenant::new(toy_model(), 1500.0)];
+        let cache = SessionCache::memory_only();
+        let cfg = FleetConfig {
+            kill: Some(ChipKill {
+                chip: 1,
+                at_ms: 1500.0,
+            }),
+            duration_ms: 3000.0,
+            ..small_cfg()
+        };
+        let (report, fm) = run_fleet_monitored(&topo, &tenants, &cfg, &cache, 2).unwrap();
+        assert_eq!(report.chips_lost, 1);
+        // The kill paged: a fault alert attributed to the chip…
+        let kill = fm
+            .alerts()
+            .iter()
+            .find(|a| a.event.kind == AlertKind::Fault)
+            .expect("kill emits a fleet alert");
+        assert_eq!(kill.chip, Some(1));
+        // …whose exemplar decodes to the killed chip and resolves in
+        // the frozen dump of that chip's ring.
+        let id = kill.event.exemplar.expect("alert carries an exemplar");
+        assert_eq!(crate::trace_chip(id), Some(1));
+        let dump = fm
+            .dumps()
+            .iter()
+            .find(|d| d.reason.contains("chip1 killed"))
+            .expect("kill freezes a dump");
+        assert!(dump.resolves_label(&format!("req {id}")));
+        assert!(dump.spans.iter().any(|s| s.label.starts_with("route e")));
+        // Burn attribution names the killed chip as the top offender.
+        let top = fm.top_offenders(3);
+        assert_eq!(top[0].chip, 1, "killed chip owns the badness: {top:?}");
+        assert!(fm.chip_dead(1));
+        // The compliance report is well-formed JSON mentioning it.
+        let json = fm.compliance_json();
+        assert!(json.contains("\"chips_dead\":[1]"));
     }
 
     #[test]

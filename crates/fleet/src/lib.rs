@@ -35,17 +35,51 @@
 
 mod deploy;
 mod engine;
+mod monitor;
 mod report;
 mod route;
 mod schedule;
 mod topology;
 
 pub use deploy::{RollPlan, RollState};
-pub use engine::{run_fleet, ChipKill, FleetConfig};
+pub use engine::{run_fleet, run_fleet_monitored, ChipKill, FleetConfig};
+pub use monitor::{
+    FleetAlert, FleetChipRow, FleetFrame, FleetMonitor, FleetTenantRow, OffenderShare,
+};
 pub use report::{FleetChipReport, FleetReport, FleetTenantReport};
-pub use route::{route_epoch, EpochRoutes, RouteCell, RouterState};
+pub use route::{
+    route_epoch, trace_base, trace_chip, trace_epoch, EpochRoutes, RouteCell, RouterState,
+};
 pub use schedule::{artifact_key, place, replace_after_loss, FleetPlacement, FleetTenant};
 pub use topology::{FleetChip, FleetTopology};
+
+/// Shared graph builders for the crate's unit tests: one toy conv
+/// model, parameterised by channel count so two tenants can carry
+/// distinct artifact fingerprints.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use dtu_graph::{Graph, Op, TensorType};
+    use dtu_harness::SweepModel;
+
+    /// A tiny conv tenant; `channels` differentiates graph
+    /// fingerprints between named tenants.
+    pub(crate) fn toy_model_with(name: &str, channels: usize) -> SweepModel<'static> {
+        SweepModel::new(name.to_string(), move |batch| {
+            let mut g = Graph::new("toy");
+            let x = g.input("x", TensorType::fixed(&[batch, channels, 16, 16]));
+            let c = g
+                .add_node(Op::conv2d(16, 3, 1, 1), vec![x])
+                .expect("conv2d on a fresh input graph always wires");
+            g.mark_output(c);
+            g
+        })
+    }
+
+    /// The default single-tenant toy model.
+    pub(crate) fn toy_model() -> SweepModel<'static> {
+        toy_model_with("toy", 16)
+    }
+}
 
 use dtu_harness::HarnessError;
 

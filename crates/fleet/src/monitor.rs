@@ -1,0 +1,852 @@
+//! Fleet-wide observability: the [`FleetMonitor`] aggregator.
+//!
+//! Each chip-epoch simulation rides a per-chip
+//! [`LiveMonitor`](dtu_serve::LiveMonitor) whose span labels and
+//! exemplars carry a fleet-unique trace base
+//! ([`trace_base`](crate::trace_base)): bits of every request id name
+//! the (epoch, chip) that served it. At every routing-epoch barrier the
+//! engine hands those monitors to the `FleetMonitor`, which merges
+//! their windowed series and histograms — shifted from the epoch-local
+//! clock onto the fleet clock — into per-tenant and per-chip rollups,
+//! runs fleet-scope SLO burn-rate trackers over the merged windows
+//! (via [`SloTracker::fold_window`]), and attributes badness to (chip,
+//! tenant) pairs: deadline violations, fault drops, and — when a chip
+//! dies — the load it was carrying but could no longer serve.
+//!
+//! The monitor is strictly observational. The engine's
+//! [`FleetReport`](crate::FleetReport) is built from the plain
+//! simulation results alone, so a monitored run's JSON stays
+//! byte-identical to an unmonitored one (asserted by the engine
+//! tests), exactly like the per-chip `LiveMonitor` contract.
+//!
+//! On a burn-rate transition or a [`ChipKill`](crate::ChipKill) the
+//! monitor freezes the offending chip's fleet-time span ring together
+//! with the retained routing-decision markers into one [`FlightDump`],
+//! loadable in Perfetto like any other dump — the cross-chip "black
+//! box" of what the fleet was doing leading up to the incident.
+
+use crate::route::EpochRoutes;
+use dtu_serve::LiveMonitor;
+use dtu_telemetry::clock::NS_PER_MS;
+use dtu_telemetry::flight::MAX_DUMPS;
+use dtu_telemetry::json::{array, number, JsonObject};
+use dtu_telemetry::slo::{EVAL_WINDOW_NS, FAST_WINDOW_NS};
+use dtu_telemetry::{
+    AlertEvent, AlertKind, FlightDump, FlightRecorder, Layer, SloSpec, SloTracker, Span,
+    TimeSeries, WindowedHistogram,
+};
+use std::collections::VecDeque;
+
+/// Spans retained per chip in the fleet-time rings.
+pub const CHIP_RING_CAPACITY: usize = 4096;
+/// Routing-decision markers retained for dumps.
+pub const ROUTE_RING_CAPACITY: usize = 512;
+/// Windows retained per fleet rollup ring (~2 min of history).
+const RING_WINDOWS: usize = 128;
+
+/// One tenant's fleet-scope rollup.
+#[derive(Debug, Clone)]
+struct TenantScope {
+    name: String,
+    completions: TimeSeries,
+    violations: TimeSeries,
+    sheds: TimeSeries,
+    fault_drops: TimeSeries,
+    latency: WindowedHistogram,
+    slo: SloTracker,
+}
+
+impl TenantScope {
+    fn new(name: &str, deadline_ms: f64) -> Self {
+        let series = || TimeSeries::new(EVAL_WINDOW_NS, RING_WINDOWS);
+        TenantScope {
+            name: name.to_string(),
+            completions: series(),
+            violations: series(),
+            sheds: series(),
+            fault_drops: series(),
+            latency: WindowedHistogram::new(EVAL_WINDOW_NS, RING_WINDOWS),
+            slo: SloTracker::new(SloSpec::new(
+                format!("{name} p99<{deadline_ms}ms"),
+                0.99,
+                deadline_ms,
+            )),
+        }
+    }
+}
+
+/// One chip's fleet-scope rollup.
+#[derive(Debug, Clone)]
+struct ChipScope {
+    completions: TimeSeries,
+    violations: TimeSeries,
+    sheds: TimeSeries,
+    latency: WindowedHistogram,
+    /// The chip's spans on the fleet clock (absorbed every epoch).
+    ring: FlightRecorder,
+    dead: bool,
+}
+
+impl ChipScope {
+    fn new() -> Self {
+        let series = || TimeSeries::new(EVAL_WINDOW_NS, RING_WINDOWS);
+        ChipScope {
+            completions: series(),
+            violations: series(),
+            sheds: series(),
+            latency: WindowedHistogram::new(EVAL_WINDOW_NS, RING_WINDOWS),
+            ring: FlightRecorder::new(CHIP_RING_CAPACITY),
+            dead: false,
+        }
+    }
+}
+
+/// One fleet-scope alert, tagged with where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAlert {
+    /// Routing epoch during which the alert transitioned.
+    pub epoch: usize,
+    /// The tenant whose SLO transitioned (`None` for whole-chip
+    /// events like a kill).
+    pub tenant: Option<usize>,
+    /// The chip the burn is attributed to, when one dominates.
+    pub chip: Option<usize>,
+    /// The underlying alert, on the fleet clock.
+    pub event: AlertEvent,
+}
+
+/// One tenant's row of a fleet dashboard frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTenantRow {
+    /// Tenant (model) name.
+    pub name: String,
+    /// Completions per simulated second over the trailing fast window.
+    pub qps: f64,
+    /// Sheds per simulated second.
+    pub shed_rate: f64,
+    /// Fault drops per simulated second.
+    pub drop_rate: f64,
+    /// Windowed p99 latency, ms.
+    pub p99_ms: f64,
+    /// Fast-window SLO burn rate.
+    pub burn_fast: f64,
+    /// Slow-window SLO burn rate.
+    pub burn_slow: f64,
+    /// Whether the tenant's fleet-scope alert is firing.
+    pub firing: bool,
+}
+
+/// One chip's row of a fleet dashboard frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetChipRow {
+    /// Chip index.
+    pub chip: usize,
+    /// Completions per simulated second over the trailing fast window.
+    pub qps: f64,
+    /// Sheds per simulated second.
+    pub shed_rate: f64,
+    /// Windowed p99 latency, ms.
+    pub p99_ms: f64,
+    /// The chip's windowed violation ratio against the tightest tenant
+    /// error budget (a per-chip burn rate).
+    pub burn: f64,
+    /// Whether the chip died.
+    pub dead: bool,
+    /// FIRE marker: the chip is dead, or some tenant is firing and
+    /// this chip's burn is at or past the alert threshold.
+    pub fire: bool,
+}
+
+/// One rendered dashboard frame (what `topsexec fleet top` replays).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFrame {
+    /// Routing epoch the frame closes.
+    pub epoch: usize,
+    /// Frame time (the epoch's end), ms on the fleet clock.
+    pub t_ms: f64,
+    /// Per-tenant rows, in tenant order.
+    pub tenants: Vec<FleetTenantRow>,
+    /// Per-chip rows, in chip order.
+    pub chips: Vec<FleetChipRow>,
+    /// Cumulative alerts emitted up to this frame.
+    pub alerts: usize,
+}
+
+/// One (chip, tenant) pair's share of the fleet's badness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffenderShare {
+    /// Chip index.
+    pub chip: usize,
+    /// Tenant (model) name.
+    pub tenant: String,
+    /// Badness charged to the pair: deadline violations, fault drops,
+    /// and unserved load on a killed chip.
+    pub bad: f64,
+    /// The pair's fraction of all badness (0 when the fleet is clean).
+    pub share: f64,
+}
+
+/// Engine-side view of one tenant slice, enough for attribution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SliceStats {
+    pub tenant: usize,
+    pub offered: u64,
+    pub violations: u64,
+    pub fault_dropped: u64,
+}
+
+/// The fleet-scope observability aggregator (see the module docs).
+#[derive(Debug, Clone)]
+pub struct FleetMonitor {
+    tenants: Vec<TenantScope>,
+    chips: Vec<ChipScope>,
+    route_ring: VecDeque<Span>,
+    alerts: Vec<FleetAlert>,
+    frames: Vec<FleetFrame>,
+    dumps: Vec<FlightDump>,
+    triggers: u64,
+    /// Badness per (chip, tenant) pair.
+    bad: Vec<Vec<f64>>,
+    /// Offered load per (chip, tenant) in the chip's last served epoch
+    /// — what an epoch-start kill is charged with.
+    last_offered: Vec<Vec<f64>>,
+    /// Tightest tenant error budget (the per-chip burn denominator).
+    min_budget: f64,
+    /// Lowest tenant burn threshold (the FIRE marker cutoff).
+    min_threshold: f64,
+    next_eval_ns: f64,
+    max_seen_ns: f64,
+}
+
+impl FleetMonitor {
+    /// Creates a monitor for `chips` chips and the given tenants, each
+    /// `(name, sla_deadline_ms)` pair becoming one fleet-scope
+    /// p99-meets-deadline SLO.
+    pub fn new(chips: usize, tenants: &[(&str, f64)]) -> Self {
+        let scopes: Vec<TenantScope> = tenants
+            .iter()
+            .map(|&(name, deadline)| TenantScope::new(name, deadline))
+            .collect();
+        let min_budget = scopes
+            .iter()
+            .map(|t| t.slo.spec.error_budget)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0);
+        let min_threshold = scopes
+            .iter()
+            .map(|t| t.slo.spec.burn_threshold)
+            .fold(f64::INFINITY, f64::min)
+            .min(1e9);
+        FleetMonitor {
+            tenants: scopes,
+            chips: (0..chips).map(|_| ChipScope::new()).collect(),
+            route_ring: VecDeque::new(),
+            alerts: Vec::new(),
+            frames: Vec::new(),
+            dumps: Vec::new(),
+            triggers: 0,
+            bad: vec![vec![0.0; tenants.len()]; chips],
+            last_offered: vec![vec![0.0; tenants.len()]; chips],
+            min_budget,
+            min_threshold,
+            next_eval_ns: EVAL_WINDOW_NS,
+            max_seen_ns: 0.0,
+        }
+    }
+
+    // ---- engine hooks (routing-epoch sync points) ----------------------
+
+    /// Records one epoch's routing decisions as marker spans — the
+    /// context a flight dump wraps around the offending chip's ring.
+    pub(crate) fn on_route(&mut self, epoch: usize, epoch_start_ms: f64, routes: &EpochRoutes) {
+        let at_ns = epoch_start_ms * NS_PER_MS;
+        for cell in &routes.assignments {
+            let name = self
+                .tenants
+                .get(cell.tenant)
+                .map_or("?", |t| t.name.as_str());
+            let span = Span::marker(
+                Layer::Serving,
+                cell.tenant as u32,
+                format!(
+                    "route e{epoch} {name}->chip{} {:.0}qps",
+                    cell.chip, cell.qps
+                ),
+                at_ns,
+            );
+            if self.route_ring.len() == ROUTE_RING_CAPACITY {
+                self.route_ring.pop_front();
+            }
+            self.route_ring.push_back(span);
+        }
+    }
+
+    /// Absorbs one chip's epoch at the barrier: merges the per-chip
+    /// monitor's windows and spans onto the fleet clock (offset by the
+    /// epoch start) and updates (chip, tenant) attribution from the
+    /// engine's authoritative slice accounting.
+    // One argument per fact the barrier knows; bundling them into a
+    // struct would just move the field list one hop away.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn absorb_chip_epoch(
+        &mut self,
+        epoch_start_ms: f64,
+        chip: usize,
+        assignment: &[(usize, f64)],
+        epoch_len_ms: f64,
+        slices: &[SliceStats],
+        live: Option<&LiveMonitor>,
+        killed: bool,
+    ) {
+        let offset_ns = epoch_start_ms * NS_PER_MS;
+        if let Some(live) = live {
+            for (i, &(t, _)) in assignment.iter().enumerate() {
+                let Some(tl) = live.tenants().get(i) else {
+                    continue;
+                };
+                if let Some(ts) = self.tenants.get_mut(t) {
+                    ts.completions.merge_offset(&tl.completions, offset_ns);
+                    ts.violations.merge_offset(&tl.violations, offset_ns);
+                    ts.sheds.merge_offset(&tl.sheds, offset_ns);
+                    ts.fault_drops.merge_offset(&tl.fault_drops, offset_ns);
+                    ts.latency.merge_offset(&tl.latency, offset_ns);
+                }
+                let cs = &mut self.chips[chip];
+                cs.completions.merge_offset(&tl.completions, offset_ns);
+                cs.violations.merge_offset(&tl.violations, offset_ns);
+                cs.sheds.merge_offset(&tl.sheds, offset_ns);
+                cs.latency.merge_offset(&tl.latency, offset_ns);
+            }
+            for s in live.flight.spans() {
+                let mut shifted = s.clone();
+                shifted.start_ns += offset_ns;
+                shifted.end_ns += offset_ns;
+                self.chips[chip].ring.record(shifted);
+            }
+            self.max_seen_ns = self.max_seen_ns.max(offset_ns + live.now_ns());
+        }
+        for s in slices {
+            self.last_offered[chip][s.tenant] = s.offered as f64;
+            let mut bad = (s.violations + s.fault_dropped) as f64;
+            if killed {
+                // A mid-epoch kill: charge the load routed to the chip
+                // that it never got to serve (clients saw it vanish).
+                let routed = assignment
+                    .iter()
+                    .find(|&&(t, _)| t == s.tenant)
+                    .map_or(0.0, |&(_, qps)| qps);
+                let expected = routed * epoch_len_ms / 1e3;
+                bad += (expected - s.offered as f64).max(0.0);
+            }
+            self.bad[chip][s.tenant] += bad;
+        }
+    }
+
+    /// Pages for a whole-chip loss: marks the chip dead, charges it the
+    /// load it carried in its last served epoch when it died *before*
+    /// serving this one (`charge_last_epoch`), emits a fault alert, and
+    /// freezes the chip's ring into a flight dump.
+    pub(crate) fn on_chip_kill(
+        &mut self,
+        epoch: usize,
+        at_ms: f64,
+        chip: usize,
+        charge_last_epoch: bool,
+    ) {
+        let at_ns = at_ms * NS_PER_MS;
+        if let Some(cs) = self.chips.get_mut(chip) {
+            cs.dead = true;
+        }
+        if charge_last_epoch {
+            for t in 0..self.tenants.len() {
+                self.bad[chip][t] += self.last_offered[chip][t];
+            }
+        }
+        let event = AlertEvent {
+            t_ns: at_ns,
+            slo: format!("chip{chip} killed"),
+            kind: AlertKind::Fault,
+            burn_fast: 0.0,
+            burn_slow: 0.0,
+            exemplar: self.resolving_exemplar(chip),
+        };
+        self.alerts.push(FleetAlert {
+            epoch,
+            tenant: None,
+            chip: Some(chip),
+            event,
+        });
+        self.dump_chip(format!("chip{chip} killed"), at_ns, chip);
+    }
+
+    /// Closes one routing epoch: folds every completed 1 s window into
+    /// the fleet-scope SLO trackers, evaluates burn rates (attributing
+    /// any transition to the top offending chip), and pushes one
+    /// dashboard frame.
+    pub(crate) fn end_epoch(&mut self, epoch: usize, epoch_end_ms: f64) {
+        self.fold_until(epoch, epoch_end_ms * NS_PER_MS);
+        let frame = self.frame_at(epoch, epoch_end_ms);
+        self.frames.push(frame);
+    }
+
+    /// Folds any windows still pending after the final epoch (drained
+    /// completions land past the horizon).
+    pub(crate) fn finish(&mut self, last_epoch: usize) {
+        let last = (self.max_seen_ns / EVAL_WINDOW_NS).ceil() * EVAL_WINDOW_NS;
+        self.fold_until(last_epoch, last);
+    }
+
+    fn fold_until(&mut self, epoch: usize, end_ns: f64) {
+        while self.next_eval_ns <= end_ns {
+            let at = self.next_eval_ns;
+            let w = at - EVAL_WINDOW_NS;
+            for t in 0..self.tenants.len() {
+                let event = {
+                    let ts = &mut self.tenants[t];
+                    let completed = ts.completions.sum_over(w, 0.0).round() as u64;
+                    let violated = ts.violations.sum_over(w, 0.0).round() as u64;
+                    ts.slo.fold_window(w, completed, violated);
+                    let exemplar = ts
+                        .latency
+                        .exemplar_over(at, ts.slo.spec.fast_window_ns)
+                        .map(|e| e.span_id);
+                    ts.slo.evaluate(at, exemplar)
+                };
+                if let Some(event) = event {
+                    let chip = self.top_offender_chip(t);
+                    if event.kind == AlertKind::BurnRate {
+                        if let Some(c) = chip {
+                            self.dump_chip(format!("alert {} (chip{c})", event.slo), at, c);
+                        }
+                    }
+                    self.alerts.push(FleetAlert {
+                        epoch,
+                        tenant: Some(t),
+                        chip,
+                        event,
+                    });
+                }
+            }
+            self.next_eval_ns += EVAL_WINDOW_NS;
+        }
+    }
+
+    /// The chip carrying the most badness for tenant `t`, when any.
+    fn top_offender_chip(&self, t: usize) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (chip, row) in self.bad.iter().enumerate() {
+            let b = row[t];
+            if b <= 0.0 {
+                continue;
+            }
+            let better = match best {
+                Some((bb, _)) => b > bb,
+                None => true,
+            };
+            if better {
+                best = Some((b, chip));
+            }
+        }
+        best.map(|(_, chip)| chip)
+    }
+
+    fn dump_chip(&mut self, reason: String, at_ns: f64, chip: usize) {
+        self.triggers += 1;
+        if self.dumps.len() >= MAX_DUMPS {
+            return;
+        }
+        let mut spans: Vec<Span> = self.route_ring.iter().cloned().collect();
+        if let Some(cs) = self.chips.get(chip) {
+            spans.extend(cs.ring.spans().cloned());
+        }
+        spans.sort_by(|a, b| {
+            a.start_ns
+                .partial_cmp(&b.start_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.dumps.push(FlightDump {
+            reason,
+            at_ns,
+            spans,
+        });
+    }
+
+    fn frame_at(&self, epoch: usize, t_ms: f64) -> FleetFrame {
+        let now = t_ms * NS_PER_MS;
+        let span = FAST_WINDOW_NS;
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|ts| FleetTenantRow {
+                name: ts.name.clone(),
+                qps: ts.completions.rate_per_sec(now, span),
+                shed_rate: ts.sheds.rate_per_sec(now, span),
+                drop_rate: ts.fault_drops.rate_per_sec(now, span),
+                p99_ms: ts.latency.merged_over(now, span).quantile(0.99),
+                burn_fast: ts.slo.burn_fast(now),
+                burn_slow: ts.slo.burn_slow(now),
+                firing: ts.slo.firing(),
+            })
+            .collect();
+        let any_firing = self.tenants.iter().any(|t| t.slo.firing());
+        let chips = self
+            .chips
+            .iter()
+            .enumerate()
+            .map(|(c, cs)| {
+                let done = cs.completions.sum_over(now, span);
+                let burn = if done > 0.0 {
+                    // max guards the tiny negative residue float
+                    // accumulation can leave in an all-zero window.
+                    (cs.violations.sum_over(now, span).max(0.0) / done) / self.min_budget
+                } else {
+                    0.0
+                };
+                FleetChipRow {
+                    chip: c,
+                    qps: cs.completions.rate_per_sec(now, span),
+                    shed_rate: cs.sheds.rate_per_sec(now, span),
+                    p99_ms: cs.latency.merged_over(now, span).quantile(0.99),
+                    burn,
+                    dead: cs.dead,
+                    fire: cs.dead || (any_firing && burn >= self.min_threshold),
+                }
+            })
+            .collect();
+        FleetFrame {
+            epoch,
+            t_ms,
+            tenants,
+            chips,
+            alerts: self.alerts.len(),
+        }
+    }
+
+    // ---- operator-facing accessors -------------------------------------
+
+    /// Per-epoch dashboard frames, oldest first.
+    pub fn frames(&self) -> &[FleetFrame] {
+        &self.frames
+    }
+
+    /// Every fleet-scope alert, in fleet-clock order.
+    pub fn alerts(&self) -> &[FleetAlert] {
+        &self.alerts
+    }
+
+    /// Retained flight dumps (first incidents win, like the per-chip
+    /// recorder).
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Total dump triggers, including those past the retention cap.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// The top-`k` offending (chip, tenant) pairs by attributed
+    /// badness, largest first (ties break by chip then tenant index).
+    pub fn top_offenders(&self, k: usize) -> Vec<OffenderShare> {
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        let mut total = 0.0;
+        for (chip, row) in self.bad.iter().enumerate() {
+            for (t, &b) in row.iter().enumerate() {
+                if b > 0.0 {
+                    pairs.push((chip, t, b));
+                    total += b;
+                }
+            }
+        }
+        pairs.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        pairs
+            .into_iter()
+            .take(k)
+            .map(|(chip, t, bad)| OffenderShare {
+                chip,
+                tenant: self.tenants[t].name.clone(),
+                bad,
+                share: if total > 0.0 { bad / total } else { 0.0 },
+            })
+            .collect()
+    }
+
+    /// The newest exemplar of `chip` whose request span is still held
+    /// in the chip's fleet-time ring — a trace id guaranteed to resolve
+    /// in a dump of that ring.
+    pub fn resolving_exemplar(&self, chip: usize) -> Option<u64> {
+        let cs = self.chips.get(chip)?;
+        let windows: Vec<_> = cs.latency.windows().collect();
+        for w in windows.iter().rev() {
+            let Some(e) = w.exemplar else {
+                continue;
+            };
+            let label = format!("req {}", e.span_id);
+            let late = format!("{label} (late)");
+            if cs.ring.spans().any(|s| s.label == label || s.label == late) {
+                return Some(e.span_id);
+            }
+        }
+        None
+    }
+
+    /// Forces a flight dump of `chip`'s ring plus the routing context,
+    /// as if an alert had frozen it. `topsexec fleet --flight-out`
+    /// uses this when a run ends without any incident, so the flag
+    /// always produces a loadable trace.
+    pub fn snapshot_chip(&mut self, chip: usize, reason: &str) {
+        let at_ns = self.max_seen_ns;
+        self.dump_chip(reason.to_string(), at_ns, chip);
+    }
+
+    /// Whether the monitor marked `chip` dead.
+    pub fn chip_dead(&self, chip: usize) -> bool {
+        self.chips.get(chip).is_some_and(|c| c.dead)
+    }
+
+    /// The deterministic SLO compliance report (`topsexec fleet
+    /// --slo`): per-tenant objective, totals, budget consumption, and
+    /// firing state, plus the top offending (chip, tenant) pairs.
+    pub fn compliance_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, ts)| {
+                let burn_alerts = self
+                    .alerts
+                    .iter()
+                    .filter(|a| a.tenant == Some(t) && a.event.kind == AlertKind::BurnRate)
+                    .count();
+                JsonObject::new()
+                    .string("tenant", &ts.name)
+                    .string("slo", &ts.slo.spec.name)
+                    .int("completed", ts.slo.completed() as i64)
+                    .int("violated", ts.slo.violated() as i64)
+                    .raw("budget_consumed", &number(ts.slo.budget_consumed()))
+                    .raw(
+                        "compliant",
+                        if ts.slo.budget_consumed() <= 1.0 {
+                            "true"
+                        } else {
+                            "false"
+                        },
+                    )
+                    .raw("firing", if ts.slo.firing() { "true" } else { "false" })
+                    .int("burn_alerts", burn_alerts as i64)
+                    .build()
+            })
+            .collect();
+        let offenders: Vec<String> = self
+            .top_offenders(5)
+            .iter()
+            .map(|o| {
+                JsonObject::new()
+                    .int("chip", o.chip as i64)
+                    .string("tenant", &o.tenant)
+                    .raw("bad", &number(o.bad))
+                    .raw("share", &number(o.share))
+                    .build()
+            })
+            .collect();
+        let dead: Vec<String> = self
+            .chips
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.dead)
+            .map(|(i, _)| i.to_string())
+            .collect();
+        JsonObject::new()
+            .int("chips", self.chips.len() as i64)
+            .raw("chips_dead", &array(&dead))
+            .int("alerts", self.alerts.len() as i64)
+            .int("dumps", self.dumps.len() as i64)
+            .raw("tenants", &array(&tenants))
+            .raw("top_offenders", &array(&offenders))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{trace_base, trace_chip, RouteCell};
+    use dtu_serve::{LiveConfig, LiveMonitor, TenantSpec};
+
+    /// A per-chip monitor with the fleet trace base for (epoch, chip).
+    fn chip_live(epoch: usize, chip: usize) -> LiveMonitor {
+        let mut m = LiveMonitor::new(LiveConfig {
+            trace_base: trace_base(epoch, chip),
+            ..LiveConfig::default()
+        });
+        m.begin(&[TenantSpec::poisson("m", 0, 100.0)]);
+        m
+    }
+
+    fn routes_for(cells: &[(usize, usize, f64)]) -> EpochRoutes {
+        EpochRoutes {
+            assignments: cells
+                .iter()
+                .map(|&(tenant, chip, qps)| RouteCell { tenant, chip, qps })
+                .collect(),
+            cells: cells.len() as u64,
+        }
+    }
+
+    #[test]
+    fn merged_exemplar_resolves_to_the_owning_chip() {
+        // Two chips serve the same tenant in epoch 0; chip 1 has the
+        // slowest request. After the per-chip -> per-tenant merge the
+        // tenant-level exemplar must still be a real span id whose
+        // encoding names chip 1, and whose span lives in chip 1's ring.
+        let mut fm = FleetMonitor::new(2, &[("m", 50.0)]);
+        let mut live0 = chip_live(0, 0);
+        live0.on_complete_request(0.3e9, 0, 4, 6.0, false);
+        live0.finish(1e9);
+        let mut live1 = chip_live(0, 1);
+        live1.on_complete_request(0.4e9, 0, 9, 30.0, false);
+        live1.finish(1e9);
+        fm.absorb_chip_epoch(0.0, 0, &[(0, 50.0)], 1000.0, &[], Some(&live0), false);
+        fm.absorb_chip_epoch(0.0, 1, &[(0, 50.0)], 1000.0, &[], Some(&live1), false);
+        let e = fm.tenants[0]
+            .latency
+            .exemplar_over(1e9, 2e9)
+            .expect("merged exemplar survives");
+        assert_eq!(e.span_id, trace_base(0, 1) + 9, "slowest chip wins");
+        assert_eq!(trace_chip(e.span_id), Some(1), "id encodes the chip");
+        let label = format!("req {}", e.span_id);
+        assert!(
+            fm.chips[1].ring.spans().any(|s| s.label == label),
+            "the exemplar's span is in the owning chip's ring"
+        );
+        assert_eq!(fm.resolving_exemplar(1), Some(e.span_id));
+        // Chip 0's rollup only saw its own traffic.
+        assert_eq!(fm.chips[0].completions.total(), 1.0);
+        assert_eq!(fm.tenants[0].completions.total(), 2.0);
+    }
+
+    #[test]
+    fn sustained_fleet_burn_alerts_and_attributes_the_hot_chip() {
+        let mut fm = FleetMonitor::new(2, &[("m", 5.0)]);
+        // Chip 1 violates half its deadline budget every epoch; chip 0
+        // stays clean. Ten 1 s epochs of sustained burn.
+        for epoch in 0..10 {
+            let start = epoch as f64 * 1000.0;
+            fm.on_route(epoch, start, &routes_for(&[(0, 0, 20.0), (0, 1, 20.0)]));
+            let mut live0 = chip_live(epoch, 0);
+            let mut live1 = chip_live(epoch, 1);
+            for j in 0..20u64 {
+                let t = j as f64 * 4e7;
+                live0.on_complete_request(t, 0, j, 1.0, false);
+                let late = j % 2 == 0;
+                live1.on_complete_request(t, 0, j, if late { 40.0 } else { 1.0 }, late);
+            }
+            live0.finish(1e9);
+            live1.finish(1e9);
+            let s0 = [SliceStats {
+                tenant: 0,
+                offered: 20,
+                violations: 0,
+                fault_dropped: 0,
+            }];
+            let s1 = [SliceStats {
+                tenant: 0,
+                offered: 20,
+                violations: 10,
+                fault_dropped: 0,
+            }];
+            fm.absorb_chip_epoch(start, 0, &[(0, 20.0)], 1000.0, &s0, Some(&live0), false);
+            fm.absorb_chip_epoch(start, 1, &[(0, 20.0)], 1000.0, &s1, Some(&live1), false);
+            fm.end_epoch(epoch, start + 1000.0);
+        }
+        fm.finish(9);
+        let fired: Vec<_> = fm
+            .alerts()
+            .iter()
+            .filter(|a| a.event.kind == AlertKind::BurnRate)
+            .collect();
+        assert_eq!(fired.len(), 1, "steady breach fires exactly once");
+        assert_eq!(fired[0].tenant, Some(0));
+        assert_eq!(fired[0].chip, Some(1), "burn attributed to the hot chip");
+        // The alert froze chip 1's ring with the routing context.
+        let dump = &fm.dumps()[0];
+        assert!(dump.reason.contains("chip1"));
+        assert!(dump.spans.iter().any(|s| s.label.starts_with("route e")));
+        // The alert's exemplar (captured at alert time) resolves in the
+        // frozen dump and decodes to the hot chip; the live ring still
+        // resolves the end-of-run exemplar.
+        let id = fired[0].event.exemplar.expect("alert carries an exemplar");
+        assert!(dump.resolves_label(&format!("req {id}")));
+        assert_eq!(trace_chip(id), Some(1));
+        let live_id = fm.resolving_exemplar(1).expect("live exemplar resolves");
+        assert_eq!(trace_chip(live_id), Some(1));
+        // Frames carry the burn and the FIRE marker.
+        let last = fm.frames().last().expect("one frame per epoch");
+        assert!(last.tenants[0].firing);
+        assert!(last.chips[1].burn > last.chips[0].burn);
+        assert!(last.chips[1].fire && !last.chips[0].fire);
+        // The compliance report agrees.
+        let json = fm.compliance_json();
+        assert!(json.contains("\"compliant\":false"));
+        assert!(json.contains("\"burn_alerts\":1"));
+        let top = fm.top_offenders(1);
+        assert_eq!(top[0].chip, 1);
+        assert!(top[0].share > 0.9, "chip 1 owns the badness");
+    }
+
+    #[test]
+    fn epoch_start_kill_charges_the_last_served_epoch() {
+        let mut fm = FleetMonitor::new(2, &[("m", 50.0)]);
+        let mut live1 = chip_live(0, 1);
+        live1.on_complete_request(0.2e9, 0, 3, 2.0, false);
+        live1.finish(1e9);
+        let s1 = [SliceStats {
+            tenant: 0,
+            offered: 40,
+            violations: 0,
+            fault_dropped: 0,
+        }];
+        fm.absorb_chip_epoch(0.0, 1, &[(0, 40.0)], 1000.0, &s1, Some(&live1), false);
+        fm.end_epoch(0, 1000.0);
+        // Chip 1 dies on the next epoch boundary, before serving.
+        fm.on_chip_kill(1, 1000.0, 1, true);
+        assert!(fm.chip_dead(1));
+        let top = fm.top_offenders(1);
+        assert_eq!(top[0].chip, 1);
+        assert_eq!(top[0].bad, 40.0, "charged its last epoch's load");
+        // The kill paged: fault alert with a resolving exemplar + dump.
+        let kill = fm
+            .alerts()
+            .iter()
+            .find(|a| a.event.kind == AlertKind::Fault)
+            .expect("kill pages");
+        assert_eq!(kill.chip, Some(1));
+        let id = kill.event.exemplar.expect("kill alert carries exemplar");
+        assert_eq!(trace_chip(id), Some(1));
+        assert!(fm.dumps()[0].resolves_label(&format!("req {id}")));
+        assert!(fm.frames()[0].t_ms == 1000.0);
+    }
+
+    #[test]
+    fn mid_epoch_kill_charges_unserved_load() {
+        let mut fm = FleetMonitor::new(1, &[("m", 50.0)]);
+        // 100 qps routed, but the chip died at 250 ms: 25 offered.
+        let s = [SliceStats {
+            tenant: 0,
+            offered: 25,
+            violations: 0,
+            fault_dropped: 0,
+        }];
+        fm.absorb_chip_epoch(0.0, 0, &[(0, 100.0)], 1000.0, &s, None, true);
+        fm.on_chip_kill(0, 250.0, 0, false);
+        let top = fm.top_offenders(1);
+        assert_eq!(top[0].chip, 0);
+        assert_eq!(top[0].bad, 75.0, "expected 100 - 25 offered");
+        assert_eq!(fm.triggers(), 1);
+    }
+}

@@ -263,6 +263,122 @@ impl FleetReport {
         out
     }
 
+    /// Prometheus text exposition for the run: the fleet counters
+    /// (HELP/TYPE via the telemetry registry) followed by per-tenant
+    /// (`{tenant="..."}`) and per-chip (`{chip="N"}`) labeled series.
+    /// Deterministic like [`FleetReport::to_json`]: tenant and chip
+    /// order is fixed, no wall-clock, no cache provenance.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.counters().to_prometheus(&[]);
+        fn series<T, F: Fn(&T) -> (String, f64)>(
+            out: &mut String,
+            name: &str,
+            help: &str,
+            kind: &str,
+            rows: &[T],
+            f: F,
+        ) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for row in rows {
+                let (labels, v) = f(row);
+                let _ = writeln!(out, "{name}{{{labels}}} {v}");
+            }
+        }
+        let tl = |t: &FleetTenantReport| format!("tenant=\"{}\"", t.name);
+        series(
+            &mut out,
+            "dtu_fleet_tenant_offered_total",
+            "Requests offered to a tenant fleet-wide",
+            "counter",
+            &self.tenants,
+            |t| (tl(t), t.offered as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_tenant_completed_total",
+            "Requests a tenant completed fleet-wide",
+            "counter",
+            &self.tenants,
+            |t| (tl(t), t.completed as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_tenant_shed_total",
+            "Requests shed by admission control for a tenant",
+            "counter",
+            &self.tenants,
+            |t| (tl(t), t.shed as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_tenant_violations_total",
+            "Completions past a tenant's SLA deadline",
+            "counter",
+            &self.tenants,
+            |t| (tl(t), t.violations as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_tenant_p99_ms",
+            "Tenant p99 latency over the run, ms",
+            "gauge",
+            &self.tenants,
+            |t| (tl(t), t.p99_ms),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_tenant_availability",
+            "Tenant completed/offered over the run",
+            "gauge",
+            &self.tenants,
+            |t| (tl(t), t.availability),
+        );
+        let cl = |c: &FleetChipReport| format!("chip=\"{}\"", c.chip);
+        series(
+            &mut out,
+            "dtu_fleet_chip_offered_total",
+            "Requests routed to a chip",
+            "counter",
+            &self.chips_detail,
+            |c| (cl(c), c.offered as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_chip_completed_total",
+            "Requests a chip completed",
+            "counter",
+            &self.chips_detail,
+            |c| (cl(c), c.completed as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_chip_shed_total",
+            "Requests a chip shed",
+            "counter",
+            &self.chips_detail,
+            |c| (cl(c), c.shed as f64),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_chip_dead",
+            "Whether the chip died during the run (1 = dead)",
+            "gauge",
+            &self.chips_detail,
+            |c| (cl(c), if c.dead { 1.0 } else { 0.0 }),
+        );
+        series(
+            &mut out,
+            "dtu_fleet_chip_ewma_delay_ms",
+            "Router EWMA of the chip's queueing delay, ms",
+            "gauge",
+            &self.chips_detail,
+            |c| (cl(c), c.ewma_delay_ms),
+        );
+        out
+    }
+
     /// The run's fleet counters for the telemetry registry.
     pub fn counters(&self) -> CounterSet {
         let mut set = CounterSet::new();
@@ -404,6 +520,33 @@ mod tests {
         let mut r2 = sample();
         r2.offered += 1;
         assert!(!r2.accounting_balances(), "a fleet-level leak is caught");
+    }
+
+    #[test]
+    fn prometheus_exposition_labels_tenants_and_chips() {
+        let text = sample().to_prometheus();
+        // Fleet counters come through the registry with HELP/TYPE.
+        assert!(text.contains(
+            "# HELP dtu_fleet_routed_cells_total Routing cells assigned by the fleet router"
+        ));
+        assert!(text.contains("# TYPE dtu_fleet_routed_cells_total counter"));
+        assert!(text.contains("dtu_fleet_routed_cells_total 16"));
+        assert!(text.contains("dtu_fleet_replica_moves_total 1"));
+        assert!(text.contains("dtu_fleet_chips_lost_total 1"));
+        // Per-tenant series carry the tenant label.
+        assert!(text.contains("# TYPE dtu_fleet_tenant_p99_ms gauge"));
+        assert!(text.contains("dtu_fleet_tenant_completed_total{tenant=\"resnet50\"} 90"));
+        assert!(text.contains("dtu_fleet_tenant_p99_ms{tenant=\"resnet50\"} 9"));
+        assert!(text.contains("dtu_fleet_tenant_availability{tenant=\"resnet50\"} 0.9"));
+        // Per-chip series carry the chip label; dead chips read 1.
+        assert!(text.contains("dtu_fleet_chip_offered_total{chip=\"0\"} 60"));
+        assert!(text.contains("dtu_fleet_chip_dead{chip=\"0\"} 1"));
+        assert!(text.contains("dtu_fleet_chip_dead{chip=\"1\"} 0"));
+        assert!(text.contains("dtu_fleet_chip_ewma_delay_ms{chip=\"1\"} 0.5"));
+        // Every HELP line has a matching TYPE line.
+        let helps = text.matches("# HELP ").count();
+        let types = text.matches("# TYPE ").count();
+        assert_eq!(helps, types);
     }
 
     #[test]

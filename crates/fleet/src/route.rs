@@ -77,6 +77,38 @@ impl EpochRoutes {
     }
 }
 
+/// The trace-id base for one (epoch, chip) serving simulation.
+///
+/// Per-chip request ids are small integers starting at zero; adding
+/// this base turns them into fleet-unique trace ids that encode their
+/// origin: bits 40.. hold `epoch + 1` (so a zero base — the default for
+/// non-fleet runs — is never confused with epoch 0), bits 24..40 hold
+/// the chip, and bits 0..24 hold the per-chip request counter. The
+/// encoding lets every span of a routed request — router decision,
+/// queue, batch, kernel — stitch into one cross-chip trace, and lets
+/// [`trace_chip`] walk an exemplar back to the chip that served it.
+pub fn trace_base(epoch: usize, chip: usize) -> u64 {
+    ((epoch as u64 + 1) << 40) | ((chip as u64) << 24)
+}
+
+/// Decodes the owning chip from a fleet trace id; `None` for ids from
+/// un-based (single-chip) runs.
+pub fn trace_chip(id: u64) -> Option<usize> {
+    if id >> 40 == 0 {
+        return None;
+    }
+    Some(((id >> 24) & 0xFFFF) as usize)
+}
+
+/// Decodes the routing epoch from a fleet trace id; `None` for ids
+/// from un-based (single-chip) runs.
+pub fn trace_epoch(id: u64) -> Option<usize> {
+    match id >> 40 {
+        0 => None,
+        e => Some((e - 1) as usize),
+    }
+}
+
 /// The deterministic RNG stream for one (seed, epoch, tenant) routing
 /// decision.
 fn route_rng(seed: u64, epoch: usize, tenant: usize) -> FaultRng {
@@ -157,6 +189,21 @@ pub fn route_epoch(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_ids_round_trip_their_origin() {
+        let base = trace_base(3, 12);
+        let id = base + 4071;
+        assert_eq!(trace_chip(id), Some(12));
+        assert_eq!(trace_epoch(id), Some(3));
+        // Epoch 0 is distinguishable from the un-based default.
+        let first = trace_base(0, 0) + 9;
+        assert_eq!(trace_epoch(first), Some(0));
+        assert_eq!(trace_chip(first), Some(0));
+        // Plain single-chip runs (base 0) decode to nothing.
+        assert_eq!(trace_chip(9), None);
+        assert_eq!(trace_epoch(9), None);
+    }
 
     #[test]
     fn routing_is_deterministic_and_conserves_load() {

@@ -231,18 +231,13 @@ pub fn replace_after_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtu_graph::{Graph, Op, TensorType};
+    use crate::testutil::toy_model_with;
     use dtu_sim::ChipConfig;
 
     fn toy(name: &str) -> SweepModel<'static> {
-        let channels = 8 * name.len().max(1);
-        SweepModel::new(name.to_string(), move |batch| {
-            let mut g = Graph::new("toy");
-            let x = g.input("x", TensorType::fixed(&[batch, channels, 16, 16]));
-            let c = g.add_node(Op::conv2d(16, 3, 1, 1), vec![x]).unwrap();
-            g.mark_output(c);
-            g
-        })
+        // Channel count scales with the name so differently-named
+        // tenants carry distinct artifact fingerprints.
+        toy_model_with(name, 8 * name.len().max(1))
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct LiveConfig {
     pub slo: Option<SloSpec>,
     /// Flight-recorder ring capacity, spans.
     pub flight_capacity: usize,
+    /// Offset added to every request id in span labels and exemplars
+    /// (default 0 = local ids). The fleet layer sets a per-(epoch,
+    /// chip) base here so request ids are unique fleet-wide and a
+    /// merged exemplar still names the chip and epoch that served it.
+    pub trace_base: u64,
 }
 
 impl Default for LiveConfig {
@@ -50,6 +55,7 @@ impl Default for LiveConfig {
             ring_windows: 128,
             slo: None,
             flight_capacity: dtu_telemetry::flight::DEFAULT_CAPACITY,
+            trace_base: 0,
         }
     }
 }
@@ -67,6 +73,9 @@ pub struct TenantLive {
     pub fault_drops: TimeSeries,
     /// Completed requests per window.
     pub completions: TimeSeries,
+    /// Deadline violations per window (as judged by the engine's
+    /// per-tenant SLA policy — the fleet rollup's numerator).
+    pub violations: TimeSeries,
     /// Dispatched batches per window.
     pub dispatches: TimeSeries,
     /// Sum of dispatched batch sizes per window (with `dispatches`,
@@ -87,6 +96,7 @@ impl TenantLive {
             sheds: series(),
             fault_drops: series(),
             completions: series(),
+            violations: series(),
             dispatches: series(),
             batch_occupancy: series(),
             latency: WindowedHistogram::new(cfg.window_ns, cfg.ring_windows),
@@ -272,10 +282,11 @@ impl LiveMonitor {
         if let Some(t) = self.tenants.get_mut(tenant) {
             t.sheds.add(t_ns, 1.0);
         }
+        let id = self.cfg.trace_base + req;
         self.flight.record(Span::marker(
             Layer::Serving,
             tenant as u32,
-            format!("shed {req}"),
+            format!("shed {id}"),
             t_ns,
         ));
     }
@@ -305,9 +316,13 @@ impl LiveMonitor {
         latency_ms: f64,
         violated: bool,
     ) {
+        let id = self.cfg.trace_base + req;
         if let Some(t) = self.tenants.get_mut(tenant) {
             t.completions.add(t_ns, 1.0);
-            t.latency.record(t_ns, latency_ms, Some(req));
+            if violated {
+                t.violations.add(t_ns, 1.0);
+            }
+            t.latency.record(t_ns, latency_ms, Some(id));
             if let Some(tracker) = t.slo.as_mut() {
                 tracker.observe(t_ns, latency_ms);
             }
@@ -316,7 +331,7 @@ impl LiveMonitor {
             SpanKind::Request,
             Layer::Serving,
             tenant as u32,
-            format!("req {req}{}", if violated { " (late)" } else { "" }),
+            format!("req {id}{}", if violated { " (late)" } else { "" }),
             t_ns - latency_ms * NS_PER_MS,
             t_ns,
         ));
@@ -474,6 +489,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_base_offsets_span_labels_and_exemplars() {
+        let base = 0x1_0000u64;
+        let cfg = LiveConfig {
+            trace_base: base,
+            ..LiveConfig::default()
+        };
+        let mut m = LiveMonitor::new(cfg);
+        m.begin(&[TenantSpec::poisson("t0", 0, 10.0)]);
+        m.on_complete_request(1e9, 0, 7, 3.0, false);
+        m.on_shed(1.1e9, 0, 8);
+        let row = m.tenants()[0].row(1.5e9, 2e9);
+        assert_eq!(row.exemplar, Some(base + 7), "exemplar carries the base");
+        let labels: Vec<&str> = m.flight.spans().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&format!("req {}", base + 7).as_str()));
+        assert!(labels.contains(&format!("shed {}", base + 8).as_str()));
+    }
+
+    #[test]
+    fn violations_series_counts_late_completions() {
+        let mut m = LiveMonitor::with_defaults();
+        m.begin(&[TenantSpec::poisson("t0", 0, 10.0)]);
+        m.on_complete_request(0.2e9, 0, 1, 60.0, true);
+        m.on_complete_request(0.4e9, 0, 2, 1.0, false);
+        m.on_complete_request(1.4e9, 0, 3, 70.0, true);
+        let t = &m.tenants()[0];
+        assert_eq!(t.violations.total(), 2.0);
+        assert_eq!(t.violations.sum_over(0.9e9, 1e9), 1.0);
+        assert_eq!(t.completions.total(), 3.0);
+    }
+
+    #[test]
     fn clean_run_stays_quiet() {
         let mut m = monitor_with_slo();
         for i in 0..60 {
@@ -486,6 +532,6 @@ mod tests {
         assert!(m.finish(60e9).is_empty());
         assert!(m.alerts.is_empty());
         assert_eq!(m.flight.dumps().len(), 0);
-        assert!(m.flight.len() > 0, "ring records even when healthy");
+        assert!(!m.flight.is_empty(), "ring records even when healthy");
     }
 }

@@ -494,6 +494,39 @@ mod tests {
         // Touched counters carry their value, untouched ones render 0.
         assert!(text.contains("dtu_macs_total{chip=\"i20\"} 7"));
         assert!(text.contains("dtu_sync_ops_total{chip=\"i20\"} 0"));
+        // The fleet counters are first-class registry members: each one
+        // gets HELP/TYPE metadata and a (zero-default) sample.
+        for name in [
+            "dtu_fleet_routed_cells_total",
+            "dtu_fleet_replica_moves_total",
+            "dtu_fleet_chips_lost_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name} HELP");
+            assert!(
+                text.contains(&format!("# TYPE {name} counter")),
+                "{name} TYPE"
+            );
+            assert!(
+                text.contains(&format!("{name}{{chip=\"i20\"}} 0")),
+                "{name} sample"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_counters_export_through_sparse_exposition() {
+        let mut set = CounterSet::new();
+        set.add(Counter::FleetRoutedCells, 320.0);
+        set.add(Counter::FleetReplicaMoves, 2.0);
+        set.add(Counter::FleetChipsLost, 1.0);
+        let text = set.to_prometheus(&[]);
+        assert!(text.contains(
+            "# HELP dtu_fleet_routed_cells_total Routing cells assigned by the fleet router"
+        ));
+        assert!(text.contains("# TYPE dtu_fleet_routed_cells_total counter"));
+        assert!(text.contains("dtu_fleet_routed_cells_total 320"));
+        assert!(text.contains("dtu_fleet_replica_moves_total 2"));
+        assert!(text.contains("dtu_fleet_chips_lost_total 1"));
     }
 
     #[test]

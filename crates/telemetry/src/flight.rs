@@ -102,6 +102,13 @@ impl FlightRecorder {
         self.ring.len()
     }
 
+    /// Iterates the ring's spans, oldest first — the fleet aggregator
+    /// uses this to absorb a per-chip ring into the fleet-time ring
+    /// without waiting for a trigger.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> + '_ {
+        self.ring.iter()
+    }
+
     /// Whether the ring is empty.
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()

@@ -252,6 +252,63 @@ impl WindowedHistogram {
         }
     }
 
+    /// Merges `other`'s windows into `self`, shifting every window by
+    /// `offset_ns` on the shared clock.
+    ///
+    /// This is the fleet per-chip → per-tenant rollup path: bucket
+    /// counts merge exactly, and each target window keeps the *slowest*
+    /// exemplar of its contributors — so the merged histogram's
+    /// exemplar still resolves to a real span id on the chip that
+    /// recorded it (the exemplar's timestamp is shifted along with its
+    /// window). Windows older than `self`'s retained history are
+    /// dropped; out-of-order merges (chip B behind chip A) insert in
+    /// window order.
+    pub fn merge_offset(&mut self, other: &WindowedHistogram, offset_ns: f64) {
+        for w in other.windows.iter().map(|(_, w)| w) {
+            let t = (w.start_ns + offset_ns).max(0.0);
+            let idx = (t / self.window_ns) as u64;
+            let shifted_exemplar = w.exemplar.map(|e| Exemplar {
+                span_id: e.span_id,
+                value: e.value,
+                at_ns: e.at_ns + offset_ns,
+            });
+            let pos = self.windows.partition_point(|&(i, _)| i < idx);
+            if pos < self.windows.len() && self.windows[pos].0 == idx {
+                let target = &mut self.windows[pos].1;
+                target.hist.merge(&w.hist);
+                if let Some(e) = shifted_exemplar {
+                    let slower = match target.exemplar {
+                        Some(b) => e.value > b.value,
+                        None => true,
+                    };
+                    if slower {
+                        target.exemplar = Some(e);
+                    }
+                }
+            } else {
+                let mut pos = pos;
+                if self.windows.len() == self.cap {
+                    if pos == 0 {
+                        continue; // older than everything retained
+                    }
+                    self.windows.pop_front();
+                    pos -= 1;
+                }
+                self.windows.insert(
+                    pos,
+                    (
+                        idx,
+                        HistogramWindow {
+                            start_ns: idx as f64 * self.window_ns,
+                            hist: w.hist.clone(),
+                            exemplar: shifted_exemplar,
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
     /// Merges every window whose start lies in `[now − span, now]` into
     /// one histogram (clamped to retained history).
     pub fn merged_over(&self, now_ns: f64, span_ns: f64) -> LogHistogram {
@@ -418,6 +475,35 @@ mod tests {
             flat.count(),
             "span larger than history covers everything"
         );
+    }
+
+    #[test]
+    fn merge_offset_keeps_slowest_exemplar_and_exact_counts() {
+        // Two chips record the same epoch on local clocks; the fleet
+        // merges both at offset 4 s.
+        let mut chip_a = WindowedHistogram::new(1e9, 8);
+        chip_a.record(0.3e9, 6.0, Some(101));
+        chip_a.record(0.6e9, 2.0, Some(102));
+        let mut chip_b = WindowedHistogram::new(1e9, 8);
+        chip_b.record(0.4e9, 9.0, Some(201));
+        let mut fleet = WindowedHistogram::new(1e9, 8);
+        fleet.merge_offset(&chip_a, 4e9);
+        fleet.merge_offset(&chip_b, 4e9);
+        assert_eq!(fleet.merged().count(), 3);
+        let e = fleet.exemplar_over(4.9e9, 1e9).expect("exemplar survives");
+        assert_eq!(e.span_id, 201, "slowest contributor wins the window");
+        assert_eq!(e.value, 9.0);
+        assert!(
+            (e.at_ns - 4.4e9).abs() < 1.0,
+            "timestamp shifted: {}",
+            e.at_ns
+        );
+        // Out-of-order merge: an earlier epoch inserts before, exactly.
+        let mut chip_c = WindowedHistogram::new(1e9, 8);
+        chip_c.record(0.5e9, 3.0, Some(301));
+        fleet.merge_offset(&chip_c, 1e9);
+        assert_eq!(fleet.merged().count(), 4);
+        assert_eq!(fleet.exemplar_over(1.9e9, 1e9).unwrap().span_id, 301);
     }
 
     #[test]

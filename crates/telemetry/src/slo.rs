@@ -160,6 +160,26 @@ impl SloTracker {
         }
     }
 
+    /// Folds a pre-aggregated window of `completed` requests, of which
+    /// `violated` missed the deadline, into the rings at `t_ns`.
+    ///
+    /// This is the fleet rollup path: per-chip monitors already hold
+    /// per-window completion/violation counts, so the fleet-scope
+    /// tracker ingests whole windows instead of replaying every
+    /// request. Call in non-decreasing `t_ns` order (the fleet merges
+    /// at epoch barriers, which guarantees it); `violated` is clamped
+    /// to `completed`.
+    pub fn fold_window(&mut self, t_ns: f64, completed: u64, violated: u64) {
+        if completed == 0 {
+            return;
+        }
+        let violated = violated.min(completed);
+        self.completions.add(t_ns, completed as f64);
+        self.violations.add(t_ns, violated as f64);
+        self.total_completed += completed;
+        self.total_violated += violated;
+    }
+
     fn burn(&self, now_ns: f64, window_ns: f64) -> f64 {
         let done = self.completions.sum_over(now_ns, window_ns);
         if done <= 0.0 {
@@ -350,6 +370,34 @@ mod tests {
             }
         }
         assert_eq!(fired, 0);
+    }
+
+    #[test]
+    fn folded_windows_match_per_request_observation() {
+        // Observing 50 requests per second with 50 % violations must be
+        // indistinguishable from folding the same counts window-wise.
+        let mut by_request = SloTracker::new(spec());
+        let mut by_window = SloTracker::new(spec());
+        let mut transitions = (Vec::new(), Vec::new());
+        for i in 0..20 {
+            let now = i as f64 * 1e9;
+            for j in 0..50 {
+                let lat = if j % 2 == 0 { 50.0 } else { 3.0 };
+                by_request.observe(now + j as f64 * 1e7, lat);
+            }
+            by_window.fold_window(now, 50, 25);
+            if let Some(a) = by_request.evaluate(now + 0.99e9, None) {
+                transitions.0.push(a.kind);
+            }
+            if let Some(a) = by_window.evaluate(now + 0.99e9, None) {
+                transitions.1.push(a.kind);
+            }
+        }
+        assert_eq!(transitions.0, transitions.1);
+        assert_eq!(by_request.completed(), by_window.completed());
+        assert_eq!(by_request.violated(), by_window.violated());
+        assert_eq!(by_request.firing(), by_window.firing());
+        assert!((by_request.budget_consumed() - by_window.budget_consumed()).abs() < 1e-12);
     }
 
     #[test]

@@ -129,6 +129,23 @@ impl TimeSeries {
         self.sum_over(now_ns, span_ns) / (covered / 1e9)
     }
 
+    /// Merges `other`'s windows into `self`, shifting every window by
+    /// `offset_ns` on the shared clock.
+    ///
+    /// This is the fleet rollup path: a per-chip series recorded on an
+    /// epoch-local clock folds into a fleet-wide series by offsetting
+    /// with the epoch start. Windows need not share alignment — each
+    /// shifted window's sum lands in whichever of `self`'s windows
+    /// covers its start. Sums older than `self`'s retained history are
+    /// dropped, exactly as [`add`](Self::add) drops late samples.
+    pub fn merge_offset(&mut self, other: &TimeSeries, offset_ns: f64) {
+        for (start_ns, sum) in other.windows() {
+            if sum != 0.0 {
+                self.add(start_ns + offset_ns, sum);
+            }
+        }
+    }
+
     /// Iterates retained `(window_start_ns, sum)` pairs, oldest first.
     pub fn windows(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         self.windows
@@ -206,6 +223,26 @@ mod tests {
         ts.add(1000.5e9, 2.0);
         assert_eq!(ts.len(), 4, "gap fills to capacity with zeros");
         assert_eq!(ts.total(), 2.0);
+    }
+
+    #[test]
+    fn merge_offset_shifts_and_adds() {
+        let mut fleet = TimeSeries::new(1e9, 16);
+        fleet.add(0.5e9, 1.0);
+        // Chip series recorded on an epoch-local clock, epoch at 2 s.
+        let mut chip = TimeSeries::new(1e9, 16);
+        chip.add(0.2e9, 3.0);
+        chip.add(1.4e9, 5.0);
+        fleet.merge_offset(&chip, 2e9);
+        let w: Vec<(f64, f64)> = fleet.windows().collect();
+        assert_eq!(w, vec![(0.0, 1.0), (1e9, 0.0), (2e9, 3.0), (3e9, 5.0)]);
+        // A second chip merging into the *same* (now older) windows
+        // still lands in place, not in the newest window.
+        let mut other = TimeSeries::new(1e9, 16);
+        other.add(0.1e9, 7.0);
+        fleet.merge_offset(&other, 2e9);
+        assert_eq!(fleet.sum_over(2.5e9, 0.9e9), 10.0);
+        assert_eq!(fleet.total(), 16.0);
     }
 
     #[test]

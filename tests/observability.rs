@@ -22,7 +22,11 @@ fn rng_stream(seed: u64, n: usize) -> Vec<f64> {
         // 25..525 ms tail, so interior and extreme quantiles both see
         // realistic spreads across many histogram buckets.
         let body = 0.5 + 10.0 * u;
-        out.push(if s % 97 == 0 { body * 50.0 } else { body });
+        out.push(if s.is_multiple_of(97) {
+            body * 50.0
+        } else {
+            body
+        });
     }
     out
 }
