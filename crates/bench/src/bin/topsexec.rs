@@ -10,6 +10,9 @@
 //! topsexec profile bert --trace-out bert.json --format prometheus
 //! topsexec serve                       # multi-tenant serving scenario
 //! topsexec serve --models resnet50,bert --qps 600 --bursty --trace-out t.jsonl
+//! topsexec serve --generative          # continuous-batching LLM scenario
+//! topsexec serve --generative --gen-model tiny --seed 7 --jobs 4
+//! topsexec serve --llm --prompt 128 --max-new 64 --kv-budget 0.25
 //! topsexec sweep                       # model x batch grid, parallel + cached
 //! topsexec sweep --models resnet50,bert --batches 1,4,16 --jobs 4 --format json
 //! topsexec sweep --check-golden tests/golden/figures.json   # CI figure gate
@@ -28,8 +31,8 @@
 
 use dtu::serve::{
     faults::FaultPlan, run_serving, run_serving_live, run_serving_recorded, ArrivalProcess,
-    BatchPolicy, CompiledModel, LiveConfig, LiveMonitor, ScalePolicy, ServeConfig, ServeError,
-    ServiceModel, SlaPolicy, TenantSpec,
+    BatchPolicy, CompiledModel, GenerativeScenario, KvCacheConfig, LiveConfig, LiveMonitor,
+    ScalePolicy, ServeConfig, ServeError, ServiceModel, SlaPolicy, TenantSpec,
 };
 use dtu::telemetry::{AttributionReport, Recorder, SloSpec, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
@@ -42,7 +45,7 @@ use dtu_harness::{
     available_jobs, run_fault_sweep, run_slo_scenario, run_slo_sweep, run_sweep, slo_point_seed,
     SessionCache, SloScenario, SweepModel,
 };
-use dtu_models::Model;
+use dtu_models::{GenerativeConfig, Model};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -102,6 +105,34 @@ fn usage() -> &'static str {
        --cache-dir <dir>        compiled-session artifact directory\n\
                                 (default target/dtu-cache)\n\
        --no-disk-cache          keep the session cache in memory only\n\
+     \n\
+     serve --generative options (continuous-batching generative scenario;\n\
+     --llm is a synonym; JSON report on stdout is byte-identical across\n\
+     --jobs and cache temperature):\n\
+       --gen-model <name>       decoder-only transformer config: gpt1b\n\
+                                (16 layers, d_model 2048, ~1B params;\n\
+                                default) or tiny (CI-sized)\n\
+       --qps <n>                mean arrival rate, requests/s (default 200)\n\
+       --duration <ms>          arrival horizon; admitted requests drain\n\
+                                to completion past it (default 200)\n\
+       --prompt <n>             prompt tokens per request (default 64)\n\
+       --min-new <n>            minimum output tokens (default 4)\n\
+       --max-new <n>            maximum output tokens (default 32); each\n\
+                                request's target is drawn from the seed,\n\
+                                independent of schedule\n\
+       --max-concurrency <n>    running-batch cap (default 8)\n\
+       --queue-depth <n>        admission queue cap, arrivals beyond\n\
+                                shed (default 64)\n\
+       --ttft-deadline <ms>     time-to-first-token SLO (default 100)\n\
+       --tpot-deadline <ms>     time-per-output-token SLO (default 20)\n\
+       --kv-budget <f>          fraction of L3 granted to the paged\n\
+                                KV-cache pool, in (0,1] (default 1)\n\
+       --bursty                 Markov-modulated arrivals instead of\n\
+                                Poisson\n\
+       --seed <n>               run seed (default 7)\n\
+       --jobs <n>               session warm-up workers (default: all\n\
+                                cores); does not affect the report\n\
+       --chip / --trace-out / --cache-dir / --no-disk-cache as for serve\n\
      \n\
      sweep options (model x batch grid on the parallel experiment engine):\n\
        --models <a,b,...>       comma-separated model names\n\
@@ -538,6 +569,234 @@ fn run_serve() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("\ntrace written to {path} ({} events)", out.trace.len());
+    }
+    ExitCode::SUCCESS
+}
+
+struct GenServeArgs {
+    gen_model: String,
+    qps: f64,
+    duration_ms: f64,
+    prompt: usize,
+    min_new: usize,
+    max_new: usize,
+    max_concurrency: usize,
+    queue_depth: usize,
+    ttft_deadline_ms: f64,
+    tpot_deadline_ms: f64,
+    kv_budget: f64,
+    bursty: bool,
+    seed: u64,
+    chip: String,
+    jobs: usize,
+    trace: Option<String>,
+    cache_dir: Option<PathBuf>,
+    disk_cache: bool,
+}
+
+fn gen_model_by_name(name: &str) -> Option<GenerativeConfig> {
+    match name.to_lowercase().as_str() {
+        "gpt1b" | "gpt-1b" | "1b" => Some(GenerativeConfig::gpt_1b()),
+        "tiny" => Some(GenerativeConfig::tiny()),
+        _ => None,
+    }
+}
+
+fn parse_genserve_args() -> Result<GenServeArgs, String> {
+    let mut args = GenServeArgs {
+        gen_model: "gpt1b".into(),
+        qps: 200.0,
+        duration_ms: 200.0,
+        prompt: 64,
+        min_new: 4,
+        max_new: 32,
+        max_concurrency: 8,
+        queue_depth: 64,
+        ttft_deadline_ms: 100.0,
+        tpot_deadline_ms: 20.0,
+        kv_budget: 1.0,
+        bursty: false,
+        seed: 7,
+        chip: "i20".into(),
+        jobs: available_jobs(),
+        trace: None,
+        cache_dir: None,
+        disk_cache: true,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{flag} needs a number"))
+        }
+        match a.as_str() {
+            // The mode selectors themselves (main() already routed on
+            // them).
+            "--generative" | "--llm" => {}
+            "--gen-model" => args.gen_model = value("--gen-model")?,
+            "--qps" => args.qps = num("--qps", value("--qps")?)?,
+            "--duration" => args.duration_ms = num("--duration", value("--duration")?)?,
+            "--prompt" => args.prompt = num("--prompt", value("--prompt")?)?,
+            "--min-new" => args.min_new = num("--min-new", value("--min-new")?)?,
+            "--max-new" => args.max_new = num("--max-new", value("--max-new")?)?,
+            "--max-concurrency" => {
+                args.max_concurrency = num("--max-concurrency", value("--max-concurrency")?)?
+            }
+            "--queue-depth" => args.queue_depth = num("--queue-depth", value("--queue-depth")?)?,
+            "--ttft-deadline" => {
+                args.ttft_deadline_ms = num("--ttft-deadline", value("--ttft-deadline")?)?
+            }
+            "--tpot-deadline" => {
+                args.tpot_deadline_ms = num("--tpot-deadline", value("--tpot-deadline")?)?
+            }
+            "--kv-budget" => args.kv_budget = num("--kv-budget", value("--kv-budget")?)?,
+            "--bursty" => args.bursty = true,
+            "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            "--chip" => args.chip = value("--chip")?,
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?
+            }
+            "--trace-out" | "--trace" => args.trace = Some(value("--trace-out")?),
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--no-disk-cache" => args.disk_cache = false,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown generative serve flag '{other}'")),
+        }
+    }
+    if args.min_new == 0 || args.max_new < args.min_new {
+        return Err("--min-new must be at least 1 and --max-new at least --min-new".into());
+    }
+    if !(args.kv_budget > 0.0 && args.kv_budget <= 1.0) {
+        return Err("--kv-budget must be in (0, 1]".into());
+    }
+    Ok(args)
+}
+
+fn run_genserve() -> ExitCode {
+    let args = match parse_genserve_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(gen_cfg) = gen_model_by_name(&args.gen_model) else {
+        eprintln!(
+            "error: unknown generative model '{}' (use gpt1b or tiny)\n\n{}",
+            args.gen_model,
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let kv = KvCacheConfig::for_chip_with_budget(
+        accel.config(),
+        gen_cfg.kv_bytes_per_token(),
+        args.kv_budget,
+    );
+    let scenario = GenerativeScenario {
+        duration_ms: args.duration_ms,
+        seed: args.seed,
+        arrival: if args.bursty {
+            ArrivalProcess::Bursty {
+                base_qps: 0.5 * args.qps,
+                burst_qps: 2.5 * args.qps,
+                mean_dwell_ms: args.duration_ms / 8.0,
+            }
+        } else {
+            ArrivalProcess::Poisson { qps: args.qps }
+        },
+        prompt_tokens: args.prompt,
+        min_new_tokens: args.min_new,
+        max_new_tokens: args.max_new,
+        max_concurrency: args.max_concurrency,
+        queue_depth: args.queue_depth,
+        ttft_deadline_ms: args.ttft_deadline_ms,
+        tpot_deadline_ms: args.tpot_deadline_ms,
+        kv,
+    };
+
+    eprintln!(
+        "[serve --generative] {} ({} prompt tokens, {}..{} new), {:.0} qps{} over {:.0} ms, \
+         concurrency {}, KV pool {} pages ({} L2-resident) on {} warm-up workers",
+        args.gen_model,
+        args.prompt,
+        args.min_new,
+        args.max_new,
+        args.qps,
+        if args.bursty { " (bursty)" } else { "" },
+        args.duration_ms,
+        args.max_concurrency,
+        scenario.kv.total_pages,
+        scenario.kv.l2_pages,
+        args.jobs
+    );
+
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+    let chrome_trace = args.trace.as_deref().is_some_and(|p| p.ends_with(".json"));
+    let mut buf = TraceBuffer::new();
+    let rec: Option<&mut dyn Recorder> = if chrome_trace { Some(&mut buf) } else { None };
+    let started = std::time::Instant::now();
+    let out = match dtu_harness::run_generative_serve(
+        &accel, &gen_cfg, &scenario, &cache, args.jobs, rec,
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("generative serve error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // The JSON report is schedule-independent and goes to stdout so
+    // two runs (any --jobs, warm or cold cache) compare byte-for-byte;
+    // wall-clock chatter stays on stderr.
+    println!("{}", out.report.to_json());
+    let s = cache.stats();
+    eprintln!(
+        "[serve --generative] {} prefill + {} decode steps in {:.0} ms; \
+         cache: {} memory + {} disk hits, {} misses",
+        out.report.prefill_steps,
+        out.report.decode_steps,
+        elapsed_ms,
+        s.memory_hits,
+        s.disk_hits,
+        s.misses
+    );
+
+    if let Some(path) = &args.trace {
+        let payload = if chrome_trace {
+            buf.to_chrome_trace(true)
+        } else {
+            out.trace.to_jsonl()
+        };
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[serve --generative] trace written to {path} ({} events)",
+            out.trace.len()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -1988,7 +2247,15 @@ fn run_fleet_cmd() -> ExitCode {
 
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
-        Some("serve") => return run_serve(),
+        Some("serve") => {
+            // `serve --generative` (or `--llm`) is the continuous-
+            // batching token-level engine; plain `serve` stays the
+            // multi-tenant request-level scenario.
+            if std::env::args().any(|a| a == "--generative" || a == "--llm") {
+                return run_genserve();
+            }
+            return run_serve();
+        }
         Some("profile") => return run_profile(),
         Some("sweep") => return run_sweep_cmd(),
         Some("faults") => return run_faults(),

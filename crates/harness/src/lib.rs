@@ -25,6 +25,12 @@
 //!   injection through the `dtu` recovery loop, with per-point seeds
 //!   derived from content keys so reports are byte-identical across
 //!   `--jobs`.
+//! * [`run_generative_serve`] — the continuous-batching generative
+//!   scenario behind `topsexec serve --generative`: pre-warms the
+//!   prefill/decode session grid on `--jobs` workers through the
+//!   shared cache, then runs `dtu-serve`'s deterministic token-level
+//!   engine, so TTFT/TPOT reports are byte-identical across `--jobs`
+//!   and cache temperature.
 //! * [`compare_golden`] — the golden-figure comparator behind
 //!   `topsexec sweep --check-golden` and the CI regression gate:
 //!   structural JSON equality with relative tolerance on the numbers.
@@ -49,6 +55,7 @@
 mod cache;
 mod error;
 mod faultsweep;
+mod genserve;
 mod golden;
 mod plan;
 mod slosweep;
@@ -57,6 +64,7 @@ mod sweep;
 pub use cache::{CacheOutcome, CacheStats, SessionCache, CACHE_FORMAT_VERSION};
 pub use error::HarnessError;
 pub use faultsweep::{run_fault_sweep, FaultPoint, FaultSweepReport};
+pub use genserve::{gen_session_grid, run_generative_serve};
 pub use golden::{compare_golden, GOLDEN_RTOL};
 pub use plan::{available_jobs, ExperimentPlan, PlanCtx, PointId};
 pub use slosweep::{

@@ -1,0 +1,420 @@
+//! Decoder-only generative transformer with an explicit prefill/decode
+//! split.
+//!
+//! Autoregressive generation has two phases with very different cost
+//! profiles, and this module emits a separate graph family for each:
+//!
+//! * **Prefill** ([`prefill_graph`]) processes the whole prompt in one
+//!   pass — full-sequence GEMMs, square `[seq, seq]` attention, exactly
+//!   the compute-bound shape of the single-shot BERT builder. Its side
+//!   effect (not represented as graph outputs) is the populated
+//!   KV-cache; the first output token falls out of its last position.
+//! * **Decode** ([`decode_graph`]) advances every sequence by one
+//!   token: the new token's `[batch, 1, d_model]` activations attend
+//!   against an **explicit KV-cache tensor** per layer
+//!   (`kv_k_<l>` / `kv_v_<l>` graph inputs of shape
+//!   `[batch, heads, head_dim, context]` and
+//!   `[batch, heads, context, head_dim]`), so every matmul is
+//!   GEMV-shaped (`seq = 1`) and the arithmetic intensity collapses —
+//!   the bandwidth-bound regime the paged KV allocator in `dtu-serve`
+//!   charges against the three-level memory model. The token's own
+//!   K/V projections are marked as graph outputs (the cache append).
+//!
+//! The default [`GenerativeConfig::gpt_1b`] is a ~1B-parameter-class
+//! configuration (16 layers, d_model 2048, 16 heads, FFN 8192);
+//! [`GenerativeConfig::tiny`] is a 2-layer miniature for tests and CI
+//! smoke runs.
+
+use dtu_graph::{BinaryKind, Dim, Graph, NodeId, Op, TensorType};
+use dtu_isa::SfuFunc;
+
+/// Architecture of a decoder-only generative transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GenerativeConfig {
+    /// Decoder layers.
+    pub layers: usize,
+    /// Attention heads per layer (`d_model % heads == 0`).
+    pub heads: usize,
+    /// Model (hidden) width.
+    pub d_model: usize,
+    /// Feed-forward inner width.
+    pub ffn: usize,
+    /// Vocabulary size (embedding + logits width).
+    pub vocab: usize,
+    /// Maximum total sequence length (prompt + generated) the KV-cache
+    /// is sized for.
+    pub max_seq: usize,
+}
+
+/// KV-cache element size, bytes (fp16 activations).
+const KV_ELEM_BYTES: u64 = 2;
+
+impl GenerativeConfig {
+    /// ~1B-parameter-class configuration (16 × d2048, GPT-2-XL-ish).
+    pub fn gpt_1b() -> Self {
+        GenerativeConfig {
+            layers: 16,
+            heads: 16,
+            d_model: 2048,
+            ffn: 8192,
+            vocab: 32_000,
+            max_seq: 2048,
+        }
+    }
+
+    /// Miniature 2-layer configuration for tests and CI smoke runs.
+    pub fn tiny() -> Self {
+        GenerativeConfig {
+            layers: 2,
+            heads: 4,
+            d_model: 256,
+            ffn: 1024,
+            vocab: 1_000,
+            max_seq: 512,
+        }
+    }
+
+    /// Width of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Approximate parameter count (attention + FFN + tied embedding).
+    pub fn params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let per_layer = 4 * d * d + 2 * d * self.ffn as u64;
+        self.layers as u64 * per_layer + self.vocab as u64 * d
+    }
+
+    /// Bytes the KV-cache grows by per token per sequence: K and V,
+    /// every layer, fp16.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.layers as u64 * self.d_model as u64 * KV_ELEM_BYTES
+    }
+}
+
+fn dense(g: &mut Graph, x: NodeId, units: usize) -> NodeId {
+    g.add_node(Op::Dense { units }, vec![x]).expect("dense")
+}
+
+fn add(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    g.add_node(
+        Op::Binary {
+            kind: BinaryKind::Add,
+        },
+        vec![a, b],
+    )
+    .expect("add")
+}
+
+fn layer_norm(g: &mut Graph, x: NodeId) -> NodeId {
+    g.add_node(Op::LayerNorm, vec![x]).expect("ln")
+}
+
+fn gelu(g: &mut Graph, x: NodeId) -> NodeId {
+    g.add_node(
+        Op::Activation {
+            func: SfuFunc::Gelu,
+        },
+        vec![x],
+    )
+    .expect("gelu")
+}
+
+/// Projects `[b, seq, d_model]` into per-head layout
+/// `[b, heads, seq, head_dim]` (or `[b, heads, head_dim, seq]` when
+/// `transposed` — the key layout).
+fn to_heads(
+    g: &mut Graph,
+    x: NodeId,
+    cfg: &GenerativeConfig,
+    batch: usize,
+    seq: usize,
+    transposed: bool,
+) -> NodeId {
+    let split = g
+        .add_node(
+            Op::Reshape {
+                dims: vec![
+                    Dim::Fixed(batch),
+                    Dim::Fixed(seq),
+                    Dim::Fixed(cfg.heads),
+                    Dim::Fixed(cfg.head_dim()),
+                ],
+            },
+            vec![x],
+        )
+        .expect("split_heads");
+    let perm = if transposed {
+        vec![0, 2, 3, 1]
+    } else {
+        vec![0, 2, 1, 3]
+    };
+    g.add_node(Op::Transpose { perm }, vec![split])
+        .expect("head_transpose")
+}
+
+/// Merges `[b, heads, seq, head_dim]` back to `[b, seq, d_model]`.
+fn merge_heads(
+    g: &mut Graph,
+    x: NodeId,
+    cfg: &GenerativeConfig,
+    batch: usize,
+    seq: usize,
+) -> NodeId {
+    let back = g
+        .add_node(
+            Op::Transpose {
+                perm: vec![0, 2, 1, 3],
+            },
+            vec![x],
+        )
+        .expect("merge_transpose");
+    g.add_node(
+        Op::Reshape {
+            dims: vec![Dim::Fixed(batch), Dim::Fixed(seq), Dim::Fixed(cfg.d_model)],
+        },
+        vec![back],
+    )
+    .expect("merge")
+}
+
+/// Feed-forward block with pre-norm residual.
+fn mlp(g: &mut Graph, x: NodeId, cfg: &GenerativeConfig) -> NodeId {
+    let normed = layer_norm(g, x);
+    let up = dense(g, normed, cfg.ffn);
+    let act = gelu(g, up);
+    let down = dense(g, act, cfg.d_model);
+    add(g, down, x)
+}
+
+/// One prefill decoder layer: full-sequence self-attention + MLP,
+/// pre-norm residuals. Causality is a masking detail with no cost-model
+/// consequence, so the score tensor stays the full `[seq, seq]` square.
+fn prefill_layer(
+    g: &mut Graph,
+    x: NodeId,
+    cfg: &GenerativeConfig,
+    batch: usize,
+    seq: usize,
+) -> NodeId {
+    let normed = layer_norm(g, x);
+    let q = dense(g, normed, cfg.d_model);
+    let k = dense(g, normed, cfg.d_model);
+    let v = dense(g, normed, cfg.d_model);
+    let qh = to_heads(g, q, cfg, batch, seq, false);
+    let kh = to_heads(g, k, cfg, batch, seq, true);
+    let vh = to_heads(g, v, cfg, batch, seq, false);
+    let scores = g.add_node(Op::MatMul, vec![qh, kh]).expect("qk");
+    let probs = g.add_node(Op::Softmax, vec![scores]).expect("softmax");
+    let ctx = g.add_node(Op::MatMul, vec![probs, vh]).expect("av");
+    let merged = merge_heads(g, ctx, cfg, batch, seq);
+    let proj = dense(g, merged, cfg.d_model);
+    let attn_out = add(g, proj, x);
+    mlp(g, attn_out, cfg)
+}
+
+/// One decode layer: the single new token attends against the explicit
+/// per-layer KV-cache inputs. Every dense/matmul has `seq = 1` — the
+/// GEMV shape whose cost is dominated by streaming the `context`-long
+/// cache, not by arithmetic.
+fn decode_layer(
+    g: &mut Graph,
+    x: NodeId,
+    cfg: &GenerativeConfig,
+    layer: usize,
+    batch: usize,
+    context: usize,
+) -> NodeId {
+    let normed = layer_norm(g, x);
+    let q = dense(g, normed, cfg.d_model);
+    // This token's K/V projections: the cache append. They feed nothing
+    // inside the step (the matmuls read the cache inputs), so they are
+    // marked as outputs to keep their cost in the graph.
+    let k_tok = dense(g, normed, cfg.d_model);
+    let v_tok = dense(g, normed, cfg.d_model);
+    g.mark_output(k_tok);
+    g.mark_output(v_tok);
+    let qh = to_heads(g, q, cfg, batch, 1, false);
+    // Explicit KV-cache tensors, one pair per layer.
+    let k_cache = g.input(
+        format!("kv_k_{layer}"),
+        TensorType::fixed(&[batch, cfg.heads, cfg.head_dim(), context]),
+    );
+    let v_cache = g.input(
+        format!("kv_v_{layer}"),
+        TensorType::fixed(&[batch, cfg.heads, context, cfg.head_dim()]),
+    );
+    // [b, h, 1, d] x [b, h, d, ctx] -> [b, h, 1, ctx]: a GEMV per head.
+    let scores = g.add_node(Op::MatMul, vec![qh, k_cache]).expect("qk");
+    let probs = g.add_node(Op::Softmax, vec![scores]).expect("softmax");
+    // [b, h, 1, ctx] x [b, h, ctx, d] -> [b, h, 1, d].
+    let ctx_out = g.add_node(Op::MatMul, vec![probs, v_cache]).expect("av");
+    let merged = merge_heads(g, ctx_out, cfg, batch, 1);
+    let proj = dense(g, merged, cfg.d_model);
+    let attn_out = add(g, proj, x);
+    mlp(g, attn_out, cfg)
+}
+
+/// Builds the prefill graph: the whole `prompt`-token prompt in one
+/// full-sequence pass at `batch` sequences.
+pub fn prefill_graph(cfg: &GenerativeConfig, batch: usize, prompt: usize) -> Graph {
+    let mut g = Graph::new(format!("gen-prefill-{prompt}"));
+    let tokens = g.input("tokens", TensorType::fixed(&[batch, prompt]));
+    let emb = g
+        .add_node(
+            Op::Embedding {
+                vocab: cfg.vocab,
+                width: cfg.d_model,
+            },
+            vec![tokens],
+        )
+        .expect("embedding");
+    let pos = g.input(
+        "positions",
+        TensorType::fixed(&[batch, prompt, cfg.d_model]),
+    );
+    let mut x = add(&mut g, emb, pos);
+    for _ in 0..cfg.layers {
+        x = prefill_layer(&mut g, x, cfg, batch, prompt);
+    }
+    let final_norm = layer_norm(&mut g, x);
+    g.mark_output(final_norm);
+    g
+}
+
+/// Builds the per-token decode graph: one new token per sequence
+/// attending against a `context`-token KV-cache.
+pub fn decode_graph(cfg: &GenerativeConfig, batch: usize, context: usize) -> Graph {
+    let mut g = Graph::new(format!("gen-decode-{context}"));
+    let tokens = g.input("tokens", TensorType::fixed(&[batch, 1]));
+    let emb = g
+        .add_node(
+            Op::Embedding {
+                vocab: cfg.vocab,
+                width: cfg.d_model,
+            },
+            vec![tokens],
+        )
+        .expect("embedding");
+    let pos = g.input("positions", TensorType::fixed(&[batch, 1, cfg.d_model]));
+    let mut x = add(&mut g, emb, pos);
+    for layer in 0..cfg.layers {
+        x = decode_layer(&mut g, x, cfg, layer, batch, context);
+    }
+    let final_norm = layer_norm(&mut g, x);
+    // Next-token logits: the [1, d_model] x [d_model, vocab] GEMV.
+    let logits = dense(&mut g, final_norm, cfg.vocab);
+    g.mark_output(logits);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtu_graph::graph_costs;
+
+    #[test]
+    fn gpt_1b_is_a_1b_class_model() {
+        let p = GenerativeConfig::gpt_1b().params();
+        assert!(
+            (0.7e9..1.5e9).contains(&(p as f64)),
+            "{p} params not ~1B-class"
+        );
+    }
+
+    #[test]
+    fn kv_bytes_per_token_matches_hand_math() {
+        let cfg = GenerativeConfig::gpt_1b();
+        // 2 tensors x 16 layers x 2048 width x 2 bytes = 128 KiB.
+        assert_eq!(cfg.kv_bytes_per_token(), 128 * 1024);
+        assert_eq!(
+            GenerativeConfig::tiny().kv_bytes_per_token(),
+            2 * 2 * 256 * 2
+        );
+    }
+
+    #[test]
+    fn prefill_shapes_infer() {
+        let cfg = GenerativeConfig::tiny();
+        let g = prefill_graph(&cfg, 2, 64);
+        let shapes = g.infer_shapes().unwrap();
+        let out = &shapes[&g.outputs()[0]];
+        assert_eq!(
+            out.dims,
+            vec![Dim::Fixed(2), Dim::Fixed(64), Dim::Fixed(cfg.d_model)]
+        );
+    }
+
+    #[test]
+    fn decode_shapes_are_gemv() {
+        let cfg = GenerativeConfig::tiny();
+        let g = decode_graph(&cfg, 4, 128);
+        let shapes = g.infer_shapes().unwrap();
+        // Attention scores are [b, heads, 1, context] — a row vector,
+        // not the prefill's [seq, seq] square.
+        for n in g.nodes().iter().filter(|n| matches!(n.op, Op::Softmax)) {
+            assert_eq!(
+                shapes[&n.id].dims,
+                vec![
+                    Dim::Fixed(4),
+                    Dim::Fixed(cfg.heads),
+                    Dim::Fixed(1),
+                    Dim::Fixed(128)
+                ]
+            );
+        }
+        // Logits close the graph.
+        let logits = &shapes[g.outputs().last().unwrap()];
+        assert_eq!(
+            logits.dims,
+            vec![Dim::Fixed(4), Dim::Fixed(1), Dim::Fixed(cfg.vocab)]
+        );
+    }
+
+    #[test]
+    fn decode_has_explicit_kv_inputs_per_layer() {
+        let cfg = GenerativeConfig::tiny();
+        let g = decode_graph(&cfg, 1, 32);
+        let inputs = g.count_ops(|op| matches!(op, Op::Input { .. }));
+        // tokens + positions + 2 KV tensors per layer.
+        assert_eq!(inputs, 2 + 2 * cfg.layers);
+    }
+
+    #[test]
+    fn decode_marks_cache_appends_as_outputs() {
+        let cfg = GenerativeConfig::tiny();
+        let g = decode_graph(&cfg, 1, 32);
+        // 2 K/V appends per layer + logits.
+        assert_eq!(g.outputs().len(), 2 * cfg.layers + 1);
+    }
+
+    #[test]
+    fn decode_macs_scale_much_slower_than_prefill() {
+        // The whole point of the split: prefill cost grows ~linearly in
+        // prompt tokens; a decode step's MACs barely move with context
+        // (the context-dependent term is the GEMV against the cache).
+        let cfg = GenerativeConfig::tiny();
+        let (_, pre) = graph_costs(&prefill_graph(&cfg, 1, 256)).unwrap();
+        let (_, dec) = graph_costs(&decode_graph(&cfg, 1, 256)).unwrap();
+        assert!(
+            dec.macs * 16 < pre.macs,
+            "decode step {} MACs should be far below prefill {}",
+            dec.macs,
+            pre.macs
+        );
+        // Context doubling adds only the cache-GEMV term.
+        let (_, dec2) = graph_costs(&decode_graph(&cfg, 1, 512)).unwrap();
+        let growth = dec2.macs as f64 / dec.macs as f64;
+        assert!(growth < 1.5, "decode MACs grew {growth}x with context");
+    }
+
+    #[test]
+    fn prefill_macs_scale_linearly_in_batch() {
+        let cfg = GenerativeConfig::tiny();
+        let (_, c1) = graph_costs(&prefill_graph(&cfg, 1, 128)).unwrap();
+        let (_, c4) = graph_costs(&prefill_graph(&cfg, 4, 128)).unwrap();
+        let ratio = c4.macs as f64 / c1.macs as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "batch-4 MAC ratio {ratio}");
+    }
+}

@@ -21,6 +21,11 @@
 //! 3x3 depthwise convolution over a `[N, C, T, 1]` layout (the only
 //! structural approximation; see DESIGN.md).
 //!
+//! Beyond the paper's single-shot suite, the [`generative`] module adds
+//! a decoder-only transformer with an explicit prefill/decode split,
+//! and the [`Workload`] trait unifies both workload classes behind one
+//! compile/serve interface.
+//!
 //! # Example
 //!
 //! ```
@@ -35,13 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod generative;
 mod nlp;
 mod speech;
 mod vision;
+mod workload;
 
+pub use generative::{decode_graph, prefill_graph, GenerativeConfig};
 pub use nlp::bert_large;
 pub use speech::conformer;
 pub use vision::{centernet, inception_v4, resnet50, retinaface, srresnet, unet, vgg16, yolo_v3};
+pub use workload::{GenerativeModel, Workload};
 
 use dtu_graph::Graph;
 use std::fmt;

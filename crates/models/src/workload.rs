@@ -1,0 +1,115 @@
+//! The [`Workload`] trait: one interface over single-shot and
+//! generative models so `dtu-serve` can compile, cache, and serve both
+//! through the same path.
+//!
+//! A single-shot workload (any [`Model`]) produces one graph per batch
+//! size and is done after one forward pass. A generative workload
+//! ([`GenerativeModel`]) additionally exposes a per-token decode graph
+//! and a KV-cache growth rate, which the serving layer uses to run
+//! continuous batching against a paged KV allocator.
+
+use crate::generative::{decode_graph, prefill_graph, GenerativeConfig};
+use crate::Model;
+use dtu_graph::Graph;
+
+/// A servable model: anything that can emit compile-ready graphs for
+/// the serving stack.
+///
+/// The two methods beyond [`build`](Workload::build) have defaults that
+/// describe a single-shot model (no decode phase, no KV-cache), so
+/// implementing the trait for a plain feed-forward network is one
+/// method.
+pub trait Workload {
+    /// Display name (used for telemetry labels and cache keys).
+    fn name(&self) -> String;
+
+    /// The single-shot graph at `batch` — for a generative workload,
+    /// the **prefill** graph over its configured prompt length.
+    fn build(&self, batch: usize) -> Graph;
+
+    /// The per-token **decode** graph at `batch` sequences against a
+    /// `context`-token KV-cache. `None` for single-shot workloads.
+    fn decode(&self, batch: usize, context: usize) -> Option<Graph> {
+        let _ = (batch, context);
+        None
+    }
+
+    /// Bytes the KV-cache grows per generated token per sequence.
+    /// Zero for single-shot workloads.
+    fn kv_bytes_per_token(&self) -> u64 {
+        0
+    }
+}
+
+impl Workload for Model {
+    fn name(&self) -> String {
+        Model::name(*self).to_string()
+    }
+
+    fn build(&self, batch: usize) -> Graph {
+        Model::build(*self, batch)
+    }
+}
+
+/// A decoder-only generative transformer bound to a prompt length —
+/// the [`Workload`] wrapper around [`GenerativeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GenerativeModel {
+    /// The transformer architecture.
+    pub config: GenerativeConfig,
+    /// Prompt length the prefill graph is built for.
+    pub prompt: usize,
+}
+
+impl GenerativeModel {
+    /// Wraps a configuration at a prompt length.
+    pub fn new(config: GenerativeConfig, prompt: usize) -> Self {
+        GenerativeModel { config, prompt }
+    }
+}
+
+impl Workload for GenerativeModel {
+    fn name(&self) -> String {
+        format!(
+            "gen-l{}d{}-p{}",
+            self.config.layers, self.config.d_model, self.prompt
+        )
+    }
+
+    fn build(&self, batch: usize) -> Graph {
+        prefill_graph(&self.config, batch, self.prompt)
+    }
+
+    fn decode(&self, batch: usize, context: usize) -> Option<Graph> {
+        Some(decode_graph(&self.config, batch, context))
+    }
+
+    fn kv_bytes_per_token(&self) -> u64 {
+        self.config.kv_bytes_per_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shot_models_have_no_decode_phase() {
+        let m = Model::Resnet50;
+        assert!(m.decode(1, 128).is_none());
+        assert_eq!(Workload::kv_bytes_per_token(&m), 0);
+        assert_eq!(Workload::name(&m), "Resnet50 v1.5");
+        assert!(!Workload::build(&m, 1).is_empty());
+    }
+
+    #[test]
+    fn generative_model_exposes_both_phases() {
+        let m = GenerativeModel::new(GenerativeConfig::tiny(), 64);
+        let prefill = m.build(2);
+        assert!(!prefill.is_empty());
+        let decode = m.decode(2, 96).expect("decode graph");
+        assert!(!decode.is_empty());
+        assert!(m.kv_bytes_per_token() > 0);
+        assert_eq!(m.name(), "gen-l2d256-p64");
+    }
+}

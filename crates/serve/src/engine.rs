@@ -13,7 +13,7 @@ use crate::metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };
 use crate::model::ServiceModel;
-use crate::stats::LatencyStats;
+use crate::stats::{LatencyStats, Sample};
 use crate::{ArrivalGen, ServeError};
 use dtu_compiler::Placement;
 use dtu_faults::{FaultError, FaultRng, FaultSession};
@@ -118,7 +118,7 @@ struct Tenant {
     offered: u64,
     shed: u64,
     violations: u64,
-    latencies: Vec<f64>,
+    latencies: Sample,
     queue_delay_sum: f64,
     busy_ms: f64,
     batch_hist: BTreeMap<usize, u64>,
@@ -355,7 +355,7 @@ impl<'m, 's, 'l> Engine<'m, 's, 'l> {
                 offered: 0,
                 shed: 0,
                 violations: 0,
-                latencies: Vec::new(),
+                latencies: Sample::new(),
                 queue_delay_sum: 0.0,
                 busy_ms: 0.0,
                 batch_hist: BTreeMap::new(),
@@ -780,7 +780,7 @@ impl<'m, 's, 'l> Engine<'m, 's, 'l> {
             for req in ten.in_flight.drain(..) {
                 let violated = t > req.deadline_ms;
                 ten.violations += u64::from(violated);
-                ten.latencies.push(t - req.arrival_ms);
+                ten.latencies.record(t - req.arrival_ms, req.id);
                 if self.record_requests {
                     self.requests.push(RequestOutcome {
                         req: req.id,
@@ -868,9 +868,8 @@ impl<'m, 's, 'l> Engine<'m, 's, 'l> {
         let (mut retries, mut fault_dropped) = (0u64, 0u64);
         let faults_injected = self.faults.as_ref().map_or(0, |f| f.injected());
         for ten in self.tenants {
-            let mut lats = ten.latencies;
+            let (lats, stats) = ten.latencies.into_parts();
             all_latencies.extend_from_slice(&lats);
-            let stats = LatencyStats::from_latencies(&mut lats);
             offered += ten.offered;
             completed += stats.count;
             shed += ten.shed;
@@ -1085,6 +1084,11 @@ mod tests {
                 ServeEventKind::GroupLost { .. } => "group-lost",
                 ServeEventKind::FaultDrop { .. } => "fault-drop",
                 ServeEventKind::Alert { .. } => "alert",
+                // Generative-engine kinds; the fixed-batch engine
+                // never emits them.
+                ServeEventKind::Prefill { .. } => "prefill",
+                ServeEventKind::DecodeStep { .. } => "decode",
+                ServeEventKind::Preempt { .. } => "preempt",
             })
             .collect();
         for k in ["arrival", "shed", "dispatch", "complete"] {

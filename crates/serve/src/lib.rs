@@ -29,6 +29,14 @@
 //! reduces exactly to the per-tenant M/D/1 model `dtu::simulate_serving`
 //! has always reported — that facade now delegates here.
 //!
+//! Generative workloads get their own engine: [`run_generative`] runs
+//! **continuous (iteration-level) batching** — requests join and leave
+//! the running batch at token boundaries, prefill and decode steps are
+//! priced by a [`TokenModel`], and KV-cache pages are charged against
+//! the chip's three-level memory model by a [`PagedKvCache`] (with
+//! shed/preempt on exhaustion). Reports carry TTFT and TPOT
+//! percentiles next to the classic end-to-end latencies.
+//!
 //! # Example
 //!
 //! ```
@@ -52,10 +60,13 @@
 mod arrival;
 mod config;
 mod engine;
+mod generative;
+mod kv;
 mod live;
 mod metrics;
 mod model;
 pub mod stats;
+mod token_model;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, ServeRng};
 pub use config::{BatchPolicy, RetryPolicy, ScalePolicy, ServeConfig, SlaPolicy, TenantSpec};
@@ -64,12 +75,17 @@ pub use config::{BatchPolicy, RetryPolicy, ScalePolicy, ServeConfig, SlaPolicy, 
 /// separate dependency).
 pub use dtu_faults as faults;
 pub use engine::{run_serving, run_serving_live, run_serving_recorded, ServeOutcome};
+pub use generative::{
+    run_generative, run_generative_recorded, GenOutcome, GenReport, GenerativeScenario,
+};
+pub use kv::{KvCacheConfig, KvStats, PagedKvCache};
 pub use live::{LiveConfig, LiveMonitor, TenantLive, TenantRow};
 pub use metrics::{
     RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
 };
 pub use model::{AnalyticModel, CacheStats, CompiledModel, ProgramSource, ServiceModel};
-pub use stats::{percentile, LatencyStats};
+pub use stats::{percentile, LatencyStats, Sample};
+pub use token_model::{AnalyticTokenModel, CompiledTokenModel, PrefillOnly, TokenModel};
 
 use dtu_compiler::CompileError;
 use dtu_sim::SimError;

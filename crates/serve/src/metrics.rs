@@ -224,6 +224,38 @@ pub enum ServeEventKind {
         /// Requests dropped.
         dropped: usize,
     },
+    /// A generative prefill step ran: a group of waiting sequences
+    /// joined the running batch and processed their prompts.
+    Prefill {
+        /// Sequences that joined.
+        batch: usize,
+        /// Longest prompt (tokens) in the joining group — the sequence
+        /// length the prefill session ran at.
+        tokens: usize,
+        /// Step latency, ms.
+        service_ms: f64,
+    },
+    /// A generative decode step ran: every running sequence advanced by
+    /// one token against its KV-cache.
+    DecodeStep {
+        /// Running batch size.
+        batch: usize,
+        /// Longest context (tokens) in the running batch.
+        context: usize,
+        /// Step latency, ms (KV spill DMA included).
+        service_ms: f64,
+        /// KV-cache bytes streamed from L3 during this step.
+        spill_bytes: u64,
+    },
+    /// A running sequence was evicted because the KV-page pool was
+    /// exhausted; it re-queues (keeping its progress) and re-prefills
+    /// on re-admission.
+    Preempt {
+        /// Request id of the evicted sequence.
+        req: u64,
+        /// KV pages it released.
+        pages: usize,
+    },
     /// An SLO alert transitioned (emitted only by live-monitored runs,
     /// see [`crate::run_serving_live`]); plain runs never produce it,
     /// keeping their traces byte-identical to the pre-observability
@@ -339,6 +371,30 @@ impl ServingTrace {
                 ServeEventKind::FaultDrop { dropped } => o
                     .string("kind", "fault-drop")
                     .int("dropped", *dropped as i64),
+                ServeEventKind::Prefill {
+                    batch,
+                    tokens,
+                    service_ms,
+                } => o
+                    .string("kind", "prefill")
+                    .int("batch", *batch as i64)
+                    .int("tokens", *tokens as i64)
+                    .num("service_ms", *service_ms),
+                ServeEventKind::DecodeStep {
+                    batch,
+                    context,
+                    service_ms,
+                    spill_bytes,
+                } => o
+                    .string("kind", "decode")
+                    .int("batch", *batch as i64)
+                    .int("context", *context as i64)
+                    .num("service_ms", *service_ms)
+                    .int("spill_bytes", *spill_bytes as i64),
+                ServeEventKind::Preempt { req, pages } => o
+                    .string("kind", "preempt")
+                    .int("req", *req as i64)
+                    .int("pages", *pages as i64),
                 ServeEventKind::Alert {
                     slo,
                     alert,
@@ -445,6 +501,37 @@ impl ServingTrace {
                     Layer::Serving,
                     e.tenant as u32,
                     format!("fault-drop {dropped}"),
+                    e.t_ns,
+                ),
+                ServeEventKind::Prefill {
+                    batch,
+                    tokens,
+                    service_ms,
+                } => Span::new(
+                    SpanKind::Batch,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("prefill {batch} seqs @ {tokens} tok"),
+                    e.t_ns,
+                    e.t_ns + ms_to_ns(*service_ms),
+                ),
+                ServeEventKind::DecodeStep {
+                    batch,
+                    context,
+                    service_ms,
+                    ..
+                } => Span::new(
+                    SpanKind::Batch,
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("decode {batch} seqs @ ctx {context}"),
+                    e.t_ns,
+                    e.t_ns + ms_to_ns(*service_ms),
+                ),
+                ServeEventKind::Preempt { req, pages } => Span::marker(
+                    Layer::Serving,
+                    e.tenant as u32,
+                    format!("preempt {req} (-{pages} pages)"),
                     e.t_ns,
                 ),
                 ServeEventKind::Alert {

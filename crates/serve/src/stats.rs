@@ -74,6 +74,62 @@ impl LatencyStats {
     }
 }
 
+/// A latency sample accumulator with a slowest-request exemplar.
+///
+/// This is the one implementation of the record → summarize →
+/// exemplar flow shared by the fixed-batch engine (per-tenant end-to-end
+/// latencies) and the generative engine (TTFT / TPOT / end-to-end
+/// per-token samples) — so percentile plumbing is not copy-pasted per
+/// metric family.
+#[derive(Debug, Clone, Default)]
+pub struct Sample {
+    values: Vec<f64>,
+    slowest: Option<(f64, u64)>,
+}
+
+impl Sample {
+    /// An empty sample.
+    pub fn new() -> Self {
+        Sample::default()
+    }
+
+    /// Records one observation, tagged with the request id that
+    /// produced it (the exemplar candidate).
+    pub fn record(&mut self, ms: f64, id: u64) {
+        if self.slowest.is_none_or(|(worst, _)| ms > worst) {
+            self.slowest = Some((ms, id));
+        }
+        self.values.push(ms);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Sum of all recorded observations, ms.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The request id of the slowest observation so far, if any.
+    pub fn exemplar(&self) -> Option<u64> {
+        self.slowest.map(|(_, id)| id)
+    }
+
+    /// Summarizes the sample (sorts the underlying values in place).
+    pub fn stats(&mut self) -> LatencyStats {
+        LatencyStats::from_latencies(&mut self.values)
+    }
+
+    /// Consumes the sample, returning its raw values (for cross-sample
+    /// aggregation) and the summary.
+    pub fn into_parts(mut self) -> (Vec<f64>, LatencyStats) {
+        let stats = self.stats();
+        (self.values, stats)
+    }
+}
+
 impl fmt::Display for LatencyStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -163,6 +219,31 @@ mod tests {
         assert_eq!(percentile(&v, 0.49), 1.0);
         assert_eq!(percentile(&v, 0.5), 2.0);
         assert_eq!(percentile(&v, 0.51), 2.0);
+    }
+
+    #[test]
+    fn sample_tracks_slowest_exemplar_and_matches_from_latencies() {
+        let mut s = Sample::new();
+        for (ms, id) in [(4.0, 10), (9.0, 11), (2.0, 12), (9.0, 13)] {
+            s.record(ms, id);
+        }
+        // Strictly-greater comparison: ties keep the first exemplar.
+        assert_eq!(s.exemplar(), Some(11));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 24.0);
+        let stats = s.stats();
+        let mut raw = vec![4.0, 9.0, 2.0, 9.0];
+        assert_eq!(stats, LatencyStats::from_latencies(&mut raw));
+        let (values, again) = s.into_parts();
+        assert_eq!(values, vec![2.0, 4.0, 9.0, 9.0]);
+        assert_eq!(again, stats);
+    }
+
+    #[test]
+    fn empty_sample_has_no_exemplar() {
+        let mut s = Sample::new();
+        assert_eq!(s.exemplar(), None);
+        assert_eq!(s.stats(), LatencyStats::default());
     }
 
     #[test]

@@ -105,11 +105,22 @@ pub enum Counter {
     FleetReplicaMoves,
     /// Whole chips lost to injected failures during a fleet run.
     FleetChipsLost,
+    /// Prompt tokens processed by generative prefill steps.
+    PrefillTokens,
+    /// Output tokens emitted by generative decode steps.
+    DecodeTokens,
+    /// KV-cache pages allocated by the paged allocator.
+    KvPagesAllocated,
+    /// KV-cache bytes streamed from L3 because the decode working set
+    /// exceeded the L2-resident page budget.
+    KvSpillBytes,
+    /// Running sequences preempted on KV-cache exhaustion.
+    KvPreemptions,
 }
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 36] = [
         Counter::KernelLaunches,
         Counter::Macs,
         Counter::VectorOps,
@@ -141,6 +152,11 @@ impl Counter {
         Counter::FleetRoutedCells,
         Counter::FleetReplicaMoves,
         Counter::FleetChipsLost,
+        Counter::PrefillTokens,
+        Counter::DecodeTokens,
+        Counter::KvPagesAllocated,
+        Counter::KvSpillBytes,
+        Counter::KvPreemptions,
     ];
 
     /// Stable metric base name (snake_case, no unit suffix).
@@ -177,6 +193,11 @@ impl Counter {
             Counter::FleetRoutedCells => "fleet_routed_cells",
             Counter::FleetReplicaMoves => "fleet_replica_moves",
             Counter::FleetChipsLost => "fleet_chips_lost",
+            Counter::PrefillTokens => "prefill_tokens",
+            Counter::DecodeTokens => "decode_tokens",
+            Counter::KvPagesAllocated => "kv_pages_allocated",
+            Counter::KvSpillBytes => "kv_spill",
+            Counter::KvPreemptions => "kv_preemptions",
         }
     }
 
@@ -198,7 +219,11 @@ impl Counter {
             | Counter::GroupRemaps
             | Counter::FleetRoutedCells
             | Counter::FleetReplicaMoves
-            | Counter::FleetChipsLost => Unit::Count,
+            | Counter::FleetChipsLost
+            | Counter::PrefillTokens
+            | Counter::DecodeTokens
+            | Counter::KvPagesAllocated
+            | Counter::KvPreemptions => Unit::Count,
             Counter::DmaConfigNs
             | Counter::FaultStallNs
             | Counter::CodeLoadStallNs
@@ -208,7 +233,9 @@ impl Counter {
             | Counter::PowerStallNs
             | Counter::LaunchOverheadNs
             | Counter::ActiveTimeNs => Unit::Nanoseconds,
-            Counter::DmaWireBytes | Counter::L2Bytes | Counter::L3Bytes => Unit::Bytes,
+            Counter::DmaWireBytes | Counter::L2Bytes | Counter::L3Bytes | Counter::KvSpillBytes => {
+                Unit::Bytes
+            }
             Counter::DynamicEnergyPj | Counter::StaticEnergyPj => Unit::Picojoules,
             Counter::FreqResidencyMhzNs => Unit::MhzNs,
         }
@@ -253,6 +280,11 @@ impl Counter {
             Counter::FleetRoutedCells => "Routing cells assigned by the fleet router",
             Counter::FleetReplicaMoves => "Replica moves after fleet chip losses",
             Counter::FleetChipsLost => "Whole chips lost during a fleet run",
+            Counter::PrefillTokens => "Prompt tokens processed by prefill steps",
+            Counter::DecodeTokens => "Output tokens emitted by decode steps",
+            Counter::KvPagesAllocated => "KV-cache pages allocated",
+            Counter::KvSpillBytes => "KV-cache bytes streamed from L3 past the L2 budget",
+            Counter::KvPreemptions => "Sequences preempted on KV-cache exhaustion",
         }
     }
 }

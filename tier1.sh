@@ -69,4 +69,21 @@ assert r["accounting_balanced"] is True, "fleet accounting leaked"
 assert r["offered"] > 0 and r["completed"] > 0, "fleet served nothing"
 PY
 
+# The generative serving path end to end: the continuous batcher must
+# emit valid, accounting-balanced JSON with real decode work, and the
+# report must be byte-identical across --jobs and cache temperature.
+./target/release/topsexec serve --generative --gen-model tiny --seed 7 \
+    --jobs 1 --cache-dir "$trace_dir/gcache" > "$trace_dir/gen_j1.json" 2>/dev/null
+./target/release/topsexec serve --generative --gen-model tiny --seed 7 \
+    --jobs 4 --cache-dir "$trace_dir/gcache" > "$trace_dir/gen_j4.json" 2>/dev/null
+cmp "$trace_dir/gen_j1.json" "$trace_dir/gen_j4.json"
+python3 - "$trace_dir/gen_j1.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["offered"] == r["completed"] + r["shed"] + r["fault_dropped"], \
+    "generative accounting leaked"
+assert r["decode_tokens"] > 0 and r["prefill_tokens"] > 0, "no token work"
+assert r["ttft"]["count"] == r["completed"], "TTFT sampled per completion"
+PY
+
 echo "tier1 OK"
