@@ -1,0 +1,399 @@
+//! The analytic-timing calibration cache and the fast sweep path.
+//!
+//! The analytic timing backend (`dtu_sim::AnalyticBackend`) needs a
+//! [`AnalyticTiming`] fit before it can price anything, and the fit is
+//! a pure function of the chip config (plus the calibration and
+//! compiler versions that define the probe grid and the programs it
+//! prices). [`CalibrationCache`] memoizes that fit exactly like
+//! [`SessionCache`] memoizes compiled programs:
+//!
+//! * **memory** — an always-on map behind a mutex;
+//! * **disk** — optional `{key:016x}.cal.v{N}.json` artifacts whose
+//!   *name* is the content key, so any input change produces a
+//!   different file and stale artifacts are simply never read again. A
+//!   corrupt or truncated artifact fails `AnalyticTiming::from_json`
+//!   and heals by re-probing (then overwriting the artifact).
+//!
+//! On top of the calibration sits the **price cache**: an analytic
+//! sweep point is a pure function of (session fingerprint, calibration
+//! key), so its (latency, energy) pair can be memoized too — a warm
+//! analytic sweep then skips both compilation *and* the timing walk,
+//! which is where the ≥10× wall-clock win over the interpreter comes
+//! from. Prices serialize through `dtu_telemetry::json::number`
+//! (Rust's shortest-roundtrip `{v}` formatting) and parse back with
+//! `str::parse::<f64>`, which is exact, so reports stay byte-identical
+//! across cache temperature.
+
+use crate::{CacheOutcome, CacheStats, HarnessError};
+use dtu_compiler::{Fnv1a, COMPILER_VERSION};
+use dtu_sim::{AnalyticTiming, ChipConfig, CALIBRATION_VERSION};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One memoized analytic sweep point: everything `SweepPoint` needs
+/// that is not derivable from the grid coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricePoint {
+    /// End-to-end latency of one batch, ms.
+    pub latency_ms: f64,
+    /// Energy per batch, joules.
+    pub energy_j: f64,
+}
+
+impl PricePoint {
+    fn to_json(self) -> String {
+        use dtu_telemetry::json::{number, JsonObject};
+        JsonObject::new()
+            .raw("latency_ms", &number(self.latency_ms))
+            .raw("energy_j", &number(self.energy_j))
+            .build()
+    }
+
+    fn from_json(text: &str) -> Option<PricePoint> {
+        let field = |key: &str| -> Option<f64> {
+            let tag = format!("\"{key}\":");
+            let at = text.find(&tag)? + tag.len();
+            let rest = &text[at..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse::<f64>().ok()
+        };
+        let p = PricePoint {
+            latency_ms: field("latency_ms")?,
+            energy_j: field("energy_j")?,
+        };
+        (p.latency_ms.is_finite() && p.energy_j.is_finite()).then_some(p)
+    }
+}
+
+/// Two-tier cache of [`AnalyticTiming`] fits and analytic price
+/// points. Shareable across threads, like [`SessionCache`](crate::SessionCache).
+#[derive(Debug)]
+pub struct CalibrationCache {
+    timings: Mutex<HashMap<u64, AnalyticTiming>>,
+    prices: Mutex<HashMap<u64, PricePoint>>,
+    disk_dir: Option<PathBuf>,
+    stats: Mutex<CacheStats>,
+    price_stats: Mutex<CacheStats>,
+    calibration_version: u32,
+    compiler_version: u32,
+}
+
+impl CalibrationCache {
+    /// A cache with only the in-process memory tier.
+    pub fn memory_only() -> Self {
+        Self::build(None)
+    }
+
+    /// A cache whose disk tier lives under `dir` (created on first
+    /// write; unwritable directories degrade gracefully).
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        Self::build(Some(dir.into()))
+    }
+
+    fn build(disk_dir: Option<PathBuf>) -> Self {
+        CalibrationCache {
+            timings: Mutex::new(HashMap::new()),
+            prices: Mutex::new(HashMap::new()),
+            disk_dir,
+            stats: Mutex::new(CacheStats::default()),
+            price_stats: Mutex::new(CacheStats::default()),
+            calibration_version: CALIBRATION_VERSION,
+            compiler_version: COMPILER_VERSION,
+        }
+    }
+
+    /// Overrides the version pair mixed into every key (builder-style).
+    ///
+    /// The production values are always
+    /// (`dtu_sim::CALIBRATION_VERSION`, `dtu_compiler::COMPILER_VERSION`);
+    /// this hook exists so invalidation tests can prove that bumping
+    /// either one orphans old artifacts and forces a re-probe.
+    pub fn with_versions(mut self, calibration: u32, compiler: u32) -> Self {
+        self.calibration_version = calibration;
+        self.compiler_version = compiler;
+        self
+    }
+
+    /// The disk-tier directory, if the cache has one.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// The content key of `cfg`'s calibration: a hash of the chip
+    /// config's canonical (Debug) form and both version stamps. Any
+    /// config field change, probe-grid revision, or compiler revision
+    /// produces a different key — and therefore a different artifact
+    /// file name.
+    pub fn calibration_key(&self, cfg: &ChipConfig) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str("calibration/");
+        h.write_u64(u64::from(self.calibration_version));
+        h.write_u64(u64::from(self.compiler_version));
+        h.write_str(&format!("{cfg:?}"));
+        h.finish()
+    }
+
+    fn timing_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.cal.v{CALIBRATION_VERSION}.json")))
+    }
+
+    fn price_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.price.v{CALIBRATION_VERSION}.json")))
+    }
+
+    /// Returns the calibrated timing for `cfg`, probing the
+    /// interpreter only on a full miss; reports where the fit came
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Job`] when calibration itself fails (an
+    /// unprobeable chip config). Cache tiers never error: corrupt or
+    /// unreadable artifacts are misses, failed writes leave the memory
+    /// tier authoritative.
+    pub fn timing_for(
+        &self,
+        cfg: &ChipConfig,
+    ) -> Result<(AnalyticTiming, CacheOutcome), HarnessError> {
+        let key = self.calibration_key(cfg);
+
+        if let Some(t) = self.timings.lock().expect("cal lock").get(&key).cloned() {
+            self.bump(&self.stats, CacheOutcome::MemoryHit);
+            return Ok((t, CacheOutcome::MemoryHit));
+        }
+
+        if let Some(t) = self.load_timing(key) {
+            self.timings
+                .lock()
+                .expect("cal lock")
+                .insert(key, t.clone());
+            self.bump(&self.stats, CacheOutcome::DiskHit);
+            return Ok((t, CacheOutcome::DiskHit));
+        }
+
+        let t = AnalyticTiming::calibrate(cfg).map_err(|e| HarnessError::Job {
+            label: format!("calibrate {}", cfg.name),
+            message: e.to_string(),
+        })?;
+        self.store(self.timing_path(key), t.to_json());
+        self.timings
+            .lock()
+            .expect("cal lock")
+            .insert(key, t.clone());
+        self.bump(&self.stats, CacheOutcome::Miss);
+        Ok((t, CacheOutcome::Miss))
+    }
+
+    /// Looks up a memoized analytic price (memory, then disk).
+    pub fn price_lookup(&self, key: u64) -> Option<(PricePoint, CacheOutcome)> {
+        if let Some(p) = self.prices.lock().expect("price lock").get(&key).copied() {
+            self.bump(&self.price_stats, CacheOutcome::MemoryHit);
+            return Some((p, CacheOutcome::MemoryHit));
+        }
+        let path = self.price_path(key)?;
+        let p = PricePoint::from_json(&std::fs::read_to_string(path).ok()?)?;
+        self.prices.lock().expect("price lock").insert(key, p);
+        self.bump(&self.price_stats, CacheOutcome::DiskHit);
+        Some((p, CacheOutcome::DiskHit))
+    }
+
+    /// Stores a freshly walked analytic price in both tiers.
+    pub fn price_store(&self, key: u64, price: PricePoint) {
+        self.store(self.price_path(key), price.to_json());
+        self.prices.lock().expect("price lock").insert(key, price);
+        self.bump(&self.price_stats, CacheOutcome::Miss);
+    }
+
+    fn load_timing(&self, key: u64) -> Option<AnalyticTiming> {
+        let path = self.timing_path(key)?;
+        AnalyticTiming::from_json(&std::fs::read_to_string(path).ok()?)
+    }
+
+    fn store(&self, path: Option<PathBuf>, json: String) {
+        let Some(path) = path else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        // Write-then-rename, as in `SessionCache`: readers see nothing
+        // or the whole artifact, never a torn file.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn bump(&self, which: &Mutex<CacheStats>, outcome: CacheOutcome) {
+        let mut stats = which.lock().expect("stats lock");
+        match outcome {
+            CacheOutcome::MemoryHit => stats.memory_hits += 1,
+            CacheOutcome::DiskHit => stats.disk_hits += 1,
+            CacheOutcome::Miss => stats.misses += 1,
+        }
+    }
+
+    /// Calibration-fit hit/miss accounting.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// Price-point hit/miss accounting.
+    pub fn price_stats(&self) -> CacheStats {
+        *self.price_stats.lock().expect("stats lock")
+    }
+
+    /// Drops every memory-tier entry (disk artifacts stay) — the
+    /// "fresh process" simulation for tests.
+    pub fn clear_memory(&self) {
+        self.timings.lock().expect("cal lock").clear();
+        self.prices.lock().expect("price lock").clear();
+    }
+}
+
+/// The content key of one analytic sweep price: the session
+/// fingerprint (graph, chip, placement, compiler config, batch,
+/// compiler version) folded with the calibration key, so a price can
+/// never be replayed against a different program *or* a different fit.
+pub fn price_key(session_fingerprint: u64, calibration_key: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("price/");
+    h.write_u64(session_fingerprint);
+    h.write_u64(calibration_key);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dtu-cal-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn memory_then_disk_then_probe() {
+        let dir = temp_dir("tiers");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CalibrationCache::with_disk(&dir);
+        let cfg = ChipConfig::dtu20();
+        let (t1, o1) = cache.timing_for(&cfg).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (t2, o2) = cache.timing_for(&cfg).unwrap();
+        assert_eq!(o2, CacheOutcome::MemoryHit);
+        assert_eq!(t1, t2);
+        // Fresh process: memory gone, disk artifact serves bitwise the
+        // same fit.
+        cache.clear_memory();
+        let (t3, o3) = cache.timing_for(&cfg).unwrap();
+        assert_eq!(o3, CacheOutcome::DiskHit);
+        assert_eq!(t1, t3);
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chip_config_change_recalibrates() {
+        let cache = CalibrationCache::memory_only();
+        let (_, o1) = cache.timing_for(&ChipConfig::dtu20()).unwrap();
+        let mut faster = ChipConfig::dtu20();
+        faster.clock_mhz *= 2;
+        let (_, o2) = cache.timing_for(&faster).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Miss, "config change must re-probe");
+        assert_ne!(
+            cache.calibration_key(&ChipConfig::dtu20()),
+            cache.calibration_key(&faster)
+        );
+        // And the unchanged config still hits.
+        let (_, o3) = cache.timing_for(&ChipConfig::dtu20()).unwrap();
+        assert_eq!(o3, CacheOutcome::MemoryHit);
+    }
+
+    #[test]
+    fn version_bump_orphans_disk_artifacts() {
+        let dir = temp_dir("versions");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ChipConfig::dtu20();
+        let v1 = CalibrationCache::with_disk(&dir);
+        assert_eq!(v1.timing_for(&cfg).unwrap().1, CacheOutcome::Miss);
+        // Same dir, bumped calibration version: the old artifact's name
+        // no longer matches, so the fit re-probes rather than misreads.
+        let v2 = CalibrationCache::with_disk(&dir).with_versions(CALIBRATION_VERSION + 1, 0);
+        assert_eq!(v2.timing_for(&cfg).unwrap().1, CacheOutcome::Miss);
+        // A compiler bump alone also invalidates.
+        let v3 = CalibrationCache::with_disk(&dir)
+            .with_versions(CALIBRATION_VERSION, COMPILER_VERSION + 1);
+        assert_eq!(v3.timing_for(&cfg).unwrap().1, CacheOutcome::Miss);
+        // The unbumped cache still disk-hits its own artifact.
+        let fresh = CalibrationCache::with_disk(&dir);
+        assert_eq!(fresh.timing_for(&cfg).unwrap().1, CacheOutcome::DiskHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_heals_to_reprobe() {
+        let dir = temp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ChipConfig::dtu20();
+        let cache = CalibrationCache::with_disk(&dir);
+        let (t1, _) = cache.timing_for(&cfg).unwrap();
+        // Truncate the artifact on disk.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        }
+        cache.clear_memory();
+        let (t2, outcome) = cache.timing_for(&cfg).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss, "corrupt artifact is a miss");
+        assert_eq!(t1, t2, "re-probe reproduces the fit exactly");
+        // The re-probe rewrote a healthy artifact.
+        cache.clear_memory();
+        assert_eq!(cache.timing_for(&cfg).unwrap().1, CacheOutcome::DiskHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn price_points_roundtrip_bitwise() {
+        let dir = temp_dir("price");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CalibrationCache::with_disk(&dir);
+        let p = PricePoint {
+            latency_ms: 0.1234567890123456789,
+            energy_j: 3.9e-7,
+        };
+        let key = price_key(42, 7);
+        assert!(cache.price_lookup(key).is_none());
+        cache.price_store(key, p);
+        let (mem, o) = cache.price_lookup(key).unwrap();
+        assert_eq!(o, CacheOutcome::MemoryHit);
+        assert_eq!(mem.latency_ms.to_bits(), p.latency_ms.to_bits());
+        cache.clear_memory();
+        let (disk, o) = cache.price_lookup(key).unwrap();
+        assert_eq!(o, CacheOutcome::DiskHit);
+        assert_eq!(disk.latency_ms.to_bits(), p.latency_ms.to_bits());
+        assert_eq!(disk.energy_j.to_bits(), p.energy_j.to_bits());
+        assert_eq!(cache.price_stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_disk_dir_degrades_to_memory_only() {
+        let file = temp_dir("plainfile");
+        std::fs::write(&file, "not a directory").unwrap();
+        let cache = CalibrationCache::with_disk(file.join("sub"));
+        let cfg = ChipConfig::dtu20();
+        assert_eq!(cache.timing_for(&cfg).unwrap().1, CacheOutcome::Miss);
+        assert_eq!(cache.timing_for(&cfg).unwrap().1, CacheOutcome::MemoryHit);
+        let _ = std::fs::remove_file(&file);
+    }
+}

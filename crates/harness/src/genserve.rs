@@ -13,8 +13,9 @@
 //! `--jobs` and cache temperature only change wall-clock, exactly like
 //! every other sweep in this crate.
 
+use crate::calibrate::CalibrationCache;
 use crate::{ExperimentPlan, HarnessError, SessionCache};
-use dtu::Accelerator;
+use dtu::{Accelerator, AnalyticBackend};
 use dtu_compiler::Fnv1a;
 use dtu_models::{GenerativeConfig, GenerativeModel};
 use dtu_serve::{
@@ -70,6 +71,41 @@ pub fn run_generative_serve(
     jobs: usize,
     rec: Option<&mut dyn Recorder>,
 ) -> Result<GenOutcome, HarnessError> {
+    run_generative_serve_inner(accel, config, scenario, cache, jobs, rec, None)
+}
+
+/// [`run_generative_serve`] with every prefill/decode step priced by
+/// the calibrated analytic timing backend instead of the interpreter.
+/// The calibration is recalled from (or probed into) `cal`; all
+/// determinism guarantees are unchanged.
+///
+/// # Errors
+///
+/// Exactly as [`run_generative_serve`], plus calibration failures as
+/// [`HarnessError::Job`].
+pub fn run_generative_serve_analytic(
+    accel: &Accelerator,
+    config: &GenerativeConfig,
+    scenario: &GenerativeScenario,
+    cache: &SessionCache,
+    cal: &CalibrationCache,
+    jobs: usize,
+    rec: Option<&mut dyn Recorder>,
+) -> Result<GenOutcome, HarnessError> {
+    let (timing, _) = cal.timing_for(accel.config())?;
+    let backend = AnalyticBackend::new(timing);
+    run_generative_serve_inner(accel, config, scenario, cache, jobs, rec, Some(&backend))
+}
+
+fn run_generative_serve_inner(
+    accel: &Accelerator,
+    config: &GenerativeConfig,
+    scenario: &GenerativeScenario,
+    cache: &SessionCache,
+    jobs: usize,
+    rec: Option<&mut dyn Recorder>,
+    backend: Option<&AnalyticBackend>,
+) -> Result<GenOutcome, HarnessError> {
     let workload = GenerativeModel::new(*config, scenario.prompt_tokens);
 
     // Warm-up: compile the whole session grid in parallel into the
@@ -88,6 +124,9 @@ pub fn run_generative_serve(
             plan.add_point(key.finish(), label.clone(), &[], move |_| {
                 let mut m =
                     CompiledTokenModel::new(accel.chip(), workload, prompt).with_source(cache);
+                if let Some(b) = backend {
+                    m = m.with_timing(b);
+                }
                 let r = match phase {
                     "prefill" => m.prefill_ms(batch, prompt),
                     _ => m.decode_ms(batch, ctx),
@@ -107,6 +146,9 @@ pub fn run_generative_serve(
     // session it asks for is already in the cache.
     let mut model =
         CompiledTokenModel::new(accel.chip(), workload, scenario.prompt_tokens).with_source(cache);
+    if let Some(b) = backend {
+        model = model.with_timing(b);
+    }
     let out = match rec {
         Some(rec) => run_generative_recorded(scenario, &mut model, rec),
         None => run_generative(scenario, &mut model),
@@ -148,6 +190,23 @@ mod tests {
         assert!(grid.contains(&("prefill", 4, 0)));
         assert!(grid.contains(&("decode", 4, 64)));
         assert!(!grid.iter().any(|&(_, b, _)| b > 4));
+    }
+
+    #[test]
+    fn analytic_generative_serve_is_deterministic_and_balanced() {
+        use crate::calibrate::CalibrationCache;
+        let accel = Accelerator::cloudblazer_i20();
+        let sc = scenario();
+        let cfg = GenerativeConfig::tiny();
+        let cal = CalibrationCache::memory_only();
+        let c1 = SessionCache::memory_only();
+        let a = run_generative_serve_analytic(&accel, &cfg, &sc, &c1, &cal, 1, None).unwrap();
+        let c4 = SessionCache::memory_only();
+        let b = run_generative_serve_analytic(&accel, &cfg, &sc, &c4, &cal, 4, None).unwrap();
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        assert!(a.report.completed > 0);
+        assert!(a.report.balanced());
+        assert_eq!(cal.stats().misses, 1, "one calibration serves both runs");
     }
 
     #[test]

@@ -353,7 +353,7 @@ impl Chip {
             }
         }
 
-        let mut memory = MemoryHierarchy::new(&self.cfg);
+        let mut memory = MemoryHierarchy::timing_only(&self.cfg);
         let mut sync = SyncEngine::new(self.cfg.features.flexible_sync);
         let pm_on = self.cfg.features.power_management;
 
@@ -661,34 +661,40 @@ impl Chip {
                             let mem_stall = duration - launch_ns - busy_ns;
 
                             // --- power loops ---
-                            let cycle_ns = 1e3 / freq as f64;
-                            let obs = WindowObservation {
-                                busy_cycles: (busy_ns / cycle_ns) as u64,
-                                // Everything that is not issue time is
-                                // frequency-insensitive stall: intra-kernel
-                                // pipeline bubbles plus exposed memory time.
-                                stall_cycles: (mem_stall / cycle_ns) as u64,
-                                l3_stall_cycles: (mem_stall / cycle_ns) as u64,
-                                projected_power_mw: {
-                                    // Projected dynamic power of this kernel.
-                                    let mut probe = EnergyAccount::new();
-                                    probe.charge_compute(
-                                        &self.energy_model,
-                                        &self.power_cfg,
-                                        freq,
-                                        (descriptor.macs as f64 / descriptor.dtype.ops_multiplier())
-                                            as u64,
-                                        descriptor.vector_ops,
-                                        descriptor.sfu_ops,
-                                    );
-                                    if duration > 0.0 {
-                                        (probe.dynamic_pj / duration) as u64
-                                    } else {
-                                        0
-                                    }
-                                },
-                            };
+                            // The observation (including the projected-power
+                            // probe, a full dynamic-energy evaluation) is
+                            // only needed when the LPME/governor will consume
+                            // it; with power management off it used to be
+                            // computed and discarded on every launch.
                             if pm_on {
+                                let cycle_ns = 1e3 / freq as f64;
+                                let obs = WindowObservation {
+                                    busy_cycles: (busy_ns / cycle_ns) as u64,
+                                    // Everything that is not issue time is
+                                    // frequency-insensitive stall: intra-kernel
+                                    // pipeline bubbles plus exposed memory time.
+                                    stall_cycles: (mem_stall / cycle_ns) as u64,
+                                    l3_stall_cycles: (mem_stall / cycle_ns) as u64,
+                                    projected_power_mw: {
+                                        // Projected dynamic power of this kernel.
+                                        let mut probe = EnergyAccount::new();
+                                        probe.charge_compute(
+                                            &self.energy_model,
+                                            &self.power_cfg,
+                                            freq,
+                                            (descriptor.macs as f64
+                                                / descriptor.dtype.ops_multiplier())
+                                                as u64,
+                                            descriptor.vector_ops,
+                                            descriptor.sfu_ops,
+                                        );
+                                        if duration > 0.0 {
+                                            (probe.dynamic_pj / duration) as u64
+                                        } else {
+                                            0
+                                        }
+                                    },
+                                };
                                 let unit = unit_of(g);
                                 match groups[g].lpme.observe(obs) {
                                     LpmeAction::InsertStalls(stalls) => {

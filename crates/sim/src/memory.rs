@@ -162,6 +162,27 @@ impl MemoryHierarchy {
         }
     }
 
+    /// A hierarchy carrying only the bandwidth model, for the run loop.
+    ///
+    /// [`Chip::run`](crate::Chip::run) prices transfers but never
+    /// allocates, so the per-core L1 and per-group L2 capacity pools —
+    /// and their ~30 formatted name strings — are dead weight on that
+    /// path. Pool accessors must not be used on a hierarchy built this
+    /// way.
+    pub(crate) fn timing_only(cfg: &ChipConfig) -> Self {
+        MemoryHierarchy {
+            l1: Vec::new(),
+            l2: Vec::new(),
+            l3: MemoryPool::new("L3[HBM]", cfg.l3_bytes()),
+            l2_ports: cfg.l2_ports,
+            l2_port_gbps: cfg.l2_port_gb_per_s,
+            l3_gbps: cfg.l3_gb_per_s,
+            multi_port: cfg.features.multi_port_l2,
+            l3_traffic: 0,
+            l2_traffic: 0,
+        }
+    }
+
     /// The L1 pool of a core (by flat core index).
     pub fn l1(&mut self, core: usize) -> &mut MemoryPool {
         &mut self.l1[core]

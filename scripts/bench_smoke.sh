@@ -1,18 +1,22 @@
 #!/usr/bin/env sh
-# Perf smoke gate: times a warm 12-point sweep (resnet50/vgg16/bert x
-# batches 1,2,4,8) plus the resnet50 profile run, writes a
-# `{wall_ms, points, cache_hit_rate}` snapshot, and — in check mode —
-# fails on a >25% regression against the committed BENCH_4.json.
+# Perf smoke gate: times a *warm* 12-point sweep (resnet50/vgg16/bert x
+# batches 1,2,4,8) under BOTH timing backends in one `--timing both`
+# invocation, writes a `{interpreted_wall_ms, analytic_wall_ms,
+# speedup, points, max_rtol}` snapshot, and — in check mode — fails on
+# a >25% wall-clock regression against the committed BENCH_9.json or
+# on the analytic fast path dropping below its 10x speedup floor.
 #
 #   scripts/bench_smoke.sh            check against the committed
 #                                     baseline; snapshot goes to
-#                                     target/BENCH_4.json
+#                                     target/BENCH_9.json
 #   scripts/bench_smoke.sh --write    regenerate the committed baseline
-#                                     BENCH_4.json at the repo root
+#                                     BENCH_9.json at the repo root
 #
 # Wall-clock baselines are machine-relative: after moving to faster or
 # slower CI hardware, intentionally regenerate with --write and commit
-# the diff (same flow as the golden figures, see docs/CLI.md).
+# the diff (same flow as the golden figures, see docs/CLI.md). The 10x
+# speedup floor and the 5% rtol bound are machine-independent and are
+# never relaxed by --write.
 set -eu
 cd "$(dirname "$0")/.."
 mode="${1:-check}"
@@ -22,63 +26,74 @@ trap 'rm -rf "$work"' EXIT INT TERM
 cargo build --release -p dtu-bench --bin topsexec >/dev/null
 bin=./target/release/topsexec
 
-# Cold pass populates the artifact cache so the timed pass runs warm.
+# Cold pass populates the compiled-session cache AND the analytic
+# calibration + price cache, so the timed pass runs warm on both
+# backends. `--timing both` also enforces the 5% rtol bound, so a
+# diverging analytic model fails the gate here too.
 "$bin" sweep --models resnet50,vgg16,bert --batches 1,2,4,8 --jobs 4 \
+    --timing both --rtol-bound 0.05 \
     --cache-dir "$work/cache" --format json >/dev/null 2>&1
 
-python3 - "$bin" "$work" "$mode" <<'PY'
-import json, subprocess, sys, time
+"$bin" sweep --models resnet50,vgg16,bert --batches 1,2,4,8 --jobs 4 \
+    --timing both --rtol-bound 0.05 \
+    --cache-dir "$work/cache" --format json \
+    --wall-out "$work/wall.json" >/dev/null 2>&1
 
-topsexec, work, mode = sys.argv[1:4]
-t0 = time.monotonic()
-sweep = subprocess.run(
-    [topsexec, "sweep", "--models", "resnet50,vgg16,bert",
-     "--batches", "1,2,4,8", "--jobs", "4",
-     "--cache-dir", f"{work}/cache", "--format", "json"],
-    check=True, capture_output=True, text=True)
-subprocess.run(
-    [topsexec, "profile", "resnet50",
-     "--trace-out", f"{work}/profile.trace.json"],
-    check=True, capture_output=True)
-wall_ms = (time.monotonic() - t0) * 1e3
+python3 - "$work" "$mode" <<'PY'
+import json, sys
 
-report = json.loads(sweep.stdout)
-cache = report["cache"]
-hits = cache["memory_hits"] + cache["disk_hits"]
+work, mode = sys.argv[1:3]
+wall = json.load(open(f"{work}/wall.json"))
 current = {
-    "wall_ms": round(wall_ms, 1),
-    "points": len(report["points"]),
-    "cache_hit_rate": round(hits / max(1, hits + cache["misses"]), 4),
+    "interpreted_wall_ms": round(wall["interpreted_wall_ms"], 1),
+    "analytic_wall_ms": round(wall["analytic_wall_ms"], 3),
+    "speedup": round(wall["speedup"], 1),
+    "points": wall["points"],
+    "max_rtol": wall["max_rtol"],
 }
 payload = json.dumps(current, indent=2) + "\n"
 
+failures = []
+if current["speedup"] < 10.0:
+    failures.append(
+        f"warm analytic sweep must be >=10x faster than the interpreter, "
+        f"got {current['speedup']}x ({current['interpreted_wall_ms']} ms vs "
+        f"{current['analytic_wall_ms']} ms)")
+if current["max_rtol"] > 0.05:
+    failures.append(
+        f"analytic latency diverged from the interpreter: max rtol "
+        f"{current['max_rtol']} > 0.05")
+
 if mode == "--write":
-    with open("BENCH_4.json", "w") as f:
+    if failures:
+        print("bench smoke REFUSED to write a failing baseline:\n  "
+              + "\n  ".join(failures))
+        sys.exit(1)
+    with open("BENCH_9.json", "w") as f:
         f.write(payload)
-    print(f"bench baseline written to BENCH_4.json: {current}")
+    print(f"bench baseline written to BENCH_9.json: {current}")
     sys.exit(0)
 
-with open("target/BENCH_4.json", "w") as f:
+with open("target/BENCH_9.json", "w") as f:
     f.write(payload)
-base = json.load(open("BENCH_4.json"))
+base = json.load(open("BENCH_9.json"))
 print(f"bench smoke: current {current}")
 print(f"             baseline {base}")
 
-failures = []
 if current["points"] != base["points"]:
     failures.append(
         f"sweep point count changed: {base['points']} -> {current['points']}")
-if current["wall_ms"] > 1.25 * base["wall_ms"]:
+if current["interpreted_wall_ms"] > 1.25 * base["interpreted_wall_ms"]:
     failures.append(
-        f"warm sweep + profile wall time regressed >25%: "
-        f"{base['wall_ms']} -> {current['wall_ms']} ms")
-if current["cache_hit_rate"] < base["cache_hit_rate"] - 0.25:
+        f"warm interpreted sweep wall time regressed >25%: "
+        f"{base['interpreted_wall_ms']} -> {current['interpreted_wall_ms']} ms")
+if current["analytic_wall_ms"] > 1.25 * base["analytic_wall_ms"]:
     failures.append(
-        f"cache hit rate regressed >25%: "
-        f"{base['cache_hit_rate']} -> {current['cache_hit_rate']}")
+        f"warm analytic sweep wall time regressed >25%: "
+        f"{base['analytic_wall_ms']} -> {current['analytic_wall_ms']} ms")
 if failures:
     print("bench smoke FAILED:\n  " + "\n  ".join(failures))
     print("if intentional, regenerate with scripts/bench_smoke.sh --write")
     sys.exit(1)
-print("bench smoke OK (snapshot at target/BENCH_4.json)")
+print("bench smoke OK (snapshot at target/BENCH_9.json)")
 PY
