@@ -13,6 +13,8 @@
 //! topsexec serve --generative          # continuous-batching LLM scenario
 //! topsexec serve --generative --gen-model tiny --seed 7 --jobs 4
 //! topsexec serve --llm --prompt 128 --max-new 64 --kv-budget 0.25
+//! topsexec serve --generative --monitor --slo --flight-out blackbox.json
+//! topsexec top --generative --gen-model tiny --duration 4000 --once
 //! topsexec sweep                       # model x batch grid, parallel + cached
 //! topsexec sweep --models resnet50,bert --batches 1,4,16 --jobs 4 --format json
 //! topsexec sweep --check-golden tests/golden/figures.json   # CI figure gate
@@ -31,8 +33,9 @@
 
 use dtu::serve::{
     faults::FaultPlan, run_serving, run_serving_live, run_serving_recorded, ArrivalProcess,
-    BatchPolicy, CompiledModel, GenerativeScenario, KvCacheConfig, LiveConfig, LiveMonitor,
-    ScalePolicy, ServeConfig, ServeError, ServiceModel, SlaPolicy, TenantSpec,
+    BatchPolicy, CompiledModel, GenLiveConfig, GenMonitor, GenerativeScenario, KvCacheConfig,
+    LiveConfig, LiveMonitor, ScalePolicy, ServeConfig, ServeError, ServiceModel, SlaPolicy,
+    TenantSpec,
 };
 use dtu::telemetry::{AttributionReport, Recorder, SloSpec, TraceBuffer};
 use dtu::{Accelerator, ChipConfig, DataType, Graph, Session, SessionOptions, WorkloadSize};
@@ -136,6 +139,21 @@ fn usage() -> &'static str {
        --timing <backend>       interpreted (default) or analytic: price\n\
                                 every prefill/decode step with the\n\
                                 calibrated analytic timing model\n\
+       --monitor                attach the token-level live monitor\n\
+                                (TTFT/TPOT burn-rate alerts and the\n\
+                                flight-recorder tally on stderr); the\n\
+                                stdout report stays byte-identical\n\
+       --slo                    print the TTFT/TPOT SLO compliance\n\
+                                report (per-objective budget, burn\n\
+                                pages, preemption/KV-exhaustion counts)\n\
+                                instead of the run report\n\
+       --flight-out <file.json> write the flight dump (the first\n\
+                                KV-pressure preemption or burn-rate\n\
+                                page freezes the token timeline) as a\n\
+                                Perfetto/Chrome trace\n\
+       --format <json|prom>     run report format on stdout: json\n\
+                                (default) or prom (Prometheus\n\
+                                exposition with tenant= labels)\n\
        --chip / --trace-out / --cache-dir / --no-disk-cache as for serve\n\
      \n\
      sweep options (model x batch grid on the parallel experiment engine):\n\
@@ -195,6 +213,12 @@ fn usage() -> &'static str {
        --span <s>               trailing window the rows aggregate over,\n\
                                 simulated seconds (default 5)\n\
        --refresh-ms <n>         wall-clock delay between frames (default 150)\n\
+     \n\
+     top --generative (token-level dashboard over a monitored generative\n\
+     run: QPS, active batch, KV occupancy, preempt/s, spill, and one\n\
+     TTFT/TPOT objective row with burn rates and FIRE markers):\n\
+       all serve --generative options as above, plus --once / --span /\n\
+       --refresh-ms as for top\n\
      \n\
      slo options (SLO compliance report over a calibrated serving run):\n\
        <name> / --models <a,..> model name(s) to grade (default resnet50)\n\
@@ -627,6 +651,13 @@ struct GenServeArgs {
     jobs: usize,
     timing: String,
     trace: Option<String>,
+    monitor: bool,
+    slo: bool,
+    flight_out: Option<String>,
+    format: String,
+    once: bool,
+    span_s: f64,
+    refresh_ms: u64,
     cache_dir: Option<PathBuf>,
     disk_cache: bool,
 }
@@ -658,6 +689,13 @@ fn parse_genserve_args() -> Result<GenServeArgs, String> {
         jobs: available_jobs(),
         timing: "interpreted".into(),
         trace: None,
+        monitor: false,
+        slo: false,
+        flight_out: None,
+        format: "json".into(),
+        once: false,
+        span_s: 5.0,
+        refresh_ms: 150,
         cache_dir: None,
         disk_cache: true,
     };
@@ -698,6 +736,13 @@ fn parse_genserve_args() -> Result<GenServeArgs, String> {
             }
             "--timing" => args.timing = value("--timing")?,
             "--trace-out" | "--trace" => args.trace = Some(value("--trace-out")?),
+            "--monitor" => args.monitor = true,
+            "--slo" => args.slo = true,
+            "--flight-out" => args.flight_out = Some(value("--flight-out")?),
+            "--format" => args.format = value("--format")?,
+            "--once" => args.once = true,
+            "--span" => args.span_s = num("--span", value("--span")?)?,
+            "--refresh-ms" => args.refresh_ms = num("--refresh-ms", value("--refresh-ms")?)?,
             "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--no-disk-cache" => args.disk_cache = false,
             "--help" | "-h" => return Err(String::new()),
@@ -716,7 +761,70 @@ fn parse_genserve_args() -> Result<GenServeArgs, String> {
             args.timing
         ));
     }
+    if !matches!(args.format.as_str(), "json" | "prom") {
+        return Err(format!(
+            "--format must be json or prom, got '{}'",
+            args.format
+        ));
+    }
+    if args.span_s <= 0.0 {
+        return Err("--span must be positive".into());
+    }
     Ok(args)
+}
+
+/// The deadline-derived burn-rate objectives of a generative run: a
+/// p99 objective per finite deadline (an infinite deadline means "no
+/// SLO", matching the engine's violation accounting).
+fn gen_live_config(args: &GenServeArgs) -> GenLiveConfig {
+    let spec = |metric: &str, deadline_ms: f64| {
+        deadline_ms.is_finite().then(|| {
+            SloSpec::new(
+                format!("{metric}_p99<{deadline_ms:.0}ms"),
+                0.99,
+                deadline_ms,
+            )
+        })
+    };
+    GenLiveConfig {
+        ttft_slo: spec("ttft", args.ttft_deadline_ms),
+        tpot_slo: spec("tpot", args.tpot_deadline_ms),
+        tenant: args.gen_model.clone(),
+        ..GenLiveConfig::default()
+    }
+}
+
+fn gen_scenario(
+    args: &GenServeArgs,
+    accel: &Accelerator,
+    gen_cfg: &GenerativeConfig,
+) -> GenerativeScenario {
+    let kv = KvCacheConfig::for_chip_with_budget(
+        accel.config(),
+        gen_cfg.kv_bytes_per_token(),
+        args.kv_budget,
+    );
+    GenerativeScenario {
+        duration_ms: args.duration_ms,
+        seed: args.seed,
+        arrival: if args.bursty {
+            ArrivalProcess::Bursty {
+                base_qps: 0.5 * args.qps,
+                burst_qps: 2.5 * args.qps,
+                mean_dwell_ms: args.duration_ms / 8.0,
+            }
+        } else {
+            ArrivalProcess::Poisson { qps: args.qps }
+        },
+        prompt_tokens: args.prompt,
+        min_new_tokens: args.min_new,
+        max_new_tokens: args.max_new,
+        max_concurrency: args.max_concurrency,
+        queue_depth: args.queue_depth,
+        ttft_deadline_ms: args.ttft_deadline_ms,
+        tpot_deadline_ms: args.tpot_deadline_ms,
+        kv,
+    }
 }
 
 fn run_genserve() -> ExitCode {
@@ -753,32 +861,7 @@ fn run_genserve() -> ExitCode {
         }
     };
 
-    let kv = KvCacheConfig::for_chip_with_budget(
-        accel.config(),
-        gen_cfg.kv_bytes_per_token(),
-        args.kv_budget,
-    );
-    let scenario = GenerativeScenario {
-        duration_ms: args.duration_ms,
-        seed: args.seed,
-        arrival: if args.bursty {
-            ArrivalProcess::Bursty {
-                base_qps: 0.5 * args.qps,
-                burst_qps: 2.5 * args.qps,
-                mean_dwell_ms: args.duration_ms / 8.0,
-            }
-        } else {
-            ArrivalProcess::Poisson { qps: args.qps }
-        },
-        prompt_tokens: args.prompt,
-        min_new_tokens: args.min_new,
-        max_new_tokens: args.max_new,
-        max_concurrency: args.max_concurrency,
-        queue_depth: args.queue_depth,
-        ttft_deadline_ms: args.ttft_deadline_ms,
-        tpot_deadline_ms: args.tpot_deadline_ms,
-        kv,
-    };
+    let scenario = gen_scenario(&args, &accel, &gen_cfg);
 
     eprintln!(
         "[serve --generative] {} ({} prompt tokens, {}..{} new), {:.0} qps{} over {:.0} ms, \
@@ -798,16 +881,35 @@ fn run_genserve() -> ExitCode {
 
     let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
     let chrome_trace = args.trace.as_deref().is_some_and(|p| p.ends_with(".json"));
+    let monitored = args.monitor || args.slo || args.flight_out.is_some();
     let mut buf = TraceBuffer::new();
-    let rec: Option<&mut dyn Recorder> = if chrome_trace { Some(&mut buf) } else { None };
+    let mut mon = monitored.then(|| GenMonitor::new(gen_live_config(&args)));
     let started = std::time::Instant::now();
-    let result = if args.timing == "analytic" {
-        let cal = calibration_cache(args.cache_dir.as_ref(), args.disk_cache);
-        dtu_harness::run_generative_serve_analytic(
-            &accel, &gen_cfg, &scenario, &cache, &cal, args.jobs, rec,
+    let result = if let Some(mon) = mon.as_mut() {
+        // Monitored: the live path, on either timing backend. The
+        // monitor is observational, so stdout stays byte-identical to
+        // the plain run.
+        let cal = (args.timing == "analytic")
+            .then(|| calibration_cache(args.cache_dir.as_ref(), args.disk_cache));
+        dtu_harness::run_generative_serve_live(
+            &accel,
+            &gen_cfg,
+            &scenario,
+            &cache,
+            cal.as_ref(),
+            args.jobs,
+            mon,
         )
     } else {
-        dtu_harness::run_generative_serve(&accel, &gen_cfg, &scenario, &cache, args.jobs, rec)
+        let rec: Option<&mut dyn Recorder> = if chrome_trace { Some(&mut buf) } else { None };
+        if args.timing == "analytic" {
+            let cal = calibration_cache(args.cache_dir.as_ref(), args.disk_cache);
+            dtu_harness::run_generative_serve_analytic(
+                &accel, &gen_cfg, &scenario, &cache, &cal, args.jobs, rec,
+            )
+        } else {
+            dtu_harness::run_generative_serve(&accel, &gen_cfg, &scenario, &cache, args.jobs, rec)
+        }
     };
     let out = match result {
         Ok(o) => o,
@@ -817,11 +919,35 @@ fn run_genserve() -> ExitCode {
         }
     };
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    if chrome_trace && monitored {
+        // The live path has no recorder attached; rebuild the exact
+        // spans (and final counter snapshot) the recorded path emits,
+        // from the schedule-independent event trace.
+        for s in out.trace.to_spans() {
+            buf.record(s);
+        }
+        buf.snapshot(dtu::telemetry::CounterSnapshot {
+            at_ns: out.report.drained_ms * 1e6,
+            label: "generative".into(),
+            set: out.report.counters(),
+        });
+    }
 
-    // The JSON report is schedule-independent and goes to stdout so
-    // two runs (any --jobs, warm or cold cache) compare byte-for-byte;
-    // wall-clock chatter stays on stderr.
-    println!("{}", out.report.to_json());
+    // The stdout payload is schedule-independent so two runs (any
+    // --jobs, warm or cold cache, monitored or not) compare
+    // byte-for-byte; wall-clock chatter stays on stderr.
+    if args.slo {
+        println!(
+            "{}",
+            mon.as_ref()
+                .expect("slo implies monitored")
+                .compliance_json()
+        );
+    } else if args.format == "prom" {
+        print!("{}", out.report.to_prometheus(&args.gen_model));
+    } else {
+        println!("{}", out.report.to_json());
+    }
     let s = cache.stats();
     eprintln!(
         "[serve --generative] {} prefill + {} decode steps in {:.0} ms; \
@@ -833,6 +959,56 @@ fn run_genserve() -> ExitCode {
         s.disk_hits,
         s.misses
     );
+    if let Some(mon) = &mon {
+        for a in &mon.alerts {
+            eprintln!(
+                "[serve --generative] t={:.2}s {} alert `{}` (burn fast {:.1} / slow {:.1})",
+                a.t_ns / 1e9,
+                a.kind.name(),
+                a.slo,
+                a.burn_fast,
+                a.burn_slow
+            );
+        }
+        eprintln!(
+            "[serve --generative] monitor: {} preemptions, {} kv exhaustions; \
+             flight recorder: {} spans in ring, {} dumps ({} triggers)",
+            mon.preempts.total() as u64,
+            mon.exhausts.total() as u64,
+            mon.flight.len(),
+            mon.flight.dumps().len(),
+            mon.flight.triggers()
+        );
+    }
+
+    if let (Some(path), Some(mon)) = (&args.flight_out, mon.as_mut()) {
+        if mon.flight.dumps().is_empty() {
+            // Nothing went wrong: snapshot the ring at end of run so
+            // the flag always produces a trace.
+            let end_ns = mon.now_ns();
+            mon.flight.trigger("end-of-run snapshot", end_ns);
+        }
+        // Prefer the KV-pressure dump (it names the preempted
+        // request), then the first burn-rate page, then whatever came
+        // first.
+        let dumps = mon.flight.dumps();
+        let dump = dumps
+            .iter()
+            .find(|d| d.reason.starts_with("kv-exhaustion"))
+            .or_else(|| dumps.iter().find(|d| d.reason.starts_with("alert")))
+            .or_else(|| dumps.first())
+            .expect("just ensured");
+        if let Err(e) = std::fs::write(path, dump.to_chrome_trace(true)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[serve --generative] flight dump `{}` ({} spans at t={:.2}s) written to {path}",
+            dump.reason,
+            dump.spans.len(),
+            dump.at_ns / 1e9
+        );
+    }
 
     if let Some(path) = &args.trace {
         let payload = if chrome_trace {
@@ -1692,6 +1868,194 @@ fn run_top() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Whether a generative burn-rate alert for objective `slo` is firing
+/// at simulated time `t_ns`, replayed from the alert log (like
+/// [`firing_at`], but objectives are named, not indexed).
+fn gen_firing_at(mon: &GenMonitor, slo: &str, t_ns: f64) -> bool {
+    let mut firing = false;
+    for a in &mon.alerts {
+        if a.slo != slo || a.t_ns > t_ns {
+            continue;
+        }
+        match a.kind {
+            dtu::telemetry::AlertKind::BurnRate => firing = true,
+            dtu::telemetry::AlertKind::Resolved => firing = false,
+            dtu::telemetry::AlertKind::Fault => {}
+        }
+    }
+    firing
+}
+
+/// One generative dashboard frame at simulated time `t_ns`: the
+/// engine-level gauges (QPS, active batch, KV occupancy, spill,
+/// preemptions) plus one row per TTFT/TPOT objective.
+fn render_gen_top(mon: &GenMonitor, t_ns: f64, span_ns: f64) -> String {
+    use std::fmt::Write;
+    let r = mon.row(t_ns, span_ns);
+    let alerts = mon.alerts.iter().filter(|a| a.t_ns <= t_ns).count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "t={:.0}s  window={:.0}s  tenant={}  alerts={alerts}",
+        t_ns / 1e9,
+        span_ns / 1e9,
+        mon.config().tenant
+    );
+    let _ = writeln!(
+        out,
+        "qps {:.0}  shed/s {:.1}  preempt/s {:.1}  batch {:.2}  kv {:.1}% of {} pages  \
+         spill {:.1} ms/s",
+        r.qps,
+        r.shed_rate,
+        r.preempt_rate,
+        r.active_batch,
+        100.0 * r.kv_occupancy,
+        mon.total_pages(),
+        r.spill_ms_per_s
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>9} {:>8} {:>8} {:>6}",
+        "objective", "p50(ms)", "p99(ms)", "burn5s", "burn60s", "alert"
+    );
+    let rows = [
+        (
+            "ttft",
+            &mon.ttft_slo,
+            r.ttft_p50_ms,
+            r.ttft_p99_ms,
+            r.ttft_burn_fast,
+            r.ttft_burn_slow,
+        ),
+        (
+            "tpot",
+            &mon.tpot_slo,
+            r.tpot_p50_ms,
+            r.tpot_p99_ms,
+            r.tpot_burn_fast,
+            r.tpot_burn_slow,
+        ),
+    ];
+    for (metric, tracker, p50, p99, burn_fast, burn_slow) in rows {
+        let (name, fire) = match tracker {
+            Some(t) => (
+                t.spec.name.clone(),
+                if gen_firing_at(mon, &t.spec.name, t_ns) {
+                    "FIRE"
+                } else {
+                    "-"
+                },
+            ),
+            None => (metric.to_string(), "off"),
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9.3} {:>9.3} {:>8.2} {:>8.2} {:>6}",
+            name, p50, p99, burn_fast, burn_slow, fire
+        );
+    }
+    out
+}
+
+fn run_gen_top() -> ExitCode {
+    let args = match parse_genserve_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(gen_cfg) = gen_model_by_name(&args.gen_model) else {
+        eprintln!(
+            "error: unknown generative model '{}' (use gpt1b or tiny)\n\n{}",
+            args.gen_model,
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let chip_cfg = match chip_by_name(&args.chip) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accel = match Accelerator::with_config(chip_cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = gen_scenario(&args, &accel, &gen_cfg);
+
+    eprintln!(
+        "[top --generative] {} at {:.0} qps over {:.0} ms, concurrency {}, \
+         KV pool {} pages; SLOs ttft p99 < {:.0} ms, tpot p99 < {:.0} ms",
+        args.gen_model,
+        args.qps,
+        args.duration_ms,
+        args.max_concurrency,
+        scenario.kv.total_pages,
+        args.ttft_deadline_ms,
+        args.tpot_deadline_ms
+    );
+
+    let cache = artifact_cache(args.cache_dir.as_ref(), args.disk_cache);
+    let mut mon = GenMonitor::new(gen_live_config(&args));
+    let cal = (args.timing == "analytic")
+        .then(|| calibration_cache(args.cache_dir.as_ref(), args.disk_cache));
+    if let Err(e) = dtu_harness::run_generative_serve_live(
+        &accel,
+        &gen_cfg,
+        &scenario,
+        &cache,
+        cal.as_ref(),
+        args.jobs,
+        &mut mon,
+    ) {
+        eprintln!("top error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let span_ns = args.span_s * 1e9;
+    let end_ns = mon.now_ns();
+    if args.once {
+        print!("{}", render_gen_top(&mon, end_ns, span_ns));
+    } else {
+        // The run is already simulated; replay it one evaluation
+        // window per frame against the retained rings.
+        let frames = (end_ns / 1e9).ceil().max(1.0) as u64;
+        for f in 1..=frames {
+            let t_ns = (f as f64 * 1e9).min(end_ns);
+            print!("\x1b[2J\x1b[H{}", render_gen_top(&mon, t_ns, span_ns));
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            std::thread::sleep(std::time::Duration::from_millis(args.refresh_ms));
+        }
+    }
+    for a in &mon.alerts {
+        eprintln!(
+            "[top --generative] t={:.2}s {} alert `{}` (burn fast {:.1} / slow {:.1})",
+            a.t_ns / 1e9,
+            a.kind.name(),
+            a.slo,
+            a.burn_fast,
+            a.burn_slow
+        );
+    }
+    eprintln!(
+        "[top --generative] flight recorder: {} spans in ring, {} dumps ({} triggers)",
+        mon.flight.len(),
+        mon.flight.dumps().len(),
+        mon.flight.triggers()
+    );
+    ExitCode::SUCCESS
+}
+
 struct SloArgs {
     models: Vec<String>,
     plans: Vec<String>,
@@ -2521,7 +2885,14 @@ fn main() -> ExitCode {
         Some("profile") => return run_profile(),
         Some("sweep") => return run_sweep_cmd(),
         Some("faults") => return run_faults(),
-        Some("top") => return run_top(),
+        Some("top") => {
+            // `top --generative` (or `--llm`) replays the token-level
+            // monitor; plain `top` stays the request-level dashboard.
+            if std::env::args().any(|a| a == "--generative" || a == "--llm") {
+                return run_gen_top();
+            }
+            return run_top();
+        }
         Some("slo") => return run_slo(),
         Some("fleet") => return run_fleet_cmd(),
         _ => {}

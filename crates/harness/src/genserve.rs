@@ -19,10 +19,19 @@ use dtu::{Accelerator, AnalyticBackend};
 use dtu_compiler::Fnv1a;
 use dtu_models::{GenerativeConfig, GenerativeModel};
 use dtu_serve::{
-    run_generative, run_generative_recorded, CompiledTokenModel, GenOutcome, GenerativeScenario,
-    TokenModel,
+    run_generative, run_generative_live, run_generative_recorded, CompiledTokenModel, GenMonitor,
+    GenOutcome, GenerativeScenario, TokenModel,
 };
 use dtu_telemetry::Recorder;
+
+/// How a generative run reports what happened: silently, through a
+/// span [`Recorder`], or through a live [`GenMonitor`]. All three
+/// produce byte-identical outcomes — observation never steers.
+enum GenRunMode<'a> {
+    Plain,
+    Recorded(&'a mut dyn Recorder),
+    Live(&'a mut GenMonitor),
+}
 
 /// The compiled-session closure of a generative scenario: every
 /// `(phase, batch_bucket, context_bucket)` the engine can request.
@@ -71,7 +80,11 @@ pub fn run_generative_serve(
     jobs: usize,
     rec: Option<&mut dyn Recorder>,
 ) -> Result<GenOutcome, HarnessError> {
-    run_generative_serve_inner(accel, config, scenario, cache, jobs, rec, None)
+    let mode = match rec {
+        Some(rec) => GenRunMode::Recorded(rec),
+        None => GenRunMode::Plain,
+    };
+    run_generative_serve_inner(accel, config, scenario, cache, jobs, mode, None)
 }
 
 /// [`run_generative_serve`] with every prefill/decode step priced by
@@ -94,7 +107,52 @@ pub fn run_generative_serve_analytic(
 ) -> Result<GenOutcome, HarnessError> {
     let (timing, _) = cal.timing_for(accel.config())?;
     let backend = AnalyticBackend::new(timing);
-    run_generative_serve_inner(accel, config, scenario, cache, jobs, rec, Some(&backend))
+    let mode = match rec {
+        Some(rec) => GenRunMode::Recorded(rec),
+        None => GenRunMode::Plain,
+    };
+    run_generative_serve_inner(accel, config, scenario, cache, jobs, mode, Some(&backend))
+}
+
+/// [`run_generative_serve`] streamed through a live [`GenMonitor`]:
+/// every token-boundary event feeds the monitor's time series, TTFT /
+/// TPOT windowed histograms, SLO burn-rate trackers, and flight
+/// recorder while the engine runs. Pass `cal` to price steps with the
+/// calibrated analytic backend; `None` uses the interpreter.
+///
+/// Monitoring is strictly observational: the outcome is byte-identical
+/// to the unmonitored run for any `jobs` value, cache temperature, or
+/// timing backend choice.
+///
+/// # Errors
+///
+/// Exactly as [`run_generative_serve`] /
+/// [`run_generative_serve_analytic`].
+pub fn run_generative_serve_live(
+    accel: &Accelerator,
+    config: &GenerativeConfig,
+    scenario: &GenerativeScenario,
+    cache: &SessionCache,
+    cal: Option<&CalibrationCache>,
+    jobs: usize,
+    mon: &mut GenMonitor,
+) -> Result<GenOutcome, HarnessError> {
+    let backend = match cal {
+        Some(cal) => {
+            let (timing, _) = cal.timing_for(accel.config())?;
+            Some(AnalyticBackend::new(timing))
+        }
+        None => None,
+    };
+    run_generative_serve_inner(
+        accel,
+        config,
+        scenario,
+        cache,
+        jobs,
+        GenRunMode::Live(mon),
+        backend.as_ref(),
+    )
 }
 
 fn run_generative_serve_inner(
@@ -103,7 +161,7 @@ fn run_generative_serve_inner(
     scenario: &GenerativeScenario,
     cache: &SessionCache,
     jobs: usize,
-    rec: Option<&mut dyn Recorder>,
+    mode: GenRunMode<'_>,
     backend: Option<&AnalyticBackend>,
 ) -> Result<GenOutcome, HarnessError> {
     let workload = GenerativeModel::new(*config, scenario.prompt_tokens);
@@ -149,9 +207,10 @@ fn run_generative_serve_inner(
     if let Some(b) = backend {
         model = model.with_timing(b);
     }
-    let out = match rec {
-        Some(rec) => run_generative_recorded(scenario, &mut model, rec),
-        None => run_generative(scenario, &mut model),
+    let out = match mode {
+        GenRunMode::Plain => run_generative(scenario, &mut model),
+        GenRunMode::Recorded(rec) => run_generative_recorded(scenario, &mut model, rec),
+        GenRunMode::Live(mon) => run_generative_live(scenario, &mut model, mon),
     };
     out.map_err(|e| HarnessError::Job {
         label: "generative".into(),
@@ -207,6 +266,34 @@ mod tests {
         assert!(a.report.completed > 0);
         assert!(a.report.balanced());
         assert_eq!(cal.stats().misses, 1, "one calibration serves both runs");
+    }
+
+    #[test]
+    fn live_monitoring_is_observational_across_backends() {
+        use dtu_serve::GenLiveConfig;
+        let accel = Accelerator::cloudblazer_i20();
+        let sc = scenario();
+        let cfg = GenerativeConfig::tiny();
+        let cal = CalibrationCache::memory_only();
+
+        let plain_cache = SessionCache::memory_only();
+        let plain = run_generative_serve(&accel, &cfg, &sc, &plain_cache, 1, None).unwrap();
+        let live_cache = SessionCache::memory_only();
+        let mut mon = GenMonitor::with_defaults();
+        let live =
+            run_generative_serve_live(&accel, &cfg, &sc, &live_cache, None, 4, &mut mon).unwrap();
+        assert_eq!(plain.report.to_json(), live.report.to_json());
+        assert_eq!(plain.trace, live.trace);
+        assert!(mon.completions.total() > 0.0, "monitor saw the run");
+
+        let pa = SessionCache::memory_only();
+        let plain_a = run_generative_serve_analytic(&accel, &cfg, &sc, &pa, &cal, 1, None).unwrap();
+        let la = SessionCache::memory_only();
+        let mut mon_a = GenMonitor::new(GenLiveConfig::default());
+        let live_a =
+            run_generative_serve_live(&accel, &cfg, &sc, &la, Some(&cal), 2, &mut mon_a).unwrap();
+        assert_eq!(plain_a.report.to_json(), live_a.report.to_json());
+        assert_eq!(plain_a.trace, live_a.trace);
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub use cache::{CacheOutcome, CacheStats, SessionCache, CACHE_FORMAT_VERSION};
 pub use calibrate::{price_key, CalibrationCache, PricePoint};
 pub use error::HarnessError;
 pub use faultsweep::{run_fault_sweep, FaultPoint, FaultSweepReport};
-pub use genserve::{gen_session_grid, run_generative_serve, run_generative_serve_analytic};
+pub use genserve::{
+    gen_session_grid, run_generative_serve, run_generative_serve_analytic,
+    run_generative_serve_live,
+};
 pub use golden::{compare_golden, GOLDEN_RTOL};
 pub use plan::{available_jobs, ExperimentPlan, PlanCtx, PointId};
 pub use slosweep::{

@@ -1,0 +1,727 @@
+//! Live observability for generative runs: token-level time series,
+//! TTFT/TPOT SLO burn rates, KV-pressure gauges, and a flight recorder
+//! holding the full token timeline of recent requests.
+//!
+//! A [`GenMonitor`] rides along a generative run (see
+//! [`run_generative_live`]) as a [`GenObserver`]: it sees every admit,
+//! prefill, decode step, preemption, KV exhaustion, completion, and
+//! shed *at its simulated time*. It never feeds anything back into the
+//! engine — a monitored run's report and trace are byte-identical to a
+//! plain run's.
+//!
+//! It maintains:
+//! * windowed [`TimeSeries`] rings — arrivals, sheds, completions,
+//!   violations, preemptions, KV exhaustions, decode steps, running
+//!   batch occupancy, KV pages in use, L2-resident KV pages, and L3
+//!   spill milliseconds;
+//! * windowed log-bucketed histograms for TTFT (recorded at
+//!   first-token time), TPOT, and end-to-end latency, each carrying
+//!   the slowest request's span id as the window's exemplar —
+//!   exemplars are keyed by request id, so they survive
+//!   preempt–resume;
+//! * optional TTFT and TPOT [`SloTracker`]s evaluated by the shared
+//!   multi-window burn-rate engine at every simulated-second boundary;
+//! * a [`FlightRecorder`] whose ring holds the batch-level
+//!   prefill/decode spans *and* per-request token markers, prefill
+//!   spans, and preemption-gap spans. The first KV-pressure preemption
+//!   and every burn-rate page freeze a dump, so the black box names
+//!   the offending request.
+
+use crate::generative::{
+    run_generative_observed, GenDecodeStep, GenJoiner, GenObserver, GenOutcome, GenerativeScenario,
+};
+use crate::metrics::{event_to_span, ServeEvent};
+use crate::token_model::TokenModel;
+use crate::ServeError;
+use dtu_telemetry::clock::ms_to_ns;
+use dtu_telemetry::slo::EVAL_WINDOW_NS;
+use dtu_telemetry::{
+    AlertEvent, AlertKind, FlightRecorder, Layer, SloSpec, SloTracker, Span, SpanKind, TimeSeries,
+    WindowedHistogram,
+};
+use std::collections::BTreeMap;
+
+/// How a [`GenMonitor`] is shaped.
+#[derive(Debug, Clone)]
+pub struct GenLiveConfig {
+    /// Dashboard window width, ns (default 1 s of simulated time).
+    pub window_ns: f64,
+    /// Windows retained per ring (default 128 → ~2 min of history).
+    pub ring_windows: usize,
+    /// TTFT objective (`None` = metrics only, no TTFT alerts).
+    pub ttft_slo: Option<SloSpec>,
+    /// TPOT objective (`None` = metrics only, no TPOT alerts).
+    pub tpot_slo: Option<SloSpec>,
+    /// Flight-recorder ring capacity, spans.
+    pub flight_capacity: usize,
+    /// Offset added to every request id in per-request span labels and
+    /// exemplars (default 0 = local ids), mirroring
+    /// [`LiveConfig::trace_base`](crate::LiveConfig).
+    pub trace_base: u64,
+    /// Tenant label used in alerts and dump reasons.
+    pub tenant: String,
+}
+
+impl Default for GenLiveConfig {
+    fn default() -> Self {
+        GenLiveConfig {
+            window_ns: EVAL_WINDOW_NS,
+            ring_windows: 128,
+            ttft_slo: None,
+            tpot_slo: None,
+            // Token-level spans are roughly an order of magnitude
+            // denser than request-level ones (per-token markers every
+            // decode step), so the gen ring defaults 8x deeper than
+            // the request-serving recorder.
+            flight_capacity: dtu_telemetry::flight::DEFAULT_CAPACITY * 8,
+            trace_base: 0,
+            tenant: "gen".to_string(),
+        }
+    }
+}
+
+/// One rendered dashboard row (what `topsexec top --generative`
+/// prints), over a trailing window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenRow {
+    /// Completions per simulated second.
+    pub qps: f64,
+    /// Sheds per simulated second.
+    pub shed_rate: f64,
+    /// Preemptions per simulated second.
+    pub preempt_rate: f64,
+    /// Mean running-batch size over the window's decode steps.
+    pub active_batch: f64,
+    /// Mean KV-pool occupancy over the window's decode steps, 0..1.
+    pub kv_occupancy: f64,
+    /// L3 spill milliseconds charged per simulated second.
+    pub spill_ms_per_s: f64,
+    /// Windowed TTFT p50, ms.
+    pub ttft_p50_ms: f64,
+    /// Windowed TTFT p99, ms.
+    pub ttft_p99_ms: f64,
+    /// Windowed TPOT p50, ms.
+    pub tpot_p50_ms: f64,
+    /// Windowed TPOT p99, ms.
+    pub tpot_p99_ms: f64,
+    /// Fast/slow TTFT burn rates (0 without a TTFT SLO).
+    pub ttft_burn_fast: f64,
+    /// Slow-window TTFT burn rate.
+    pub ttft_burn_slow: f64,
+    /// Whether the TTFT burn-rate alert is firing.
+    pub ttft_firing: bool,
+    /// Fast-window TPOT burn rate (0 without a TPOT SLO).
+    pub tpot_burn_fast: f64,
+    /// Slow-window TPOT burn rate.
+    pub tpot_burn_slow: f64,
+    /// Whether the TPOT burn-rate alert is firing.
+    pub tpot_firing: bool,
+    /// Span id of the slowest-TTFT request in the window, when any.
+    pub ttft_exemplar: Option<u64>,
+}
+
+/// The live observability sidecar of one generative run.
+#[derive(Debug, Clone)]
+pub struct GenMonitor {
+    cfg: GenLiveConfig,
+    /// Admitted arrivals per window.
+    pub arrivals: TimeSeries,
+    /// Admission sheds per window.
+    pub sheds: TimeSeries,
+    /// Completed requests per window.
+    pub completions: TimeSeries,
+    /// Deadline violations per window.
+    pub violations: TimeSeries,
+    /// Preemptions per window.
+    pub preempts: TimeSeries,
+    /// Decode-path KV-page exhaustions per window.
+    pub exhausts: TimeSeries,
+    /// Decode steps per window.
+    pub decode_steps: TimeSeries,
+    /// Sum of running-batch sizes per window (with `decode_steps`,
+    /// gives mean active batch).
+    pub batch_occupancy: TimeSeries,
+    /// Sum of KV pages in use at each decode step per window.
+    pub kv_pages: TimeSeries,
+    /// Sum of L2-resident KV pages at each decode step per window.
+    pub kv_resident: TimeSeries,
+    /// L3 spill milliseconds charged per window.
+    pub spill_ms: TimeSeries,
+    /// Windowed TTFT histogram (recorded at first-token time).
+    pub ttft: WindowedHistogram,
+    /// Windowed TPOT histogram (recorded at completion).
+    pub tpot: WindowedHistogram,
+    /// Windowed end-to-end latency histogram.
+    pub e2e: WindowedHistogram,
+    /// TTFT burn-rate tracker, when configured.
+    pub ttft_slo: Option<SloTracker>,
+    /// TPOT burn-rate tracker, when configured.
+    pub tpot_slo: Option<SloTracker>,
+    /// The black box.
+    pub flight: FlightRecorder,
+    /// Every alert emitted, in simulated-time order.
+    pub alerts: Vec<AlertEvent>,
+    /// Preempted-and-not-yet-resumed requests → preemption time, ns
+    /// (feeds the preemption-gap spans).
+    preempted_at: BTreeMap<u64, f64>,
+    /// Whether the KV-pressure dump was already frozen (only the first
+    /// preemption dumps, leaving ring-dump slots for later burn pages).
+    kv_dumped: bool,
+    /// KV pool size, pages (set by [`GenMonitor::begin`]).
+    total_pages: usize,
+    /// Next evaluation boundary (multiples of [`EVAL_WINDOW_NS`]).
+    next_eval_ns: f64,
+    now_ns: f64,
+}
+
+impl GenMonitor {
+    /// Creates a monitor; attach to a scenario via
+    /// [`GenMonitor::begin`] (done by [`run_generative_live`]).
+    pub fn new(cfg: GenLiveConfig) -> Self {
+        let series = || TimeSeries::new(cfg.window_ns, cfg.ring_windows);
+        let hist = || WindowedHistogram::new(cfg.window_ns, cfg.ring_windows);
+        let flight = FlightRecorder::new(cfg.flight_capacity);
+        let ttft_slo = cfg.ttft_slo.as_ref().map(|s| SloTracker::new(s.clone()));
+        let tpot_slo = cfg.tpot_slo.as_ref().map(|s| SloTracker::new(s.clone()));
+        GenMonitor {
+            arrivals: series(),
+            sheds: series(),
+            completions: series(),
+            violations: series(),
+            preempts: series(),
+            exhausts: series(),
+            decode_steps: series(),
+            batch_occupancy: series(),
+            kv_pages: series(),
+            kv_resident: series(),
+            spill_ms: series(),
+            ttft: hist(),
+            tpot: hist(),
+            e2e: hist(),
+            ttft_slo,
+            tpot_slo,
+            flight,
+            alerts: Vec::new(),
+            preempted_at: BTreeMap::new(),
+            kv_dumped: false,
+            total_pages: 0,
+            next_eval_ns: EVAL_WINDOW_NS,
+            now_ns: 0.0,
+            cfg,
+        }
+    }
+
+    /// A monitor with default windows and no SLOs.
+    pub fn with_defaults() -> Self {
+        GenMonitor::new(GenLiveConfig::default())
+    }
+
+    /// (Re-)initialises state for a run over `sc`.
+    pub fn begin(&mut self, sc: &GenerativeScenario) {
+        *self = GenMonitor::new(self.cfg.clone());
+        self.total_pages = sc.kv.total_pages;
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &GenLiveConfig {
+        &self.cfg
+    }
+
+    /// Latest simulated time the monitor has seen, ns.
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// KV pool size the run was configured with, pages.
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Burn-rate alerts only (excludes resolutions).
+    pub fn burn_alerts(&self) -> impl Iterator<Item = &AlertEvent> + '_ {
+        self.alerts.iter().filter(|a| a.kind == AlertKind::BurnRate)
+    }
+
+    /// Advances simulated time to `t_ns`, running every pending SLO
+    /// evaluation boundary in order. Burn-rate alerts freeze a flight
+    /// dump. Hooks call this themselves, so external driving is only
+    /// needed for [`GenMonitor::finish`].
+    pub fn advance(&mut self, t_ns: f64) -> Vec<AlertEvent> {
+        self.now_ns = self.now_ns.max(t_ns);
+        let mut fired = Vec::new();
+        while self.next_eval_ns <= t_ns {
+            let at = self.next_eval_ns;
+            for (hist, tracker) in [
+                (&self.ttft, &mut self.ttft_slo),
+                (&self.tpot, &mut self.tpot_slo),
+            ] {
+                if let Some(tracker) = tracker.as_mut() {
+                    let exemplar = hist
+                        .exemplar_over(at, tracker.spec.fast_window_ns)
+                        .map(|e| e.span_id);
+                    if let Some(alert) = tracker.evaluate(at, exemplar) {
+                        if alert.kind == AlertKind::BurnRate {
+                            self.flight
+                                .trigger(format!("alert {} ({})", alert.slo, self.cfg.tenant), at);
+                        }
+                        fired.push(alert);
+                    }
+                }
+            }
+            self.next_eval_ns += EVAL_WINDOW_NS;
+        }
+        self.alerts.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Finishes the run at `end_ns`: runs the remaining boundaries plus
+    /// one final evaluation past the end so trailing windows are
+    /// judged. Returns any alerts that transitioned.
+    pub fn finish(&mut self, end_ns: f64) -> Vec<AlertEvent> {
+        let last = (end_ns / EVAL_WINDOW_NS).ceil() * EVAL_WINDOW_NS;
+        self.advance(last.max(self.next_eval_ns))
+    }
+
+    /// One dashboard row over the trailing `span_ns` at `now_ns`.
+    pub fn row(&self, now_ns: f64, span_ns: f64) -> GenRow {
+        let ttft = self.ttft.merged_over(now_ns, span_ns);
+        let tpot = self.tpot.merged_over(now_ns, span_ns);
+        let steps = self.decode_steps.sum_over(now_ns, span_ns);
+        let mean = |series: &TimeSeries| {
+            if steps > 0.0 {
+                series.sum_over(now_ns, span_ns) / steps
+            } else {
+                0.0
+            }
+        };
+        GenRow {
+            qps: self.completions.rate_per_sec(now_ns, span_ns),
+            shed_rate: self.sheds.rate_per_sec(now_ns, span_ns),
+            preempt_rate: self.preempts.rate_per_sec(now_ns, span_ns),
+            active_batch: mean(&self.batch_occupancy),
+            kv_occupancy: if self.total_pages > 0 {
+                mean(&self.kv_pages) / self.total_pages as f64
+            } else {
+                0.0
+            },
+            spill_ms_per_s: self.spill_ms.rate_per_sec(now_ns, span_ns),
+            ttft_p50_ms: ttft.quantile(0.50),
+            ttft_p99_ms: ttft.quantile(0.99),
+            tpot_p50_ms: tpot.quantile(0.50),
+            tpot_p99_ms: tpot.quantile(0.99),
+            ttft_burn_fast: self.ttft_slo.as_ref().map_or(0.0, |s| s.burn_fast(now_ns)),
+            ttft_burn_slow: self.ttft_slo.as_ref().map_or(0.0, |s| s.burn_slow(now_ns)),
+            ttft_firing: self.ttft_slo.as_ref().is_some_and(|s| s.firing()),
+            tpot_burn_fast: self.tpot_slo.as_ref().map_or(0.0, |s| s.burn_fast(now_ns)),
+            tpot_burn_slow: self.tpot_slo.as_ref().map_or(0.0, |s| s.burn_slow(now_ns)),
+            tpot_firing: self.tpot_slo.as_ref().is_some_and(|s| s.firing()),
+            ttft_exemplar: self.ttft.exemplar_over(now_ns, span_ns).map(|e| e.span_id),
+        }
+    }
+
+    /// Byte-deterministic SLO compliance JSON for the run: one object
+    /// per configured objective (the `topsexec serve --generative
+    /// --slo` payload).
+    pub fn compliance_json(&self) -> String {
+        use dtu_telemetry::json::JsonObject;
+        let mut objectives = Vec::new();
+        for tracker in [self.ttft_slo.as_ref(), self.tpot_slo.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            let pages = self
+                .alerts
+                .iter()
+                .filter(|a| a.kind == AlertKind::BurnRate && a.slo == tracker.spec.name)
+                .count();
+            objectives.push(
+                JsonObject::new()
+                    .string("slo", &tracker.spec.name)
+                    .num("deadline_ms", tracker.spec.deadline_ms)
+                    .int("completed", tracker.completed() as i64)
+                    .int("violated", tracker.violated() as i64)
+                    .num("budget_consumed", tracker.budget_consumed())
+                    .int("pages", pages as i64)
+                    .raw("firing", if tracker.firing() { "true" } else { "false" })
+                    .build(),
+            );
+        }
+        JsonObject::new()
+            .string("tenant", &self.cfg.tenant)
+            .int("preemptions", self.preempts.total() as i64)
+            .int("kv_exhaustions", self.exhausts.total() as i64)
+            .raw("objectives", &dtu_telemetry::json::array(&objectives))
+            .build()
+    }
+
+    fn span_id(&self, req: u64) -> u64 {
+        self.cfg.trace_base + req
+    }
+}
+
+impl GenObserver for GenMonitor {
+    fn on_event(&mut self, event: &ServeEvent) {
+        self.advance(event.t_ns);
+        // The full event stream lands in the ring via the same mapping
+        // the trace export uses, so a frozen dump reads like the trace.
+        self.flight.record(event_to_span(event));
+    }
+
+    fn on_admit(&mut self, t_ms: f64, _req: u64) {
+        self.arrivals.add(ms_to_ns(t_ms), 1.0);
+    }
+
+    fn on_shed(&mut self, t_ms: f64, _req: u64) {
+        self.sheds.add(ms_to_ns(t_ms), 1.0);
+    }
+
+    fn on_prefill(&mut self, t_ms: f64, end_ms: f64, joiners: &[GenJoiner]) {
+        let (t_ns, end_ns) = (ms_to_ns(t_ms), ms_to_ns(end_ms));
+        for j in joiners {
+            let id = self.span_id(j.req);
+            if let Some(preempt_ns) = self.preempted_at.remove(&j.req) {
+                // The request sat preempted from eviction to this
+                // re-prefill: make the gap visible as a wait interval.
+                self.flight.record(Span::new(
+                    SpanKind::SyncWait,
+                    Layer::Serving,
+                    0,
+                    format!("req {id} preempted"),
+                    preempt_ns,
+                    t_ns,
+                ));
+            }
+            let tag = if j.resumed { " (resume)" } else { "" };
+            self.flight.record(Span::new(
+                SpanKind::Prefill,
+                Layer::Serving,
+                0,
+                format!("req {id} prefill{tag} @ {} tok", j.tokens),
+                t_ns,
+                end_ns,
+            ));
+        }
+    }
+
+    fn on_first_token(&mut self, t_ms: f64, req: u64, ttft_ms: f64) {
+        let t_ns = ms_to_ns(t_ms);
+        let id = self.span_id(req);
+        self.ttft.record(t_ns, ttft_ms, Some(id));
+        if let Some(tracker) = self.ttft_slo.as_mut() {
+            tracker.observe(t_ns, ttft_ms);
+        }
+    }
+
+    fn on_decode(&mut self, step: &GenDecodeStep) {
+        let t_ns = ms_to_ns(step.t_ms);
+        self.decode_steps.add(t_ns, 1.0);
+        self.batch_occupancy.add(t_ns, step.batch as f64);
+        self.kv_pages.add(t_ns, step.kv_pages_in_use as f64);
+        self.kv_resident.add(t_ns, step.kv_resident_pages as f64);
+        self.spill_ms.add(t_ns, step.spill_ms);
+        let end_ns = ms_to_ns(step.end_ms);
+        for &(req, produced) in &step.reqs {
+            let id = self.span_id(req);
+            self.flight.record(Span::marker(
+                Layer::Serving,
+                0,
+                format!("req {id} tok {produced}"),
+                end_ns,
+            ));
+        }
+    }
+
+    fn on_exhaust(&mut self, t_ms: f64, req: u64) {
+        let t_ns = ms_to_ns(t_ms);
+        self.exhausts.add(t_ns, 1.0);
+        let id = self.span_id(req);
+        self.flight.record(Span::marker(
+            Layer::Serving,
+            0,
+            format!("kv-exhausted req {id}"),
+            t_ns,
+        ));
+    }
+
+    fn on_preempt(&mut self, t_ms: f64, req: u64, _pages: usize) {
+        let t_ns = ms_to_ns(t_ms);
+        self.preempts.add(t_ns, 1.0);
+        self.preempted_at.insert(req, t_ns);
+        if !self.kv_dumped {
+            // First KV-pressure eviction: freeze the black box while
+            // the victim's token timeline is still in the ring. Later
+            // evictions only count — the remaining dump slots are kept
+            // for burn-rate pages.
+            self.kv_dumped = true;
+            let id = self.span_id(req);
+            self.flight.trigger(
+                format!("kv-exhaustion (req {id} preempted, {})", self.cfg.tenant),
+                t_ns,
+            );
+        }
+    }
+
+    fn on_complete(
+        &mut self,
+        t_ms: f64,
+        req: u64,
+        _ttft_ms: f64,
+        tpot_ms: f64,
+        e2e_ms: f64,
+        violated: bool,
+    ) {
+        let t_ns = ms_to_ns(t_ms);
+        let id = self.span_id(req);
+        self.completions.add(t_ns, 1.0);
+        if violated {
+            self.violations.add(t_ns, 1.0);
+        }
+        self.tpot.record(t_ns, tpot_ms, Some(id));
+        self.e2e.record(t_ns, e2e_ms, Some(id));
+        if let Some(tracker) = self.tpot_slo.as_mut() {
+            tracker.observe(t_ns, tpot_ms);
+        }
+        self.preempted_at.remove(&req);
+        self.flight.record(Span::new(
+            SpanKind::Request,
+            Layer::Serving,
+            0,
+            format!("req {id}{}", if violated { " (late)" } else { "" }),
+            ms_to_ns(t_ms - e2e_ms),
+            t_ns,
+        ));
+    }
+}
+
+/// Runs a generative scenario with a [`GenMonitor`] riding along.
+///
+/// The monitor is strictly observational: the returned outcome is
+/// byte-identical to [`run_generative`](crate::run_generative)'s for
+/// the same scenario and model.
+///
+/// # Errors
+///
+/// As for [`run_generative`](crate::run_generative).
+pub fn run_generative_live(
+    sc: &GenerativeScenario,
+    model: &mut dyn TokenModel,
+    mon: &mut GenMonitor,
+) -> Result<GenOutcome, ServeError> {
+    mon.begin(sc);
+    let out = run_generative_observed(sc, model, mon)?;
+    mon.finish(ms_to_ns(out.report.drained_ms));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+    use crate::kv::KvCacheConfig;
+    use crate::run_generative;
+    use crate::token_model::AnalyticTokenModel;
+
+    fn scenario(total_pages: usize) -> GenerativeScenario {
+        GenerativeScenario {
+            duration_ms: 300.0,
+            seed: 7,
+            arrival: ArrivalProcess::Poisson { qps: 120.0 },
+            prompt_tokens: 64,
+            min_new_tokens: 4,
+            max_new_tokens: 48,
+            max_concurrency: 8,
+            queue_depth: 64,
+            ttft_deadline_ms: f64::INFINITY,
+            tpot_deadline_ms: f64::INFINITY,
+            kv: KvCacheConfig {
+                page_tokens: 16,
+                bytes_per_token: 1024,
+                total_pages,
+                l2_pages: 16,
+                l3_gb_per_s: 100.0,
+            },
+        }
+    }
+
+    #[test]
+    fn monitored_run_is_observational() {
+        let sc = scenario(4096);
+        let plain = run_generative(&sc, &mut AnalyticTokenModel::new("m")).unwrap();
+        let mut mon = GenMonitor::with_defaults();
+        let live = run_generative_live(&sc, &mut AnalyticTokenModel::new("m"), &mut mon).unwrap();
+        assert_eq!(plain.report, live.report);
+        assert_eq!(plain.trace, live.trace);
+        assert_eq!(plain.report.to_json(), live.report.to_json());
+        // …and the monitor actually saw the run.
+        assert_eq!(mon.completions.total(), live.report.completed as f64);
+        assert_eq!(
+            mon.arrivals.total() + mon.sheds.total(),
+            live.report.offered as f64
+        );
+        assert!(!mon.flight.is_empty());
+        assert!(mon.ttft.merged().count() >= live.report.completed);
+    }
+
+    #[test]
+    fn kv_pressure_freezes_one_dump_naming_the_victim() {
+        let mut sc = scenario(40);
+        sc.arrival = ArrivalProcess::Poisson { qps: 2000.0 };
+        sc.duration_ms = 100.0;
+        sc.queue_depth = 512;
+        let mut mon = GenMonitor::with_defaults();
+        let out = run_generative_live(&sc, &mut AnalyticTokenModel::new("m"), &mut mon).unwrap();
+        assert!(out.report.preemptions > 0, "constrained pool must preempt");
+        assert_eq!(mon.preempts.total(), out.report.preemptions as f64);
+        assert!(mon.exhausts.total() > 0.0);
+        let kv_dumps: Vec<_> = mon
+            .flight
+            .dumps()
+            .iter()
+            .filter(|d| d.reason.starts_with("kv-exhaustion"))
+            .collect();
+        assert_eq!(kv_dumps.len(), 1, "only the first eviction dumps");
+        let dump = kv_dumps[0];
+        // Reason names the preempted request, whose token timeline
+        // (prefill span + decode-step markers) is in the frozen ring.
+        let id: u64 = dump
+            .reason
+            .split(&['(', ' '][..])
+            .find_map(|w| w.parse().ok())
+            .expect("reason names a request id");
+        assert!(dump.resolves_label(&format!("req {id}")));
+        assert!(dump.spans.iter().any(|s| s.kind == SpanKind::Prefill));
+        assert!(dump.spans.iter().any(|s| s.kind == SpanKind::Decode));
+    }
+
+    #[test]
+    fn preemption_gap_spans_close_on_resume() {
+        let mut sc = scenario(40);
+        sc.arrival = ArrivalProcess::Poisson { qps: 2000.0 };
+        sc.duration_ms = 100.0;
+        sc.queue_depth = 512;
+        let mut mon = GenMonitor::new(GenLiveConfig {
+            flight_capacity: 1 << 16, // keep the whole run
+            ..GenLiveConfig::default()
+        });
+        let out = run_generative_live(&sc, &mut AnalyticTokenModel::new("m"), &mut mon).unwrap();
+        assert!(out.report.preemptions > 0);
+        let gaps: Vec<&Span> = mon
+            .flight
+            .spans()
+            .filter(|s| s.kind == SpanKind::SyncWait && s.label.contains("preempted"))
+            .collect();
+        assert!(!gaps.is_empty(), "resumed preemptions leave gap spans");
+        for g in &gaps {
+            assert!(g.duration_ns() > 0.0, "gap {:?} must have extent", g.label);
+        }
+        // Resume prefills are tagged.
+        assert!(mon
+            .flight
+            .spans()
+            .any(|s| s.kind == SpanKind::Prefill && s.label.contains("(resume)")));
+    }
+
+    #[test]
+    fn ttft_slo_pages_under_sustained_breach() {
+        // Deadline far below achievable TTFT + a long horizon so the
+        // multi-window burn engine can fire (needs sustained seconds).
+        let mut sc = scenario(4096);
+        sc.duration_ms = 8_000.0;
+        let mut mon = GenMonitor::new(GenLiveConfig {
+            ttft_slo: Some(SloSpec::new("ttft_p99<0.001ms", 0.99, 0.001)),
+            ..GenLiveConfig::default()
+        });
+        run_generative_live(&sc, &mut AnalyticTokenModel::new("m"), &mut mon).unwrap();
+        let fired: Vec<_> = mon.burn_alerts().collect();
+        assert!(!fired.is_empty(), "hopeless TTFT objective must page");
+        let alert = fired[0];
+        assert!(alert.burn_fast >= alert.burn_slow.min(10.0));
+        let id = alert.exemplar.expect("alert carries a TTFT exemplar");
+        let dump = mon
+            .flight
+            .dumps()
+            .iter()
+            .find(|d| d.reason.starts_with("alert"))
+            .expect("burn page froze a dump");
+        assert!(
+            dump.resolves_label(&format!("req {id}")),
+            "exemplar {id} resolves in the dump"
+        );
+    }
+
+    #[test]
+    fn clean_run_stays_quiet() {
+        let mut sc = scenario(4096);
+        sc.duration_ms = 2_000.0;
+        let mut mon = GenMonitor::new(GenLiveConfig {
+            ttft_slo: Some(SloSpec::new("ttft_p99<10s", 0.99, 10_000.0)),
+            tpot_slo: Some(SloSpec::new("tpot_p99<10s", 0.99, 10_000.0)),
+            ..GenLiveConfig::default()
+        });
+        let out = run_generative_live(&sc, &mut AnalyticTokenModel::new("m"), &mut mon).unwrap();
+        assert!(out.report.completed > 0);
+        assert!(mon.alerts.is_empty());
+        assert!(!mon.flight.is_empty(), "ring records even when healthy");
+        let dumps = mon
+            .flight
+            .dumps()
+            .iter()
+            .filter(|d| d.reason.starts_with("alert"))
+            .count();
+        assert_eq!(dumps, 0);
+        let row = mon.row(mon.now_ns(), mon.now_ns());
+        assert!(row.qps > 0.0);
+        assert!(row.active_batch > 0.0);
+        assert!(row.kv_occupancy > 0.0 && row.kv_occupancy <= 1.0);
+        assert!(!row.ttft_firing && !row.tpot_firing);
+        let js = mon.compliance_json();
+        assert!(js.contains("\"objectives\""));
+        assert!(js.contains("ttft_p99<10s") && js.contains("tpot_p99<10s"));
+    }
+
+    #[test]
+    fn exemplar_survives_preempt_resume() {
+        // Force preemption; the preempted request's eventual TTFT
+        // exemplar (first-token time after resume) still keys by its
+        // request id, so the dump resolves it.
+        let mut sc = scenario(40);
+        sc.arrival = ArrivalProcess::Poisson { qps: 2000.0 };
+        sc.duration_ms = 100.0;
+        sc.queue_depth = 512;
+        let mut mon = GenMonitor::new(GenLiveConfig {
+            flight_capacity: 1 << 16,
+            ..GenLiveConfig::default()
+        });
+        let out = run_generative_live(&sc, &mut AnalyticTokenModel::new("m"), &mut mon).unwrap();
+        let preempted: Vec<u64> = out
+            .trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                crate::metrics::ServeEventKind::Preempt { req, .. } => Some(req),
+                _ => None,
+            })
+            .collect();
+        assert!(!preempted.is_empty());
+        // Every preempted-then-completed request has its full timeline
+        // in the ring: prefill, gap, resume, tokens.
+        let completed_after_preempt = preempted
+            .iter()
+            .find(|&&r| mon.flight.spans().any(|s| s.label == format!("req {r}")))
+            .copied()
+            .expect("some preempted request completed");
+        let r = completed_after_preempt;
+        assert!(mon
+            .flight
+            .spans()
+            .any(|s| s.label.starts_with(&format!("req {r} prefill"))));
+        assert!(mon
+            .flight
+            .spans()
+            .any(|s| s.label == format!("req {r} preempted")));
+        assert!(mon
+            .flight
+            .spans()
+            .any(|s| s.label.starts_with(&format!("req {r} tok "))));
+    }
+}

@@ -38,7 +38,7 @@
 
 use crate::arrival::{ArrivalGen, ArrivalProcess, ServeRng};
 use crate::kv::{KvCacheConfig, KvStats, PagedKvCache};
-use crate::metrics::{ServeEvent, ServeEventKind, ServingTrace};
+use crate::metrics::{event_to_span, ServeEvent, ServeEventKind, ServingTrace};
 use crate::stats::{LatencyStats, Sample};
 use crate::token_model::TokenModel;
 use crate::ServeError;
@@ -46,6 +46,102 @@ use dtu_telemetry::clock::ms_to_ns;
 use dtu_telemetry::{Counter, CounterSet, CounterSnapshot, Recorder};
 use std::collections::VecDeque;
 use std::fmt;
+
+/// Observer of the engine's token boundaries.
+///
+/// [`run_generative_observed`] calls these hooks *as the run unfolds*,
+/// so a live monitor (or a telemetry [`Recorder`] bridge) sees every
+/// admit / prefill / decode-step / preempt / exhaust / complete / shed
+/// at its simulated time instead of reconstructing them afterwards.
+/// Every hook is pure observation: the engine never reads anything
+/// back, so an observed run's report and trace are byte-identical to a
+/// plain run's.
+///
+/// All hooks default to no-ops; implement only what you need.
+pub trait GenObserver {
+    /// Whether the observer wants per-sequence detail. The engine
+    /// skips building [`GenJoiner`]/[`GenDecodeStep`] payloads when
+    /// this is `false`, keeping the plain path allocation-free.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Every trace record, in order, the moment it is appended.
+    fn on_event(&mut self, _event: &ServeEvent) {}
+    /// A request was admitted to the waiting queue.
+    fn on_admit(&mut self, _t_ms: f64, _req: u64) {}
+    /// A request was shed at arrival (queue full or KV-impossible).
+    fn on_shed(&mut self, _t_ms: f64, _req: u64) {}
+    /// A prefill step ran over `joiners` from `t_ms` to `end_ms`.
+    fn on_prefill(&mut self, _t_ms: f64, _end_ms: f64, _joiners: &[GenJoiner]) {}
+    /// A sequence emitted its first token at `t_ms` (the TTFT sample,
+    /// recorded at first-token time — not at completion).
+    fn on_first_token(&mut self, _t_ms: f64, _req: u64, _ttft_ms: f64) {}
+    /// A decode step ran; `step` carries the batch composition and the
+    /// KV-allocator pressure around it.
+    fn on_decode(&mut self, _step: &GenDecodeStep) {}
+    /// A decode-path page reservation was refused on pool exhaustion
+    /// (admission-path refusals are ordinary backpressure and are not
+    /// reported here).
+    fn on_exhaust(&mut self, _t_ms: f64, _req: u64) {}
+    /// A running sequence was preempted: pages released, progress
+    /// kept, re-queued at the front.
+    fn on_preempt(&mut self, _t_ms: f64, _req: u64, _pages: usize) {}
+    /// A request completed its full answer.
+    #[allow(clippy::too_many_arguments)]
+    fn on_complete(
+        &mut self,
+        _t_ms: f64,
+        _req: u64,
+        _ttft_ms: f64,
+        _tpot_ms: f64,
+        _e2e_ms: f64,
+        _violated: bool,
+    ) {
+    }
+}
+
+/// The do-nothing observer behind [`run_generative`].
+struct NoopObserver;
+
+impl GenObserver for NoopObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// One sequence joining a prefill step, as seen by a [`GenObserver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenJoiner {
+    /// Request id.
+    pub req: u64,
+    /// Prompt + already-produced tokens this prefill recomputes.
+    pub tokens: usize,
+    /// `true` when the sequence was preempted earlier and is resuming.
+    pub resumed: bool,
+}
+
+/// One decode step, as seen by a [`GenObserver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenDecodeStep {
+    /// Step start, ms.
+    pub t_ms: f64,
+    /// Step end, ms.
+    pub end_ms: f64,
+    /// Running batch size.
+    pub batch: usize,
+    /// Longest context (tokens) in the batch.
+    pub context: usize,
+    /// L3 spill charge folded into the step, ms.
+    pub spill_ms: f64,
+    /// KV pages reserved across all sequences after this step's
+    /// reservations.
+    pub kv_pages_in_use: usize,
+    /// The L2-resident share of those pages (the rest stream from L3).
+    pub kv_resident_pages: usize,
+    /// `(request id, tokens produced after this step)` per running
+    /// sequence, oldest first.
+    pub reqs: Vec<(u64, usize)>,
+}
 
 /// Salt mixing request ids into per-request output-length draws.
 /// Id-keyed (not schedule-keyed) so the drawn lengths are independent
@@ -207,6 +303,130 @@ impl GenReport {
         }
         .build()
     }
+
+    /// The run's token/KV counters as a registry [`CounterSet`].
+    pub fn counters(&self) -> CounterSet {
+        let mut set = CounterSet::new();
+        set.add(Counter::PrefillTokens, self.prefill_tokens as f64);
+        set.add(Counter::DecodeTokens, self.decode_tokens as f64);
+        set.add(Counter::KvPagesAllocated, self.kv.pages_allocated as f64);
+        set.add(Counter::KvSpillBytes, self.kv.spill_bytes as f64);
+        set.add(Counter::KvPreemptions, self.preemptions as f64);
+        set.add(Counter::KvExhaustions, self.kv.exhaustions as f64);
+        set
+    }
+
+    /// Renders the report as Prometheus text exposition: the registry
+    /// token/KV counters plus hand-labelled `{tenant=}` series for the
+    /// request accounting, TTFT/TPOT/e2e percentiles, throughput, and
+    /// KV peak occupancy. Mirrors `FleetReport::to_prometheus`.
+    pub fn to_prometheus(&self, tenant: &str) -> String {
+        let mut out = self.counters().to_prometheus(&[("tenant", tenant)]);
+        let label = format!("tenant=\"{tenant}\"");
+        fn series(out: &mut String, name: &str, help: &str, kind: &str, label: &str, v: f64) {
+            use std::fmt::Write;
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name}{{{label}}} {v}");
+        }
+        series(
+            &mut out,
+            "dtu_gen_offered_total",
+            "Generative requests offered within the horizon",
+            "counter",
+            &label,
+            self.offered as f64,
+        );
+        series(
+            &mut out,
+            "dtu_gen_completed_total",
+            "Generative requests that completed their full answer",
+            "counter",
+            &label,
+            self.completed as f64,
+        );
+        series(
+            &mut out,
+            "dtu_gen_shed_total",
+            "Generative requests shed at arrival",
+            "counter",
+            &label,
+            self.shed as f64,
+        );
+        series(
+            &mut out,
+            "dtu_gen_violations_total",
+            "Completions that violated the TTFT or TPOT deadline",
+            "counter",
+            &label,
+            self.violations as f64,
+        );
+        series(
+            &mut out,
+            "dtu_gen_preemptions_total",
+            "Running sequences preempted on KV exhaustion",
+            "counter",
+            &label,
+            self.preemptions as f64,
+        );
+        series(
+            &mut out,
+            "dtu_gen_ttft_p50_ms",
+            "Median time-to-first-token",
+            "gauge",
+            &label,
+            self.ttft.p50_ms,
+        );
+        series(
+            &mut out,
+            "dtu_gen_ttft_p99_ms",
+            "99th-percentile time-to-first-token",
+            "gauge",
+            &label,
+            self.ttft.p99_ms,
+        );
+        series(
+            &mut out,
+            "dtu_gen_tpot_p50_ms",
+            "Median time-per-output-token",
+            "gauge",
+            &label,
+            self.tpot.p50_ms,
+        );
+        series(
+            &mut out,
+            "dtu_gen_tpot_p99_ms",
+            "99th-percentile time-per-output-token",
+            "gauge",
+            &label,
+            self.tpot.p99_ms,
+        );
+        series(
+            &mut out,
+            "dtu_gen_e2e_p99_ms",
+            "99th-percentile end-to-end latency",
+            "gauge",
+            &label,
+            self.e2e.p99_ms,
+        );
+        series(
+            &mut out,
+            "dtu_gen_tokens_per_s",
+            "Sustained generated-token throughput",
+            "gauge",
+            &label,
+            self.tokens_per_s,
+        );
+        series(
+            &mut out,
+            "dtu_gen_kv_peak_pages",
+            "Peak KV pages reserved at once",
+            "gauge",
+            &label,
+            self.kv.peak_pages as f64,
+        );
+        out
+    }
 }
 
 impl fmt::Display for GenReport {
@@ -253,6 +473,7 @@ pub struct GenOutcome {
 
 struct GenEngine<'m> {
     model: &'m mut dyn TokenModel,
+    obs: &'m mut dyn GenObserver,
     kv: PagedKvCache,
     waiting: VecDeque<Seq>,
     running: Vec<Seq>,
@@ -273,11 +494,13 @@ struct GenEngine<'m> {
 
 impl<'m> GenEngine<'m> {
     fn event(&mut self, t: f64, kind: ServeEventKind) {
-        self.trace.events.push(ServeEvent {
+        let e = ServeEvent {
             t_ns: ms_to_ns(t),
             tenant: 0,
             kind,
-        });
+        };
+        self.obs.on_event(&e);
+        self.trace.events.push(e);
     }
 
     /// Admits one arrival, shedding on queue overflow or a KV ask the
@@ -295,6 +518,7 @@ impl<'m> GenEngine<'m> {
                     depth: self.waiting.len(),
                 },
             );
+            self.obs.on_shed(t, id);
             return;
         }
         self.waiting.push_back(Seq {
@@ -312,6 +536,7 @@ impl<'m> GenEngine<'m> {
                 depth: self.waiting.len(),
             },
         );
+        self.obs.on_admit(t, id);
     }
 
     /// Completes a sequence at time `t`: frees pages, records samples,
@@ -330,7 +555,8 @@ impl<'m> GenEngine<'m> {
         self.ttft.record(ttft, seq.id);
         self.tpot.record(tpot, seq.id);
         self.e2e.record(t - seq.arrival_ms, seq.id);
-        if ttft > sc.ttft_deadline_ms || tpot > sc.tpot_deadline_ms {
+        let violated = ttft > sc.ttft_deadline_ms || tpot > sc.tpot_deadline_ms;
+        if violated {
             self.violations += 1;
         }
         self.event(
@@ -340,6 +566,8 @@ impl<'m> GenEngine<'m> {
                 depth: self.waiting.len(),
             },
         );
+        self.obs
+            .on_complete(t, seq.id, ttft, tpot, t - seq.arrival_ms, violated);
     }
 
     /// One prefill step over `joiners` (which already hold their KV
@@ -373,11 +601,23 @@ impl<'m> GenEngine<'m> {
                 service_ms: ms,
             },
         );
+        if self.obs.enabled() {
+            let info: Vec<GenJoiner> = joiners
+                .iter()
+                .map(|s| GenJoiner {
+                    req: s.id,
+                    tokens: s.prompt + s.produced,
+                    resumed: s.produced > 0,
+                })
+                .collect();
+            self.obs.on_prefill(t, end, &info);
+        }
         for mut seq in joiners {
             if seq.first_token_ms.is_none() {
                 // Prefill emits the first token.
                 seq.first_token_ms = Some(end);
                 seq.produced = 1;
+                self.obs.on_first_token(end, seq.id, end - seq.arrival_ms);
             }
             if seq.produced >= seq.target {
                 self.complete(sc, seq, end);
@@ -403,6 +643,7 @@ impl<'m> GenEngine<'m> {
                 i += 1;
                 continue;
             }
+            self.obs.on_exhaust(t, id);
             let victim = self.running.pop().expect("non-empty running batch");
             let pages = self.kv.release(victim.id);
             self.preemptions += 1;
@@ -413,6 +654,7 @@ impl<'m> GenEngine<'m> {
                     pages,
                 },
             );
+            self.obs.on_preempt(t, victim.id, pages);
             // Keep progress; rejoin at the queue front so it re-admits
             // (and recomputes its KV via prefill) at the next boundary.
             self.waiting.push_front(victim);
@@ -440,6 +682,24 @@ impl<'m> GenEngine<'m> {
                 spill_bytes: spilled,
             },
         );
+        if self.obs.enabled() {
+            let pages_in_use = self.kv.pages_in_use();
+            let step = GenDecodeStep {
+                t_ms: t,
+                end_ms: end,
+                batch,
+                context,
+                spill_ms,
+                kv_pages_in_use: pages_in_use,
+                kv_resident_pages: pages_in_use.min(sc.kv.l2_pages),
+                reqs: self
+                    .running
+                    .iter()
+                    .map(|s| (s.id, s.produced + 1))
+                    .collect(),
+            };
+            self.obs.on_decode(&step);
+        }
         let mut idx = 0;
         while idx < self.running.len() {
             self.running[idx].produced += 1;
@@ -469,6 +729,23 @@ pub fn run_generative(
     sc: &GenerativeScenario,
     model: &mut dyn TokenModel,
 ) -> Result<GenOutcome, ServeError> {
+    run_generative_observed(sc, model, &mut NoopObserver)
+}
+
+/// Runs one generative serving scenario to completion with a
+/// [`GenObserver`] receiving every token-boundary event as it happens.
+///
+/// The observer is strictly observational: for any observer, the
+/// returned report and trace are identical to [`run_generative`]'s.
+///
+/// # Errors
+///
+/// As for [`run_generative`].
+pub fn run_generative_observed(
+    sc: &GenerativeScenario,
+    model: &mut dyn TokenModel,
+    obs: &mut dyn GenObserver,
+) -> Result<GenOutcome, ServeError> {
     if sc.max_concurrency == 0 {
         return Err(ServeError::Config(
             "max_concurrency must be at least 1".into(),
@@ -484,6 +761,7 @@ pub fn run_generative(
     }
     let mut eng = GenEngine {
         model,
+        obs,
         kv: PagedKvCache::new(sc.kv),
         waiting: VecDeque::new(),
         running: Vec::new(),
@@ -600,12 +878,27 @@ pub fn run_generative(
     })
 }
 
+/// Bridges the observer hooks onto a telemetry [`Recorder`]: every
+/// trace record becomes its span (via the shared
+/// [`event_to_span`] mapping) the moment the engine emits it.
+struct SpanObserver<'r> {
+    rec: &'r mut dyn Recorder,
+}
+
+impl GenObserver for SpanObserver<'_> {
+    fn on_event(&mut self, event: &ServeEvent) {
+        self.rec.record(event_to_span(event));
+    }
+}
+
 /// Runs a generative scenario with a telemetry [`Recorder`] attached:
 /// the event log becomes `Layer::Serving` spans (prefill and decode
-/// steps as intervals, preemptions and sheds as markers) and the run's
-/// final token/KV counters land as one [`CounterSnapshot`] labelled
-/// `generative`. With a disabled recorder this is exactly
-/// [`run_generative`].
+/// steps as intervals, preemptions and sheds as markers), emitted
+/// *during* the run as each event lands — a recorder with a bounded
+/// ring therefore holds the most recent window of the run, not a
+/// post-hoc replay. The run's final token/KV counters land as one
+/// [`CounterSnapshot`] labelled `generative`. With a disabled recorder
+/// this is exactly [`run_generative`].
 ///
 /// # Errors
 ///
@@ -615,13 +908,13 @@ pub fn run_generative_recorded(
     model: &mut dyn TokenModel,
     rec: &mut dyn Recorder,
 ) -> Result<GenOutcome, ServeError> {
-    let out = run_generative(sc, model)?;
     if !rec.enabled() {
-        return Ok(out);
+        return run_generative(sc, model);
     }
-    for span in out.trace.to_spans() {
-        rec.record(span);
-    }
+    let out = {
+        let mut obs = SpanObserver { rec };
+        run_generative_observed(sc, model, &mut obs)?
+    };
     let mut set = CounterSet::new();
     let r = &out.report;
     set.add(Counter::PrefillTokens, r.prefill_tokens as f64);
@@ -629,6 +922,7 @@ pub fn run_generative_recorded(
     set.add(Counter::KvPagesAllocated, r.kv.pages_allocated as f64);
     set.add(Counter::KvSpillBytes, r.kv.spill_bytes as f64);
     set.add(Counter::KvPreemptions, r.preemptions as f64);
+    set.add(Counter::KvExhaustions, r.kv.exhaustions as f64);
     rec.snapshot(CounterSnapshot {
         at_ns: ms_to_ns(r.drained_ms),
         label: "generative".into(),
@@ -802,6 +1096,87 @@ mod tests {
             snap.set.get(Counter::PrefillTokens),
             rec.report.prefill_tokens as f64
         );
+    }
+
+    #[test]
+    fn disabled_recorder_is_invariant_and_free() {
+        use dtu_telemetry::NullRecorder;
+        let sc = scenario(4096);
+        let plain = run_generative(&sc, &mut AnalyticTokenModel::new("m")).unwrap();
+        let mut null = NullRecorder;
+        let rec =
+            run_generative_recorded(&sc, &mut AnalyticTokenModel::new("m"), &mut null).unwrap();
+        assert_eq!(plain.report, rec.report);
+        assert_eq!(plain.trace, rec.trace);
+        assert_eq!(plain.report.to_json(), rec.report.to_json());
+    }
+
+    #[test]
+    fn spans_stream_during_the_run_not_post_hoc() {
+        use dtu_telemetry::FlightRecorder;
+        // A bounded ring much smaller than the event count: if spans
+        // were replayed after the run it would hold an arbitrary
+        // prefix; streamed during the run it holds exactly the most
+        // recent window, in event order.
+        let mut sc = scenario(4096);
+        sc.duration_ms = 120.0;
+        let mut ring = FlightRecorder::new(64);
+        let rec =
+            run_generative_recorded(&sc, &mut AnalyticTokenModel::new("m"), &mut ring).unwrap();
+        assert!(rec.trace.len() > 64, "scenario must overflow the ring");
+        let all = rec.trace.to_spans();
+        let expected = &all[all.len() - 64..];
+        let got: Vec<_> = ring.spans().cloned().collect();
+        assert_eq!(got.len(), 64);
+        assert_eq!(got.as_slice(), expected);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        use std::collections::HashSet;
+        // Constrained KV pool so the sparse registry counters
+        // (preemptions, exhaustions, spill) are nonzero and exposed.
+        let mut sc = scenario(40);
+        sc.arrival = ArrivalProcess::Poisson { qps: 2000.0 };
+        sc.duration_ms = 100.0;
+        sc.queue_depth = 512;
+        let out = run_generative(&sc, &mut AnalyticTokenModel::new("m")).unwrap();
+        assert!(out.report.preemptions > 0);
+        let text = out.report.to_prometheus("tiny");
+        assert!(text.ends_with('\n'));
+        let (mut helped, mut typed) = (HashSet::new(), HashSet::new());
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(helped.insert(name.to_string()), "duplicate HELP {name}");
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().unwrap();
+                let kind = it.next().unwrap();
+                assert!(helped.contains(name), "TYPE before HELP for {name}");
+                assert!(matches!(kind, "counter" | "gauge"), "bad type {kind}");
+                assert!(typed.insert(name.to_string()), "duplicate TYPE {name}");
+            } else {
+                let name = line.split(['{', ' ']).next().unwrap();
+                assert!(name.starts_with("dtu_"), "unprefixed series {name}");
+                assert!(typed.contains(name), "sample before TYPE for {name}");
+                assert!(line.contains("tenant=\"tiny\""), "unlabelled: {line}");
+                let value = line.rsplit(' ').next().unwrap();
+                assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            }
+        }
+        for series in [
+            "dtu_gen_offered_total",
+            "dtu_gen_completed_total",
+            "dtu_gen_ttft_p99_ms",
+            "dtu_gen_tpot_p99_ms",
+            "dtu_gen_tokens_per_s",
+            "dtu_gen_kv_peak_pages",
+            "dtu_kv_preemptions_total",
+            "dtu_kv_exhaustions_total",
+        ] {
+            assert!(typed.contains(series), "missing series {series}");
+        }
     }
 
     #[test]

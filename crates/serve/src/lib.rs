@@ -60,6 +60,7 @@
 mod arrival;
 mod config;
 mod engine;
+mod gen_live;
 mod generative;
 mod kv;
 mod live;
@@ -75,13 +76,16 @@ pub use config::{BatchPolicy, RetryPolicy, ScalePolicy, ServeConfig, SlaPolicy, 
 /// separate dependency).
 pub use dtu_faults as faults;
 pub use engine::{run_serving, run_serving_live, run_serving_recorded, ServeOutcome};
+pub use gen_live::{run_generative_live, GenLiveConfig, GenMonitor, GenRow};
 pub use generative::{
-    run_generative, run_generative_recorded, GenOutcome, GenReport, GenerativeScenario,
+    run_generative, run_generative_observed, run_generative_recorded, GenDecodeStep, GenJoiner,
+    GenObserver, GenOutcome, GenReport, GenerativeScenario,
 };
 pub use kv::{KvCacheConfig, KvStats, PagedKvCache};
 pub use live::{LiveConfig, LiveMonitor, TenantLive, TenantRow};
 pub use metrics::{
-    RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace, TenantReport,
+    event_to_span, RequestOutcome, ServeEvent, ServeEventKind, ServeReport, ServingTrace,
+    TenantReport,
 };
 pub use model::{AnalyticModel, CacheStats, CompiledModel, ProgramSource, ServiceModel};
 pub use stats::{percentile, LatencyStats, Sample};

@@ -422,136 +422,11 @@ impl ServingTrace {
 
     /// Converts the event log to telemetry spans on `Layer::Serving`
     /// (track = tenant index): dispatches become [`SpanKind::Batch`]
-    /// intervals covering their service time, everything else becomes
-    /// an instantaneous marker.
+    /// intervals covering their service time, generative steps become
+    /// [`SpanKind::Prefill`]/[`SpanKind::Decode`] intervals, everything
+    /// else becomes an instantaneous marker.
     pub fn to_spans(&self) -> Vec<Span> {
-        use dtu_telemetry::clock::ms_to_ns;
-        self.events
-            .iter()
-            .map(|e| match &e.kind {
-                ServeEventKind::Dispatch {
-                    batch,
-                    groups,
-                    service_ms,
-                    ..
-                } => Span::new(
-                    SpanKind::Batch,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("batch {batch} on {groups} groups"),
-                    e.t_ns,
-                    e.t_ns + ms_to_ns(*service_ms),
-                ),
-                ServeEventKind::Arrival { req, .. } => Span::marker(
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("arrival {req}"),
-                    e.t_ns,
-                ),
-                ServeEventKind::Shed { req, .. } => Span::marker(
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("shed {req}"),
-                    e.t_ns,
-                ),
-                ServeEventKind::Complete { batch, .. } => Span::marker(
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("complete {batch}"),
-                    e.t_ns,
-                ),
-                ServeEventKind::Scale { from, to } => Span::marker(
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("scale {from}->{to}"),
-                    e.t_ns,
-                ),
-                ServeEventKind::Fault { label, attempt } => Span::new(
-                    SpanKind::Fault,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("fault {label} (attempt {attempt})"),
-                    e.t_ns,
-                    e.t_ns,
-                ),
-                ServeEventKind::Retry {
-                    attempt,
-                    backoff_ms,
-                } => Span::new(
-                    SpanKind::Fault,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("retry {attempt}"),
-                    e.t_ns - ms_to_ns(*backoff_ms),
-                    e.t_ns,
-                ),
-                ServeEventKind::GroupLost {
-                    cluster,
-                    group,
-                    remaining,
-                } => Span::new(
-                    SpanKind::Fault,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("group {cluster}.{group} lost ({remaining} left)"),
-                    e.t_ns,
-                    e.t_ns,
-                ),
-                ServeEventKind::FaultDrop { dropped } => Span::marker(
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("fault-drop {dropped}"),
-                    e.t_ns,
-                ),
-                ServeEventKind::Prefill {
-                    batch,
-                    tokens,
-                    service_ms,
-                } => Span::new(
-                    SpanKind::Batch,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("prefill {batch} seqs @ {tokens} tok"),
-                    e.t_ns,
-                    e.t_ns + ms_to_ns(*service_ms),
-                ),
-                ServeEventKind::DecodeStep {
-                    batch,
-                    context,
-                    service_ms,
-                    ..
-                } => Span::new(
-                    SpanKind::Batch,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("decode {batch} seqs @ ctx {context}"),
-                    e.t_ns,
-                    e.t_ns + ms_to_ns(*service_ms),
-                ),
-                ServeEventKind::Preempt { req, pages } => Span::marker(
-                    Layer::Serving,
-                    e.tenant as u32,
-                    format!("preempt {req} (-{pages} pages)"),
-                    e.t_ns,
-                ),
-                ServeEventKind::Alert {
-                    slo,
-                    alert,
-                    exemplar,
-                    ..
-                } => Span::new(
-                    SpanKind::Fault,
-                    Layer::Serving,
-                    e.tenant as u32,
-                    match exemplar {
-                        Some(id) => format!("alert {alert} {slo} (exemplar req {id})"),
-                        None => format!("alert {alert} {slo}"),
-                    },
-                    e.t_ns,
-                    e.t_ns,
-                ),
-            })
-            .collect()
+        self.events.iter().map(event_to_span).collect()
     }
 
     /// Queue-depth time series for one tenant, reconstructed from the
@@ -569,6 +444,137 @@ impl ServingTrace {
             series.push((e.t_ms(), depth));
         }
         series
+    }
+}
+
+/// Maps one trace record to its telemetry span. Shared by
+/// [`ServingTrace::to_spans`] and the streaming recorders
+/// ([`crate::run_generative_recorded`], [`crate::GenMonitor`]), so a
+/// span ring frozen mid-run renders identically to a post-hoc export.
+pub fn event_to_span(e: &ServeEvent) -> Span {
+    use dtu_telemetry::clock::ms_to_ns;
+    match &e.kind {
+        ServeEventKind::Dispatch {
+            batch,
+            groups,
+            service_ms,
+            ..
+        } => Span::new(
+            SpanKind::Batch,
+            Layer::Serving,
+            e.tenant as u32,
+            format!("batch {batch} on {groups} groups"),
+            e.t_ns,
+            e.t_ns + ms_to_ns(*service_ms),
+        ),
+        ServeEventKind::Arrival { req, .. } => Span::marker(
+            Layer::Serving,
+            e.tenant as u32,
+            format!("arrival {req}"),
+            e.t_ns,
+        ),
+        ServeEventKind::Shed { req, .. } => Span::marker(
+            Layer::Serving,
+            e.tenant as u32,
+            format!("shed {req}"),
+            e.t_ns,
+        ),
+        ServeEventKind::Complete { batch, .. } => Span::marker(
+            Layer::Serving,
+            e.tenant as u32,
+            format!("complete {batch}"),
+            e.t_ns,
+        ),
+        ServeEventKind::Scale { from, to } => Span::marker(
+            Layer::Serving,
+            e.tenant as u32,
+            format!("scale {from}->{to}"),
+            e.t_ns,
+        ),
+        ServeEventKind::Fault { label, attempt } => Span::new(
+            SpanKind::Fault,
+            Layer::Serving,
+            e.tenant as u32,
+            format!("fault {label} (attempt {attempt})"),
+            e.t_ns,
+            e.t_ns,
+        ),
+        ServeEventKind::Retry {
+            attempt,
+            backoff_ms,
+        } => Span::new(
+            SpanKind::Fault,
+            Layer::Serving,
+            e.tenant as u32,
+            format!("retry {attempt}"),
+            e.t_ns - ms_to_ns(*backoff_ms),
+            e.t_ns,
+        ),
+        ServeEventKind::GroupLost {
+            cluster,
+            group,
+            remaining,
+        } => Span::new(
+            SpanKind::Fault,
+            Layer::Serving,
+            e.tenant as u32,
+            format!("group {cluster}.{group} lost ({remaining} left)"),
+            e.t_ns,
+            e.t_ns,
+        ),
+        ServeEventKind::FaultDrop { dropped } => Span::marker(
+            Layer::Serving,
+            e.tenant as u32,
+            format!("fault-drop {dropped}"),
+            e.t_ns,
+        ),
+        ServeEventKind::Prefill {
+            batch,
+            tokens,
+            service_ms,
+        } => Span::new(
+            SpanKind::Prefill,
+            Layer::Serving,
+            e.tenant as u32,
+            format!("prefill {batch} seqs @ {tokens} tok"),
+            e.t_ns,
+            e.t_ns + ms_to_ns(*service_ms),
+        ),
+        ServeEventKind::DecodeStep {
+            batch,
+            context,
+            service_ms,
+            ..
+        } => Span::new(
+            SpanKind::Decode,
+            Layer::Serving,
+            e.tenant as u32,
+            format!("decode {batch} seqs @ ctx {context}"),
+            e.t_ns,
+            e.t_ns + ms_to_ns(*service_ms),
+        ),
+        ServeEventKind::Preempt { req, pages } => Span::marker(
+            Layer::Serving,
+            e.tenant as u32,
+            format!("preempt {req} (-{pages} pages)"),
+            e.t_ns,
+        ),
+        ServeEventKind::Alert {
+            slo,
+            alert,
+            exemplar,
+            ..
+        } => Span::new(
+            SpanKind::Fault,
+            Layer::Serving,
+            e.tenant as u32,
+            match exemplar {
+                Some(id) => format!("alert {alert} {slo} (exemplar req {id})"),
+                None => format!("alert {alert} {slo}"),
+            },
+            e.t_ns,
+            e.t_ns,
+        ),
     }
 }
 

@@ -116,11 +116,13 @@ pub enum Counter {
     KvSpillBytes,
     /// Running sequences preempted on KV-cache exhaustion.
     KvPreemptions,
+    /// KV-page reservations refused because the pool was exhausted.
+    KvExhaustions,
 }
 
 impl Counter {
     /// Every counter, in storage order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 37] = [
         Counter::KernelLaunches,
         Counter::Macs,
         Counter::VectorOps,
@@ -157,6 +159,7 @@ impl Counter {
         Counter::KvPagesAllocated,
         Counter::KvSpillBytes,
         Counter::KvPreemptions,
+        Counter::KvExhaustions,
     ];
 
     /// Stable metric base name (snake_case, no unit suffix).
@@ -198,6 +201,7 @@ impl Counter {
             Counter::KvPagesAllocated => "kv_pages_allocated",
             Counter::KvSpillBytes => "kv_spill",
             Counter::KvPreemptions => "kv_preemptions",
+            Counter::KvExhaustions => "kv_exhaustions",
         }
     }
 
@@ -223,7 +227,8 @@ impl Counter {
             | Counter::PrefillTokens
             | Counter::DecodeTokens
             | Counter::KvPagesAllocated
-            | Counter::KvPreemptions => Unit::Count,
+            | Counter::KvPreemptions
+            | Counter::KvExhaustions => Unit::Count,
             Counter::DmaConfigNs
             | Counter::FaultStallNs
             | Counter::CodeLoadStallNs
@@ -285,6 +290,7 @@ impl Counter {
             Counter::KvPagesAllocated => "KV-cache pages allocated",
             Counter::KvSpillBytes => "KV-cache bytes streamed from L3 past the L2 budget",
             Counter::KvPreemptions => "Sequences preempted on KV-cache exhaustion",
+            Counter::KvExhaustions => "KV-page reservations refused on pool exhaustion",
         }
     }
 }

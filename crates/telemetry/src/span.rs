@@ -89,6 +89,10 @@ pub enum SpanKind {
     Fault,
     /// An instantaneous event (shed, scale decision).
     Marker,
+    /// A generative prefill step (prompt ingestion + first token).
+    Prefill,
+    /// A generative decode step (one token per running sequence).
+    Decode,
 }
 
 impl SpanKind {
@@ -106,6 +110,8 @@ impl SpanKind {
             SpanKind::SyncWait => "sync-wait",
             SpanKind::Fault => "fault",
             SpanKind::Marker => "marker",
+            SpanKind::Prefill => "prefill",
+            SpanKind::Decode => "decode",
         }
     }
 }

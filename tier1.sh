@@ -98,5 +98,11 @@ assert r["offered"] == r["completed"] + r["shed"] + r["fault_dropped"], \
 assert r["decode_tokens"] > 0 and r["prefill_tokens"] > 0, "no token work"
 assert r["ttft"]["count"] == r["completed"], "TTFT sampled per completion"
 PY
+# The generative monitor must be strictly observational: attaching it
+# may not change a byte of the report.
+./target/release/topsexec serve --generative --gen-model tiny --seed 7 \
+    --jobs 4 --monitor --cache-dir "$trace_dir/gcache" \
+    > "$trace_dir/gen_mon.json" 2>/dev/null
+cmp "$trace_dir/gen_j1.json" "$trace_dir/gen_mon.json"
 
 echo "tier1 OK"
